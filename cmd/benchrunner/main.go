@@ -1,0 +1,478 @@
+// Command benchrunner regenerates every experiment table of
+// EXPERIMENTS.md (E1–E10, defined in DESIGN.md §3b): it builds Berlin
+// datasets, loads them, runs the query suite and the ablations, and
+// prints one markdown table per experiment.
+//
+// Usage:
+//
+//	benchrunner [-quick] [-exp E2,E3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"graql/internal/bsbm"
+	"graql/internal/cluster"
+	"graql/internal/exec"
+	"graql/internal/graph"
+	"graql/internal/ir"
+	"graql/internal/parser"
+	"graql/internal/table"
+	"graql/internal/value"
+)
+
+var (
+	quick  = flag.Bool("quick", false, "fewer repetitions and smaller scales")
+	only   = flag.String("exp", "", "comma-separated experiment ids to run (default all)")
+	paramC map[string]value.Value
+)
+
+func main() {
+	flag.Parse()
+	var err error
+	paramC, err = bsbm.TypedParams(bsbm.DefaultParams())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchrunner: GOMAXPROCS=%d, quick=%v\n", runtime.GOMAXPROCS(0), *quick)
+
+	experiments := []struct {
+		id  string
+		fn  func()
+		ttl string
+	}{
+		{"E1", e1, "Ingest + view-build throughput"},
+		{"E2", e2, "Berlin query latency"},
+		{"E3", e3, "Bidirectional-index ablation"},
+		{"E4", e4, "Planner direction choice"},
+		{"E5", e5, "Parallel frontier scaling"},
+		{"E6", e6, "Simulated cluster scaling"},
+		{"E7", e7, "Multi-statement scheduling"},
+		{"E8", e8, "Path-regex cost"},
+		{"E9", e9, "IR size and codec speed"},
+		{"E10", e10, "Many-to-one view build"},
+		{"E11", e11, "Concurrent query throughput"},
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id != "" {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+	for _, ex := range experiments {
+		if len(want) > 0 && !want[ex.id] {
+			continue
+		}
+		fmt.Printf("\n### %s — %s\n\n", ex.id, ex.ttl)
+		ex.fn()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchrunner:", err)
+	os.Exit(1)
+}
+
+func opener(ds *bsbm.Dataset) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		body, ok := ds.Files[path]
+		if !ok {
+			return nil, fmt.Errorf("no generated file %s", path)
+		}
+		return io.NopCloser(strings.NewReader(body)), nil
+	}
+}
+
+func loadBerlin(sf, workers int, reverse bool) *exec.Engine {
+	opts := exec.DefaultOptions()
+	opts.Workers = workers
+	opts.ReverseIndexes = reverse
+	opts.FileOpener = opener(bsbm.Generate(bsbm.Config{ScaleFactor: sf, Seed: 42}))
+	e := exec.New(opts)
+	if _, err := e.ExecScript(bsbm.FullDDL, nil); err != nil {
+		fatal(err)
+	}
+	return e
+}
+
+// reps picks an iteration count targeting a stable median.
+func reps() int {
+	if *quick {
+		return 3
+	}
+	return 9
+}
+
+// timeIt returns the median wall time of fn over reps runs.
+func timeIt(fn func()) time.Duration {
+	n := reps()
+	times := make([]time.Duration, n)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		fn()
+		times[i] = time.Since(start)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[n/2]
+}
+
+func header(cols ...string) {
+	fmt.Println("| " + strings.Join(cols, " | ") + " |")
+	seps := make([]string, len(cols))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Println("| " + strings.Join(seps, " | ") + " |")
+}
+
+func row(cells ...string) {
+	fmt.Println("| " + strings.Join(cells, " | ") + " |")
+}
+
+func dur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1f µs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2f ms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2f s", d.Seconds())
+	}
+}
+
+func scales() []int {
+	if *quick {
+		return []int{1, 2}
+	}
+	return []int{1, 2, 5, 10}
+}
+
+func e1() {
+	header("scale factor", "rows", "edges", "load time", "rows/s")
+	for _, sf := range scales() {
+		ds := bsbm.Generate(bsbm.Config{ScaleFactor: sf, Seed: 42})
+		rows := 0
+		for _, body := range ds.Files {
+			rows += strings.Count(body, "\n")
+		}
+		var edges int
+		med := timeIt(func() {
+			opts := exec.DefaultOptions()
+			opts.FileOpener = opener(ds)
+			e := exec.New(opts)
+			if _, err := e.ExecScript(bsbm.FullDDL, nil); err != nil {
+				fatal(err)
+			}
+			edges = e.Cat.Graph().NumEdges()
+		})
+		row(fmt.Sprint(sf), fmt.Sprint(rows), fmt.Sprint(edges), dur(med),
+			fmt.Sprintf("%.0f", float64(rows)/med.Seconds()))
+	}
+}
+
+func e2() {
+	sf := 5
+	if *quick {
+		sf = 1
+	}
+	e := loadBerlin(sf, 0, true)
+	header("query", "median latency", "result")
+	for _, q := range bsbm.Suite {
+		var resultDesc string
+		med := timeIt(func() {
+			res, err := e.ExecScript(q.Script, paramC)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", q.ID, err))
+			}
+			last := res[len(res)-1]
+			switch {
+			case last.Table != nil:
+				resultDesc = fmt.Sprintf("%d rows", last.Table.NumRows())
+			case last.Subgraph != nil:
+				resultDesc = fmt.Sprintf("%d vertices, %d edges",
+					last.Subgraph.NumVertices(), last.Subgraph.NumEdges())
+			}
+		})
+		row(q.ID+" (sf="+fmt.Sprint(sf)+")", dur(med), resultDesc)
+	}
+}
+
+const directionQuery = `
+select y.id from graph
+ProducerVtx (country = %Country1%)
+<--producer-- ProductVtx ( )
+<--reviewFor-- def y: ReviewVtx ( )
+into table DirT`
+
+func e3() {
+	sf := 5
+	if *quick {
+		sf = 2
+	}
+	header("configuration", "median latency")
+	var onT, offT time.Duration
+	for _, reverse := range []bool{true, false} {
+		e := loadBerlin(sf, 0, reverse)
+		med := timeIt(func() {
+			if _, err := e.ExecScript(directionQuery, paramC); err != nil {
+				fatal(err)
+			}
+		})
+		name := "reverse indexes ON (index probes)"
+		if reverse {
+			onT = med
+		} else {
+			name = "reverse indexes OFF (edge scans)"
+			offT = med
+		}
+		row(name, dur(med))
+	}
+	fmt.Printf("\nspeedup from bidirectional indexes: %.1f×\n", float64(offT)/float64(onT))
+}
+
+func e4() {
+	sf := 5
+	if *quick {
+		sf = 2
+	}
+	e := loadBerlin(sf, 0, true)
+	header("query shape", "median latency")
+	for _, q := range []struct{ name, src string }{
+		{"selective start (person anchor, forward)",
+			`select y.id from graph PersonVtx (id = 'u1') <--reviewer-- def y: ReviewVtx ( ) into table PT`},
+		{"selective end (product anchor, reverse index)",
+			`select y.id from graph def y: ReviewVtx ( ) --reviewFor--> ProductVtx (id = 'p1') into table PT`},
+		{"unselective (full edge sweep)",
+			`select y.id from graph ReviewVtx ( ) --reviewer--> def y: PersonVtx ( ) into table PT`},
+	} {
+		med := timeIt(func() {
+			if _, err := e.ExecScript(q.src, nil); err != nil {
+				fatal(err)
+			}
+		})
+		row(q.name, dur(med))
+	}
+}
+
+const workersQuery = `
+select y.id from graph
+ProductVtx ( ) --feature--> FeatureVtx ( ) <--feature-- def y: ProductVtx ( )
+into table WT`
+
+func e5() {
+	sf := 5
+	if *quick {
+		sf = 2
+	}
+	header("workers", "median latency", "speedup vs 1")
+	var base time.Duration
+	for _, w := range []int{1, 2, 4, 8} {
+		e := loadBerlin(sf, w, true)
+		med := timeIt(func() {
+			if _, err := e.ExecScript(workersQuery, nil); err != nil {
+				fatal(err)
+			}
+		})
+		if w == 1 {
+			base = med
+		}
+		row(fmt.Sprint(w), dur(med), fmt.Sprintf("%.2f×", float64(base)/float64(med)))
+	}
+}
+
+func e6() {
+	sf := 5
+	if *quick {
+		sf = 2
+	}
+	e := loadBerlin(sf, 0, true)
+	g := e.Cat.Graph()
+	header("partitions", "placement", "median latency", "messages", "vertices sent", "vertices local")
+	for _, parts := range []int{1, 2, 4, 8} {
+		for _, strat := range []cluster.Strategy{cluster.Hash, cluster.Block} {
+			if parts == 1 && strat == cluster.Block {
+				continue // identical to hash at p=1
+			}
+			c, err := cluster.NewWithStrategy(g, parts, strat)
+			if err != nil {
+				fatal(err)
+			}
+			var stats cluster.Stats
+			med := timeIt(func() {
+				_, s, err := c.Traverse(g.VertexType("ProductVtx"), nil, []cluster.Step{
+					{Edge: g.EdgeType("reviewFor"), Forward: false},
+					{Edge: g.EdgeType("reviewer"), Forward: true},
+				})
+				if err != nil {
+					fatal(err)
+				}
+				stats = s
+			})
+			row(fmt.Sprint(parts), strat.String(), dur(med), fmt.Sprint(stats.Messages),
+				fmt.Sprint(stats.VerticesSent), fmt.Sprint(stats.VerticesLocal))
+		}
+	}
+}
+
+func e7() {
+	sf := 5
+	if *quick {
+		sf = 2
+	}
+	var sb strings.Builder
+	for i := 0; i < 4; i++ {
+		fmt.Fprintf(&sb, `select distinct u.id from graph
+ProducerVtx (country = '%s')
+<--producer-- ProductVtx ( )
+<--reviewFor-- ReviewVtx ( )
+--reviewer--> def u: PersonVtx ( )
+into table Sched%d
+`, bsbm.Countries[i], i)
+	}
+	script := sb.String()
+	e := loadBerlin(sf, 0, true)
+	header("scheduler", "median latency for 4 independent statements")
+	seq := timeIt(func() {
+		if _, err := e.ExecScript(script, nil); err != nil {
+			fatal(err)
+		}
+	})
+	row("sequential", dur(seq))
+	par := timeIt(func() {
+		if _, err := e.ExecScriptStaged(script, nil); err != nil {
+			fatal(err)
+		}
+	})
+	row("dependence-staged parallel (§III-B1)", dur(par))
+	fmt.Printf("\nspeedup: %.2f×\n", float64(seq)/float64(par))
+}
+
+func e8() {
+	sf := 5
+	if *quick {
+		sf = 2
+	}
+	e := loadBerlin(sf, 0, true)
+	header("closure", "median latency", "distinct ancestors")
+	for _, quant := range []string{"{1}", "{2}", "{4}", "+", "*"} {
+		q := fmt.Sprintf(`select distinct a.id from graph
+ProductVtx ( ) --type--> TypeVtx ( ) ( --subclass--> [ ] )%s def a: TypeVtx ( )
+into table RT`, quant)
+		var rows int
+		med := timeIt(func() {
+			res, err := e.ExecScript(q, nil)
+			if err != nil {
+				fatal(err)
+			}
+			rows = res[len(res)-1].Table.NumRows()
+		})
+		row(quant, dur(med), fmt.Sprint(rows))
+	}
+}
+
+func e9() {
+	src := bsbm.FullDDL + bsbm.Q1.Script + bsbm.Q2.Script
+	script, err := parser.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	blob, err := ir.Encode(script)
+	if err != nil {
+		fatal(err)
+	}
+	const iters = 2000
+	enc := timeIt(func() {
+		for i := 0; i < iters; i++ {
+			if _, err := ir.Encode(script); err != nil {
+				fatal(err)
+			}
+		}
+	})
+	dec := timeIt(func() {
+		for i := 0; i < iters; i++ {
+			if _, err := ir.Decode(blob); err != nil {
+				fatal(err)
+			}
+		}
+	})
+	header("metric", "value")
+	row("source bytes", fmt.Sprint(len(src)))
+	row("IR bytes", fmt.Sprint(len(blob)))
+	row("compression", fmt.Sprintf("%.2f×", float64(len(src))/float64(len(blob))))
+	row("encode", dur(enc/iters))
+	row("decode", dur(dec/iters))
+}
+
+func e11() {
+	sf := 5
+	if *quick {
+		sf = 2
+	}
+	e := loadBerlin(sf, 1, true)
+	mix := []string{bsbm.Q2.Script, bsbm.Q3.Script, bsbm.Q4.Script, bsbm.Q5.Script}
+	const queriesPerRun = 400
+	header("clients", "queries/s")
+	for _, clients := range []int{1, 2, 4, 16} {
+		med := timeIt(func() {
+			var wg sync.WaitGroup
+			work := make(chan string, queriesPerRun)
+			for i := 0; i < queriesPerRun; i++ {
+				work <- mix[i%len(mix)]
+			}
+			close(work)
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for q := range work {
+						if _, err := e.ExecScript(q, paramC); err != nil {
+							panic(err)
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+		row(fmt.Sprint(clients), fmt.Sprintf("%.0f", queriesPerRun/med.Seconds()))
+	}
+}
+
+func e10() {
+	const rows = 200_000
+	header("distinct keys", "rows", "view-build time", "rows/s", "mapping")
+	for _, distinct := range []int{10, 1000, 200_000} {
+		tb := table.MustNew("T", table.Schema{
+			{Name: "id", Type: value.Int},
+			{Name: "grp", Type: value.Int},
+		})
+		for i := 0; i < rows; i++ {
+			if err := tb.AppendRow([]value.Value{
+				value.NewInt(int64(i)), value.NewInt(int64(i % distinct)),
+			}); err != nil {
+				fatal(err)
+			}
+		}
+		var vt *graph.VertexType
+		med := timeIt(func() {
+			var err error
+			vt, err = graph.BuildVertexType(0, "G", tb, []int{1}, nil)
+			if err != nil {
+				fatal(err)
+			}
+		})
+		mapping := "many-to-one"
+		if vt.OneToOne {
+			mapping = "one-to-one"
+		}
+		row(fmt.Sprint(distinct), fmt.Sprint(rows), dur(med),
+			fmt.Sprintf("%.0f", float64(rows)/med.Seconds()), mapping)
+	}
+}

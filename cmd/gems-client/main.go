@@ -1,0 +1,150 @@
+// Command gems-client is the command-line client for gems-server: it
+// submits GraQL scripts, static checks, IR compilations and catalog
+// queries over the JSON/TCP protocol.
+//
+// Usage:
+//
+//	gems-client -addr host:7687 [-token secret] exec script.graql [name:type=value ...]
+//	gems-client -addr host:7687 check script.graql
+//	gems-client -addr host:7687 stats
+//	echo 'select ...' | gems-client -addr host:7687 exec -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"graql/internal/client"
+	"graql/internal/server"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:7687", "server address")
+		token = flag.String("token", "", "auth token")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+
+	cl, err := client.Dial(*addr, *token)
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Close()
+
+	switch flag.Arg(0) {
+	case "exec":
+		if flag.NArg() < 2 {
+			usage()
+		}
+		script := readScript(flag.Arg(1))
+		params, err := parseParams(flag.Args()[2:])
+		if err != nil {
+			fatal(err)
+		}
+		resp, err := cl.Exec(script, params)
+		printResults(resp)
+		if err != nil {
+			fatal(err)
+		}
+	case "check":
+		if flag.NArg() < 2 {
+			usage()
+		}
+		resp, err := cl.Check(readScript(flag.Arg(1)))
+		printResults(resp)
+		if err != nil {
+			fatal(err)
+		}
+	case "stats":
+		resp, err := cl.Stats()
+		if err != nil {
+			fatal(err)
+		}
+		for _, e := range resp.Catalog {
+			fmt.Printf("%-8s %-20s %10d", e.Kind, e.Name, e.Count)
+			if e.Kind == "edge" {
+				fmt.Printf("   out-deg %.2f  in-deg %.2f", e.AvgOutDegree, e.AvgInDegree)
+			}
+			fmt.Println()
+		}
+	default:
+		usage()
+	}
+}
+
+func readScript(arg string) string {
+	if arg == "-" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		return string(data)
+	}
+	data, err := os.ReadFile(arg)
+	if err != nil {
+		fatal(err)
+	}
+	return string(data)
+}
+
+func parseParams(args []string) (map[string]server.Param, error) {
+	if len(args) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]server.Param, len(args))
+	for _, a := range args {
+		name, val, ok := strings.Cut(a, "=")
+		if !ok {
+			return nil, fmt.Errorf("parameter %q: want name[:type]=value", a)
+		}
+		typ := "varchar"
+		if n, t, hasType := strings.Cut(name, ":"); hasType {
+			name, typ = n, t
+		}
+		out[name] = server.Param{Type: typ, Value: val}
+	}
+	return out, nil
+}
+
+func printResults(resp *server.Response) {
+	if resp == nil {
+		return
+	}
+	for _, r := range resp.Results {
+		switch {
+		case len(r.Columns) > 0:
+			fmt.Println(strings.Join(r.Columns, " | "))
+			for _, row := range r.Rows {
+				fmt.Println(strings.Join(row, " | "))
+			}
+			fmt.Printf("(%d rows)\n", len(r.Rows))
+		case r.SubgraphName != "":
+			fmt.Printf("subgraph %s: %d vertices, %d edges\n",
+				r.SubgraphName, r.SubgraphVertices, r.SubgraphEdges)
+		default:
+			fmt.Println(r.Message)
+		}
+	}
+	if resp.Error != "" {
+		fmt.Fprintln(os.Stderr, "server error:", resp.Error)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  gems-client [-addr host:port] [-token t] exec <script.graql|-> [name[:type]=value ...]
+  gems-client [-addr host:port] [-token t] check <script.graql|->
+  gems-client [-addr host:port] [-token t] stats`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gems-client:", err)
+	os.Exit(1)
+}

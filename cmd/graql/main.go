@@ -1,0 +1,188 @@
+// Command graql runs GraQL scripts against an in-memory database: a batch
+// script runner and a small interactive shell (the "simple command-line
+// interface" client of paper §III).
+//
+// Usage:
+//
+//	graql [-data dir] [-workers n] [-check] [-param name=value ...] script.graql
+//	graql                  # interactive shell; end a statement block with a blank line
+//
+// Parameters substitute the script's %name% placeholders; values are typed
+// as name:type=value (type ∈ integer,float,varchar,date,boolean; default
+// varchar), e.g. -param MaxPrice:float=5000.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"graql"
+)
+
+type paramList struct {
+	params map[string]any
+}
+
+func (p *paramList) String() string { return fmt.Sprint(p.params) }
+
+func (p *paramList) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("parameter %q: want name[:type]=value", s)
+	}
+	typ := "varchar"
+	if n, t, hasType := strings.Cut(name, ":"); hasType {
+		name, typ = n, t
+	}
+	if p.params == nil {
+		p.params = make(map[string]any)
+	}
+	switch strings.ToLower(typ) {
+	case "integer", "int":
+		var i int64
+		if _, err := fmt.Sscan(val, &i); err != nil {
+			return fmt.Errorf("parameter %s: %v", name, err)
+		}
+		p.params[name] = i
+	case "float":
+		var f float64
+		if _, err := fmt.Sscan(val, &f); err != nil {
+			return fmt.Errorf("parameter %s: %v", name, err)
+		}
+		p.params[name] = f
+	case "boolean", "bool":
+		p.params[name] = strings.EqualFold(val, "true")
+	case "varchar", "string", "date":
+		p.params[name] = val
+	default:
+		return fmt.Errorf("parameter %s: unknown type %s", name, typ)
+	}
+	return nil
+}
+
+func main() {
+	var (
+		dataDir   = flag.String("data", ".", "base directory for ingest file paths")
+		workers   = flag.Int("workers", 0, "parallelism degree (0 = GOMAXPROCS)")
+		checkOnly = flag.Bool("check", false, "statically check the script without executing it")
+		noReverse = flag.Bool("no-reverse-index", false, "disable reverse edge indexes")
+		outCSV    = flag.String("out", "", "write the last table result to this CSV file")
+		params    paramList
+	)
+	flag.Var(&params, "param", "query parameter name[:type]=value (repeatable)")
+	flag.Parse()
+
+	if *checkOnly {
+		src, err := readScript(flag.Args())
+		if err != nil {
+			fatal(err)
+		}
+		if err := graql.Check(src); err != nil {
+			fatal(err)
+		}
+		fmt.Println("script is statically valid")
+		return
+	}
+
+	db := graql.Open(
+		graql.WithBaseDir(*dataDir),
+		graql.WithWorkers(*workers),
+		graql.WithReverseIndexes(!*noReverse),
+	)
+
+	if flag.NArg() > 0 {
+		src, err := readScript(flag.Args())
+		if err != nil {
+			fatal(err)
+		}
+		if err := run(db, src, params.params, *outCSV); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	repl(db, params.params)
+}
+
+func readScript(args []string) (string, error) {
+	var b strings.Builder
+	for _, path := range args {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return "", err
+		}
+		b.Write(data)
+		b.WriteString("\n")
+	}
+	return b.String(), nil
+}
+
+func run(db *graql.DB, src string, params map[string]any, outCSV string) error {
+	results, err := db.ExecParams(src, params)
+	for _, r := range results {
+		printResult(r)
+	}
+	if err != nil {
+		return err
+	}
+	if outCSV != "" {
+		for i := len(results) - 1; i >= 0; i-- {
+			if !results[i].IsTable() {
+				continue
+			}
+			f, err := os.Create(outCSV)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			return results[i].Table().WriteCSV(f)
+		}
+	}
+	return nil
+}
+
+func printResult(r graql.Result) {
+	switch {
+	case r.IsTable():
+		fmt.Print(r.Table().String())
+		fmt.Printf("(%d rows)\n", r.Table().NumRows())
+	case r.IsSubgraph():
+		v, e := r.SubgraphSize()
+		fmt.Printf("%s (%d vertices, %d edges)\n", r.Message(), v, e)
+	default:
+		fmt.Println(r.Message())
+	}
+}
+
+func repl(db *graql.DB, params map[string]any) {
+	fmt.Println("GraQL shell — end a statement block with a blank line; ctrl-D exits.")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var block strings.Builder
+	prompt := func() { fmt.Print("graql> ") }
+	prompt()
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.TrimSpace(line) != "" {
+			block.WriteString(line)
+			block.WriteString("\n")
+			fmt.Print("  ...> ")
+			continue
+		}
+		if src := block.String(); strings.TrimSpace(src) != "" {
+			if err := run(db, src, params, ""); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
+		}
+		block.Reset()
+		prompt()
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "graql:", err)
+	os.Exit(1)
+}

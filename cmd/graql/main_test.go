@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestParamListSet(t *testing.T) {
+	var p paramList
+	cases := []struct {
+		arg  string
+		name string
+		want any
+	}{
+		{"Product1=p7", "Product1", "p7"},
+		{"Lower:integer=1000", "Lower", int64(1000)},
+		{"MaxPrice:float=49.5", "MaxPrice", 49.5},
+		{"Flag:bool=true", "Flag", true},
+		{"When:date=2008-01-01", "When", "2008-01-01"},
+	}
+	for _, c := range cases {
+		if err := p.Set(c.arg); err != nil {
+			t.Fatalf("Set(%q): %v", c.arg, err)
+		}
+		if got := p.params[c.name]; got != c.want {
+			t.Errorf("param %s = %v (%T), want %v (%T)", c.name, got, got, c.want, c.want)
+		}
+	}
+}
+
+func TestParamListErrors(t *testing.T) {
+	var p paramList
+	for _, bad := range []string{"noequals", "X:integer=notanum", "Y:float=zz", "Z:blob=1"} {
+		if err := p.Set(bad); err == nil {
+			t.Errorf("Set(%q) should fail", bad)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Biology: the paper's second motivating domain — "modeling of biological
+// pathways which represent the flow of molecular signals inside a cell".
+// Proteins and pathways live in tables; typed activation/inhibition edges
+// form the signalling graph; queries trace signal propagation.
+//
+//	go run ./examples/biology
+package main
+
+import (
+	"fmt"
+
+	"graql"
+)
+
+func main() {
+	db := graql.Open()
+	db.MustExec(`
+create table Proteins(
+  id varchar(12),
+  gene varchar(12),
+  family varchar(16),
+  expression float
+)
+
+create table Interactions(
+  src varchar(12),
+  dst varchar(12),
+  kind varchar(10),
+  confidence float
+)
+
+create table Pathways(
+  id varchar(12),
+  name varchar(32),
+  process varchar(24)
+)
+
+create table Membership(
+  protein varchar(12),
+  pathway varchar(12)
+)
+
+create vertex Protein(id) from table Proteins
+create vertex Pathway(id) from table Pathways
+
+create edge activates with
+vertices (Protein as A, Protein as B)
+from table Interactions
+where Interactions.src = A.id and Interactions.dst = B.id
+and Interactions.kind = 'activate'
+
+create edge inhibits with
+vertices (Protein as A, Protein as B)
+from table Interactions
+where Interactions.src = A.id and Interactions.dst = B.id
+and Interactions.kind = 'inhibit'
+
+create edge memberOf with
+vertices (Protein, Pathway)
+from table Membership
+where Membership.protein = Protein.id
+and Membership.pathway = Pathway.id
+`)
+
+	must(graql.IngestCSV(db, "Proteins", `EGFR,EGFR,kinase,8.1
+RAS,KRAS,gtpase,6.4
+RAF,RAF1,kinase,5.2
+MEK,MAP2K1,kinase,4.9
+ERK,MAPK1,kinase,7.3
+MYC,MYC,tf,9.0
+PTEN,PTEN,phosphatase,3.1
+AKT,AKT1,kinase,6.8
+PI3K,PIK3CA,kinase,5.5
+TP53,TP53,tf,4.4
+`))
+	must(graql.IngestCSV(db, "Interactions", `EGFR,RAS,activate,0.99
+RAS,RAF,activate,0.97
+RAF,MEK,activate,0.98
+MEK,ERK,activate,0.99
+ERK,MYC,activate,0.92
+EGFR,PI3K,activate,0.95
+PI3K,AKT,activate,0.96
+PTEN,PI3K,inhibit,0.94
+AKT,TP53,inhibit,0.81
+TP53,MYC,inhibit,0.77
+`))
+	must(graql.IngestCSV(db, "Pathways", `mapk,MAPK cascade,proliferation
+pi3k,PI3K-AKT signalling,survival
+apop,Apoptosis control,cell death
+`))
+	must(graql.IngestCSV(db, "Membership", `EGFR,mapk
+RAS,mapk
+RAF,mapk
+MEK,mapk
+ERK,mapk
+MYC,mapk
+EGFR,pi3k
+PI3K,pi3k
+AKT,pi3k
+PTEN,pi3k
+TP53,apop
+AKT,apop
+MYC,apop
+`))
+
+	// 1. Direct activation targets of EGFR with high confidence.
+	res := db.MustExec(`
+select B.id, e.confidence from graph
+Protein (id = 'EGFR') --def e: activates (confidence > 0.9)--> def B: Protein ( )
+order by confidence desc
+`)
+	fmt.Println("High-confidence direct activation targets of EGFR:")
+	fmt.Print(res[len(res)-1].Table().String())
+
+	// 2. The downstream activation cascade (transitive closure): every
+	// transcription factor EGFR can switch on.
+	res = db.MustExec(`
+select distinct T.id, T.expression from graph
+Protein (id = 'EGFR') ( --activates--> [ ] )+ def T: Protein (family = 'tf')
+order by id asc
+`)
+	fmt.Println("\nTranscription factors in EGFR's activation cascade:")
+	fmt.Print(res[len(res)-1].Table().String())
+
+	// 3. Cross-pathway crosstalk: proteins in the MAPK pathway whose
+	// activation targets sit in a different pathway (foreach correlates
+	// the two branches on the same protein instance, Fig. 8 style).
+	res = db.MustExec(`
+select x.id, Q.name from graph
+Pathway (id = 'mapk')
+<--memberOf-- foreach x: Protein ( )
+--activates--> Protein ( )
+--memberOf--> def Q: Pathway (id <> 'mapk')
+and (x --memberOf--> Pathway (id = 'mapk'))
+into table crosstalk
+
+select distinct id, name from table crosstalk order by id asc
+`)
+	fmt.Println("\nMAPK proteins activating members of other pathways:")
+	fmt.Print(res[len(res)-1].Table().String())
+
+	// 4. Signals any protein can deliver to apoptosis control through at
+	// most one inhibition step: a mixed-type structural query using a
+	// variant step.
+	res = db.MustExec(`
+select distinct S.id from graph
+def S: Protein ( ) --[ ]--> Protein ( ) --memberOf--> Pathway (id = 'apop')
+order by id asc
+`)
+	fmt.Println("\nProteins one interaction away from the apoptosis pathway:")
+	fmt.Print(res[len(res)-1].Table().String())
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

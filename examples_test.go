@@ -1,0 +1,55 @@
+package graql_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example binary end to end and checks for
+// its expected output markers. Skipped with -short (each run pays a
+// compile).
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples skipped in -short mode")
+	}
+	cases := []struct {
+		dir     string
+		markers []string
+	}{
+		{"./examples/quickstart", []string{
+			"Direct road destinations from PDX",
+			"Transitively reachable from PDX",
+			"YVR",
+		}},
+		{"./examples/berlin", []string{
+			"Berlin dataset loaded",
+			"=== BQ1:",
+			"=== BQ8:",
+		}},
+		{"./examples/cybersecurity", []string{
+			"Large flows from compromised",
+			"lateral movement risk",
+			"Blast-radius subgraph",
+		}},
+		{"./examples/biology", []string{
+			"activation targets of EGFR",
+			"MYC",
+			"apoptosis pathway",
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.dir, "./examples/"), func(t *testing.T) {
+			out, err := exec.Command("go", "run", c.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			for _, m := range c.markers {
+				if !strings.Contains(string(out), m) {
+					t.Errorf("output missing %q:\n%s", m, out)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module graql
+
+go 1.24

@@ -1,0 +1,186 @@
+// Package graql is an in-memory attributed graph database with the GraQL
+// query language, reproducing the design of "GraQL: A Query Language for
+// High-Performance Attributed Graph Databases" (Chavarría-Miranda et al.,
+// IPDPS Workshops 2016) and its GEMS execution architecture.
+//
+// All data is stored in strongly typed tables; vertex and edge types are
+// views declared over those tables; queries mix SQL relational operations
+// with graph path patterns:
+//
+//	db := graql.Open()
+//	db.MustExec(`
+//	    create table Cities(id varchar(10), country varchar(2))
+//	    create table Roads(src varchar(10), dst varchar(10), km integer)
+//	    create vertex City(id) from table Cities
+//	    create edge road with vertices (City as A, City as B)
+//	    from table Roads
+//	    where Roads.src = A.id and Roads.dst = B.id
+//	`)
+//	res, err := db.Exec(`
+//	    select B.id from graph
+//	    City (id = 'PDX') --road--> def B: City ( )
+//	`)
+//
+// See README.md for the language reference and DESIGN.md for the
+// architecture.
+package graql
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"graql/internal/exec"
+	"graql/internal/value"
+)
+
+// DB is an in-memory GraQL database: a catalog of tables, vertex/edge
+// views and named results, plus the parallel execution engine.
+type DB struct {
+	eng *exec.Engine
+}
+
+// Option configures a DB at Open time.
+type Option func(*exec.Options)
+
+// WithWorkers sets the parallelism degree for frontier expansion and
+// binding enumeration (default: GOMAXPROCS).
+func WithWorkers(n int) Option {
+	return func(o *exec.Options) { o.Workers = n }
+}
+
+// WithReverseIndexes controls building reverse edge indexes (default on).
+// GEMS builds them "when memory space on the cluster is available"; paths
+// are still answerable without them via edge scans, only slower.
+func WithReverseIndexes(on bool) Option {
+	return func(o *exec.Options) { o.ReverseIndexes = on }
+}
+
+// WithBaseDir anchors relative ingest file paths.
+func WithBaseDir(dir string) Option {
+	return func(o *exec.Options) { o.BaseDir = dir }
+}
+
+// WithFileOpener overrides how ingest resolves file paths (e.g. to serve
+// data from memory or to sandbox file access).
+func WithFileOpener(open func(path string) (io.ReadCloser, error)) Option {
+	return func(o *exec.Options) { o.FileOpener = open }
+}
+
+// Open creates an empty database.
+func Open(opts ...Option) *DB {
+	o := exec.DefaultOptions()
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return &DB{eng: exec.New(o)}
+}
+
+// Exec runs a GraQL script (one or more statements) and returns one
+// result per statement.
+func (db *DB) Exec(script string) ([]Result, error) {
+	return db.ExecParams(script, nil)
+}
+
+// ExecParams runs a script binding its %name% parameters. Supported
+// parameter types: string, int, int64, float64, bool, time.Time.
+func (db *DB) ExecParams(script string, params map[string]any) ([]Result, error) {
+	vp, err := convertParams(params)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := db.eng.ExecScript(script, vp)
+	out := make([]Result, len(raw))
+	for i, r := range raw {
+		out[i] = Result{r: r}
+	}
+	return out, err
+}
+
+// MustExec is Exec that panics on error; for examples and tests.
+func (db *DB) MustExec(script string) []Result {
+	res, err := db.Exec(script)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// MustExecParams is ExecParams that panics on error.
+func (db *DB) MustExecParams(script string, params map[string]any) []Result {
+	res, err := db.ExecParams(script, params)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// IngestCSV loads literal CSV text into the named table through the same
+// atomic ingest path as the ingest statement (views derived from the
+// table are rebuilt). A convenience for small in-memory datasets.
+func IngestCSV(db *DB, table, csv string) error {
+	return db.eng.IngestReader(table, strings.NewReader(csv))
+}
+
+// Check statically analyses a script (paper §III-A) without executing
+// queries or reading data files: parse errors, unknown entities, type
+// errors (e.g. comparing a date with a float) and malformed path queries
+// are reported against catalog metadata only.
+func Check(script string) error { return exec.CheckScript(script) }
+
+// Stats describes one catalog object (table, vertex type or edge type).
+type Stats struct {
+	Kind         string
+	Name         string
+	Count        int
+	AvgOutDegree float64
+	AvgInDegree  float64
+	MaxOutDegree int
+	MaxInDegree  int
+	SrcType      string
+	DstType      string
+}
+
+// Stats returns a snapshot of the catalog's object sizes and degree
+// statistics — the metadata the GEMS planner consumes.
+func (db *DB) Stats() []Stats {
+	db.eng.Cat.RLock()
+	defer db.eng.Cat.RUnlock()
+	raw := db.eng.Cat.Stats()
+	out := make([]Stats, len(raw))
+	for i, s := range raw {
+		out[i] = Stats(s)
+	}
+	return out
+}
+
+// Engine exposes the underlying engine for in-module tooling (cmd/,
+// benchmarks). It is not part of the stable public API.
+func (db *DB) Engine() *exec.Engine { return db.eng }
+
+func convertParams(params map[string]any) (map[string]value.Value, error) {
+	if params == nil {
+		return nil, nil
+	}
+	out := make(map[string]value.Value, len(params))
+	for k, p := range params {
+		switch v := p.(type) {
+		case string:
+			out[k] = value.NewString(v)
+		case int:
+			out[k] = value.NewInt(int64(v))
+		case int64:
+			out[k] = value.NewInt(v)
+		case float64:
+			out[k] = value.NewFloat(v)
+		case bool:
+			out[k] = value.NewBool(v)
+		case time.Time:
+			out[k] = value.NewDate(v.UTC().Unix() / 86400)
+		default:
+			return nil, fmt.Errorf("graql: unsupported parameter type %T for %%%s%%", p, k)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,168 @@
+package graql_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"graql"
+)
+
+func roadsDB(t *testing.T) *graql.DB {
+	t.Helper()
+	db := graql.Open(graql.WithWorkers(2))
+	if _, err := db.Exec(`
+create table Cities(id varchar(10), country varchar(2), population integer, founded date)
+create table Roads(src varchar(10), dst varchar(10), km integer)
+create vertex City(id) from table Cities
+create edge road with vertices (City as A, City as B)
+from table Roads
+where Roads.src = A.id and Roads.dst = B.id
+`); err != nil {
+		t.Fatal(err)
+	}
+	if err := graql.IngestCSV(db, "Cities", "PDX,US,650000,1851-02-08\nSEA,US,750000,1851-11-13\nYVR,CA,680000,1886-04-06\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := graql.IngestCSV(db, "Roads", "PDX,SEA,280\nSEA,YVR,230\n"); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPublicAPIBasics(t *testing.T) {
+	db := roadsDB(t)
+	res, err := db.Exec(`select B.id, B.population from graph City (id = 'PDX') --road--> def B: City ( )`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res[len(res)-1]
+	if !last.IsTable() {
+		t.Fatal("expected a table result")
+	}
+	tb := last.Table()
+	if got := tb.Columns(); len(got) != 2 || got[0] != "id" {
+		t.Errorf("columns = %v", got)
+	}
+	if tb.NumRows() != 1 || tb.Value(0, 0).String() != "SEA" {
+		t.Errorf("rows:\n%s", tb.String())
+	}
+	if tb.Value(0, 1).Int64() != 750000 {
+		t.Errorf("population = %d", tb.Value(0, 1).Int64())
+	}
+}
+
+func TestParamsTyping(t *testing.T) {
+	db := roadsDB(t)
+	res, err := db.ExecParams(
+		`select x.id from graph def x: City (population > %MinPop% and founded < %Before%) order by id asc`,
+		map[string]any{
+			"MinPop": 660000,
+			"Before": time.Date(1880, 1, 1, 0, 0, 0, 0, time.UTC),
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res[len(res)-1].Table()
+	if tb.NumRows() != 1 || tb.Value(0, 0).String() != "SEA" {
+		t.Errorf("rows:\n%s", tb.String())
+	}
+	if _, err := db.ExecParams(`select x.id from graph def x: City (population > %P%)`,
+		map[string]any{"P": []int{1}}); err == nil {
+		t.Error("unsupported param type must error")
+	}
+}
+
+func TestSubgraphResultAPI(t *testing.T) {
+	db := roadsDB(t)
+	res, err := db.Exec(`select * from graph City (country = 'US') --road--> City ( ) into subgraph us`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].IsSubgraph() {
+		t.Fatal("expected a subgraph result")
+	}
+	v, e := res[0].SubgraphSize()
+	if v != 3 || e != 2 {
+		t.Errorf("subgraph %d vertices %d edges", v, e)
+	}
+}
+
+func TestCheckAPI(t *testing.T) {
+	if err := graql.Check(`
+create table T(a integer, d date)
+select a from table T where d > 1.5
+`); err == nil {
+		t.Error("static check must reject date > float")
+	} else if !strings.Contains(err.Error(), "date") {
+		t.Errorf("error = %v", err)
+	}
+	if err := graql.Check(`
+create table T(a integer, d date)
+create vertex V(a) from table T
+select * from graph V (a = 3) into subgraph s
+select * from graph s.V ( ) into subgraph s2
+`); err != nil {
+		t.Errorf("valid script rejected: %v", err)
+	}
+}
+
+func TestStatsAPI(t *testing.T) {
+	db := roadsDB(t)
+	var cityCount, roadCount int
+	for _, s := range db.Stats() {
+		switch {
+		case s.Kind == "vertex" && s.Name == "City":
+			cityCount = s.Count
+		case s.Kind == "edge" && s.Name == "road":
+			roadCount = s.Count
+			if s.SrcType != "City" || s.DstType != "City" {
+				t.Errorf("road endpoints = %s→%s", s.SrcType, s.DstType)
+			}
+		}
+	}
+	if cityCount != 3 || roadCount != 2 {
+		t.Errorf("stats: %d cities, %d roads", cityCount, roadCount)
+	}
+}
+
+func TestIngestCSVErrors(t *testing.T) {
+	db := roadsDB(t)
+	if err := graql.IngestCSV(db, "Nope", "x\n"); err == nil {
+		t.Error("unknown table must error")
+	}
+	if err := graql.IngestCSV(db, "Cities", "onlyonefield\n"); err == nil {
+		t.Error("bad record must error")
+	}
+	// Table unchanged after failure.
+	res := db.MustExec(`select count(*) as n from table Cities`)
+	if res[0].Table().Value(0, 0).Int64() != 3 {
+		t.Error("failed ingest must leave table intact")
+	}
+}
+
+func TestDocExampleCompiles(t *testing.T) {
+	// The package-comment example must actually run.
+	db := graql.Open()
+	db.MustExec(`
+create table Cities(id varchar(10), country varchar(2))
+create table Roads(src varchar(10), dst varchar(10), km integer)
+create vertex City(id) from table Cities
+create edge road with vertices (City as A, City as B)
+from table Roads
+where Roads.src = A.id and Roads.dst = B.id
+`)
+	if err := graql.IngestCSV(db, "Cities", "PDX,US\nSEA,US\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := graql.IngestCSV(db, "Roads", "PDX,SEA,280\n"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec(`select B.id from graph City (id = 'PDX') --road--> def B: City ( )`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Table().NumRows() != 1 {
+		t.Error("doc example returned no rows")
+	}
+}

@@ -1,0 +1,96 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"graql/internal/expr"
+	"graql/internal/value"
+)
+
+func TestCreateTableString(t *testing.T) {
+	s := &CreateTable{Name: "T", Cols: []ColDef{
+		{Name: "id", Type: value.Varchar(10)},
+		{Name: "n", Type: value.Int},
+	}}
+	got := s.String()
+	for _, want := range []string{"create table T(", "id varchar(10),", "n integer"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+func TestCreateEdgeString(t *testing.T) {
+	s := &CreateEdge{
+		Name:    "subclass",
+		SrcType: "TypeVtx", SrcAlias: "A",
+		DstType: "TypeVtx", DstAlias: "B",
+		Where: expr.NewBinary(expr.OpEq, expr.NewRef("A", "subclassOf"), expr.NewRef("B", "id")),
+	}
+	got := s.String()
+	want := "create edge subclass with\nvertices (TypeVtx as A, TypeVtx as B)\nwhere A.subclassOf = B.id"
+	if got != want {
+		t.Errorf("got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestSelectString(t *testing.T) {
+	s := &Select{
+		Top:       10,
+		Items:     []SelectItem{{Expr: expr.NewRef("", "id")}, {AggStar: true, Agg: AggCount, Alias: "n"}},
+		FromTable: "T1",
+		GroupBy:   []*expr.Ref{expr.NewRef("", "id")},
+		OrderBy:   []OrderKey{{Ref: expr.NewRef("", "n"), Desc: true}},
+		Into:      Into{Kind: IntoTable, Name: "Out"},
+	}
+	got := s.String()
+	want := "select top 10 id, count(*) as n from table T1 group by id order by n desc into table Out"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestPathStrings(t *testing.T) {
+	path := &Path{Elems: []PathElem{
+		&VertexStep{Name: "ProductVtx", Cond: expr.NewBinary(expr.OpEq, expr.NewRef("", "id"), &expr.Param{Name: "P"})},
+		&EdgeStep{Name: "feature", Out: true},
+		&VertexStep{Name: "FeatureVtx"},
+		&EdgeStep{Name: "feature", Out: false},
+		&VertexStep{Label: &LabelDef{Kind: LabelSet, Name: "y"}, Name: "ProductVtx"},
+	}}
+	got := path.String()
+	want := "ProductVtx(id = %P%) --feature--> FeatureVtx <--feature-- def y: ProductVtx"
+	if got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestRegexGroupString(t *testing.T) {
+	g := &RegexGroup{
+		Elems: []PathElem{&EdgeStep{Variant: true, Out: true}, &VertexStep{Variant: true}},
+		Min:   1, Max: -1,
+	}
+	if got := strings.TrimSpace(g.String()); got != "( --[ ]--> [ ])+" {
+		t.Errorf("regex group renders as %q", got)
+	}
+	g.Min, g.Max = 3, 3
+	if got := strings.TrimSpace(g.String()); got != "( --[ ]--> [ ]){3}" {
+		t.Errorf("bounded group renders as %q", got)
+	}
+	g.Min, g.Max = 2, 5
+	if got := strings.TrimSpace(g.String()); got != "( --[ ]--> [ ]){2,5}" {
+		t.Errorf("range group renders as %q", got)
+	}
+}
+
+func TestScriptString(t *testing.T) {
+	s := &Script{Stmts: []Stmt{
+		&Ingest{Table: "T", File: "t.csv"},
+		&Select{Star: true, FromTable: "T"},
+	}}
+	got := s.String()
+	if !strings.Contains(got, "ingest table T 't.csv'") || !strings.Contains(got, "select * from table T") {
+		t.Errorf("script renders as:\n%s", got)
+	}
+}

@@ -1,0 +1,184 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"graql/internal/expr"
+)
+
+// PathOr is the or-composition of multi-path queries (paper Eq. 9–10): the
+// result is the union of the component subgraphs.
+type PathOr struct {
+	Terms []*PathAnd
+}
+
+func (p *PathOr) String() string {
+	parts := make([]string, len(p.Terms))
+	for i, t := range p.Terms {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, " or ")
+}
+
+// PathAnd is the and-composition of simple paths. An and-composition is
+// well defined only when the component paths share a label (paper
+// §II-B3); static analysis enforces this.
+type PathAnd struct {
+	Paths []*Path
+}
+
+func (p *PathAnd) String() string {
+	parts := make([]string, len(p.Paths))
+	for i, q := range p.Paths {
+		if len(p.Paths) > 1 && i > 0 {
+			parts[i] = "(" + q.String() + ")"
+		} else {
+			parts[i] = q.String()
+		}
+	}
+	return strings.Join(parts, " and ")
+}
+
+// Path is a simple path query (paper Eq. 3): an alternation of vertex and
+// edge steps, starting and ending with a vertex step. A RegexGroup element
+// stands for a repeated (edge, vertex) fragment.
+type Path struct {
+	Elems []PathElem
+}
+
+func (p *Path) String() string {
+	var b strings.Builder
+	for _, e := range p.Elems {
+		b.WriteString(e.String())
+	}
+	return b.String()
+}
+
+// PathElem is a vertex step, an edge step, or a regex group.
+type PathElem interface {
+	fmt.Stringer
+	pathElem()
+}
+
+// LabelKind distinguishes the paper's two label forms (§II-B2).
+type LabelKind uint8
+
+// Label kinds: a set label ("def X:") aliases the set of vertices matched
+// at a step; an element-wise label ("foreach x:") binds each individual
+// matched instance.
+const (
+	LabelSet LabelKind = iota
+	LabelForeach
+)
+
+// LabelDef attaches a label to a step.
+type LabelDef struct {
+	Kind LabelKind
+	Name string
+}
+
+func (l *LabelDef) String() string {
+	if l.Kind == LabelForeach {
+		return "foreach " + l.Name + ": "
+	}
+	return "def " + l.Name + ": "
+}
+
+// VertexStep is one vertex step of a path query: a vertex type with an
+// optional condition, a "[ ]" variant metavariable, a label reference, or
+// a seeded step "resQ1.Vn" drawing its start set from a prior subgraph
+// result (Fig. 12).
+type VertexStep struct {
+	Label     *LabelDef
+	Name      string // vertex type name or label reference; "" for [ ]
+	Variant   bool   // [ ]
+	SeedGraph string // subgraph name qualifying a seeded step
+	Cond      expr.Expr
+}
+
+func (*VertexStep) pathElem() {}
+
+func (v *VertexStep) String() string {
+	var b strings.Builder
+	if v.Label != nil {
+		b.WriteString(v.Label.String())
+	}
+	switch {
+	case v.Variant:
+		b.WriteString("[ ]")
+	case v.SeedGraph != "":
+		b.WriteString(v.SeedGraph + "." + v.Name)
+	default:
+		b.WriteString(v.Name)
+	}
+	if v.Cond != nil {
+		fmt.Fprintf(&b, "(%s)", v.Cond)
+	}
+	return b.String()
+}
+
+// EdgeStep is one edge step: "--name-->" (out-edge) or "<--name--"
+// (in-edge), with an optional condition, or a "[ ]" variant step.
+type EdgeStep struct {
+	Label   *LabelDef
+	Name    string // edge type name; "" for [ ]
+	Variant bool
+	Out     bool // true: left-to-right along an out-edge
+	Cond    expr.Expr
+}
+
+func (*EdgeStep) pathElem() {}
+
+func (e *EdgeStep) String() string {
+	var b strings.Builder
+	name := e.Name
+	if e.Variant {
+		name = "[ ]"
+	}
+	if e.Label != nil {
+		name = e.Label.String() + name
+	}
+	if e.Cond != nil {
+		name += fmt.Sprintf("(%s)", e.Cond)
+	}
+	if e.Out {
+		fmt.Fprintf(&b, " --%s--> ", name)
+	} else {
+		fmt.Fprintf(&b, " <--%s-- ", name)
+	}
+	return b.String()
+}
+
+// RegexGroup is a path regular expression over variant steps (Fig. 10): a
+// repeated fragment of (edge, vertex) steps with a closure quantifier.
+// Max < 0 means unbounded ("*" is {0,∞}, "+" is {1,∞}, "{n}" is {n,n},
+// "{n,m}" is {n,m}).
+type RegexGroup struct {
+	Elems []PathElem // alternating edge, vertex; starts with edge, ends with vertex
+	Min   int
+	Max   int
+}
+
+func (*RegexGroup) pathElem() {}
+
+func (g *RegexGroup) String() string {
+	var b strings.Builder
+	b.WriteString(" (")
+	for _, e := range g.Elems {
+		b.WriteString(e.String())
+	}
+	b.WriteString(")")
+	switch {
+	case g.Min == 0 && g.Max < 0:
+		b.WriteString("*")
+	case g.Min == 1 && g.Max < 0:
+		b.WriteString("+")
+	case g.Max == g.Min:
+		fmt.Fprintf(&b, "{%d}", g.Min)
+	default:
+		fmt.Fprintf(&b, "{%d,%d}", g.Min, g.Max)
+	}
+	b.WriteString(" ")
+	return b.String()
+}

@@ -1,0 +1,55 @@
+package bitmap
+
+import "testing"
+
+func benchBitmap(n int, fill int) *Bitmap {
+	b := New(n)
+	for i := 0; i < n; i += fill {
+		b.Set(uint32(i))
+	}
+	return b
+}
+
+func BenchmarkAnd(b *testing.B) {
+	x := benchBitmap(1<<20, 3)
+	y := benchBitmap(1<<20, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := x.Clone()
+		c.And(y)
+	}
+}
+
+func BenchmarkCount(b *testing.B) {
+	x := benchBitmap(1<<20, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = x.Count()
+	}
+}
+
+func BenchmarkForEachSparse(b *testing.B) {
+	x := benchBitmap(1<<20, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := uint32(0)
+		x.ForEach(func(v uint32) { sum += v })
+	}
+}
+
+func BenchmarkForEachDense(b *testing.B) {
+	x := benchBitmap(1<<20, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum := uint32(0)
+		x.ForEach(func(v uint32) { sum += v })
+	}
+}
+
+func BenchmarkSetAtomic(b *testing.B) {
+	x := New(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.SetAtomic(uint32(i) & (1<<20 - 1))
+	}
+}

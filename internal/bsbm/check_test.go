@@ -1,0 +1,36 @@
+package bsbm
+
+import (
+	"strings"
+	"testing"
+
+	"graql/internal/exec"
+)
+
+// TestBerlinScriptStaticallyValid runs the paper's entire setup plus the
+// query suite through static analysis alone (§III-A): the catalog metadata
+// suffices to validate everything without touching data.
+func TestBerlinScriptStaticallyValid(t *testing.T) {
+	script := FullDDL
+	for _, q := range Suite {
+		script += "\n" + q.Script
+	}
+	if err := exec.CheckScript(script); err != nil {
+		t.Fatalf("Berlin corpus fails static analysis: %v", err)
+	}
+}
+
+// TestBerlinScriptCatchesInjectedErrors: static analysis flags a corrupted
+// script without executing anything.
+func TestBerlinScriptCatchesInjectedErrors(t *testing.T) {
+	bad := strings.Replace(FullDDL,
+		"where ProductVtx.producer = ProducerVtx.id",
+		"where ProductVtx.producer = ProducerVtx.date", 1)
+	err := exec.CheckScript(bad)
+	if err == nil {
+		t.Fatal("type-corrupted edge declaration must fail static analysis")
+	}
+	if !strings.Contains(err.Error(), "compare") && !strings.Contains(err.Error(), "date") {
+		t.Errorf("error should be a type error: %v", err)
+	}
+}

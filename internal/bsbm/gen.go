@@ -1,0 +1,209 @@
+package bsbm
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Countries is the fixed country vocabulary used for producers, vendors
+// and reviewers.
+var Countries = []string{"US", "DE", "FR", "UK", "CN", "JP", "IT", "ES", "CA", "RU"}
+
+// Config sizes a generated Berlin dataset. The scale factor follows
+// BSBM's convention of products as the scaling unit; the other entity
+// counts derive with BSBM-like ratios.
+type Config struct {
+	// ScaleFactor multiplies the base product count (200 products per
+	// unit).
+	ScaleFactor int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// Counts returns the entity cardinalities for the configuration.
+func (c Config) Counts() (products, producers, features, types, vendors, offers, persons, reviews int) {
+	sf := c.ScaleFactor
+	if sf < 1 {
+		sf = 1
+	}
+	products = 200 * sf
+	producers = products/20 + 1
+	features = products/4 + 10
+	types = products/40 + 7
+	vendors = products/25 + 1
+	offers = products * 4
+	persons = products/2 + 5
+	reviews = products * 5
+	return
+}
+
+// Dataset is a generated Berlin dataset: one CSV body per ingest file
+// name (matching IngestDDL).
+type Dataset struct {
+	Config Config
+	Files  map[string]string
+}
+
+// Generate builds a deterministic dataset for the configuration.
+//
+// Shape guarantees relied on by the query suite:
+//   - the Types table is a tree via subclassOf (roots have empty
+//     subclassOf), giving the subclass+ closure of Fig. 10 real depth;
+//   - every product has 1–2 types, 3–8 features, a producer;
+//   - offers and reviews reference uniformly random products;
+//   - anchor rows pin the suite's default parameters: producer m0 and
+//     vendor v0 are in the US, persons u0–u4 in DE, and offers o0–o9 are
+//     cheap offers of product p1 by vendor v0 — so every suite query has
+//     matches at every scale.
+func Generate(cfg Config) *Dataset {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nProducts, nProducers, nFeatures, nTypes, nVendors, nOffers, nPersons, nReviews := cfg.Counts()
+
+	var b strings.Builder
+	files := make(map[string]string, 10)
+	flush := func(name string) {
+		files[name] = b.String()
+		b.Reset()
+	}
+	country := func() string { return Countries[rng.Intn(len(Countries))] }
+	date := func() string {
+		return fmt.Sprintf("%04d-%02d-%02d", 2006+rng.Intn(3), 1+rng.Intn(12), 1+rng.Intn(28))
+	}
+
+	// Types: a tree. The first `roots` types are roots; each later type
+	// subclasses a strictly earlier type, so subclassOf chains terminate.
+	roots := 3
+	if nTypes < roots {
+		roots = nTypes
+	}
+	for i := 0; i < nTypes; i++ {
+		parent := ""
+		if i >= roots {
+			parent = fmt.Sprintf("t%d", rng.Intn(i))
+		}
+		fmt.Fprintf(&b, "t%d,ProductType,type %d comment,%s,pub%d,%s\n", i, i, parent, rng.Intn(10), date())
+	}
+	flush("types.csv")
+
+	for i := 0; i < nFeatures; i++ {
+		fmt.Fprintf(&b, "f%d,ProductFeature,feat%d,feature %d comment,pub%d,%s\n", i, i, i, rng.Intn(10), date())
+	}
+	flush("features.csv")
+
+	for i := 0; i < nProducers; i++ {
+		c := country()
+		if i == 0 {
+			c = "US" // anchor for %Producer1%/%Country1%
+		}
+		fmt.Fprintf(&b, "m%d,Producer,maker%d,producer %d comment,http://m%d.example,%s,pub%d,%s\n",
+			i, i, i, i, c, rng.Intn(10), date())
+	}
+	flush("producers.csv")
+
+	for i := 0; i < nProducts; i++ {
+		fmt.Fprintf(&b, "p%d,Product,prod%d,product %d comment,m%d,%d,%d,%d,text%d,text%d,pub%d,%s\n",
+			i, i, i, rng.Intn(nProducers),
+			rng.Intn(2000), rng.Intn(2000), rng.Intn(2000),
+			rng.Intn(100), rng.Intn(100), rng.Intn(10), date())
+	}
+	flush("products.csv")
+
+	for i := 0; i < nVendors; i++ {
+		c := country()
+		if i == 0 {
+			c = "US" // anchor: BQ4 looks for US vendors of p1
+		}
+		fmt.Fprintf(&b, "v%d,Vendor,vendor%d,vendor %d comment,http://v%d.example,%s,pub%d,%s\n",
+			i, i, i, i, c, rng.Intn(10), date())
+	}
+	flush("vendors.csv")
+
+	for i := 0; i < nOffers; i++ {
+		prod, vend := rng.Intn(nProducts), rng.Intn(nVendors)
+		price := 10 + rng.Float64()*9990
+		if i < 10 {
+			prod, vend = 1, 0 // anchor: cheap US offers of p1 for BQ4
+			price = 100 + float64(i)*50
+		}
+		fmt.Fprintf(&b, "o%d,Offer,p%d,v%d,%.2f,%s,%s,%d,http://o%d.example,pub%d,%s\n",
+			i, prod, vend, price, date(), "2009-12-31", 1+rng.Intn(14), i, rng.Intn(10), date())
+	}
+	flush("offers.csv")
+
+	for i := 0; i < nPersons; i++ {
+		c := country()
+		if i < 5 {
+			c = "DE" // anchor reviewers for %Country2%
+		}
+		fmt.Fprintf(&b, "u%d,Person,user%d,u%d@example.org,%s,pub%d,%s\n",
+			i, i, i, c, rng.Intn(10), date())
+	}
+	flush("persons.csv")
+
+	for i := 0; i < nReviews; i++ {
+		fmt.Fprintf(&b, "r%d,Review,p%d,u%d,%s,title%d,review %d text,%d,%d,%d,%d,pub%d,%s\n",
+			i, rng.Intn(nProducts), rng.Intn(nPersons), date(), i, i,
+			1+rng.Intn(10), 1+rng.Intn(10), 1+rng.Intn(10), 1+rng.Intn(10),
+			rng.Intn(10), date())
+	}
+	flush("reviews.csv")
+
+	for i := 0; i < nProducts; i++ {
+		nt := 1 + rng.Intn(2)
+		seen := map[int]bool{}
+		if i == 1 {
+			// Anchor: p1 always carries the deepest type so the BQ8
+			// subclass+ closure has real ancestry at every scale.
+			seen[nTypes-1] = true
+			fmt.Fprintf(&b, "p%d,t%d\n", i, nTypes-1)
+		}
+		for j := 0; j < nt; j++ {
+			ty := rng.Intn(nTypes)
+			if seen[ty] {
+				continue
+			}
+			seen[ty] = true
+			fmt.Fprintf(&b, "p%d,t%d\n", i, ty)
+		}
+	}
+	flush("producttypes.csv")
+
+	for i := 0; i < nProducts; i++ {
+		nf := 3 + rng.Intn(6)
+		seen := map[int]bool{}
+		for j := 0; j < nf; j++ {
+			f := rng.Intn(nFeatures)
+			if seen[f] {
+				continue
+			}
+			seen[f] = true
+			fmt.Fprintf(&b, "p%d,f%d\n", i, f)
+		}
+	}
+	flush("productfeatures.csv")
+
+	return &Dataset{Config: cfg, Files: files}
+}
+
+// WriteDir writes the dataset's CSV files into dir (created if needed).
+func (d *Dataset) WriteDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for name, body := range d.Files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Open returns a FileOpener (for exec.Options) serving the dataset from
+// memory.
+func (d *Dataset) Open(path string) (body string, ok bool) {
+	s, ok := d.Files[path]
+	return s, ok
+}

@@ -1,0 +1,48 @@
+package bsbm
+
+import (
+	"fmt"
+	"strconv"
+
+	"graql/internal/value"
+)
+
+// paramKinds records the value kind of each suite parameter.
+var paramKinds = map[string]value.Kind{
+	"Country1":  value.KindString,
+	"Country2":  value.KindString,
+	"Product1":  value.KindString,
+	"Type1":     value.KindString,
+	"Producer1": value.KindString,
+	"Lower":     value.KindInt,
+	"MaxPrice":  value.KindFloat,
+}
+
+// TypedParams converts textual parameter bindings (e.g. DefaultParams or
+// command-line flags) into typed values for the engine.
+func TypedParams(raw map[string]string) (map[string]value.Value, error) {
+	out := make(map[string]value.Value, len(raw))
+	for name, s := range raw {
+		kind, ok := paramKinds[name]
+		if !ok {
+			kind = value.KindString
+		}
+		switch kind {
+		case value.KindInt:
+			i, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bsbm: parameter %s: %v", name, err)
+			}
+			out[name] = value.NewInt(i)
+		case value.KindFloat:
+			f, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bsbm: parameter %s: %v", name, err)
+			}
+			out[name] = value.NewFloat(f)
+		default:
+			out[name] = value.NewString(s)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,177 @@
+package bsbm
+
+// Query is one Berlin business-intelligence query: a GraQL script template
+// with %name% parameters.
+type Query struct {
+	ID     string
+	Title  string
+	Script string
+	// Params are the parameter names the script expects.
+	Params []string
+}
+
+// Q1 is the paper's Fig. 7 query: the top 10 most-reviewed product types
+// for products made in Country1, based on reviews by reviewers from
+// Country2. It exercises element-wise ("foreach") labels and and-composed
+// multi-path patterns (Fig. 8).
+var Q1 = Query{
+	ID:    "BQ1",
+	Title: "Top product types from Country1 reviewed by Country2",
+	Script: `
+select TypeVtx.id from graph
+PersonVtx (country = %Country2%)
+<--reviewer-- ReviewVtx
+--reviewFor--> foreach y: ProductVtx
+--producer--> ProducerVtx (country = %Country1%)
+and (y --type--> TypeVtx)
+into table T1
+
+select top 10 id, count(*) as groupCount
+from table T1
+group by id order by groupCount desc, id asc
+`,
+	Params: []string{"Country1", "Country2"},
+}
+
+// Q2 is the paper's Fig. 6 query: the top 10 products most similar to
+// Product1, rated by the count of shared features. It exercises set
+// ("def") labels and binding multiplicity in results-as-tables.
+var Q2 = Query{
+	ID:    "BQ2",
+	Title: "Top products sharing features with Product1",
+	Script: `
+select y.id from graph
+ProductVtx (id = %Product1%)
+--feature--> FeatureVtx
+<--feature-- def y: ProductVtx (id <> %Product1%)
+into table T1
+
+select top 10 id, count(*) as groupCount
+from table T1
+group by id order by groupCount desc, id asc
+`,
+	Params: []string{"Product1"},
+}
+
+// Q3: products of a given type with a numeric property above a threshold —
+// a graph step joined with attribute filtering, then relational
+// post-processing.
+var Q3 = Query{
+	ID:    "BQ3",
+	Title: "Products of a type with propertyNumeric_1 above a bound",
+	Script: `
+select y.id, y.propertyNumeric_1 from graph
+TypeVtx (id = %Type1%)
+<--type-- def y: ProductVtx (propertyNumeric_1 > %Lower%)
+into table T3
+
+select top 10 id, propertyNumeric_1
+from table T3
+order by propertyNumeric_1 desc, id asc
+`,
+	Params: []string{"Type1", "Lower"},
+}
+
+// Q4: cheap in-date offers for a product from vendors in a given country —
+// conditions on three different steps of one path.
+var Q4 = Query{
+	ID:    "BQ4",
+	Title: "Offers for Product1 from Country1 vendors under a price bound",
+	Script: `
+select o.id, o.price, o.deliveryDays from graph
+ProductVtx (id = %Product1%)
+<--product-- def o: OfferVtx (price < %MaxPrice% and validTo >= '2009-01-01')
+--vendor--> VendorVtx (country = %Country1%)
+into table T4
+
+select id, price, deliveryDays from table T4 order by price asc
+`,
+	Params: []string{"Product1", "MaxPrice", "Country1"},
+}
+
+// Q5: average rating per product of a producer — graph capture followed by
+// group-by aggregation (avg) in table space.
+var Q5 = Query{
+	ID:    "BQ5",
+	Title: "Average review rating per product of Producer1",
+	Script: `
+select y.id, r.ratings_1 from graph
+ProducerVtx (id = %Producer1%)
+<--producer-- foreach y: ProductVtx
+<--reviewFor-- def r: ReviewVtx
+into table T5
+
+select top 10 id, avg(ratings_1) as avgRating, count(*) as nReviews
+from table T5
+group by id order by avgRating desc, id asc
+`,
+	Params: []string{"Producer1"},
+}
+
+// Q6: distinct reviewers of products produced in a country — a four-hop
+// path with distinct elimination.
+var Q6 = Query{
+	ID:    "BQ6",
+	Title: "Reviewers who reviewed products produced in Country1",
+	Script: `
+select distinct u.id from graph
+ProducerVtx (country = %Country1%)
+<--producer-- ProductVtx
+<--reviewFor-- ReviewVtx
+--reviewer--> def u: PersonVtx
+into table T6
+
+select count(*) as reviewers from table T6
+`,
+	Params: []string{"Country1"},
+}
+
+// Q7 is the paper's Fig. 9 query: the subgraph of everything directly
+// connected to Product1 by any in-edge — offers (via product) and reviews
+// (via reviewFor) — using "[ ]" variant steps.
+var Q7 = Query{
+	ID:    "BQ7",
+	Title: "Subgraph of all offers and reviews of Product1 (variant steps)",
+	Script: `
+select * from graph
+ProductVtx (id = %Product1%) <--[ ]-- [ ]
+into subgraph q7res
+`,
+	Params: []string{"Product1"},
+}
+
+// Q8 is the paper's Fig. 10 shape: the type ancestry of a product's types
+// via the subclass+ closure — a path regular expression over the type
+// hierarchy.
+var Q8 = Query{
+	ID:    "BQ8",
+	Title: "Ancestor types of Product1 via subclass closure (path regex)",
+	Script: `
+select distinct a.id from graph
+ProductVtx (id = %Product1%)
+--type--> TypeVtx
+( --subclass--> [ ] )+
+def a: TypeVtx
+into table T8
+
+select id from table T8 order by id asc
+`,
+	Params: []string{"Product1"},
+}
+
+// Suite is the full query suite in id order.
+var Suite = []Query{Q1, Q2, Q3, Q4, Q5, Q6, Q7, Q8}
+
+// DefaultParams supplies parameter bindings that are guaranteed to match
+// data in every generated dataset (see Generate's shape guarantees).
+func DefaultParams() map[string]string {
+	return map[string]string{
+		"Country1":  "US",
+		"Country2":  "DE",
+		"Product1":  "p1",
+		"Type1":     "t1",
+		"Lower":     "1000",
+		"MaxPrice":  "5000",
+		"Producer1": "m0",
+	}
+}

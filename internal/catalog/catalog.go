@@ -1,0 +1,183 @@
+// Package catalog implements the GEMS metadata repository (paper §III):
+// the central registry of all database objects — tables, vertex and edge
+// types, named subgraph results — together with the size and degree
+// statistics the dynamic query planner consumes (§III-B).
+//
+// The catalog also retains the declaration AST of every vertex and edge
+// type so that views can be rebuilt when their underlying tables are
+// re-ingested (ingest "triggers not only the population of rows in the
+// table, but also the generation of associated vertex and edge instances",
+// §II-A2).
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"graql/internal/ast"
+	"graql/internal/graph"
+	"graql/internal/table"
+)
+
+// Catalog is the metadata repository. It is safe for concurrent use; query
+// execution takes a read view while DDL and ingest take the write lock,
+// which is what makes data definition and ingest atomic with respect to
+// queries (paper §III).
+type Catalog struct {
+	mu sync.RWMutex
+
+	tables      map[string]*table.Table
+	tableOrder  []string
+	graph       *graph.Graph
+	vertexDecls []*ast.CreateVertex
+	edgeDecls   []*ast.CreateEdge
+	subgraphs   map[string]*graph.Subgraph
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables:    make(map[string]*table.Table),
+		graph:     graph.NewGraph(),
+		subgraphs: make(map[string]*graph.Subgraph),
+	}
+}
+
+// Lock acquires the write lock for a DDL/ingest mutation.
+func (c *Catalog) Lock() { c.mu.Lock() }
+
+// Unlock releases the write lock.
+func (c *Catalog) Unlock() { c.mu.Unlock() }
+
+// RLock acquires the read lock for query execution.
+func (c *Catalog) RLock() { c.mu.RLock() }
+
+// RUnlock releases the read lock.
+func (c *Catalog) RUnlock() { c.mu.RUnlock() }
+
+// The methods below assume the caller holds the appropriate lock; the
+// engine (internal/exec) brackets statement execution with Lock/RLock.
+
+// RegisterTable adds a new base or result table. Result tables (from
+// "into table") replace any previous table of the same name; base tables
+// may not be redeclared.
+func (c *Catalog) RegisterTable(t *table.Table, replace bool) error {
+	key := strings.ToLower(t.Name)
+	if _, dup := c.tables[key]; dup {
+		if !replace {
+			return fmt.Errorf("graql: table %s already exists", t.Name)
+		}
+	} else {
+		c.tableOrder = append(c.tableOrder, key)
+	}
+	c.tables[key] = t
+	return nil
+}
+
+// SwapTable atomically replaces the contents of an existing table (the
+// commit step of an ingest).
+func (c *Catalog) SwapTable(t *table.Table) error {
+	key := strings.ToLower(t.Name)
+	if _, ok := c.tables[key]; !ok {
+		return fmt.Errorf("graql: unknown table %s", t.Name)
+	}
+	c.tables[key] = t
+	return nil
+}
+
+// Table returns the named table, or nil.
+func (c *Catalog) Table(name string) *table.Table {
+	return c.tables[strings.ToLower(name)]
+}
+
+// Tables returns all tables in registration order.
+func (c *Catalog) Tables() []*table.Table {
+	out := make([]*table.Table, 0, len(c.tableOrder))
+	for _, k := range c.tableOrder {
+		out = append(out, c.tables[k])
+	}
+	return out
+}
+
+// Graph returns the current typed multigraph of all vertex/edge views.
+func (c *Catalog) Graph() *graph.Graph { return c.graph }
+
+// SetGraph installs a freshly rebuilt view graph (after DDL or ingest).
+func (c *Catalog) SetGraph(g *graph.Graph) { c.graph = g }
+
+// AddVertexDecl records a create-vertex declaration (after validation).
+func (c *Catalog) AddVertexDecl(d *ast.CreateVertex) { c.vertexDecls = append(c.vertexDecls, d) }
+
+// AddEdgeDecl records a create-edge declaration (after validation).
+func (c *Catalog) AddEdgeDecl(d *ast.CreateEdge) { c.edgeDecls = append(c.edgeDecls, d) }
+
+// VertexDecls returns the recorded vertex declarations in order.
+func (c *Catalog) VertexDecls() []*ast.CreateVertex { return c.vertexDecls }
+
+// EdgeDecls returns the recorded edge declarations in order.
+func (c *Catalog) EdgeDecls() []*ast.CreateEdge { return c.edgeDecls }
+
+// RegisterSubgraph stores a named subgraph result, replacing any previous
+// one of the same name.
+func (c *Catalog) RegisterSubgraph(s *graph.Subgraph) {
+	c.subgraphs[strings.ToLower(s.Name)] = s
+}
+
+// Subgraph returns the named subgraph result, or nil.
+func (c *Catalog) Subgraph(name string) *graph.Subgraph {
+	return c.subgraphs[strings.ToLower(name)]
+}
+
+// ClearSubgraphs drops all named subgraph results. Ingest invalidates them
+// because they reference the superseded vertex and edge views.
+func (c *Catalog) ClearSubgraphs() {
+	c.subgraphs = make(map[string]*graph.Subgraph)
+}
+
+// ObjectStats is a catalog entry in a statistics snapshot.
+type ObjectStats struct {
+	Kind  string // "table", "vertex" or "edge"
+	Name  string
+	Count int
+	// Edge-only statistics for the planner (§III-B degree
+	// distributions).
+	AvgOutDegree float64
+	AvgInDegree  float64
+	MaxOutDegree int
+	MaxInDegree  int
+	SrcType      string
+	DstType      string
+}
+
+// Stats returns a snapshot of object sizes and degree statistics — the
+// catalog's "updated information on the sizes of those objects" (§III)
+// that dynamic query planning consumes. Callers must hold at least the
+// read lock.
+func (c *Catalog) Stats() []ObjectStats {
+	var out []ObjectStats
+	for _, k := range c.tableOrder {
+		t := c.tables[k]
+		out = append(out, ObjectStats{Kind: "table", Name: t.Name, Count: t.NumRows()})
+	}
+	for _, vt := range c.graph.VertexTypes() {
+		out = append(out, ObjectStats{Kind: "vertex", Name: vt.Name, Count: vt.Count()})
+	}
+	for _, et := range c.graph.EdgeTypes() {
+		outDeg, inDeg := et.OutDegreeStats(), et.InDegreeStats()
+		out = append(out, ObjectStats{
+			Kind: "edge", Name: et.Name, Count: et.Count(),
+			AvgOutDegree: outDeg.Avg, AvgInDegree: inDeg.Avg,
+			MaxOutDegree: outDeg.Max, MaxInDegree: inDeg.Max,
+			SrcType: et.Src.Name, DstType: et.Dst.Name,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

@@ -1,0 +1,81 @@
+// Package client is the line client for the GEMS front-end server: it
+// speaks the newline-delimited JSON protocol of internal/server over TCP.
+package client
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+
+	"graql/internal/server"
+)
+
+// Client is one authenticated session with a GEMS server.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+	auth string
+}
+
+// Dial connects to a GEMS server. token may be empty when the server runs
+// without authentication.
+func Dial(addr, token string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{conn: conn, enc: json.NewEncoder(conn), dec: json.NewDecoder(conn), auth: token}
+	if _, err := c.roundTrip(&server.Request{Op: "ping"}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close terminates the session.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req *server.Request) (*server.Response, error) {
+	req.Auth = c.auth
+	if err := c.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	var resp server.Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return &resp, errors.New(resp.Error)
+	}
+	return &resp, nil
+}
+
+// Exec runs a GraQL script with optional typed parameters.
+func (c *Client) Exec(script string, params map[string]server.Param) (*server.Response, error) {
+	return c.roundTrip(&server.Request{Op: "exec", Script: script, Params: params})
+}
+
+// Check statically analyses a script on the server.
+func (c *Client) Check(script string) (*server.Response, error) {
+	return c.roundTrip(&server.Request{Op: "check", Script: script})
+}
+
+// Compile asks the front-end to compile a script to binary IR (base64).
+func (c *Client) Compile(script string) (string, error) {
+	resp, err := c.roundTrip(&server.Request{Op: "compile", Script: script})
+	if err != nil {
+		return "", err
+	}
+	return resp.IR, nil
+}
+
+// ExecIR executes previously compiled IR.
+func (c *Client) ExecIR(irB64 string, params map[string]server.Param) (*server.Response, error) {
+	return c.roundTrip(&server.Request{Op: "execir", IR: irB64, Params: params})
+}
+
+// Stats fetches the catalog snapshot.
+func (c *Client) Stats() (*server.Response, error) {
+	return c.roundTrip(&server.Request{Op: "stats"})
+}

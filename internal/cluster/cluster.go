@@ -1,0 +1,276 @@
+// Package cluster simulates the GEMS backend cluster (paper §III): the
+// database graph partitioned across the aggregated memory of N compute
+// nodes, with path queries executed as bulk-synchronous rounds of local
+// edge-index expansion followed by frontier exchange between partitions.
+//
+// The paper's evaluation platform — a high-memory InfiniBand cluster — is
+// not available here, so this package substitutes a faithful
+// shared-nothing simulation: each simulated node owns a hash partition of
+// every vertex type, expands only edges whose source it owns, and
+// vertices discovered for remote partitions are "sent" through per-round
+// exchange buffers. The simulation counts exchanged messages and vertex
+// ids, the quantities that dominate distributed graph-query cost, so the
+// partition-scaling experiments (E6) measure the communication behaviour
+// the real system would exhibit.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"graql/internal/bitmap"
+	"graql/internal/graph"
+)
+
+// Strategy selects how vertex ids map to partitions — the paper singles
+// out "the difficulty of partitioning graphs across nodes on a cluster";
+// the simulation offers the two standard baselines so their communication
+// behaviour can be compared (experiment E6).
+type Strategy uint8
+
+// Partitioning strategies.
+const (
+	// Hash scatters ids round-robin (v mod p): balanced, locality-blind.
+	Hash Strategy = iota
+	// Block assigns contiguous id ranges per partition: preserves
+	// whatever locality id assignment order carries (BSBM ids follow
+	// insertion order).
+	Block
+)
+
+func (s Strategy) String() string {
+	if s == Block {
+		return "block"
+	}
+	return "hash"
+}
+
+// Cluster is a simulated GEMS backend over one database graph.
+type Cluster struct {
+	g        *graph.Graph
+	parts    int
+	strategy Strategy
+}
+
+// New partitions the graph's vertex id spaces across `parts` simulated
+// nodes with hash placement (GEMS's baseline).
+func New(g *graph.Graph, parts int) (*Cluster, error) {
+	return NewWithStrategy(g, parts, Hash)
+}
+
+// NewWithStrategy selects the placement strategy explicitly.
+func NewWithStrategy(g *graph.Graph, parts int, strategy Strategy) (*Cluster, error) {
+	if parts < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 partition, got %d", parts)
+	}
+	return &Cluster{g: g, parts: parts, strategy: strategy}, nil
+}
+
+// Parts returns the number of simulated nodes.
+func (c *Cluster) Parts() int { return c.parts }
+
+// Strategy returns the placement strategy.
+func (c *Cluster) Strategy() Strategy { return c.strategy }
+
+// owner maps vertex v of a type with n instances to its partition.
+func (c *Cluster) owner(v uint32, n int) int {
+	if c.strategy == Block {
+		if n == 0 {
+			return 0
+		}
+		p := int(uint64(v) * uint64(c.parts) / uint64(n))
+		if p >= c.parts {
+			p = c.parts - 1
+		}
+		return p
+	}
+	return int(v) % c.parts
+}
+
+// Step is one edge traversal of a distributed path query.
+type Step struct {
+	Edge *graph.EdgeType
+	// Forward traverses source→target; otherwise the reverse index.
+	Forward bool
+	// Filter optionally restricts accepted target vertices.
+	Filter func(v uint32) bool
+}
+
+// Stats accumulates the communication behaviour of one query.
+type Stats struct {
+	Rounds int
+	// Messages counts non-empty partition-to-partition exchanges
+	// (src ≠ dst).
+	Messages int
+	// VerticesSent counts vertex ids crossing partition boundaries.
+	VerticesSent int
+	// VerticesLocal counts ids delivered within their own partition.
+	VerticesLocal int
+}
+
+// Traverse runs a linear path query: a start set on startType filtered by
+// startFilter, then one BSP round per step (paper Eq. 5 forward pass),
+// followed by a backward culling pass. It returns the culled per-step
+// vertex sets (index 0 = start set) and exchange statistics.
+func (c *Cluster) Traverse(startType *graph.VertexType, startFilter func(uint32) bool, steps []Step) ([]*bitmap.Bitmap, Stats, error) {
+	if err := c.validate(startType, steps); err != nil {
+		return nil, Stats{}, err
+	}
+	var stats Stats
+
+	sets := make([]*bitmap.Bitmap, len(steps)+1)
+	sets[0] = c.localFilterSet(startType.Count(), startFilter)
+
+	// Forward pass.
+	for i, st := range steps {
+		next := st.Edge.Dst
+		if !st.Forward {
+			next = st.Edge.Src
+		}
+		sets[i+1] = c.exchangeExpand(sets[i], st, next.Count(), &stats)
+	}
+
+	// Backward culling pass: the reverse traversal uses the opposite
+	// index of each edge type (this is precisely why GEMS builds
+	// bidirectional indexes, §III-B).
+	for i := len(steps) - 1; i >= 0; i-- {
+		st := steps[i]
+		back := Step{Edge: st.Edge, Forward: !st.Forward}
+		prevType := st.Edge.Src
+		if !st.Forward {
+			prevType = st.Edge.Dst
+		}
+		reached := c.exchangeExpand(sets[i+1], back, prevType.Count(), &stats)
+		sets[i].And(reached)
+	}
+	return sets, stats, nil
+}
+
+func (c *Cluster) validate(startType *graph.VertexType, steps []Step) error {
+	cur := startType
+	for i, st := range steps {
+		if st.Edge == nil {
+			return fmt.Errorf("cluster: step %d has no edge type", i)
+		}
+		want := st.Edge.Src
+		if !st.Forward {
+			want = st.Edge.Dst
+		}
+		if want != cur {
+			return fmt.Errorf("cluster: step %d expects %s, path is at %s", i, want.Name, cur.Name)
+		}
+		if st.Forward {
+			cur = st.Edge.Dst
+		} else {
+			cur = st.Edge.Src
+		}
+	}
+	return nil
+}
+
+// localFilterSet builds the start set, evaluating the filter in parallel
+// per partition (each simulated node scans only the vertices it owns).
+func (c *Cluster) localFilterSet(n int, filter func(uint32) bool) *bitmap.Bitmap {
+	out := bitmap.New(n)
+	var wg sync.WaitGroup
+	for p := 0; p < c.parts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for v := uint32(0); v < uint32(n); v++ {
+				if c.owner(v, n) != p {
+					continue
+				}
+				if filter == nil || filter(v) {
+					out.SetAtomic(v)
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	return out
+}
+
+// exchangeExpand runs one BSP round: every partition expands its owned
+// frontier vertices through the edge index, buffering discovered targets
+// by owner; buffers are then delivered and merged. Message and vertex
+// counts accumulate into stats.
+func (c *Cluster) exchangeExpand(frontier *bitmap.Bitmap, st Step, outSize int, stats *Stats) *bitmap.Bitmap {
+	stats.Rounds++
+	// Phase 1: local expansion into per-destination buffers.
+	inSize := frontier.Len()
+	sendBufs := make([][][]uint32, c.parts) // [src][dst][]vertex
+	var wg sync.WaitGroup
+	for p := 0; p < c.parts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			bufs := make([][]uint32, c.parts)
+			seen := bitmap.New(outSize) // local dedup before sending
+			expand := func(v uint32) {
+				targets := c.neighbors(st, v)
+				for _, t := range targets {
+					if st.Filter != nil && !st.Filter(t) {
+						continue
+					}
+					if seen.Get(t) {
+						continue
+					}
+					seen.Set(t)
+					d := c.owner(t, outSize)
+					bufs[d] = append(bufs[d], t)
+				}
+			}
+			frontier.ForEach(func(v uint32) {
+				if c.owner(v, inSize) == p {
+					expand(v)
+				}
+			})
+			sendBufs[p] = bufs
+		}(p)
+	}
+	wg.Wait()
+
+	// Phase 2: delivery. Each destination merges everything addressed to
+	// it; traffic is counted once per non-empty (src,dst) buffer.
+	out := bitmap.New(outSize)
+	for src := 0; src < c.parts; src++ {
+		for dst := 0; dst < c.parts; dst++ {
+			buf := sendBufs[src][dst]
+			if len(buf) == 0 {
+				continue
+			}
+			if src != dst {
+				stats.Messages++
+				stats.VerticesSent += len(buf)
+			} else {
+				stats.VerticesLocal += len(buf)
+			}
+			for _, t := range buf {
+				out.Set(t)
+			}
+		}
+	}
+	return out
+}
+
+// neighbors returns the step's targets of one vertex, using the forward
+// or reverse index (or an edge scan when the reverse index is absent).
+func (c *Cluster) neighbors(st Step, v uint32) []uint32 {
+	if st.Forward {
+		nbr, _ := st.Edge.Forward().Neighbors(v)
+		return nbr
+	}
+	if rev, ok := st.Edge.Reverse(); ok {
+		nbr, _ := rev.Neighbors(v)
+		return nbr
+	}
+	var out []uint32
+	for e := uint32(0); e < uint32(st.Edge.Count()); e++ {
+		s, d := st.Edge.EdgeAt(e)
+		if d == v {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -1,0 +1,201 @@
+package exec
+
+import (
+	"fmt"
+
+	"graql/internal/graph"
+	"graql/internal/sema"
+	"graql/internal/table"
+	"graql/internal/value"
+)
+
+// buildEdgeType materialises an edge type per the paper's Eq. 2:
+// per-source selections followed by a pipeline of hash joins connecting
+// the source vertex view, the target vertex view and any associated
+// tables. The result tuples become edge instances (one per distinct
+// (source vertex, target vertex, attribute row)), frozen into forward and
+// (optionally) reverse CSR indexes.
+func (e *Engine) buildEdgeType(s *sema.CreateEdge) (*graph.EdgeType, error) {
+	// 1. Per-source candidate rows after single-source filters.
+	cands := make([][]uint32, len(s.Sources))
+	for i, src := range s.Sources {
+		n := sourceRows(src)
+		var rows []uint32
+		filter := s.Filters[i]
+		for r := uint32(0); r < uint32(n); r++ {
+			if filter != nil {
+				ok, err := evalBool(filter, edgeSrcEnv{src: src, row: r, self: i})
+				if err != nil {
+					return nil, fmt.Errorf("graql: edge %s: %w", s.Decl.Name, err)
+				}
+				if !ok {
+					continue
+				}
+			}
+			rows = append(rows, r)
+		}
+		cands[i] = rows
+	}
+
+	// 2. Join pipeline starting from the source vertex view.
+	w := &workRel{sources: []int{0}}
+	for _, r := range cands[0] {
+		w.rows = append(w.rows, []uint32{r})
+	}
+	pending := append([]sema.EdgeJoin(nil), s.Joins...)
+	for len(pending) > 0 {
+		progress := false
+		for i := 0; i < len(pending); i++ {
+			j := pending[i]
+			aIn, bIn := w.has(j.ASource), w.has(j.BSource)
+			switch {
+			case aIn && bIn:
+				w.filterEqual(s, j)
+			case aIn:
+				w.joinIn(s, j.BSource, cands[j.BSource], j.BCol, j.ASource, j.ACol)
+			case bIn:
+				w.joinIn(s, j.ASource, cands[j.ASource], j.ACol, j.BSource, j.BCol)
+			default:
+				continue // neither side joined yet; retry next round
+			}
+			pending = append(pending[:i], pending[i+1:]...)
+			i--
+			progress = true
+		}
+		if !progress {
+			return nil, fmt.Errorf("graql: edge %s: join conditions do not connect all sources", s.Decl.Name)
+		}
+	}
+	if !w.has(1) {
+		return nil, fmt.Errorf("graql: edge %s: target vertex type is not connected by the join conditions", s.Decl.Name)
+	}
+
+	// 3. Tuples → deduplicated edge instances.
+	srcPos, dstPos := w.pos(0), w.pos(1)
+	attrPos := -1
+	if s.AttrSource >= 0 {
+		attrPos = w.pos(s.AttrSource)
+	}
+	seen := make(map[[3]uint32]bool, len(w.rows))
+	var edges []graph.Edge
+	for _, tup := range w.rows {
+		ed := graph.Edge{Src: tup[srcPos], Dst: tup[dstPos]}
+		if attrPos >= 0 {
+			ed.AttrRow = tup[attrPos]
+		}
+		key := [3]uint32{ed.Src, ed.Dst, ed.AttrRow}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		edges = append(edges, ed)
+	}
+
+	id := e.nextEdgeID
+	e.nextEdgeID++
+	var attrs *table.Table
+	if s.AttrSource >= 0 {
+		attrs = s.Sources[s.AttrSource].Tbl
+	}
+	et := graph.NewEdgeType(id, s.Decl.Name,
+		s.Sources[0].Vtx, s.Sources[1].Vtx,
+		edges, attrs, e.Opts.ReverseIndexes)
+	return et, nil
+}
+
+// sourceRows returns the row universe size of an edge source.
+func sourceRows(s *sema.EdgeSource) int {
+	if s.IsVertex {
+		return s.Vtx.Count()
+	}
+	return s.Tbl.NumRows()
+}
+
+// sourceValue reads attribute col of row r of an edge source.
+func sourceValue(s *sema.EdgeSource, r uint32, col int) value.Value {
+	if s.IsVertex {
+		return s.Vtx.AttrValue(r, col)
+	}
+	return s.Tbl.Value(r, col)
+}
+
+// edgeSrcEnv evaluates a single-source filter (refs all target one source).
+type edgeSrcEnv struct {
+	src  *sema.EdgeSource
+	row  uint32
+	self int
+}
+
+func (e edgeSrcEnv) Lookup(source, col int) value.Value {
+	if source != e.self {
+		return value.Value{}
+	}
+	return sourceValue(e.src, e.row, col)
+}
+
+// workRel is the intermediate relation of the edge-build join pipeline:
+// tuples of row ids, one column per joined source.
+type workRel struct {
+	sources []int
+	rows    [][]uint32
+}
+
+func (w *workRel) has(src int) bool { return w.pos(src) >= 0 }
+
+func (w *workRel) pos(src int) int {
+	for i, s := range w.sources {
+		if s == src {
+			return i
+		}
+	}
+	return -1
+}
+
+// joinIn hash-joins candidate rows of a new source into the working
+// relation on newCol = oldCol (of already-joined source oldSrc).
+func (w *workRel) joinIn(s *sema.CreateEdge, newSrc int, newRows []uint32, newCol, oldSrc, oldCol int) {
+	src := s.Sources[newSrc]
+	ht := make(map[string][]uint32, len(newRows))
+	var key []byte
+	for _, r := range newRows {
+		v := sourceValue(src, r, newCol)
+		if v.IsNull() {
+			continue
+		}
+		key = v.AppendKey(key[:0])
+		ht[string(key)] = append(ht[string(key)], r)
+	}
+	oldPos := w.pos(oldSrc)
+	oldSource := s.Sources[oldSrc]
+	var out [][]uint32
+	for _, tup := range w.rows {
+		v := sourceValue(oldSource, tup[oldPos], oldCol)
+		if v.IsNull() {
+			continue
+		}
+		key = v.AppendKey(key[:0])
+		for _, r := range ht[string(key)] {
+			nt := make([]uint32, len(tup)+1)
+			copy(nt, tup)
+			nt[len(tup)] = r
+			out = append(out, nt)
+		}
+	}
+	w.sources = append(w.sources, newSrc)
+	w.rows = out
+}
+
+// filterEqual keeps tuples where the two (already joined) columns agree.
+func (w *workRel) filterEqual(s *sema.CreateEdge, j sema.EdgeJoin) {
+	aPos, bPos := w.pos(j.ASource), w.pos(j.BSource)
+	aSrc, bSrc := s.Sources[j.ASource], s.Sources[j.BSource]
+	out := w.rows[:0]
+	for _, tup := range w.rows {
+		av := sourceValue(aSrc, tup[aPos], j.ACol)
+		bv := sourceValue(bSrc, tup[bPos], j.BCol)
+		if !av.IsNull() && !bv.IsNull() && value.Equal(av, bv) {
+			out = append(out, tup)
+		}
+	}
+	w.rows = out
+}

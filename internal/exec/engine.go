@@ -1,0 +1,448 @@
+// Package exec implements the GEMS-style execution engine for GraQL: DDL
+// execution and view building (paper Eq. 1–2), atomic CSV ingest
+// (§II-A2), and the path-query matcher — parallel forward-expansion /
+// backward-culling sweeps over the bidirectional edge indexes (Eq. 5,
+// §III-B) plus binding enumeration for results-as-tables (Fig. 13), label
+// semantics (Eq. 6–8), multi-path composition (Eq. 9–10), variant steps
+// (Eq. 11) and path regular expressions (Fig. 10).
+package exec
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"graql/internal/ast"
+	"graql/internal/catalog"
+	"graql/internal/expr"
+	"graql/internal/graph"
+	"graql/internal/parser"
+	"graql/internal/plan"
+	"graql/internal/sema"
+	"graql/internal/table"
+	"graql/internal/value"
+)
+
+// Options configure an Engine.
+type Options struct {
+	// Workers is the parallelism degree for frontier expansion and
+	// binding enumeration; 0 means GOMAXPROCS.
+	Workers int
+	// ReverseIndexes controls whether edge types build reverse CSR
+	// indexes (paper §III-B builds them "when memory space ... is
+	// available"; the E3 ablation turns them off).
+	ReverseIndexes bool
+	// BaseDir anchors relative ingest file paths.
+	BaseDir string
+	// CheckOnly runs static analysis and DDL scaffolding without
+	// touching data files: ingest statements are validated but skipped.
+	// Used to statically check whole scripts (paper §III-A).
+	CheckOnly bool
+	// FileOpener overrides how ingest resolves file paths (tests and the
+	// server use this to sandbox file access). nil uses the OS
+	// filesystem rooted at BaseDir.
+	FileOpener func(path string) (io.ReadCloser, error)
+	// FileCreator overrides how output statements create result files.
+	// nil uses the OS filesystem rooted at BaseDir.
+	FileCreator func(path string) (io.WriteCloser, error)
+}
+
+// DefaultOptions returns the standard engine configuration.
+func DefaultOptions() Options {
+	return Options{Workers: 0, ReverseIndexes: true}
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Engine executes GraQL scripts against a catalog.
+type Engine struct {
+	Cat  *catalog.Catalog
+	Opts Options
+
+	nextVertexID int
+	nextEdgeID   int
+}
+
+// New returns an engine over a fresh catalog.
+func New(opts Options) *Engine {
+	return &Engine{Cat: catalog.New(), Opts: opts}
+}
+
+// ResultKind classifies a statement result.
+type ResultKind uint8
+
+// Result kinds.
+const (
+	ResultNone ResultKind = iota
+	ResultTable
+	ResultSubgraph
+)
+
+// Result is the outcome of one statement: DDL/ingest yield a status
+// message; selects yield a table or a named subgraph.
+type Result struct {
+	Kind     ResultKind
+	Message  string
+	Table    *table.Table
+	Subgraph *graph.Subgraph
+}
+
+// ExecScript parses, statically checks and executes a GraQL script,
+// returning one result per statement. Parameters bind the script's
+// %name% placeholders.
+func (e *Engine) ExecScript(src string, params map[string]value.Value) ([]Result, error) {
+	script, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var out []Result
+	for i, st := range script.Stmts {
+		r, err := e.ExecStmt(st, params)
+		if err != nil {
+			return out, fmt.Errorf("statement %d: %w", i+1, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ExecStmt statically analyses and executes a single statement. DDL and
+// ingest take the catalog write lock; selects analyse and execute under
+// the read lock so that independent statements of a script can run
+// concurrently (§III-B1), re-acquiring the write lock only to register an
+// "into" result.
+func (e *Engine) ExecStmt(st ast.Stmt, params map[string]value.Value) (Result, error) {
+	if _, isSelect := st.(*ast.Select); !isSelect || e.Opts.CheckOnly {
+		e.Cat.Lock()
+		defer e.Cat.Unlock()
+		an := &sema.Analyzer{Cat: e.Cat}
+		analyzed, err := an.Analyze(st)
+		if err != nil {
+			return Result{}, err
+		}
+		switch s := analyzed.(type) {
+		case *sema.CreateTable:
+			return e.runCreateTable(s)
+		case *sema.CreateVertex:
+			return e.runCreateVertex(s)
+		case *sema.CreateEdge:
+			return e.runCreateEdge(s)
+		case *sema.Ingest:
+			return e.runIngest(s)
+		case *sema.Output:
+			return e.runOutput(s)
+		case *sema.Select:
+			return e.runSelect(s, params)
+		}
+		return Result{}, fmt.Errorf("graql: unsupported statement %T", analyzed)
+	}
+
+	e.Cat.RLock()
+	an := &sema.Analyzer{Cat: e.Cat}
+	analyzed, err := an.Analyze(st)
+	if err != nil {
+		e.Cat.RUnlock()
+		return Result{}, err
+	}
+	sel := analyzed.(*sema.Select)
+	res, err := e.runSelect(sel, params)
+	e.Cat.RUnlock()
+	if err != nil {
+		return Result{}, err
+	}
+	if sel.Explain {
+		return res, nil // a plan description; nothing to register
+	}
+	switch sel.Into.Kind {
+	case ast.IntoTable:
+		e.Cat.Lock()
+		err = e.Cat.RegisterTable(res.Table, true)
+		e.Cat.Unlock()
+		if err != nil {
+			return Result{}, err
+		}
+	case ast.IntoSubgraph:
+		e.Cat.Lock()
+		e.Cat.RegisterSubgraph(res.Subgraph)
+		e.Cat.Unlock()
+	}
+	return res, nil
+}
+
+// ExecScriptStaged executes a script with the multi-statement scheduler
+// of §III-B1: statements are grouped into dependence stages (plan.Stages)
+// and the members of each stage run concurrently. Results keep script
+// order. Statement errors abort at the end of the failing stage.
+func (e *Engine) ExecScriptStaged(src string, params map[string]value.Value) ([]Result, error) {
+	script, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(script.Stmts))
+	errs := make([]error, len(script.Stmts))
+	for _, stage := range plan.Stages(script) {
+		stage := stage
+		_ = runShards(len(stage), e.Opts.workers(), func(k int) error {
+			i := stage[k]
+			results[i], errs[i] = e.ExecStmt(script.Stmts[i], params)
+			return nil
+		})
+		for _, i := range stage {
+			if errs[i] != nil {
+				return results, fmt.Errorf("statement %d: %w", i+1, errs[i])
+			}
+		}
+	}
+	return results, nil
+}
+
+// CheckScript statically analyses a script without executing queries or
+// reading data files: the full §III-A static analysis over the catalog
+// metadata. It executes DDL scaffolding (on empty tables) so later
+// statements resolve, and registers result placeholders for into-clauses.
+func CheckScript(src string) error {
+	eng := New(Options{CheckOnly: true, ReverseIndexes: true})
+	_, err := eng.ExecScript(src, nil)
+	return err
+}
+
+func (e *Engine) runCreateTable(s *sema.CreateTable) (Result, error) {
+	t, err := table.New(s.Name, s.Schema)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := e.Cat.RegisterTable(t, false); err != nil {
+		return Result{}, err
+	}
+	return Result{Message: fmt.Sprintf("created table %s", s.Name)}, nil
+}
+
+func (e *Engine) runCreateVertex(s *sema.CreateVertex) (Result, error) {
+	vt, err := e.buildVertexType(s)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := e.Cat.Graph().AddVertexType(vt); err != nil {
+		return Result{}, err
+	}
+	e.Cat.AddVertexDecl(s.Decl)
+	return Result{Message: fmt.Sprintf("created vertex %s (%d instances)", vt.Name, vt.Count())}, nil
+}
+
+func (e *Engine) buildVertexType(s *sema.CreateVertex) (*graph.VertexType, error) {
+	var pred graph.RowPred
+	if s.Where != nil {
+		base := s.Base
+		where := s.Where
+		pred = func(row uint32) (bool, error) {
+			v, err := where.Eval(singleTableEnv{t: base, row: row})
+			if err != nil {
+				return false, err
+			}
+			return !v.IsNull() && v.Bool(), nil
+		}
+	}
+	id := e.nextVertexID
+	e.nextVertexID++
+	return graph.BuildVertexType(id, s.Decl.Name, s.Base, s.KeyCols, pred)
+}
+
+func (e *Engine) runCreateEdge(s *sema.CreateEdge) (Result, error) {
+	et, err := e.buildEdgeType(s)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := e.Cat.Graph().AddEdgeType(et); err != nil {
+		return Result{}, err
+	}
+	e.Cat.AddEdgeDecl(s.Decl)
+	return Result{Message: fmt.Sprintf("created edge %s (%d instances)", et.Name, et.Count())}, nil
+}
+
+// runIngest implements the atomic ingest command: the CSV file is parsed
+// into a staging table; only if every record parses is the table swapped
+// in and every derived vertex/edge view rebuilt (paper §II-A2).
+func (e *Engine) runIngest(s *sema.Ingest) (Result, error) {
+	if e.Opts.CheckOnly {
+		return Result{Message: fmt.Sprintf("checked ingest into %s (skipped)", s.Table.Name)}, nil
+	}
+	rc, err := e.openFile(s.File)
+	if err != nil {
+		return Result{}, fmt.Errorf("graql: ingest %s: %w", s.Table.Name, err)
+	}
+	defer rc.Close()
+	stage, err := table.LoadCSV(s.Table, rc)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := e.Cat.SwapTable(stage); err != nil {
+		return Result{}, err
+	}
+	if err := e.rebuildViews(s.Table.Name); err != nil {
+		return Result{}, err
+	}
+	return Result{Message: fmt.Sprintf("ingested %d rows into %s", stage.NumRows(), s.Table.Name)}, nil
+}
+
+// IngestReader loads CSV data from r into the named table through the
+// same atomic staged-swap path as the ingest statement, rebuilding derived
+// views. It lets embedders ingest in-memory data without a file.
+func (e *Engine) IngestReader(tableName string, r io.Reader) error {
+	e.Cat.Lock()
+	defer e.Cat.Unlock()
+	t := e.Cat.Table(tableName)
+	if t == nil {
+		return fmt.Errorf("graql: unknown table %s", tableName)
+	}
+	stage, err := table.LoadCSV(t, r)
+	if err != nil {
+		return err
+	}
+	if err := e.Cat.SwapTable(stage); err != nil {
+		return err
+	}
+	return e.rebuildViews(tableName)
+}
+
+func (e *Engine) openFile(path string) (io.ReadCloser, error) {
+	if e.Opts.FileOpener != nil {
+		return e.Opts.FileOpener(path)
+	}
+	if !filepath.IsAbs(path) && e.Opts.BaseDir != "" {
+		path = filepath.Join(e.Opts.BaseDir, path)
+	}
+	return os.Open(path)
+}
+
+// runOutput writes a table to a CSV file — the paper's "eventual output
+// to files" on the shared filesystem (§III).
+func (e *Engine) runOutput(s *sema.Output) (Result, error) {
+	if e.Opts.CheckOnly {
+		return Result{Message: fmt.Sprintf("checked output of %s (skipped)", s.Table.Name)}, nil
+	}
+	wc, err := e.createFile(s.File)
+	if err != nil {
+		return Result{}, fmt.Errorf("graql: output %s: %w", s.Table.Name, err)
+	}
+	if err := table.WriteCSV(s.Table, wc); err != nil {
+		wc.Close()
+		return Result{}, fmt.Errorf("graql: output %s: %w", s.Table.Name, err)
+	}
+	if err := wc.Close(); err != nil {
+		return Result{}, fmt.Errorf("graql: output %s: %w", s.Table.Name, err)
+	}
+	return Result{Message: fmt.Sprintf("wrote %d rows of %s to %s", s.Table.NumRows(), s.Table.Name, s.File)}, nil
+}
+
+func (e *Engine) createFile(path string) (io.WriteCloser, error) {
+	if e.Opts.FileCreator != nil {
+		return e.Opts.FileCreator(path)
+	}
+	if !filepath.IsAbs(path) && e.Opts.BaseDir != "" {
+		path = filepath.Join(e.Opts.BaseDir, path)
+	}
+	return os.Create(path)
+}
+
+// rebuildViews re-derives the vertex and edge views affected by a swap of
+// the named table. Ingest triggers "the generation of associated vertex
+// and edge instances derived from the table" (§II-A2). Views not reachable
+// from the swapped table are carried over unchanged; named subgraph
+// results are invalidated because they reference the previous views.
+func (e *Engine) rebuildViews(swapped string) error {
+	old := e.Cat.Graph()
+	g := graph.NewGraph()
+	e.Cat.SetGraph(g)
+	e.Cat.ClearSubgraphs()
+	an := &sema.Analyzer{Cat: e.Cat}
+
+	dirtyVtx := map[string]bool{}
+	for _, d := range e.Cat.VertexDecls() {
+		if old.VertexType(d.Name) == nil || equalFold(d.From, swapped) {
+			dirtyVtx[strings.ToLower(d.Name)] = true
+			s, err := an.Analyze(d)
+			if err != nil {
+				return fmt.Errorf("graql: rebuilding vertex %s: %w", d.Name, err)
+			}
+			vt, err := e.buildVertexType(s.(*sema.CreateVertex))
+			if err != nil {
+				return err
+			}
+			if err := g.AddVertexType(vt); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := g.AddVertexType(old.VertexType(d.Name)); err != nil {
+			return err
+		}
+	}
+	for _, d := range e.Cat.EdgeDecls() {
+		if old.EdgeType(d.Name) != nil && !edgeDependsOn(d, dirtyVtx, swapped) {
+			if err := g.AddEdgeType(old.EdgeType(d.Name)); err != nil {
+				return err
+			}
+			continue
+		}
+		s, err := an.Analyze(d)
+		if err != nil {
+			return fmt.Errorf("graql: rebuilding edge %s: %w", d.Name, err)
+		}
+		et, err := e.buildEdgeType(s.(*sema.CreateEdge))
+		if err != nil {
+			return err
+		}
+		if err := g.AddEdgeType(et); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// edgeDependsOn reports whether an edge declaration reads the swapped
+// table or a rebuilt vertex type (directly, via from-table clauses, or via
+// where-clause qualifiers).
+func edgeDependsOn(d *ast.CreateEdge, dirtyVtx map[string]bool, swapped string) bool {
+	if dirtyVtx[strings.ToLower(d.SrcType)] || dirtyVtx[strings.ToLower(d.DstType)] {
+		return true
+	}
+	for _, t := range d.FromTables {
+		if equalFold(t, swapped) {
+			return true
+		}
+	}
+	for _, r := range expr.Refs(d.Where) {
+		if equalFold(r.Qualifier, swapped) {
+			return true
+		}
+	}
+	return false
+}
+
+func equalFold(a, b string) bool { return strings.EqualFold(a, b) }
+
+// singleTableEnv evaluates expressions whose refs all target source 0 of
+// one table.
+type singleTableEnv struct {
+	t   *table.Table
+	row uint32
+}
+
+func (e singleTableEnv) Lookup(_, col int) value.Value { return e.t.Value(e.row, col) }
+
+// evalBool evaluates a boolean condition, mapping NULL to false.
+func evalBool(cond expr.Expr, env expr.Env) (bool, error) {
+	v, err := cond.Eval(env)
+	if err != nil {
+		return false, err
+	}
+	return !v.IsNull() && v.Bool(), nil
+}

@@ -1,0 +1,203 @@
+package exec
+
+import (
+	"fmt"
+
+	"graql/internal/ast"
+	"graql/internal/expr"
+	"graql/internal/graph"
+	"graql/internal/plan"
+	"graql/internal/sema"
+	"graql/internal/table"
+	"graql/internal/value"
+)
+
+// runExplain renders the execution plan of a select statement instead of
+// running it — the planning decisions of §III-B (start step, traversal
+// order and direction, index use, fast-path selection) made inspectable.
+// The result is a table (step integer, action varchar, detail varchar).
+func (e *Engine) runExplain(s *sema.Select, params map[string]value.Value) (Result, error) {
+	out := table.MustNew("plan", table.Schema{
+		{Name: "step", Type: value.Int},
+		{Name: "action", Type: value.Varchar(32)},
+		{Name: "detail", Type: value.Varchar(255)},
+	})
+	step := 0
+	add := func(action, format string, args ...any) error {
+		step++
+		return out.AppendRow([]value.Value{
+			value.NewInt(int64(step)),
+			value.NewString(action),
+			value.NewString(fmt.Sprintf(format, args...)),
+		})
+	}
+
+	if s.Table != nil {
+		if err := e.explainTableSelect(s, add); err != nil {
+			return Result{}, err
+		}
+	} else if err := e.explainGraphSelect(s, params, add); err != nil {
+		return Result{}, err
+	}
+
+	if s.Distinct {
+		if err := add("distinct", "eliminate duplicate rows"); err != nil {
+			return Result{}, err
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		for _, k := range s.OrderBy {
+			dir := "asc"
+			if k.Desc {
+				dir = "desc"
+			}
+			if err := add("sort", "order by output column %d %s", k.Col+1, dir); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	if s.Top > 0 {
+		if err := add("top", "keep first %d rows", s.Top); err != nil {
+			return Result{}, err
+		}
+	}
+	switch s.Into.Kind {
+	case ast.IntoTable:
+		if err := add("materialise", "register result as table %s", s.Into.Name); err != nil {
+			return Result{}, err
+		}
+	case ast.IntoSubgraph:
+		if err := add("materialise", "register result as subgraph %s", s.Into.Name); err != nil {
+			return Result{}, err
+		}
+	}
+	return Result{Kind: ResultTable, Table: out}, nil
+}
+
+func (e *Engine) explainTableSelect(s *sema.Select, add func(string, string, ...any) error) error {
+	if err := add("scan", "table %s (%d rows)", s.Table.Name, s.Table.NumRows()); err != nil {
+		return err
+	}
+	if s.Where != nil {
+		if err := add("filter", "%s", s.Where); err != nil {
+			return err
+		}
+	}
+	if s.Grouped {
+		if err := add("group", "group by %d key column(s), %d aggregate(s)", len(s.GroupBy), countAggs(s)); err != nil {
+			return err
+		}
+	} else if err := add("project", "%d output column(s)", len(s.Items)); err != nil {
+		return err
+	}
+	return nil
+}
+
+func countAggs(s *sema.Select) int {
+	n := 0
+	for _, it := range s.Items {
+		if it.Agg != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (e *Engine) explainGraphSelect(s *sema.Select, params map[string]value.Value, add func(string, string, ...any) error) error {
+	for ai, alt := range s.GraphAlts {
+		prep, err := e.prepareAlt(alt, params)
+		if err != nil {
+			// Unbound parameters are fine for explain: estimate with the
+			// raw conditions instead.
+			prep = &preparedAlt{alt: alt,
+				nodeCond: make([]expr.Expr, len(alt.Pattern.Nodes)),
+				edgeCond: make([]expr.Expr, len(alt.Pattern.Edges))}
+			for i, n := range alt.Pattern.Nodes {
+				prep.nodeCond[i] = n.Cond
+			}
+			for i, pe := range alt.Pattern.Edges {
+				prep.edgeCond[i] = pe.Cond
+			}
+		}
+		if len(s.GraphAlts) > 1 {
+			if err := add("alternative", "or-composition term %d", ai+1); err != nil {
+				return err
+			}
+		}
+		pat := alt.Pattern
+		typings := 0
+		err = e.forEachTyping(pat, func(nt []*graph.VertexType, et []*graph.EdgeType) error {
+			typings++
+			if typings > 1 {
+				return nil // report the plan for the first typing only
+			}
+			m, err := e.newMatcher(pat, cloneTypes(nt), cloneEdgeTypes(et), prep.nodeCond, prep.edgeCond, mustSeeds(e, pat, nt))
+			if err != nil {
+				return err
+			}
+			if chain, ok := plan.LinearChain(pat); ok && len(m.deferred) == 0 && s.Into.Kind == ast.IntoSubgraph {
+				return add("strategy", "linear chain of %d steps: bitmap forward-expansion + backward-culling (Eq. 5)", len(chain))
+			}
+			est := &catalogEstimator{m: m, nodeCond: prep.nodeCond}
+			for i, v := range m.order {
+				name := stepName(pat, nt, v.Node)
+				if v.Via < 0 {
+					if err := add("scan", "start at %s (est. %.0f candidates)", name, est.NodeCount(v.Node)); err != nil {
+						return err
+					}
+					continue
+				}
+				pe := pat.Edges[v.Via]
+				dir := "forward index"
+				if !v.Forward {
+					dir = "reverse index"
+					if pe.Regex == nil && !m.edgeType[v.Via].HasReverse() {
+						dir = "edge scan (no reverse index)"
+					}
+				}
+				edgeName := "[ ]"
+				if pe.Regex != nil {
+					edgeName = "path-regex (product BFS)"
+				} else if m.edgeType[v.Via] != nil {
+					edgeName = m.edgeType[v.Via].Name
+				}
+				if err := add("expand", "bind %s via %s, %s (fan-out %.2f)", name, edgeName, dir, est.EdgeFanout(v.Via, v.Forward)); err != nil {
+					return err
+				}
+				_ = i
+			}
+			for d, list := range m.verifyAt {
+				for _, pe := range list {
+					kind := "edge existence"
+					if pe.Regex != nil {
+						kind = "regex reachability"
+					}
+					if err := add("verify", "check %s between steps after position %d", kind, d+1); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if typings > 1 {
+			if err := add("typings", "variant steps expand to %d concrete typings (Eq. 11)", typings); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func stepName(pat *sema.Pattern, nt []*graph.VertexType, node int) string {
+	n := pat.Nodes[node]
+	if len(n.Labels) > 0 {
+		return n.Labels[0]
+	}
+	if nt[node] != nil {
+		return nt[node].Name
+	}
+	return fmt.Sprintf("step%d", node)
+}

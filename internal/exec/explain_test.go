@@ -1,0 +1,79 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+)
+
+func explainText(t *testing.T, e *Engine, q string) string {
+	t.Helper()
+	res := mustExec(t, e, q, nil)
+	tb := res[len(res)-1].Table
+	if tb == nil {
+		t.Fatal("explain must return a table")
+	}
+	var b strings.Builder
+	for r := uint32(0); r < uint32(tb.NumRows()); r++ {
+		b.WriteString(tb.Value(r, 1).String())
+		b.WriteString(": ")
+		b.WriteString(tb.Value(r, 2).String())
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestExplainSelectiveEndUsesReverseIndex: the plan surfaces the §III-B
+// direction decision.
+func TestExplainSelectiveEndUsesReverseIndex(t *testing.T) {
+	e := semaEngine(t)
+	text := explainText(t, e, `explain select y.id from graph
+def y: A ( ) --e--> B (id = 'b1')`)
+	if !strings.Contains(text, "start at B") {
+		t.Errorf("plan should start at the selective end:\n%s", text)
+	}
+	if !strings.Contains(text, "reverse index") {
+		t.Errorf("plan should traverse the reverse index:\n%s", text)
+	}
+}
+
+func TestExplainChainFastPath(t *testing.T) {
+	e := semaEngine(t)
+	text := explainText(t, e, `explain select * from graph A ( ) --e--> B ( ) into subgraph g`)
+	if !strings.Contains(text, "backward-culling") {
+		t.Errorf("chain subgraph query should use the Eq. 5 fast path:\n%s", text)
+	}
+	if !strings.Contains(text, "subgraph g") {
+		t.Errorf("plan should mention materialisation:\n%s", text)
+	}
+	// Explain must not actually register the subgraph.
+	if e.Cat.Subgraph("g") != nil {
+		t.Error("explain must not execute the query")
+	}
+}
+
+func TestExplainTableSelect(t *testing.T) {
+	e := semaEngine(t)
+	text := explainText(t, e, `explain select id, count(*) as n from table TA where n > 1 group by id order by n desc`)
+	for _, want := range []string{"scan: table TA", "filter: n > 1", "group:", "sort:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in plan:\n%s", want, text)
+		}
+	}
+}
+
+func TestExplainVariantTypings(t *testing.T) {
+	e := semaEngine(t)
+	text := explainText(t, e, `explain select x.id from graph def x: A (id = 'a1') <--[ ]-- [ ]`)
+	if !strings.Contains(text, "concrete typings") {
+		t.Errorf("variant plan should report typing expansion:\n%s", text)
+	}
+}
+
+func TestExplainUnboundParamsOK(t *testing.T) {
+	e := semaEngine(t)
+	// No parameter bindings supplied: explain still works.
+	text := explainText(t, e, `explain select y.id from graph A (id = %P%) --e--> def y: B ( )`)
+	if !strings.Contains(text, "start at") {
+		t.Errorf("explain with params failed:\n%s", text)
+	}
+}

@@ -1,0 +1,557 @@
+package exec
+
+import (
+	"graql/internal/bitmap"
+	"graql/internal/expr"
+	"graql/internal/graph"
+	"graql/internal/plan"
+	"graql/internal/sema"
+	"graql/internal/value"
+)
+
+// NoBind marks an unbound slot in a partial binding.
+const NoBind = ^uint32(0)
+
+// matcher enumerates the bindings of one pattern under one concrete
+// variant typing, in a planner-chosen order, in parallel over shards of
+// the first step's candidate set.
+type matcher struct {
+	e   *Engine
+	g   *graph.Graph
+	pat *sema.Pattern
+
+	// Concrete typing for this run (variant steps resolved).
+	nodeType []*graph.VertexType
+	edgeType []*graph.EdgeType // nil for regex edges
+
+	// Parameter-bound step conditions split into self-only parts
+	// (applied inline during candidate generation / expansion) and
+	// cross-step parts (deferred until all referenced steps are bound).
+	nodeSelf []expr.Expr
+	edgeSelf []expr.Expr
+	deferred []deferredCond
+
+	// seeds restricts a node's candidates to a prior subgraph result.
+	seeds []*bitmap.Bitmap
+
+	order     []plan.Visit
+	posOfNode []int
+	// verifyAt[d] lists pattern edges that close a cycle once the node
+	// at order position d is bound; they are checked (and their edge ids
+	// enumerated) at that depth.
+	verifyAt [][]*sema.PEdge
+
+	cands []*bitmap.Bitmap // lazily built per-node candidate sets
+
+	workers int
+}
+
+type deferredCond struct {
+	cond  expr.Expr
+	depth int
+}
+
+// wstate is per-goroutine matcher state: the current partial binding plus
+// a cache of regex reachability results.
+type wstate struct {
+	m *matcher
+	b []uint32
+	// regexReach caches accepted-target sets per (pattern edge, source
+	// vertex, direction).
+	regexReach map[regexKey]*bitmap.Bitmap
+}
+
+type regexKey struct {
+	edge    int
+	from    uint32
+	forward bool
+}
+
+// Lookup implements expr.Env over the current binding.
+func (w *wstate) Lookup(source, col int) value.Value {
+	nn := len(w.m.pat.Nodes)
+	if source < nn {
+		return w.m.nodeType[source].AttrValue(w.b[source], col)
+	}
+	ei := source - nn
+	return w.m.edgeType[ei].AttrValue(w.b[source], col)
+}
+
+// newMatcher prepares a matcher for one concrete typing. Conditions must
+// already be parameter-bound.
+func (e *Engine) newMatcher(pat *sema.Pattern, nodeType []*graph.VertexType,
+	edgeType []*graph.EdgeType, nodeCond, edgeCond []expr.Expr,
+	seeds []*bitmap.Bitmap) (*matcher, error) {
+
+	m := &matcher{
+		e: e, g: e.Cat.Graph(), pat: pat,
+		nodeType: nodeType, edgeType: edgeType,
+		seeds:   seeds,
+		workers: e.Opts.workers(),
+	}
+	m.order = plan.Order(pat, &catalogEstimator{m: m, nodeCond: nodeCond})
+	m.posOfNode = make([]int, len(pat.Nodes))
+	for i, v := range m.order {
+		m.posOfNode[v.Node] = i
+	}
+
+	// Split conditions into self vs deferred.
+	m.nodeSelf = make([]expr.Expr, len(pat.Nodes))
+	m.edgeSelf = make([]expr.Expr, len(pat.Edges))
+	nn := len(pat.Nodes)
+	depthOfSource := func(s int) int {
+		if s < nn {
+			return m.posOfNode[s]
+		}
+		e := pat.Edges[s-nn]
+		d := m.posOfNode[e.Src]
+		if p := m.posOfNode[e.Dst]; p > d {
+			d = p
+		}
+		return d
+	}
+	for i, cond := range nodeCond {
+		for _, c := range expr.Conjuncts(cond) {
+			srcs := refSourcesOf(c)
+			if len(srcs) == 1 && srcs[0] == i {
+				m.nodeSelf[i] = expr.AndAll([]expr.Expr{m.nodeSelf[i], c})
+				continue
+			}
+			d := 0
+			for _, s := range srcs {
+				if ds := depthOfSource(s); ds > d {
+					d = ds
+				}
+			}
+			m.deferred = append(m.deferred, deferredCond{cond: c, depth: d})
+		}
+	}
+	for i, cond := range edgeCond {
+		src := nn + i
+		for _, c := range expr.Conjuncts(cond) {
+			srcs := refSourcesOf(c)
+			if len(srcs) == 1 && srcs[0] == src {
+				m.edgeSelf[i] = expr.AndAll([]expr.Expr{m.edgeSelf[i], c})
+				continue
+			}
+			d := 0
+			for _, s := range srcs {
+				if ds := depthOfSource(s); ds > d {
+					d = ds
+				}
+			}
+			m.deferred = append(m.deferred, deferredCond{cond: c, depth: d})
+		}
+	}
+
+	// Verification edges: every pattern edge that is not a Via edge gets
+	// checked at the depth its later endpoint is bound.
+	used := make([]bool, len(pat.Edges))
+	for _, v := range m.order {
+		if v.Via >= 0 {
+			used[v.Via] = true
+		}
+	}
+	m.verifyAt = make([][]*sema.PEdge, len(m.order))
+	for _, pe := range pat.Edges {
+		if used[pe.ID] {
+			continue
+		}
+		d := m.posOfNode[pe.Src]
+		if p := m.posOfNode[pe.Dst]; p > d {
+			d = p
+		}
+		m.verifyAt[d] = append(m.verifyAt[d], pe)
+	}
+
+	m.cands = make([]*bitmap.Bitmap, len(pat.Nodes))
+	return m, nil
+}
+
+func refSourcesOf(e expr.Expr) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, r := range expr.Refs(e) {
+		if !seen[r.Source] {
+			seen[r.Source] = true
+			out = append(out, r.Source)
+		}
+	}
+	return out
+}
+
+// candidates returns (building on first use) the candidate bitmap for a
+// node: vertices of its type satisfying the self condition and the seed
+// restriction. The scan is data-parallel over the id space.
+func (m *matcher) candidates(node int) (*bitmap.Bitmap, error) {
+	if m.cands[node] != nil {
+		return m.cands[node], nil
+	}
+	vt := m.nodeType[node]
+	n := vt.Count()
+	bm := bitmap.New(n)
+	cond := m.nodeSelf[node]
+	seed := m.seeds[node]
+	shards := shardRanges(n, m.workers*4)
+	err := runShards(len(shards), m.workers, func(si int) error {
+		lo, hi := shards[si][0], shards[si][1]
+		w := &wstate{m: m, b: make([]uint32, len(m.pat.Nodes)+len(m.pat.Edges))}
+		for v := lo; v < hi; v++ {
+			if seed != nil && !seed.Get(v) {
+				continue
+			}
+			if cond != nil {
+				w.b[node] = v
+				ok, err := evalBool(cond, w)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					continue
+				}
+			}
+			bm.SetAtomic(v)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.cands[node] = bm
+	return bm, nil
+}
+
+// nodeOK applies a node's self condition and seed to one vertex.
+func (m *matcher) nodeOK(w *wstate, node int, v uint32) (bool, error) {
+	if s := m.seeds[node]; s != nil && !s.Get(v) {
+		return false, nil
+	}
+	cond := m.nodeSelf[node]
+	if cond == nil {
+		return true, nil
+	}
+	prev := w.b[node]
+	w.b[node] = v
+	ok, err := evalBool(cond, w)
+	w.b[node] = prev
+	return ok, err
+}
+
+func (m *matcher) edgeOK(w *wstate, edge int, eid uint32) (bool, error) {
+	cond := m.edgeSelf[edge]
+	if cond == nil {
+		return true, nil
+	}
+	slot := len(m.pat.Nodes) + edge
+	prev := w.b[slot]
+	w.b[slot] = eid
+	ok, err := evalBool(cond, w)
+	w.b[slot] = prev
+	return ok, err
+}
+
+// matchAll enumerates all bindings, invoking sink(shard, binding) for
+// each. Bindings are streamed per shard; shards cover contiguous ranges of
+// the first step's candidates, so collecting per shard and concatenating
+// in shard order yields deterministic results. The binding slice is reused
+// between calls — sinks must copy what they keep.
+func (m *matcher) matchAll(nShards int, sink func(shard int, b []uint32) error) error {
+	if len(m.order) == 0 {
+		return nil
+	}
+	first := m.order[0]
+	cand, err := m.candidates(first.Node)
+	if err != nil {
+		return err
+	}
+	// Pre-build candidate sets for any scan visit so the parallel phase
+	// never writes the (unsynchronised) cache. Connected patterns only
+	// scan at position 0; this also covers the defensive restart branch.
+	for _, v := range m.order[1:] {
+		if v.Via < 0 {
+			if _, err := m.candidates(v.Node); err != nil {
+				return err
+			}
+		}
+	}
+	shards := shardRanges(cand.Len(), nShards)
+	return runShards(len(shards), m.workers, func(si int) error {
+		w := &wstate{m: m, b: make([]uint32, len(m.pat.Nodes)+len(m.pat.Edges))}
+		for i := range w.b {
+			w.b[i] = NoBind
+		}
+		var inner error
+		cand.ForEachRange(shards[si][0], shards[si][1], func(v uint32) {
+			if inner != nil {
+				return
+			}
+			w.b[first.Node] = v
+			if err := m.afterBind(w, 0, func(b []uint32) error { return sink(si, b) }); err != nil {
+				inner = err
+			}
+			w.b[first.Node] = NoBind
+		})
+		return inner
+	})
+}
+
+// afterBind runs cycle verification and deferred conditions for the node
+// just bound at order position depth, then continues the search.
+func (m *matcher) afterBind(w *wstate, depth int, emit func([]uint32) error) error {
+	return m.verifyFrom(w, depth, 0, emit)
+}
+
+func (m *matcher) verifyFrom(w *wstate, depth, vi int, emit func([]uint32) error) error {
+	list := m.verifyAt[depth]
+	if vi == len(list) {
+		for _, dc := range m.deferred {
+			if dc.depth != depth {
+				continue
+			}
+			ok, err := evalBool(dc.cond, w)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+		}
+		if depth+1 == len(m.order) {
+			return emit(w.b)
+		}
+		return m.expand(w, depth+1, emit)
+	}
+
+	pe := list[vi]
+	if pe.Regex != nil {
+		ok, err := m.regexConnected(w, pe, w.b[pe.Src], w.b[pe.Dst])
+		if err != nil || !ok {
+			return err
+		}
+		return m.verifyFrom(w, depth, vi+1, emit)
+	}
+	et := m.edgeType[pe.ID]
+	slot := len(m.pat.Nodes) + pe.ID
+	src, dst := w.b[pe.Src], w.b[pe.Dst]
+	// Enumerate every parallel edge instance connecting the bound
+	// endpoints (the graph is a multigraph, §II-A1).
+	nbr, eids := et.Forward().Neighbors(src)
+	for i, d := range nbr {
+		if d != dst {
+			continue
+		}
+		ok, err := m.edgeOK(w, pe.ID, eids[i])
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		w.b[slot] = eids[i]
+		if err := m.verifyFrom(w, depth, vi+1, emit); err != nil {
+			return err
+		}
+		w.b[slot] = NoBind
+	}
+	return nil
+}
+
+// expand binds the node at order position depth by traversing its Via
+// edge from the already-bound endpoint.
+func (m *matcher) expand(w *wstate, depth int, emit func([]uint32) error) error {
+	v := m.order[depth]
+	if v.Via < 0 {
+		// New component (defensive; sema guarantees connectivity).
+		cand, err := m.candidates(v.Node)
+		if err != nil {
+			return err
+		}
+		var inner error
+		cand.ForEach(func(x uint32) {
+			if inner != nil {
+				return
+			}
+			w.b[v.Node] = x
+			if err := m.afterBind(w, depth, emit); err != nil {
+				inner = err
+			}
+			w.b[v.Node] = NoBind
+		})
+		return inner
+	}
+
+	pe := m.pat.Edges[v.Via]
+	if pe.Regex != nil {
+		return m.expandRegex(w, depth, v, pe, emit)
+	}
+	et := m.edgeType[v.Via]
+	slot := len(m.pat.Nodes) + pe.ID
+
+	emitPair := func(target, eid uint32) error {
+		ok, err := m.nodeOK(w, v.Node, target)
+		if err != nil || !ok {
+			return err
+		}
+		ok, err = m.edgeOK(w, pe.ID, eid)
+		if err != nil || !ok {
+			return err
+		}
+		w.b[v.Node] = target
+		w.b[slot] = eid
+		err = m.afterBind(w, depth, emit)
+		w.b[v.Node] = NoBind
+		w.b[slot] = NoBind
+		return err
+	}
+
+	if v.Forward {
+		nbr, eids := et.Forward().Neighbors(w.b[pe.Src])
+		for i := range nbr {
+			if err := emitPair(nbr[i], eids[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if rev, ok := et.Reverse(); ok {
+		nbr, eids := rev.Neighbors(w.b[pe.Dst])
+		for i := range nbr {
+			if err := emitPair(nbr[i], eids[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// No reverse index (§III-B builds it only "when memory space ... is
+	// available"): degrade to a full edge-list scan.
+	dst := w.b[pe.Dst]
+	for eid := uint32(0); eid < uint32(et.Count()); eid++ {
+		s, d := et.EdgeAt(eid)
+		if d != dst {
+			continue
+		}
+		if err := emitPair(s, eid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// catalogEstimator adapts catalog statistics (vertex counts, average
+// degrees) plus simple condition selectivities to the planner interface.
+type catalogEstimator struct {
+	m        *matcher
+	nodeCond []expr.Expr
+}
+
+func (ce *catalogEstimator) NodeCount(node int) float64 {
+	m := ce.m
+	base := float64(m.nodeType[node].Count())
+	sel := condSelectivity(ce.nodeCond[node], node, m.nodeType[node])
+	if s := m.seeds[node]; s != nil {
+		if c := float64(s.Count()); c < base*sel {
+			return c
+		}
+	}
+	return base * sel
+}
+
+func (ce *catalogEstimator) EdgeFanout(edge int, forward bool) float64 {
+	pe := ce.m.pat.Edges[edge]
+	if pe.Regex != nil {
+		// Closure fan-out is unbounded; discourage starting from a
+		// regex but keep it usable.
+		return 32
+	}
+	et := ce.m.edgeType[edge]
+	if forward {
+		return et.AvgOutDegree()
+	}
+	return et.AvgInDegree()
+}
+
+func (ce *catalogEstimator) CanTraverse(edge int, forward bool) bool {
+	pe := ce.m.pat.Edges[edge]
+	if pe.Regex != nil {
+		return true // product BFS runs either way
+	}
+	if forward {
+		return true
+	}
+	return ce.m.edgeType[edge].HasReverse()
+}
+
+// condSelectivity estimates the fraction of a vertex type surviving a step
+// condition: an equality on a key attribute selects ~1 vertex, other
+// equalities ~10%, ranges ~30%.
+func condSelectivity(cond expr.Expr, node int, vt *graph.VertexType) float64 {
+	if cond == nil {
+		return 1
+	}
+	sel := 1.0
+	for _, c := range expr.Conjuncts(cond) {
+		b, ok := c.(*expr.Binary)
+		if !ok || !b.Op.Comparison() {
+			continue
+		}
+		ref := refOperandOf(b, node)
+		if ref == nil {
+			continue
+		}
+		switch {
+		case b.Op == expr.OpEq && isKeyAttr(vt, ref.Col):
+			if n := float64(vt.Count()); n > 0 {
+				sel *= 1 / n
+			}
+		case b.Op == expr.OpEq:
+			// Use the column's dictionary NDV when available (§III-B
+			// "statistical properties"); fall back to a 10% guess.
+			if ndv := attrDistinct(vt, ref.Col); ndv > 0 {
+				sel *= 1 / float64(ndv)
+			} else {
+				sel *= 0.1
+			}
+		case b.Op == expr.OpNe:
+			sel *= 0.9
+		default:
+			sel *= 0.3
+		}
+	}
+	return sel
+}
+
+func refOperandOf(b *expr.Binary, node int) *expr.Ref {
+	if r, ok := b.L.(*expr.Ref); ok && r.Source == node {
+		if _, isConst := b.R.(*expr.Const); isConst {
+			return r
+		}
+	}
+	if r, ok := b.R.(*expr.Ref); ok && r.Source == node {
+		if _, isConst := b.L.(*expr.Const); isConst {
+			return r
+		}
+	}
+	return nil
+}
+
+// attrDistinct returns the NDV of a vertex attribute column when cheaply
+// known (dictionary-encoded columns), else -1.
+func attrDistinct(vt *graph.VertexType, col int) int {
+	if vt.OneToOne {
+		return vt.Base.Col(col).Distinct()
+	}
+	return vt.Keys.Col(col).Distinct()
+}
+
+func isKeyAttr(vt *graph.VertexType, col int) bool {
+	if vt.OneToOne {
+		for _, k := range vt.KeyCols {
+			if k == col {
+				return true
+			}
+		}
+		return false
+	}
+	// Many-to-one attributes are exactly the key columns.
+	return true
+}

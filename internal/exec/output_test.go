@@ -1,0 +1,79 @@
+package exec
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestOutputStatement writes a query result to a CSV file — the paper's
+// "eventual output to files" (§III) — and re-ingests it.
+func TestOutputStatement(t *testing.T) {
+	dir := t.TempDir()
+	opts := DefaultOptions()
+	opts.Workers = 2
+	opts.BaseDir = dir
+	opts.FileOpener = nil // real filesystem
+	e := New(opts)
+
+	// Stage the input CSVs on disk so the whole round trip uses files.
+	for name, body := range semaFiles {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustExec(t, e, semaSchema, nil)
+	res := mustExec(t, e, `
+select x.id, y.id as target from graph
+def x: A ( ) --e--> def y: B ( )
+into table Pairs
+
+output table Pairs pairs_out.csv
+`, nil)
+	msg := res[len(res)-1].Message
+	if !strings.Contains(msg, "wrote 5 rows") {
+		t.Errorf("output message = %q", msg)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "pairs_out.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 6 { // header + 5 rows
+		t.Fatalf("csv lines = %d:\n%s", len(lines), data)
+	}
+	if lines[0] != "id,target" {
+		t.Errorf("header = %q", lines[0])
+	}
+
+	// Round trip: a new table ingested from the written file.
+	mustExec(t, e, `
+create table PairsBack(id varchar(8), target varchar(8))
+ingest table PairsBack pairs_out.csv
+`, nil)
+	if got := e.Cat.Table("PairsBack").NumRows(); got != 5 {
+		t.Errorf("re-ingested rows = %d, want 5", got)
+	}
+}
+
+func TestOutputErrors(t *testing.T) {
+	e := semaEngine(t)
+	if _, err := e.ExecScript(`output table Missing out.csv`, nil); err == nil {
+		t.Error("unknown table must fail")
+	}
+	if _, err := e.ExecScript(`output table A out.csv`, nil); err == nil || !strings.Contains(err.Error(), "vertex type") {
+		t.Errorf("vertex type misuse error = %v", err)
+	}
+}
+
+// TestOutputCheckOnly: static checking skips file writes.
+func TestOutputCheckOnly(t *testing.T) {
+	err := CheckScript(`
+create table T(a integer)
+output table T '/nonexistent-dir/never-created.csv'
+`)
+	if err != nil {
+		t.Errorf("check-only output must not touch the filesystem: %v", err)
+	}
+}

@@ -1,0 +1,88 @@
+package exec
+
+import "sync"
+
+// shardRanges splits [0, n) into k near-equal contiguous ranges for
+// data-parallel sweeps over vertex id spaces.
+func shardRanges(n, k int) [][2]uint32 {
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([][2]uint32, 0, k)
+	chunk := n / k
+	rem := n % k
+	lo := 0
+	for i := 0; i < k; i++ {
+		hi := lo + chunk
+		if i < rem {
+			hi++
+		}
+		out = append(out, [2]uint32{uint32(lo), uint32(hi)})
+		lo = hi
+	}
+	return out
+}
+
+// runShards executes fn over each shard index on a pool of `workers`
+// goroutines and returns the first error.
+func runShards(shards, workers int, fn func(shard int) error) error {
+	if shards == 0 {
+		return nil
+	}
+	if workers > shards {
+		workers = shards
+	}
+	if workers <= 1 {
+		for s := 0; s < shards; s++ {
+			if err := fn(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		first  error
+		next   int
+		nextMu sync.Mutex
+	)
+	grab := func() int {
+		nextMu.Lock()
+		defer nextMu.Unlock()
+		if next >= shards {
+			return -1
+		}
+		s := next
+		next++
+		return s
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				s := grab()
+				if s < 0 {
+					return
+				}
+				if err := fn(s); err != nil {
+					mu.Lock()
+					if first == nil {
+						first = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}

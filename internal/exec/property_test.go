@@ -1,0 +1,321 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"graql/internal/graph"
+	"graql/internal/parser"
+	"graql/internal/sema"
+)
+
+// randFixture generates a random two-type graph (A --e--> B, B --f--> A,
+// A --loop--> A) with integer attributes, as CSV files.
+func randFixture(r *rand.Rand) map[string]string {
+	nA, nB := 3+r.Intn(12), 3+r.Intn(12)
+	var ta, tb, te, tf, tl strings.Builder
+	for i := 0; i < nA; i++ {
+		fmt.Fprintf(&ta, "a%d,%d\n", i, r.Intn(10))
+	}
+	for i := 0; i < nB; i++ {
+		fmt.Fprintf(&tb, "b%d,%d\n", i, r.Intn(10))
+	}
+	for i := 0; i < 3+r.Intn(4*nA); i++ {
+		fmt.Fprintf(&te, "a%d,b%d,%d\n", r.Intn(nA), r.Intn(nB), r.Intn(10))
+	}
+	for i := 0; i < 3+r.Intn(4*nB); i++ {
+		fmt.Fprintf(&tf, "b%d,a%d\n", r.Intn(nB), r.Intn(nA))
+	}
+	for i := 0; i < r.Intn(3*nA); i++ {
+		fmt.Fprintf(&tl, "a%d,a%d\n", r.Intn(nA), r.Intn(nA))
+	}
+	return map[string]string{
+		"ta.csv": ta.String(), "tb.csv": tb.String(),
+		"te.csv": te.String(), "tf.csv": tf.String(), "tl.csv": tl.String(),
+	}
+}
+
+// randLinearQuery builds a random linear into-subgraph query over the
+// fixture types with random self conditions.
+func randLinearQuery(r *rand.Rand) string {
+	steps := 1 + r.Intn(4)
+	var b strings.Builder
+	cur := "A"
+	if r.Intn(2) == 0 {
+		cur = "B"
+	}
+	cond := func(vtx string) string {
+		switch r.Intn(3) {
+		case 0:
+			return fmt.Sprintf(" (n < %d)", 2+r.Intn(9))
+		case 1:
+			return fmt.Sprintf(" (n >= %d)", r.Intn(5))
+		default:
+			return " ( )"
+		}
+	}
+	b.WriteString("select * from graph\n")
+	b.WriteString(cur + cond(cur))
+	for s := 0; s < steps; s++ {
+		if cur == "A" {
+			if r.Intn(8) == 0 {
+				// Occasionally a path-regex fragment (stays at A via loop).
+				quants := []string{"+", "*", "{1}", "{2}", "{1,2}"}
+				fmt.Fprintf(&b, " ( --loop--> [ ] )%s ", quants[r.Intn(len(quants))])
+			} else if r.Intn(3) == 0 {
+				// loop keeps us at A.
+				b.WriteString(" --loop--> ")
+			} else if r.Intn(2) == 0 {
+				if r.Intn(3) == 0 {
+					fmt.Fprintf(&b, " --e (w > %d)--> ", r.Intn(8))
+				} else {
+					b.WriteString(" --e--> ")
+				}
+				cur = "B"
+			} else {
+				b.WriteString(" <--f-- ")
+				cur = "B"
+			}
+		} else {
+			if r.Intn(2) == 0 {
+				b.WriteString(" --f--> ")
+			} else {
+				if r.Intn(3) == 0 {
+					fmt.Fprintf(&b, " <--e (w > %d)-- ", r.Intn(8))
+				} else {
+					b.WriteString(" <--e-- ")
+				}
+			}
+			cur = "A"
+		}
+		b.WriteString(cur + cond(cur))
+	}
+	b.WriteString("\ninto subgraph out")
+	return b.String()
+}
+
+// subgraphFingerprint canonicalises a subgraph for comparison.
+func subgraphFingerprint(s *graph.Subgraph) string {
+	var parts []string
+	for vt, b := range s.Vertices {
+		if b.Any() {
+			parts = append(parts, fmt.Sprintf("v:%s:%v", vt.Name, b.Slice()))
+		}
+	}
+	for et, b := range s.Edges {
+		if b.Any() {
+			parts = append(parts, fmt.Sprintf("e:%s:%v", et.Name, b.Slice()))
+		}
+	}
+	sortStrings(parts)
+	return strings.Join(parts, ";")
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// TestCullingEqualsEnumeration is the core Eq. 5 property: for linear
+// chains, the bitmap forward/backward culling engine computes exactly the
+// collapse of full binding enumeration.
+func TestCullingEqualsEnumeration(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 120; trial++ {
+		files := randFixture(r)
+		e := newTestEngine(files)
+		mustExec(t, e, semaSchema, nil)
+		query := randLinearQuery(r)
+
+		script, err := parser.Parse(query)
+		if err != nil {
+			t.Fatalf("trial %d: parse: %v\n%s", trial, err, query)
+		}
+		an := &sema.Analyzer{Cat: e.Cat}
+		analyzed, err := an.Analyze(script.Stmts[0])
+		if err != nil {
+			t.Fatalf("trial %d: analyze: %v\n%s", trial, err, query)
+		}
+		sel := analyzed.(*sema.Select)
+		alt := sel.GraphAlts[0]
+		prep, err := e.prepareAlt(alt, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		cullSub := graph.NewSubgraph("cull")
+		enumSub := graph.NewSubgraph("enum")
+		err = e.forEachTyping(alt.Pattern, func(nt []*graph.VertexType, et []*graph.EdgeType) error {
+			m, err := e.newMatcher(alt.Pattern, cloneTypes(nt), cloneEdgeTypes(et), prep.nodeCond, prep.edgeCond, mustSeeds(e, alt.Pattern, nt))
+			if err != nil {
+				return err
+			}
+			nodeSel, edgeSel := selectedSteps(alt.Pattern, nil)
+			if err := m.cullChainIntoSubgraph(chainOrder(alt.Pattern), nodeSel, edgeSel, cullSub); err != nil {
+				return err
+			}
+			m2, err := e.newMatcher(alt.Pattern, cloneTypes(nt), cloneEdgeTypes(et), prep.nodeCond, prep.edgeCond, mustSeeds(e, alt.Pattern, nt))
+			if err != nil {
+				return err
+			}
+			return m2.enumerateIntoSubgraph(nodeSel, edgeSel, enumSub)
+		})
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, query)
+		}
+		if got, want := subgraphFingerprint(cullSub), subgraphFingerprint(enumSub); got != want {
+			t.Fatalf("trial %d: culling and enumeration disagree\nquery:\n%s\nculled: %s\nenumerated: %s",
+				trial, query, got, want)
+		}
+	}
+}
+
+// chainOrder recovers the chain node order for a single linear path
+// pattern (nodes are created in path order by the builder).
+func chainOrder(pat *sema.Pattern) []int {
+	out := make([]int, len(pat.Nodes))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// TestReverseIndexAblationEquivalence: disabling reverse indexes (§III-B
+// "when memory space ... is available") must not change any result, only
+// the execution strategy (edge scans instead of index probes).
+func TestReverseIndexAblationEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		files := randFixture(r)
+		query := randLinearQuery(r)
+
+		run := func(reverse bool) string {
+			opts := DefaultOptions()
+			opts.Workers = 2
+			opts.ReverseIndexes = reverse
+			opts.FileOpener = memFS(files)
+			e := New(opts)
+			mustExec(t, e, semaSchema, nil)
+			res := mustExec(t, e, query, nil)
+			return subgraphFingerprint(res[len(res)-1].Subgraph)
+		}
+		with := run(true)
+		without := run(false)
+		if with != without {
+			t.Fatalf("trial %d: reverse-index ablation changed results\nquery:\n%s\nwith: %s\nwithout: %s",
+				trial, query, with, without)
+		}
+	}
+}
+
+// TestRegexUnrollEquivalence: a {k} regex equals the explicitly unrolled
+// k-step path.
+func TestRegexUnrollEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		files := randFixture(r)
+		e := newTestEngine(files)
+		mustExec(t, e, semaSchema, nil)
+		k := 1 + r.Intn(3)
+
+		regexQ := fmt.Sprintf(
+			"select distinct y.id from graph A ( ) ( --loop--> [ ] ){%d} def y: A ( ) order by id asc", k)
+		unrolled := "select distinct y.id from graph A ( ) "
+		for i := 0; i < k-1; i++ {
+			unrolled += "--loop--> A ( ) "
+		}
+		unrolled += "--loop--> def y: A ( ) order by id asc"
+
+		a := rowSet(tableRows(t, mustExec(t, e, regexQ, nil)))
+		b := rowSet(tableRows(t, mustExec(t, e, unrolled, nil)))
+		if len(a) != len(b) {
+			t.Fatalf("trial %d k=%d: regex %v vs unrolled %v", trial, k, a, b)
+		}
+		for k2 := range a {
+			if b[k2] == 0 {
+				t.Fatalf("trial %d: %s missing from unrolled result", trial, k2)
+			}
+		}
+	}
+}
+
+// TestPlannerOrderIndependence: whatever order the planner picks, binding
+// results must match a canonical left-to-right evaluation. We force
+// different orders by flipping which end carries the selective filter.
+func TestPlannerOrderIndependence(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 30; trial++ {
+		files := randFixture(r)
+		e := newTestEngine(files)
+		mustExec(t, e, semaSchema, nil)
+		for _, q := range []string{
+			`select x.id, y.id as yid from graph def x: A (n < 2) --e--> def y: B ( )`,
+			`select x.id, y.id as yid from graph def x: A ( ) --e--> def y: B (n < 2)`,
+		} {
+			rows := tableRows(t, mustExec(t, e, q, nil))
+			// Reference: nested-loop over raw tables.
+			want := nestedLoopE(t, e, q)
+			got := rowSet(rows)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d query %q: got %v want %v", trial, q, got, want)
+			}
+			for k, n := range want {
+				if got[k] != n {
+					t.Fatalf("trial %d query %q: row %q count %d want %d", trial, q, k, got[k], n)
+				}
+			}
+		}
+	}
+}
+
+// nestedLoopE recomputes an A--e-->B binding query naively from the raw
+// tables, honouring the n<2 filter on whichever side carries it.
+func nestedLoopE(t *testing.T, e *Engine, q string) map[string]int {
+	t.Helper()
+	filterA := strings.Contains(q, "A (n < 2)")
+	filterB := strings.Contains(q, "B (n < 2)")
+	ta := e.Cat.Table("TA")
+	tb := e.Cat.Table("TB")
+	te := e.Cat.Table("TE")
+	nOf := func(tab string, id string) int64 {
+		tt := e.Cat.Table(tab)
+		for r := uint32(0); r < uint32(tt.NumRows()); r++ {
+			if tt.Value(r, 0).Str() == id {
+				return tt.Value(r, 1).Int()
+			}
+		}
+		t.Fatalf("missing id %s", id)
+		return 0
+	}
+	exists := func(tab, id string) bool {
+		tt := e.Cat.Table(tab)
+		for r := uint32(0); r < uint32(tt.NumRows()); r++ {
+			if tt.Value(r, 0).Str() == id {
+				return true
+			}
+		}
+		return false
+	}
+	_ = ta
+	_ = tb
+	out := map[string]int{}
+	for r := uint32(0); r < uint32(te.NumRows()); r++ {
+		src, dst := te.Value(r, 0).Str(), te.Value(r, 1).Str()
+		if !exists("TA", src) || !exists("TB", dst) {
+			continue
+		}
+		if filterA && nOf("TA", src) >= 2 {
+			continue
+		}
+		if filterB && nOf("TB", dst) >= 2 {
+			continue
+		}
+		out[src+"|"+dst]++
+	}
+	return out
+}

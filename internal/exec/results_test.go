@@ -1,0 +1,143 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStarIntoTableAllAttributes reproduces Fig. 13: "each row has all
+// the attributes of all entities involved in the query path", including
+// edge attributes from the associated table, with column names prefixed
+// by step.
+func TestStarIntoTableAllAttributes(t *testing.T) {
+	e := semaEngine(t)
+	res := mustExec(t, e, `
+select * from graph A (id = 'a1') --e--> B ( ) into table Full`, nil)
+	tb := res[len(res)-1].Table
+	names := tb.Schema().Names()
+	// A has (id, n); the e edge's associated table TE has (src, dst, w);
+	// B has (id, n) → 7 columns.
+	want := []string{"A.id", "A.n", "e.src", "e.dst", "e.w", "B.id", "B.n"}
+	if len(names) != len(want) {
+		t.Fatalf("columns = %v, want %v", names, want)
+	}
+	for i := range want {
+		if !strings.EqualFold(names[i], want[i]) {
+			t.Fatalf("column %d = %q, want %q", i, names[i], want[i])
+		}
+	}
+	// a1 has a single e edge (a1→b1, w=3).
+	if tb.NumRows() != 1 {
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	row := tb.Row(0)
+	if row[0].Str() != "a1" || row[4].Int() != 3 || row[5].Str() != "b1" {
+		t.Errorf("row = %v", row)
+	}
+}
+
+// TestStarDuplicateStepNamesAreDisambiguated: repeating a type in the
+// path must still produce unique star columns.
+func TestStarDuplicateStepNames(t *testing.T) {
+	e := semaEngine(t)
+	res := mustExec(t, e, `
+select * from graph A ( ) --loop--> A ( ) into table Dup`, nil)
+	tb := res[len(res)-1].Table
+	seen := map[string]bool{}
+	for _, n := range tb.Schema().Names() {
+		if seen[n] {
+			t.Fatalf("duplicate star column %q in %v", n, tb.Schema().Names())
+		}
+		seen[n] = true
+	}
+	if tb.Schema().Index("A.id") < 0 || tb.Schema().Index("A2.id") < 0 {
+		t.Errorf("expected A.* and A2.* prefixes, got %v", tb.Schema().Names())
+	}
+}
+
+// TestSubgraphStepSelection reproduces Fig. 11's second form: selecting
+// only the first and last steps yields a (possibly disconnected)
+// subgraph without the middle step or any edges not selected.
+func TestSubgraphStepSelection(t *testing.T) {
+	e := semaEngine(t)
+	res := mustExec(t, e, `
+select x, y from graph
+def x: A ( ) --e--> B ( ) --f--> def y: A ( )
+into subgraph ends`, nil)
+	sub := res[len(res)-1].Subgraph
+	g := e.Cat.Graph()
+	bSet := sub.Vertices[g.VertexType("B")]
+	if bSet != nil && bSet.Any() {
+		t.Error("middle step B must not be captured")
+	}
+	if sub.NumEdges() != 0 {
+		t.Errorf("unselected edges captured: %d", sub.NumEdges())
+	}
+	aSet := sub.Vertices[g.VertexType("A")]
+	if aSet == nil || !aSet.Any() {
+		t.Error("selected A steps missing")
+	}
+}
+
+// TestEdgeStepSelectionIntoSubgraph: selecting an edge label captures
+// those edge instances (and nothing else).
+func TestEdgeStepSelectionIntoSubgraph(t *testing.T) {
+	e := semaEngine(t)
+	res := mustExec(t, e, `
+select g from graph
+A (id = 'a0') --def g: e--> B ( )
+into subgraph justEdges`, nil)
+	sub := res[len(res)-1].Subgraph
+	if sub.NumVertices() != 0 {
+		t.Errorf("vertices captured: %d", sub.NumVertices())
+	}
+	if sub.NumEdges() != 3 { // a0→b0, a0→b1 ×2 (parallel)
+		t.Errorf("edges = %d, want 3", sub.NumEdges())
+	}
+}
+
+// TestWholeStepProjectionExpandsKeys: projecting a bare step into a table
+// emits its key column(s) under the step's display name.
+func TestWholeStepProjection(t *testing.T) {
+	e := semaEngine(t)
+	res := mustExec(t, e, `
+select x, y as target from graph
+def x: A (id = 'a0') --e--> def y: B ( )
+order by target asc`, nil)
+	tb := res[len(res)-1].Table
+	names := tb.Schema().Names()
+	if names[0] != "x" || names[1] != "target" {
+		t.Fatalf("columns = %v", names)
+	}
+	if tb.NumRows() != 3 { // b0, b1, b1 (parallel edge)
+		t.Fatalf("rows = %d", tb.NumRows())
+	}
+	if tb.Value(0, 1).Str() != "b0" || tb.Value(2, 1).Str() != "b1" {
+		t.Errorf("rows:\n%s", dumpTable(tb))
+	}
+}
+
+// TestResultWithoutInto returns the table to the caller without
+// registering anything in the catalog.
+func TestResultWithoutInto(t *testing.T) {
+	e := semaEngine(t)
+	res := mustExec(t, e, `select x.id from graph def x: A (n > 1)`, nil)
+	if res[len(res)-1].Table == nil {
+		t.Fatal("expected an inline table result")
+	}
+	if e.Cat.Table("result") != nil {
+		t.Error("inline results must not be registered")
+	}
+}
+
+// TestIntoTableReplaces: re-running a query replaces the named result.
+func TestIntoTableReplaces(t *testing.T) {
+	e := semaEngine(t)
+	mustExec(t, e, `select x.id from graph def x: A (n > 2) into table R`, nil)
+	first := e.Cat.Table("R").NumRows()
+	mustExec(t, e, `select x.id from graph def x: A (n >= 0) into table R`, nil)
+	second := e.Cat.Table("R").NumRows()
+	if first != 1 || second != 4 {
+		t.Errorf("replacement: first=%d second=%d", first, second)
+	}
+}

@@ -1,0 +1,84 @@
+package exec
+
+import (
+	"testing"
+)
+
+// Table-select behaviours through the full language path (Table I).
+func TestComputedExpressionItems(t *testing.T) {
+	e := semaEngine(t)
+	rows := tableRows(t, mustExec(t, e, `
+select id, n * 10 + 1 as scaled from table TA where n >= 2 order by scaled desc`, nil))
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][1] != "31" || rows[1][1] != "21" {
+		t.Errorf("computed values = %v", rows)
+	}
+}
+
+func TestGlobalAggregates(t *testing.T) {
+	e := semaEngine(t)
+	rows := tableRows(t, mustExec(t, e, `
+select count(*) as n, sum(n) as total, min(n) as lo, max(n) as hi, avg(n) as mean from table TA`, nil))
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	want := []string{"4", "6", "0", "3", "1.5"}
+	for i, w := range want {
+		if rows[0][i] != w {
+			t.Errorf("aggregate %d = %s, want %s", i, rows[0][i], w)
+		}
+	}
+}
+
+func TestDistinctTopOrderPipeline(t *testing.T) {
+	e := semaEngine(t)
+	// TE has 5 rows with src values a0 (×3), a1, a2.
+	rows := tableRows(t, mustExec(t, e, `
+select top 2 distinct src from table TE order by src asc`, nil))
+	if len(rows) != 2 || rows[0][0] != "a0" || rows[1][0] != "a1" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestGraphSelectTopAndDistinct(t *testing.T) {
+	e := semaEngine(t)
+	// Without distinct, a0→b1 appears twice (parallel edges).
+	rows := tableRows(t, mustExec(t, e, `
+select y.id from graph A (id = 'a0') --e--> def y: B ( ) order by id asc`, nil))
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	rows = tableRows(t, mustExec(t, e, `
+select distinct y.id from graph A (id = 'a0') --e--> def y: B ( ) order by id asc`, nil))
+	if len(rows) != 2 {
+		t.Fatalf("distinct rows = %v", rows)
+	}
+	rows = tableRows(t, mustExec(t, e, `
+select top 1 y.id from graph A (id = 'a0') --e--> def y: B ( ) order by id desc`, nil))
+	if len(rows) != 1 || rows[0][0] != "b1" {
+		t.Fatalf("top rows = %v", rows)
+	}
+}
+
+func TestDateParamsAndCoercion(t *testing.T) {
+	files := map[string]string{
+		"tt.csv": "x,2008-03-01\ny,2009-06-15\n",
+	}
+	e := newTestEngine(files)
+	mustExec(t, e, `
+create table TT(id varchar(4), d date)
+create vertex V(id) from table TT
+ingest table TT tt.csv`, nil)
+	// String literal coerces against the date column.
+	rows := tableRows(t, mustExec(t, e, `select id from table TT where d < '2009-01-01'`, nil))
+	if len(rows) != 1 || rows[0][0] != "x" {
+		t.Fatalf("coerced literal rows = %v", rows)
+	}
+	// The same through a path condition.
+	rows = tableRows(t, mustExec(t, e, `select v.id from graph def v: V (d >= '2009-01-01')`, nil))
+	if len(rows) != 1 || rows[0][0] != "y" {
+		t.Fatalf("path date rows = %v", rows)
+	}
+}

@@ -1,0 +1,280 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"graql/internal/value"
+)
+
+// mapEnv implements Env/TypeEnv over a flat (source, col) → value map.
+type mapEnv struct {
+	vals  map[[2]int]value.Value
+	types map[[2]int]value.Type
+}
+
+func (m mapEnv) Lookup(s, c int) value.Value { return m.vals[[2]int{s, c}] }
+func (m mapEnv) TypeOf(s, c int) value.Type  { return m.types[[2]int{s, c}] }
+
+func ref(s, c int, name string) *Ref {
+	r := NewRef("", name)
+	r.Source, r.Col = s, c
+	return r
+}
+
+func i(n int64) Expr   { return NewConst(value.NewInt(n)) }
+func f(x float64) Expr { return NewConst(value.NewFloat(x)) }
+func s(x string) Expr  { return NewConst(value.NewString(x)) }
+func b(x bool) Expr    { return NewConst(value.NewBool(x)) }
+
+func evalOK(t *testing.T, e Expr, env Env) value.Value {
+	t.Helper()
+	v, err := e.Eval(env)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", e, err)
+	}
+	return v
+}
+
+func TestComparisonOps(t *testing.T) {
+	cases := []struct {
+		op   Op
+		l, r Expr
+		want bool
+	}{
+		{OpEq, i(2), i(2), true},
+		{OpEq, i(2), f(2.0), true},
+		{OpNe, s("a"), s("b"), true},
+		{OpLt, i(1), i(2), true},
+		{OpLe, i(2), i(2), true},
+		{OpGt, f(2.5), i(2), true},
+		{OpGe, i(1), i(2), false},
+	}
+	for _, c := range cases {
+		got := evalOK(t, NewBinary(c.op, c.l, c.r), nil)
+		if got.Bool() != c.want {
+			t.Errorf("%s %s %s = %v, want %v", c.l, c.op, c.r, got.Bool(), c.want)
+		}
+	}
+}
+
+func TestComparisonNullIsNull(t *testing.T) {
+	null := NewConst(value.NewNull(value.KindInt))
+	for _, op := range []Op{OpEq, OpNe, OpLt, OpGe} {
+		got := evalOK(t, NewBinary(op, null, i(1)), nil)
+		if !got.IsNull() {
+			t.Errorf("NULL %s 1 must be NULL (three-valued logic)", op)
+		}
+	}
+}
+
+// TestKleeneConnectives: SQL three-valued logic for and/or/not.
+func TestKleeneConnectives(t *testing.T) {
+	null := NewConst(value.NewNull(value.KindBool))
+	cases := []struct {
+		e      Expr
+		isNull bool
+		val    bool
+	}{
+		{NewBinary(OpAnd, b(false), null), false, false}, // false and NULL = false
+		{NewBinary(OpAnd, null, b(false)), false, false},
+		{NewBinary(OpAnd, b(true), null), true, false}, // true and NULL = NULL
+		{NewBinary(OpOr, b(true), null), false, true},  // true or NULL = true
+		{NewBinary(OpOr, null, b(true)), false, true},
+		{NewBinary(OpOr, b(false), null), true, false}, // false or NULL = NULL
+		{&Unary{Op: OpNot, X: null}, true, false},      // not NULL = NULL
+	}
+	for _, c := range cases {
+		got := evalOK(t, c.e, nil)
+		if got.IsNull() != c.isNull {
+			t.Errorf("%s: IsNull = %v, want %v", c.e, got.IsNull(), c.isNull)
+			continue
+		}
+		if !c.isNull && got.Bool() != c.val {
+			t.Errorf("%s = %v, want %v", c.e, got.Bool(), c.val)
+		}
+	}
+}
+
+func TestComparisonTypeError(t *testing.T) {
+	e := NewBinary(OpLt, NewConst(value.DateFromYMD(2008, 1, 1)), f(1.5))
+	if _, err := e.Eval(nil); err == nil {
+		t.Error("date < float must error at runtime")
+	}
+}
+
+func TestLogicalShortCircuit(t *testing.T) {
+	// The right side would error (unresolved ref) if evaluated.
+	boom := NewRef("", "boom")
+	if got := evalOK(t, NewBinary(OpAnd, b(false), boom), nil); got.Bool() {
+		t.Error("false and X must short-circuit to false")
+	}
+	if got := evalOK(t, NewBinary(OpOr, b(true), boom), nil); !got.Bool() {
+		t.Error("true or X must short-circuit to true")
+	}
+	if _, err := NewBinary(OpAnd, b(true), boom).Eval(nil); err == nil {
+		t.Error("true and <unresolved> must surface the error")
+	}
+}
+
+func TestNotAndNeg(t *testing.T) {
+	if got := evalOK(t, &Unary{Op: OpNot, X: b(false)}, nil); !got.Bool() {
+		t.Error("not false = true")
+	}
+	if got := evalOK(t, &Unary{Op: OpNeg, X: i(5)}, nil); got.Int() != -5 {
+		t.Error("-5 wrong")
+	}
+	if _, err := (&Unary{Op: OpNot, X: i(1)}).Eval(nil); err == nil {
+		t.Error("not integer must error")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want value.Value
+	}{
+		{NewBinary(OpAdd, i(2), i(3)), value.NewInt(5)},
+		{NewBinary(OpSub, i(2), i(3)), value.NewInt(-1)},
+		{NewBinary(OpMul, i(4), i(3)), value.NewInt(12)},
+		{NewBinary(OpDiv, i(7), i(2)), value.NewInt(3)},
+		{NewBinary(OpMod, i(7), i(2)), value.NewInt(1)},
+		{NewBinary(OpAdd, i(2), f(0.5)), value.NewFloat(2.5)},
+		{NewBinary(OpDiv, f(7), i(2)), value.NewFloat(3.5)},
+	}
+	for _, c := range cases {
+		got := evalOK(t, c.e, nil)
+		if !value.Equal(got, c.want) {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+	if _, err := NewBinary(OpDiv, i(1), i(0)).Eval(nil); err == nil {
+		t.Error("integer division by zero must error")
+	}
+	if _, err := NewBinary(OpAdd, s("a"), i(1)).Eval(nil); err == nil {
+		t.Error("varchar + integer must error")
+	}
+}
+
+func TestRefEval(t *testing.T) {
+	env := mapEnv{vals: map[[2]int]value.Value{{0, 1}: value.NewInt(7)}}
+	got := evalOK(t, ref(0, 1, "x"), env)
+	if got.Int() != 7 {
+		t.Errorf("ref = %v", got)
+	}
+	if _, err := NewRef("q", "y").Eval(env); err == nil {
+		t.Error("unresolved ref must error")
+	}
+}
+
+func TestCheckRules(t *testing.T) {
+	env := mapEnv{types: map[[2]int]value.Type{
+		{0, 0}: value.Date,
+		{0, 1}: value.Float,
+		{0, 2}: value.Bool,
+	}}
+	// date vs float comparison: the paper's own static error example.
+	bad := NewBinary(OpLt, ref(0, 0, "d"), ref(0, 1, "f"))
+	if _, err := bad.Check(env); err == nil {
+		t.Error("date < float must fail static checking")
+	}
+	// boolean connective over non-boolean.
+	bad2 := NewBinary(OpAnd, ref(0, 1, "f"), ref(0, 2, "b"))
+	if _, err := bad2.Check(env); err == nil {
+		t.Error("float and bool must fail static checking")
+	}
+	// Params are wildcards.
+	wild := NewBinary(OpEq, ref(0, 0, "d"), &Param{Name: "P"})
+	if typ, err := wild.Check(env); err != nil || typ.Kind != value.KindBool {
+		t.Errorf("param comparison should check as boolean, got %v, %v", typ, err)
+	}
+	ok := NewBinary(OpGe, ref(0, 1, "f"), NewConst(value.NewInt(3)))
+	if typ, err := ok.Check(env); err != nil || typ.Kind != value.KindBool {
+		t.Errorf("float >= int should be boolean, got %v, %v", typ, err)
+	}
+}
+
+func TestBindParams(t *testing.T) {
+	e := NewBinary(OpEq, ref(0, 0, "id"), &Param{Name: "P"})
+	bound, err := BindParams(e, map[string]value.Value{"P": value.NewString("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := mapEnv{vals: map[[2]int]value.Value{{0, 0}: value.NewString("x")}}
+	if got := evalOK(t, bound, env); !got.Bool() {
+		t.Error("bound comparison should hold")
+	}
+	// Original is untouched (params still unbound).
+	if _, err := e.Eval(env); err == nil {
+		t.Error("original expression must keep its parameter")
+	}
+	if _, err := BindParams(e, nil); err == nil || !strings.Contains(err.Error(), "%P%") {
+		t.Errorf("missing binding error = %v", err)
+	}
+}
+
+func TestConjunctsAndAll(t *testing.T) {
+	e := NewBinary(OpAnd, NewBinary(OpAnd, b(true), b(false)), b(true))
+	cs := Conjuncts(e)
+	if len(cs) != 3 {
+		t.Fatalf("conjuncts = %d, want 3", len(cs))
+	}
+	round := AndAll(cs)
+	if round.String() != e.String() {
+		t.Errorf("AndAll(Conjuncts) = %s, want %s", round, e)
+	}
+	if Conjuncts(nil) != nil {
+		t.Error("nil has no conjuncts")
+	}
+	if AndAll(nil) != nil {
+		t.Error("AndAll(nil) must be nil")
+	}
+}
+
+func TestParamsAndRefsWalk(t *testing.T) {
+	e := NewBinary(OpAnd,
+		NewBinary(OpEq, NewRef("a", "x"), &Param{Name: "P1"}),
+		NewBinary(OpGt, NewRef("b", "y"), &Param{Name: "P2"}))
+	if got := Params(e); len(got) != 2 || got[0] != "P1" || got[1] != "P2" {
+		t.Errorf("Params = %v", got)
+	}
+	if got := Refs(e); len(got) != 2 || got[0].Qualifier != "a" {
+		t.Errorf("Refs = %v", got)
+	}
+}
+
+func TestEqualityPair(t *testing.T) {
+	e := NewBinary(OpEq, NewRef("a", "x"), NewRef("b", "y"))
+	l, r, ok := EqualityPair(e)
+	if !ok || l.Qualifier != "a" || r.Qualifier != "b" {
+		t.Error("EqualityPair failed on ref=ref")
+	}
+	if _, _, ok := EqualityPair(NewBinary(OpEq, NewRef("a", "x"), i(1))); ok {
+		t.Error("ref=const is not an equality pair")
+	}
+	if _, _, ok := EqualityPair(NewBinary(OpLt, NewRef("a", "x"), NewRef("b", "y"))); ok {
+		t.Error("< is not an equality pair")
+	}
+}
+
+func TestRewriteIsDeep(t *testing.T) {
+	orig := NewBinary(OpEq, NewRef("a", "x"), i(1))
+	copied := Rewrite(orig, func(Expr) Expr { return nil })
+	copied.(*Binary).L.(*Ref).Source = 5
+	if orig.L.(*Ref).Source == 5 {
+		t.Error("Rewrite must copy Ref nodes, not alias them")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := NewBinary(OpAnd,
+		NewBinary(OpEq, NewRef("", "country"), s("US")),
+		NewBinary(OpGt, NewRef("y", "price"), &Param{Name: "Max"}))
+	want := "(country = 'US' and y.price > %Max%)"
+	if got := e.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if got := s("o'brien").String(); got != "'o''brien'" {
+		t.Errorf("quote escaping: %q", got)
+	}
+}

@@ -1,0 +1,139 @@
+package expr
+
+import (
+	"fmt"
+
+	"graql/internal/value"
+)
+
+// Rewrite returns a copy of e with f applied bottom-up to every node. If f
+// returns nil for a node, the (possibly child-rewritten) node is kept.
+func Rewrite(e Expr, f func(Expr) Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	switch n := e.(type) {
+	case *Unary:
+		e = &Unary{Op: n.Op, X: Rewrite(n.X, f)}
+	case *Binary:
+		e = &Binary{Op: n.Op, L: Rewrite(n.L, f), R: Rewrite(n.R, f)}
+	case *Ref:
+		cp := *n
+		e = &cp
+	}
+	if r := f(e); r != nil {
+		return r
+	}
+	return e
+}
+
+// Walk invokes f on every node of e, top-down.
+func Walk(e Expr, f func(Expr)) {
+	if e == nil {
+		return
+	}
+	f(e)
+	switch n := e.(type) {
+	case *Unary:
+		Walk(n.X, f)
+	case *Binary:
+		Walk(n.L, f)
+		Walk(n.R, f)
+	}
+}
+
+// BindParams substitutes %name% parameters with the given values. A
+// parameter with no binding is an error (the paper's queries are templates;
+// execution needs concrete values).
+func BindParams(e Expr, params map[string]value.Value) (Expr, error) {
+	if e == nil {
+		return nil, nil
+	}
+	var missing string
+	out := Rewrite(e, func(n Expr) Expr {
+		p, ok := n.(*Param)
+		if !ok {
+			return nil
+		}
+		v, ok := params[p.Name]
+		if !ok {
+			if missing == "" {
+				missing = p.Name
+			}
+			return nil
+		}
+		return NewConst(v)
+	})
+	if missing != "" {
+		return nil, fmt.Errorf("graql: no binding for parameter %%%s%%", missing)
+	}
+	return out, nil
+}
+
+// Params returns the distinct parameter names appearing in e, in first-use
+// order.
+func Params(e Expr) []string {
+	var names []string
+	seen := map[string]bool{}
+	Walk(e, func(n Expr) {
+		if p, ok := n.(*Param); ok && !seen[p.Name] {
+			seen[p.Name] = true
+			names = append(names, p.Name)
+		}
+	})
+	return names
+}
+
+// Refs returns every Ref node in e, in source order.
+func Refs(e Expr) []*Ref {
+	var out []*Ref
+	Walk(e, func(n Expr) {
+		if r, ok := n.(*Ref); ok {
+			out = append(out, r)
+		}
+	})
+	return out
+}
+
+// Conjuncts splits e on top-level AND into its conjuncts. A nil expression
+// yields no conjuncts.
+func Conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*Binary); ok && b.Op == OpAnd {
+		return append(Conjuncts(b.L), Conjuncts(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// AndAll combines the given expressions with AND; nil for an empty slice.
+func AndAll(es []Expr) Expr {
+	var out Expr
+	for _, e := range es {
+		if e == nil {
+			continue
+		}
+		if out == nil {
+			out = e
+		} else {
+			out = NewBinary(OpAnd, out, e)
+		}
+	}
+	return out
+}
+
+// EqualityPair reports whether e is an equality comparison between two
+// column references and returns them.
+func EqualityPair(e Expr) (l, r *Ref, ok bool) {
+	b, isBin := e.(*Binary)
+	if !isBin || b.Op != OpEq {
+		return nil, nil, false
+	}
+	lr, lok := b.L.(*Ref)
+	rr, rok := b.R.(*Ref)
+	if !lok || !rok {
+		return nil, nil, false
+	}
+	return lr, rr, true
+}

@@ -1,0 +1,198 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"graql/internal/table"
+	"graql/internal/value"
+)
+
+// Edge is one directed typed edge instance: source and target vertex ids
+// (within the edge type's source/target vertex types) plus the row of the
+// associated attribute table the edge carries (NoVertex when the edge type
+// has no associated table).
+type Edge struct {
+	Src     VID
+	Dst     VID
+	AttrRow uint32
+}
+
+// EdgeType is a typed edge set E_i(V_a, V_b) built per paper Eq. 2:
+//
+//	E(a1..an) = (S ⋈ (σ_φ A)_{a1..an}) ⋈ T
+//
+// The edge list is materialised once at creation and frozen into a forward
+// CSR (source → targets) and, unless disabled, a reverse CSR (target →
+// sources), mirroring GEMS's bidirectional edge indexes (§III-B).
+type EdgeType struct {
+	ID   int
+	Name string
+	Src  *VertexType
+	Dst  *VertexType
+	// Attrs is the edge attribute table (one row per edge, gathered from
+	// the associated table), or nil when the declaration had no
+	// attribute-bearing table.
+	Attrs *table.Table
+
+	srcs, dsts []uint32
+	fwd        CSR
+	rev        CSR
+	hasRev     bool
+}
+
+// NewEdgeType freezes the given edge list into an indexed edge type.
+// attrRows, when non-nil, maps each edge to its row in attrs. buildReverse
+// controls whether the reverse index is materialised (the paper builds it
+// "when memory space on the cluster is available"; our E3 ablation measures
+// its value).
+func NewEdgeType(id int, name string, src, dst *VertexType, edges []Edge, attrs *table.Table, buildReverse bool) *EdgeType {
+	et := &EdgeType{ID: id, Name: name, Src: src, Dst: dst, Attrs: attrs}
+	et.srcs = make([]uint32, len(edges))
+	et.dsts = make([]uint32, len(edges))
+	var attrIdx []uint32
+	if attrs != nil {
+		attrIdx = make([]uint32, len(edges))
+	}
+	for i, e := range edges {
+		et.srcs[i] = e.Src
+		et.dsts[i] = e.Dst
+		if attrs != nil {
+			attrIdx[i] = e.AttrRow
+		}
+	}
+	if attrs != nil {
+		// Gather so edge id == attribute row id.
+		et.Attrs = attrs.Gather(name, attrIdx)
+	}
+	et.fwd = buildCSR(src.Count(), et.srcs, et.dsts)
+	if buildReverse {
+		et.rev = buildCSR(dst.Count(), et.dsts, et.srcs)
+		et.hasRev = true
+	}
+	return et
+}
+
+// Count returns the number of edge instances.
+func (et *EdgeType) Count() int { return len(et.srcs) }
+
+// EdgeAt returns the endpoints of edge e.
+func (et *EdgeType) EdgeAt(e uint32) (src, dst VID) { return et.srcs[e], et.dsts[e] }
+
+// Forward returns the source→target CSR index.
+func (et *EdgeType) Forward() *CSR { return &et.fwd }
+
+// Reverse returns the target→source CSR index and whether it exists.
+func (et *EdgeType) Reverse() (*CSR, bool) { return &et.rev, et.hasRev }
+
+// HasReverse reports whether the reverse index was built.
+func (et *EdgeType) HasReverse() bool { return et.hasRev }
+
+// AttrIndex resolves an edge attribute name, addressing the Attrs table.
+func (et *EdgeType) AttrIndex(name string) (int, bool) {
+	if et.Attrs == nil {
+		return -1, false
+	}
+	i := et.Attrs.Schema().Index(name)
+	return i, i >= 0
+}
+
+// AttrType returns the type of a resolved edge attribute.
+func (et *EdgeType) AttrType(col int) value.Type { return et.Attrs.Schema()[col].Type }
+
+// AttrValue returns attribute col of edge e.
+func (et *EdgeType) AttrValue(e uint32, col int) value.Value { return et.Attrs.Value(e, col) }
+
+// AttrSchema returns the edge attribute schema (nil when no attributes).
+func (et *EdgeType) AttrSchema() table.Schema {
+	if et.Attrs == nil {
+		return nil
+	}
+	return et.Attrs.Schema()
+}
+
+// AvgOutDegree returns |E| / |V_src| (catalog statistic for the planner).
+func (et *EdgeType) AvgOutDegree() float64 {
+	if et.Src.Count() == 0 {
+		return 0
+	}
+	return float64(et.Count()) / float64(et.Src.Count())
+}
+
+// AvgInDegree returns |E| / |V_dst|.
+func (et *EdgeType) AvgInDegree() float64 {
+	if et.Dst.Count() == 0 {
+		return 0
+	}
+	return float64(et.Count()) / float64(et.Dst.Count())
+}
+
+// DegreeStats summarises one direction of an edge type's degree
+// distribution — the "statistical properties of the degree distribution"
+// that the paper's dynamic analysis collects for the planner (§III-B).
+type DegreeStats struct {
+	Avg float64
+	Max int
+	P50 int
+	P90 int
+}
+
+// OutDegreeStats returns the source-side degree distribution summary.
+func (et *EdgeType) OutDegreeStats() DegreeStats {
+	return degreeStats(&et.fwd, et.Src.Count(), et.AvgOutDegree())
+}
+
+// InDegreeStats returns the target-side degree distribution summary
+// (computed from the reverse index when present, else from the edge list).
+func (et *EdgeType) InDegreeStats() DegreeStats {
+	if et.hasRev {
+		return degreeStats(&et.rev, et.Dst.Count(), et.AvgInDegree())
+	}
+	counts := make([]int, et.Dst.Count())
+	for _, d := range et.dsts {
+		counts[d]++
+	}
+	return summarize(counts, et.AvgInDegree())
+}
+
+func degreeStats(c *CSR, n int, avg float64) DegreeStats {
+	counts := make([]int, n)
+	for v := 0; v < n; v++ {
+		counts[v] = c.Degree(uint32(v))
+	}
+	return summarize(counts, avg)
+}
+
+func summarize(counts []int, avg float64) DegreeStats {
+	if len(counts) == 0 {
+		return DegreeStats{Avg: avg}
+	}
+	sort.Ints(counts)
+	return DegreeStats{
+		Avg: avg,
+		Max: counts[len(counts)-1],
+		P50: counts[len(counts)/2],
+		P90: counts[len(counts)*9/10],
+	}
+}
+
+// Validate checks internal consistency (used by tests and after IR
+// decode): endpoint ids must be in range and the two CSRs must agree on
+// the edge count.
+func (et *EdgeType) Validate() error {
+	for i := range et.srcs {
+		if int(et.srcs[i]) >= et.Src.Count() {
+			return fmt.Errorf("graql: edge %s[%d]: source out of range", et.Name, i)
+		}
+		if int(et.dsts[i]) >= et.Dst.Count() {
+			return fmt.Errorf("graql: edge %s[%d]: target out of range", et.Name, i)
+		}
+	}
+	if et.fwd.NumEdges() != len(et.srcs) {
+		return fmt.Errorf("graql: edge %s: forward index size mismatch", et.Name)
+	}
+	if et.hasRev && et.rev.NumEdges() != len(et.srcs) {
+		return fmt.Errorf("graql: edge %s: reverse index size mismatch", et.Name)
+	}
+	return nil
+}

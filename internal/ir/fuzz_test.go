@@ -1,0 +1,44 @@
+package ir
+
+import (
+	"testing"
+
+	"graql/internal/bsbm"
+	"graql/internal/parser"
+)
+
+// FuzzDecode: arbitrary bytes must never panic the IR decoder, and any
+// blob it accepts must re-encode losslessly (decode∘encode fixpoint on
+// the source rendering).
+func FuzzDecode(f *testing.F) {
+	for _, src := range []string{bsbm.FullDDL, bsbm.Q1.Script, bsbm.Q8.Script} {
+		script, err := parser.Parse(src)
+		if err != nil {
+			f.Fatal(err)
+		}
+		blob, err := Encode(script)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	f.Add([]byte("GRQL\x01"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		script, err := Decode(data)
+		if err != nil {
+			return
+		}
+		blob, err := Encode(script)
+		if err != nil {
+			t.Fatalf("decoded script fails to re-encode: %v", err)
+		}
+		back, err := Decode(blob)
+		if err != nil {
+			t.Fatalf("re-encoded blob fails to decode: %v", err)
+		}
+		if back.String() != script.String() {
+			t.Fatalf("IR round trip diverged:\nfirst:  %q\nsecond: %q", script.String(), back.String())
+		}
+	})
+}

@@ -1,0 +1,428 @@
+// Package lexer tokenizes GraQL source text.
+//
+// GraQL extends SQL with graph-path syntax, so besides the usual SQL tokens
+// the lexer recognises the path arrows of the paper's query figures:
+// "--" ... "-->" for an out-edge step and "<--" ... "--" for an in-edge
+// step, the "[ ]" variant-step metavariable, and "%name%" query
+// parameters. Comments are "//" to end of line (the style used in the
+// paper's Appendix A) and "/* ... */" blocks.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Kind classifies a token.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Keyword
+	Int
+	Float
+	String // single-quoted literal
+	Param  // %name%
+
+	LParen
+	RParen
+	LBracket
+	RBracket
+	LBrace
+	RBrace
+	Comma
+	Dot
+	Colon
+	Semicolon
+	Star
+	Plus
+	Minus
+	Slash
+	Percent
+
+	Eq     // =
+	Ne     // <> or !=
+	Lt     // <
+	Le     // <=
+	Gt     // >
+	Ge     // >=
+	Dash2  // --
+	RArrow // -->
+	LArrow // <--
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "end of input"
+	case Ident:
+		return "identifier"
+	case Keyword:
+		return "keyword"
+	case Int:
+		return "integer"
+	case Float:
+		return "float"
+	case String:
+		return "string"
+	case Param:
+		return "parameter"
+	case LParen:
+		return "'('"
+	case RParen:
+		return "')'"
+	case LBracket:
+		return "'['"
+	case RBracket:
+		return "']'"
+	case LBrace:
+		return "'{'"
+	case RBrace:
+		return "'}'"
+	case Comma:
+		return "','"
+	case Dot:
+		return "'.'"
+	case Colon:
+		return "':'"
+	case Semicolon:
+		return "';'"
+	case Star:
+		return "'*'"
+	case Plus:
+		return "'+'"
+	case Minus:
+		return "'-'"
+	case Slash:
+		return "'/'"
+	case Percent:
+		return "'%'"
+	case Eq:
+		return "'='"
+	case Ne:
+		return "'<>'"
+	case Lt:
+		return "'<'"
+	case Le:
+		return "'<='"
+	case Gt:
+		return "'>'"
+	case Ge:
+		return "'>='"
+	case Dash2:
+		return "'--'"
+	case RArrow:
+		return "'-->'"
+	case LArrow:
+		return "'<--'"
+	}
+	return "token?"
+}
+
+// keywords is the set of reserved GraQL words (matched case-insensitively).
+var keywords = map[string]bool{
+	"create": true, "table": true, "vertex": true, "edge": true,
+	"with": true, "vertices": true, "from": true, "where": true,
+	"and": true, "or": true, "not": true,
+	"ingest": true, "output": true, "select": true, "top": true, "distinct": true,
+	"count": true, "avg": true, "min": true, "max": true, "sum": true,
+	"as": true, "group": true, "by": true, "order": true,
+	"asc": true, "desc": true, "into": true, "subgraph": true,
+	"graph": true, "def": true, "foreach": true, "explain": true,
+	"true": true, "false": true, "null": true,
+}
+
+// IsKeyword reports whether s is reserved.
+func IsKeyword(s string) bool { return keywords[strings.ToLower(s)] }
+
+// Token is one lexeme with its source position (1-based line and column)
+// and byte offsets into the input.
+type Token struct {
+	Kind       Kind
+	Text       string // raw text (keywords preserved as written; strings unquoted)
+	Line, Col  int
+	Start, End int
+	// AfterNewline reports whether a line break separates this token from
+	// the previous one (used for newline-delimited constructs like ingest
+	// file paths).
+	AfterNewline bool
+}
+
+// Lower returns the token text lower-cased (for keyword matching).
+func (t Token) Lower() string { return strings.ToLower(t.Text) }
+
+// Is reports whether t is the given keyword (case-insensitive).
+func (t Token) Is(kw string) bool { return t.Kind == Keyword && t.Lower() == kw }
+
+// Error is a lexical error with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("graql: syntax error at line %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Lex tokenizes src completely, returning the token stream terminated by an
+// EOF token.
+func Lex(src string) ([]Token, error) {
+	l := &lexer{src: src, line: 1, col: 1}
+	var toks []Token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == EOF {
+			return toks, nil
+		}
+	}
+}
+
+type lexer struct {
+	src       string
+	pos       int
+	line, col int
+	sawNL     bool
+}
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekAt(off int) byte {
+	if l.pos+off < len(l.src) {
+		return l.src[l.pos+off]
+	}
+	return 0
+}
+
+func (l *lexer) advance(n int) {
+	for i := 0; i < n && l.pos < len(l.src); i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 1
+			l.sawNL = true
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance(1)
+		case c == '/' && l.peekAt(1) == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance(1)
+			}
+		case c == '/' && l.peekAt(1) == '*':
+			l.advance(2)
+			for {
+				if l.pos >= len(l.src) {
+					return l.errf("unterminated block comment")
+				}
+				if l.src[l.pos] == '*' && l.peekAt(1) == '/' {
+					l.advance(2)
+					break
+				}
+				l.advance(1)
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (l *lexer) next() (Token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	t := Token{Line: l.line, Col: l.col, Start: l.pos, AfterNewline: l.sawNL}
+	l.sawNL = false
+	if l.pos >= len(l.src) {
+		t.Kind = EOF
+		t.End = l.pos
+		return t, nil
+	}
+	c := l.src[l.pos]
+
+	emit := func(k Kind, n int) (Token, error) {
+		t.Kind = k
+		t.Text = l.src[l.pos : l.pos+n]
+		l.advance(n)
+		t.End = l.pos
+		return t, nil
+	}
+
+	switch {
+	case isIdentStart(c):
+		j := l.pos
+		for j < len(l.src) && isIdentPart(l.src[j]) {
+			j++
+		}
+		word := l.src[l.pos:j]
+		k := Ident
+		if IsKeyword(word) {
+			k = Keyword
+		}
+		return emit(k, j-l.pos)
+
+	case c >= '0' && c <= '9':
+		j := l.pos
+		isFloat := false
+		for j < len(l.src) && (l.src[j] >= '0' && l.src[j] <= '9') {
+			j++
+		}
+		// A '.' is part of the number only if followed by a digit, so that
+		// "10" in "top 10" and "{10}" stay integers and "a.b" stays a
+		// qualified name.
+		if j+1 < len(l.src) && l.src[j] == '.' && l.src[j+1] >= '0' && l.src[j+1] <= '9' {
+			isFloat = true
+			j++
+			for j < len(l.src) && (l.src[j] >= '0' && l.src[j] <= '9') {
+				j++
+			}
+		}
+		if j < len(l.src) && (l.src[j] == 'e' || l.src[j] == 'E') {
+			k := j + 1
+			if k < len(l.src) && (l.src[k] == '+' || l.src[k] == '-') {
+				k++
+			}
+			if k < len(l.src) && l.src[k] >= '0' && l.src[k] <= '9' {
+				isFloat = true
+				j = k
+				for j < len(l.src) && (l.src[j] >= '0' && l.src[j] <= '9') {
+					j++
+				}
+			}
+		}
+		if isFloat {
+			return emit(Float, j-l.pos)
+		}
+		return emit(Int, j-l.pos)
+
+	case c == '\'':
+		var sb strings.Builder
+		j := l.pos + 1
+		for {
+			if j >= len(l.src) {
+				return Token{}, l.errf("unterminated string literal")
+			}
+			if l.src[j] == '\'' {
+				if j+1 < len(l.src) && l.src[j+1] == '\'' { // '' escape
+					sb.WriteByte('\'')
+					j += 2
+					continue
+				}
+				j++
+				break
+			}
+			sb.WriteByte(l.src[j])
+			j++
+		}
+		t.Kind = String
+		t.Text = sb.String()
+		l.advance(j - l.pos)
+		t.End = l.pos
+		return t, nil
+
+	case c == '%':
+		// %name% parameter, else modulo operator.
+		if isIdentStart(l.peekAt(1)) {
+			j := l.pos + 1
+			for j < len(l.src) && isIdentPart(l.src[j]) {
+				j++
+			}
+			if j < len(l.src) && l.src[j] == '%' {
+				t.Kind = Param
+				t.Text = l.src[l.pos+1 : j]
+				l.advance(j + 1 - l.pos)
+				t.End = l.pos
+				return t, nil
+			}
+		}
+		return emit(Percent, 1)
+
+	case c == '-':
+		if l.peekAt(1) == '-' {
+			if l.peekAt(2) == '>' {
+				return emit(RArrow, 3)
+			}
+			return emit(Dash2, 2)
+		}
+		return emit(Minus, 1)
+
+	case c == '<':
+		if l.peekAt(1) == '-' && l.peekAt(2) == '-' {
+			return emit(LArrow, 3)
+		}
+		if l.peekAt(1) == '=' {
+			return emit(Le, 2)
+		}
+		if l.peekAt(1) == '>' {
+			return emit(Ne, 2)
+		}
+		return emit(Lt, 1)
+
+	case c == '>':
+		if l.peekAt(1) == '=' {
+			return emit(Ge, 2)
+		}
+		return emit(Gt, 1)
+
+	case c == '!':
+		if l.peekAt(1) == '=' {
+			return emit(Ne, 2)
+		}
+		return Token{}, l.errf("unexpected character %q", c)
+
+	case c == '=':
+		return emit(Eq, 1)
+	case c == '(':
+		return emit(LParen, 1)
+	case c == ')':
+		return emit(RParen, 1)
+	case c == '[':
+		return emit(LBracket, 1)
+	case c == ']':
+		return emit(RBracket, 1)
+	case c == '{':
+		return emit(LBrace, 1)
+	case c == '}':
+		return emit(RBrace, 1)
+	case c == ',':
+		return emit(Comma, 1)
+	case c == '.':
+		return emit(Dot, 1)
+	case c == ':':
+		return emit(Colon, 1)
+	case c == ';':
+		return emit(Semicolon, 1)
+	case c == '*':
+		return emit(Star, 1)
+	case c == '+':
+		return emit(Plus, 1)
+	case c == '/':
+		return emit(Slash, 1)
+	}
+	return Token{}, l.errf("unexpected character %q", c)
+}

@@ -1,0 +1,155 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+)
+
+func kinds(t *testing.T, src string) []Kind {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex(%q): %v", src, err)
+	}
+	out := make([]Kind, 0, len(toks))
+	for _, tok := range toks {
+		out = append(out, tok.Kind)
+	}
+	return out
+}
+
+func texts(t *testing.T, src string) []string {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex(%q): %v", src, err)
+	}
+	out := make([]string, 0, len(toks)-1)
+	for _, tok := range toks[:len(toks)-1] {
+		out = append(out, tok.Text)
+	}
+	return out
+}
+
+func eq[T comparable](t *testing.T, got, want []T) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("token %d: got %v, want %v (%v vs %v)", i, got[i], want[i], got, want)
+		}
+	}
+}
+
+func TestArrows(t *testing.T) {
+	eq(t, kinds(t, "--feature-->"), []Kind{Dash2, Ident, RArrow, EOF})
+	eq(t, kinds(t, "<--reviewer--"), []Kind{LArrow, Ident, Dash2, EOF})
+	eq(t, kinds(t, "a - b"), []Kind{Ident, Minus, Ident, EOF})
+	eq(t, kinds(t, "a --> b"), []Kind{Ident, RArrow, Ident, EOF})
+	eq(t, kinds(t, "--[ ]-->"), []Kind{Dash2, LBracket, RBracket, RArrow, EOF})
+}
+
+func TestComparisons(t *testing.T) {
+	eq(t, kinds(t, "= <> != < <= > >="), []Kind{Eq, Ne, Ne, Lt, Le, Gt, Ge, EOF})
+}
+
+func TestParams(t *testing.T) {
+	toks, err := Lex("id = %Product1%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[2].Kind != Param || toks[2].Text != "Product1" {
+		t.Errorf("param token = %v %q", toks[2].Kind, toks[2].Text)
+	}
+	// Bare % is modulo.
+	eq(t, kinds(t, "a % 3"), []Kind{Ident, Percent, Int, EOF})
+	// %name without closing % is modulo + ident.
+	eq(t, kinds(t, "a %b"), []Kind{Ident, Percent, Ident, EOF})
+}
+
+func TestNumbers(t *testing.T) {
+	eq(t, kinds(t, "10 3.5 1e3 2.5e-2 {10}"), []Kind{Int, Float, Float, Float, LBrace, Int, RBrace, EOF})
+	// Qualified name is not a float.
+	eq(t, kinds(t, "a.b"), []Kind{Ident, Dot, Ident, EOF})
+	// "top 10" keeps the integer intact.
+	eq(t, texts(t, "top 10"), []string{"top", "10"})
+}
+
+func TestStrings(t *testing.T) {
+	toks, err := Lex("'it''s' 'plain'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Text != "it's" || toks[1].Text != "plain" {
+		t.Errorf("strings = %q, %q", toks[0].Text, toks[1].Text)
+	}
+	if _, err := Lex("'unterminated"); err == nil {
+		t.Error("unterminated string must fail")
+	}
+}
+
+func TestCommentsAndNewlines(t *testing.T) {
+	src := "create // a comment\n/* block\ncomment */ table"
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq(t, kinds(t, src), []Kind{Keyword, Keyword, EOF})
+	if !toks[1].AfterNewline {
+		t.Error("token after newline must be flagged")
+	}
+	if _, err := Lex("/* unterminated"); err == nil {
+		t.Error("unterminated block comment must fail")
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	toks, _ := Lex("SELECT Select select")
+	for _, tok := range toks[:3] {
+		if tok.Kind != Keyword || !tok.Is("select") {
+			t.Errorf("token %q not recognised as select", tok.Text)
+		}
+	}
+	if IsKeyword("ProductVtx") {
+		t.Error("ProductVtx is not a keyword")
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Lex("ab\n  cd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("first token at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Errorf("second token at %d:%d", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestOffsetsSliceSource(t *testing.T) {
+	src := "ingest table Products products.csv"
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reconstructing "products.csv" from token offsets (what the parser
+	// does for unquoted ingest paths).
+	first, last := toks[3], toks[5]
+	if got := src[first.Start:last.End]; got != "products.csv" {
+		t.Errorf("offset slice = %q", got)
+	}
+}
+
+func TestErrorsCarryPosition(t *testing.T) {
+	_, err := Lex("abc\n  @")
+	if err == nil {
+		t.Fatal("@ must be a lexical error")
+	}
+	if !strings.Contains(err.Error(), "line 2:3") {
+		t.Errorf("error lacks position: %v", err)
+	}
+}

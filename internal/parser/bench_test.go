@@ -1,0 +1,24 @@
+package parser
+
+import (
+	"testing"
+
+	"graql/internal/bsbm"
+)
+
+func BenchmarkParseBerlinSetup(b *testing.B) {
+	b.SetBytes(int64(len(bsbm.FullDDL)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(bsbm.FullDDL); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParsePathQuery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(bsbm.Q1.Script); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

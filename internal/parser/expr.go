@@ -1,0 +1,201 @@
+package parser
+
+import (
+	"strconv"
+
+	"graql/internal/expr"
+	"graql/internal/lexer"
+	"graql/internal/value"
+)
+
+// Expression grammar (loosest to tightest):
+//
+//	expr  := andE (OR andE)*
+//	andE  := notE (AND notE)*
+//	notE  := [NOT] cmp
+//	cmp   := add [(= | <> | != | < | <= | > | >=) add]
+//	add   := mul ((+|-) mul)*
+//	mul   := unary ((*|/|%) unary)*
+//	unary := [-] primary
+//	prim  := literal | %param% | ident[.ident] | ( expr ) | true | false | null
+func (p *parser) parseExpr() (expr.Expr, error) {
+	return p.parseOrExpr()
+}
+
+func (p *parser) parseOrExpr() (expr.Expr, error) {
+	l, err := p.parseAndExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKw("or") {
+		p.next()
+		r, err := p.parseAndExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.NewBinary(expr.OpOr, l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseAndExpr() (expr.Expr, error) {
+	l, err := p.parseNotExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.atKw("and") {
+		p.next()
+		r, err := p.parseNotExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.NewBinary(expr.OpAnd, l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseNotExpr() (expr.Expr, error) {
+	if p.atKw("not") {
+		p.next()
+		x, err := p.parseNotExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Unary{Op: expr.OpNot, X: x}, nil
+	}
+	return p.parseCmpExpr()
+}
+
+var cmpOps = map[lexer.Kind]expr.Op{
+	lexer.Eq: expr.OpEq,
+	lexer.Ne: expr.OpNe,
+	lexer.Lt: expr.OpLt,
+	lexer.Le: expr.OpLe,
+	lexer.Gt: expr.OpGt,
+	lexer.Ge: expr.OpGe,
+}
+
+func (p *parser) parseCmpExpr() (expr.Expr, error) {
+	l, err := p.parseAddExpr()
+	if err != nil {
+		return nil, err
+	}
+	if op, ok := cmpOps[p.peek().Kind]; ok {
+		p.next()
+		r, err := p.parseAddExpr()
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewBinary(op, l, r), nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAddExpr() (expr.Expr, error) {
+	l, err := p.parseMulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(lexer.Plus) || p.at(lexer.Minus) {
+		op := expr.OpAdd
+		if p.at(lexer.Minus) {
+			op = expr.OpSub
+		}
+		p.next()
+		r, err := p.parseMulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.NewBinary(op, l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseMulExpr() (expr.Expr, error) {
+	l, err := p.parseUnaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(lexer.Star) || p.at(lexer.Slash) || p.at(lexer.Percent) {
+		var op expr.Op
+		switch p.peek().Kind {
+		case lexer.Star:
+			op = expr.OpMul
+		case lexer.Slash:
+			op = expr.OpDiv
+		default:
+			op = expr.OpMod
+		}
+		p.next()
+		r, err := p.parseUnaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = expr.NewBinary(op, l, r)
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnaryExpr() (expr.Expr, error) {
+	if p.at(lexer.Minus) {
+		p.next()
+		x, err := p.parseUnaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Unary{Op: expr.OpNeg, X: x}, nil
+	}
+	return p.parsePrimaryExpr()
+}
+
+func (p *parser) parsePrimaryExpr() (expr.Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case lexer.Int:
+		p.next()
+		i, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer literal %q", t.Text)
+		}
+		return expr.NewConst(value.NewInt(i)), nil
+	case lexer.Float:
+		p.next()
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errf("bad float literal %q", t.Text)
+		}
+		return expr.NewConst(value.NewFloat(f)), nil
+	case lexer.String:
+		p.next()
+		return expr.NewConst(value.NewString(t.Text)), nil
+	case lexer.Param:
+		p.next()
+		return &expr.Param{Name: t.Text}, nil
+	case lexer.LParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case lexer.Keyword:
+		switch t.Lower() {
+		case "true":
+			p.next()
+			return expr.NewConst(value.NewBool(true)), nil
+		case "false":
+			p.next()
+			return expr.NewConst(value.NewBool(false)), nil
+		case "null":
+			p.next()
+			return expr.NewConst(value.NewNull(value.KindInvalid)), nil
+		}
+		return nil, p.errf("unexpected keyword %q in expression", t.Text)
+	case lexer.Ident:
+		return p.parseRef()
+	}
+	return nil, p.errf("unexpected %s %q in expression", t.Kind, t.Text)
+}

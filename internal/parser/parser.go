@@ -1,0 +1,356 @@
+// Package parser implements the recursive-descent parser for GraQL,
+// producing the AST of internal/ast. The grammar covers every construct
+// appearing in the paper's figures: the DDL of Figs. 2–4 and Appendix A,
+// the ingest command of §II-A2, and the query language of §II-B/II-C
+// (path queries with conditions, def/foreach labels, [ ] variant steps,
+// path regular expressions, and/or composition, select-from-graph and
+// select-from-table with the relational operations of Table I, and
+// into table / into subgraph result capture).
+package parser
+
+import (
+	"fmt"
+
+	"graql/internal/ast"
+	"graql/internal/expr"
+	"graql/internal/lexer"
+	"graql/internal/value"
+)
+
+// Parse parses a complete GraQL script.
+func Parse(src string) (*ast.Script, error) {
+	toks, err := lexer.Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	script := &ast.Script{}
+	for !p.at(lexer.EOF) {
+		for p.at(lexer.Semicolon) {
+			p.next()
+		}
+		if p.at(lexer.EOF) {
+			break
+		}
+		st, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		script.Stmts = append(script.Stmts, st)
+		for p.at(lexer.Semicolon) {
+			p.next()
+		}
+	}
+	return script, nil
+}
+
+// ParseExpr parses a standalone GraQL expression (used by tests and the
+// public API for condition snippets).
+func ParseExpr(src string) (expr.Expr, error) {
+	toks, err := lexer.Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(lexer.EOF) {
+		return nil, p.errf("unexpected %s after expression", p.peek().Kind)
+	}
+	return e, nil
+}
+
+type parser struct {
+	src  string
+	toks []lexer.Token
+	pos  int
+}
+
+func (p *parser) peek() lexer.Token { return p.toks[p.pos] }
+func (p *parser) peek2() lexer.Token { // token after next
+	if p.pos+1 < len(p.toks) {
+		return p.toks[p.pos+1]
+	}
+	return p.toks[len(p.toks)-1]
+}
+
+func (p *parser) next() lexer.Token {
+	t := p.toks[p.pos]
+	if t.Kind != lexer.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) at(k lexer.Kind) bool { return p.peek().Kind == k }
+func (p *parser) atKw(kw string) bool  { return p.peek().Is(kw) }
+func (p *parser) eatKw(kw string) bool {
+	if p.atKw(kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	t := p.peek()
+	return &lexer.Error{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k lexer.Kind) (lexer.Token, error) {
+	if !p.at(k) {
+		return lexer.Token{}, p.errf("expected %s, found %s %q", k, p.peek().Kind, p.peek().Text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.atKw(kw) {
+		return p.errf("expected %q, found %q", kw, p.peek().Text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	if !p.at(lexer.Ident) {
+		return "", p.errf("expected identifier, found %s %q", p.peek().Kind, p.peek().Text)
+	}
+	return p.next().Text, nil
+}
+
+func (p *parser) parseStmt() (ast.Stmt, error) {
+	switch {
+	case p.atKw("create"):
+		return p.parseCreate()
+	case p.atKw("ingest"):
+		return p.parseIngest()
+	case p.atKw("output"):
+		return p.parseOutput()
+	case p.atKw("explain"):
+		p.next()
+		if !p.atKw("select") {
+			return nil, p.errf("expected select after explain, found %q", p.peek().Text)
+		}
+		st, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		st.(*ast.Select).Explain = true
+		return st, nil
+	case p.atKw("select"):
+		return p.parseSelect()
+	}
+	return nil, p.errf("expected a statement (create/ingest/output/explain/select), found %q", p.peek().Text)
+}
+
+func (p *parser) parseCreate() (ast.Stmt, error) {
+	p.next() // create
+	switch {
+	case p.eatKw("table"):
+		return p.parseCreateTable()
+	case p.eatKw("vertex"):
+		return p.parseCreateVertex()
+	case p.eatKw("edge"):
+		return p.parseCreateEdge()
+	}
+	return nil, p.errf("expected table, vertex or edge after create, found %q", p.peek().Text)
+}
+
+func (p *parser) parseCreateTable() (ast.Stmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.LParen); err != nil {
+		return nil, err
+	}
+	st := &ast.CreateTable{Name: name}
+	for {
+		colName, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		st.Cols = append(st.Cols, ast.ColDef{Name: colName, Type: typ})
+		if p.at(lexer.Comma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(lexer.RParen); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+func (p *parser) parseType() (value.Type, error) {
+	tname, err := p.ident()
+	if err != nil {
+		return value.Invalid, err
+	}
+	if p.at(lexer.LParen) {
+		p.next()
+		wtok, err := p.expect(lexer.Int)
+		if err != nil {
+			return value.Invalid, err
+		}
+		if _, err := p.expect(lexer.RParen); err != nil {
+			return value.Invalid, err
+		}
+		return value.ParseType(fmt.Sprintf("%s(%s)", tname, wtok.Text))
+	}
+	return value.ParseType(tname)
+}
+
+func (p *parser) parseCreateVertex() (ast.Stmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.LParen); err != nil {
+		return nil, err
+	}
+	st := &ast.CreateVertex{Name: name}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st.KeyCols = append(st.KeyCols, col)
+		if p.at(lexer.Comma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(lexer.RParen); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("table"); err != nil {
+		return nil, err
+	}
+	if st.From, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if p.eatKw("where") {
+		if st.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parseCreateEdge() (ast.Stmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	st := &ast.CreateEdge{Name: name}
+	if err := p.expectKw("with"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("vertices"); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.LParen); err != nil {
+		return nil, err
+	}
+	if st.SrcType, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if p.eatKw("as") {
+		if st.SrcAlias, err = p.ident(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(lexer.Comma); err != nil {
+		return nil, err
+	}
+	if st.DstType, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if p.eatKw("as") {
+		if st.DstAlias, err = p.ident(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(lexer.RParen); err != nil {
+		return nil, err
+	}
+	if p.eatKw("from") {
+		if err := p.expectKw("table"); err != nil {
+			return nil, err
+		}
+		for {
+			t, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			st.FromTables = append(st.FromTables, t)
+			if p.at(lexer.Comma) {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.eatKw("where") {
+		if st.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) parseIngest() (ast.Stmt, error) {
+	p.next() // ingest
+	name, file, err := p.parseTableFile("ingest")
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Ingest{Table: name, File: file}, nil
+}
+
+func (p *parser) parseOutput() (ast.Stmt, error) {
+	p.next() // output
+	name, file, err := p.parseTableFile("output")
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Output{Table: name, File: file}, nil
+}
+
+// parseTableFile parses `table NAME <path>`, where the path is either a
+// quoted string or raw source text until the end of the line (the
+// paper's "ingest table Products products.csv" spelling).
+func (p *parser) parseTableFile(verb string) (name, file string, err error) {
+	if err := p.expectKw("table"); err != nil {
+		return "", "", err
+	}
+	if name, err = p.ident(); err != nil {
+		return "", "", err
+	}
+	if p.at(lexer.String) {
+		return name, p.next().Text, nil
+	}
+	if p.at(lexer.EOF) || p.peek().AfterNewline {
+		return "", "", p.errf("expected file path after %s table %s", verb, name)
+	}
+	first := p.next()
+	start, end := first.Start, first.End
+	for !p.at(lexer.EOF) && !p.at(lexer.Semicolon) && !p.peek().AfterNewline {
+		t := p.next()
+		end = t.End
+	}
+	return name, p.src[start:end], nil
+}

@@ -1,0 +1,298 @@
+package parser
+
+import (
+	"strconv"
+
+	"graql/internal/ast"
+	"graql/internal/expr"
+	"graql/internal/lexer"
+)
+
+// Path grammar:
+//
+//	pathOr  := pathAnd (OR pathAnd)*
+//	pathAnd := pathOp (AND pathOp)*
+//	pathOp  := path | '(' path ')'
+//	path    := vstep ((estep | group) vstep)*
+//	vstep   := [labeldef] ('[' ']' | ident ['.' ident]) ['(' [cond] ')']
+//	estep   := '--' eref '-->' | '<--' eref '--'
+//	eref    := [labeldef] ('[' ']' | ident) ['(' [cond] ')']
+//	group   := '(' (estep vstep)+ ')' quant
+//	quant   := '*' | '+' | '{' n [',' m] '}'
+//	labeldef:= ('def'|'foreach') ident ':'
+//
+// A regex group occupies an edge position: the group's trailing vertex
+// step and the anchor vertex step following the group are matched against
+// the same vertex on the final repetition (NFA semantics). A parenthesised
+// pathAnd operand is distinguished from a regex group by position: groups
+// only occur after a vertex step inside a path.
+func (p *parser) parsePathOr() (*ast.PathOr, error) {
+	or := &ast.PathOr{}
+	for {
+		and, err := p.parsePathAnd()
+		if err != nil {
+			return nil, err
+		}
+		or.Terms = append(or.Terms, and)
+		if !p.eatKw("or") {
+			break
+		}
+	}
+	return or, nil
+}
+
+func (p *parser) parsePathAnd() (*ast.PathAnd, error) {
+	and := &ast.PathAnd{}
+	for {
+		var path *ast.Path
+		var err error
+		if p.at(lexer.LParen) {
+			p.next()
+			path, err = p.parsePath()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(lexer.RParen); err != nil {
+				return nil, err
+			}
+		} else {
+			path, err = p.parsePath()
+			if err != nil {
+				return nil, err
+			}
+		}
+		and.Paths = append(and.Paths, path)
+		if !p.eatKw("and") {
+			break
+		}
+	}
+	return and, nil
+}
+
+func (p *parser) parsePath() (*ast.Path, error) {
+	path := &ast.Path{}
+	v, err := p.parseVertexStep()
+	if err != nil {
+		return nil, err
+	}
+	path.Elems = append(path.Elems, v)
+	for {
+		switch {
+		case p.at(lexer.Dash2) || p.at(lexer.LArrow):
+			e, err := p.parseEdgeStep()
+			if err != nil {
+				return nil, err
+			}
+			v, err := p.parseVertexStep()
+			if err != nil {
+				return nil, err
+			}
+			path.Elems = append(path.Elems, e, v)
+		case p.at(lexer.LParen) && (p.peek2().Kind == lexer.Dash2 || p.peek2().Kind == lexer.LArrow):
+			g, err := p.parseRegexGroup()
+			if err != nil {
+				return nil, err
+			}
+			v, err := p.parseVertexStep()
+			if err != nil {
+				return nil, err
+			}
+			path.Elems = append(path.Elems, g, v)
+		default:
+			return path, nil
+		}
+	}
+}
+
+func (p *parser) parseLabelDef() (*ast.LabelDef, error) {
+	var kind ast.LabelKind
+	switch {
+	case p.atKw("def"):
+		kind = ast.LabelSet
+	case p.atKw("foreach"):
+		kind = ast.LabelForeach
+	default:
+		return nil, nil
+	}
+	p.next()
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.Colon); err != nil {
+		return nil, err
+	}
+	return &ast.LabelDef{Kind: kind, Name: name}, nil
+}
+
+// parseOptCond parses an optional parenthesised condition; "( )" is an
+// explicit empty filter (paper §II-B).
+func (p *parser) parseOptCond() (expr.Expr, error) {
+	if !p.at(lexer.LParen) {
+		return nil, nil
+	}
+	p.next()
+	if p.at(lexer.RParen) {
+		p.next()
+		return nil, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(lexer.RParen); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func (p *parser) parseVertexStep() (*ast.VertexStep, error) {
+	v := &ast.VertexStep{}
+	label, err := p.parseLabelDef()
+	if err != nil {
+		return nil, err
+	}
+	v.Label = label
+	if p.at(lexer.LBracket) {
+		p.next()
+		if _, err := p.expect(lexer.RBracket); err != nil {
+			return nil, err
+		}
+		v.Variant = true
+	} else {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if p.at(lexer.Dot) {
+			p.next()
+			inner, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			v.SeedGraph = name
+			v.Name = inner
+		} else {
+			v.Name = name
+		}
+	}
+	// A '(' directly after a vertex name could open either a condition or
+	// a regex group; a group always starts with an edge arrow.
+	if p.at(lexer.LParen) && p.peek2().Kind != lexer.Dash2 && p.peek2().Kind != lexer.LArrow {
+		cond, err := p.parseOptCond()
+		if err != nil {
+			return nil, err
+		}
+		v.Cond = cond
+	}
+	return v, nil
+}
+
+func (p *parser) parseEdgeStep() (*ast.EdgeStep, error) {
+	e := &ast.EdgeStep{}
+	switch p.peek().Kind {
+	case lexer.Dash2:
+		e.Out = true
+	case lexer.LArrow:
+		e.Out = false
+	default:
+		return nil, p.errf("expected edge step, found %q", p.peek().Text)
+	}
+	p.next()
+	label, err := p.parseLabelDef()
+	if err != nil {
+		return nil, err
+	}
+	e.Label = label
+	if p.at(lexer.LBracket) {
+		p.next()
+		if _, err := p.expect(lexer.RBracket); err != nil {
+			return nil, err
+		}
+		e.Variant = true
+	} else {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		e.Name = name
+	}
+	if p.at(lexer.LParen) {
+		cond, err := p.parseOptCond()
+		if err != nil {
+			return nil, err
+		}
+		e.Cond = cond
+	}
+	if e.Out {
+		if _, err := p.expect(lexer.RArrow); err != nil {
+			return nil, err
+		}
+	} else {
+		if _, err := p.expect(lexer.Dash2); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+func (p *parser) parseRegexGroup() (*ast.RegexGroup, error) {
+	if _, err := p.expect(lexer.LParen); err != nil {
+		return nil, err
+	}
+	g := &ast.RegexGroup{}
+	for p.at(lexer.Dash2) || p.at(lexer.LArrow) {
+		e, err := p.parseEdgeStep()
+		if err != nil {
+			return nil, err
+		}
+		v, err := p.parseVertexStep()
+		if err != nil {
+			return nil, err
+		}
+		g.Elems = append(g.Elems, e, v)
+	}
+	if len(g.Elems) == 0 {
+		return nil, p.errf("empty path regular expression group")
+	}
+	if _, err := p.expect(lexer.RParen); err != nil {
+		return nil, err
+	}
+	switch p.peek().Kind {
+	case lexer.Star:
+		p.next()
+		g.Min, g.Max = 0, -1
+	case lexer.Plus:
+		p.next()
+		g.Min, g.Max = 1, -1
+	case lexer.LBrace:
+		p.next()
+		ntok, err := p.expect(lexer.Int)
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(ntok.Text)
+		if err != nil || n < 0 {
+			return nil, p.errf("bad repetition count %q", ntok.Text)
+		}
+		g.Min, g.Max = n, n
+		if p.at(lexer.Comma) {
+			p.next()
+			mtok, err := p.expect(lexer.Int)
+			if err != nil {
+				return nil, err
+			}
+			m, err := strconv.Atoi(mtok.Text)
+			if err != nil || m < n {
+				return nil, p.errf("bad repetition bound %q", mtok.Text)
+			}
+			g.Max = m
+		}
+		if _, err := p.expect(lexer.RBrace); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, p.errf("expected *, + or {n} after path regular expression group, found %q", p.peek().Text)
+	}
+	return g, nil
+}

@@ -1,0 +1,202 @@
+package parser
+
+import (
+	"strconv"
+
+	"graql/internal/ast"
+	"graql/internal/expr"
+	"graql/internal/lexer"
+)
+
+func (p *parser) parseSelect() (ast.Stmt, error) {
+	p.next() // select
+	st := &ast.Select{}
+	if p.eatKw("top") {
+		ntok, err := p.expect(lexer.Int)
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(ntok.Text)
+		if err != nil || n <= 0 {
+			return nil, p.errf("bad top count %q", ntok.Text)
+		}
+		st.Top = n
+	}
+	if p.eatKw("distinct") {
+		st.Distinct = true
+	}
+	if p.at(lexer.Star) {
+		p.next()
+		st.Star = true
+	} else {
+		for {
+			it, err := p.parseSelectItem()
+			if err != nil {
+				return nil, err
+			}
+			st.Items = append(st.Items, it)
+			if p.at(lexer.Comma) {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	switch {
+	case p.eatKw("graph"):
+		g, err := p.parsePathOr()
+		if err != nil {
+			return nil, err
+		}
+		st.Graph = g
+	case p.eatKw("table"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st.FromTable = name
+	default:
+		return nil, p.errf("expected graph or table after from, found %q", p.peek().Text)
+	}
+	if p.eatKw("where") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Where = w
+	}
+	if p.atKw("group") {
+		p.next()
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			r, err := p.parseRef()
+			if err != nil {
+				return nil, err
+			}
+			st.GroupBy = append(st.GroupBy, r)
+			if p.at(lexer.Comma) {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.atKw("order") {
+		p.next()
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			r, err := p.parseRef()
+			if err != nil {
+				return nil, err
+			}
+			key := ast.OrderKey{Ref: r}
+			if p.eatKw("desc") {
+				key.Desc = true
+			} else {
+				p.eatKw("asc")
+			}
+			st.OrderBy = append(st.OrderBy, key)
+			if p.at(lexer.Comma) {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+	if p.eatKw("into") {
+		switch {
+		case p.eatKw("table"):
+			st.Into.Kind = ast.IntoTable
+		case p.eatKw("subgraph"):
+			st.Into.Kind = ast.IntoSubgraph
+		default:
+			return nil, p.errf("expected table or subgraph after into, found %q", p.peek().Text)
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st.Into.Name = name
+	}
+	return st, nil
+}
+
+// parseRef parses a possibly qualified column reference (a.b or b).
+func (p *parser) parseRef() (*expr.Ref, error) {
+	first, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if p.at(lexer.Dot) {
+		p.next()
+		second, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewRef(first, second), nil
+	}
+	return expr.NewRef("", first), nil
+}
+
+var aggKeywords = map[string]ast.AggFunc{
+	"count": ast.AggCount,
+	"sum":   ast.AggSum,
+	"avg":   ast.AggAvg,
+	"min":   ast.AggMin,
+	"max":   ast.AggMax,
+}
+
+func (p *parser) parseSelectItem() (ast.SelectItem, error) {
+	var it ast.SelectItem
+	if p.at(lexer.Keyword) {
+		if agg, ok := aggKeywords[p.peek().Lower()]; ok && p.peek2().Kind == lexer.LParen {
+			p.next()
+			p.next() // (
+			it.Agg = agg
+			if p.at(lexer.Star) {
+				if agg != ast.AggCount {
+					return it, p.errf("only count may take *")
+				}
+				p.next()
+				it.AggStar = true
+			} else {
+				e, err := p.parseExpr()
+				if err != nil {
+					return it, err
+				}
+				it.Expr = e
+			}
+			if _, err := p.expect(lexer.RParen); err != nil {
+				return it, err
+			}
+			if p.eatKw("as") {
+				alias, err := p.ident()
+				if err != nil {
+					return it, err
+				}
+				it.Alias = alias
+			}
+			return it, nil
+		}
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return it, err
+	}
+	it.Expr = e
+	if p.eatKw("as") {
+		alias, err := p.ident()
+		if err != nil {
+			return it, err
+		}
+		it.Alias = alias
+	}
+	return it, nil
+}

@@ -1,0 +1,133 @@
+package plan
+
+import (
+	"strings"
+
+	"graql/internal/ast"
+)
+
+// This file implements multi-statement GraQL scheduling (paper §III-B1):
+// given a script Ω = q1 … qn and the explicit inputs/outputs expressed by
+// "into table" / "into subgraph" clauses, build a dependence DAG and derive
+// stages of statements that may execute in parallel.
+
+// rwSet is the read/write footprint of one statement, over lower-cased
+// object names plus the pseudo-object "#graph" (the view layer) and
+// "#catalog" (DDL structure).
+type rwSet struct {
+	reads  map[string]bool
+	writes map[string]bool
+}
+
+func newRW() rwSet {
+	return rwSet{reads: map[string]bool{}, writes: map[string]bool{}}
+}
+
+func (s rwSet) read(name string)  { s.reads[strings.ToLower(name)] = true }
+func (s rwSet) write(name string) { s.writes[strings.ToLower(name)] = true }
+
+func footprint(st ast.Stmt) rwSet {
+	s := newRW()
+	switch q := st.(type) {
+	case *ast.CreateTable:
+		s.write("#catalog")
+		s.write(q.Name)
+	case *ast.CreateVertex:
+		s.write("#catalog")
+		s.write("#graph")
+		s.read(q.From)
+	case *ast.CreateEdge:
+		s.write("#catalog")
+		s.write("#graph")
+		for _, t := range q.FromTables {
+			s.read(t)
+		}
+	case *ast.Ingest:
+		s.write(q.Table)
+		s.write("#graph") // ingest regenerates derived views (§II-A2)
+		s.read("#catalog")
+	case *ast.Output:
+		s.read(q.Table)
+		s.read("#catalog")
+	case *ast.Select:
+		if q.Graph != nil {
+			s.read("#graph")
+			for _, term := range q.Graph.Terms {
+				for _, p := range term.Paths {
+					for _, el := range p.Elems {
+						if v, ok := el.(*ast.VertexStep); ok && v.SeedGraph != "" {
+							s.read(v.SeedGraph)
+						}
+					}
+				}
+			}
+		} else {
+			s.read(q.FromTable)
+		}
+		s.read("#catalog")
+		if q.Into.Kind != ast.IntoNone {
+			s.write(q.Into.Name)
+		}
+	}
+	return s
+}
+
+func conflicts(a, b rwSet) bool {
+	for w := range a.writes {
+		if b.reads[w] || b.writes[w] {
+			return true
+		}
+	}
+	for w := range b.writes {
+		if a.reads[w] {
+			return true
+		}
+	}
+	return false
+}
+
+// Dependencies returns, for each statement, the indexes of earlier
+// statements it must wait for (write→read, read→write and write→write
+// conflicts on tables, subgraphs, the view layer and the catalog).
+func Dependencies(script *ast.Script) [][]int {
+	fps := make([]rwSet, len(script.Stmts))
+	for i, st := range script.Stmts {
+		fps[i] = footprint(st)
+	}
+	deps := make([][]int, len(script.Stmts))
+	for i := range script.Stmts {
+		for j := 0; j < i; j++ {
+			if conflicts(fps[j], fps[i]) {
+				deps[i] = append(deps[i], j)
+			}
+		}
+	}
+	return deps
+}
+
+// Stages groups statement indexes into topological levels: every
+// statement in stage k depends only on statements in stages < k, so the
+// members of one stage can execute concurrently (§III-B1). Statement
+// order within a stage follows script order.
+func Stages(script *ast.Script) [][]int {
+	deps := Dependencies(script)
+	level := make([]int, len(deps))
+	maxLevel := 0
+	for i := range deps {
+		l := 0
+		for _, d := range deps[i] {
+			if level[d]+1 > l {
+				l = level[d] + 1
+			}
+		}
+		level[i] = l
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	stages := make([][]int, maxLevel+1)
+	for i, l := range level {
+		stages[l] = append(stages[l], i)
+	}
+	return stages
+}

@@ -1,0 +1,464 @@
+package sema
+
+import (
+	"fmt"
+	"strings"
+
+	"graql/internal/ast"
+	"graql/internal/catalog"
+	"graql/internal/expr"
+	"graql/internal/graph"
+	"graql/internal/table"
+	"graql/internal/value"
+)
+
+// Stmt is an analysed, resolved statement ready for execution.
+type Stmt interface{ semaStmt() }
+
+// CreateTable is an analysed create-table statement.
+type CreateTable struct {
+	Name   string
+	Schema table.Schema
+}
+
+func (*CreateTable) semaStmt() {}
+
+// CreateVertex is an analysed create-vertex statement: the base table, the
+// resolved key columns and the resolved row filter (references use source
+// 0 = base table).
+type CreateVertex struct {
+	Decl    *ast.CreateVertex
+	Base    *table.Table
+	KeyCols []int
+	Where   expr.Expr
+}
+
+func (*CreateVertex) semaStmt() {}
+
+// EdgeSource is one relation participating in an edge declaration's join
+// pipeline: the source vertex view, the target vertex view, or an
+// associated table.
+type EdgeSource struct {
+	Name     string // alias (or type/table name) used in the where clause
+	IsVertex bool
+	Vtx      *graph.VertexType
+	Tbl      *table.Table
+}
+
+// Schema returns the attribute schema visible on the source.
+func (s *EdgeSource) Schema() table.Schema {
+	if s.IsVertex {
+		return s.Vtx.AttrSchema()
+	}
+	return s.Tbl.Schema()
+}
+
+// EdgeJoin is one cross-source equality predicate of an edge declaration.
+type EdgeJoin struct {
+	ASource, ACol int
+	BSource, BCol int
+}
+
+// CreateEdge is an analysed create-edge statement: the participating
+// sources (source 0 is always the source vertex type, source 1 the target
+// vertex type, 2+ the associated tables, explicit then implicit), the
+// per-source filters, and the cross-source equality joins.
+type CreateEdge struct {
+	Decl    *ast.CreateEdge
+	Sources []*EdgeSource
+	// Filters[i] is the conjunction of single-source conditions on
+	// source i (refs use Source=i), or nil.
+	Filters []expr.Expr
+	Joins   []EdgeJoin
+	// AttrSource indexes the source whose rows become the edge attribute
+	// table (the single associated table), or -1 for none.
+	AttrSource int
+}
+
+func (*CreateEdge) semaStmt() {}
+
+// Ingest is an analysed ingest statement.
+type Ingest struct {
+	Table *table.Table
+	File  string
+}
+
+func (*Ingest) semaStmt() {}
+
+// Output is an analysed output statement (write a table to a CSV file).
+type Output struct {
+	Table *table.Table
+	File  string
+}
+
+func (*Output) semaStmt() {}
+
+// Analyzer performs static analysis against a catalog snapshot. The caller
+// must hold the catalog lock across Analyze + execute.
+type Analyzer struct {
+	Cat *catalog.Catalog
+}
+
+// Analyze statically checks one statement and returns its resolved form.
+func (a *Analyzer) Analyze(st ast.Stmt) (Stmt, error) {
+	switch s := st.(type) {
+	case *ast.CreateTable:
+		return a.analyzeCreateTable(s)
+	case *ast.CreateVertex:
+		return a.analyzeCreateVertex(s)
+	case *ast.CreateEdge:
+		return a.analyzeCreateEdge(s)
+	case *ast.Ingest:
+		return a.analyzeIngest(s)
+	case *ast.Output:
+		return a.analyzeOutput(s)
+	case *ast.Select:
+		return a.analyzeSelect(s)
+	}
+	return nil, fmt.Errorf("graql: unsupported statement %T", st)
+}
+
+func (a *Analyzer) analyzeCreateTable(s *ast.CreateTable) (Stmt, error) {
+	if a.Cat.Table(s.Name) != nil {
+		return nil, fmt.Errorf("graql: table %s already exists", s.Name)
+	}
+	if a.nameTaken(s.Name) {
+		return nil, fmt.Errorf("graql: name %s already in use", s.Name)
+	}
+	var schema table.Schema
+	for _, c := range s.Cols {
+		schema = append(schema, table.ColumnDef{Name: c.Name, Type: c.Type})
+	}
+	if err := schema.Validate(); err != nil {
+		return nil, err
+	}
+	return &CreateTable{Name: s.Name, Schema: schema}, nil
+}
+
+func (a *Analyzer) nameTaken(name string) bool {
+	g := a.Cat.Graph()
+	return g.VertexType(name) != nil || g.EdgeType(name) != nil
+}
+
+func (a *Analyzer) analyzeCreateVertex(s *ast.CreateVertex) (Stmt, error) {
+	if a.Cat.Graph().VertexType(s.Name) != nil {
+		return nil, fmt.Errorf("graql: vertex type %s already exists", s.Name)
+	}
+	if a.Cat.Table(s.Name) != nil || a.Cat.Graph().EdgeType(s.Name) != nil {
+		return nil, fmt.Errorf("graql: name %s already in use", s.Name)
+	}
+	base := a.Cat.Table(s.From)
+	if base == nil {
+		// The paper's example error class: using an entity of the wrong
+		// kind where a table is required.
+		if a.Cat.Graph().VertexType(s.From) != nil {
+			return nil, fmt.Errorf("graql: %s is a vertex type; create vertex requires a table", s.From)
+		}
+		return nil, fmt.Errorf("graql: unknown table %s", s.From)
+	}
+	out := &CreateVertex{Decl: s, Base: base}
+	for _, k := range s.KeyCols {
+		i := base.Schema().Index(k)
+		if i < 0 {
+			return nil, fmt.Errorf("graql: table %s has no column %s", base.Name, k)
+		}
+		out.KeyCols = append(out.KeyCols, i)
+	}
+	if s.Where != nil {
+		resolved, err := resolveTableExpr(s.Where, []*EdgeSource{{Name: base.Name, Tbl: base}})
+		if err != nil {
+			return nil, err
+		}
+		if err := checkBool(resolved, edgeSourceTypeEnv{sources: []*EdgeSource{{Name: base.Name, Tbl: base}}}); err != nil {
+			return nil, err
+		}
+		out.Where = resolved
+	}
+	return out, nil
+}
+
+func (a *Analyzer) analyzeIngest(s *ast.Ingest) (Stmt, error) {
+	t := a.Cat.Table(s.Table)
+	if t == nil {
+		return nil, fmt.Errorf("graql: unknown table %s", s.Table)
+	}
+	return &Ingest{Table: t, File: s.File}, nil
+}
+
+func (a *Analyzer) analyzeOutput(s *ast.Output) (Stmt, error) {
+	t := a.Cat.Table(s.Table)
+	if t == nil {
+		if a.Cat.Graph().VertexType(s.Table) != nil {
+			return nil, fmt.Errorf("graql: %s is a vertex type; output requires a table", s.Table)
+		}
+		return nil, fmt.Errorf("graql: unknown table %s", s.Table)
+	}
+	return &Output{Table: t, File: s.File}, nil
+}
+
+// analyzeCreateEdge resolves an edge declaration into its join pipeline.
+// Source 0 is the source vertex view, source 1 the target vertex view,
+// then the explicit "from table" tables, then any tables referenced only
+// in the where clause (the paper's Fig. 3 "feature" edge references
+// ProductFeatures without a from clause).
+func (a *Analyzer) analyzeCreateEdge(s *ast.CreateEdge) (Stmt, error) {
+	g := a.Cat.Graph()
+	if g.EdgeType(s.Name) != nil {
+		return nil, fmt.Errorf("graql: edge type %s already exists", s.Name)
+	}
+	if a.Cat.Table(s.Name) != nil || g.VertexType(s.Name) != nil {
+		return nil, fmt.Errorf("graql: name %s already in use", s.Name)
+	}
+	srcV := g.VertexType(s.SrcType)
+	if srcV == nil {
+		return nil, fmt.Errorf("graql: unknown vertex type %s in edge %s", s.SrcType, s.Name)
+	}
+	dstV := g.VertexType(s.DstType)
+	if dstV == nil {
+		return nil, fmt.Errorf("graql: unknown vertex type %s in edge %s", s.DstType, s.Name)
+	}
+	srcName := s.SrcAlias
+	if srcName == "" {
+		srcName = s.SrcType
+	}
+	dstName := s.DstAlias
+	if dstName == "" {
+		dstName = s.DstType
+	}
+	out := &CreateEdge{
+		Decl: s,
+		Sources: []*EdgeSource{
+			{Name: srcName, IsVertex: true, Vtx: srcV},
+			{Name: dstName, IsVertex: true, Vtx: dstV},
+		},
+		AttrSource: -1,
+	}
+	if strings.EqualFold(srcName, dstName) {
+		return nil, fmt.Errorf("graql: edge %s: source and target need distinct aliases (use 'as')", s.Name)
+	}
+	for _, tn := range s.FromTables {
+		t := a.Cat.Table(tn)
+		if t == nil {
+			return nil, fmt.Errorf("graql: unknown table %s in edge %s", tn, s.Name)
+		}
+		out.Sources = append(out.Sources, &EdgeSource{Name: tn, Tbl: t})
+	}
+
+	findSource := func(name string) int {
+		for i, src := range out.Sources {
+			if strings.EqualFold(src.Name, name) {
+				return i
+			}
+		}
+		return -1
+	}
+
+	// Implicitly add tables referenced only in the where clause.
+	for _, r := range expr.Refs(s.Where) {
+		if r.Qualifier == "" {
+			return nil, fmt.Errorf("graql: edge %s: unqualified column %s in where clause", s.Name, r.Name)
+		}
+		if findSource(r.Qualifier) >= 0 {
+			continue
+		}
+		t := a.Cat.Table(r.Qualifier)
+		if t == nil {
+			return nil, fmt.Errorf("graql: edge %s: unknown source %s in where clause", s.Name, r.Qualifier)
+		}
+		out.Sources = append(out.Sources, &EdgeSource{Name: t.Name, Tbl: t})
+	}
+	if n := len(out.Sources); n == 3 {
+		out.AttrSource = 2
+	}
+
+	if s.Where == nil {
+		return nil, fmt.Errorf("graql: edge %s: missing where clause", s.Name)
+	}
+
+	// Resolve references and classify conjuncts into per-source filters
+	// and cross-source equality joins.
+	resolved, err := resolveTableExpr(s.Where, out.Sources)
+	if err != nil {
+		return nil, fmt.Errorf("graql: edge %s: %w", s.Name, err)
+	}
+	env := edgeSourceTypeEnv{sources: out.Sources}
+	resolved = coerceDates(resolved, env)
+	if err := checkBool(resolved, env); err != nil {
+		return nil, fmt.Errorf("graql: edge %s: %w", s.Name, err)
+	}
+	out.Filters = make([]expr.Expr, len(out.Sources))
+	for _, conj := range expr.Conjuncts(resolved) {
+		srcs := refSources(conj)
+		switch len(srcs) {
+		case 0:
+			return nil, fmt.Errorf("graql: edge %s: constant condition %s", s.Name, conj)
+		case 1:
+			i := srcs[0]
+			out.Filters[i] = expr.AndAll([]expr.Expr{out.Filters[i], conj})
+		case 2:
+			l, r, ok := expr.EqualityPair(conj)
+			if !ok {
+				return nil, fmt.Errorf("graql: edge %s: cross-source condition %s must be an equality between columns", s.Name, conj)
+			}
+			out.Joins = append(out.Joins, EdgeJoin{
+				ASource: l.Source, ACol: l.Col,
+				BSource: r.Source, BCol: r.Col,
+			})
+		default:
+			return nil, fmt.Errorf("graql: edge %s: condition %s references more than two sources", s.Name, conj)
+		}
+	}
+	if len(out.Joins) == 0 {
+		return nil, fmt.Errorf("graql: edge %s: where clause must join the source and target vertex types", s.Name)
+	}
+	// The join graph must connect source 0 (source vertex) with source 1
+	// (target vertex) so every edge has well-defined endpoints.
+	if !joinConnected(len(out.Sources), out.Joins) {
+		return nil, fmt.Errorf("graql: edge %s: join conditions do not connect all sources", s.Name)
+	}
+	return out, nil
+}
+
+// refSources returns the distinct source ids referenced by e, ascending.
+func refSources(e expr.Expr) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, r := range expr.Refs(e) {
+		if !seen[r.Source] {
+			seen[r.Source] = true
+			out = append(out, r.Source)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// joinConnected reports whether the join equalities connect every source
+// into a single component.
+func joinConnected(n int, joins []EdgeJoin) bool {
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, j := range joins {
+		parent[find(j.ASource)] = find(j.BSource)
+	}
+	root := find(0)
+	for i := 1; i < n; i++ {
+		if find(i) != root {
+			return false
+		}
+	}
+	return true
+}
+
+// resolveTableExpr resolves references against a list of named sources.
+// Unqualified names resolve only when exactly one source defines them.
+func resolveTableExpr(e expr.Expr, sources []*EdgeSource) (expr.Expr, error) {
+	var resolveErr error
+	out := expr.Rewrite(e, func(n expr.Expr) expr.Expr {
+		r, ok := n.(*Ref)
+		if !ok || resolveErr != nil {
+			return nil
+		}
+		if r.Qualifier == "" {
+			found := -1
+			col := -1
+			for i, src := range sources {
+				if c := src.Schema().Index(r.Name); c >= 0 {
+					if found >= 0 {
+						resolveErr = fmt.Errorf("graql: ambiguous column %s", r.Name)
+						return nil
+					}
+					found, col = i, c
+				}
+			}
+			if found < 0 {
+				resolveErr = fmt.Errorf("graql: unknown column %s", r.Name)
+				return nil
+			}
+			r.Source, r.Col = found, col
+			return r
+		}
+		for i, src := range sources {
+			if strings.EqualFold(src.Name, r.Qualifier) {
+				c := src.Schema().Index(r.Name)
+				if c < 0 {
+					resolveErr = fmt.Errorf("graql: %s has no column %s", src.Name, r.Name)
+					return nil
+				}
+				r.Source, r.Col = i, c
+				return r
+			}
+		}
+		resolveErr = fmt.Errorf("graql: unknown source %s", r.Qualifier)
+		return nil
+	})
+	if resolveErr != nil {
+		return nil, resolveErr
+	}
+	return out, nil
+}
+
+// Ref aliases expr.Ref for resolution rewrites.
+type Ref = expr.Ref
+
+type edgeSourceTypeEnv struct{ sources []*EdgeSource }
+
+func (e edgeSourceTypeEnv) TypeOf(source, col int) value.Type {
+	return e.sources[source].Schema()[col].Type
+}
+
+// checkBool type-checks e and requires a boolean result.
+func checkBool(e expr.Expr, env expr.TypeEnv) error {
+	t, err := e.Check(env)
+	if err != nil {
+		return err
+	}
+	if t.Kind != value.KindBool && t.Kind != value.KindInvalid {
+		return fmt.Errorf("graql: condition must be boolean, got %s", t)
+	}
+	return nil
+}
+
+// coerceDates rewrites string literals compared against date columns into
+// date literals, so that the natural spelling validFrom >= '2008-01-01'
+// type-checks under strong typing.
+func coerceDates(e expr.Expr, env expr.TypeEnv) expr.Expr {
+	return expr.Rewrite(e, func(n expr.Expr) expr.Expr {
+		b, ok := n.(*expr.Binary)
+		if !ok || !b.Op.Comparison() {
+			return nil
+		}
+		b.L = coerceDateSide(b.L, b.R, env)
+		b.R = coerceDateSide(b.R, b.L, env)
+		return b
+	})
+}
+
+func coerceDateSide(lit, other expr.Expr, env expr.TypeEnv) expr.Expr {
+	c, ok := lit.(*expr.Const)
+	if !ok || c.V.Kind() != value.KindString {
+		return lit
+	}
+	ot, err := other.Check(env)
+	if err != nil || ot.Kind != value.KindDate {
+		return lit
+	}
+	if d, err := value.Parse(c.V.Str(), value.Date); err == nil {
+		return expr.NewConst(d)
+	}
+	return lit
+}

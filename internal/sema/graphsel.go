@@ -1,0 +1,400 @@
+package sema
+
+import (
+	"fmt"
+	"strings"
+
+	"graql/internal/ast"
+	"graql/internal/expr"
+	"graql/internal/graph"
+	"graql/internal/table"
+)
+
+// Label semantics implemented here (paper §II-B2/B3, Eqs. 6–8):
+//
+//   - "foreach x:" (element-wise) — every later reference to x denotes the
+//     same vertex instance, so reference steps unify into the defining
+//     pattern node.
+//   - "def X:" referenced later in the same path — the paper's Eq. 7
+//     equivalence: the reference is an independent step with the same
+//     vertex type and the same condition as the defining step.
+//   - "def X:" referenced from an and-composed path — the composed path's
+//     step must satisfy ℓ ∧ q2(j−1); the reference shares the defining
+//     node, intersecting the matched sets at that step.
+func (a *Analyzer) analyzeGraphSelect(s *ast.Select) (Stmt, error) {
+	out := &Select{Decl: s, Explain: s.Explain, Top: s.Top, Distinct: s.Distinct, Star: s.Star, Into: s.Into}
+	if s.Where != nil {
+		return nil, fmt.Errorf("graql: graph selects take conditions on query steps, not a where clause")
+	}
+	if len(s.GroupBy) > 0 {
+		return nil, fmt.Errorf("graql: group by requires a table select (capture the graph result with 'into table' first)")
+	}
+	for _, it := range s.Items {
+		if it.Agg != ast.AggNone || it.AggStar {
+			return nil, fmt.Errorf("graql: aggregates require a table select (capture the graph result with 'into table' first)")
+		}
+	}
+
+	for _, term := range s.Graph.Terms {
+		pat, err := a.buildPattern(term)
+		if err != nil {
+			return nil, err
+		}
+		alt := &GraphAlt{Pattern: pat}
+		schema, err := a.resolveGraphProj(s, pat, alt)
+		if err != nil {
+			return nil, err
+		}
+		if out.GraphAlts == nil {
+			out.OutSchema = schema
+		} else if !schemaEqual(out.OutSchema, schema) {
+			return nil, fmt.Errorf("graql: or-composed path queries produce different output schemas")
+		}
+		out.GraphAlts = append(out.GraphAlts, alt)
+	}
+
+	if s.Into.Kind != ast.IntoSubgraph {
+		if err := out.OutSchema.Validate(); err != nil {
+			return nil, fmt.Errorf("graql: select output: %w (use labels or 'as' aliases)", err)
+		}
+		for _, k := range s.OrderBy {
+			col := out.OutSchema.Index(k.Ref.Name)
+			if k.Ref.Qualifier != "" || col < 0 {
+				return nil, fmt.Errorf("graql: order by %s does not name an output column", k.Ref)
+			}
+			out.OrderBy = append(out.OrderBy, OrderKey{Col: col, Desc: k.Desc})
+		}
+	} else if len(s.OrderBy) > 0 {
+		return nil, fmt.Errorf("graql: order by does not apply to a subgraph result")
+	}
+	return out, nil
+}
+
+func schemaEqual(a, b table.Schema) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !strings.EqualFold(a[i].Name, b[i].Name) || a[i].Type.Kind != b[i].Type.Kind {
+			return false
+		}
+	}
+	return true
+}
+
+type labelInfo struct {
+	kind    ast.LabelKind
+	isEdge  bool
+	node    *Node
+	edge    *PEdge
+	pathIdx int // index of the path that defined the label
+}
+
+type patternBuilder struct {
+	a      *Analyzer
+	pat    *Pattern
+	labels map[string]*labelInfo
+	// nodeConds collects each node's unresolved step conditions; they
+	// are resolved once the whole pattern is known so that conditions
+	// may reference labels defined later in source order.
+	nodeConds [][]expr.Expr
+	edgeConds []expr.Expr
+	shared    bool // a step of the current path referenced a shared label
+	curPath   int  // index of the path being built
+}
+
+func (a *Analyzer) buildPattern(term *ast.PathAnd) (*Pattern, error) {
+	b := &patternBuilder{a: a, pat: &Pattern{}, labels: make(map[string]*labelInfo)}
+	for pi, path := range term.Paths {
+		b.shared = false
+		b.curPath = pi
+		if err := b.addPath(path); err != nil {
+			return nil, err
+		}
+		if pi > 0 && !b.shared {
+			return nil, fmt.Errorf("graql: and-composed path queries must share a label (paper §II-B3)")
+		}
+	}
+	if err := b.checkConnected(); err != nil {
+		return nil, err
+	}
+	if err := b.resolveConds(); err != nil {
+		return nil, err
+	}
+	return b.pat, nil
+}
+
+func (b *patternBuilder) addPath(path *ast.Path) error {
+	if len(path.Elems) == 0 || len(path.Elems)%2 == 0 {
+		return fmt.Errorf("graql: malformed path query: must start and end with a vertex step")
+	}
+	cur, err := b.vertexStep(path.Elems[0].(*ast.VertexStep), true)
+	if err != nil {
+		return err
+	}
+	for i := 1; i < len(path.Elems); i += 2 {
+		// The vertex node must exist before the edge can reference it,
+		// but StepOrder must list the edge first (source order); swap
+		// the two entries after building when the vertex was new.
+		before := len(b.pat.StepOrder)
+		next, err := b.vertexStep(path.Elems[i+1].(*ast.VertexStep), false)
+		if err != nil {
+			return err
+		}
+		vertexAppended := len(b.pat.StepOrder) > before
+		switch e := path.Elems[i].(type) {
+		case *ast.EdgeStep:
+			if err := b.edgeStep(e, cur, next); err != nil {
+				return err
+			}
+		case *ast.RegexGroup:
+			if err := b.regexGroup(e, cur, next); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("graql: malformed path query: expected an edge step")
+		}
+		if vertexAppended {
+			so := b.pat.StepOrder
+			so[len(so)-1], so[len(so)-2] = so[len(so)-2], so[len(so)-1]
+		}
+		cur = next
+	}
+	return nil
+}
+
+func (b *patternBuilder) newNode() *Node {
+	n := &Node{ID: len(b.pat.Nodes), SameTypeAs: -1}
+	b.pat.Nodes = append(b.pat.Nodes, n)
+	b.nodeConds = append(b.nodeConds, nil)
+	b.pat.StepOrder = append(b.pat.StepOrder, StepRef{Index: n.ID})
+	return n
+}
+
+func (b *patternBuilder) registerLabel(def *ast.LabelDef, n *Node, e *PEdge) error {
+	if def == nil {
+		return nil
+	}
+	if _, dup := b.labels[def.Name]; dup {
+		return fmt.Errorf("graql: label %s already defined", def.Name)
+	}
+	info := &labelInfo{kind: def.Kind, pathIdx: b.curPath}
+	if n != nil {
+		info.node = n
+		n.Labels = append(n.Labels, def.Name)
+		if def.Kind == ast.LabelForeach {
+			n.Foreach = true
+		}
+	} else {
+		info.isEdge = true
+		info.edge = e
+		e.Labels = append(e.Labels, def.Name)
+	}
+	b.labels[def.Name] = info
+	return nil
+}
+
+// vertexStep resolves one vertex step into a pattern node, creating,
+// copying or unifying per the label rules above.
+func (b *patternBuilder) vertexStep(step *ast.VertexStep, first bool) (*Node, error) {
+	g := b.a.Cat.Graph()
+
+	// Variant "[ ]" step.
+	if step.Variant {
+		if step.Cond != nil {
+			return nil, fmt.Errorf("graql: conditional expressions are not allowed on [ ] variant steps (paper §II-B4)")
+		}
+		n := b.newNode()
+		return n, b.registerLabel(step.Label, n, nil)
+	}
+
+	// Seeded step resQ1.Vn (Fig. 12).
+	if step.SeedGraph != "" {
+		if b.a.Cat.Subgraph(step.SeedGraph) == nil {
+			return nil, fmt.Errorf("graql: unknown subgraph %s", step.SeedGraph)
+		}
+		vt := g.VertexType(step.Name)
+		if vt == nil {
+			return nil, fmt.Errorf("graql: unknown vertex type %s in seeded step %s.%s", step.Name, step.SeedGraph, step.Name)
+		}
+		n := b.newNode()
+		n.Type = vt
+		n.Seed = step.SeedGraph
+		if step.Cond != nil {
+			b.nodeConds[n.ID] = append(b.nodeConds[n.ID], step.Cond)
+		}
+		return n, b.registerLabel(step.Label, n, nil)
+	}
+
+	// Label reference.
+	if info, ok := b.labels[step.Name]; ok {
+		if info.isEdge {
+			return nil, fmt.Errorf("graql: label %s names an edge step and cannot appear as a vertex step", step.Name)
+		}
+		b.shared = true
+		if info.kind == ast.LabelForeach || info.pathIdx != b.curPath {
+			// Element-wise references, and references from an
+			// and-composed path (the paper's ℓ ∧ q2(j−1) semantics),
+			// unify with the defining node.
+			n := info.node
+			if step.Cond != nil {
+				b.nodeConds[n.ID] = append(b.nodeConds[n.ID], step.Cond)
+			}
+			return n, b.registerLabel(step.Label, n, nil)
+		}
+		// In-path set-label reference: the paper's Eq. 7 equivalence — a
+		// fresh, independent step with the defining step's vertex type
+		// and condition (so a set label may match an open path where a
+		// foreach label requires a cycle).
+		def := info.node
+		n := b.newNode()
+		n.Type = def.Type
+		if def.Type == nil {
+			n.SameTypeAs = def.ID
+		}
+		n.Seed = def.Seed
+		b.nodeConds[n.ID] = append(b.nodeConds[n.ID], b.nodeConds[def.ID]...)
+		if step.Cond != nil {
+			b.nodeConds[n.ID] = append(b.nodeConds[n.ID], step.Cond)
+		}
+		return n, b.registerLabel(step.Label, n, nil)
+	}
+
+	// Concrete vertex type.
+	vt := g.VertexType(step.Name)
+	if vt == nil {
+		if b.a.Cat.Table(step.Name) != nil {
+			return nil, fmt.Errorf("graql: %s is a table; a path query step requires a vertex type", step.Name)
+		}
+		if g.EdgeType(step.Name) != nil {
+			return nil, fmt.Errorf("graql: %s is an edge type; expected a vertex type at this step", step.Name)
+		}
+		return nil, fmt.Errorf("graql: unknown vertex type or label %s", step.Name)
+	}
+	n := b.newNode()
+	n.Type = vt
+	if step.Cond != nil {
+		b.nodeConds[n.ID] = append(b.nodeConds[n.ID], step.Cond)
+	}
+	return n, b.registerLabel(step.Label, n, nil)
+}
+
+func (b *patternBuilder) edgeStep(step *ast.EdgeStep, left, right *Node) error {
+	g := b.a.Cat.Graph()
+	e := &PEdge{ID: len(b.pat.Edges)}
+	if step.Out {
+		e.Src, e.Dst = left.ID, right.ID
+	} else {
+		e.Src, e.Dst = right.ID, left.ID
+	}
+	if step.Variant {
+		if step.Cond != nil {
+			return fmt.Errorf("graql: conditional expressions are not allowed on [ ] variant steps (paper §II-B4)")
+		}
+	} else {
+		et := g.EdgeType(step.Name)
+		if et == nil {
+			if g.VertexType(step.Name) != nil {
+				return fmt.Errorf("graql: %s is a vertex type; expected an edge type at this step", step.Name)
+			}
+			return fmt.Errorf("graql: unknown edge type %s", step.Name)
+		}
+		e.Type = et
+		// A concrete edge type determines the types of adjacent variant
+		// steps and must agree with concrete ones (§III-A path checks).
+		if err := b.constrainNodeType(e.Src, et.Src, et.Name); err != nil {
+			return err
+		}
+		if err := b.constrainNodeType(e.Dst, et.Dst, et.Name); err != nil {
+			return err
+		}
+	}
+	b.pat.Edges = append(b.pat.Edges, e)
+	b.edgeConds = append(b.edgeConds, step.Cond)
+	b.pat.StepOrder = append(b.pat.StepOrder, StepRef{IsEdge: true, Index: e.ID})
+	return b.registerLabel(step.Label, nil, e)
+}
+
+func (b *patternBuilder) constrainNodeType(nodeID int, want *graph.VertexType, edgeName string) error {
+	n := b.pat.Nodes[nodeID]
+	if n.Type == nil {
+		if n.SameTypeAs < 0 {
+			n.Type = want
+		}
+		return nil
+	}
+	if n.Type != want {
+		return fmt.Errorf("graql: edge %s requires a step of vertex type %s, but the step has type %s",
+			edgeName, want.Name, n.Type.Name)
+	}
+	return nil
+}
+
+func (b *patternBuilder) regexGroup(g *ast.RegexGroup, left, right *Node) error {
+	gr := b.a.Cat.Graph()
+	rx := &Regex{Min: g.Min, Max: g.Max}
+	for i := 0; i < len(g.Elems); i += 2 {
+		es := g.Elems[i].(*ast.EdgeStep)
+		vs := g.Elems[i+1].(*ast.VertexStep)
+		if es.Cond != nil || vs.Cond != nil {
+			return fmt.Errorf("graql: conditions are not allowed inside a path regular expression")
+		}
+		if es.Label != nil || vs.Label != nil {
+			return fmt.Errorf("graql: labels are not allowed inside a path regular expression (paper §II-B4)")
+		}
+		var st RegexStep
+		st.Out = es.Out
+		if !es.Variant {
+			et := gr.EdgeType(es.Name)
+			if et == nil {
+				return fmt.Errorf("graql: unknown edge type %s in path regular expression", es.Name)
+			}
+			st.Edge = et
+		}
+		if !vs.Variant {
+			if vs.SeedGraph != "" {
+				return fmt.Errorf("graql: seeded steps are not allowed inside a path regular expression")
+			}
+			vt := gr.VertexType(vs.Name)
+			if vt == nil {
+				return fmt.Errorf("graql: unknown vertex type %s in path regular expression", vs.Name)
+			}
+			st.Vtx = vt
+		}
+		rx.Steps = append(rx.Steps, st)
+	}
+	e := &PEdge{ID: len(b.pat.Edges), Src: left.ID, Dst: right.ID, Regex: rx}
+	b.pat.Edges = append(b.pat.Edges, e)
+	b.edgeConds = append(b.edgeConds, nil)
+	b.pat.StepOrder = append(b.pat.StepOrder, StepRef{IsEdge: true, Index: e.ID})
+	return nil
+}
+
+func (b *patternBuilder) checkConnected() error {
+	n := len(b.pat.Nodes)
+	if n <= 1 {
+		return nil
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range b.pat.Edges {
+		parent[find(e.Src)] = find(e.Dst)
+	}
+	root := find(0)
+	for i := 1; i < n; i++ {
+		if find(i) != root {
+			return fmt.Errorf("graql: path pattern is disconnected; and-composed paths must be linked by foreach labels")
+		}
+	}
+	return nil
+}

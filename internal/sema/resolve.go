@@ -1,0 +1,398 @@
+package sema
+
+import (
+	"fmt"
+	"strings"
+
+	"graql/internal/ast"
+	"graql/internal/expr"
+	"graql/internal/table"
+	"graql/internal/value"
+)
+
+// patternTypeEnv exposes step attribute types for expression checking.
+// Source numbering: nodes first, then edges.
+type patternTypeEnv struct{ pat *Pattern }
+
+func (e patternTypeEnv) TypeOf(source, col int) value.Type {
+	if source < len(e.pat.Nodes) {
+		return e.pat.Nodes[source].Type.AttrType(col)
+	}
+	return e.pat.Edges[source-len(e.pat.Nodes)].Type.AttrType(col)
+}
+
+// resolveConds resolves and type-checks every step condition once the
+// whole pattern is known, so conditions can reference attributes of other
+// labelled steps ("attributes from previous steps (if labeled)", §II-B).
+func (b *patternBuilder) resolveConds() error {
+	env := patternTypeEnv{pat: b.pat}
+	for _, n := range b.pat.Nodes {
+		conds := b.nodeConds[n.ID]
+		if len(conds) == 0 {
+			continue
+		}
+		resolved, err := b.resolvePatternExpr(expr.AndAll(conds), n.ID, -1)
+		if err != nil {
+			return err
+		}
+		resolved = coerceDates(resolved, env)
+		if err := checkBool(resolved, env); err != nil {
+			return err
+		}
+		n.Cond = resolved
+	}
+	for i, e := range b.pat.Edges {
+		cond := b.edgeConds[i]
+		if cond == nil {
+			continue
+		}
+		resolved, err := b.resolvePatternExpr(cond, -1, e.ID)
+		if err != nil {
+			return err
+		}
+		resolved = coerceDates(resolved, env)
+		if err := checkBool(resolved, env); err != nil {
+			return err
+		}
+		e.Cond = resolved
+	}
+	return nil
+}
+
+// resolvePatternExpr resolves references in a step condition. Unqualified
+// names resolve against the owning step; qualified names resolve against a
+// label or an unambiguous vertex/edge type name.
+func (b *patternBuilder) resolvePatternExpr(e expr.Expr, selfNode, selfEdge int) (expr.Expr, error) {
+	var resolveErr error
+	fail := func(format string, args ...any) expr.Expr {
+		if resolveErr == nil {
+			resolveErr = fmt.Errorf(format, args...)
+		}
+		return nil
+	}
+	out := expr.Rewrite(e, func(x expr.Expr) expr.Expr {
+		r, ok := x.(*expr.Ref)
+		if !ok || resolveErr != nil {
+			return nil
+		}
+		if r.Qualifier == "" {
+			switch {
+			case selfNode >= 0:
+				n := b.pat.Nodes[selfNode]
+				if n.Type == nil {
+					return fail("graql: attributes of a [ ] variant step cannot be referenced")
+				}
+				col, ok := n.Type.AttrIndex(r.Name)
+				if !ok {
+					return fail("graql: vertex type %s has no attribute %s", n.Type.Name, r.Name)
+				}
+				r.Source, r.Col = selfNode, col
+			default:
+				pe := b.pat.Edges[selfEdge]
+				if pe.Type == nil {
+					return fail("graql: attributes of a [ ] variant step cannot be referenced")
+				}
+				col, ok := pe.Type.AttrIndex(r.Name)
+				if !ok {
+					return fail("graql: edge type %s has no attribute %s", pe.Type.Name, r.Name)
+				}
+				r.Source, r.Col = len(b.pat.Nodes)+selfEdge, col
+			}
+			return r
+		}
+		src, schemaIdx, err := b.lookupQualifier(r.Qualifier)
+		if err != nil {
+			resolveErr = err
+			return nil
+		}
+		col := schemaIdx.Index(r.Name)
+		if col < 0 {
+			return fail("graql: step %s has no attribute %s", r.Qualifier, r.Name)
+		}
+		r.Source, r.Col = src, col
+		return r
+	})
+	if resolveErr != nil {
+		return nil, resolveErr
+	}
+	return out, nil
+}
+
+// lookupQualifier resolves a step qualifier (label or type name) to a
+// pattern source id and its attribute schema.
+func (b *patternBuilder) lookupQualifier(q string) (int, table.Schema, error) {
+	if info, ok := b.labels[q]; ok {
+		if info.isEdge {
+			pe := info.edge
+			if pe.Type == nil {
+				return 0, nil, fmt.Errorf("graql: attributes of the [ ] variant step %s cannot be referenced", q)
+			}
+			return len(b.pat.Nodes) + pe.ID, pe.Type.AttrSchema(), nil
+		}
+		n := info.node
+		if n.Type == nil {
+			return 0, nil, fmt.Errorf("graql: attributes of the [ ] variant step %s cannot be referenced", q)
+		}
+		return n.ID, n.Type.AttrSchema(), nil
+	}
+	// An unambiguous vertex type name.
+	found := -1
+	for _, n := range b.pat.Nodes {
+		if n.Type != nil && strings.EqualFold(n.Type.Name, q) {
+			if found >= 0 {
+				return 0, nil, fmt.Errorf("graql: step reference %s is ambiguous; disambiguate with a label", q)
+			}
+			found = n.ID
+		}
+	}
+	if found >= 0 {
+		return found, b.pat.Nodes[found].Type.AttrSchema(), nil
+	}
+	// An unambiguous edge type name.
+	foundE := -1
+	for _, e := range b.pat.Edges {
+		if e.Type != nil && strings.EqualFold(e.Type.Name, q) {
+			if foundE >= 0 {
+				return 0, nil, fmt.Errorf("graql: step reference %s is ambiguous; disambiguate with a label", q)
+			}
+			foundE = e.ID
+		}
+	}
+	if foundE >= 0 {
+		e := b.pat.Edges[foundE]
+		if e.Type.Attrs == nil {
+			return 0, nil, fmt.Errorf("graql: edge type %s has no attributes", q)
+		}
+		return len(b.pat.Nodes) + foundE, e.Type.AttrSchema(), nil
+	}
+	return 0, nil, fmt.Errorf("graql: unknown step reference %s", q)
+}
+
+// patternStepResolver resolves projection qualifiers after the builder is
+// gone; it rebuilds the label map from the pattern.
+type patternStepResolver struct {
+	pat *Pattern
+}
+
+func (r patternStepResolver) resolveStep(name string) (src int, isEdge bool, err error) {
+	if n := r.pat.NodeByLabel(name); n != nil {
+		return n.ID, false, nil
+	}
+	if e := r.pat.EdgeByLabel(name); e != nil {
+		return len(r.pat.Nodes) + e.ID, true, nil
+	}
+	found := -1
+	for _, n := range r.pat.Nodes {
+		if n.Type != nil && strings.EqualFold(n.Type.Name, name) {
+			if found >= 0 {
+				return 0, false, fmt.Errorf("graql: output step %s is ambiguous; disambiguate with a label (paper §II-C)", name)
+			}
+			found = n.ID
+		}
+	}
+	if found >= 0 {
+		return found, false, nil
+	}
+	foundE := -1
+	for _, e := range r.pat.Edges {
+		if e.Type != nil && strings.EqualFold(e.Type.Name, name) {
+			if foundE >= 0 {
+				return 0, false, fmt.Errorf("graql: output step %s is ambiguous; disambiguate with a label (paper §II-C)", name)
+			}
+			foundE = e.ID
+		}
+	}
+	if foundE >= 0 {
+		return len(r.pat.Nodes) + foundE, true, nil
+	}
+	return 0, false, fmt.Errorf("graql: unknown output step %s", name)
+}
+
+// displayNames assigns each step a unique display name (first label, else
+// type name, else "step<i>"), used to prefix star-projection columns.
+func displayNames(pat *Pattern) map[StepRef]string {
+	used := map[string]int{}
+	out := map[StepRef]string{}
+	name := func(base string) string {
+		used[base]++
+		if used[base] > 1 {
+			return fmt.Sprintf("%s%d", base, used[base])
+		}
+		return base
+	}
+	for _, ref := range pat.StepOrder {
+		if ref.IsEdge {
+			e := pat.Edges[ref.Index]
+			base := "edge"
+			if len(e.Labels) > 0 {
+				base = e.Labels[0]
+			} else if e.Type != nil {
+				base = e.Type.Name
+			}
+			out[ref] = name(base)
+		} else {
+			n := pat.Nodes[ref.Index]
+			base := "step"
+			if len(n.Labels) > 0 {
+				base = n.Labels[0]
+			} else if n.Type != nil {
+				base = n.Type.Name
+			}
+			out[ref] = name(base)
+		}
+	}
+	return out
+}
+
+// resolveGraphProj resolves a graph select's projection against one
+// pattern, expanding whole-step items and "*" into concrete (source,
+// column) outputs for table-producing selects, and whole-step sets for
+// subgraph capture. It returns the output schema (nil for subgraphs).
+func (a *Analyzer) resolveGraphProj(s *ast.Select, pat *Pattern, alt *GraphAlt) (table.Schema, error) {
+	res := patternStepResolver{pat: pat}
+	subgraph := s.Into.Kind == ast.IntoSubgraph
+
+	if subgraph {
+		if s.Star {
+			alt.Proj = nil // capture everything
+			return nil, nil
+		}
+		for _, it := range s.Items {
+			r, ok := it.Expr.(*expr.Ref)
+			if !ok || r.Qualifier != "" {
+				return nil, fmt.Errorf("graql: a subgraph select takes whole steps, not attribute expressions")
+			}
+			src, _, err := res.resolveStep(r.Name)
+			if err != nil {
+				return nil, err
+			}
+			alt.Proj = append(alt.Proj, GraphProjItem{Source: src, Col: -1, Name: r.Name})
+		}
+		if len(alt.Proj) == 0 {
+			return nil, fmt.Errorf("graql: empty subgraph projection")
+		}
+		return nil, nil
+	}
+
+	// Table-producing select: expand to concrete columns.
+	var schema table.Schema
+	addNodeCol := func(n *Node, col int, name string) {
+		alt.Proj = append(alt.Proj, GraphProjItem{Source: n.ID, Col: col, Name: name})
+		schema = append(schema, table.ColumnDef{Name: name, Type: n.Type.AttrType(col)})
+	}
+	addEdgeCol := func(e *PEdge, col int, name string) {
+		alt.Proj = append(alt.Proj, GraphProjItem{Source: len(pat.Nodes) + e.ID, Col: col, Name: name})
+		schema = append(schema, table.ColumnDef{Name: name, Type: e.Type.AttrType(col)})
+	}
+
+	if s.Star {
+		names := displayNames(pat)
+		for _, ref := range pat.StepOrder {
+			if ref.IsEdge {
+				e := pat.Edges[ref.Index]
+				if e.Regex != nil {
+					continue // a regex fragment carries no attributes
+				}
+				if e.Type == nil {
+					return nil, fmt.Errorf("graql: select * into table cannot include [ ] variant steps; project labelled steps instead")
+				}
+				if e.Type.Attrs == nil {
+					continue
+				}
+				for c, cd := range e.Type.AttrSchema() {
+					addEdgeCol(e, c, names[ref]+"."+cd.Name)
+				}
+			} else {
+				n := pat.Nodes[ref.Index]
+				if n.Type == nil {
+					return nil, fmt.Errorf("graql: select * into table cannot include [ ] variant steps; project labelled steps instead")
+				}
+				for c, cd := range n.Type.AttrSchema() {
+					addNodeCol(n, c, names[ref]+"."+cd.Name)
+				}
+			}
+		}
+		return schema, nil
+	}
+
+	for _, it := range s.Items {
+		r, ok := it.Expr.(*expr.Ref)
+		if !ok {
+			return nil, fmt.Errorf("graql: graph select items must be steps or step attributes, not computed expressions")
+		}
+		if r.Qualifier == "" {
+			// Whole step: expand to its key columns (vertex) or
+			// attribute columns (edge).
+			src, isEdge, err := res.resolveStep(r.Name)
+			if err != nil {
+				return nil, err
+			}
+			display := it.Alias
+			if display == "" {
+				display = r.Name
+			}
+			if isEdge {
+				e := pat.Edges[src-len(pat.Nodes)]
+				if e.Type == nil || e.Regex != nil {
+					return nil, fmt.Errorf("graql: step %s has no attributes to project into a table", r.Name)
+				}
+				if e.Type.Attrs == nil {
+					return nil, fmt.Errorf("graql: edge type %s has no attributes to project", e.Type.Name)
+				}
+				for c, cd := range e.Type.AttrSchema() {
+					addEdgeCol(e, c, display+"."+cd.Name)
+				}
+				continue
+			}
+			n := pat.Nodes[src]
+			if n.Type == nil {
+				return nil, fmt.Errorf("graql: [ ] variant step %s cannot be projected into a table; use into subgraph", r.Name)
+			}
+			if len(n.Type.KeyCols) == 1 {
+				keyName := n.Type.Keys.Schema()[0].Name
+				col, _ := n.Type.AttrIndex(keyName)
+				addNodeCol(n, col, display)
+				continue
+			}
+			for _, cd := range n.Type.Keys.Schema() {
+				col, _ := n.Type.AttrIndex(cd.Name)
+				addNodeCol(n, col, display+"."+cd.Name)
+			}
+			continue
+		}
+		// Qualified attribute: label.attr or TypeName.attr.
+		src, isEdge, err := res.resolveStep(r.Qualifier)
+		if err != nil {
+			return nil, err
+		}
+		name := it.Alias
+		if name == "" {
+			name = r.Name
+		}
+		if isEdge {
+			e := pat.Edges[src-len(pat.Nodes)]
+			if e.Type == nil {
+				return nil, fmt.Errorf("graql: attributes of the [ ] variant step %s cannot be projected", r.Qualifier)
+			}
+			col, ok := e.Type.AttrIndex(r.Name)
+			if !ok {
+				return nil, fmt.Errorf("graql: edge type %s has no attribute %s", e.Type.Name, r.Name)
+			}
+			addEdgeCol(e, col, name)
+			continue
+		}
+		n := pat.Nodes[src]
+		if n.Type == nil {
+			return nil, fmt.Errorf("graql: attributes of the [ ] variant step %s cannot be projected", r.Qualifier)
+		}
+		col, ok := n.Type.AttrIndex(r.Name)
+		if !ok {
+			return nil, fmt.Errorf("graql: vertex type %s has no attribute %s", n.Type.Name, r.Name)
+		}
+		addNodeCol(n, col, name)
+	}
+	if len(alt.Proj) == 0 {
+		return nil, fmt.Errorf("graql: empty projection")
+	}
+	return schema, nil
+}

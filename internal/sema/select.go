@@ -1,0 +1,252 @@
+package sema
+
+import (
+	"fmt"
+	"strings"
+
+	"graql/internal/ast"
+	"graql/internal/expr"
+	"graql/internal/table"
+	"graql/internal/value"
+)
+
+// Item is one resolved projection item of a table select.
+type Item struct {
+	Agg     ast.AggFunc
+	AggStar bool
+	// Col is the input column for a plain reference or aggregate
+	// argument; -1 for count(*) or computed expressions.
+	Col int
+	// Expr is the resolved computed expression for non-aggregate,
+	// non-reference items (refs use Source 0 = the table).
+	Expr expr.Expr
+	Name string
+}
+
+// OrderKey is one resolved "order by" key over the output schema.
+type OrderKey struct {
+	Col  int
+	Desc bool
+}
+
+// GraphProjItem is one resolved projection item of a graph select: a
+// whole step (Col = -1) or a single attribute of a step.
+type GraphProjItem struct {
+	Source int // pattern source id (node, or len(Nodes)+edge id)
+	Col    int // -1 = whole step
+	Name   string
+}
+
+// GraphAlt is one or-composition alternative of an analysed graph select:
+// its pattern plus the projection resolved against that pattern.
+type GraphAlt struct {
+	Pattern *Pattern
+	Proj    []GraphProjItem // nil when the select is "*"
+}
+
+// Select is an analysed select statement, in either table mode (Table !=
+// nil) or graph mode (GraphAlts != nil).
+type Select struct {
+	Decl     *ast.Select
+	Explain  bool
+	Top      int
+	Distinct bool
+	Star     bool
+	Into     ast.Into
+
+	// Table mode.
+	Table   *table.Table
+	Where   expr.Expr
+	Items   []Item
+	GroupBy []int
+	Grouped bool
+
+	// Graph mode.
+	GraphAlts []*GraphAlt
+
+	// OutSchema is the output column schema (table-producing selects).
+	OutSchema table.Schema
+	OrderBy   []OrderKey
+}
+
+func (*Select) semaStmt() {}
+
+func (a *Analyzer) analyzeSelect(s *ast.Select) (Stmt, error) {
+	if s.Graph != nil {
+		return a.analyzeGraphSelect(s)
+	}
+	return a.analyzeTableSelect(s)
+}
+
+func (a *Analyzer) analyzeTableSelect(s *ast.Select) (Stmt, error) {
+	t := a.Cat.Table(s.FromTable)
+	if t == nil {
+		// The paper's §III-A example: an entity of the wrong kind where
+		// a table is required.
+		if a.Cat.Graph().VertexType(s.FromTable) != nil {
+			return nil, fmt.Errorf("graql: %s is a vertex type; from table requires a table", s.FromTable)
+		}
+		if a.Cat.Graph().EdgeType(s.FromTable) != nil {
+			return nil, fmt.Errorf("graql: %s is an edge type; from table requires a table", s.FromTable)
+		}
+		return nil, fmt.Errorf("graql: unknown table %s", s.FromTable)
+	}
+	out := &Select{Decl: s, Explain: s.Explain, Top: s.Top, Distinct: s.Distinct, Star: s.Star, Into: s.Into, Table: t}
+	if s.Into.Kind == ast.IntoSubgraph {
+		return nil, fmt.Errorf("graql: a table select cannot produce a subgraph")
+	}
+	src := []*EdgeSource{{Name: t.Name, Tbl: t}}
+	env := edgeSourceTypeEnv{sources: src}
+
+	if s.Where != nil {
+		w, err := resolveTableExpr(s.Where, src)
+		if err != nil {
+			return nil, err
+		}
+		w = coerceDates(w, env)
+		if err := checkBool(w, env); err != nil {
+			return nil, err
+		}
+		out.Where = w
+	}
+
+	// Group-by keys.
+	for _, g := range s.GroupBy {
+		col, err := resolveTableCol(g, t)
+		if err != nil {
+			return nil, err
+		}
+		out.GroupBy = append(out.GroupBy, col)
+	}
+	anyAgg := false
+	for _, it := range s.Items {
+		if it.Agg != ast.AggNone {
+			anyAgg = true
+		}
+	}
+	out.Grouped = len(out.GroupBy) > 0 || anyAgg
+
+	// Projection items.
+	if s.Star {
+		if out.Grouped {
+			return nil, fmt.Errorf("graql: select * cannot be combined with group by or aggregates")
+		}
+		for i, cd := range t.Schema() {
+			out.Items = append(out.Items, Item{Agg: ast.AggNone, Col: i, Name: cd.Name})
+			out.OutSchema = append(out.OutSchema, cd)
+		}
+	} else {
+		for _, it := range s.Items {
+			item, cd, err := a.analyzeItem(it, t, out)
+			if err != nil {
+				return nil, err
+			}
+			out.Items = append(out.Items, item)
+			out.OutSchema = append(out.OutSchema, cd)
+		}
+	}
+	if err := out.OutSchema.Validate(); err != nil {
+		return nil, fmt.Errorf("graql: select output: %w (use 'as' aliases)", err)
+	}
+
+	// Order-by keys resolve against the output schema.
+	for _, k := range s.OrderBy {
+		col := out.OutSchema.Index(k.Ref.Name)
+		if k.Ref.Qualifier != "" || col < 0 {
+			return nil, fmt.Errorf("graql: order by %s does not name an output column", k.Ref)
+		}
+		out.OrderBy = append(out.OrderBy, OrderKey{Col: col, Desc: k.Desc})
+	}
+	return out, nil
+}
+
+func (a *Analyzer) analyzeItem(it ast.SelectItem, t *table.Table, sel *Select) (Item, table.ColumnDef, error) {
+	src := []*EdgeSource{{Name: t.Name, Tbl: t}}
+	env := edgeSourceTypeEnv{sources: src}
+	name := it.Alias
+
+	if it.AggStar {
+		if name == "" {
+			name = "count"
+		}
+		return Item{Agg: ast.AggCount, AggStar: true, Col: -1, Name: name},
+			table.ColumnDef{Name: name, Type: value.Int}, nil
+	}
+	if it.Agg != ast.AggNone {
+		r, ok := it.Expr.(*expr.Ref)
+		if !ok {
+			return Item{}, table.ColumnDef{}, fmt.Errorf("graql: aggregate %s requires a column argument", it.Agg)
+		}
+		col, err := resolveTableCol(r, t)
+		if err != nil {
+			return Item{}, table.ColumnDef{}, err
+		}
+		inType := t.Schema()[col].Type
+		if (it.Agg == ast.AggSum || it.Agg == ast.AggAvg) && !inType.Kind.Numeric() {
+			return Item{}, table.ColumnDef{}, fmt.Errorf("graql: %s over non-numeric column %s (%s)", it.Agg, r.Name, inType)
+		}
+		if name == "" {
+			name = fmt.Sprintf("%s_%s", it.Agg, r.Name)
+		}
+		outType := inType
+		switch it.Agg {
+		case ast.AggCount:
+			outType = value.Int
+		case ast.AggAvg:
+			outType = value.Float
+		}
+		return Item{Agg: it.Agg, Col: col, Name: name}, table.ColumnDef{Name: name, Type: outType}, nil
+	}
+
+	// Plain reference or computed expression.
+	if r, ok := it.Expr.(*expr.Ref); ok {
+		col, err := resolveTableCol(r, t)
+		if err != nil {
+			return Item{}, table.ColumnDef{}, err
+		}
+		if sel.Grouped && !containsInt(sel.GroupBy, col) {
+			return Item{}, table.ColumnDef{}, fmt.Errorf("graql: column %s must appear in group by", r.Name)
+		}
+		if name == "" {
+			name = t.Schema()[col].Name
+		}
+		return Item{Agg: ast.AggNone, Col: col, Name: name},
+			table.ColumnDef{Name: name, Type: t.Schema()[col].Type}, nil
+	}
+	if sel.Grouped {
+		return Item{}, table.ColumnDef{}, fmt.Errorf("graql: computed expressions are not allowed with group by")
+	}
+	e, err := resolveTableExpr(it.Expr, src)
+	if err != nil {
+		return Item{}, table.ColumnDef{}, err
+	}
+	e = coerceDates(e, env)
+	typ, err := e.Check(env)
+	if err != nil {
+		return Item{}, table.ColumnDef{}, err
+	}
+	if name == "" {
+		name = "expr"
+	}
+	return Item{Agg: ast.AggNone, Col: -1, Expr: e, Name: name}, table.ColumnDef{Name: name, Type: typ}, nil
+}
+
+func resolveTableCol(r *expr.Ref, t *table.Table) (int, error) {
+	if r.Qualifier != "" && !strings.EqualFold(r.Qualifier, t.Name) {
+		return -1, fmt.Errorf("graql: unknown source %s (selecting from table %s)", r.Qualifier, t.Name)
+	}
+	col := t.Schema().Index(r.Name)
+	if col < 0 {
+		return -1, fmt.Errorf("graql: table %s has no column %s", t.Name, r.Name)
+	}
+	return col, nil
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

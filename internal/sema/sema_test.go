@@ -1,0 +1,276 @@
+// Static analysis tests: the §III-A correctness checks. The catalog is
+// built through the engine (CheckOnly mode), then individual statements
+// are analysed and the reported errors inspected.
+package sema_test
+
+import (
+	"strings"
+	"testing"
+
+	"graql/internal/exec"
+	"graql/internal/parser"
+	"graql/internal/sema"
+)
+
+// fixture builds a catalog with a small typed schema (no data needed for
+// static analysis).
+func fixture(t *testing.T) *exec.Engine {
+	t.Helper()
+	e := exec.New(exec.Options{CheckOnly: true, ReverseIndexes: true})
+	_, err := e.ExecScript(`
+create table Products(
+  id varchar(10),
+  label varchar(20),
+  producer varchar(10),
+  price float,
+  added date
+)
+create table Producers(id varchar(10), country varchar(10))
+create table Reviews(id varchar(10), reviewFor varchar(10), stars integer)
+
+create vertex ProductVtx(id) from table Products
+create vertex ProducerVtx(id) from table Producers
+create vertex ReviewVtx(id) from table Reviews
+
+create edge producer with
+vertices (ProductVtx, ProducerVtx)
+where ProductVtx.producer = ProducerVtx.id
+
+create edge reviewFor with
+vertices (ReviewVtx, ProductVtx)
+where ReviewVtx.reviewFor = ProductVtx.id
+`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// analyze parses one statement and runs static analysis against the
+// fixture catalog.
+func analyze(t *testing.T, e *exec.Engine, src string) (sema.Stmt, error) {
+	t.Helper()
+	script, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	if len(script.Stmts) != 1 {
+		t.Fatalf("want one statement, got %d", len(script.Stmts))
+	}
+	an := &sema.Analyzer{Cat: e.Cat}
+	return an.Analyze(script.Stmts[0])
+}
+
+func wantErr(t *testing.T, e *exec.Engine, src, fragment string) {
+	t.Helper()
+	_, err := analyze(t, e, src)
+	if err == nil {
+		t.Fatalf("expected error containing %q for:\n%s", fragment, src)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Errorf("error %q does not mention %q", err, fragment)
+	}
+}
+
+func wantOK(t *testing.T, e *exec.Engine, src string) {
+	t.Helper()
+	if _, err := analyze(t, e, src); err != nil {
+		t.Errorf("unexpected error: %v\n%s", err, src)
+	}
+}
+
+// TestTypeErrors reproduces the paper's flagship static check: "is the
+// query comparing an attribute with a constant (or other attribute) of
+// the wrong type? (e.g. comparing a date to a floating-point number)".
+func TestTypeErrors(t *testing.T) {
+	e := fixture(t)
+	wantErr(t, e, `select id from table Products where added > 3.5`, "date")
+	wantErr(t, e, `select id from table Products where price = 'cheap'`, "compare")
+	wantErr(t, e, `select id from table Products where id + 1 > 2`, "+")
+	wantErr(t, e, `select * from graph ProductVtx (added > 3.5) into subgraph g`, "date")
+	// Strings against dates coerce (natural literal spelling).
+	wantOK(t, e, `select id from table Products where added >= '2008-01-01'`)
+	// Parameters are statically wildcards.
+	wantOK(t, e, `select id from table Products where added >= %D%`)
+}
+
+// TestEntityKindErrors covers "is the query using an entity of correct
+// type for certain operations? (e.g. a table name should be used when a
+// table is required, rather than a vertex type name)".
+func TestEntityKindErrors(t *testing.T) {
+	e := fixture(t)
+	wantErr(t, e, `select id from table ProductVtx`, "vertex type")
+	wantErr(t, e, `select id from table producer`, "edge type")
+	wantErr(t, e, `create vertex V2(id) from table ProductVtx`, "vertex type")
+	wantErr(t, e, `select * from graph Products ( ) into subgraph g`, "table")
+	wantErr(t, e, `select * from graph producer ( ) into subgraph g`, "edge type")
+	wantErr(t, e, `select * from graph ProductVtx ( ) --ProducerVtx--> ProducerVtx ( ) into subgraph g`, "vertex type")
+}
+
+func TestUnknownNames(t *testing.T) {
+	e := fixture(t)
+	wantErr(t, e, `select id from table Missing`, "unknown table")
+	wantErr(t, e, `select missing from table Products`, "no column")
+	wantErr(t, e, `select * from graph Nope ( ) into subgraph g`, "unknown vertex type")
+	wantErr(t, e, `select * from graph ProductVtx ( ) --nope--> ProducerVtx ( ) into subgraph g`, "unknown edge type")
+	wantErr(t, e, `select * from graph ProductVtx (nope = 1) into subgraph g`, "no attribute")
+	wantErr(t, e, `select * from graph lost.ProductVtx ( ) into subgraph g`, "unknown subgraph")
+}
+
+// TestPathWellFormedness covers "is a path query correctly formulated?".
+func TestPathWellFormedness(t *testing.T) {
+	e := fixture(t)
+	// Edge endpoint types must match the declaration.
+	wantErr(t, e, `select * from graph ProducerVtx ( ) --producer--> ProductVtx ( ) into subgraph g`,
+		"requires a step of vertex type")
+	// Direction matters: producer goes Product→Producer.
+	wantOK(t, e, `select * from graph ProducerVtx ( ) <--producer-- ProductVtx ( ) into subgraph g`)
+	// And-composition must share a label.
+	wantErr(t, e, `select * from graph
+ProductVtx ( ) --producer--> ProducerVtx ( )
+and (ReviewVtx ( ) --reviewFor--> ProductVtx ( ))
+into subgraph g`, "share a label")
+	wantOK(t, e, `select * from graph
+foreach p: ProductVtx ( ) --producer--> ProducerVtx ( )
+and (ReviewVtx ( ) --reviewFor--> p)
+into subgraph g`)
+}
+
+func TestVariantStepRestrictions(t *testing.T) {
+	e := fixture(t)
+	// "Conditional expressions for variant query steps are not allowed".
+	wantErr(t, e, `select * from graph ProductVtx ( ) --[ ]--> [ ] (id = 'x') into subgraph g`,
+		"variant")
+	// Attributes of variant steps cannot be referenced or projected.
+	wantErr(t, e, `select x.id from graph ProductVtx ( ) <--[ ]-- def x: [ ]`, "variant")
+	// Variant steps cannot appear in star table output.
+	wantErr(t, e, `select * from graph ProductVtx ( ) <--[ ]-- [ ] into table T`, "variant")
+	// ... but are fine in subgraphs (Fig. 9).
+	wantOK(t, e, `select * from graph ProductVtx (id = 'p1') <--[ ]-- [ ] into subgraph g`)
+}
+
+func TestLabelRules(t *testing.T) {
+	e := fixture(t)
+	wantErr(t, e, `select * from graph
+def x: ProductVtx ( ) --producer--> def x: ProducerVtx ( ) into subgraph g`, "already defined")
+	// Unknown label reference reads as unknown vertex type.
+	wantErr(t, e, `select * from graph ProductVtx ( ) --producer--> y into subgraph g`, "unknown")
+	// Edge labels cannot stand as vertex steps.
+	wantErr(t, e, `select * from graph
+ProductVtx ( ) --def f: producer--> ProducerVtx ( ) and (f --producer--> ProducerVtx ( ))
+into subgraph g`, "edge step")
+}
+
+// TestOutputAmbiguity covers "the output steps must be unambiguous ...
+// if they are not then labels can be used to disambiguate them".
+func TestOutputAmbiguity(t *testing.T) {
+	e := fixture(t)
+	wantErr(t, e, `select ProductVtx from graph
+ProductVtx ( ) --producer--> ProducerVtx ( ) <--producer-- ProductVtx ( )`,
+		"ambiguous")
+	wantOK(t, e, `select y from graph
+ProductVtx ( ) --producer--> ProducerVtx ( ) <--producer-- def y: ProductVtx ( )`)
+}
+
+func TestGraphSelectRestrictions(t *testing.T) {
+	e := fixture(t)
+	wantErr(t, e, `select count(*) from graph ProductVtx ( ) --producer--> ProducerVtx ( )`,
+		"table select")
+	wantErr(t, e, `select id from graph ProductVtx ( ) --producer--> ProducerVtx ( ) group by id`,
+		"table select")
+	wantErr(t, e, `select id from graph ProductVtx ( ) --producer--> ProducerVtx ( ) where id = 'x'`,
+		"conditions on query steps")
+	wantErr(t, e, `select ProductVtx.id from graph ProductVtx ( ) --producer--> ProducerVtx ( ) into subgraph g`,
+		"whole steps")
+}
+
+func TestTableSelectRules(t *testing.T) {
+	e := fixture(t)
+	wantErr(t, e, `select label, count(*) from table Products group by id`, "group by")
+	wantErr(t, e, `select sum(label) from table Products`, "non-numeric")
+	wantErr(t, e, `select id from table Products order by label`, "output column")
+	wantErr(t, e, `select id, id from table Products`, "duplicate")
+	wantOK(t, e, `select id, id as id2 from table Products`)
+	wantOK(t, e, `select id, count(*) as n from table Products group by id order by n desc`)
+}
+
+func TestDuplicateDDLNames(t *testing.T) {
+	e := fixture(t)
+	wantErr(t, e, `create table Products(id integer)`, "already exists")
+	wantErr(t, e, `create vertex ProductVtx(id) from table Products`, "already exists")
+	wantErr(t, e, `create table ProductVtx(id integer)`, "already in use")
+	wantErr(t, e, `create edge producer with vertices (ProductVtx, ProducerVtx) where ProductVtx.producer = ProducerVtx.id`, "already exists")
+}
+
+func TestEdgeDeclarationAnalysis(t *testing.T) {
+	e := fixture(t)
+	// Self-edges need aliases.
+	wantErr(t, e, `create edge similar with vertices (ProductVtx, ProductVtx) where ProductVtx.id = ProductVtx.id`, "distinct aliases")
+	wantOK(t, e, `create edge similar with vertices (ProductVtx as A, ProductVtx as B) where A.producer = B.producer`)
+	// Where clause must join the endpoints.
+	wantErr(t, e, `create edge broken with vertices (ProductVtx, ProducerVtx) where ProductVtx.price > 3`, "join")
+	// Cross-source non-equality conditions are not supported.
+	wantErr(t, e, `create edge broken with vertices (ProductVtx, ProducerVtx) where ProductVtx.producer > ProducerVtx.id`, "equality")
+	// Unqualified columns in edge declarations are ambiguous by design.
+	wantErr(t, e, `create edge broken with vertices (ProductVtx, ProducerVtx) where producer = id`, "unqualified")
+}
+
+func TestAnalyzedShapes(t *testing.T) {
+	e := fixture(t)
+	st, err := analyze(t, e, `select TypeCount.id from graph
+ReviewVtx ( ) --reviewFor--> def TypeCount: ProductVtx (price > 10)`)
+	if err == nil {
+		_ = st
+		sel := st.(*sema.Select)
+		if len(sel.GraphAlts) != 1 {
+			t.Fatalf("alts = %d", len(sel.GraphAlts))
+		}
+		pat := sel.GraphAlts[0].Pattern
+		if len(pat.Nodes) != 2 || len(pat.Edges) != 1 {
+			t.Errorf("pattern shape %d nodes %d edges", len(pat.Nodes), len(pat.Edges))
+		}
+		// reviewFor is declared Review→Product and the path writes the
+		// Review step first (node 0), so the normalised edge is 0→1.
+		if pat.Edges[0].Src != 0 || pat.Edges[0].Dst != 1 {
+			t.Errorf("edge direction normalised wrong: %d→%d", pat.Edges[0].Src, pat.Edges[0].Dst)
+		}
+	} else {
+		t.Fatal(err)
+	}
+}
+
+func TestSetLabelCopiesCondition(t *testing.T) {
+	e := fixture(t)
+	// A same-path set-label reference gets the defining step's type and
+	// condition (Eq. 7): the reference node's condition must not be nil.
+	st, err := analyze(t, e, `select * from graph
+def y: ProductVtx (price > 10) --producer--> ProducerVtx ( ) <--producer-- y
+into subgraph g`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := st.(*sema.Select).GraphAlts[0].Pattern
+	if len(pat.Nodes) != 3 {
+		t.Fatalf("nodes = %d, want 3 (set label makes a fresh node)", len(pat.Nodes))
+	}
+	if pat.Nodes[2].Cond == nil {
+		t.Error("set-label reference must copy the defining condition")
+	}
+	if pat.Nodes[2].Type != pat.Nodes[0].Type {
+		t.Error("set-label reference must copy the defining type")
+	}
+}
+
+func TestForeachUnifies(t *testing.T) {
+	e := fixture(t)
+	st, err := analyze(t, e, `select * from graph
+foreach y: ProductVtx ( ) --producer--> ProducerVtx ( ) <--producer-- y
+into subgraph g`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pat := st.(*sema.Select).GraphAlts[0].Pattern
+	if len(pat.Nodes) != 2 {
+		t.Fatalf("nodes = %d, want 2 (foreach unifies into a cycle)", len(pat.Nodes))
+	}
+}

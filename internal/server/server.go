@@ -1,0 +1,302 @@
+// Package server implements the GEMS front-end server (paper §III): it
+// centralises access to the database, authenticates clients, holds the
+// metadata catalog, statically checks incoming GraQL scripts, compiles
+// them to the binary IR, and executes them on the backend engine.
+//
+// The wire protocol is newline-delimited JSON frames over TCP: one
+// Request per frame, one Response per frame. Clients range "from a simple
+// command-line interface to web-based front-ends" (§III); cmd/gems-client
+// is the former.
+package server
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"graql/internal/ast"
+	"graql/internal/exec"
+	"graql/internal/ir"
+	"graql/internal/parser"
+	"graql/internal/value"
+)
+
+// Param is a typed query parameter on the wire.
+type Param struct {
+	Type  string `json:"type"` // integer | float | varchar | date | boolean
+	Value string `json:"value"`
+}
+
+// Request is one client frame.
+type Request struct {
+	// Op selects the operation: "exec" (run script), "check" (static
+	// analysis only), "compile" (script → IR), "execir" (run IR bytes),
+	// "stats" (catalog snapshot), "ping".
+	Op string `json:"op"`
+	// Auth must match the server token when one is configured.
+	Auth   string           `json:"auth,omitempty"`
+	Script string           `json:"script,omitempty"`
+	IR     string           `json:"ir,omitempty"` // base64
+	Params map[string]Param `json:"params,omitempty"`
+}
+
+// StmtResult is one statement's outcome on the wire.
+type StmtResult struct {
+	Message          string     `json:"message,omitempty"`
+	Columns          []string   `json:"columns,omitempty"`
+	Rows             [][]string `json:"rows,omitempty"`
+	SubgraphName     string     `json:"subgraphName,omitempty"`
+	SubgraphVertices int        `json:"subgraphVertices,omitempty"`
+	SubgraphEdges    int        `json:"subgraphEdges,omitempty"`
+}
+
+// CatalogEntry is one catalog object in a stats response.
+type CatalogEntry struct {
+	Kind         string  `json:"kind"`
+	Name         string  `json:"name"`
+	Count        int     `json:"count"`
+	AvgOutDegree float64 `json:"avgOutDegree,omitempty"`
+	AvgInDegree  float64 `json:"avgInDegree,omitempty"`
+}
+
+// Response is one server frame.
+type Response struct {
+	OK      bool           `json:"ok"`
+	Error   string         `json:"error,omitempty"`
+	Results []StmtResult   `json:"results,omitempty"`
+	IR      string         `json:"ir,omitempty"` // base64, for "compile"
+	Catalog []CatalogEntry `json:"catalog,omitempty"`
+}
+
+// Server is a GEMS front-end bound to one engine.
+type Server struct {
+	eng   *exec.Engine
+	token string
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]bool
+}
+
+// New returns a server over the engine. A non-empty token enables
+// authentication: every request must carry it.
+func New(eng *exec.Engine, token string) *Server {
+	return &Server{eng: eng, token: token, conns: make(map[net.Conn]bool)}
+}
+
+// Serve accepts connections on ln until Close (or a permanent accept
+// error) and serves each connection on its own goroutine.
+func (s *Server) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+// Close terminates all active connections. The listener passed to Serve
+// must be closed by the caller (Serve then returns nil).
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or broken frame: drop the session
+		}
+		resp := s.handle(&req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req *Request) *Response {
+	if s.token != "" && req.Auth != s.token {
+		return &Response{Error: "authentication failed"}
+	}
+	switch req.Op {
+	case "ping":
+		return &Response{OK: true}
+	case "exec":
+		return s.execScript(req)
+	case "check":
+		if err := s.checkScript(req.Script); err != nil {
+			return &Response{Error: err.Error()}
+		}
+		return &Response{OK: true, Results: []StmtResult{{Message: "script is statically valid"}}}
+	case "compile":
+		return s.compile(req)
+	case "execir":
+		return s.execIR(req)
+	case "stats":
+		return s.stats()
+	}
+	return &Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+}
+
+func (s *Server) execScript(req *Request) *Response {
+	params, err := decodeParams(req.Params)
+	if err != nil {
+		return &Response{Error: err.Error()}
+	}
+	// Front-end path per §III: parse → compile to IR → ship the IR to
+	// the backend → decode and execute. Running the codec on every
+	// script keeps the IR honest (round-trip exercised on real traffic).
+	script, err := parser.Parse(req.Script)
+	if err != nil {
+		return &Response{Error: err.Error()}
+	}
+	blob, err := ir.Encode(script)
+	if err != nil {
+		return &Response{Error: err.Error()}
+	}
+	decoded, err := ir.Decode(blob)
+	if err != nil {
+		return &Response{Error: err.Error()}
+	}
+	return s.run(decoded, params)
+}
+
+func (s *Server) checkScript(src string) error {
+	if src == "" {
+		return errors.New("empty script")
+	}
+	return exec.CheckScript(src)
+}
+
+func (s *Server) compile(req *Request) *Response {
+	script, err := parser.Parse(req.Script)
+	if err != nil {
+		return &Response{Error: err.Error()}
+	}
+	blob, err := ir.Encode(script)
+	if err != nil {
+		return &Response{Error: err.Error()}
+	}
+	return &Response{OK: true, IR: base64.StdEncoding.EncodeToString(blob)}
+}
+
+func (s *Server) execIR(req *Request) *Response {
+	params, err := decodeParams(req.Params)
+	if err != nil {
+		return &Response{Error: err.Error()}
+	}
+	blob, err := base64.StdEncoding.DecodeString(req.IR)
+	if err != nil {
+		return &Response{Error: "bad IR base64: " + err.Error()}
+	}
+	script, err := ir.Decode(blob)
+	if err != nil {
+		return &Response{Error: err.Error()}
+	}
+	return s.run(script, params)
+}
+
+func (s *Server) run(script *ast.Script, params map[string]value.Value) *Response {
+	resp := &Response{}
+	for i, st := range script.Stmts {
+		r, err := s.eng.ExecStmt(st, params)
+		if err != nil {
+			resp.Error = fmt.Sprintf("statement %d: %v", i+1, err)
+			return resp
+		}
+		resp.Results = append(resp.Results, EncodeResult(r))
+	}
+	resp.OK = true
+	return resp
+}
+
+func (s *Server) stats() *Response {
+	s.eng.Cat.RLock()
+	defer s.eng.Cat.RUnlock()
+	resp := &Response{OK: true}
+	for _, st := range s.eng.Cat.Stats() {
+		resp.Catalog = append(resp.Catalog, CatalogEntry{
+			Kind: st.Kind, Name: st.Name, Count: st.Count,
+			AvgOutDegree: st.AvgOutDegree, AvgInDegree: st.AvgInDegree,
+		})
+	}
+	return resp
+}
+
+// EncodeResult converts an engine result to its wire form (shared with
+// the web front-end).
+func EncodeResult(r exec.Result) StmtResult {
+	out := StmtResult{Message: r.Message}
+	switch r.Kind {
+	case exec.ResultTable:
+		t := r.Table
+		out.Columns = t.Schema().Names()
+		for row := uint32(0); row < uint32(t.NumRows()); row++ {
+			rec := make([]string, t.NumCols())
+			for c := 0; c < t.NumCols(); c++ {
+				v := t.Value(row, c)
+				if v.IsNull() {
+					rec[c] = ""
+				} else {
+					rec[c] = v.String()
+				}
+			}
+			out.Rows = append(out.Rows, rec)
+		}
+	case exec.ResultSubgraph:
+		out.SubgraphName = r.Subgraph.Name
+		out.SubgraphVertices = r.Subgraph.NumVertices()
+		out.SubgraphEdges = r.Subgraph.NumEdges()
+	}
+	return out
+}
+
+func decodeParams(raw map[string]Param) (map[string]value.Value, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]value.Value, len(raw))
+	for name, p := range raw {
+		t, err := value.ParseType(p.Type)
+		if err != nil {
+			return nil, fmt.Errorf("parameter %s: %v", name, err)
+		}
+		v, err := value.Parse(p.Value, t)
+		if err != nil {
+			return nil, fmt.Errorf("parameter %s: %v", name, err)
+		}
+		out[name] = v
+	}
+	return out, nil
+}

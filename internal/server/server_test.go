@@ -1,0 +1,230 @@
+package server_test
+
+import (
+	"net"
+	"strings"
+	"testing"
+
+	"graql/internal/client"
+	"graql/internal/exec"
+	"graql/internal/server"
+)
+
+func startServer(t *testing.T, token string) (addr string, eng *exec.Engine, shutdown func()) {
+	t.Helper()
+	eng = exec.New(exec.DefaultOptions())
+	srv := server.New(eng, token)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), eng, func() {
+		srv.Close()
+		ln.Close()
+		<-done
+	}
+}
+
+const setupScript = `
+create table Cities(id varchar(8), country varchar(2))
+create table Roads(src varchar(8), dst varchar(8))
+create vertex City(id) from table Cities
+create edge road with vertices (City as A, City as B)
+from table Roads
+where Roads.src = A.id and Roads.dst = B.id
+`
+
+func TestExecOverWire(t *testing.T) {
+	addr, eng, shutdown := startServer(t, "")
+	defer shutdown()
+
+	cl, err := client.Dial(addr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, err := cl.Exec(setupScript, nil); err != nil {
+		t.Fatalf("DDL over wire: %v", err)
+	}
+	// Populate server-side via the engine's in-memory ingest (the wire
+	// path for data is ingest of files on the server's filesystem).
+	if err := eng.IngestReader("Cities", strings.NewReader("p,US\nq,US\nr,CA\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.IngestReader("Roads", strings.NewReader("p,q\nq,r\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := cl.Exec(`select B.id from graph City (id = %Start%) --road--> def B: City ( )`,
+		map[string]server.Param{"Start": {Type: "varchar", Value: "p"}})
+	if err != nil {
+		t.Fatalf("query over wire: %v", err)
+	}
+	rows := resp.Results[0].Rows
+	if len(rows) != 1 || rows[0][0] != "q" {
+		t.Errorf("rows = %v", rows)
+	}
+}
+
+func TestCheckAndErrorsOverWire(t *testing.T) {
+	addr, _, shutdown := startServer(t, "")
+	defer shutdown()
+	cl, err := client.Dial(addr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, err := cl.Check(setupScript); err != nil {
+		t.Errorf("valid script rejected: %v", err)
+	}
+	_, err = cl.Check(`select x from table Missing`)
+	if err == nil || !strings.Contains(err.Error(), "unknown table") {
+		t.Errorf("check error = %v", err)
+	}
+	// Execution errors come back as frames, not dropped connections.
+	_, err = cl.Exec(`select x from table Missing`, nil)
+	if err == nil {
+		t.Error("exec of bad script must error")
+	}
+	// The session must still work afterwards.
+	if _, err := cl.Stats(); err != nil {
+		t.Errorf("session broken after error: %v", err)
+	}
+}
+
+// TestCompileAndExecIR exercises the §III front-end/backend split: compile
+// once, ship IR, execute.
+func TestCompileAndExecIR(t *testing.T) {
+	addr, eng, shutdown := startServer(t, "")
+	defer shutdown()
+	cl, err := client.Dial(addr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, err := cl.Exec(setupScript, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.IngestReader("Cities", strings.NewReader("p,US\nq,US\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.IngestReader("Roads", strings.NewReader("p,q\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	irB64, err := cl.Compile(`select B.id from graph City (id = 'p') --road--> def B: City ( )`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if irB64 == "" {
+		t.Fatal("empty IR")
+	}
+	resp, err := cl.ExecIR(irB64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results[0].Rows) != 1 || resp.Results[0].Rows[0][0] != "q" {
+		t.Errorf("IR execution rows = %v", resp.Results[0].Rows)
+	}
+	if _, err := cl.ExecIR("!!!notbase64", nil); err == nil {
+		t.Error("bad IR must error")
+	}
+}
+
+func TestStatsOverWire(t *testing.T) {
+	addr, eng, shutdown := startServer(t, "")
+	defer shutdown()
+	cl, err := client.Dial(addr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Exec(setupScript, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.IngestReader("Cities", strings.NewReader("p,US\n")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range resp.Catalog {
+		if e.Kind == "vertex" && e.Name == "City" && e.Count == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("catalog missing City stats: %+v", resp.Catalog)
+	}
+}
+
+func TestAuthentication(t *testing.T) {
+	addr, _, shutdown := startServer(t, "sekrit")
+	defer shutdown()
+
+	// Wrong token: Dial's ping must fail.
+	if _, err := client.Dial(addr, "wrong"); err == nil {
+		t.Error("wrong token accepted")
+	}
+	cl, err := client.Dial(addr, "sekrit")
+	if err != nil {
+		t.Fatalf("right token rejected: %v", err)
+	}
+	defer cl.Close()
+	if _, err := cl.Stats(); err != nil {
+		t.Errorf("authenticated stats failed: %v", err)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	addr, eng, shutdown := startServer(t, "")
+	defer shutdown()
+	if _, err := eng.ExecScript(setupScript, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.IngestReader("Cities", strings.NewReader("p,US\nq,US\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.IngestReader("Roads", strings.NewReader("p,q\n")); err != nil {
+		t.Fatal(err)
+	}
+	const clients = 8
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		go func() {
+			cl, err := client.Dial(addr, "")
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for j := 0; j < 20; j++ {
+				resp, err := cl.Exec(`select B.id from graph City (id = 'p') --road--> def B: City ( )`, nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(resp.Results[0].Rows) != 1 {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

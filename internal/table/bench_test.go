@@ -1,0 +1,94 @@
+package table
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"graql/internal/value"
+)
+
+func benchTable(b *testing.B, rows, distinct int) *Table {
+	b.Helper()
+	tb := MustNew("B", Schema{
+		{Name: "k", Type: value.Int},
+		{Name: "v", Type: value.Float},
+		{Name: "s", Type: value.Text},
+	})
+	for i := 0; i < rows; i++ {
+		if err := tb.AppendRow([]value.Value{
+			value.NewInt(int64(i % distinct)),
+			value.NewFloat(float64(i) * 0.5),
+			value.NewString(fmt.Sprintf("s%d", i%97)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tb
+}
+
+func BenchmarkFilterScan(b *testing.B) {
+	tb := benchTable(b, 100_000, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx, err := FilterIdx(tb, func(r uint32) (bool, error) {
+			return tb.Value(r, 0).Int() < 100, nil
+		})
+		if err != nil || len(idx) == 0 {
+			b.Fatal("filter failed")
+		}
+	}
+}
+
+func BenchmarkGroupBySum(b *testing.B) {
+	tb := benchTable(b, 100_000, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := GroupBy(tb, "G", []int{0}, []AggSpec{{Func: AggSum, Col: 1, Name: "s"}})
+		if err != nil || out.NumRows() != 1000 {
+			b.Fatal("groupby failed")
+		}
+	}
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	l := benchTable(b, 50_000, 5000)
+	r := benchTable(b, 50_000, 5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		li, _ := HashJoinIdx(l, r, []int{0}, []int{0})
+		if len(li) == 0 {
+			b.Fatal("join empty")
+		}
+	}
+}
+
+func BenchmarkOrderBy(b *testing.B) {
+	tb := benchTable(b, 100_000, 100_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OrderBy(tb, []SortKey{{Col: 2}, {Col: 1, Desc: true}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLoadCSV(b *testing.B) {
+	var sb strings.Builder
+	for i := 0; i < 50_000; i++ {
+		fmt.Fprintf(&sb, "%d,%f,s%d\n", i, float64(i)*0.5, i%97)
+	}
+	data := sb.String()
+	proto := MustNew("C", Schema{
+		{Name: "k", Type: value.Int},
+		{Name: "v", Type: value.Float},
+		{Name: "s", Type: value.Text},
+	})
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LoadCSV(proto, strings.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package table
+
+import (
+	"fmt"
+
+	"graql/internal/value"
+)
+
+// Column is a typed columnar vector. Implementations store values densely
+// with a side null bitmap, giving cache-friendly scans for filters and
+// joins.
+type Column interface {
+	// Kind returns the scalar kind stored in the column.
+	Kind() value.Kind
+	// Len returns the number of rows.
+	Len() int
+	// Value returns the value at row i.
+	Value(i uint32) value.Value
+	// Append appends v, which must match the column kind (or be NULL).
+	Append(v value.Value) error
+	// Gather returns a new column holding the rows named by idx, in order.
+	Gather(idx []uint32) Column
+	// Distinct returns the number of distinct values when cheaply known
+	// (dictionary-encoded columns), else -1. The planner uses it as the
+	// NDV statistic for equality selectivity (§III-B).
+	Distinct() int
+}
+
+// NewColumn returns an empty column of the given type.
+func NewColumn(t value.Type) Column {
+	switch t.Kind {
+	case value.KindBool:
+		return &boolColumn{}
+	case value.KindInt:
+		return &intColumn{kind: value.KindInt}
+	case value.KindDate:
+		return &intColumn{kind: value.KindDate}
+	case value.KindFloat:
+		return &floatColumn{}
+	case value.KindString:
+		return &stringColumn{width: t.Width}
+	}
+	panic(fmt.Sprintf("graql: NewColumn: invalid type %v", t))
+}
+
+// nulls tracks NULL rows for a column. nil means "no nulls so far".
+type nulls struct {
+	set map[uint32]bool
+}
+
+func (n *nulls) mark(i uint32) {
+	if n.set == nil {
+		n.set = make(map[uint32]bool)
+	}
+	n.set[i] = true
+}
+
+func (n *nulls) has(i uint32) bool { return n.set != nil && n.set[i] }
+
+// intColumn stores integers and dates (days since epoch).
+type intColumn struct {
+	data []int64
+	nil_ nulls
+	kind value.Kind
+}
+
+func (c *intColumn) Kind() value.Kind { return c.kind }
+func (c *intColumn) Len() int         { return len(c.data) }
+
+func (c *intColumn) Value(i uint32) value.Value {
+	if c.nil_.has(i) {
+		return value.NewNull(c.kind)
+	}
+	if c.kind == value.KindDate {
+		return value.NewDate(c.data[i])
+	}
+	return value.NewInt(c.data[i])
+}
+
+func (c *intColumn) Append(v value.Value) error {
+	if v.IsNull() {
+		c.nil_.mark(uint32(len(c.data)))
+		c.data = append(c.data, 0)
+		return nil
+	}
+	if v.Kind() != c.kind {
+		return &value.TypeError{Op: "store", A: c.kind, B: v.Kind()}
+	}
+	c.data = append(c.data, v.Int())
+	return nil
+}
+
+func (c *intColumn) Gather(idx []uint32) Column {
+	out := &intColumn{data: make([]int64, len(idx)), kind: c.kind}
+	for j, i := range idx {
+		out.data[j] = c.data[i]
+		if c.nil_.has(i) {
+			out.nil_.mark(uint32(j))
+		}
+	}
+	return out
+}
+
+// Int64s exposes the raw integer payload for fast typed scans.
+func (c *intColumn) Int64s() []int64 { return c.data }
+
+func (c *intColumn) Distinct() int { return -1 }
+
+type floatColumn struct {
+	data []float64
+	nil_ nulls
+}
+
+func (c *floatColumn) Kind() value.Kind { return value.KindFloat }
+func (c *floatColumn) Len() int         { return len(c.data) }
+
+func (c *floatColumn) Value(i uint32) value.Value {
+	if c.nil_.has(i) {
+		return value.NewNull(value.KindFloat)
+	}
+	return value.NewFloat(c.data[i])
+}
+
+func (c *floatColumn) Append(v value.Value) error {
+	if v.IsNull() {
+		c.nil_.mark(uint32(len(c.data)))
+		c.data = append(c.data, 0)
+		return nil
+	}
+	if !v.Kind().Numeric() {
+		return &value.TypeError{Op: "store", A: value.KindFloat, B: v.Kind()}
+	}
+	c.data = append(c.data, v.Float())
+	return nil
+}
+
+func (c *floatColumn) Gather(idx []uint32) Column {
+	out := &floatColumn{data: make([]float64, len(idx))}
+	for j, i := range idx {
+		out.data[j] = c.data[i]
+		if c.nil_.has(i) {
+			out.nil_.mark(uint32(j))
+		}
+	}
+	return out
+}
+
+func (c *floatColumn) Distinct() int { return -1 }
+
+type boolColumn struct {
+	data []bool
+	nil_ nulls
+}
+
+func (c *boolColumn) Kind() value.Kind { return value.KindBool }
+func (c *boolColumn) Len() int         { return len(c.data) }
+
+func (c *boolColumn) Value(i uint32) value.Value {
+	if c.nil_.has(i) {
+		return value.NewNull(value.KindBool)
+	}
+	return value.NewBool(c.data[i])
+}
+
+func (c *boolColumn) Append(v value.Value) error {
+	if v.IsNull() {
+		c.nil_.mark(uint32(len(c.data)))
+		c.data = append(c.data, false)
+		return nil
+	}
+	if v.Kind() != value.KindBool {
+		return &value.TypeError{Op: "store", A: value.KindBool, B: v.Kind()}
+	}
+	c.data = append(c.data, v.Bool())
+	return nil
+}
+
+func (c *boolColumn) Gather(idx []uint32) Column {
+	out := &boolColumn{data: make([]bool, len(idx))}
+	for j, i := range idx {
+		out.data[j] = c.data[i]
+		if c.nil_.has(i) {
+			out.nil_.mark(uint32(j))
+		}
+	}
+	return out
+}
+
+func (c *boolColumn) Distinct() int { return 2 }
+
+// stringColumn stores varchar data with dictionary encoding: each distinct
+// string is stored once and rows hold 32-bit codes. Attribute data such as
+// country codes and product types in the Berlin schema is highly
+// repetitive, so this both saves memory and turns equality filters into
+// integer comparisons.
+type stringColumn struct {
+	codes []uint32
+	dict  []string
+	index map[string]uint32
+	nil_  nulls
+	width int
+}
+
+const nullCode = ^uint32(0)
+
+func (c *stringColumn) Kind() value.Kind { return value.KindString }
+func (c *stringColumn) Len() int         { return len(c.codes) }
+
+func (c *stringColumn) Value(i uint32) value.Value {
+	code := c.codes[i]
+	if code == nullCode {
+		return value.NewNull(value.KindString)
+	}
+	return value.NewString(c.dict[code])
+}
+
+func (c *stringColumn) Append(v value.Value) error {
+	if v.IsNull() {
+		c.codes = append(c.codes, nullCode)
+		return nil
+	}
+	if v.Kind() != value.KindString {
+		return &value.TypeError{Op: "store", A: value.KindString, B: v.Kind()}
+	}
+	s := v.Str()
+	if c.width > 0 && len(s) > c.width {
+		return fmt.Errorf("graql: value %q exceeds varchar(%d)", s, c.width)
+	}
+	if c.index == nil {
+		c.index = make(map[string]uint32)
+	}
+	code, ok := c.index[s]
+	if !ok {
+		code = uint32(len(c.dict))
+		c.dict = append(c.dict, s)
+		c.index[s] = code
+	}
+	c.codes = append(c.codes, code)
+	return nil
+}
+
+func (c *stringColumn) Gather(idx []uint32) Column {
+	out := &stringColumn{width: c.width}
+	for _, i := range idx {
+		code := c.codes[i]
+		if code == nullCode {
+			out.codes = append(out.codes, nullCode)
+			continue
+		}
+		_ = out.Append(value.NewString(c.dict[code]))
+	}
+	return out
+}
+
+// DictSize returns the number of distinct strings in the column dictionary.
+func (c *stringColumn) DictSize() int { return len(c.dict) }
+
+func (c *stringColumn) Distinct() int { return len(c.dict) }

@@ -1,0 +1,401 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+
+	"graql/internal/value"
+)
+
+// This file implements the relational operations of the paper's Table I:
+// select (selection + projection), order by, group by, distinct, count,
+// avg, min, max, sum, top n, and aliasing (via projection names).
+
+// Pred is a row predicate used by Filter. Errors abort the scan (they
+// indicate type errors that escaped static analysis).
+type Pred func(row uint32) (bool, error)
+
+// FilterIdx returns the row ids for which pred holds, in order.
+func FilterIdx(t *Table, pred Pred) ([]uint32, error) {
+	var idx []uint32
+	for r := uint32(0); r < uint32(t.NumRows()); r++ {
+		ok, err := pred(r)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			idx = append(idx, r)
+		}
+	}
+	return idx, nil
+}
+
+// Filter returns a new table with the rows satisfying pred.
+func Filter(t *Table, name string, pred Pred) (*Table, error) {
+	idx, err := FilterIdx(t, pred)
+	if err != nil {
+		return nil, err
+	}
+	return t.Gather(name, idx), nil
+}
+
+// SortKey names one ordering column for OrderBy.
+type SortKey struct {
+	Col  int
+	Desc bool
+}
+
+// OrderBy returns a new table sorted by the given keys. The sort is stable
+// so that secondary insertion order is preserved, which keeps query output
+// deterministic.
+func OrderBy(t *Table, keys []SortKey) (*Table, error) {
+	idx := make([]uint32, t.NumRows())
+	for i := range idx {
+		idx[i] = uint32(i)
+	}
+	var sortErr error
+	sort.SliceStable(idx, func(a, b int) bool {
+		for _, k := range keys {
+			c, err := value.Compare(t.Value(idx[a], k.Col), t.Value(idx[b], k.Col))
+			if err != nil && sortErr == nil {
+				sortErr = err
+			}
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	if sortErr != nil {
+		return nil, sortErr
+	}
+	return t.Gather(t.Name, idx), nil
+}
+
+// Distinct returns a new table with duplicate rows (over the given columns;
+// nil means all columns) removed, keeping the first occurrence.
+func Distinct(t *Table, cols []int) *Table {
+	if cols == nil {
+		cols = make([]int, t.NumCols())
+		for i := range cols {
+			cols[i] = i
+		}
+	}
+	seen := make(map[string]bool, t.NumRows())
+	var idx []uint32
+	var key []byte
+	for r := uint32(0); r < uint32(t.NumRows()); r++ {
+		key = t.KeyOf(key[:0], r, cols)
+		if !seen[string(key)] {
+			seen[string(key)] = true
+			idx = append(idx, r)
+		}
+	}
+	return t.Gather(t.Name, idx)
+}
+
+// TopN returns the first n rows of t (Table I's "top n"; callers order
+// first).
+func TopN(t *Table, n int) *Table {
+	if n > t.NumRows() {
+		n = t.NumRows()
+	}
+	idx := make([]uint32, n)
+	for i := range idx {
+		idx[i] = uint32(i)
+	}
+	return t.Gather(t.Name, idx)
+}
+
+// AggFunc enumerates the aggregate functions of Table I.
+type AggFunc uint8
+
+// Aggregate functions.
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String returns the SQL spelling of the aggregate.
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	}
+	return "agg?"
+}
+
+// AggSpec describes one aggregate output column. Col is the input column,
+// or -1 for count(*). Name is the output column name (the "as" alias).
+type AggSpec struct {
+	Func AggFunc
+	Col  int
+	Name string
+}
+
+type aggState struct {
+	count int64
+	sum   float64
+	sumI  int64
+	min   value.Value
+	max   value.Value
+	seen  bool
+	isInt bool
+}
+
+func (st *aggState) add(v value.Value) error {
+	if v.IsNull() {
+		return nil
+	}
+	st.count++
+	switch v.Kind() {
+	case value.KindInt:
+		st.sumI += v.Int()
+		st.sum += float64(v.Int())
+		if !st.seen {
+			st.isInt = true
+		}
+	case value.KindFloat:
+		st.sum += v.Float()
+		st.isInt = false
+	}
+	if !st.seen {
+		st.min, st.max, st.seen = v, v, true
+		return nil
+	}
+	if c, err := value.Compare(v, st.min); err != nil {
+		return err
+	} else if c < 0 {
+		st.min = v
+	}
+	if c, err := value.Compare(v, st.max); err != nil {
+		return err
+	} else if c > 0 {
+		st.max = v
+	}
+	return nil
+}
+
+func (st *aggState) result(f AggFunc, inKind value.Kind) (value.Value, error) {
+	switch f {
+	case AggCount:
+		return value.NewInt(st.count), nil
+	case AggSum:
+		if !inKind.Numeric() {
+			return value.Value{}, fmt.Errorf("graql: sum over non-numeric column (%s)", inKind)
+		}
+		if st.isInt {
+			return value.NewInt(st.sumI), nil
+		}
+		return value.NewFloat(st.sum), nil
+	case AggAvg:
+		if !inKind.Numeric() {
+			return value.Value{}, fmt.Errorf("graql: avg over non-numeric column (%s)", inKind)
+		}
+		if st.count == 0 {
+			return value.NewNull(value.KindFloat), nil
+		}
+		return value.NewFloat(st.sum / float64(st.count)), nil
+	case AggMin:
+		if !st.seen {
+			return value.NewNull(inKind), nil
+		}
+		return st.min, nil
+	case AggMax:
+		if !st.seen {
+			return value.NewNull(inKind), nil
+		}
+		return st.max, nil
+	}
+	return value.Value{}, fmt.Errorf("graql: unknown aggregate")
+}
+
+func aggOutType(f AggFunc, in value.Type) value.Type {
+	switch f {
+	case AggCount:
+		return value.Int
+	case AggAvg:
+		return value.Float
+	case AggSum:
+		if in.Kind == value.KindFloat {
+			return value.Float
+		}
+		return value.Int
+	default:
+		return in
+	}
+}
+
+// GroupBy groups rows of t by the key columns and evaluates the given
+// aggregates per group. The output schema is the key columns (in order)
+// followed by one column per aggregate. Groups appear in order of first
+// occurrence, so output is deterministic. An empty keyCols computes global
+// aggregates over the whole table (one output row).
+func GroupBy(t *Table, name string, keyCols []int, aggs []AggSpec) (*Table, error) {
+	var schema Schema
+	for _, c := range keyCols {
+		schema = append(schema, ColumnDef{Name: t.Schema()[c].Name, Type: value.Type{Kind: t.Col(c).Kind()}})
+	}
+	for _, a := range aggs {
+		in := value.Type{Kind: value.KindInt}
+		if a.Col >= 0 {
+			in = value.Type{Kind: t.Col(a.Col).Kind()}
+		}
+		colName := a.Name
+		if colName == "" {
+			colName = a.Func.String()
+		}
+		schema = append(schema, ColumnDef{Name: colName, Type: aggOutType(a.Func, in)})
+	}
+	out, err := New(name, schema)
+	if err != nil {
+		return nil, err
+	}
+
+	type group struct {
+		firstRow uint32
+		states   []aggState
+	}
+	groups := make(map[string]*group)
+	order := make([]*group, 0)
+	var key []byte
+	for r := uint32(0); r < uint32(t.NumRows()); r++ {
+		key = t.KeyOf(key[:0], r, keyCols)
+		g, ok := groups[string(key)]
+		if !ok {
+			g = &group{firstRow: r, states: make([]aggState, len(aggs))}
+			groups[string(key)] = g
+			order = append(order, g)
+		}
+		for i, a := range aggs {
+			var v value.Value
+			if a.Col < 0 {
+				v = value.NewInt(1) // count(*): count every row
+			} else {
+				v = t.Value(r, a.Col)
+				if a.Func == AggCount && v.IsNull() {
+					continue // count(col) skips NULLs
+				}
+			}
+			if err := g.states[i].add(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(keyCols) == 0 && len(order) == 0 {
+		// Global aggregate over an empty table still yields one row.
+		order = append(order, &group{states: make([]aggState, len(aggs))})
+	}
+	row := make([]value.Value, len(schema))
+	for _, g := range order {
+		for i, c := range keyCols {
+			row[i] = t.Value(g.firstRow, c)
+		}
+		for i, a := range aggs {
+			inKind := value.KindInt
+			if a.Col >= 0 {
+				inKind = t.Col(a.Col).Kind()
+			}
+			v, err := g.states[i].result(a.Func, inKind)
+			if err != nil {
+				return nil, err
+			}
+			row[len(keyCols)+i] = v
+		}
+		if err := out.AppendRow(row); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// HashJoinIdx computes the inner equi-join of l and r on the given key
+// columns and returns matching row-id pairs. The smaller side is hashed.
+// NULL keys never join (SQL semantics).
+func HashJoinIdx(l, r *Table, lCols, rCols []int) (lIdx, rIdx []uint32) {
+	if len(lCols) != len(rCols) {
+		panic("graql: HashJoinIdx: key arity mismatch")
+	}
+	build, probe := l, r
+	bCols, pCols := lCols, rCols
+	swapped := false
+	if r.NumRows() < l.NumRows() {
+		build, probe = r, l
+		bCols, pCols = rCols, lCols
+		swapped = true
+	}
+	ht := make(map[string][]uint32, build.NumRows())
+	var key []byte
+	for row := uint32(0); row < uint32(build.NumRows()); row++ {
+		if anyNull(build, row, bCols) {
+			continue
+		}
+		key = build.KeyOf(key[:0], row, bCols)
+		ht[string(key)] = append(ht[string(key)], row)
+	}
+	for row := uint32(0); row < uint32(probe.NumRows()); row++ {
+		if anyNull(probe, row, pCols) {
+			continue
+		}
+		key = probe.KeyOf(key[:0], row, pCols)
+		for _, b := range ht[string(key)] {
+			if swapped {
+				lIdx = append(lIdx, row)
+				rIdx = append(rIdx, b)
+			} else {
+				lIdx = append(lIdx, b)
+				rIdx = append(rIdx, row)
+			}
+		}
+	}
+	return lIdx, rIdx
+}
+
+func anyNull(t *Table, row uint32, cols []int) bool {
+	for _, c := range cols {
+		if t.Value(row, c).IsNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// HashJoin materialises the inner equi-join of l and r. Output columns are
+// all of l's followed by all of r's; colliding names get the other table's
+// name as a prefix.
+func HashJoin(name string, l, r *Table, lCols, rCols []int) *Table {
+	lIdx, rIdx := HashJoinIdx(l, r, lCols, rCols)
+	lt := l.Gather("", lIdx)
+	rt := r.Gather("", rIdx)
+	out := &Table{Name: name, rows: len(lIdx)}
+	used := make(map[string]bool)
+	appendSide := func(src *Table, prefix string) {
+		for i, cd := range src.Schema() {
+			n := cd.Name
+			if used[n] {
+				n = prefix + "." + n
+			}
+			used[n] = true
+			out.schema = append(out.schema, ColumnDef{Name: n, Type: cd.Type})
+			out.cols = append(out.cols, src.Col(i))
+		}
+	}
+	appendSide(lt, l.Name)
+	appendSide(rt, r.Name)
+	return out
+}

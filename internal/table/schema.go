@@ -1,0 +1,91 @@
+// Package table implements the in-memory columnar table store underlying
+// every GraQL database object.
+//
+// The paper's first design principle is that "all data is stored in tabular
+// form (equivalent to SQL tables)" with vertices and edges as views over
+// those tables. This package provides the strongly typed columnar tables,
+// the CSV ingest path, and the relational operations of the paper's
+// Table I (select/project, order by, group by, distinct, count, avg, min,
+// max, sum, top n, aliasing).
+package table
+
+import (
+	"fmt"
+	"strings"
+
+	"graql/internal/value"
+)
+
+// ColumnDef declares one attribute (column) of a table: its name and its
+// strongly typed value type.
+type ColumnDef struct {
+	Name string
+	Type value.Type
+}
+
+// Schema is an ordered list of column definitions.
+type Schema []ColumnDef
+
+// Index returns the position of the named column, or -1. Column names are
+// matched case-insensitively, following SQL convention.
+func (s Schema) Index(name string) int {
+	for i, c := range s {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Clone returns a copy of the schema.
+func (s Schema) Clone() Schema {
+	out := make(Schema, len(s))
+	copy(out, s)
+	return out
+}
+
+// Validate checks that the schema is well formed: at least one column, no
+// duplicate names, no invalid types.
+func (s Schema) Validate() error {
+	if len(s) == 0 {
+		return fmt.Errorf("graql: table schema has no columns")
+	}
+	seen := make(map[string]bool, len(s))
+	for _, c := range s {
+		low := strings.ToLower(c.Name)
+		if c.Name == "" {
+			return fmt.Errorf("graql: column with empty name")
+		}
+		if seen[low] {
+			return fmt.Errorf("graql: duplicate column %q", c.Name)
+		}
+		seen[low] = true
+		if c.Type.Kind == value.KindInvalid {
+			return fmt.Errorf("graql: column %q has invalid type", c.Name)
+		}
+	}
+	return nil
+}
+
+// String renders the schema in DDL form.
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", c.Name, c.Type)
+	}
+	b.WriteByte(')')
+	return b.String()
+}

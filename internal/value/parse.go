@@ -1,0 +1,89 @@
+package value
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// DateLayout is the textual date format accepted by ingest and literals.
+const DateLayout = "2006-01-02"
+
+// Parse converts the textual field s (as read from a CSV file or a query
+// literal) into a value of type t. Empty strings parse as NULL for every
+// kind except varchar, matching common CSV conventions.
+func Parse(s string, t Type) (Value, error) {
+	switch t.Kind {
+	case KindBool:
+		if s == "" {
+			return NewNull(KindBool), nil
+		}
+		switch strings.ToLower(s) {
+		case "true", "t", "1", "yes":
+			return NewBool(true), nil
+		case "false", "f", "0", "no":
+			return NewBool(false), nil
+		}
+		return Value{}, fmt.Errorf("graql: cannot parse %q as boolean", s)
+	case KindInt:
+		if s == "" {
+			return NewNull(KindInt), nil
+		}
+		i, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("graql: cannot parse %q as integer", s)
+		}
+		return NewInt(i), nil
+	case KindFloat:
+		if s == "" {
+			return NewNull(KindFloat), nil
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("graql: cannot parse %q as float", s)
+		}
+		return NewFloat(f), nil
+	case KindString:
+		if t.Width > 0 && len(s) > t.Width {
+			return Value{}, fmt.Errorf("graql: value %q exceeds varchar(%d)", s, t.Width)
+		}
+		return NewString(s), nil
+	case KindDate:
+		if s == "" {
+			return NewNull(KindDate), nil
+		}
+		tm, err := time.ParseInLocation(DateLayout, strings.TrimSpace(s), time.UTC)
+		if err != nil {
+			return Value{}, fmt.Errorf("graql: cannot parse %q as date (want YYYY-MM-DD)", s)
+		}
+		return NewDate(tm.Unix() / 86400), nil
+	}
+	return Value{}, fmt.Errorf("graql: cannot parse into invalid type")
+}
+
+// ParseType parses a DDL type spelling such as "integer", "float", "date",
+// "boolean" or "varchar(255)".
+func ParseType(s string) (Type, error) {
+	low := strings.ToLower(strings.TrimSpace(s))
+	switch low {
+	case "integer", "int":
+		return Int, nil
+	case "float", "double":
+		return Float, nil
+	case "date":
+		return Date, nil
+	case "boolean", "bool":
+		return Bool, nil
+	case "varchar", "text", "string":
+		return Text, nil
+	}
+	if strings.HasPrefix(low, "varchar(") && strings.HasSuffix(low, ")") {
+		n, err := strconv.Atoi(low[len("varchar(") : len(low)-1])
+		if err != nil || n <= 0 {
+			return Invalid, fmt.Errorf("graql: bad varchar width in %q", s)
+		}
+		return Varchar(n), nil
+	}
+	return Invalid, fmt.Errorf("graql: unknown type %q", s)
+}

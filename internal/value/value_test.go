@@ -1,0 +1,251 @@
+package value
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKindStrings(t *testing.T) {
+	cases := map[Kind]string{
+		KindBool: "boolean", KindInt: "integer", KindFloat: "float",
+		KindString: "varchar", KindDate: "date", KindInvalid: "invalid",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if got := Varchar(255).String(); got != "varchar(255)" {
+		t.Errorf("Varchar(255).String() = %q", got)
+	}
+	if got := Int.String(); got != "integer" {
+		t.Errorf("Int.String() = %q", got)
+	}
+}
+
+func TestComparable(t *testing.T) {
+	if !Int.Comparable(Float) || !Float.Comparable(Int) {
+		t.Error("numeric family must be cross-comparable")
+	}
+	if Date.Comparable(Float) {
+		t.Error("date and float must not be comparable (paper §III-A)")
+	}
+	if Text.Comparable(Int) {
+		t.Error("varchar and integer must not be comparable")
+	}
+	if Invalid.Comparable(Invalid) {
+		t.Error("invalid is comparable to nothing")
+	}
+}
+
+func TestCompareBasics(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewInt(2), NewFloat(2.5), -1},
+		{NewFloat(2.5), NewInt(2), 1},
+		{NewString("a"), NewString("b"), -1},
+		{NewBool(false), NewBool(true), -1},
+		{DateFromYMD(2008, 1, 1), DateFromYMD(2009, 1, 1), -1},
+		{NewNull(KindInt), NewInt(-100), -1},
+		{NewNull(KindInt), NewNull(KindInt), 0},
+	}
+	for _, c := range cases {
+		got, err := Compare(c.a, c.b)
+		if err != nil {
+			t.Fatalf("Compare(%v,%v): %v", c.a, c.b, err)
+		}
+		if got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareTypeError(t *testing.T) {
+	_, err := Compare(DateFromYMD(2008, 1, 1), NewFloat(3.5))
+	if err == nil {
+		t.Fatal("date vs float must be a type error")
+	}
+	if !strings.Contains(err.Error(), "date") || !strings.Contains(err.Error(), "float") {
+		t.Errorf("error should name both kinds: %v", err)
+	}
+}
+
+func randValue(r *rand.Rand, kind Kind) Value {
+	if r.Intn(12) == 0 {
+		return NewNull(kind)
+	}
+	switch kind {
+	case KindBool:
+		return NewBool(r.Intn(2) == 1)
+	case KindInt:
+		return NewInt(int64(r.Intn(2001) - 1000))
+	case KindFloat:
+		return NewFloat(float64(r.Intn(2001)-1000) / 8)
+	case KindString:
+		n := r.Intn(6)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = byte('a' + r.Intn(4))
+		}
+		return NewString(string(b))
+	case KindDate:
+		return NewDate(int64(r.Intn(20000)))
+	}
+	return Value{}
+}
+
+// TestCompareOrderProperties checks antisymmetry and transitivity within
+// each kind with randomized triples.
+func TestCompareOrderProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	kinds := []Kind{KindBool, KindInt, KindFloat, KindString, KindDate}
+	for trial := 0; trial < 3000; trial++ {
+		k := kinds[r.Intn(len(kinds))]
+		a, b, c := randValue(r, k), randValue(r, k), randValue(r, k)
+		ab, _ := Compare(a, b)
+		ba, _ := Compare(b, a)
+		if ab != -ba {
+			t.Fatalf("antisymmetry violated: %v vs %v: %d, %d", a, b, ab, ba)
+		}
+		bc, _ := Compare(b, c)
+		ac, _ := Compare(a, c)
+		if ab <= 0 && bc <= 0 && ac > 0 {
+			t.Fatalf("transitivity violated: %v <= %v <= %v but a > c", a, b, c)
+		}
+	}
+}
+
+// TestAppendKeyInjective: distinct values of one kind must get distinct
+// encodings; equal values identical encodings.
+func TestAppendKeyInjective(t *testing.T) {
+	f := func(a, b int64, s1, s2 string) bool {
+		va, vb := NewInt(a), NewInt(b)
+		ka := string(va.AppendKey(nil))
+		kb := string(vb.AppendKey(nil))
+		if (a == b) != (ka == kb) {
+			return false
+		}
+		sa := string(NewString(s1).AppendKey(nil))
+		sb := string(NewString(s2).AppendKey(nil))
+		return (s1 == s2) == (sa == sb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAppendKeySelfDelimiting: concatenated keys of multi-column values
+// must not collide across different splits.
+func TestAppendKeySelfDelimiting(t *testing.T) {
+	a := NewString("ab").AppendKey(nil)
+	a = NewString("c").AppendKey(a)
+	b := NewString("a").AppendKey(nil)
+	b = NewString("bc").AppendKey(b)
+	if string(a) == string(b) {
+		t.Error(`("ab","c") and ("a","bc") must encode differently`)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []struct {
+		text string
+		typ  Type
+	}{
+		{"42", Int},
+		{"-17", Int},
+		{"3.25", Float},
+		{"true", Bool},
+		{"false", Bool},
+		{"2008-06-01", Date},
+		{"hello", Varchar(10)},
+	}
+	for _, c := range cases {
+		v, err := Parse(c.text, c.typ)
+		if err != nil {
+			t.Fatalf("Parse(%q, %v): %v", c.text, c.typ, err)
+		}
+		if got := v.String(); got != c.text {
+			t.Errorf("Parse(%q).String() = %q", c.text, got)
+		}
+	}
+}
+
+func TestParseErrorsAndNulls(t *testing.T) {
+	if _, err := Parse("notanumber", Int); err == nil {
+		t.Error("bad integer must fail")
+	}
+	if _, err := Parse("2008-13-45", Date); err == nil {
+		t.Error("bad date must fail")
+	}
+	if _, err := Parse("toolongvalue", Varchar(4)); err == nil {
+		t.Error("varchar overflow must fail")
+	}
+	for _, typ := range []Type{Int, Float, Date, Bool} {
+		v, err := Parse("", typ)
+		if err != nil || !v.IsNull() {
+			t.Errorf("empty field should parse as NULL %v, got %v, %v", typ, v, err)
+		}
+	}
+	// Empty string is a valid varchar value, not NULL.
+	v, err := Parse("", Text)
+	if err != nil || v.IsNull() {
+		t.Errorf("empty varchar should be a value, got %v, %v", v, err)
+	}
+}
+
+func TestParseType(t *testing.T) {
+	cases := map[string]Type{
+		"integer":      Int,
+		"INT":          Int,
+		"float":        Float,
+		"date":         Date,
+		"boolean":      Bool,
+		"varchar(255)": Varchar(255),
+		"varchar":      Text,
+	}
+	for in, want := range cases {
+		got, err := ParseType(in)
+		if err != nil {
+			t.Fatalf("ParseType(%q): %v", in, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("ParseType(%q) = %v, want %v", in, got, want)
+		}
+	}
+	for _, bad := range []string{"varchar(0)", "varchar(-3)", "blob", ""} {
+		if _, err := ParseType(bad); err == nil {
+			t.Errorf("ParseType(%q) should fail", bad)
+		}
+	}
+}
+
+func TestDateHelpers(t *testing.T) {
+	v := DateFromYMD(2008, time.March, 15)
+	if got := v.String(); got != "2008-03-15" {
+		t.Errorf("date formats as %q", got)
+	}
+	if v.Time().Day() != 15 || v.Time().Month() != time.March {
+		t.Errorf("Time() = %v", v.Time())
+	}
+}
+
+func TestEqualCrossKind(t *testing.T) {
+	if !Equal(NewInt(2), NewFloat(2.0)) {
+		t.Error("2 and 2.0 should be equal (numeric family)")
+	}
+	if Equal(NewString("2"), NewInt(2)) {
+		t.Error("'2' and 2 must not be equal")
+	}
+}

@@ -1,0 +1,167 @@
+// Package web implements the paper's second client class: "clients can
+// range from a simple command-line interface to web-based front-ends"
+// (§III). It exposes the engine over HTTP with a JSON query endpoint, a
+// catalog endpoint, and a minimal self-contained HTML console.
+package web
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+
+	"graql/internal/exec"
+	"graql/internal/server"
+	"graql/internal/value"
+)
+
+// Handler serves the GEMS web front-end for one engine.
+type Handler struct {
+	eng *exec.Engine
+	mux *http.ServeMux
+}
+
+// New returns the front-end handler.
+//
+//	GET  /            the HTML console
+//	POST /query       {"script": "...", "params": {"P": {"type": "varchar", "value": "x"}}}
+//	GET  /catalog     the catalog snapshot as JSON
+func New(eng *exec.Engine) *Handler {
+	h := &Handler{eng: eng, mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET /{$}", h.console)
+	h.mux.HandleFunc("POST /query", h.query)
+	h.mux.HandleFunc("GET /catalog", h.catalog)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
+
+// queryRequest is the /query body (parameter encoding shared with the TCP
+// protocol).
+type queryRequest struct {
+	Script string                  `json:"script"`
+	Params map[string]server.Param `json:"params,omitempty"`
+	// Check runs static analysis only.
+	Check bool `json:"check,omitempty"`
+}
+
+type queryResponse struct {
+	OK      bool                `json:"ok"`
+	Error   string              `json:"error,omitempty"`
+	Results []server.StmtResult `json:"results,omitempty"`
+}
+
+func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, queryResponse{Error: "bad request: " + err.Error()})
+		return
+	}
+	if req.Check {
+		if err := exec.CheckScript(req.Script); err != nil {
+			writeJSON(w, http.StatusOK, queryResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, queryResponse{OK: true,
+			Results: []server.StmtResult{{Message: "script is statically valid"}}})
+		return
+	}
+	params, err := decodeParams(req.Params)
+	if err != nil {
+		writeJSON(w, http.StatusOK, queryResponse{Error: err.Error()})
+		return
+	}
+	results, err := h.eng.ExecScript(req.Script, params)
+	resp := queryResponse{OK: err == nil}
+	if err != nil {
+		resp.Error = err.Error()
+	}
+	for _, res := range results {
+		resp.Results = append(resp.Results, server.EncodeResult(res))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (h *Handler) catalog(w http.ResponseWriter, _ *http.Request) {
+	h.eng.Cat.RLock()
+	defer h.eng.Cat.RUnlock()
+	var out []server.CatalogEntry
+	for _, s := range h.eng.Cat.Stats() {
+		out = append(out, server.CatalogEntry{
+			Kind: s.Kind, Name: s.Name, Count: s.Count,
+			AvgOutDegree: s.AvgOutDegree, AvgInDegree: s.AvgInDegree,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func decodeParams(raw map[string]server.Param) (map[string]value.Value, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]value.Value, len(raw))
+	for name, p := range raw {
+		t, err := value.ParseType(p.Type)
+		if err != nil {
+			return nil, fmt.Errorf("parameter %s: %v", name, err)
+		}
+		v, err := value.Parse(p.Value, t)
+		if err != nil {
+			return nil, fmt.Errorf("parameter %s: %v", name, err)
+		}
+		out[name] = v
+	}
+	return out, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+var consoleTmpl = template.Must(template.New("console").Parse(`<!DOCTYPE html>
+<html><head><title>GraQL console</title><style>
+body{font-family:monospace;margin:2em;max-width:72em}
+textarea{width:100%;height:14em;font-family:inherit}
+table{border-collapse:collapse;margin-top:1em}
+td,th{border:1px solid #999;padding:2px 8px;text-align:left}
+.err{color:#b00}
+</style></head><body>
+<h1>GraQL console</h1>
+<p>Enter a GraQL script (create / ingest / select / explain / output).</p>
+<textarea id="script">select * from graph [ ] --[ ]--> [ ] into subgraph everything</textarea><br>
+<button onclick="run(false)">Run</button>
+<button onclick="run(true)">Check only</button>
+<div id="out"></div>
+<script>
+async function run(check) {
+  const resp = await fetch('/query', {method:'POST',
+    body: JSON.stringify({script: document.getElementById('script').value, check})});
+  const data = await resp.json();
+  const out = document.getElementById('out');
+  out.innerHTML = '';
+  if (data.error) {
+    out.innerHTML = '<p class="err">' + esc(data.error) + '</p>';
+  }
+  for (const r of data.results || []) {
+    if (r.message) out.innerHTML += '<p>' + esc(r.message) + '</p>';
+    if (r.subgraphName) out.innerHTML += '<p>subgraph ' + esc(r.subgraphName) + ': ' +
+      r.subgraphVertices + ' vertices, ' + r.subgraphEdges + ' edges</p>';
+    if (r.columns) {
+      let t = '<table><tr>' + r.columns.map(c => '<th>'+esc(c)+'</th>').join('') + '</tr>';
+      for (const row of r.rows || []) {
+        t += '<tr>' + row.map(c => '<td>'+esc(c)+'</td>').join('') + '</tr>';
+      }
+      out.innerHTML += t + '</table>';
+    }
+  }
+}
+function esc(s){const d=document.createElement('div');d.innerText=s;return d.innerHTML;}
+</script></body></html>`))
+
+func (h *Handler) console(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = consoleTmpl.Execute(w, nil)
+}

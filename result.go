@@ -1,0 +1,157 @@
+package graql
+
+import (
+	"io"
+	"strings"
+	"time"
+
+	"graql/internal/exec"
+	"graql/internal/table"
+	"graql/internal/value"
+)
+
+// Result is the outcome of one statement: a status message for DDL and
+// ingest, a table for table-producing selects, or a subgraph summary for
+// "into subgraph" selects.
+type Result struct {
+	r exec.Result
+}
+
+// Message returns the statement's status message ("created table …",
+// "ingested N rows …"), or "" for data results.
+func (r Result) Message() string { return r.r.Message }
+
+// IsTable reports whether the result carries a table.
+func (r Result) IsTable() bool { return r.r.Kind == exec.ResultTable }
+
+// IsSubgraph reports whether the result is a named subgraph.
+func (r Result) IsSubgraph() bool { return r.r.Kind == exec.ResultSubgraph }
+
+// Table returns the result table (zero Table if none).
+func (r Result) Table() Table { return Table{t: r.r.Table} }
+
+// SubgraphSize returns the vertex and edge counts of a subgraph result.
+func (r Result) SubgraphSize() (vertices, edges int) {
+	if r.r.Subgraph == nil {
+		return 0, 0
+	}
+	return r.r.Subgraph.NumVertices(), r.r.Subgraph.NumEdges()
+}
+
+// SubgraphVertices returns the key strings of the subgraph's vertices of
+// the named vertex type, in ascending id order (composite keys join with
+// commas). Nil when the result is not a subgraph or holds no vertices of
+// that type.
+func (r Result) SubgraphVertices(vertexType string) []string {
+	if r.r.Subgraph == nil {
+		return nil
+	}
+	for vt, set := range r.r.Subgraph.Vertices {
+		if !strings.EqualFold(vt.Name, vertexType) {
+			continue
+		}
+		out := make([]string, 0, set.Count())
+		set.ForEach(func(v uint32) {
+			out = append(out, vt.KeyString(v))
+		})
+		return out
+	}
+	return nil
+}
+
+// Table is a read-only view over a result table.
+type Table struct {
+	t *table.Table
+}
+
+// Valid reports whether the result actually carries a table.
+func (t Table) Valid() bool { return t.t != nil }
+
+// Columns returns the column names.
+func (t Table) Columns() []string {
+	if t.t == nil {
+		return nil
+	}
+	s := t.t.Schema()
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// NumRows returns the row count.
+func (t Table) NumRows() int {
+	if t.t == nil {
+		return 0
+	}
+	return t.t.NumRows()
+}
+
+// NumCols returns the column count.
+func (t Table) NumCols() int {
+	if t.t == nil {
+		return 0
+	}
+	return t.t.NumCols()
+}
+
+// Value returns the cell at (row, col).
+func (t Table) Value(row, col int) Value {
+	return Value{v: t.t.Value(uint32(row), col)}
+}
+
+// String renders the table with a header row, pipe-separated.
+func (t Table) String() string {
+	if t.t == nil {
+		return "(no table)"
+	}
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns(), " | "))
+	b.WriteString("\n")
+	for r := 0; r < t.NumRows(); r++ {
+		for c := 0; c < t.NumCols(); c++ {
+			if c > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(t.Value(r, c).String())
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// WriteCSV writes the table, with a header row, as CSV.
+func (t Table) WriteCSV(w io.Writer) error {
+	if t.t == nil {
+		return nil
+	}
+	return table.WriteCSV(t.t, w)
+}
+
+// Value is one typed scalar cell.
+type Value struct {
+	v value.Value
+}
+
+// IsNull reports SQL NULL.
+func (v Value) IsNull() bool { return v.v.IsNull() }
+
+// Kind returns the GraQL type name ("integer", "float", "varchar",
+// "date", "boolean").
+func (v Value) Kind() string { return v.v.Kind().String() }
+
+// String formats the value for display.
+func (v Value) String() string { return v.v.String() }
+
+// Int64 returns the integer payload (0 for other kinds).
+func (v Value) Int64() int64 { return v.v.Int() }
+
+// Float64 returns the numeric payload as a float.
+func (v Value) Float64() float64 { return v.v.Float() }
+
+// Bool returns the boolean payload.
+func (v Value) Bool() bool { return v.v.Bool() }
+
+// Time returns the date payload (zero time for other kinds).
+func (v Value) Time() time.Time { return v.v.Time() }
