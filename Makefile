@@ -1,0 +1,26 @@
+# Standard-library-only Go module; no codegen, no vendoring.
+
+.PHONY: all build test race vet fmt ci bench
+
+all: build
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+vet:
+	go vet ./...
+
+fmt:
+	gofmt -l -w .
+
+ci:
+	sh ci.sh
+
+bench:
+	go test -bench=. -benchmem

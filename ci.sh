@@ -1,0 +1,23 @@
+#!/bin/sh
+# CI gate: formatting, vet, build, and the full test suite under the race
+# detector. Run from the repository root; fails fast on the first problem.
+set -eu
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "CI OK"

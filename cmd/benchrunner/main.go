@@ -5,10 +5,11 @@
 //
 // Usage:
 //
-//	benchrunner [-quick] [-exp E2,E3]
+//	benchrunner [-quick] [-exp E2,E3] [-json metrics.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -24,15 +25,21 @@ import (
 	"graql/internal/exec"
 	"graql/internal/graph"
 	"graql/internal/ir"
+	"graql/internal/obs"
 	"graql/internal/parser"
 	"graql/internal/table"
 	"graql/internal/value"
 )
 
 var (
-	quick  = flag.Bool("quick", false, "fewer repetitions and smaller scales")
-	only   = flag.String("exp", "", "comma-separated experiment ids to run (default all)")
-	paramC map[string]value.Value
+	quick    = flag.Bool("quick", false, "fewer repetitions and smaller scales")
+	only     = flag.String("exp", "", "comma-separated experiment ids to run (default all)")
+	jsonPath = flag.String("json", "", "write a JSON snapshot of the run's metrics registry to this file")
+	paramC   map[string]value.Value
+
+	// reg accumulates engine and cluster metrics across every experiment
+	// of the run; -json snapshots it.
+	reg = obs.New()
 )
 
 func main() {
@@ -67,13 +74,42 @@ func main() {
 			want[strings.TrimSpace(strings.ToUpper(id))] = true
 		}
 	}
+	var ran []string
 	for _, ex := range experiments {
 		if len(want) > 0 && !want[ex.id] {
 			continue
 		}
 		fmt.Printf("\n### %s — %s\n\n", ex.id, ex.ttl)
 		ex.fn()
+		ran = append(ran, ex.id)
 	}
+	if *jsonPath != "" {
+		if err := writeSnapshot(*jsonPath, ran); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote metrics snapshot to %s\n", *jsonPath)
+	}
+}
+
+// writeSnapshot dumps the run configuration plus the metrics registry
+// (counters, gauges, histogram buckets) as indented JSON.
+func writeSnapshot(path string, ran []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(map[string]any{
+		"gomaxprocs":  runtime.GOMAXPROCS(0),
+		"quick":       *quick,
+		"experiments": ran,
+		"metrics":     reg.Snapshot(),
+	})
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func fatal(err error) {
@@ -95,6 +131,7 @@ func loadBerlin(sf, workers int, reverse bool) *exec.Engine {
 	opts := exec.DefaultOptions()
 	opts.Workers = workers
 	opts.ReverseIndexes = reverse
+	opts.Obs = reg
 	opts.FileOpener = opener(bsbm.Generate(bsbm.Config{ScaleFactor: sf, Seed: 42}))
 	e := exec.New(opts)
 	if _, err := e.ExecScript(bsbm.FullDDL, nil); err != nil {
@@ -305,6 +342,7 @@ func e6() {
 			if err != nil {
 				fatal(err)
 			}
+			c.SetObs(reg)
 			var stats cluster.Stats
 			med := timeIt(func() {
 				_, s, err := c.Traverse(g.VertexType("ProductVtx"), nil, []cluster.Step{

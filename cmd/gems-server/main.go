@@ -19,27 +19,40 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"graql/internal/bsbm"
 	"graql/internal/exec"
+	"graql/internal/obs"
 	"graql/internal/server"
 	"graql/internal/web"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7687", "listen address")
-		httpAddr = flag.String("http", "", "also serve the web console on this address (e.g. 127.0.0.1:8087)")
-		token    = flag.String("token", "", "require this auth token from clients")
-		dataDir  = flag.String("data", ".", "base directory for ingest file paths")
-		berlin   = flag.Int("berlin", 0, "preload a generated Berlin dataset at this scale factor")
-		workers  = flag.Int("workers", 0, "parallelism degree (0 = GOMAXPROCS)")
+		addr         = flag.String("addr", "127.0.0.1:7687", "listen address")
+		httpAddr     = flag.String("http", "", "also serve the web console on this address (e.g. 127.0.0.1:8087)")
+		token        = flag.String("token", "", "require this auth token from clients")
+		dataDir      = flag.String("data", ".", "base directory for ingest file paths")
+		berlin       = flag.Int("berlin", 0, "preload a generated Berlin dataset at this scale factor")
+		workers      = flag.Int("workers", 0, "parallelism degree (0 = GOMAXPROCS)")
+		metrics      = flag.Bool("metrics", true, "enable the metrics registry (the \"metrics\" op and GET /metrics)")
+		slowQuery    = flag.Duration("slow-query", 0, "log statements slower than this (e.g. 250ms; 0 disables)")
+		idleTimeout  = flag.Duration("idle-timeout", 5*time.Minute, "drop TCP sessions idle longer than this (0 = no limit)")
+		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-response TCP write deadline (0 = no limit)")
 	)
 	flag.Parse()
 
 	opts := exec.DefaultOptions()
 	opts.BaseDir = *dataDir
 	opts.Workers = *workers
+	if *metrics || *slowQuery > 0 {
+		opts.Obs = obs.New()
+		opts.Obs.SetSlowQueryThreshold(*slowQuery)
+		if *slowQuery > 0 {
+			opts.Obs.SetSlowQueryWriter(os.Stderr)
+		}
+	}
 	eng := exec.New(opts)
 
 	if *berlin > 0 {
@@ -67,12 +80,22 @@ func main() {
 	if *httpAddr != "" {
 		go func() {
 			fmt.Printf("web console on http://%s/\n", *httpAddr)
-			if err := http.ListenAndServe(*httpAddr, web.New(eng)); err != nil {
+			hs := &http.Server{
+				Addr:              *httpAddr,
+				Handler:           web.New(eng),
+				ReadHeaderTimeout: 10 * time.Second,
+				ReadTimeout:       time.Minute,
+				WriteTimeout:      2 * time.Minute,
+				IdleTimeout:       *idleTimeout,
+			}
+			if err := hs.ListenAndServe(); err != nil {
 				fmt.Fprintln(os.Stderr, "gems-server: web:", err)
 			}
 		}()
 	}
 	srv := server.New(eng, *token)
+	srv.IdleTimeout = *idleTimeout
+	srv.WriteTimeout = *writeTimeout
 	if err := srv.Serve(ln); err != nil {
 		fmt.Fprintln(os.Stderr, "gems-server:", err)
 		os.Exit(1)

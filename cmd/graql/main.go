@@ -70,6 +70,8 @@ func main() {
 		checkOnly = flag.Bool("check", false, "statically check the script without executing it")
 		noReverse = flag.Bool("no-reverse-index", false, "disable reverse edge indexes")
 		outCSV    = flag.String("out", "", "write the last table result to this CSV file")
+		metrics   = flag.Bool("metrics", false, "print the metrics registry (Prometheus text) to stderr on exit")
+		slowQuery = flag.Duration("slow-query", 0, "log statements slower than this to stderr (e.g. 250ms; 0 disables)")
 		params    paramList
 	)
 	flag.Var(&params, "param", "query parameter name[:type]=value (repeatable)")
@@ -87,11 +89,21 @@ func main() {
 		return
 	}
 
-	db := graql.Open(
+	dbOpts := []graql.Option{
 		graql.WithBaseDir(*dataDir),
 		graql.WithWorkers(*workers),
 		graql.WithReverseIndexes(!*noReverse),
-	)
+	}
+	if *metrics {
+		dbOpts = append(dbOpts, graql.WithMetrics())
+	}
+	if *slowQuery > 0 {
+		dbOpts = append(dbOpts, graql.WithSlowQueryLog(*slowQuery, os.Stderr))
+	}
+	db := graql.Open(dbOpts...)
+	if *metrics {
+		defer func() { fmt.Fprint(os.Stderr, db.MetricsText()) }()
+	}
 
 	if flag.NArg() > 0 {
 		src, err := readScript(flag.Args())

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"graql/internal/exec"
+	"graql/internal/obs"
 	"graql/internal/value"
 )
 
@@ -66,6 +67,31 @@ func WithBaseDir(dir string) Option {
 // data from memory or to sandbox file access).
 func WithFileOpener(open func(path string) (io.ReadCloser, error)) Option {
 	return func(o *exec.Options) { o.FileOpener = open }
+}
+
+// WithMetrics enables the observability registry: query/scan/traversal
+// counters, per-statement latency histograms and parallel-worker
+// utilisation, exposed by MetricsText (and, through the servers, the
+// /metrics endpoint and the "metrics" op).
+func WithMetrics() Option {
+	return func(o *exec.Options) {
+		if o.Obs == nil {
+			o.Obs = obs.New()
+		}
+	}
+}
+
+// WithSlowQueryLog enables metrics and records every statement slower
+// than threshold in the slow-query ring; a non-nil w additionally
+// receives one log line per slow statement.
+func WithSlowQueryLog(threshold time.Duration, w io.Writer) Option {
+	return func(o *exec.Options) {
+		if o.Obs == nil {
+			o.Obs = obs.New()
+		}
+		o.Obs.SetSlowQueryThreshold(threshold)
+		o.Obs.SetSlowQueryWriter(w)
+	}
 }
 
 // Open creates an empty database.
@@ -154,6 +180,17 @@ func (db *DB) Stats() []Stats {
 	}
 	return out
 }
+
+// MetricsText renders the database's metrics in the Prometheus text
+// exposition format; empty when the DB was opened without WithMetrics.
+func (db *DB) MetricsText() string { return db.eng.Opts.Obs.PrometheusText() }
+
+// SlowQuery is one retained slow-query log entry.
+type SlowQuery = obs.SlowQuery
+
+// SlowQueries returns the retained slow-query log entries, oldest first
+// (empty without WithSlowQueryLog).
+func (db *DB) SlowQueries() []SlowQuery { return db.eng.Opts.Obs.SlowQueries() }
 
 // Engine exposes the underlying engine for in-module tooling (cmd/,
 // benchmarks). It is not part of the stable public API.

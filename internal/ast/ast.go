@@ -250,7 +250,11 @@ func (c Into) String() string {
 type Select struct {
 	// Explain reports the execution plan instead of running the query
 	// (the §III-B dynamic planning decisions, made inspectable).
-	Explain  bool
+	Explain bool
+	// Analyze (with Explain) executes the query with per-operator
+	// instrumentation and reports the plan with actual row counts and
+	// wall times ("explain analyze select …").
+	Analyze  bool
 	Top      int // 0 = no top clause
 	Distinct bool
 	Star     bool
@@ -271,6 +275,9 @@ func (s *Select) String() string {
 	var b strings.Builder
 	if s.Explain {
 		b.WriteString("explain ")
+		if s.Analyze {
+			b.WriteString("analyze ")
+		}
 	}
 	b.WriteString("select ")
 	if s.Top > 0 {

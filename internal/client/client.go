@@ -79,3 +79,12 @@ func (c *Client) ExecIR(irB64 string, params map[string]server.Param) (*server.R
 func (c *Client) Stats() (*server.Response, error) {
 	return c.roundTrip(&server.Request{Op: "stats"})
 }
+
+// Metrics fetches the server's metrics in Prometheus text format.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.roundTrip(&server.Request{Op: "metrics"})
+	if err != nil {
+		return "", err
+	}
+	return resp.Metrics, nil
+}

@@ -20,6 +20,7 @@ import (
 
 	"graql/internal/bitmap"
 	"graql/internal/graph"
+	"graql/internal/obs"
 )
 
 // Strategy selects how vertex ids map to partitions — the paper singles
@@ -50,7 +51,13 @@ type Cluster struct {
 	g        *graph.Graph
 	parts    int
 	strategy Strategy
+	obs      *obs.Registry
 }
+
+// SetObs attaches an observability registry; every Traverse then also
+// accumulates its exchange statistics into graql_cluster_* counters,
+// including per-node sent-vertex counts (label node="p<i>").
+func (c *Cluster) SetObs(reg *obs.Registry) { c.obs = reg }
 
 // New partitions the graph's vertex id spaces across `parts` simulated
 // nodes with hash placement (GEMS's baseline).
@@ -96,6 +103,14 @@ type Step struct {
 	Filter func(v uint32) bool
 }
 
+// Wire-size model for the simulated exchange: a fixed per-message header
+// plus one 32-bit id per vertex (paper §III: frontier exchange dominates
+// distributed query cost).
+const (
+	msgHeaderBytes = 16
+	vertexIDBytes  = 4
+)
+
 // Stats accumulates the communication behaviour of one query.
 type Stats struct {
 	Rounds int
@@ -106,6 +121,12 @@ type Stats struct {
 	VerticesSent int
 	// VerticesLocal counts ids delivered within their own partition.
 	VerticesLocal int
+	// BytesSent models the wire traffic of the counted messages:
+	// msgHeaderBytes per message plus vertexIDBytes per sent id.
+	BytesSent int
+	// PerPartSent counts the vertex ids each source partition sent to
+	// remote partitions (index = partition).
+	PerPartSent []int
 }
 
 // Traverse runs a linear path query: a start set on startType filtered by
@@ -116,7 +137,7 @@ func (c *Cluster) Traverse(startType *graph.VertexType, startFilter func(uint32)
 	if err := c.validate(startType, steps); err != nil {
 		return nil, Stats{}, err
 	}
-	var stats Stats
+	stats := Stats{PerPartSent: make([]int, c.parts)}
 
 	sets := make([]*bitmap.Bitmap, len(steps)+1)
 	sets[0] = c.localFilterSet(startType.Count(), startFilter)
@@ -143,7 +164,27 @@ func (c *Cluster) Traverse(startType *graph.VertexType, startFilter func(uint32)
 		reached := c.exchangeExpand(sets[i+1], back, prevType.Count(), &stats)
 		sets[i].And(reached)
 	}
+	c.recordStats(&stats)
 	return sets, stats, nil
+}
+
+// recordStats folds one traversal's exchange statistics into the
+// attached registry.
+func (c *Cluster) recordStats(st *Stats) {
+	if c.obs == nil {
+		return
+	}
+	c.obs.Counter("graql_cluster_traversals_total", "distributed traversals executed").Inc()
+	c.obs.Counter("graql_cluster_rounds_total", "BSP exchange rounds executed").Add(int64(st.Rounds))
+	c.obs.Counter("graql_cluster_messages_total", "non-empty partition-to-partition exchanges").Add(int64(st.Messages))
+	c.obs.Counter("graql_cluster_vertices_sent_total", "vertex ids sent across partition boundaries").Add(int64(st.VerticesSent))
+	c.obs.Counter("graql_cluster_vertices_local_total", "vertex ids delivered within their own partition").Add(int64(st.VerticesLocal))
+	c.obs.Counter("graql_cluster_bytes_sent_total", "modelled wire bytes of cross-partition messages").Add(int64(st.BytesSent))
+	for p, n := range st.PerPartSent {
+		c.obs.CounterL("graql_cluster_node_vertices_sent_total",
+			"vertex ids sent to remote partitions, by source node",
+			map[string]string{"node": fmt.Sprintf("p%d", p)}).Add(int64(n))
+	}
 }
 
 func (c *Cluster) validate(startType *graph.VertexType, steps []Step) error {
@@ -243,6 +284,10 @@ func (c *Cluster) exchangeExpand(frontier *bitmap.Bitmap, st Step, outSize int, 
 			if src != dst {
 				stats.Messages++
 				stats.VerticesSent += len(buf)
+				stats.BytesSent += msgHeaderBytes + len(buf)*vertexIDBytes
+				if stats.PerPartSent != nil {
+					stats.PerPartSent[src] += len(buf)
+				}
 			} else {
 				stats.VerticesLocal += len(buf)
 			}

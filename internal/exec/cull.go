@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"graql/internal/bitmap"
 	"graql/internal/graph"
@@ -41,7 +42,7 @@ func (m *matcher) expandFiltered(pe *sema.PEdge, forward bool, fromSet *bitmap.B
 	cond := m.edgeSelf[pe.ID]
 
 	shards := shardRanges(fromSet.Len(), m.workers*4)
-	err := runShards(len(shards), m.workers, func(si int) error {
+	err := runShards(&m.e.met, len(shards), m.workers, func(si int) error {
 		w := &wstate{m: m, b: make([]uint32, len(m.pat.Nodes)+len(m.pat.Edges))}
 		var inner error
 		visit := func(t, eid uint32) {
@@ -66,6 +67,7 @@ func (m *matcher) expandFiltered(pe *sema.PEdge, forward bool, fromSet *bitmap.B
 			}
 			if forward {
 				nbr, eids := et.Forward().Neighbors(v)
+				w.edges += int64(len(nbr))
 				for i := range nbr {
 					visit(nbr[i], eids[i])
 				}
@@ -73,12 +75,16 @@ func (m *matcher) expandFiltered(pe *sema.PEdge, forward bool, fromSet *bitmap.B
 			}
 			if rev, ok := et.Reverse(); ok {
 				nbr, eids := rev.Neighbors(v)
+				w.idxHit++
+				w.edges += int64(len(nbr))
 				for i := range nbr {
 					visit(nbr[i], eids[i])
 				}
 				return
 			}
 			// No reverse index: edge-list scan fallback (§III-B).
+			w.idxMiss++
+			w.edges += int64(et.Count())
 			for eid := uint32(0); eid < uint32(et.Count()); eid++ {
 				s, d := et.EdgeAt(eid)
 				if d == v {
@@ -86,6 +92,7 @@ func (m *matcher) expandFiltered(pe *sema.PEdge, forward bool, fromSet *bitmap.B
 				}
 			}
 		})
+		m.flush(w)
 		return inner
 	})
 	if err != nil {
@@ -128,22 +135,31 @@ func (m *matcher) expandStep(pe *sema.PEdge, from, to int, fromSet *bitmap.Bitma
 
 // cullChainSets runs the forward and backward passes over a chain and
 // returns the final per-node matched sets (indexed by pattern node id).
+// Under EXPLAIN ANALYZE each pass step is traced with the cardinality of
+// the step set it produces.
 func (m *matcher) cullChainSets(chain []int) ([]*bitmap.Bitmap, error) {
+	tr := m.e.trace
 	pat := m.pat
 	fwd := make([]*bitmap.Bitmap, len(pat.Nodes))
+	t0 := time.Now()
 	start, err := m.candidates(chain[0])
 	if err != nil {
 		return nil, err
 	}
 	fwd[chain[0]] = start.Clone()
+	tr.Span("scan", fmt.Sprintf("start at %s", stepName(pat, m.nodeType, chain[0]))).
+		Record(int64(start.Count()), time.Since(t0))
 	for k := 0; k+1 < len(chain); k++ {
 		a, b := chain[k], chain[k+1]
 		pe := chainEdge(pat, a, b)
+		t0 = time.Now()
 		next, err := m.expandStep(pe, a, b, fwd[a])
 		if err != nil {
 			return nil, err
 		}
 		fwd[b] = next
+		tr.Span("chain-expand", fmt.Sprintf("forward to %s (Eq. 5 step %d)", stepName(pat, m.nodeType, b), k+1)).
+			Record(int64(next.Count()), time.Since(t0))
 	}
 	final := make([]*bitmap.Bitmap, len(pat.Nodes))
 	last := chain[len(chain)-1]
@@ -151,12 +167,15 @@ func (m *matcher) cullChainSets(chain []int) ([]*bitmap.Bitmap, error) {
 	for k := len(chain) - 2; k >= 0; k-- {
 		a, b := chain[k], chain[k+1]
 		pe := chainEdge(pat, a, b)
+		t0 = time.Now()
 		back, err := m.expandStep(pe, b, a, final[b])
 		if err != nil {
 			return nil, err
 		}
 		back.And(fwd[a])
 		final[a] = back
+		tr.Span("chain-cull", fmt.Sprintf("backward cull at %s", stepName(pat, m.nodeType, a))).
+			Record(int64(back.Count()), time.Since(t0))
 	}
 	return final, nil
 }
@@ -203,7 +222,7 @@ func (m *matcher) markEdgesInSets(pe *sema.PEdge, srcSet, dstSet *bitmap.Bitmap,
 	es := sub.EdgeSet(et)
 	cond := m.edgeSelf[pe.ID]
 	shards := shardRanges(srcSet.Len(), m.workers*4)
-	return runShards(len(shards), m.workers, func(si int) error {
+	return runShards(&m.e.met, len(shards), m.workers, func(si int) error {
 		w := &wstate{m: m, b: make([]uint32, len(m.pat.Nodes)+len(m.pat.Edges))}
 		var inner error
 		srcSet.ForEachRange(shards[si][0], shards[si][1], func(v uint32) {
@@ -211,6 +230,7 @@ func (m *matcher) markEdgesInSets(pe *sema.PEdge, srcSet, dstSet *bitmap.Bitmap,
 				return
 			}
 			nbr, eids := et.Forward().Neighbors(v)
+			w.edges += int64(len(nbr))
 			for i, t := range nbr {
 				if !dstSet.Get(t) {
 					continue
@@ -228,6 +248,7 @@ func (m *matcher) markEdgesInSets(pe *sema.PEdge, srcSet, dstSet *bitmap.Bitmap,
 				es.SetAtomic(eids[i])
 			}
 		})
+		m.flush(w)
 		return inner
 	})
 }

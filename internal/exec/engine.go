@@ -14,11 +14,13 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"time"
 
 	"graql/internal/ast"
 	"graql/internal/catalog"
 	"graql/internal/expr"
 	"graql/internal/graph"
+	"graql/internal/obs"
 	"graql/internal/parser"
 	"graql/internal/plan"
 	"graql/internal/sema"
@@ -48,6 +50,11 @@ type Options struct {
 	// FileCreator overrides how output statements create result files.
 	// nil uses the OS filesystem rooted at BaseDir.
 	FileCreator func(path string) (io.WriteCloser, error)
+	// Obs is the observability registry the engine reports into: query
+	// counters, scan/traversal totals, per-statement latency histograms
+	// and the slow-query log. nil disables metrics (the hot-path cost is
+	// then a handful of nil checks).
+	Obs *obs.Registry
 }
 
 // DefaultOptions returns the standard engine configuration.
@@ -67,13 +74,20 @@ type Engine struct {
 	Cat  *catalog.Catalog
 	Opts Options
 
+	// met caches metric series resolved from Opts.Obs (all nil without a
+	// registry). trace is non-nil only on the shadow engine that EXPLAIN
+	// ANALYZE runs a query through; matcher and relational operators
+	// append operator spans to it.
+	met   engineMetrics
+	trace *obs.Trace
+
 	nextVertexID int
 	nextEdgeID   int
 }
 
 // New returns an engine over a fresh catalog.
 func New(opts Options) *Engine {
-	return &Engine{Cat: catalog.New(), Opts: opts}
+	return &Engine{Cat: catalog.New(), Opts: opts, met: newEngineMetrics(opts.Obs)}
 }
 
 // ResultKind classifies a statement result.
@@ -114,12 +128,24 @@ func (e *Engine) ExecScript(src string, params map[string]value.Value) ([]Result
 	return out, nil
 }
 
-// ExecStmt statically analyses and executes a single statement. DDL and
-// ingest take the catalog write lock; selects analyse and execute under
-// the read lock so that independent statements of a script can run
-// concurrently (§III-B1), re-acquiring the write lock only to register an
-// "into" result.
+// ExecStmt statically analyses and executes a single statement,
+// recording per-statement metrics and the slow-query log when the engine
+// has an observability registry.
 func (e *Engine) ExecStmt(st ast.Stmt, params map[string]value.Value) (Result, error) {
+	if e.met.reg == nil {
+		return e.execStmt(st, params)
+	}
+	start := time.Now()
+	res, err := e.execStmt(st, params)
+	e.met.observeStmt(st, time.Since(start), err)
+	return res, err
+}
+
+// execStmt is ExecStmt without instrumentation. DDL and ingest take the
+// catalog write lock; selects analyse and execute under the read lock so
+// that independent statements of a script can run concurrently (§III-B1),
+// re-acquiring the write lock only to register an "into" result.
+func (e *Engine) execStmt(st ast.Stmt, params map[string]value.Value) (Result, error) {
 	if _, isSelect := st.(*ast.Select); !isSelect || e.Opts.CheckOnly {
 		e.Cat.Lock()
 		defer e.Cat.Unlock()
@@ -190,7 +216,7 @@ func (e *Engine) ExecScriptStaged(src string, params map[string]value.Value) ([]
 	errs := make([]error, len(script.Stmts))
 	for _, stage := range plan.Stages(script) {
 		stage := stage
-		_ = runShards(len(stage), e.Opts.workers(), func(k int) error {
+		_ = runShards(&e.met, len(stage), e.Opts.workers(), func(k int) error {
 			i := stage[k]
 			results[i], errs[i] = e.ExecStmt(script.Stmts[i], params)
 			return nil

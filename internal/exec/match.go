@@ -1,9 +1,13 @@
 package exec
 
 import (
+	"fmt"
+	"time"
+
 	"graql/internal/bitmap"
 	"graql/internal/expr"
 	"graql/internal/graph"
+	"graql/internal/obs"
 	"graql/internal/plan"
 	"graql/internal/sema"
 	"graql/internal/value"
@@ -43,6 +47,12 @@ type matcher struct {
 
 	cands []*bitmap.Bitmap // lazily built per-node candidate sets
 
+	// spans traces one operator per order position when the engine runs
+	// under EXPLAIN ANALYZE (nil otherwise). spans[d] counts the bindings
+	// that survive verification and deferred conditions at depth d; times
+	// are inclusive of deeper steps and summed across parallel workers.
+	spans []*obs.Span
+
 	workers int
 }
 
@@ -59,6 +69,11 @@ type wstate struct {
 	// regexReach caches accepted-target sets per (pattern edge, source
 	// vertex, direction).
 	regexReach map[regexKey]*bitmap.Bitmap
+	// Batched metric counters, flushed per shard (matcher.flush).
+	scanned int64 // candidate rows visited
+	edges   int64 // edge-index entries walked
+	idxHit  int64 // reverse traversals served by a reverse index
+	idxMiss int64 // reverse traversals degraded to edge scans
 }
 
 type regexKey struct {
@@ -168,6 +183,55 @@ func (e *Engine) newMatcher(pat *sema.Pattern, nodeType []*graph.VertexType,
 	return m, nil
 }
 
+// buildSpans creates one trace span per order position, labelled like the
+// corresponding EXPLAIN plan row. It runs lazily from matchAll so the
+// chain fast path (which never enumerates) emits its own spans instead.
+func (m *matcher) buildSpans(tr *obs.Trace) {
+	m.spans = make([]*obs.Span, len(m.order))
+	for i, v := range m.order {
+		name := stepName(m.pat, m.nodeType, v.Node)
+		if v.Via < 0 {
+			m.spans[i] = tr.Span("scan", fmt.Sprintf("start at %s", name))
+			continue
+		}
+		pe := m.pat.Edges[v.Via]
+		dir := "forward index"
+		if !v.Forward {
+			dir = "reverse index"
+			if pe.Regex == nil && !m.edgeType[v.Via].HasReverse() {
+				dir = "edge scan (no reverse index)"
+			}
+		}
+		edgeName := "[ ]"
+		if pe.Regex != nil {
+			edgeName = "path-regex (product BFS)"
+		} else if m.edgeType[v.Via] != nil {
+			edgeName = m.edgeType[v.Via].Name
+		}
+		m.spans[i] = tr.Span("expand", fmt.Sprintf("bind %s via %s, %s", name, edgeName, dir))
+	}
+}
+
+// noteRow credits one surviving binding to the span of the given depth.
+func (m *matcher) noteRow(depth int) {
+	if m.spans != nil {
+		m.spans[depth].Incr()
+	}
+}
+
+// flush drains a worker's batched metric counters into the engine's
+// registry; called once per shard so hot loops only bump local int64s.
+func (m *matcher) flush(w *wstate) {
+	if m.e.met.reg == nil {
+		return
+	}
+	m.e.met.rowsScanned.Add(w.scanned)
+	m.e.met.edgesTraversed.Add(w.edges)
+	m.e.met.indexHits.Add(w.idxHit)
+	m.e.met.indexMisses.Add(w.idxMiss)
+	w.scanned, w.edges, w.idxHit, w.idxMiss = 0, 0, 0, 0
+}
+
 func refSourcesOf(e expr.Expr) []int {
 	seen := map[int]bool{}
 	var out []int
@@ -193,9 +257,10 @@ func (m *matcher) candidates(node int) (*bitmap.Bitmap, error) {
 	cond := m.nodeSelf[node]
 	seed := m.seeds[node]
 	shards := shardRanges(n, m.workers*4)
-	err := runShards(len(shards), m.workers, func(si int) error {
+	err := runShards(&m.e.met, len(shards), m.workers, func(si int) error {
 		lo, hi := shards[si][0], shards[si][1]
 		w := &wstate{m: m, b: make([]uint32, len(m.pat.Nodes)+len(m.pat.Edges))}
+		w.scanned = int64(hi - lo)
 		for v := lo; v < hi; v++ {
 			if seed != nil && !seed.Get(v) {
 				continue
@@ -212,6 +277,7 @@ func (m *matcher) candidates(node int) (*bitmap.Bitmap, error) {
 			}
 			bm.SetAtomic(v)
 		}
+		m.flush(w)
 		return nil
 	})
 	if err != nil {
@@ -259,6 +325,9 @@ func (m *matcher) matchAll(nShards int, sink func(shard int, b []uint32) error) 
 	if len(m.order) == 0 {
 		return nil
 	}
+	if m.e.trace != nil && m.spans == nil {
+		m.buildSpans(m.e.trace)
+	}
 	first := m.order[0]
 	cand, err := m.candidates(first.Node)
 	if err != nil {
@@ -275,7 +344,8 @@ func (m *matcher) matchAll(nShards int, sink func(shard int, b []uint32) error) 
 		}
 	}
 	shards := shardRanges(cand.Len(), nShards)
-	return runShards(len(shards), m.workers, func(si int) error {
+	start := time.Now()
+	err = runShards(&m.e.met, len(shards), m.workers, func(si int) error {
 		w := &wstate{m: m, b: make([]uint32, len(m.pat.Nodes)+len(m.pat.Edges))}
 		for i := range w.b {
 			w.b[i] = NoBind
@@ -291,8 +361,13 @@ func (m *matcher) matchAll(nShards int, sink func(shard int, b []uint32) error) 
 			}
 			w.b[first.Node] = NoBind
 		})
+		m.flush(w)
 		return inner
 	})
+	if m.spans != nil {
+		m.spans[0].AddTime(time.Since(start))
+	}
+	return err
 }
 
 // afterBind runs cycle verification and deferred conditions for the node
@@ -316,6 +391,7 @@ func (m *matcher) verifyFrom(w *wstate, depth, vi int, emit func([]uint32) error
 				return nil
 			}
 		}
+		m.noteRow(depth)
 		if depth+1 == len(m.order) {
 			return emit(w.b)
 		}
@@ -336,6 +412,7 @@ func (m *matcher) verifyFrom(w *wstate, depth, vi int, emit func([]uint32) error
 	// Enumerate every parallel edge instance connecting the bound
 	// endpoints (the graph is a multigraph, §II-A1).
 	nbr, eids := et.Forward().Neighbors(src)
+	w.edges += int64(len(nbr))
 	for i, d := range nbr {
 		if d != dst {
 			continue
@@ -357,8 +434,19 @@ func (m *matcher) verifyFrom(w *wstate, depth, vi int, emit func([]uint32) error
 }
 
 // expand binds the node at order position depth by traversing its Via
-// edge from the already-bound endpoint.
+// edge from the already-bound endpoint. Under EXPLAIN ANALYZE the call is
+// timed into the depth's span (inclusive of deeper expansions).
 func (m *matcher) expand(w *wstate, depth int, emit func([]uint32) error) error {
+	if m.spans == nil {
+		return m.expandStepAt(w, depth, emit)
+	}
+	t0 := time.Now()
+	err := m.expandStepAt(w, depth, emit)
+	m.spans[depth].AddTime(time.Since(t0))
+	return err
+}
+
+func (m *matcher) expandStepAt(w *wstate, depth int, emit func([]uint32) error) error {
 	v := m.order[depth]
 	if v.Via < 0 {
 		// New component (defensive; sema guarantees connectivity).
@@ -406,6 +494,7 @@ func (m *matcher) expand(w *wstate, depth int, emit func([]uint32) error) error 
 
 	if v.Forward {
 		nbr, eids := et.Forward().Neighbors(w.b[pe.Src])
+		w.edges += int64(len(nbr))
 		for i := range nbr {
 			if err := emitPair(nbr[i], eids[i]); err != nil {
 				return err
@@ -415,6 +504,8 @@ func (m *matcher) expand(w *wstate, depth int, emit func([]uint32) error) error 
 	}
 	if rev, ok := et.Reverse(); ok {
 		nbr, eids := rev.Neighbors(w.b[pe.Dst])
+		w.idxHit++
+		w.edges += int64(len(nbr))
 		for i := range nbr {
 			if err := emitPair(nbr[i], eids[i]); err != nil {
 				return err
@@ -425,6 +516,8 @@ func (m *matcher) expand(w *wstate, depth int, emit func([]uint32) error) error 
 	// No reverse index (§III-B builds it only "when memory space ... is
 	// available"): degrade to a full edge-list scan.
 	dst := w.b[pe.Dst]
+	w.idxMiss++
+	w.edges += int64(et.Count())
 	for eid := uint32(0); eid < uint32(et.Count()); eid++ {
 		s, d := et.EdgeAt(eid)
 		if d != dst {

@@ -1,0 +1,97 @@
+package exec
+
+import (
+	"time"
+
+	"graql/internal/ast"
+	"graql/internal/obs"
+)
+
+// engineMetrics caches the engine's metric series so hot paths update
+// them with single atomic adds instead of registry lookups. All fields
+// are nil when no registry is configured; obs types are nil-safe, so
+// instrumentation points need no branches.
+type engineMetrics struct {
+	reg *obs.Registry
+
+	statements *obs.Counter // every executed statement
+	queries    *obs.Counter // select statements only
+	errors     *obs.Counter
+
+	rowsScanned    *obs.Counter // candidate-scan and table-scan rows visited
+	edgesTraversed *obs.Counter // edge-index entries walked
+	indexHits      *obs.Counter // reverse traversals served by a reverse index
+	indexMisses    *obs.Counter // reverse traversals degraded to edge scans
+
+	shardRuns     *obs.Counter // data-parallel sweeps launched
+	shardTasks    *obs.Counter // shards executed across all sweeps
+	activeWorkers *obs.Gauge   // goroutines currently inside a sweep
+
+	latency map[string]*obs.Histogram // per-statement-kind latency (seconds)
+}
+
+func newEngineMetrics(reg *obs.Registry) engineMetrics {
+	if reg == nil {
+		return engineMetrics{}
+	}
+	m := engineMetrics{reg: reg}
+	m.statements = reg.Counter("graql_statements_total", "GraQL statements executed")
+	m.queries = reg.Counter("graql_queries_total", "GraQL select statements executed")
+	m.errors = reg.Counter("graql_statement_errors_total", "GraQL statements that returned an error")
+	m.rowsScanned = reg.Counter("graql_rows_scanned_total", "table and vertex-candidate rows scanned")
+	m.edgesTraversed = reg.Counter("graql_edges_traversed_total", "edge-index entries traversed during matching")
+	m.indexHits = reg.Counter("graql_reverse_index_hits_total", "reverse traversals served by a reverse index")
+	m.indexMisses = reg.Counter("graql_reverse_index_misses_total", "reverse traversals degraded to full edge scans")
+	m.shardRuns = reg.Counter("graql_parallel_sweeps_total", "data-parallel sweeps launched")
+	m.shardTasks = reg.Counter("graql_parallel_shards_total", "shards executed across all sweeps")
+	m.activeWorkers = reg.Gauge("graql_parallel_active_workers", "goroutines currently executing sweep shards")
+	m.latency = make(map[string]*obs.Histogram, 4)
+	for _, kind := range []string{"select", "create", "ingest", "output"} {
+		m.latency[kind] = reg.HistogramL("graql_statement_latency_seconds",
+			"statement execution latency by statement kind",
+			obs.LatencyBuckets(), map[string]string{"kind": kind})
+	}
+	return m
+}
+
+// noteSweep records the launch of one data-parallel sweep.
+func (m *engineMetrics) noteSweep(shards int) {
+	if m == nil || m.reg == nil {
+		return
+	}
+	m.shardRuns.Inc()
+	m.shardTasks.Add(int64(shards))
+}
+
+func stmtKind(st ast.Stmt) string {
+	switch st.(type) {
+	case *ast.Select:
+		return "select"
+	case *ast.CreateTable, *ast.CreateVertex, *ast.CreateEdge:
+		return "create"
+	case *ast.Ingest:
+		return "ingest"
+	case *ast.Output:
+		return "output"
+	}
+	return "other"
+}
+
+// observeStmt records one executed statement: totals, per-kind latency,
+// and the slow-query log.
+func (m *engineMetrics) observeStmt(st ast.Stmt, elapsed time.Duration, err error) {
+	if m.reg == nil {
+		return
+	}
+	m.statements.Inc()
+	if err != nil {
+		m.errors.Inc()
+	}
+	if _, ok := st.(*ast.Select); ok {
+		m.queries.Inc()
+	}
+	if h := m.latency[stmtKind(st)]; h != nil {
+		h.Observe(elapsed.Seconds())
+	}
+	m.reg.ObserveQuery(st.String(), elapsed)
+}

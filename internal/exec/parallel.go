@@ -30,15 +30,20 @@ func shardRanges(n, k int) [][2]uint32 {
 }
 
 // runShards executes fn over each shard index on a pool of `workers`
-// goroutines and returns the first error.
-func runShards(shards, workers int, fn func(shard int) error) error {
+// goroutines and returns the first error. met (nil-safe) accumulates
+// sweep/shard counts and tracks worker utilisation through the
+// graql_parallel_active_workers gauge.
+func runShards(met *engineMetrics, shards, workers int, fn func(shard int) error) error {
 	if shards == 0 {
 		return nil
 	}
+	met.noteSweep(shards)
 	if workers > shards {
 		workers = shards
 	}
 	if workers <= 1 {
+		met.workerUp()
+		defer met.workerDown()
 		for s := 0; s < shards; s++ {
 			if err := fn(s); err != nil {
 				return err
@@ -67,6 +72,8 @@ func runShards(shards, workers int, fn func(shard int) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			met.workerUp()
+			defer met.workerDown()
 			for {
 				s := grab()
 				if s < 0 {
@@ -85,4 +92,16 @@ func runShards(shards, workers int, fn func(shard int) error) error {
 	}
 	wg.Wait()
 	return first
+}
+
+func (m *engineMetrics) workerUp() {
+	if m != nil && m.reg != nil {
+		m.activeWorkers.Add(1)
+	}
+}
+
+func (m *engineMetrics) workerDown() {
+	if m != nil && m.reg != nil {
+		m.activeWorkers.Add(-1)
+	}
 }

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"graql/internal/ast"
 	"graql/internal/bitmap"
@@ -17,6 +18,9 @@ func (e *Engine) runSelect(s *sema.Select, params map[string]value.Value) (Resul
 		return e.checkOnlySelect(s)
 	}
 	if s.Explain {
+		if s.Analyze {
+			return e.runExplainAnalyze(s, params)
+		}
 		return e.runExplain(s, params)
 	}
 	if s.Table != nil {
@@ -62,6 +66,8 @@ func astAggToTable(f ast.AggFunc) table.AggFunc {
 
 func (e *Engine) runTableSelect(s *sema.Select, params map[string]value.Value) (Result, error) {
 	t := s.Table
+	tr := e.trace
+	tr.Span("scan", fmt.Sprintf("table %s", t.Name)).Record(int64(t.NumRows()), 0)
 
 	// Selection.
 	rows := t
@@ -70,6 +76,7 @@ func (e *Engine) runTableSelect(s *sema.Select, params map[string]value.Value) (
 		if err != nil {
 			return Result{}, err
 		}
+		t0 := time.Now()
 		filtered, err := table.Filter(t, t.Name, func(r uint32) (bool, error) {
 			return evalBool(where, singleTableEnv{t: t, row: r})
 		})
@@ -77,7 +84,9 @@ func (e *Engine) runTableSelect(s *sema.Select, params map[string]value.Value) (
 			return Result{}, err
 		}
 		rows = filtered
+		tr.Span("filter", fmt.Sprintf("%s", s.Where)).Record(int64(rows.NumRows()), time.Since(t0))
 	}
+	opStart := time.Now()
 
 	var out *table.Table
 	outName := s.Into.Name
@@ -117,6 +126,8 @@ func (e *Engine) runTableSelect(s *sema.Select, params map[string]value.Value) (
 			names = append(names, it.Name)
 		}
 		out = grouped.ProjectCols(outName, colIdx, names)
+		tr.Span("group", fmt.Sprintf("group by %d key column(s), %d aggregate(s)", len(s.GroupBy), countAggs(s))).
+			Record(int64(out.NumRows()), time.Since(opStart))
 	} else {
 		fresh, err := table.New(outName, s.OutSchema)
 		if err != nil {
@@ -150,6 +161,8 @@ func (e *Engine) runTableSelect(s *sema.Select, params map[string]value.Value) (
 			}
 		}
 		out = fresh
+		tr.Span("project", fmt.Sprintf("%d output column(s)", len(s.Items))).
+			Record(int64(out.NumRows()), time.Since(opStart))
 	}
 
 	out, err := e.finishTable(out, s)
@@ -162,22 +175,29 @@ func (e *Engine) runTableSelect(s *sema.Select, params map[string]value.Value) (
 // finishTable applies distinct / order by / top n and registers the table
 // when the statement has an into clause.
 func (e *Engine) finishTable(out *table.Table, s *sema.Select) (*table.Table, error) {
+	tr := e.trace
 	if s.Distinct {
+		t0 := time.Now()
 		out = table.Distinct(out, nil)
+		tr.Span("distinct", "eliminate duplicate rows").Record(int64(out.NumRows()), time.Since(t0))
 	}
 	if len(s.OrderBy) > 0 {
 		keys := make([]table.SortKey, len(s.OrderBy))
 		for i, k := range s.OrderBy {
 			keys[i] = table.SortKey{Col: k.Col, Desc: k.Desc}
 		}
+		t0 := time.Now()
 		sorted, err := table.OrderBy(out, keys)
 		if err != nil {
 			return nil, err
 		}
 		out = sorted
+		tr.Span("sort", fmt.Sprintf("order by %d key(s)", len(keys))).Record(int64(out.NumRows()), time.Since(t0))
 	}
 	if s.Top > 0 {
+		t0 := time.Now()
 		out = table.TopN(out, s.Top)
+		tr.Span("top", fmt.Sprintf("keep first %d rows", s.Top)).Record(int64(out.NumRows()), time.Since(t0))
 	}
 	return out, nil
 }

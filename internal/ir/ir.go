@@ -23,10 +23,11 @@ import (
 	"graql/internal/value"
 )
 
-// Magic and Version identify the IR format.
+// Magic and Version identify the IR format. Version 2 added the select
+// "analyze" flag (EXPLAIN ANALYZE).
 const (
 	Magic   = "GRQL"
-	Version = 1
+	Version = 2
 )
 
 // Statement tags.

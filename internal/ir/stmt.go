@@ -103,6 +103,7 @@ func (r *reader) stmt() (ast.Stmt, error) {
 func (w *writer) selectStmt(s *ast.Select) error {
 	w.u8(tagSelect)
 	w.bool_(s.Explain)
+	w.bool_(s.Analyze)
 	w.uvarint(uint64(s.Top))
 	w.bool_(s.Distinct)
 	w.bool_(s.Star)
@@ -145,6 +146,7 @@ func (w *writer) selectStmt(s *ast.Select) error {
 func (r *reader) selectStmt() (*ast.Select, error) {
 	s := &ast.Select{}
 	s.Explain = r.bool_()
+	s.Analyze = r.bool_()
 	s.Top = int(r.uvarint())
 	s.Distinct = r.bool_()
 	s.Star = r.bool_()

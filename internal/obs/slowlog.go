@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// SlowQuery is one slow-log entry.
+type SlowQuery struct {
+	Script  string        `json:"script"`
+	Elapsed time.Duration `json:"elapsedNs"`
+	When    time.Time     `json:"when"`
+}
+
+// slowLogCap bounds the in-memory ring of retained slow queries.
+const slowLogCap = 128
+
+// slowLog retains the most recent statements that exceeded a threshold.
+type slowLog struct {
+	mu        sync.Mutex
+	threshold time.Duration
+	entries   []SlowQuery // ring, next points at the oldest slot
+	next      int
+	total     int64
+	w         io.Writer
+}
+
+// SetSlowQueryThreshold enables the slow-query log for statements taking
+// longer than d (0 disables it).
+func (r *Registry) SetSlowQueryThreshold(d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.slow.mu.Lock()
+	r.slow.threshold = d
+	r.slow.mu.Unlock()
+}
+
+// SetSlowQueryWriter additionally streams each slow query as a log line
+// to w (nil disables streaming; retention in the ring is unaffected).
+func (r *Registry) SetSlowQueryWriter(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.slow.mu.Lock()
+	r.slow.w = w
+	r.slow.mu.Unlock()
+}
+
+// ObserveQuery feeds one executed statement to the slow-query log; it is
+// recorded only when a threshold is set and exceeded.
+func (r *Registry) ObserveQuery(script string, elapsed time.Duration) {
+	if r == nil {
+		return
+	}
+	s := &r.slow
+	s.mu.Lock()
+	if s.threshold <= 0 || elapsed < s.threshold {
+		s.mu.Unlock()
+		return
+	}
+	q := SlowQuery{Script: script, Elapsed: elapsed, When: time.Now()}
+	if len(s.entries) < slowLogCap {
+		s.entries = append(s.entries, q)
+	} else {
+		s.entries[s.next] = q
+		s.next = (s.next + 1) % slowLogCap
+	}
+	s.total++
+	w := s.w
+	s.mu.Unlock()
+	if w != nil {
+		fmt.Fprintf(w, "slow query (%s): %s\n", elapsed, script)
+	}
+}
+
+// SlowQueries returns the retained slow queries, oldest first.
+func (r *Registry) SlowQueries() []SlowQuery {
+	if r == nil {
+		return nil
+	}
+	s := &r.slow
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SlowQuery, 0, len(s.entries))
+	out = append(out, s.entries[s.next:]...)
+	out = append(out, s.entries[:s.next]...)
+	return out
+}
+
+// SlowQueryCount returns the number of slow queries observed since start
+// (including entries that have rotated out of the ring).
+func (r *Registry) SlowQueryCount() int64 {
+	if r == nil {
+		return 0
+	}
+	r.slow.mu.Lock()
+	defer r.slow.mu.Unlock()
+	return r.slow.total
+}

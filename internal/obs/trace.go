@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one operator of a traced query execution (a scan, an
+// edge-expansion step, a verification, a sort, …). Row and time updates
+// are atomic because parallel matcher workers share the span; times are
+// inclusive of nested operators, like the "actual time" of SQL EXPLAIN
+// ANALYZE.
+type Span struct {
+	Action string
+	Detail string
+	rows   atomic.Int64
+	ns     atomic.Int64
+}
+
+// AddRows adds n produced rows (bindings).
+func (s *Span) AddRows(n int64) {
+	if s == nil {
+		return
+	}
+	s.rows.Add(n)
+}
+
+// Incr adds one produced row.
+func (s *Span) Incr() { s.AddRows(1) }
+
+// AddTime accumulates elapsed wall time.
+func (s *Span) AddTime(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.ns.Add(int64(d))
+}
+
+// Record sets rows and time in one call (for sequential operators).
+func (s *Span) Record(rows int64, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.rows.Add(rows)
+	s.ns.Add(int64(d))
+}
+
+// Rows returns the produced row count.
+func (s *Span) Rows() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.rows.Load()
+}
+
+// Duration returns the accumulated wall time.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.ns.Load())
+}
+
+// Trace collects the operator spans of one query execution, in plan
+// order. A nil *Trace is inert, so execution code traces unconditionally
+// and pays nothing when EXPLAIN ANALYZE is not requested.
+type Trace struct {
+	mu    sync.Mutex
+	spans []*Span
+}
+
+// Span appends a new operator span.
+func (t *Trace) Span(action, detail string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{Action: action, Detail: detail}
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Spans returns the spans in creation order.
+func (t *Trace) Spans() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.spans...)
+}

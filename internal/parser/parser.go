@@ -131,6 +131,13 @@ func (p *parser) parseStmt() (ast.Stmt, error) {
 		return p.parseOutput()
 	case p.atKw("explain"):
 		p.next()
+		// "analyze" is deliberately not reserved: it only has meaning
+		// directly after "explain", so schemas may keep using it as an
+		// identifier.
+		analyze := p.at(lexer.Ident) && p.peek().Lower() == "analyze"
+		if analyze {
+			p.next()
+		}
 		if !p.atKw("select") {
 			return nil, p.errf("expected select after explain, found %q", p.peek().Text)
 		}
@@ -139,6 +146,7 @@ func (p *parser) parseStmt() (ast.Stmt, error) {
 			return nil, err
 		}
 		st.(*ast.Select).Explain = true
+		st.(*ast.Select).Analyze = analyze
 		return st, nil
 	case p.atKw("select"):
 		return p.parseSelect()

@@ -22,7 +22,7 @@ import (
 //     step must satisfy ℓ ∧ q2(j−1); the reference shares the defining
 //     node, intersecting the matched sets at that step.
 func (a *Analyzer) analyzeGraphSelect(s *ast.Select) (Stmt, error) {
-	out := &Select{Decl: s, Explain: s.Explain, Top: s.Top, Distinct: s.Distinct, Star: s.Star, Into: s.Into}
+	out := &Select{Decl: s, Explain: s.Explain, Analyze: s.Analyze, Top: s.Top, Distinct: s.Distinct, Star: s.Star, Into: s.Into}
 	if s.Where != nil {
 		return nil, fmt.Errorf("graql: graph selects take conditions on query steps, not a where clause")
 	}

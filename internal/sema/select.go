@@ -49,6 +49,7 @@ type GraphAlt struct {
 type Select struct {
 	Decl     *ast.Select
 	Explain  bool
+	Analyze  bool
 	Top      int
 	Distinct bool
 	Star     bool
@@ -91,7 +92,7 @@ func (a *Analyzer) analyzeTableSelect(s *ast.Select) (Stmt, error) {
 		}
 		return nil, fmt.Errorf("graql: unknown table %s", s.FromTable)
 	}
-	out := &Select{Decl: s, Explain: s.Explain, Top: s.Top, Distinct: s.Distinct, Star: s.Star, Into: s.Into, Table: t}
+	out := &Select{Decl: s, Explain: s.Explain, Analyze: s.Analyze, Top: s.Top, Distinct: s.Distinct, Star: s.Star, Into: s.Into, Table: t}
 	if s.Into.Kind == ast.IntoSubgraph {
 		return nil, fmt.Errorf("graql: a table select cannot produce a subgraph")
 	}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"graql/internal/ast"
 	"graql/internal/exec"
@@ -34,7 +35,8 @@ type Param struct {
 type Request struct {
 	// Op selects the operation: "exec" (run script), "check" (static
 	// analysis only), "compile" (script → IR), "execir" (run IR bytes),
-	// "stats" (catalog snapshot), "ping".
+	// "stats" (catalog snapshot), "metrics" (Prometheus text exposition
+	// of the engine's observability registry), "ping".
 	Op string `json:"op"`
 	// Auth must match the server token when one is configured.
 	Auth   string           `json:"auth,omitempty"`
@@ -62,19 +64,46 @@ type CatalogEntry struct {
 	AvgInDegree  float64 `json:"avgInDegree,omitempty"`
 }
 
+// Error codes classifying a failed request (Response.Code). The error
+// string stays populated for older clients.
+const (
+	CodeAuth       = "auth"        // authentication failed
+	CodeParse      = "parse"       // lexing, parsing or static analysis
+	CodeBadRequest = "bad_request" // malformed parameters, IR or op
+	CodeExec       = "exec"        // statement execution failed
+)
+
 // Response is one server frame.
 type Response struct {
-	OK      bool           `json:"ok"`
+	OK bool `json:"ok"`
+	// Error is the human-readable failure; Code classifies it (auth |
+	// parse | bad_request | exec) for programmatic handling.
 	Error   string         `json:"error,omitempty"`
+	Code    string         `json:"code,omitempty"`
 	Results []StmtResult   `json:"results,omitempty"`
 	IR      string         `json:"ir,omitempty"` // base64, for "compile"
 	Catalog []CatalogEntry `json:"catalog,omitempty"`
+	// Metrics carries the Prometheus text exposition for op "metrics".
+	Metrics string `json:"metrics,omitempty"`
+	// ElapsedUs is the server-side handling time of this request in
+	// microseconds (stamped on every response).
+	ElapsedUs int64 `json:"elapsedUs"`
+}
+
+func fail(code, format string, args ...any) *Response {
+	return &Response{Code: code, Error: fmt.Sprintf(format, args...)}
 }
 
 // Server is a GEMS front-end bound to one engine.
 type Server struct {
 	eng   *exec.Engine
 	token string
+
+	// IdleTimeout bounds how long a connection may sit idle between
+	// requests; WriteTimeout bounds the write of one response frame.
+	// Zero disables the respective deadline. Set before Serve.
+	IdleTimeout  time.Duration
+	WriteTimeout time.Duration
 
 	mu     sync.Mutex
 	closed bool
@@ -134,11 +163,19 @@ func (s *Server) serveConn(conn net.Conn) {
 	dec := json.NewDecoder(conn)
 	enc := json.NewEncoder(conn)
 	for {
+		if s.IdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.IdleTimeout))
+		}
 		var req Request
 		if err := dec.Decode(&req); err != nil {
-			return // EOF or broken frame: drop the session
+			return // EOF, timeout or broken frame: drop the session
 		}
+		start := time.Now()
 		resp := s.handle(&req)
+		resp.ElapsedUs = time.Since(start).Microseconds()
+		if s.WriteTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
+		}
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
@@ -147,7 +184,7 @@ func (s *Server) serveConn(conn net.Conn) {
 
 func (s *Server) handle(req *Request) *Response {
 	if s.token != "" && req.Auth != s.token {
-		return &Response{Error: "authentication failed"}
+		return fail(CodeAuth, "authentication failed")
 	}
 	switch req.Op {
 	case "ping":
@@ -156,7 +193,7 @@ func (s *Server) handle(req *Request) *Response {
 		return s.execScript(req)
 	case "check":
 		if err := s.checkScript(req.Script); err != nil {
-			return &Response{Error: err.Error()}
+			return fail(CodeParse, "%v", err)
 		}
 		return &Response{OK: true, Results: []StmtResult{{Message: "script is statically valid"}}}
 	case "compile":
@@ -165,29 +202,38 @@ func (s *Server) handle(req *Request) *Response {
 		return s.execIR(req)
 	case "stats":
 		return s.stats()
+	case "metrics":
+		return s.metrics()
 	}
-	return &Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	return fail(CodeBadRequest, "unknown op %q", req.Op)
+}
+
+// metrics renders the engine's observability registry in the Prometheus
+// text format; without a registry the exposition is empty but the call
+// still succeeds.
+func (s *Server) metrics() *Response {
+	return &Response{OK: true, Metrics: s.eng.Opts.Obs.PrometheusText()}
 }
 
 func (s *Server) execScript(req *Request) *Response {
 	params, err := decodeParams(req.Params)
 	if err != nil {
-		return &Response{Error: err.Error()}
+		return fail(CodeBadRequest, "%v", err)
 	}
 	// Front-end path per §III: parse → compile to IR → ship the IR to
 	// the backend → decode and execute. Running the codec on every
 	// script keeps the IR honest (round-trip exercised on real traffic).
 	script, err := parser.Parse(req.Script)
 	if err != nil {
-		return &Response{Error: err.Error()}
+		return fail(CodeParse, "%v", err)
 	}
 	blob, err := ir.Encode(script)
 	if err != nil {
-		return &Response{Error: err.Error()}
+		return fail(CodeExec, "%v", err)
 	}
 	decoded, err := ir.Decode(blob)
 	if err != nil {
-		return &Response{Error: err.Error()}
+		return fail(CodeExec, "%v", err)
 	}
 	return s.run(decoded, params)
 }
@@ -202,11 +248,11 @@ func (s *Server) checkScript(src string) error {
 func (s *Server) compile(req *Request) *Response {
 	script, err := parser.Parse(req.Script)
 	if err != nil {
-		return &Response{Error: err.Error()}
+		return fail(CodeParse, "%v", err)
 	}
 	blob, err := ir.Encode(script)
 	if err != nil {
-		return &Response{Error: err.Error()}
+		return fail(CodeExec, "%v", err)
 	}
 	return &Response{OK: true, IR: base64.StdEncoding.EncodeToString(blob)}
 }
@@ -214,15 +260,15 @@ func (s *Server) compile(req *Request) *Response {
 func (s *Server) execIR(req *Request) *Response {
 	params, err := decodeParams(req.Params)
 	if err != nil {
-		return &Response{Error: err.Error()}
+		return fail(CodeBadRequest, "%v", err)
 	}
 	blob, err := base64.StdEncoding.DecodeString(req.IR)
 	if err != nil {
-		return &Response{Error: "bad IR base64: " + err.Error()}
+		return fail(CodeBadRequest, "bad IR base64: %v", err)
 	}
 	script, err := ir.Decode(blob)
 	if err != nil {
-		return &Response{Error: err.Error()}
+		return fail(CodeBadRequest, "%v", err)
 	}
 	return s.run(script, params)
 }
@@ -232,6 +278,7 @@ func (s *Server) run(script *ast.Script, params map[string]value.Value) *Respons
 	for i, st := range script.Stmts {
 		r, err := s.eng.ExecStmt(st, params)
 		if err != nil {
+			resp.Code = CodeExec
 			resp.Error = fmt.Sprintf("statement %d: %v", i+1, err)
 			return resp
 		}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"html/template"
 	"net/http"
+	"net/http/pprof"
 
 	"graql/internal/exec"
 	"graql/internal/server"
@@ -23,15 +24,45 @@ type Handler struct {
 
 // New returns the front-end handler.
 //
-//	GET  /            the HTML console
-//	POST /query       {"script": "...", "params": {"P": {"type": "varchar", "value": "x"}}}
-//	GET  /catalog     the catalog snapshot as JSON
+//	GET  /             the HTML console
+//	POST /query        {"script": "...", "params": {"P": {"type": "varchar", "value": "x"}}}
+//	GET  /catalog      the catalog snapshot as JSON
+//	GET  /metrics      Prometheus text exposition of the engine registry
+//	GET  /debug/slow   retained slow queries as JSON
+//	GET  /debug/pprof/ the standard Go profiling endpoints
+//
+// Non-POST methods on /query are rejected with 405 (the method pattern
+// restricts the route). /metrics and the debug endpoints work — with an
+// empty exposition — when the engine has no observability registry.
 func New(eng *exec.Engine) *Handler {
 	h := &Handler{eng: eng, mux: http.NewServeMux()}
 	h.mux.HandleFunc("GET /{$}", h.console)
 	h.mux.HandleFunc("POST /query", h.query)
 	h.mux.HandleFunc("GET /catalog", h.catalog)
+	h.mux.HandleFunc("GET /metrics", h.metrics)
+	h.mux.HandleFunc("GET /debug/slow", h.slow)
+	h.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	h.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	h.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	h.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	h.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return h
+}
+
+// metrics renders the engine's observability registry in the Prometheus
+// text exposition format (version 0.0.4).
+func (h *Handler) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = h.eng.Opts.Obs.WritePrometheus(w)
+}
+
+// slow dumps the retained slow-query ring as JSON, newest last.
+func (h *Handler) slow(w http.ResponseWriter, _ *http.Request) {
+	reg := h.eng.Opts.Obs
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total":   reg.SlowQueryCount(),
+		"queries": reg.SlowQueries(),
+	})
 }
 
 // ServeHTTP implements http.Handler.
