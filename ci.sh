@@ -20,4 +20,37 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== smoke: server + observability endpoints =="
+# Boot a traced server with the Berlin sf=1 dataset and an HTTP
+# front-end, run one query through the TCP client, then probe the
+# liveness, metrics and trace endpoints.
+tmpdir=$(mktemp -d)
+trap 'kill $server_pid 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+go build -o "$tmpdir/gems-server" ./cmd/gems-server
+go build -o "$tmpdir/gems-client" ./cmd/gems-client
+"$tmpdir/gems-server" -addr 127.0.0.1:17687 -http 127.0.0.1:17688 \
+    -berlin 1 -traces 16 -log-level info >"$tmpdir/server.log" 2>&1 &
+server_pid=$!
+for i in $(seq 1 50); do
+    if "$tmpdir/gems-client" -addr 127.0.0.1:17687 ping >/dev/null 2>&1; then
+        break
+    fi
+    if [ "$i" = 50 ]; then
+        echo "server did not become ready" >&2
+        cat "$tmpdir/server.log" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+echo 'select * from graph ProducerVtx ( ) <--producer-- ProductVtx ( ) into subgraph SmokeSG' |
+    "$tmpdir/gems-client" -addr 127.0.0.1:17687 -trace exec - >"$tmpdir/query.out" 2>&1
+grep -q "SmokeSG" "$tmpdir/query.out"
+curl -fsS http://127.0.0.1:17688/healthz | grep -q '"ok":true'
+curl -fsS http://127.0.0.1:17688/readyz | grep -q '"ok":true'
+curl -fsS http://127.0.0.1:17688/metrics | grep -c 'graql_queries_total' >/dev/null
+curl -fsS http://127.0.0.1:17688/debug/traces | grep -c '"spanCount"' >/dev/null
+kill $server_pid
+wait $server_pid 2>/dev/null || true
+grep -q '"trace_id"' "$tmpdir/server.log"
+
 echo "CI OK"

@@ -91,8 +91,9 @@ func main() {
 	}
 }
 
-// writeSnapshot dumps the run configuration plus the metrics registry
-// (counters, gauges, histogram buckets) as indented JSON.
+// writeSnapshot dumps the run configuration, a trace summary of one
+// fully traced representative query, and the metrics registry (counters,
+// gauges, histogram buckets) as indented JSON.
 func writeSnapshot(path string, ran []string) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -104,12 +105,81 @@ func writeSnapshot(path string, ran []string) error {
 		"gomaxprocs":  runtime.GOMAXPROCS(0),
 		"quick":       *quick,
 		"experiments": ran,
+		"trace":       traceSummary(),
 		"metrics":     reg.Snapshot(),
 	})
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	return err
+}
+
+// traceQuery is a linear chain ending in a subgraph so its trace crosses
+// every instrumented layer: statement → chain operators → parallel
+// sweeps, and (with a simulated cluster) BSP supersteps with per-node
+// exchange spans.
+const traceQuery = `
+select * from graph
+ProducerVtx ( )
+<--producer-- ProductVtx ( )
+<--reviewFor-- ReviewVtx ( )
+into subgraph TraceSG`
+
+// traceSummary runs one representative chain query on a traced engine
+// over a small Berlin load (with a 2-partition simulated cluster) and
+// reduces the resulting span tree to comparable shape numbers: total
+// span count, the deepest parent/child path, and the time split across
+// the statement / operator / sweep / cluster layers.
+func traceSummary() map[string]any {
+	e := loadBerlin(1, 0, true)
+	e.Opts.ClusterParts = 2
+	tr := obs.NewTrace(obs.TraceID{})
+	script, err := parser.Parse(traceQuery)
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := e.WithTrace(tr, nil).ExecStmt(script.Stmts[0], nil); err != nil {
+		fatal(err)
+	}
+	tree := tr.Tree()
+
+	layerUs := map[string]int64{}
+	var deepest []string
+	var walk func(n *obs.SpanNode, path []string)
+	walk = func(n *obs.SpanNode, path []string) {
+		path = append(path, n.Action)
+		layerUs[layerOf(n.Action)] += n.ElapsedUs
+		if len(path) > len(deepest) {
+			deepest = append([]string(nil), path...)
+		}
+		for _, c := range n.Children {
+			walk(c, path)
+		}
+	}
+	for _, root := range tree.Roots {
+		walk(root, nil)
+	}
+	return map[string]any{
+		"spanCount":   tree.SpanCount,
+		"deepestPath": strings.Join(deepest, " > "),
+		"depth":       len(deepest),
+		"layerTimeUs": layerUs,
+	}
+}
+
+// layerOf buckets span actions into the instrumented layers. Times are
+// inclusive of child spans, so the buckets overlap by design — they
+// compare layer weight across runs, they do not sum to wall time.
+func layerOf(action string) string {
+	switch action {
+	case "statement", "server", "web":
+		return "statement"
+	case "sweep":
+		return "sweep"
+	case "cluster", "superstep", "node":
+		return "cluster"
+	}
+	return "operator"
 }
 
 func fatal(err error) {

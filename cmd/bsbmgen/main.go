@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 
 	"graql/internal/bsbm"
+	"graql/internal/obs"
 )
 
 func main() {
@@ -25,11 +26,23 @@ func main() {
 		seed = flag.Int64("seed", 42, "generator seed")
 		out  = flag.String("out", "data", "output directory")
 		ddl  = flag.String("ddl", "", "also write the GraQL setup script to this file name (inside -out)")
+
+		logLevel  = flag.String("log-level", "off", "structured log level: off | error | warn | info | debug")
+		logFormat = flag.String("log-format", "json", "structured log format: json | text")
 	)
 	flag.Parse()
 
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bsbmgen:", err)
+		os.Exit(1)
+	}
+
 	cfg := bsbm.Config{ScaleFactor: *sf, Seed: *seed}
 	ds := bsbm.Generate(cfg)
+	if logger != nil {
+		logger.Info("generated dataset", "sf", *sf, "seed", *seed, "files", len(ds.Files))
+	}
 	if err := ds.WriteDir(*out); err != nil {
 		fmt.Fprintln(os.Stderr, "bsbmgen:", err)
 		os.Exit(1)

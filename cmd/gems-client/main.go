@@ -7,10 +7,13 @@
 //	gems-client -addr host:7687 [-token secret] exec script.graql [name:type=value ...]
 //	gems-client -addr host:7687 check script.graql
 //	gems-client -addr host:7687 stats
+//	gems-client -addr host:7687 trace
+//	gems-client -addr host:7687 ping
 //	echo 'select ...' | gems-client -addr host:7687 exec -
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -18,15 +21,23 @@ import (
 	"strings"
 
 	"graql/internal/client"
+	"graql/internal/obs"
 	"graql/internal/server"
 )
 
 func main() {
 	var (
-		addr  = flag.String("addr", "127.0.0.1:7687", "server address")
-		token = flag.String("token", "", "auth token")
+		addr      = flag.String("addr", "127.0.0.1:7687", "server address")
+		token     = flag.String("token", "", "auth token")
+		trace     = flag.Bool("trace", false, "originate a trace per request and print its id")
+		logLevel  = flag.String("log-level", "off", "structured log level: off | error | warn | info | debug")
+		logFormat = flag.String("log-format", "json", "structured log format: json | text")
 	)
 	flag.Parse()
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fatal(err)
+	}
 	if flag.NArg() < 1 {
 		usage()
 	}
@@ -36,6 +47,7 @@ func main() {
 		fatal(err)
 	}
 	defer cl.Close()
+	cl.EnableTracing(*trace)
 
 	switch flag.Arg(0) {
 	case "exec":
@@ -49,6 +61,9 @@ func main() {
 		}
 		resp, err := cl.Exec(script, params)
 		printResults(resp)
+		if logger != nil && resp != nil {
+			logger.Info("exec", "trace_id", resp.TraceID, "code", resp.Code, "elapsed_us", resp.ElapsedUs)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -61,6 +76,21 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	case "trace":
+		traces, err := cl.Traces()
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(traces); err != nil {
+			fatal(err)
+		}
+	case "ping":
+		if err := cl.Ping(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("pong")
 	case "stats":
 		resp, err := cl.Stats()
 		if err != nil {
@@ -134,13 +164,18 @@ func printResults(resp *server.Response) {
 	if resp.Error != "" {
 		fmt.Fprintln(os.Stderr, "server error:", resp.Error)
 	}
+	if resp.TraceID != "" {
+		fmt.Fprintln(os.Stderr, "trace:", resp.TraceID)
+	}
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   gems-client [-addr host:port] [-token t] exec <script.graql|-> [name[:type]=value ...]
   gems-client [-addr host:port] [-token t] check <script.graql|->
-  gems-client [-addr host:port] [-token t] stats`)
+  gems-client [-addr host:port] [-token t] stats
+  gems-client [-addr host:port] [-token t] trace
+  gems-client [-addr host:port] [-token t] ping`)
 	os.Exit(2)
 }
 

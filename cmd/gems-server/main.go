@@ -38,20 +38,35 @@ func main() {
 		workers      = flag.Int("workers", 0, "parallelism degree (0 = GOMAXPROCS)")
 		metrics      = flag.Bool("metrics", true, "enable the metrics registry (the \"metrics\" op and GET /metrics)")
 		slowQuery    = flag.Duration("slow-query", 0, "log statements slower than this (e.g. 250ms; 0 disables)")
+		traces       = flag.Int("traces", 64, "retain this many complete request traces (0 disables tracing)")
+		partitions   = flag.Int("partitions", 0, "simulate a GEMS cluster with this many partitions for chain queries (0-1 = off)")
+		placement    = flag.String("placement", "hash", "cluster placement strategy: hash | block")
+		logLevel     = flag.String("log-level", "info", "structured log level: off | error | warn | info | debug")
+		logFormat    = flag.String("log-format", "json", "structured log format: json | text")
 		idleTimeout  = flag.Duration("idle-timeout", 5*time.Minute, "drop TCP sessions idle longer than this (0 = no limit)")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-response TCP write deadline (0 = no limit)")
 	)
 	flag.Parse()
 
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gems-server:", err)
+		os.Exit(1)
+	}
+
 	opts := exec.DefaultOptions()
 	opts.BaseDir = *dataDir
 	opts.Workers = *workers
-	if *metrics || *slowQuery > 0 {
+	opts.ClusterParts = *partitions
+	opts.ClusterBlock = *placement == "block"
+	opts.Log = logger
+	if *metrics || *slowQuery > 0 || *traces > 0 {
 		opts.Obs = obs.New()
 		opts.Obs.SetSlowQueryThreshold(*slowQuery)
 		if *slowQuery > 0 {
 			opts.Obs.SetSlowQueryWriter(os.Stderr)
 		}
+		opts.Obs.EnableTracing(*traces)
 	}
 	eng := exec.New(opts)
 
@@ -80,9 +95,11 @@ func main() {
 	if *httpAddr != "" {
 		go func() {
 			fmt.Printf("web console on http://%s/\n", *httpAddr)
+			wh := web.New(eng)
+			wh.Log = logger
 			hs := &http.Server{
 				Addr:              *httpAddr,
-				Handler:           web.New(eng),
+				Handler:           wh,
 				ReadHeaderTimeout: 10 * time.Second,
 				ReadTimeout:       time.Minute,
 				WriteTimeout:      2 * time.Minute,
@@ -96,6 +113,10 @@ func main() {
 	srv := server.New(eng, *token)
 	srv.IdleTimeout = *idleTimeout
 	srv.WriteTimeout = *writeTimeout
+	srv.Log = logger
+	if logger != nil {
+		logger.Info("listening", "addr", ln.Addr().String(), "traces", *traces, "partitions", *partitions)
+	}
 	if err := srv.Serve(ln); err != nil {
 		fmt.Fprintln(os.Stderr, "gems-server:", err)
 		os.Exit(1)

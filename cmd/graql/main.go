@@ -16,10 +16,12 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
 	"graql"
+	"graql/internal/obs"
 )
 
 type paramList struct {
@@ -72,10 +74,17 @@ func main() {
 		outCSV    = flag.String("out", "", "write the last table result to this CSV file")
 		metrics   = flag.Bool("metrics", false, "print the metrics registry (Prometheus text) to stderr on exit")
 		slowQuery = flag.Duration("slow-query", 0, "log statements slower than this to stderr (e.g. 250ms; 0 disables)")
+		logLevel  = flag.String("log-level", "off", "structured log level: off | error | warn | info | debug")
+		logFormat = flag.String("log-format", "json", "structured log format: json | text")
 		params    paramList
 	)
 	flag.Var(&params, "param", "query parameter name[:type]=value (repeatable)")
 	flag.Parse()
+
+	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *checkOnly {
 		src, err := readScript(flag.Args())
@@ -100,6 +109,9 @@ func main() {
 	if *slowQuery > 0 {
 		dbOpts = append(dbOpts, graql.WithSlowQueryLog(*slowQuery, os.Stderr))
 	}
+	if logger != nil {
+		dbOpts = append(dbOpts, graql.WithLogger(logger))
+	}
 	db := graql.Open(dbOpts...)
 	if *metrics {
 		defer func() { fmt.Fprint(os.Stderr, db.MetricsText()) }()
@@ -110,7 +122,10 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := run(db, src, params.params, *outCSV); err != nil {
+		if logger != nil {
+			logger.Info("run script", "files", flag.NArg(), "bytes", len(src))
+		}
+		if err := run(db, src, params.params, *outCSV, logger); err != nil {
 			fatal(err)
 		}
 		return
@@ -131,8 +146,15 @@ func readScript(args []string) (string, error) {
 	return b.String(), nil
 }
 
-func run(db *graql.DB, src string, params map[string]any, outCSV string) error {
+func run(db *graql.DB, src string, params map[string]any, outCSV string, logger *slog.Logger) error {
 	results, err := db.ExecParams(src, params)
+	if logger != nil {
+		code := ""
+		if err != nil {
+			code = "exec"
+		}
+		logger.Info("script done", "statements", len(results), "code", code)
+	}
 	for _, r := range results {
 		printResult(r)
 	}
@@ -184,7 +206,7 @@ func repl(db *graql.DB, params map[string]any) {
 			continue
 		}
 		if src := block.String(); strings.TrimSpace(src) != "" {
-			if err := run(db, src, params, ""); err != nil {
+			if err := run(db, src, params, "", nil); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 			}
 		}

@@ -28,6 +28,7 @@ package graql
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"strings"
 	"time"
 
@@ -92,6 +93,42 @@ func WithSlowQueryLog(threshold time.Duration, w io.Writer) Option {
 		o.Obs.SetSlowQueryThreshold(threshold)
 		o.Obs.SetSlowQueryWriter(w)
 	}
+}
+
+// WithTracing enables metrics plus hierarchical request tracing: the
+// registry retains the last n complete trace trees (n <= 0 picks the
+// default of 64), readable through Traces (and, through the servers,
+// GET /debug/traces and the "trace" op). Statements executed over the
+// TCP or HTTP front-ends then produce one span tree each.
+func WithTracing(n int) Option {
+	return func(o *exec.Options) {
+		if o.Obs == nil {
+			o.Obs = obs.New()
+		}
+		if n <= 0 {
+			n = 64
+		}
+		o.Obs.EnableTracing(n)
+	}
+}
+
+// WithClusterSim routes eligible linear-chain subgraph queries through
+// the simulated GEMS backend cluster: parts partitions, one BSP
+// superstep per chain edge, with frontier-exchange statistics (and trace
+// spans, under WithTracing). block selects block placement instead of
+// the default hash placement.
+func WithClusterSim(parts int, block bool) Option {
+	return func(o *exec.Options) {
+		o.ClusterParts = parts
+		o.ClusterBlock = block
+	}
+}
+
+// WithLogger attaches a structured logger to the engine's debug paths
+// (e.g. one line per simulated-cluster BSP superstep). nil disables
+// engine logging (the default).
+func WithLogger(l *slog.Logger) Option {
+	return func(o *exec.Options) { o.Log = l }
 }
 
 // Open creates an empty database.
@@ -191,6 +228,13 @@ type SlowQuery = obs.SlowQuery
 // SlowQueries returns the retained slow-query log entries, oldest first
 // (empty without WithSlowQueryLog).
 func (db *DB) SlowQueries() []SlowQuery { return db.eng.Opts.Obs.SlowQueries() }
+
+// TraceTree is one retained trace rendered as a parent/child forest.
+type TraceTree = obs.TraceTree
+
+// Traces returns the retained complete trace trees, oldest first (empty
+// without WithTracing).
+func (db *DB) Traces() []TraceTree { return db.eng.Opts.Obs.Traces() }
 
 // Engine exposes the underlying engine for in-module tooling (cmd/,
 // benchmarks). It is not part of the stable public API.

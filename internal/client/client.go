@@ -7,15 +7,17 @@ import (
 	"errors"
 	"net"
 
+	"graql/internal/obs"
 	"graql/internal/server"
 )
 
 // Client is one authenticated session with a GEMS server.
 type Client struct {
-	conn net.Conn
-	enc  *json.Encoder
-	dec  *json.Decoder
-	auth string
+	conn  net.Conn
+	enc   *json.Encoder
+	dec   *json.Decoder
+	auth  string
+	trace bool
 }
 
 // Dial connects to a GEMS server. token may be empty when the server runs
@@ -36,8 +38,34 @@ func Dial(addr, token string) (*Client, error) {
 // Close terminates the session.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// EnableTracing makes every subsequent request originate a trace: the
+// client generates a fresh W3C traceparent per request and sends it in
+// the request's traceId field, so the server's span tree (when the
+// server retains traces) joins a trace the client owns. The assigned
+// trace id comes back in Response.TraceID.
+func (c *Client) EnableTracing(on bool) { c.trace = on }
+
+// Ping checks server liveness over the session.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(&server.Request{Op: "ping"})
+	return err
+}
+
+// Traces fetches the server's retained trace trees (oldest first; empty
+// unless the server was started with trace retention).
+func (c *Client) Traces() ([]obs.TraceTree, error) {
+	resp, err := c.roundTrip(&server.Request{Op: "trace"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Traces, nil
+}
+
 func (c *Client) roundTrip(req *server.Request) (*server.Response, error) {
 	req.Auth = c.auth
+	if c.trace && req.Trace == "" && req.Op != "ping" && req.Op != "trace" && req.Op != "metrics" {
+		req.Trace = obs.NewTraceParent()
+	}
 	if err := c.enc.Encode(req); err != nil {
 		return nil, err
 	}

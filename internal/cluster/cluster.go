@@ -16,6 +16,8 @@ package cluster
 
 import (
 	"fmt"
+	"log/slog"
+	"strconv"
 	"sync"
 
 	"graql/internal/bitmap"
@@ -52,12 +54,25 @@ type Cluster struct {
 	parts    int
 	strategy Strategy
 	obs      *obs.Registry
+	span     *obs.Span
+	log      *slog.Logger
 }
 
 // SetObs attaches an observability registry; every Traverse then also
 // accumulates its exchange statistics into graql_cluster_* counters,
 // including per-node sent-vertex counts (label node="p<i>").
 func (c *Cluster) SetObs(reg *obs.Registry) { c.obs = reg }
+
+// SetTraceSpan attaches a parent trace span; every Traverse then records
+// one child span per BSP superstep, each with one grandchild span per
+// simulated node carrying that node's exchange counts. nil (the default)
+// disables span recording.
+func (c *Cluster) SetTraceSpan(sp *obs.Span) { c.span = sp }
+
+// SetLogger attaches a structured logger; supersteps then emit debug
+// lines with frontier and exchange counts. nil (the default) disables
+// logging.
+func (c *Cluster) SetLogger(l *slog.Logger) { c.log = l }
 
 // New partitions the graph's vertex id spaces across `parts` simulated
 // nodes with hash placement (GEMS's baseline).
@@ -148,7 +163,7 @@ func (c *Cluster) Traverse(startType *graph.VertexType, startFilter func(uint32)
 		if !st.Forward {
 			next = st.Edge.Src
 		}
-		sets[i+1] = c.exchangeExpand(sets[i], st, next.Count(), &stats)
+		sets[i+1] = c.superstep("forward", i+1, sets[i], st, next.Count(), &stats)
 	}
 
 	// Backward culling pass: the reverse traversal uses the opposite
@@ -161,11 +176,48 @@ func (c *Cluster) Traverse(startType *graph.VertexType, startFilter func(uint32)
 		if !st.Forward {
 			prevType = st.Edge.Dst
 		}
-		reached := c.exchangeExpand(sets[i+1], back, prevType.Count(), &stats)
+		reached := c.superstep("backward", i+1, sets[i+1], back, prevType.Count(), &stats)
 		sets[i].And(reached)
 	}
 	c.recordStats(&stats)
 	return sets, stats, nil
+}
+
+// superstep runs one BSP exchange round through exchangeExpand and, when
+// a trace span or logger is attached, records the round's frontier size
+// and exchange deltas: a "superstep" child span plus one "node" span per
+// simulated node with its sent-vertex count.
+func (c *Cluster) superstep(pass string, round int, frontier *bitmap.Bitmap, st Step, outSize int, stats *Stats) *bitmap.Bitmap {
+	sp := c.span.Child("superstep", fmt.Sprintf("%s round %d over %s", pass, round, st.Edge.Name))
+	prevMsgs, prevBytes, prevSent := stats.Messages, stats.BytesSent, stats.VerticesSent
+	var perPart []int
+	if sp != nil {
+		perPart = append([]int(nil), stats.PerPartSent...)
+	}
+	out := c.exchangeExpand(frontier, st, outSize, stats)
+	if sp != nil {
+		sp.AddRows(int64(out.Count()))
+		sp.SetAttr("messages", strconv.Itoa(stats.Messages-prevMsgs))
+		sp.SetAttr("vertices_sent", strconv.Itoa(stats.VerticesSent-prevSent))
+		sp.SetAttr("bytes_sent", strconv.Itoa(stats.BytesSent-prevBytes))
+		for p := 0; p < c.parts; p++ {
+			nsp := sp.Child("node", fmt.Sprintf("p%d", p))
+			sent := stats.PerPartSent[p] - perPart[p]
+			nsp.AddRows(int64(sent))
+			nsp.SetAttr("vertices_sent", strconv.Itoa(sent))
+			nsp.End()
+		}
+		sp.End()
+	}
+	if c.log != nil {
+		c.log.Debug("cluster superstep",
+			"pass", pass, "round", round, "edge", st.Edge.Name,
+			"frontier", out.Count(),
+			"messages", stats.Messages-prevMsgs,
+			"vertices_sent", stats.VerticesSent-prevSent,
+			"bytes_sent", stats.BytesSent-prevBytes)
+	}
+	return out
 }
 
 // recordStats folds one traversal's exchange statistics into the

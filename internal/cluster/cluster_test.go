@@ -1,4 +1,4 @@
-package cluster
+package cluster_test
 
 import (
 	"fmt"
@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"graql/internal/bitmap"
+	"graql/internal/cluster"
 	"graql/internal/exec"
 	"graql/internal/graph"
 )
@@ -69,14 +70,14 @@ ingest table TF tf.csv
 // singleNodeReference computes the same traversal with the sequential
 // bitmap passes (partition count 1 is trusted as the reference after
 // TestSinglePartitionAgainstDirect validates it).
-func traverse(t testing.TB, g *graph.Graph, parts int) ([]*bitmap.Bitmap, Stats) {
+func traverse(t testing.TB, g *graph.Graph, parts int) ([]*bitmap.Bitmap, cluster.Stats) {
 	t.Helper()
-	c, err := New(g, parts)
+	c, err := cluster.New(g, parts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	a := g.VertexType("A")
-	steps := []Step{
+	steps := []cluster.Step{
 		{Edge: g.EdgeType("e"), Forward: true},
 		{Edge: g.EdgeType("f"), Forward: true},
 		{Edge: g.EdgeType("e"), Forward: true},
@@ -93,12 +94,12 @@ func traverse(t testing.TB, g *graph.Graph, parts int) ([]*bitmap.Bitmap, Stats)
 // partition against a hand-rolled sequential BFS + culling.
 func TestSinglePartitionAgainstDirect(t *testing.T) {
 	g := fixture(t, 23, 1)
-	sets, stats, err := func() ([]*bitmap.Bitmap, Stats, error) {
-		c, err := New(g, 1)
+	sets, stats, err := func() ([]*bitmap.Bitmap, cluster.Stats, error) {
+		c, err := cluster.New(g, 1)
 		if err != nil {
-			return nil, Stats{}, err
+			return nil, cluster.Stats{}, err
 		}
-		return c.Traverse(g.VertexType("A"), nil, []Step{
+		return c.Traverse(g.VertexType("A"), nil, []cluster.Step{
 			{Edge: g.EdgeType("e"), Forward: true},
 			{Edge: g.EdgeType("f"), Forward: true},
 		})
@@ -199,11 +200,11 @@ func TestMessageAccounting(t *testing.T) {
 func TestStrategyInvariance(t *testing.T) {
 	g := fixture(t, 31, 2)
 	ref, _ := traverse(t, g, 4)
-	c, err := NewWithStrategy(g, 4, Block)
+	c, err := cluster.NewWithStrategy(g, 4, cluster.Block)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sets, stats, err := c.Traverse(g.VertexType("A"), func(v uint32) bool { return v%3 != 0 }, []Step{
+	sets, stats, err := c.Traverse(g.VertexType("A"), func(v uint32) bool { return v%3 != 0 }, []cluster.Step{
 		{Edge: g.EdgeType("e"), Forward: true},
 		{Edge: g.EdgeType("f"), Forward: true},
 		{Edge: g.EdgeType("e"), Forward: true},
@@ -226,14 +227,14 @@ func TestStrategyInvariance(t *testing.T) {
 
 func TestValidateRejectsBadPath(t *testing.T) {
 	g := fixture(t, 9, 1)
-	c, _ := New(g, 2)
-	_, _, err := c.Traverse(g.VertexType("A"), nil, []Step{
+	c, _ := cluster.New(g, 2)
+	_, _, err := c.Traverse(g.VertexType("A"), nil, []cluster.Step{
 		{Edge: g.EdgeType("f"), Forward: true}, // f starts at B, not A
 	})
 	if err == nil {
 		t.Error("type-mismatched step must fail")
 	}
-	if _, err := New(g, 0); err == nil {
+	if _, err := cluster.New(g, 0); err == nil {
 		t.Error("zero partitions must fail")
 	}
 }

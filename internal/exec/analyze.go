@@ -18,10 +18,11 @@ import (
 // step's time can exceed the query's wall clock.
 func (e *Engine) runExplainAnalyze(s *sema.Select, params map[string]value.Value) (Result, error) {
 	// A shallow engine copy carries the trace through execution without
-	// widening any signatures. Select paths never touch the id counters,
-	// and the shared catalog has its own locking.
+	// widening any signatures; parent stays nil so operator spans land
+	// flat on this private trace (one plan row each), not nested under a
+	// statement span.
 	tr := &obs.Trace{}
-	shadow := &Engine{Cat: e.Cat, Opts: e.Opts, met: e.met, trace: tr}
+	shadow := e.fork(tr, nil)
 
 	start := time.Now()
 	var (

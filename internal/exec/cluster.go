@@ -1,0 +1,94 @@
+package exec
+
+import (
+	"fmt"
+	"strconv"
+
+	"graql/internal/bitmap"
+	"graql/internal/cluster"
+)
+
+// This file routes eligible linear-chain subgraph queries through the
+// simulated GEMS backend cluster (internal/cluster) when
+// Options.ClusterParts >= 2: one BSP superstep per chain edge across the
+// configured partitions, with frontier-exchange statistics and — under
+// tracing — one "cluster" span whose children are the supersteps and
+// per-node exchange spans. The produced per-node sets are identical to
+// cullChainSets: Traverse applies each node's candidate set as its
+// per-step filter during forward expansion and the backward pass culls
+// vertices with no complete path, exactly the Eq. 5 semantics.
+
+// clusterChainEligible reports whether this chain can run on the
+// simulated cluster: the engine must be configured for it, every chain
+// edge must be a concrete edge type (regex steps expand through the
+// product BFS, which is not distributed), and no edge may carry a self
+// condition (the simulated exchange ships vertex ids only, so edge
+// predicates cannot be evaluated during expansion).
+func (m *matcher) clusterChainEligible(chain []int) bool {
+	if m.e.Opts.ClusterParts < 2 {
+		return false
+	}
+	for k := 0; k+1 < len(chain); k++ {
+		pe := chainEdge(m.pat, chain[k], chain[k+1])
+		if pe.Regex != nil || m.edgeSelf[pe.ID] != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// cullChainSetsCluster is cullChainSets on the simulated cluster.
+func (m *matcher) cullChainSetsCluster(chain []int) ([]*bitmap.Bitmap, error) {
+	// Pre-build every chain node's candidate set up front: the lazy cache
+	// is not goroutine-safe and Traverse's filters run on the simulated
+	// nodes' workers, which afterwards only call the read-only Get.
+	for _, id := range chain {
+		if _, err := m.candidates(id); err != nil {
+			return nil, err
+		}
+	}
+
+	strategy := cluster.Hash
+	if m.e.Opts.ClusterBlock {
+		strategy = cluster.Block
+	}
+	cl, err := cluster.NewWithStrategy(m.g, m.e.Opts.ClusterParts, strategy)
+	if err != nil {
+		return nil, err
+	}
+	cl.SetObs(m.e.Opts.Obs)
+	cl.SetLogger(m.e.Opts.Log)
+
+	steps := make([]cluster.Step, 0, len(chain)-1)
+	for k := 0; k+1 < len(chain); k++ {
+		a, b := chain[k], chain[k+1]
+		pe := chainEdge(m.pat, a, b)
+		cand := m.cands[b]
+		steps = append(steps, cluster.Step{
+			Edge:    m.edgeType[pe.ID],
+			Forward: pe.Src == a,
+			Filter:  cand.Get,
+		})
+	}
+
+	sp := m.e.opSpan("cluster", fmt.Sprintf("BSP traverse over %d partitions (%s placement), %d step(s)",
+		cl.Parts(), cl.Strategy(), len(steps)))
+	cl.SetTraceSpan(sp)
+	sets, stats, err := cl.Traverse(m.nodeType[chain[0]], m.cands[chain[0]].Get, steps)
+	if err != nil {
+		sp.End()
+		return nil, err
+	}
+	sp.SetAttr("rounds", strconv.Itoa(stats.Rounds))
+	sp.SetAttr("messages", strconv.Itoa(stats.Messages))
+	sp.SetAttr("vertices_sent", strconv.Itoa(stats.VerticesSent))
+	sp.SetAttr("bytes_sent", strconv.Itoa(stats.BytesSent))
+	sp.AddRows(int64(sets[len(sets)-1].Count()))
+	sp.End()
+
+	final := make([]*bitmap.Bitmap, len(m.pat.Nodes))
+	for k, id := range chain {
+		final[id] = sets[k]
+	}
+	return final, nil
+}

@@ -42,7 +42,7 @@ func (m *matcher) expandFiltered(pe *sema.PEdge, forward bool, fromSet *bitmap.B
 	cond := m.edgeSelf[pe.ID]
 
 	shards := shardRanges(fromSet.Len(), m.workers*4)
-	err := runShards(&m.e.met, len(shards), m.workers, func(si int) error {
+	err := m.e.runSweep(fmt.Sprintf("expand %s", et.Name), len(shards), m.workers, func(si int) error {
 		w := &wstate{m: m, b: make([]uint32, len(m.pat.Nodes)+len(m.pat.Edges))}
 		var inner error
 		visit := func(t, eid uint32) {
@@ -138,7 +138,9 @@ func (m *matcher) expandStep(pe *sema.PEdge, from, to int, fromSet *bitmap.Bitma
 // Under EXPLAIN ANALYZE each pass step is traced with the cardinality of
 // the step set it produces.
 func (m *matcher) cullChainSets(chain []int) ([]*bitmap.Bitmap, error) {
-	tr := m.e.trace
+	if m.clusterChainEligible(chain) {
+		return m.cullChainSetsCluster(chain)
+	}
 	pat := m.pat
 	fwd := make([]*bitmap.Bitmap, len(pat.Nodes))
 	t0 := time.Now()
@@ -147,7 +149,7 @@ func (m *matcher) cullChainSets(chain []int) ([]*bitmap.Bitmap, error) {
 		return nil, err
 	}
 	fwd[chain[0]] = start.Clone()
-	tr.Span("scan", fmt.Sprintf("start at %s", stepName(pat, m.nodeType, chain[0]))).
+	m.e.opSpan("scan", fmt.Sprintf("start at %s", stepName(pat, m.nodeType, chain[0]))).
 		Record(int64(start.Count()), time.Since(t0))
 	for k := 0; k+1 < len(chain); k++ {
 		a, b := chain[k], chain[k+1]
@@ -158,7 +160,7 @@ func (m *matcher) cullChainSets(chain []int) ([]*bitmap.Bitmap, error) {
 			return nil, err
 		}
 		fwd[b] = next
-		tr.Span("chain-expand", fmt.Sprintf("forward to %s (Eq. 5 step %d)", stepName(pat, m.nodeType, b), k+1)).
+		m.e.opSpan("chain-expand", fmt.Sprintf("forward to %s (Eq. 5 step %d)", stepName(pat, m.nodeType, b), k+1)).
 			Record(int64(next.Count()), time.Since(t0))
 	}
 	final := make([]*bitmap.Bitmap, len(pat.Nodes))
@@ -174,7 +176,7 @@ func (m *matcher) cullChainSets(chain []int) ([]*bitmap.Bitmap, error) {
 		}
 		back.And(fwd[a])
 		final[a] = back
-		tr.Span("chain-cull", fmt.Sprintf("backward cull at %s", stepName(pat, m.nodeType, a))).
+		m.e.opSpan("chain-cull", fmt.Sprintf("backward cull at %s", stepName(pat, m.nodeType, a))).
 			Record(int64(back.Count()), time.Since(t0))
 	}
 	return final, nil
@@ -222,7 +224,7 @@ func (m *matcher) markEdgesInSets(pe *sema.PEdge, srcSet, dstSet *bitmap.Bitmap,
 	es := sub.EdgeSet(et)
 	cond := m.edgeSelf[pe.ID]
 	shards := shardRanges(srcSet.Len(), m.workers*4)
-	return runShards(&m.e.met, len(shards), m.workers, func(si int) error {
+	return m.e.runSweep(fmt.Sprintf("mark edges %s", et.Name), len(shards), m.workers, func(si int) error {
 		w := &wstate{m: m, b: make([]uint32, len(m.pat.Nodes)+len(m.pat.Edges))}
 		var inner error
 		srcSet.ForEachRange(shards[si][0], shards[si][1], func(v uint32) {

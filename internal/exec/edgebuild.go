@@ -91,8 +91,8 @@ func (e *Engine) buildEdgeType(s *sema.CreateEdge) (*graph.EdgeType, error) {
 		edges = append(edges, ed)
 	}
 
-	id := e.nextEdgeID
-	e.nextEdgeID++
+	id := e.ids.edge
+	e.ids.edge++
 	var attrs *table.Table
 	if s.AttrSource >= 0 {
 		attrs = s.Sources[s.AttrSource].Tbl

@@ -10,6 +10,7 @@ package exec
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -55,6 +56,18 @@ type Options struct {
 	// and the slow-query log. nil disables metrics (the hot-path cost is
 	// then a handful of nil checks).
 	Obs *obs.Registry
+	// ClusterParts >= 2 routes eligible linear-chain subgraph queries
+	// through the simulated GEMS backend cluster (internal/cluster): one
+	// BSP superstep per chain edge over that many partitions, with
+	// exchange statistics and per-superstep trace spans.
+	ClusterParts int
+	// ClusterBlock selects block placement for the simulated cluster
+	// (default is hash placement).
+	ClusterBlock bool
+	// Log, when non-nil, receives the engine's structured debug lines
+	// (currently one line per simulated-cluster BSP superstep). nil
+	// disables engine logging.
+	Log *slog.Logger
 }
 
 // DefaultOptions returns the standard engine configuration.
@@ -75,19 +88,21 @@ type Engine struct {
 	Opts Options
 
 	// met caches metric series resolved from Opts.Obs (all nil without a
-	// registry). trace is non-nil only on the shadow engine that EXPLAIN
-	// ANALYZE runs a query through; matcher and relational operators
-	// append operator spans to it.
-	met   engineMetrics
-	trace *obs.Trace
+	// registry). trace/parent are non-nil only on traced shallow copies
+	// (WithTrace for server request tracing, runExplainAnalyze's shadow
+	// engine); matcher and relational operators append operator spans to
+	// the trace, nested under parent when it is set.
+	met    engineMetrics
+	trace  *obs.Trace
+	parent *obs.Span
 
-	nextVertexID int
-	nextEdgeID   int
+	// ids is shared across traced forks so DDL advances one sequence.
+	ids *idAlloc
 }
 
 // New returns an engine over a fresh catalog.
 func New(opts Options) *Engine {
-	return &Engine{Cat: catalog.New(), Opts: opts, met: newEngineMetrics(opts.Obs)}
+	return &Engine{Cat: catalog.New(), Opts: opts, met: newEngineMetrics(opts.Obs), ids: &idAlloc{}}
 }
 
 // ResultKind classifies a statement result.
@@ -130,14 +145,36 @@ func (e *Engine) ExecScript(src string, params map[string]value.Value) ([]Result
 
 // ExecStmt statically analyses and executes a single statement,
 // recording per-statement metrics and the slow-query log when the engine
-// has an observability registry.
+// has an observability registry. On a traced engine (WithTrace) each
+// statement gets a "statement" span and all operator, sweep and cluster
+// spans of its execution nest beneath it.
 func (e *Engine) ExecStmt(st ast.Stmt, params map[string]value.Value) (Result, error) {
-	if e.met.reg == nil {
+	if e.met.reg == nil && e.trace == nil {
 		return e.execStmt(st, params)
 	}
+	run := e
+	var sp *obs.Span
+	if e.trace != nil {
+		sp = e.opSpan("statement", stmtDetail(st))
+		sp.SetAttr("kind", stmtKind(st))
+		run = e.fork(e.trace, sp)
+	}
 	start := time.Now()
-	res, err := e.execStmt(st, params)
-	e.met.observeStmt(st, time.Since(start), err)
+	res, err := run.execStmt(st, params)
+	elapsed := time.Since(start)
+	if sp != nil {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		switch {
+		case res.Kind == ResultTable && res.Table != nil:
+			sp.AddRows(int64(res.Table.NumRows()))
+		case res.Kind == ResultSubgraph && res.Subgraph != nil:
+			sp.AddRows(int64(res.Subgraph.NumVertices()))
+		}
+		sp.End()
+	}
+	e.met.observeStmt(st, elapsed, err, e.traceID())
 	return res, err
 }
 
@@ -276,8 +313,8 @@ func (e *Engine) buildVertexType(s *sema.CreateVertex) (*graph.VertexType, error
 			return !v.IsNull() && v.Bool(), nil
 		}
 	}
-	id := e.nextVertexID
-	e.nextVertexID++
+	id := e.ids.vertex
+	e.ids.vertex++
 	return graph.BuildVertexType(id, s.Decl.Name, s.Base, s.KeyCols, pred)
 }
 

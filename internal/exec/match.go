@@ -186,12 +186,12 @@ func (e *Engine) newMatcher(pat *sema.Pattern, nodeType []*graph.VertexType,
 // buildSpans creates one trace span per order position, labelled like the
 // corresponding EXPLAIN plan row. It runs lazily from matchAll so the
 // chain fast path (which never enumerates) emits its own spans instead.
-func (m *matcher) buildSpans(tr *obs.Trace) {
+func (m *matcher) buildSpans() {
 	m.spans = make([]*obs.Span, len(m.order))
 	for i, v := range m.order {
 		name := stepName(m.pat, m.nodeType, v.Node)
 		if v.Via < 0 {
-			m.spans[i] = tr.Span("scan", fmt.Sprintf("start at %s", name))
+			m.spans[i] = m.e.opSpan("scan", fmt.Sprintf("start at %s", name))
 			continue
 		}
 		pe := m.pat.Edges[v.Via]
@@ -208,7 +208,7 @@ func (m *matcher) buildSpans(tr *obs.Trace) {
 		} else if m.edgeType[v.Via] != nil {
 			edgeName = m.edgeType[v.Via].Name
 		}
-		m.spans[i] = tr.Span("expand", fmt.Sprintf("bind %s via %s, %s", name, edgeName, dir))
+		m.spans[i] = m.e.opSpan("expand", fmt.Sprintf("bind %s via %s, %s", name, edgeName, dir))
 	}
 }
 
@@ -257,7 +257,7 @@ func (m *matcher) candidates(node int) (*bitmap.Bitmap, error) {
 	cond := m.nodeSelf[node]
 	seed := m.seeds[node]
 	shards := shardRanges(n, m.workers*4)
-	err := runShards(&m.e.met, len(shards), m.workers, func(si int) error {
+	err := m.e.runSweep(fmt.Sprintf("candidate scan %s", vt.Name), len(shards), m.workers, func(si int) error {
 		lo, hi := shards[si][0], shards[si][1]
 		w := &wstate{m: m, b: make([]uint32, len(m.pat.Nodes)+len(m.pat.Edges))}
 		w.scanned = int64(hi - lo)
@@ -325,8 +325,8 @@ func (m *matcher) matchAll(nShards int, sink func(shard int, b []uint32) error) 
 	if len(m.order) == 0 {
 		return nil
 	}
-	if m.e.trace != nil && m.spans == nil {
-		m.buildSpans(m.e.trace)
+	if m.e.tracing() && m.spans == nil {
+		m.buildSpans()
 	}
 	first := m.order[0]
 	cand, err := m.candidates(first.Node)
@@ -345,7 +345,7 @@ func (m *matcher) matchAll(nShards int, sink func(shard int, b []uint32) error) 
 	}
 	shards := shardRanges(cand.Len(), nShards)
 	start := time.Now()
-	err = runShards(&m.e.met, len(shards), m.workers, func(si int) error {
+	err = m.e.runSweep("binding enumeration", len(shards), m.workers, func(si int) error {
 		w := &wstate{m: m, b: make([]uint32, len(m.pat.Nodes)+len(m.pat.Edges))}
 		for i := range w.b {
 			w.b[i] = NoBind

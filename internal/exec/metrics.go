@@ -78,8 +78,9 @@ func stmtKind(st ast.Stmt) string {
 }
 
 // observeStmt records one executed statement: totals, per-kind latency,
-// and the slow-query log.
-func (m *engineMetrics) observeStmt(st ast.Stmt, elapsed time.Duration, err error) {
+// and the slow-query log (linked to the statement's trace when it ran
+// under one).
+func (m *engineMetrics) observeStmt(st ast.Stmt, elapsed time.Duration, err error, trace obs.TraceID) {
 	if m.reg == nil {
 		return
 	}
@@ -93,5 +94,5 @@ func (m *engineMetrics) observeStmt(st ast.Stmt, elapsed time.Duration, err erro
 	if h := m.latency[stmtKind(st)]; h != nil {
 		h.Observe(elapsed.Seconds())
 	}
-	m.reg.ObserveQuery(st.String(), elapsed)
+	m.reg.ObserveQueryTrace(st.String(), elapsed, trace)
 }

@@ -66,8 +66,7 @@ func astAggToTable(f ast.AggFunc) table.AggFunc {
 
 func (e *Engine) runTableSelect(s *sema.Select, params map[string]value.Value) (Result, error) {
 	t := s.Table
-	tr := e.trace
-	tr.Span("scan", fmt.Sprintf("table %s", t.Name)).Record(int64(t.NumRows()), 0)
+	e.opSpan("scan", fmt.Sprintf("table %s", t.Name)).Record(int64(t.NumRows()), 0)
 
 	// Selection.
 	rows := t
@@ -84,7 +83,7 @@ func (e *Engine) runTableSelect(s *sema.Select, params map[string]value.Value) (
 			return Result{}, err
 		}
 		rows = filtered
-		tr.Span("filter", fmt.Sprintf("%s", s.Where)).Record(int64(rows.NumRows()), time.Since(t0))
+		e.opSpan("filter", fmt.Sprintf("%s", s.Where)).Record(int64(rows.NumRows()), time.Since(t0))
 	}
 	opStart := time.Now()
 
@@ -126,7 +125,7 @@ func (e *Engine) runTableSelect(s *sema.Select, params map[string]value.Value) (
 			names = append(names, it.Name)
 		}
 		out = grouped.ProjectCols(outName, colIdx, names)
-		tr.Span("group", fmt.Sprintf("group by %d key column(s), %d aggregate(s)", len(s.GroupBy), countAggs(s))).
+		e.opSpan("group", fmt.Sprintf("group by %d key column(s), %d aggregate(s)", len(s.GroupBy), countAggs(s))).
 			Record(int64(out.NumRows()), time.Since(opStart))
 	} else {
 		fresh, err := table.New(outName, s.OutSchema)
@@ -161,7 +160,7 @@ func (e *Engine) runTableSelect(s *sema.Select, params map[string]value.Value) (
 			}
 		}
 		out = fresh
-		tr.Span("project", fmt.Sprintf("%d output column(s)", len(s.Items))).
+		e.opSpan("project", fmt.Sprintf("%d output column(s)", len(s.Items))).
 			Record(int64(out.NumRows()), time.Since(opStart))
 	}
 
@@ -175,11 +174,10 @@ func (e *Engine) runTableSelect(s *sema.Select, params map[string]value.Value) (
 // finishTable applies distinct / order by / top n and registers the table
 // when the statement has an into clause.
 func (e *Engine) finishTable(out *table.Table, s *sema.Select) (*table.Table, error) {
-	tr := e.trace
 	if s.Distinct {
 		t0 := time.Now()
 		out = table.Distinct(out, nil)
-		tr.Span("distinct", "eliminate duplicate rows").Record(int64(out.NumRows()), time.Since(t0))
+		e.opSpan("distinct", "eliminate duplicate rows").Record(int64(out.NumRows()), time.Since(t0))
 	}
 	if len(s.OrderBy) > 0 {
 		keys := make([]table.SortKey, len(s.OrderBy))
@@ -192,12 +190,12 @@ func (e *Engine) finishTable(out *table.Table, s *sema.Select) (*table.Table, er
 			return nil, err
 		}
 		out = sorted
-		tr.Span("sort", fmt.Sprintf("order by %d key(s)", len(keys))).Record(int64(out.NumRows()), time.Since(t0))
+		e.opSpan("sort", fmt.Sprintf("order by %d key(s)", len(keys))).Record(int64(out.NumRows()), time.Since(t0))
 	}
 	if s.Top > 0 {
 		t0 := time.Now()
 		out = table.TopN(out, s.Top)
-		tr.Span("top", fmt.Sprintf("keep first %d rows", s.Top)).Record(int64(out.NumRows()), time.Since(t0))
+		e.opSpan("top", fmt.Sprintf("keep first %d rows", s.Top)).Record(int64(out.NumRows()), time.Since(t0))
 	}
 	return out, nil
 }

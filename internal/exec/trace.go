@@ -1,0 +1,103 @@
+package exec
+
+import (
+	"strconv"
+	"time"
+
+	"graql/internal/ast"
+	"graql/internal/obs"
+)
+
+// This file wires hierarchical request tracing through the engine. A
+// traced engine is a shallow copy (fork) carrying a trace and a parent
+// span; no execution signature widens. Operator code calls opSpan, which
+// nests spans under the current statement span during server-traced
+// execution and emits flat top-level spans for EXPLAIN ANALYZE's private
+// plan trace. Everything is nil-safe, so untraced engines pay only a
+// couple of nil checks.
+
+// idAlloc hands out view ids for vertex and edge types. It sits behind a
+// pointer shared by an engine and all of its traced forks, so DDL run
+// through a fork advances the same sequence (DDL is serialised by the
+// catalog write lock).
+type idAlloc struct {
+	vertex int
+	edge   int
+}
+
+// WithTrace returns a shallow engine copy whose statement execution
+// appends spans to tr, nested under parent (nil for top-level spans).
+// The copy shares the catalog, metric series and id allocator with the
+// receiver; it is cheap enough to create per request.
+func (e *Engine) WithTrace(tr *obs.Trace, parent *obs.Span) *Engine {
+	return e.fork(tr, parent)
+}
+
+// fork is the internal form of WithTrace.
+func (e *Engine) fork(tr *obs.Trace, parent *obs.Span) *Engine {
+	c := *e
+	c.trace = tr
+	c.parent = parent
+	return &c
+}
+
+// tracing reports whether this engine records spans.
+func (e *Engine) tracing() bool { return e.trace != nil }
+
+// traceID returns the engine's trace id (zero when untraced).
+func (e *Engine) traceID() obs.TraceID { return e.trace.ID() }
+
+// opSpan opens one operator span: a child of the statement span when the
+// engine runs under one (server-traced execution), a top-level span on
+// the trace otherwise (EXPLAIN ANALYZE's flat plan trace). Nil-safe —
+// with no trace it returns nil, which is itself inert.
+func (e *Engine) opSpan(action, detail string) *obs.Span {
+	if e.parent != nil {
+		return e.parent.Child(action, detail)
+	}
+	return e.trace.Span(action, detail)
+}
+
+// runSweep is runShards plus a parallel-sweep span when the engine runs
+// under a statement span. EXPLAIN ANALYZE's flat trace intentionally
+// omits sweep spans so its plan table keeps one row per operator.
+func (e *Engine) runSweep(detail string, shards, workers int, fn func(shard int) error) error {
+	if e.parent == nil {
+		return runShards(&e.met, shards, workers, fn)
+	}
+	sp := e.parent.Child("sweep", detail)
+	sp.SetAttr("shards", strconv.Itoa(shards))
+	sp.SetAttr("workers", strconv.Itoa(workers))
+	err := runShards(&e.met, shards, workers, fn)
+	sp.End()
+	return err
+}
+
+// stmtDetail renders a statement for span labels, truncated so trace
+// payloads stay bounded.
+func stmtDetail(st ast.Stmt) string {
+	s := st.String()
+	if len(s) > 120 {
+		s = s[:117] + "..."
+	}
+	return s
+}
+
+// Ready reports whether the engine can schedule work: it pushes a
+// trivial task through the data-parallel shard scheduler with the
+// configured worker count and waits up to timeout for completion. The
+// readiness probe (/readyz) uses this as its "worker pool responsive"
+// check.
+func (e *Engine) Ready(timeout time.Duration) bool {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = runShards(&e.met, 1, e.Opts.workers(), func(int) error { return nil })
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}

@@ -1,0 +1,194 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"graql/internal/obs"
+)
+
+// chainEngine builds a small road chain c0→c1→c2→c3→c4 for the tracing
+// and cluster-path tests.
+func chainEngine(t *testing.T, parts int, block bool) *Engine {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Workers = 2
+	opts.ClusterParts = parts
+	opts.ClusterBlock = block
+	e := New(opts)
+	mustExec(t, e, `
+create table Cities(id varchar(8), country varchar(2))
+create table Roads(src varchar(8), dst varchar(8))
+create vertex City(id) from table Cities
+create edge road with vertices (City as A, City as B)
+from table Roads
+where Roads.src = A.id and Roads.dst = B.id
+`, nil)
+	if err := e.IngestReader("Cities", strings.NewReader("c0,US\nc1,US\nc2,US\nc3,CA\nc4,CA\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.IngestReader("Roads", strings.NewReader("c0,c1\nc1,c2\nc2,c3\nc3,c4\n")); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+const chainQuery = `
+select * from graph
+def a: City ( ) --road--> def b: City ( ) --road--> def c: City ( )
+into subgraph SG`
+
+// actionsOf flattens a trace tree into its span actions, depth first.
+func actionsOf(nodes []*obs.SpanNode) []string {
+	var out []string
+	for _, n := range nodes {
+		out = append(out, n.Action)
+		out = append(out, actionsOf(n.Children)...)
+	}
+	return out
+}
+
+func countAction(nodes []*obs.SpanNode, action string) int {
+	n := 0
+	for _, a := range actionsOf(nodes) {
+		if a == action {
+			n++
+		}
+	}
+	return n
+}
+
+// TestTracedExecutionSpanTree runs one statement on a traced fork and
+// checks every operator span lands under the statement span.
+func TestTracedExecutionSpanTree(t *testing.T) {
+	e := chainEngine(t, 0, false)
+	tr := obs.NewTrace(obs.TraceID{})
+	res, err := e.WithTrace(tr, nil).ExecScript(chainQuery, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Subgraph == nil || res[0].Subgraph.NumVertices() == 0 {
+		t.Fatalf("unexpected result: %+v", res[0])
+	}
+
+	tree := tr.Tree()
+	if tree.TraceID != tr.ID().String() {
+		t.Fatalf("tree trace id %s != %s", tree.TraceID, tr.ID())
+	}
+	if len(tree.Roots) != 1 {
+		t.Fatalf("want a single statement root, got %d roots", len(tree.Roots))
+	}
+	root := tree.Roots[0]
+	if root.Action != "statement" || root.Attrs["kind"] == "" {
+		t.Fatalf("root span: %+v", root)
+	}
+	if root.Rows != int64(res[0].Subgraph.NumVertices()) {
+		t.Fatalf("statement rows %d != subgraph vertices %d", root.Rows, res[0].Subgraph.NumVertices())
+	}
+	if len(root.Children) == 0 {
+		t.Fatal("statement span has no operator children")
+	}
+	acts := actionsOf(root.Children)
+	joined := strings.Join(acts, " ")
+	for _, want := range []string{"sweep", "chain-expand", "chain-cull"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("trace is missing a %q span (got %v)", want, acts)
+		}
+	}
+	// The untraced engine must not share the fork's trace.
+	tr2 := obs.NewTrace(obs.TraceID{})
+	if _, err := e.ExecScript(`select a.id from graph def a: City (id = 'c0')`, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr2.Tree().SpanCount; got != 0 {
+		t.Fatalf("untraced execution produced %d spans", got)
+	}
+}
+
+// TestExplainAnalyzeStillFlat guards the pre-existing EXPLAIN ANALYZE
+// contract: its private trace keeps one top-level span per operator (no
+// statement root, no sweep spans).
+func TestExplainAnalyzeStillFlat(t *testing.T) {
+	e := chainEngine(t, 0, false)
+	res := mustExec(t, e, "explain analyze"+chainQuery, nil)
+	tb := res[len(res)-1].Table
+	if tb == nil || tb.NumRows() == 0 {
+		t.Fatal("explain analyze returned no plan rows")
+	}
+	if tb.ColByName("action") == nil {
+		t.Fatalf("plan table lacks action column: %v", tb.Schema())
+	}
+	for r := uint32(0); r < uint32(tb.NumRows()); r++ {
+		op := tb.Value(r, 1).String()
+		if op == "statement" || op == "sweep" {
+			t.Fatalf("flat plan trace contains a %q row", op)
+		}
+	}
+}
+
+// TestClusterChainEquivalence checks the simulated-cluster chain path
+// returns exactly the sets of the serial Eq. 5 culling, across both
+// placement strategies and partition counts.
+func TestClusterChainEquivalence(t *testing.T) {
+	base := chainEngine(t, 0, false)
+	want := mustExec(t, base, chainQuery, nil)[0].Subgraph
+	for _, tc := range []struct {
+		parts int
+		block bool
+	}{{2, false}, {3, false}, {2, true}, {5, true}} {
+		e := chainEngine(t, tc.parts, tc.block)
+		got := mustExec(t, e, chainQuery, nil)[0].Subgraph
+		if got.NumVertices() != want.NumVertices() || got.NumEdges() != want.NumEdges() {
+			t.Errorf("parts=%d block=%v: %d vertices/%d edges, want %d/%d",
+				tc.parts, tc.block, got.NumVertices(), got.NumEdges(),
+				want.NumVertices(), want.NumEdges())
+		}
+	}
+}
+
+// TestClusterTraceSpans checks a traced cluster-routed chain yields the
+// statement > cluster > superstep > node hierarchy with exchange stats.
+func TestClusterTraceSpans(t *testing.T) {
+	e := chainEngine(t, 2, false)
+	tr := obs.NewTrace(obs.TraceID{})
+	if _, err := e.WithTrace(tr, nil).ExecScript(chainQuery, nil); err != nil {
+		t.Fatal(err)
+	}
+	tree := tr.Tree()
+	if len(tree.Roots) != 1 {
+		t.Fatalf("roots = %d", len(tree.Roots))
+	}
+	var cl *obs.SpanNode
+	for _, c := range tree.Roots[0].Children {
+		if c.Action == "cluster" {
+			cl = c
+		}
+	}
+	if cl == nil {
+		t.Fatalf("no cluster span under statement; children = %v", actionsOf(tree.Roots[0].Children))
+	}
+	if cl.Attrs["rounds"] == "" || cl.Attrs["messages"] == "" || cl.Attrs["bytes_sent"] == "" {
+		t.Fatalf("cluster span attrs: %v", cl.Attrs)
+	}
+	// Two chain edges → forward supersteps plus backward cull rounds.
+	if n := countAction(cl.Children, "superstep"); n < 2 {
+		t.Fatalf("superstep spans = %d, want >= 2", n)
+	}
+	found := false
+	for _, ss := range cl.Children {
+		if ss.Action == "superstep" && countAction(ss.Children, "node") > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no per-node spans under any superstep")
+	}
+}
+
+func TestEngineReady(t *testing.T) {
+	e := chainEngine(t, 0, false)
+	if !e.Ready(5 * time.Second) {
+		t.Fatal("Ready = false on an idle engine")
+	}
+}

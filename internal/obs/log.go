@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// Structured leveled logging for the GEMS layers, built on log/slog with
+// a shared schema: every request-scoped line carries trace_id, op, code
+// and elapsed_us attributes so log lines join against the trace trees in
+// /debug/traces. Logging is opt-in: library code holds a *slog.Logger
+// that is nil by default, and all call sites guard with nil checks (or
+// use the nil-safe helpers here).
+
+// ParseLevel maps a -log-level flag value to a slog level. "off" (or
+// the empty string) reports enabled=false; unknown values error.
+func ParseLevel(s string) (level slog.Level, enabled bool, err error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "off", "none":
+		return 0, false, nil
+	case "debug":
+		return slog.LevelDebug, true, nil
+	case "info":
+		return slog.LevelInfo, true, nil
+	case "warn", "warning":
+		return slog.LevelWarn, true, nil
+	case "error":
+		return slog.LevelError, true, nil
+	}
+	return 0, false, fmt.Errorf("obs: unknown log level %q (want off|error|warn|info|debug)", s)
+}
+
+// NewLogger builds a leveled structured logger writing to w in the given
+// format ("json" or "text"). It returns nil — meaning logging disabled —
+// when the level string is "off" or empty, so cmd wiring is one call:
+//
+//	log, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	lvl, enabled, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	if !enabled {
+		return nil, nil
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(strings.TrimSpace(format)) {
+	case "", "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (want json|text)", format)
+}

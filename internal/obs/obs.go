@@ -179,19 +179,50 @@ type entry struct {
 
 func (e *entry) key() string { return e.family + renderLabels(e.labels, "", 0) }
 
-// Registry holds named metrics and the slow-query log. Metric lookup
-// takes the registry mutex; callers on hot paths resolve their metric
-// pointers once and update them lock-free thereafter.
+// Registry holds named metrics, the slow-query log and the trace ring.
+// Metric lookup takes the registry mutex; callers on hot paths resolve
+// their metric pointers once and update them lock-free thereafter.
 type Registry struct {
-	mu      sync.Mutex
-	entries map[string]*entry
+	mu         sync.Mutex
+	entries    map[string]*entry
+	collectors []func()
 
-	slow slowLog
+	slow  slowLog
+	trace traceRing
 }
 
-// New returns an empty registry.
+// New returns a registry pre-populated with the Go runtime gauges
+// (goroutines, heap in use, GC totals), refreshed at scrape time.
 func New() *Registry {
-	return &Registry{entries: make(map[string]*entry)}
+	r := &Registry{entries: make(map[string]*entry)}
+	registerRuntimeMetrics(r)
+	return r
+}
+
+// OnCollect registers a hook that runs before every exposition
+// (WritePrometheus, PrometheusText, Snapshot) — used to refresh gauges
+// that snapshot external state, like the Go runtime metrics.
+func (r *Registry) OnCollect(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// collect runs the registered collector hooks (outside the registry
+// lock, so hooks may create or update series).
+func (r *Registry) collect() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	hooks := append([]func(){}, r.collectors...)
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
 }
 
 // Counter returns (creating on first use) the named counter.
@@ -319,6 +350,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	r.collect()
 	r.mu.Lock()
 	entries := make([]*entry, 0, len(r.entries))
 	for _, e := range r.entries {
@@ -393,6 +425,7 @@ func (r *Registry) Snapshot() map[string]any {
 	if r == nil {
 		return nil
 	}
+	r.collect()
 	r.mu.Lock()
 	entries := make([]*entry, 0, len(r.entries))
 	for _, e := range r.entries {

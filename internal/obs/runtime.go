@@ -1,0 +1,24 @@
+package obs
+
+import "runtime"
+
+// registerRuntimeMetrics exports the Go runtime health gauges into the
+// registry. The values are snapshots refreshed by a collect hook at
+// exposition time (/metrics scrape, Snapshot), so idle registries cost
+// nothing.
+func registerRuntimeMetrics(r *Registry) {
+	goroutines := r.Gauge("go_goroutines", "goroutines currently running")
+	heapInuse := r.Gauge("go_heap_inuse_bytes", "heap bytes in in-use spans")
+	heapAlloc := r.Gauge("go_heap_alloc_bytes", "heap bytes allocated and still live")
+	gcCycles := r.Gauge("go_gc_cycles_total", "completed GC cycles since process start")
+	gcPause := r.Gauge("go_gc_pause_total_ns", "cumulative GC stop-the-world pause nanoseconds")
+	r.OnCollect(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(int64(runtime.NumGoroutine()))
+		heapInuse.Set(int64(ms.HeapInuse))
+		heapAlloc.Set(int64(ms.HeapAlloc))
+		gcCycles.Set(int64(ms.NumGC))
+		gcPause.Set(int64(ms.PauseTotalNs))
+	})
+}

@@ -7,11 +7,14 @@ import (
 	"time"
 )
 
-// SlowQuery is one slow-log entry.
+// SlowQuery is one slow-log entry. TraceID links the entry to its trace
+// tree in /debug/traces when the statement ran under tracing (empty
+// otherwise).
 type SlowQuery struct {
 	Script  string        `json:"script"`
 	Elapsed time.Duration `json:"elapsedNs"`
 	When    time.Time     `json:"when"`
+	TraceID string        `json:"traceId,omitempty"`
 }
 
 // slowLogCap bounds the in-memory ring of retained slow queries.
@@ -52,6 +55,12 @@ func (r *Registry) SetSlowQueryWriter(w io.Writer) {
 // ObserveQuery feeds one executed statement to the slow-query log; it is
 // recorded only when a threshold is set and exceeded.
 func (r *Registry) ObserveQuery(script string, elapsed time.Duration) {
+	r.ObserveQueryTrace(script, elapsed, TraceID{})
+}
+
+// ObserveQueryTrace is ObserveQuery carrying the trace id of the
+// statement's request, linking the slow-log entry to its trace tree.
+func (r *Registry) ObserveQueryTrace(script string, elapsed time.Duration, trace TraceID) {
 	if r == nil {
 		return
 	}
@@ -62,6 +71,9 @@ func (r *Registry) ObserveQuery(script string, elapsed time.Duration) {
 		return
 	}
 	q := SlowQuery{Script: script, Elapsed: elapsed, When: time.Now()}
+	if !trace.IsZero() {
+		q.TraceID = trace.String()
+	}
 	if len(s.entries) < slowLogCap {
 		s.entries = append(s.entries, q)
 	} else {

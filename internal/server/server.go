@@ -14,6 +14,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
@@ -21,6 +22,7 @@ import (
 	"graql/internal/ast"
 	"graql/internal/exec"
 	"graql/internal/ir"
+	"graql/internal/obs"
 	"graql/internal/parser"
 	"graql/internal/value"
 )
@@ -36,13 +38,20 @@ type Request struct {
 	// Op selects the operation: "exec" (run script), "check" (static
 	// analysis only), "compile" (script → IR), "execir" (run IR bytes),
 	// "stats" (catalog snapshot), "metrics" (Prometheus text exposition
-	// of the engine's observability registry), "ping".
+	// of the engine's observability registry), "trace" (retained trace
+	// trees), "ping".
 	Op string `json:"op"`
 	// Auth must match the server token when one is configured.
 	Auth   string           `json:"auth,omitempty"`
 	Script string           `json:"script,omitempty"`
 	IR     string           `json:"ir,omitempty"` // base64
 	Params map[string]Param `json:"params,omitempty"`
+	// Trace optionally propagates the client's trace context: either a
+	// W3C traceparent value ("00-<32 hex>-<16 hex>-01") or a bare 32-hex
+	// trace id. When the server retains traces, the request's spans join
+	// that trace (under the client's span, if one was given); otherwise a
+	// fresh trace id is assigned. Echoed back in Response.TraceID.
+	Trace string `json:"traceId,omitempty"`
 }
 
 // StmtResult is one statement's outcome on the wire.
@@ -88,6 +97,10 @@ type Response struct {
 	// ElapsedUs is the server-side handling time of this request in
 	// microseconds (stamped on every response).
 	ElapsedUs int64 `json:"elapsedUs"`
+	// TraceID echoes the request's trace id when the request was traced.
+	TraceID string `json:"traceId,omitempty"`
+	// Traces carries the retained trace trees for op "trace".
+	Traces []obs.TraceTree `json:"traces,omitempty"`
 }
 
 func fail(code, format string, args ...any) *Response {
@@ -104,6 +117,11 @@ type Server struct {
 	// Zero disables the respective deadline. Set before Serve.
 	IdleTimeout  time.Duration
 	WriteTimeout time.Duration
+
+	// Log, when non-nil, receives one structured line per request
+	// (trace_id, op, code, elapsed_us) plus connection lifecycle events
+	// at debug level. Set before Serve.
+	Log *slog.Logger
 
 	mu     sync.Mutex
 	closed bool
@@ -154,11 +172,17 @@ func (s *Server) Close() {
 }
 
 func (s *Server) serveConn(conn net.Conn) {
+	if s.Log != nil {
+		s.Log.Debug("connection accepted", "remote", conn.RemoteAddr().String())
+	}
 	defer func() {
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
+		if s.Log != nil {
+			s.Log.Debug("connection closed", "remote", conn.RemoteAddr().String())
+		}
 	}()
 	dec := json.NewDecoder(conn)
 	enc := json.NewEncoder(conn)
@@ -173,6 +197,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		start := time.Now()
 		resp := s.handle(&req)
 		resp.ElapsedUs = time.Since(start).Microseconds()
+		s.logRequest(&req, resp)
 		if s.WriteTimeout > 0 {
 			_ = conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
 		}
@@ -182,15 +207,72 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// logRequest emits the per-request structured line: every line carries
+// the shared schema fields (trace_id, op, code, elapsed_us) so log
+// streams join against the trace trees in /debug/traces.
+func (s *Server) logRequest(req *Request, resp *Response) {
+	if s.Log == nil {
+		return
+	}
+	attrs := []any{
+		"trace_id", resp.TraceID,
+		"op", req.Op,
+		"code", resp.Code,
+		"elapsed_us", resp.ElapsedUs,
+	}
+	if resp.OK {
+		s.Log.Info("request", attrs...)
+	} else {
+		s.Log.Warn("request failed", append(attrs, "error", resp.Error)...)
+	}
+}
+
 func (s *Server) handle(req *Request) *Response {
 	if s.token != "" && req.Auth != s.token {
 		return fail(CodeAuth, "authentication failed")
 	}
+	if s.eng.Opts.Obs.TracingEnabled() && traceableOp(req.Op) {
+		return s.handleTraced(req)
+	}
+	return s.dispatch(req, s.eng)
+}
+
+// traceableOp reports whether an op produces a trace tree. ping and the
+// observability reads (metrics, trace) are excluded so polling them does
+// not churn the trace ring.
+func traceableOp(op string) bool {
+	switch op {
+	case "exec", "execir", "check", "compile", "stats":
+		return true
+	}
+	return false
+}
+
+// handleTraced wraps one request in a trace: the root "server" span
+// covers the whole handling, statement and operator spans of execution
+// nest beneath it, and the completed trace enters the registry's ring.
+// A client-supplied traceparent (Request.Trace) contributes the trace id
+// and the remote parent span id, so the server's tree joins a trace the
+// client originated.
+func (s *Server) handleTraced(req *Request) *Response {
+	tid, parent, _ := obs.ParseTraceParent(req.Trace)
+	tr := obs.NewTrace(tid)
+	root := tr.SpanUnder(parent, "server", req.Op)
+	resp := s.dispatch(req, s.eng.WithTrace(tr, root))
+	root.End()
+	resp.TraceID = tr.ID().String()
+	s.eng.Opts.Obs.ObserveTrace(tr)
+	return resp
+}
+
+// dispatch routes one request to its handler, executing on eng (the
+// base engine, or a traced fork of it).
+func (s *Server) dispatch(req *Request, eng *exec.Engine) *Response {
 	switch req.Op {
 	case "ping":
 		return &Response{OK: true}
 	case "exec":
-		return s.execScript(req)
+		return s.execScript(req, eng)
 	case "check":
 		if err := s.checkScript(req.Script); err != nil {
 			return fail(CodeParse, "%v", err)
@@ -199,11 +281,13 @@ func (s *Server) handle(req *Request) *Response {
 	case "compile":
 		return s.compile(req)
 	case "execir":
-		return s.execIR(req)
+		return s.execIR(req, eng)
 	case "stats":
 		return s.stats()
 	case "metrics":
 		return s.metrics()
+	case "trace":
+		return &Response{OK: true, Traces: s.eng.Opts.Obs.Traces()}
 	}
 	return fail(CodeBadRequest, "unknown op %q", req.Op)
 }
@@ -215,7 +299,7 @@ func (s *Server) metrics() *Response {
 	return &Response{OK: true, Metrics: s.eng.Opts.Obs.PrometheusText()}
 }
 
-func (s *Server) execScript(req *Request) *Response {
+func (s *Server) execScript(req *Request, eng *exec.Engine) *Response {
 	params, err := decodeParams(req.Params)
 	if err != nil {
 		return fail(CodeBadRequest, "%v", err)
@@ -235,7 +319,7 @@ func (s *Server) execScript(req *Request) *Response {
 	if err != nil {
 		return fail(CodeExec, "%v", err)
 	}
-	return s.run(decoded, params)
+	return run(eng, decoded, params)
 }
 
 func (s *Server) checkScript(src string) error {
@@ -257,7 +341,7 @@ func (s *Server) compile(req *Request) *Response {
 	return &Response{OK: true, IR: base64.StdEncoding.EncodeToString(blob)}
 }
 
-func (s *Server) execIR(req *Request) *Response {
+func (s *Server) execIR(req *Request, eng *exec.Engine) *Response {
 	params, err := decodeParams(req.Params)
 	if err != nil {
 		return fail(CodeBadRequest, "%v", err)
@@ -270,13 +354,13 @@ func (s *Server) execIR(req *Request) *Response {
 	if err != nil {
 		return fail(CodeBadRequest, "%v", err)
 	}
-	return s.run(script, params)
+	return run(eng, script, params)
 }
 
-func (s *Server) run(script *ast.Script, params map[string]value.Value) *Response {
+func run(eng *exec.Engine, script *ast.Script, params map[string]value.Value) *Response {
 	resp := &Response{}
 	for i, st := range script.Stmts {
-		r, err := s.eng.ExecStmt(st, params)
+		r, err := eng.ExecStmt(st, params)
 		if err != nil {
 			resp.Code = CodeExec
 			resp.Error = fmt.Sprintf("statement %d: %v", i+1, err)

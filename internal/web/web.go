@@ -8,10 +8,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"html/template"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"time"
 
 	"graql/internal/exec"
+	"graql/internal/obs"
 	"graql/internal/server"
 	"graql/internal/value"
 )
@@ -20,6 +23,10 @@ import (
 type Handler struct {
 	eng *exec.Engine
 	mux *http.ServeMux
+
+	// Log, when non-nil, receives one structured line per /query request
+	// (trace_id, op, code, elapsed_us). Set before serving.
+	Log *slog.Logger
 }
 
 // New returns the front-end handler.
@@ -29,6 +36,9 @@ type Handler struct {
 //	GET  /catalog      the catalog snapshot as JSON
 //	GET  /metrics      Prometheus text exposition of the engine registry
 //	GET  /debug/slow   retained slow queries as JSON
+//	GET  /debug/traces retained trace trees as JSON (oldest first)
+//	GET  /healthz      liveness probe (200 once serving)
+//	GET  /readyz       readiness probe (catalog reachable + worker pool responsive)
 //	GET  /debug/pprof/ the standard Go profiling endpoints
 //
 // Non-POST methods on /query are rejected with 405 (the method pattern
@@ -41,6 +51,9 @@ func New(eng *exec.Engine) *Handler {
 	h.mux.HandleFunc("GET /catalog", h.catalog)
 	h.mux.HandleFunc("GET /metrics", h.metrics)
 	h.mux.HandleFunc("GET /debug/slow", h.slow)
+	h.mux.HandleFunc("GET /debug/traces", h.traces)
+	h.mux.HandleFunc("GET /healthz", h.healthz)
+	h.mux.HandleFunc("GET /readyz", h.readyz)
 	h.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	h.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	h.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -65,6 +78,44 @@ func (h *Handler) slow(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
+// traces dumps the retained complete trace trees as JSON, oldest first.
+func (h *Handler) traces(w http.ResponseWriter, _ *http.Request) {
+	reg := h.eng.Opts.Obs
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled": reg.TracingEnabled(),
+		"total":   reg.TraceCount(),
+		"traces":  emptyNotNull(reg.Traces()),
+	})
+}
+
+// emptyNotNull keeps the traces field a JSON array even when empty.
+func emptyNotNull(t []obs.TraceTree) []obs.TraceTree {
+	if t == nil {
+		return []obs.TraceTree{}
+	}
+	return t
+}
+
+// healthz is the liveness probe: the process serves HTTP.
+func (h *Handler) healthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+// readyz is the readiness probe: the catalog answers a read-locked
+// snapshot and the engine's worker pool completes a trivial sweep within
+// the probe budget.
+func (h *Handler) readyz(w http.ResponseWriter, _ *http.Request) {
+	h.eng.Cat.RLock()
+	objects := len(h.eng.Cat.Stats())
+	h.eng.Cat.RUnlock()
+	if !h.eng.Ready(2 * time.Second) {
+		writeJSON(w, http.StatusServiceUnavailable,
+			map[string]any{"ok": false, "reason": "worker pool unresponsive"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "catalogObjects": objects})
+}
+
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.ServeHTTP(w, r) }
 
@@ -81,9 +132,13 @@ type queryResponse struct {
 	OK      bool                `json:"ok"`
 	Error   string              `json:"error,omitempty"`
 	Results []server.StmtResult `json:"results,omitempty"`
+	// TraceID reports the request's trace id when the engine's registry
+	// retains traces (also sent as the X-Trace-Id response header).
+	TraceID string `json:"traceId,omitempty"`
 }
 
 func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeJSON(w, http.StatusBadRequest, queryResponse{Error: "bad request: " + err.Error()})
@@ -103,13 +158,45 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, queryResponse{Error: err.Error()})
 		return
 	}
-	results, err := h.eng.ExecScript(req.Script, params)
+
+	// Request tracing: when the registry retains traces, the whole script
+	// runs under a "web" root span; an incoming W3C traceparent header
+	// joins the request to the caller's trace.
+	eng := h.eng
+	reg := h.eng.Opts.Obs
+	var tr *obs.Trace
+	var root *obs.Span
+	if reg.TracingEnabled() {
+		tid, parent, _ := obs.ParseTraceParent(r.Header.Get("traceparent"))
+		tr = obs.NewTrace(tid)
+		root = tr.SpanUnder(parent, "web", "/query")
+		eng = h.eng.WithTrace(tr, root)
+	}
+
+	results, err := eng.ExecScript(req.Script, params)
 	resp := queryResponse{OK: err == nil}
 	if err != nil {
 		resp.Error = err.Error()
 	}
 	for _, res := range results {
 		resp.Results = append(resp.Results, server.EncodeResult(res))
+	}
+	if tr != nil {
+		root.End()
+		resp.TraceID = tr.ID().String()
+		w.Header().Set("X-Trace-Id", resp.TraceID)
+		reg.ObserveTrace(tr)
+	}
+	if h.Log != nil {
+		code := ""
+		if !resp.OK {
+			code = "exec"
+		}
+		h.Log.Info("request",
+			"trace_id", resp.TraceID,
+			"op", "/query",
+			"code", code,
+			"elapsed_us", time.Since(start).Microseconds())
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
