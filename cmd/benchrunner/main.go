@@ -6,6 +6,12 @@
 // Usage:
 //
 //	benchrunner [-quick] [-exp E2,E3] [-json metrics.json]
+//	benchrunner [-quick] -compare BENCH_baseline.json [-threshold 0.25]
+//
+// With -compare the runner re-times the comparable benchmark set (the
+// Berlin query suite at scale factor 1 plus the IR codec) and exits
+// nonzero when any benchmark regressed more than -threshold versus the
+// baseline snapshot's "benchmarks" section.
 package main
 
 import (
@@ -32,10 +38,12 @@ import (
 )
 
 var (
-	quick    = flag.Bool("quick", false, "fewer repetitions and smaller scales")
-	only     = flag.String("exp", "", "comma-separated experiment ids to run (default all)")
-	jsonPath = flag.String("json", "", "write a JSON snapshot of the run's metrics registry to this file")
-	paramC   map[string]value.Value
+	quick     = flag.Bool("quick", false, "fewer repetitions and smaller scales")
+	only      = flag.String("exp", "", "comma-separated experiment ids to run (default all)")
+	jsonPath  = flag.String("json", "", "write a JSON snapshot of the run's metrics registry to this file")
+	compare   = flag.String("compare", "", "compare the benchmark set against this baseline snapshot and exit nonzero on regression")
+	threshold = flag.Float64("threshold", 0.25, "fractional slowdown tolerated by -compare (0.25 = 25%)")
+	paramC    map[string]value.Value
 
 	// reg accumulates engine and cluster metrics across every experiment
 	// of the run; -json snapshots it.
@@ -50,6 +58,13 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("benchrunner: GOMAXPROCS=%d, quick=%v\n", runtime.GOMAXPROCS(0), *quick)
+
+	if *compare != "" {
+		if !compareBaseline(*compare, *threshold) {
+			os.Exit(1)
+		}
+		return
+	}
 
 	experiments := []struct {
 		id  string
@@ -106,12 +121,111 @@ func writeSnapshot(path string, ran []string) error {
 		"quick":       *quick,
 		"experiments": ran,
 		"trace":       traceSummary(),
+		"benchmarks":  benchSet(),
 		"metrics":     reg.Snapshot(),
 	})
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
 	return err
+}
+
+// benchSet times the comparable benchmark set — the Berlin query suite
+// at scale factor 1 plus the IR codec round-trip — and returns median
+// wall times in nanoseconds, keyed by a stable name. The -json snapshot
+// embeds it and -compare re-times it against a stored snapshot.
+func benchSet() map[string]int64 {
+	out := make(map[string]int64)
+	e := loadBerlin(1, 0, true)
+	// Each sample times a batch of executions: single runs sit in the
+	// tens of microseconds, where scheduling noise would dominate.
+	const batch = 20
+	for _, q := range bsbm.Suite {
+		best := benchTime(func() {
+			for i := 0; i < batch; i++ {
+				if _, err := e.ExecScript(q.Script, paramC); err != nil {
+					fatal(fmt.Errorf("%s: %w", q.ID, err))
+				}
+			}
+		})
+		out["berlin_sf1/"+q.ID] = best.Nanoseconds() / batch
+	}
+	script, err := parser.Parse(bsbm.FullDDL + bsbm.Q1.Script)
+	if err != nil {
+		fatal(err)
+	}
+	const iters = 500
+	out["ir/roundtrip"] = benchTime(func() {
+		for i := 0; i < iters; i++ {
+			b, err := ir.Encode(script)
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := ir.Decode(b); err != nil {
+				fatal(err)
+			}
+		}
+	}).Nanoseconds() / iters
+	return out
+}
+
+// compareBaseline re-times the benchmark set and compares it to the
+// baseline snapshot's "benchmarks" section. It reports every benchmark
+// and returns false when any regressed beyond the threshold. Benchmarks
+// present on only one side are reported but never fail the run, so the
+// set can evolve without invalidating old baselines.
+func compareBaseline(path string, threshold float64) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	var snap struct {
+		Benchmarks map[string]int64 `json:"benchmarks"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Printf("%s has no benchmarks section; nothing to compare\n", path)
+		return true
+	}
+	current := benchSet()
+
+	names := make([]string, 0, len(snap.Benchmarks))
+	for name := range snap.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	ok := true
+	header("benchmark", "baseline", "current", "ratio", "verdict")
+	for _, name := range names {
+		base := snap.Benchmarks[name]
+		cur, found := current[name]
+		if !found {
+			row(name, dur(time.Duration(base)), "—", "—", "missing from current set")
+			continue
+		}
+		ratio := float64(cur) / float64(base)
+		verdict := "ok"
+		if ratio > 1+threshold {
+			verdict = fmt.Sprintf("REGRESSION (> %+.0f%%)", threshold*100)
+			ok = false
+		}
+		row(name, dur(time.Duration(base)), dur(time.Duration(cur)),
+			fmt.Sprintf("%.2f×", ratio), verdict)
+	}
+	for name := range current {
+		if _, found := snap.Benchmarks[name]; !found {
+			row(name, "—", dur(time.Duration(current[name])), "—", "new (not in baseline)")
+		}
+	}
+	if ok {
+		fmt.Printf("\nno benchmark regressed more than %.0f%% vs %s\n", threshold*100, path)
+	} else {
+		fmt.Printf("\nbenchmark regression detected vs %s\n", path)
+	}
+	return ok
 }
 
 // traceQuery is a linear chain ending in a subgraph so its trace crosses
@@ -216,6 +330,24 @@ func reps() int {
 		return 3
 	}
 	return 9
+}
+
+// benchTime returns the minimum wall time of fn after a warmup run —
+// the minimum is the stable estimator at microsecond scales, where the
+// median still jitters with scheduling noise. Used by the comparable
+// benchmark set so -compare verdicts are reproducible.
+func benchTime(fn func()) time.Duration {
+	fn() // warmup
+	n := reps() + 4
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		fn()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best
 }
 
 // timeIt returns the median wall time of fn over reps runs.

@@ -19,6 +19,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"graql/internal/client"
 	"graql/internal/obs"
@@ -27,11 +28,14 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:7687", "server address")
-		token     = flag.String("token", "", "auth token")
-		trace     = flag.Bool("trace", false, "originate a trace per request and print its id")
-		logLevel  = flag.String("log-level", "off", "structured log level: off | error | warn | info | debug")
-		logFormat = flag.String("log-format", "json", "structured log format: json | text")
+		addr        = flag.String("addr", "127.0.0.1:7687", "server address")
+		token       = flag.String("token", "", "auth token")
+		trace       = flag.Bool("trace", false, "originate a trace per request and print its id")
+		logLevel    = flag.String("log-level", "off", "structured log level: off | error | warn | info | debug")
+		logFormat   = flag.String("log-format", "json", "structured log format: json | text")
+		dialTimeout = flag.Duration("dial-timeout", 5*time.Second, "TCP connect timeout")
+		timeout     = flag.Duration("timeout", 0, "per-query deadline, propagated to the server as timeoutMs (0 = server default)")
+		retries     = flag.Int("retries", 2, "retries for idempotent requests and overloaded rejections (capped exponential backoff)")
 	)
 	flag.Parse()
 	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
@@ -42,7 +46,11 @@ func main() {
 		usage()
 	}
 
-	cl, err := client.Dial(*addr, *token)
+	cl, err := client.DialOptions(*addr, *token, client.Options{
+		DialTimeout:    *dialTimeout,
+		RequestTimeout: *timeout,
+		MaxRetries:     *retries,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -162,7 +170,11 @@ func printResults(resp *server.Response) {
 		}
 	}
 	if resp.Error != "" {
-		fmt.Fprintln(os.Stderr, "server error:", resp.Error)
+		if resp.Code != "" {
+			fmt.Fprintf(os.Stderr, "server error (%s): %s\n", resp.Code, resp.Error)
+		} else {
+			fmt.Fprintln(os.Stderr, "server error:", resp.Error)
+		}
 	}
 	if resp.TraceID != "" {
 		fmt.Fprintln(os.Stderr, "trace:", resp.TraceID)

@@ -12,13 +12,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"graql/internal/bsbm"
@@ -45,6 +48,11 @@ func main() {
 		logFormat    = flag.String("log-format", "json", "structured log format: json | text")
 		idleTimeout  = flag.Duration("idle-timeout", 5*time.Minute, "drop TCP sessions idle longer than this (0 = no limit)")
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-response TCP write deadline (0 = no limit)")
+		queryTimeout = flag.Duration("default-timeout", 0, "default per-query execution deadline when the client sends no timeoutMs (0 = none)")
+		maxTimeout   = flag.Duration("max-timeout", 5*time.Minute, "cap on the per-query deadline; client timeoutMs values are clamped to it (0 = no cap)")
+		maxInFlight  = flag.Int("max-inflight", 0, "admission control: max queries executing concurrently (0 = unlimited)")
+		maxQueue     = flag.Int("max-queue", 16, "admission control: queries waiting for a slot beyond -max-inflight before rejection")
+		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown window for in-flight queries on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -92,20 +100,29 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("gems-server listening on %s\n", ln.Addr())
+
+	// One admission gate bounds the process across both front-ends, and
+	// one Limits value gives them identical deadline semantics.
+	limits := server.Limits{DefaultTimeout: *queryTimeout, MaxTimeout: *maxTimeout}
+	gate := server.NewGate(*maxInFlight, *maxQueue, opts.Obs)
+
+	var hs *http.Server
 	if *httpAddr != "" {
+		fmt.Printf("web console on http://%s/\n", *httpAddr)
+		wh := web.New(eng)
+		wh.Log = logger
+		wh.Limits = limits
+		wh.Gate = gate
+		hs = &http.Server{
+			Addr:              *httpAddr,
+			Handler:           wh,
+			ReadHeaderTimeout: 10 * time.Second,
+			ReadTimeout:       time.Minute,
+			WriteTimeout:      2 * time.Minute,
+			IdleTimeout:       *idleTimeout,
+		}
 		go func() {
-			fmt.Printf("web console on http://%s/\n", *httpAddr)
-			wh := web.New(eng)
-			wh.Log = logger
-			hs := &http.Server{
-				Addr:              *httpAddr,
-				Handler:           wh,
-				ReadHeaderTimeout: 10 * time.Second,
-				ReadTimeout:       time.Minute,
-				WriteTimeout:      2 * time.Minute,
-				IdleTimeout:       *idleTimeout,
-			}
-			if err := hs.ListenAndServe(); err != nil {
+			if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "gems-server: web:", err)
 			}
 		}()
@@ -113,12 +130,53 @@ func main() {
 	srv := server.New(eng, *token)
 	srv.IdleTimeout = *idleTimeout
 	srv.WriteTimeout = *writeTimeout
+	srv.Limits = limits
+	srv.Gate = gate
 	srv.Log = logger
 	if logger != nil {
-		logger.Info("listening", "addr", ln.Addr().String(), "traces", *traces, "partitions", *partitions)
+		logger.Info("listening", "addr", ln.Addr().String(), "traces", *traces, "partitions", *partitions,
+			"default_timeout", queryTimeout.String(), "max_inflight", *maxInFlight)
 	}
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting, drain
+	// in-flight queries for the -drain window, cancel stragglers, then
+	// exit. A second signal aborts immediately. srv.Shutdown closes the
+	// TCP listener itself, which makes Serve below return nil.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan struct{})
+	go func() {
+		sig := <-sigs
+		if logger != nil {
+			logger.Info("shutting down", "signal", sig.String(), "drain", drain.String())
+		}
+		go func() {
+			<-sigs
+			os.Exit(1)
+		}()
+		httpDone := make(chan struct{})
+		go func() {
+			defer close(httpDone)
+			if hs != nil {
+				ctx, cancel := context.WithTimeout(context.Background(), *drain)
+				_ = hs.Shutdown(ctx)
+				cancel()
+			}
+		}()
+		srv.Shutdown(*drain)
+		<-httpDone
+		close(done)
+	}()
+
 	if err := srv.Serve(ln); err != nil {
 		fmt.Fprintln(os.Stderr, "gems-server:", err)
 		os.Exit(1)
+	}
+	// Serve returns nil only after Shutdown marked the server closed;
+	// wait for the drain to finish before exiting (flushes the final
+	// structured log lines).
+	<-done
+	if logger != nil {
+		logger.Info("server stopped")
 	}
 }

@@ -14,11 +14,14 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
 	"os"
 	"strings"
+	"time"
 
 	"graql"
 	"graql/internal/obs"
@@ -76,6 +79,7 @@ func main() {
 		slowQuery = flag.Duration("slow-query", 0, "log statements slower than this to stderr (e.g. 250ms; 0 disables)")
 		logLevel  = flag.String("log-level", "off", "structured log level: off | error | warn | info | debug")
 		logFormat = flag.String("log-format", "json", "structured log format: json | text")
+		timeout   = flag.Duration("timeout", 0, "abort script execution after this long (0 = no deadline)")
 		params    paramList
 	)
 	flag.Var(&params, "param", "query parameter name[:type]=value (repeatable)")
@@ -125,12 +129,12 @@ func main() {
 		if logger != nil {
 			logger.Info("run script", "files", flag.NArg(), "bytes", len(src))
 		}
-		if err := run(db, src, params.params, *outCSV, logger); err != nil {
+		if err := run(db, src, params.params, *outCSV, *timeout, logger); err != nil {
 			fatal(err)
 		}
 		return
 	}
-	repl(db, params.params)
+	repl(db, params.params, *timeout)
 }
 
 func readScript(args []string) (string, error) {
@@ -146,11 +150,22 @@ func readScript(args []string) (string, error) {
 	return b.String(), nil
 }
 
-func run(db *graql.DB, src string, params map[string]any, outCSV string, logger *slog.Logger) error {
-	results, err := db.ExecParams(src, params)
+func run(db *graql.DB, src string, params map[string]any, outCSV string, timeout time.Duration, logger *slog.Logger) error {
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	results, err := db.ExecParamsContext(ctx, src, params)
 	if logger != nil {
 		code := ""
-		if err != nil {
+		switch {
+		case errors.Is(err, graql.ErrDeadlineExceeded):
+			code = "deadline"
+		case errors.Is(err, graql.ErrCanceled):
+			code = "canceled"
+		case err != nil:
 			code = "exec"
 		}
 		logger.Info("script done", "statements", len(results), "code", code)
@@ -190,7 +205,7 @@ func printResult(r graql.Result) {
 	}
 }
 
-func repl(db *graql.DB, params map[string]any) {
+func repl(db *graql.DB, params map[string]any, timeout time.Duration) {
 	fmt.Println("GraQL shell — end a statement block with a blank line; ctrl-D exits.")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -206,7 +221,7 @@ func repl(db *graql.DB, params map[string]any) {
 			continue
 		}
 		if src := block.String(); strings.TrimSpace(src) != "" {
-			if err := run(db, src, params, "", nil); err != nil {
+			if err := run(db, src, params, "", timeout, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 			}
 		}

@@ -26,6 +26,7 @@
 package graql
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
@@ -35,6 +36,16 @@ import (
 	"graql/internal/exec"
 	"graql/internal/obs"
 	"graql/internal/value"
+)
+
+// Structured abort errors. Queries run through ExecContext (or a context
+// front-end path) return these when the context dies mid-execution; both
+// also match the corresponding context package sentinels with errors.Is.
+var (
+	// ErrCanceled reports a query aborted by context cancellation.
+	ErrCanceled = exec.ErrCanceled
+	// ErrDeadlineExceeded reports a query aborted by its deadline.
+	ErrDeadlineExceeded = exec.ErrDeadlineExceeded
 )
 
 // DB is an in-memory GraQL database: a catalog of tables, vertex/edge
@@ -146,14 +157,26 @@ func (db *DB) Exec(script string) ([]Result, error) {
 	return db.ExecParams(script, nil)
 }
 
+// ExecContext is Exec under a context: execution checks ctx
+// cooperatively (between statements and inside the parallel sweeps) and
+// aborts with ErrCanceled or ErrDeadlineExceeded when it dies.
+func (db *DB) ExecContext(ctx context.Context, script string) ([]Result, error) {
+	return db.ExecParamsContext(ctx, script, nil)
+}
+
 // ExecParams runs a script binding its %name% parameters. Supported
 // parameter types: string, int, int64, float64, bool, time.Time.
 func (db *DB) ExecParams(script string, params map[string]any) ([]Result, error) {
+	return db.ExecParamsContext(context.Background(), script, params)
+}
+
+// ExecParamsContext is ExecParams under a context.
+func (db *DB) ExecParamsContext(ctx context.Context, script string, params map[string]any) ([]Result, error) {
 	vp, err := convertParams(params)
 	if err != nil {
 		return nil, err
 	}
-	raw, err := db.eng.ExecScript(script, vp)
+	raw, err := db.eng.ExecScriptContext(ctx, script, vp)
 	out := make([]Result, len(raw))
 	for i, r := range raw {
 		out[i] = Result{r: r}

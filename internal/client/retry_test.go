@@ -1,0 +1,253 @@
+package client_test
+
+import (
+	"encoding/json"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"graql/internal/client"
+	"graql/internal/server"
+)
+
+// stubServer is a scriptable fake GEMS endpoint: the behave callback
+// sees every decoded request with its 1-based global sequence number
+// and either returns a response or asks for the connection to be
+// dropped mid-frame (simulating a network failure).
+type stubServer struct {
+	ln    net.Listener
+	seq   atomic.Int64
+	conns atomic.Int64
+}
+
+func startStub(t *testing.T, behave func(req server.Request, n int64) (resp server.Response, drop bool)) *stubServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &stubServer{ln: ln}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			st.conns.Add(1)
+			go func() {
+				defer conn.Close()
+				dec := json.NewDecoder(conn)
+				enc := json.NewEncoder(conn)
+				for {
+					var req server.Request
+					if err := dec.Decode(&req); err != nil {
+						return
+					}
+					resp, drop := behave(req, st.seq.Add(1))
+					if drop {
+						return
+					}
+					if err := enc.Encode(&resp); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return st
+}
+
+func (s *stubServer) addr() string { return s.ln.Addr().String() }
+
+// TestRetryOverloaded checks an "overloaded" rejection is retried with
+// backoff until the server admits the query.
+func TestRetryOverloaded(t *testing.T) {
+	var execs atomic.Int64
+	st := startStub(t, func(req server.Request, n int64) (server.Response, bool) {
+		if req.Op == "ping" {
+			return server.Response{OK: true}, false
+		}
+		if execs.Add(1) <= 2 {
+			return server.Response{Code: server.CodeOverloaded, Error: "server overloaded"}, false
+		}
+		return server.Response{OK: true}, false
+	})
+
+	cl, err := client.DialOptions(st.addr(), "", client.Options{
+		MaxRetries: 3, RetryBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	start := time.Now()
+	if _, err := cl.Exec("select 1", nil); err != nil {
+		t.Fatalf("exec after retries: %v", err)
+	}
+	if got := execs.Load(); got != 3 {
+		t.Errorf("exec attempts = %d, want 3 (2 rejections + success)", got)
+	}
+	// Two backoffs of at least 10ms and 20ms must have elapsed.
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("retries completed in %v, want >= 30ms of backoff", elapsed)
+	}
+}
+
+// TestOverloadedSurfacesWithoutRetries checks the structured code is
+// returned as-is when retries are disabled.
+func TestOverloadedSurfacesWithoutRetries(t *testing.T) {
+	st := startStub(t, func(req server.Request, n int64) (server.Response, bool) {
+		if req.Op == "ping" {
+			return server.Response{OK: true}, false
+		}
+		return server.Response{Code: server.CodeOverloaded, Error: "server overloaded"}, false
+	})
+
+	cl, err := client.Dial(st.addr(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	resp, err := cl.Exec("select 1", nil)
+	if err == nil {
+		t.Fatal("want overloaded error, got success")
+	}
+	if resp == nil || resp.Code != server.CodeOverloaded {
+		t.Fatalf("response = %+v, want code %q", resp, server.CodeOverloaded)
+	}
+}
+
+// TestRedialRetryIdempotent checks a dropped connection is redialed
+// and the idempotent request re-sent.
+func TestRedialRetryIdempotent(t *testing.T) {
+	var pings atomic.Int64
+	st := startStub(t, func(req server.Request, n int64) (server.Response, bool) {
+		if req.Op != "ping" {
+			return server.Response{OK: true}, false
+		}
+		// Drop the second ping (the first one after the dial handshake)
+		// mid-frame; answer every other one.
+		if pings.Add(1) == 2 {
+			return server.Response{}, true
+		}
+		return server.Response{OK: true}, false
+	})
+
+	cl, err := client.DialOptions(st.addr(), "", client.Options{
+		MaxRetries: 2, RetryBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Ping(); err != nil {
+		t.Fatalf("ping after redial: %v", err)
+	}
+	if got := st.conns.Load(); got < 2 {
+		t.Errorf("connections = %d, want >= 2 (client must have redialed)", got)
+	}
+}
+
+// TestNoRetryNonIdempotent checks a network failure during exec is NOT
+// retried: the script may have already run on the server.
+func TestNoRetryNonIdempotent(t *testing.T) {
+	var execs atomic.Int64
+	st := startStub(t, func(req server.Request, n int64) (server.Response, bool) {
+		if req.Op == "exec" {
+			execs.Add(1)
+			return server.Response{}, true
+		}
+		return server.Response{OK: true}, false
+	})
+
+	cl, err := client.DialOptions(st.addr(), "", client.Options{
+		MaxRetries: 3, RetryBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, err := cl.Exec("select 1", nil); err == nil {
+		t.Fatal("want network error, got success")
+	}
+	if got := execs.Load(); got != 1 {
+		t.Errorf("exec attempts = %d, want exactly 1 (no blind re-send)", got)
+	}
+}
+
+// TestTimeoutPropagation checks the session default RequestTimeout is
+// stamped onto execution requests as timeoutMs.
+func TestTimeoutPropagation(t *testing.T) {
+	var sawTimeout atomic.Int64
+	st := startStub(t, func(req server.Request, n int64) (server.Response, bool) {
+		if req.Op == "exec" {
+			sawTimeout.Store(int64(req.TimeoutMs))
+		}
+		return server.Response{OK: true}, false
+	})
+
+	cl, err := client.DialOptions(st.addr(), "", client.Options{
+		RequestTimeout: 1500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, err := cl.Exec("select 1", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := sawTimeout.Load(); got != 1500 {
+		t.Errorf("propagated timeoutMs = %d, want 1500", got)
+	}
+
+	// An explicit per-call timeout wins over the session default.
+	if _, err := cl.ExecTimeout("select 1", nil, 250*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := sawTimeout.Load(); got != 250 {
+		t.Errorf("explicit timeoutMs = %d, want 250", got)
+	}
+}
+
+// TestStuckServerReadDeadline checks the local read deadline frees a
+// client whose server accepted a request and then went silent.
+func TestStuckServerReadDeadline(t *testing.T) {
+	st := startStub(t, func(req server.Request, n int64) (server.Response, bool) {
+		if req.Op == "ping" {
+			return server.Response{OK: true}, false
+		}
+		// Go silent: never answer, keep the connection open.
+		time.Sleep(time.Hour)
+		return server.Response{}, true
+	})
+
+	cl, err := client.Dial(st.addr(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	start := time.Now()
+	_, err = cl.ExecTimeout("select 1", nil, 50*time.Millisecond)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("want read-deadline error, got success")
+	}
+	var nerr net.Error
+	if !errors.As(err, &nerr) || !nerr.Timeout() {
+		t.Errorf("error = %v, want a net timeout", err)
+	}
+	// Budget is timeoutMs (50ms) + the 2s read grace; it must trip well
+	// before the stub's one-hour nap.
+	if elapsed > 10*time.Second {
+		t.Errorf("stuck request took %v, want ~2s", elapsed)
+	}
+}

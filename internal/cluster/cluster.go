@@ -15,6 +15,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"log/slog"
 	"strconv"
@@ -56,6 +57,24 @@ type Cluster struct {
 	obs      *obs.Registry
 	span     *obs.Span
 	log      *slog.Logger
+	ctx      context.Context
+}
+
+// SetContext attaches a cancellation context; Traverse then aborts
+// between BSP supersteps once the context is done, and in-flight
+// expansion rounds drain early. nil (the default) disables the checks.
+func (c *Cluster) SetContext(ctx context.Context) { c.ctx = ctx }
+
+// ctxErr reports the attached context's error, wrapped so callers see
+// where the traversal stopped. Nil-safe.
+func (c *Cluster) ctxErr() error {
+	if c.ctx == nil {
+		return nil
+	}
+	if err := c.ctx.Err(); err != nil {
+		return fmt.Errorf("cluster: traversal aborted: %w", err)
+	}
+	return nil
 }
 
 // SetObs attaches an observability registry; every Traverse then also
@@ -159,6 +178,9 @@ func (c *Cluster) Traverse(startType *graph.VertexType, startFilter func(uint32)
 
 	// Forward pass.
 	for i, st := range steps {
+		if err := c.ctxErr(); err != nil {
+			return nil, stats, err
+		}
 		next := st.Edge.Dst
 		if !st.Forward {
 			next = st.Edge.Src
@@ -170,6 +192,9 @@ func (c *Cluster) Traverse(startType *graph.VertexType, startFilter func(uint32)
 	// index of each edge type (this is precisely why GEMS builds
 	// bidirectional indexes, §III-B).
 	for i := len(steps) - 1; i >= 0; i-- {
+		if err := c.ctxErr(); err != nil {
+			return nil, stats, err
+		}
 		st := steps[i]
 		back := Step{Edge: st.Edge, Forward: !st.Forward}
 		prevType := st.Edge.Src
@@ -178,6 +203,9 @@ func (c *Cluster) Traverse(startType *graph.VertexType, startFilter func(uint32)
 		}
 		reached := c.superstep("backward", i+1, sets[i+1], back, prevType.Count(), &stats)
 		sets[i].And(reached)
+	}
+	if err := c.ctxErr(); err != nil {
+		return nil, stats, err
 	}
 	c.recordStats(&stats)
 	return sets, stats, nil
@@ -271,6 +299,9 @@ func (c *Cluster) localFilterSet(n int, filter func(uint32) bool) *bitmap.Bitmap
 		go func(p int) {
 			defer wg.Done()
 			for v := uint32(0); v < uint32(n); v++ {
+				if v&1023 == 0 && c.ctx != nil && c.ctx.Err() != nil {
+					return
+				}
 				if c.owner(v, n) != p {
 					continue
 				}
@@ -300,6 +331,11 @@ func (c *Cluster) exchangeExpand(frontier *bitmap.Bitmap, st Step, outSize int, 
 			defer wg.Done()
 			bufs := make([][]uint32, c.parts)
 			seen := bitmap.New(outSize) // local dedup before sending
+			// Amortised cancellation poll: a dead context drains this
+			// node's expansion early; Traverse surfaces the abort after
+			// the round's barrier.
+			var tick uint32
+			dead := false
 			expand := func(v uint32) {
 				targets := c.neighbors(st, v)
 				for _, t := range targets {
@@ -315,9 +351,15 @@ func (c *Cluster) exchangeExpand(frontier *bitmap.Bitmap, st Step, outSize int, 
 				}
 			}
 			frontier.ForEach(func(v uint32) {
-				if c.owner(v, inSize) == p {
-					expand(v)
+				if dead || c.owner(v, inSize) != p {
+					return
 				}
+				tick++
+				if tick&1023 == 0 && c.ctx != nil && c.ctx.Err() != nil {
+					dead = true
+					return
+				}
+				expand(v)
 			})
 			sendBufs[p] = bufs
 		}(p)

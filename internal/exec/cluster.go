@@ -58,6 +58,7 @@ func (m *matcher) cullChainSetsCluster(chain []int) ([]*bitmap.Bitmap, error) {
 	}
 	cl.SetObs(m.e.Opts.Obs)
 	cl.SetLogger(m.e.Opts.Log)
+	cl.SetContext(m.e.ctx)
 
 	steps := make([]cluster.Step, 0, len(chain)-1)
 	for k := 0; k+1 < len(chain); k++ {
@@ -76,6 +77,11 @@ func (m *matcher) cullChainSetsCluster(chain []int) ([]*bitmap.Bitmap, error) {
 	cl.SetTraceSpan(sp)
 	sets, stats, err := cl.Traverse(m.nodeType[chain[0]], m.cands[chain[0]].Get, steps)
 	if err != nil {
+		// Map context aborts to the engine's structured sentinels so the
+		// cluster path reports the same error codes as the local sweeps.
+		if cerr := m.e.canceled(); cerr != nil {
+			err = cerr
+		}
 		sp.End()
 		return nil, err
 	}

@@ -65,6 +65,10 @@ func (m *matcher) expandFiltered(pe *sema.PEdge, forward bool, fromSet *bitmap.B
 			if inner != nil {
 				return
 			}
+			if err := w.poll(); err != nil {
+				inner = err
+				return
+			}
 			if forward {
 				nbr, eids := et.Forward().Neighbors(v)
 				w.edges += int64(len(nbr))
@@ -118,6 +122,10 @@ func (m *matcher) expandStep(pe *sema.PEdge, from, to int, fromSet *bitmap.Bitma
 				reached = bitmap.New(m.nodeType[to].Count())
 			}
 		}
+		// The BFS drains early on a dead context; reject its partial sets.
+		if err := m.e.canceled(); err != nil {
+			return nil, err
+		}
 	} else {
 		var err error
 		reached, err = m.expandFiltered(pe, pe.Src == from, fromSet)
@@ -152,6 +160,9 @@ func (m *matcher) cullChainSets(chain []int) ([]*bitmap.Bitmap, error) {
 	m.e.opSpan("scan", fmt.Sprintf("start at %s", stepName(pat, m.nodeType, chain[0]))).
 		Record(int64(start.Count()), time.Since(t0))
 	for k := 0; k+1 < len(chain); k++ {
+		if err := m.e.canceled(); err != nil {
+			return nil, err
+		}
 		a, b := chain[k], chain[k+1]
 		pe := chainEdge(pat, a, b)
 		t0 = time.Now()
@@ -167,6 +178,9 @@ func (m *matcher) cullChainSets(chain []int) ([]*bitmap.Bitmap, error) {
 	last := chain[len(chain)-1]
 	final[last] = fwd[last]
 	for k := len(chain) - 2; k >= 0; k-- {
+		if err := m.e.canceled(); err != nil {
+			return nil, err
+		}
 		a, b := chain[k], chain[k+1]
 		pe := chainEdge(pat, a, b)
 		t0 = time.Now()
@@ -229,6 +243,10 @@ func (m *matcher) markEdgesInSets(pe *sema.PEdge, srcSet, dstSet *bitmap.Bitmap,
 		var inner error
 		srcSet.ForEachRange(shards[si][0], shards[si][1], func(v uint32) {
 			if inner != nil {
+				return
+			}
+			if err := w.poll(); err != nil {
+				inner = err
 				return
 			}
 			nbr, eids := et.Forward().Neighbors(v)

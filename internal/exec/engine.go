@@ -8,6 +8,8 @@
 package exec
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -91,10 +93,12 @@ type Engine struct {
 	// registry). trace/parent are non-nil only on traced shallow copies
 	// (WithTrace for server request tracing, runExplainAnalyze's shadow
 	// engine); matcher and relational operators append operator spans to
-	// the trace, nested under parent when it is set.
+	// the trace, nested under parent when it is set. ctx is non-nil only
+	// on context-bound copies (WithContext); long-running loops poll it.
 	met    engineMetrics
 	trace  *obs.Trace
 	parent *obs.Span
+	ctx    context.Context
 
 	// ids is shared across traced forks so DDL advances one sequence.
 	ids *idAlloc
@@ -134,6 +138,9 @@ func (e *Engine) ExecScript(src string, params map[string]value.Value) ([]Result
 	}
 	var out []Result
 	for i, st := range script.Stmts {
+		if err := e.canceled(); err != nil {
+			return out, fmt.Errorf("statement %d: %w", i+1, err)
+		}
 		r, err := e.ExecStmt(st, params)
 		if err != nil {
 			return out, fmt.Errorf("statement %d: %w", i+1, err)
@@ -165,6 +172,13 @@ func (e *Engine) ExecStmt(st ast.Stmt, params map[string]value.Value) (Result, e
 	if sp != nil {
 		if err != nil {
 			sp.SetAttr("error", err.Error())
+			// Cancellation shows up in /debug/traces as an aborted span.
+			switch {
+			case errors.Is(err, ErrDeadlineExceeded):
+				sp.SetAttr("aborted", "deadline")
+			case errors.Is(err, ErrCanceled):
+				sp.SetAttr("aborted", "canceled")
+			}
 		}
 		switch {
 		case res.Kind == ResultTable && res.Table != nil:
@@ -183,6 +197,9 @@ func (e *Engine) ExecStmt(st ast.Stmt, params map[string]value.Value) (Result, e
 // that independent statements of a script can run concurrently (§III-B1),
 // re-acquiring the write lock only to register an "into" result.
 func (e *Engine) execStmt(st ast.Stmt, params map[string]value.Value) (Result, error) {
+	if err := e.canceled(); err != nil {
+		return Result{}, err
+	}
 	if _, isSelect := st.(*ast.Select); !isSelect || e.Opts.CheckOnly {
 		e.Cat.Lock()
 		defer e.Cat.Unlock()
@@ -253,7 +270,7 @@ func (e *Engine) ExecScriptStaged(src string, params map[string]value.Value) ([]
 	errs := make([]error, len(script.Stmts))
 	for _, stage := range plan.Stages(script) {
 		stage := stage
-		_ = runShards(&e.met, len(stage), e.Opts.workers(), func(k int) error {
+		_ = runShards(e.ctx, &e.met, len(stage), e.Opts.workers(), func(k int) error {
 			i := stage[k]
 			results[i], errs[i] = e.ExecStmt(script.Stmts[i], params)
 			return nil

@@ -74,6 +74,8 @@ type wstate struct {
 	edges   int64 // edge-index entries walked
 	idxHit  int64 // reverse traversals served by a reverse index
 	idxMiss int64 // reverse traversals degraded to edge scans
+	// tick drives the amortised cooperative cancellation poll (cancel.go).
+	tick uint32
 }
 
 type regexKey struct {
@@ -262,6 +264,9 @@ func (m *matcher) candidates(node int) (*bitmap.Bitmap, error) {
 		w := &wstate{m: m, b: make([]uint32, len(m.pat.Nodes)+len(m.pat.Edges))}
 		w.scanned = int64(hi - lo)
 		for v := lo; v < hi; v++ {
+			if err := w.poll(); err != nil {
+				return err
+			}
 			if seed != nil && !seed.Get(v) {
 				continue
 			}
@@ -353,6 +358,10 @@ func (m *matcher) matchAll(nShards int, sink func(shard int, b []uint32) error) 
 		var inner error
 		cand.ForEachRange(shards[si][0], shards[si][1], func(v uint32) {
 			if inner != nil {
+				return
+			}
+			if err := w.poll(); err != nil {
+				inner = err
 				return
 			}
 			w.b[first.Node] = v
@@ -447,6 +456,12 @@ func (m *matcher) expand(w *wstate, depth int, emit func([]uint32) error) error 
 }
 
 func (m *matcher) expandStepAt(w *wstate, depth int, emit func([]uint32) error) error {
+	// One amortised context poll per binding attempt: deep enumeration
+	// (the combinatorial worst case) passes through here constantly, so a
+	// canceled query unwinds promptly even when no sweep boundary is near.
+	if err := w.poll(); err != nil {
+		return err
+	}
 	v := m.order[depth]
 	if v.Via < 0 {
 		// New component (defensive; sema guarantees connectivity).

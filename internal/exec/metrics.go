@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"time"
 
 	"graql/internal/ast"
@@ -17,6 +18,8 @@ type engineMetrics struct {
 	statements *obs.Counter // every executed statement
 	queries    *obs.Counter // select statements only
 	errors     *obs.Counter
+	canceled   *obs.Counter // statements aborted by context cancellation
+	timedOut   *obs.Counter // statements aborted by deadline expiry
 
 	rowsScanned    *obs.Counter // candidate-scan and table-scan rows visited
 	edgesTraversed *obs.Counter // edge-index entries walked
@@ -38,6 +41,8 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 	m.statements = reg.Counter("graql_statements_total", "GraQL statements executed")
 	m.queries = reg.Counter("graql_queries_total", "GraQL select statements executed")
 	m.errors = reg.Counter("graql_statement_errors_total", "GraQL statements that returned an error")
+	m.canceled = reg.Counter("graql_queries_canceled_total", "GraQL statements aborted by context cancellation")
+	m.timedOut = reg.Counter("graql_queries_timeout_total", "GraQL statements aborted by deadline expiry")
 	m.rowsScanned = reg.Counter("graql_rows_scanned_total", "table and vertex-candidate rows scanned")
 	m.edgesTraversed = reg.Counter("graql_edges_traversed_total", "edge-index entries traversed during matching")
 	m.indexHits = reg.Counter("graql_reverse_index_hits_total", "reverse traversals served by a reverse index")
@@ -87,6 +92,12 @@ func (m *engineMetrics) observeStmt(st ast.Stmt, elapsed time.Duration, err erro
 	m.statements.Inc()
 	if err != nil {
 		m.errors.Inc()
+		switch {
+		case errors.Is(err, ErrDeadlineExceeded):
+			m.timedOut.Inc()
+		case errors.Is(err, ErrCanceled):
+			m.canceled.Inc()
+		}
 	}
 	if _, ok := st.(*ast.Select); ok {
 		m.queries.Inc()

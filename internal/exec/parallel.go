@@ -1,6 +1,9 @@
 package exec
 
-import "sync"
+import (
+	"context"
+	"sync"
+)
 
 // shardRanges splits [0, n) into k near-equal contiguous ranges for
 // data-parallel sweeps over vertex id spaces.
@@ -30,10 +33,13 @@ func shardRanges(n, k int) [][2]uint32 {
 }
 
 // runShards executes fn over each shard index on a pool of `workers`
-// goroutines and returns the first error. met (nil-safe) accumulates
-// sweep/shard counts and tracks worker utilisation through the
-// graql_parallel_active_workers gauge.
-func runShards(met *engineMetrics, shards, workers int, fn func(shard int) error) error {
+// goroutines and returns the first error. A non-nil ctx is polled at
+// every shard boundary, so a canceled sweep stops scheduling work and
+// returns the structured abort error promptly (shards also poll
+// internally via wstate.poll for long per-shard loops). met (nil-safe)
+// accumulates sweep/shard counts and tracks worker utilisation through
+// the graql_parallel_active_workers gauge.
+func runShards(ctx context.Context, met *engineMetrics, shards, workers int, fn func(shard int) error) error {
 	if shards == 0 {
 		return nil
 	}
@@ -45,6 +51,9 @@ func runShards(met *engineMetrics, shards, workers int, fn func(shard int) error
 		met.workerUp()
 		defer met.workerDown()
 		for s := 0; s < shards; s++ {
+			if err := contextErr(ctx); err != nil {
+				return err
+			}
 			if err := fn(s); err != nil {
 				return err
 			}
@@ -68,6 +77,13 @@ func runShards(met *engineMetrics, shards, workers int, fn func(shard int) error
 		next++
 		return s
 	}
+	fail := func(err error) {
+		mu.Lock()
+		if first == nil {
+			first = err
+		}
+		mu.Unlock()
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -75,16 +91,16 @@ func runShards(met *engineMetrics, shards, workers int, fn func(shard int) error
 			met.workerUp()
 			defer met.workerDown()
 			for {
+				if err := contextErr(ctx); err != nil {
+					fail(err)
+					return
+				}
 				s := grab()
 				if s < 0 {
 					return
 				}
 				if err := fn(s); err != nil {
-					mu.Lock()
-					if first == nil {
-						first = err
-					}
-					mu.Unlock()
+					fail(err)
 					return
 				}
 			}

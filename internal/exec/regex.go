@@ -170,7 +170,9 @@ func (m *matcher) forwardReach(rx *sema.Regex, srcType *graph.VertexType, srcSet
 	if fresh := visited.addNew(mc.stateID(0, 0), srcType, srcSet); fresh != nil {
 		queue = append(queue, item{mc.stateID(0, 0), srcType})
 	}
-	for len(queue) > 0 {
+	// A dead context drains the queue early; callers observe the abort at
+	// their next poll and discard the partial reachability sets.
+	for len(queue) > 0 && contextErr(m.e.ctx) == nil {
 		it := queue[0]
 		queue = queue[1:]
 		pos, rep := mc.posRep(it.state)
@@ -229,7 +231,7 @@ func (m *matcher) backwardReach(rx *sema.Regex, dstType *graph.VertexType, dstSe
 			queue = append(queue, item{mc.stateID(0, rep), dstType})
 		}
 	}
-	for len(queue) > 0 {
+	for len(queue) > 0 && contextErr(m.e.ctx) == nil {
 		it := queue[0]
 		queue = queue[1:]
 		// Find forward transitions landing in it.state and walk them

@@ -63,12 +63,12 @@ func (e *Engine) opSpan(action, detail string) *obs.Span {
 // omits sweep spans so its plan table keeps one row per operator.
 func (e *Engine) runSweep(detail string, shards, workers int, fn func(shard int) error) error {
 	if e.parent == nil {
-		return runShards(&e.met, shards, workers, fn)
+		return runShards(e.ctx, &e.met, shards, workers, fn)
 	}
 	sp := e.parent.Child("sweep", detail)
 	sp.SetAttr("shards", strconv.Itoa(shards))
 	sp.SetAttr("workers", strconv.Itoa(workers))
-	err := runShards(&e.met, shards, workers, fn)
+	err := runShards(e.ctx, &e.met, shards, workers, fn)
 	sp.End()
 	return err
 }
@@ -92,7 +92,7 @@ func (e *Engine) Ready(timeout time.Duration) bool {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		_ = runShards(&e.met, 1, e.Opts.workers(), func(int) error { return nil })
+		_ = runShards(nil, &e.met, 1, e.Opts.workers(), func(int) error { return nil })
 	}()
 	select {
 	case <-done:

@@ -10,6 +10,7 @@
 package server
 
 import (
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
@@ -17,6 +18,7 @@ import (
 	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"graql/internal/ast"
@@ -52,6 +54,10 @@ type Request struct {
 	// that trace (under the client's span, if one was given); otherwise a
 	// fresh trace id is assigned. Echoed back in Response.TraceID.
 	Trace string `json:"traceId,omitempty"`
+	// TimeoutMs optionally bounds this request's execution in
+	// milliseconds. It overrides the server's default query timeout and
+	// is clamped to the server's maximum; zero means "use the default".
+	TimeoutMs int `json:"timeoutMs,omitempty"`
 }
 
 // StmtResult is one statement's outcome on the wire.
@@ -80,13 +86,17 @@ const (
 	CodeParse      = "parse"       // lexing, parsing or static analysis
 	CodeBadRequest = "bad_request" // malformed parameters, IR or op
 	CodeExec       = "exec"        // statement execution failed
+	CodeCanceled   = "canceled"    // execution aborted by cancellation (e.g. shutdown)
+	CodeDeadline   = "deadline"    // execution aborted by the query deadline
+	CodeOverloaded = "overloaded"  // rejected by admission control; retry after backoff
 )
 
 // Response is one server frame.
 type Response struct {
 	OK bool `json:"ok"`
 	// Error is the human-readable failure; Code classifies it (auth |
-	// parse | bad_request | exec) for programmatic handling.
+	// parse | bad_request | exec | canceled | deadline | overloaded)
+	// for programmatic handling.
 	Error   string         `json:"error,omitempty"`
 	Code    string         `json:"code,omitempty"`
 	Results []StmtResult   `json:"results,omitempty"`
@@ -107,6 +117,31 @@ func fail(code, format string, args ...any) *Response {
 	return &Response{Code: code, Error: fmt.Sprintf(format, args...)}
 }
 
+// Limits configures per-query deadlines and admission control. The zero
+// value imposes no limits.
+type Limits struct {
+	// DefaultTimeout bounds each request's execution when the client
+	// sends no timeoutMs. Zero means no default deadline.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps the effective deadline, clamping client-supplied
+	// timeoutMs values (and the default). Zero means no cap.
+	MaxTimeout time.Duration
+}
+
+// TimeoutFor resolves the effective execution budget for one request:
+// the client's timeoutMs when given, otherwise the default, clamped to
+// the maximum. Zero means "no deadline".
+func (l Limits) TimeoutFor(timeoutMs int) time.Duration {
+	d := l.DefaultTimeout
+	if timeoutMs > 0 {
+		d = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if l.MaxTimeout > 0 && (d == 0 || d > l.MaxTimeout) {
+		d = l.MaxTimeout
+	}
+	return d
+}
+
 // Server is a GEMS front-end bound to one engine.
 type Server struct {
 	eng   *exec.Engine
@@ -118,25 +153,68 @@ type Server struct {
 	IdleTimeout  time.Duration
 	WriteTimeout time.Duration
 
+	// Limits configures per-query deadlines. Set before Serve.
+	Limits Limits
+
+	// Gate, when non-nil, admission-controls the execution ops ("exec",
+	// "execir"); overflow requests fail with CodeOverloaded. Share one
+	// gate between the TCP and HTTP front-ends to bound the process
+	// globally. Set before Serve.
+	Gate *Gate
+
 	// Log, when non-nil, receives one structured line per request
 	// (trace_id, op, code, elapsed_us) plus connection lifecycle events
 	// at debug level. Set before Serve.
 	Log *slog.Logger
 
-	mu     sync.Mutex
-	closed bool
-	conns  map[net.Conn]bool
+	// baseCtx parents every request context; Shutdown cancels it to
+	// abort in-flight queries after the drain window.
+	baseCtx   context.Context
+	cancelAll context.CancelFunc
+	active    atomic.Int64 // requests currently being handled
+
+	mu        sync.Mutex
+	closed    bool
+	conns     map[net.Conn]bool
+	listeners map[net.Listener]bool
 }
 
 // New returns a server over the engine. A non-empty token enables
 // authentication: every request must carry it.
 func New(eng *exec.Engine, token string) *Server {
-	return &Server{eng: eng, token: token, conns: make(map[net.Conn]bool)}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		eng: eng, token: token,
+		conns:     make(map[net.Conn]bool),
+		listeners: make(map[net.Listener]bool),
+		baseCtx:   ctx, cancelAll: cancel,
+	}
+}
+
+// requestCtx derives one request's context from the server's base
+// context and the resolved timeout.
+func (s *Server) requestCtx(timeoutMs int) (context.Context, context.CancelFunc) {
+	if d := s.Limits.TimeoutFor(timeoutMs); d > 0 {
+		return context.WithTimeout(s.baseCtx, d)
+	}
+	return context.WithCancel(s.baseCtx)
 }
 
 // Serve accepts connections on ln until Close (or a permanent accept
 // error) and serves each connection on its own goroutine.
 func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.listeners[ln] = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, ln)
+		s.mu.Unlock()
+	}()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -160,15 +238,61 @@ func (s *Server) Serve(ln net.Listener) error {
 	}
 }
 
-// Close terminates all active connections. The listener passed to Serve
-// must be closed by the caller (Serve then returns nil).
+// Close terminates all active connections and cancels in-flight
+// queries immediately. The listener passed to Serve must be closed by
+// the caller (Serve then returns nil). For a graceful stop use Shutdown.
 func (s *Server) Close() {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.closed = true
 	for c := range s.conns {
 		c.Close()
 	}
+	s.mu.Unlock()
+	s.cancelAll()
+}
+
+// Shutdown stops the server gracefully: it closes the listeners (no new
+// connections), waits up to drain for in-flight requests to finish,
+// cancels whatever is still running (those requests fail with
+// CodeCanceled), and finally closes the remaining connections. It
+// returns true when everything drained within the window.
+func (s *Server) Shutdown(drain time.Duration) bool {
+	s.mu.Lock()
+	s.closed = true
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	s.mu.Unlock()
+
+	drained := s.awaitIdle(drain)
+	s.cancelAll()
+	if !drained {
+		// Give canceled requests a moment to write their error frames
+		// before the connections go away.
+		s.awaitIdle(time.Second)
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if s.Log != nil {
+		s.Log.Info("server shutdown", "drained", drained)
+	}
+	return drained
+}
+
+// awaitIdle polls until no request is being handled or the window
+// elapses.
+func (s *Server) awaitIdle(window time.Duration) bool {
+	deadline := time.Now().Add(window)
+	for s.active.Load() > 0 {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return true
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -195,13 +319,21 @@ func (s *Server) serveConn(conn net.Conn) {
 			return // EOF, timeout or broken frame: drop the session
 		}
 		start := time.Now()
-		resp := s.handle(&req)
+		s.active.Add(1)
+		ctx, cancel := s.requestCtx(req.TimeoutMs)
+		resp := s.handle(ctx, &req)
+		cancel()
 		resp.ElapsedUs = time.Since(start).Microseconds()
 		s.logRequest(&req, resp)
 		if s.WriteTimeout > 0 {
 			_ = conn.SetWriteDeadline(time.Now().Add(s.WriteTimeout))
 		}
-		if err := enc.Encode(resp); err != nil {
+		// The request counts as active until its response frame is on
+		// the wire, so a graceful drain never closes the connection
+		// between handling and writing.
+		err := enc.Encode(resp)
+		s.active.Add(-1)
+		if err != nil {
 			return
 		}
 	}
@@ -227,14 +359,14 @@ func (s *Server) logRequest(req *Request, resp *Response) {
 	}
 }
 
-func (s *Server) handle(req *Request) *Response {
+func (s *Server) handle(ctx context.Context, req *Request) *Response {
 	if s.token != "" && req.Auth != s.token {
 		return fail(CodeAuth, "authentication failed")
 	}
 	if s.eng.Opts.Obs.TracingEnabled() && traceableOp(req.Op) {
-		return s.handleTraced(req)
+		return s.handleTraced(ctx, req)
 	}
-	return s.dispatch(req, s.eng)
+	return s.dispatch(ctx, req, s.eng)
 }
 
 // traceableOp reports whether an op produces a trace tree. ping and the
@@ -254,11 +386,11 @@ func traceableOp(op string) bool {
 // A client-supplied traceparent (Request.Trace) contributes the trace id
 // and the remote parent span id, so the server's tree joins a trace the
 // client originated.
-func (s *Server) handleTraced(req *Request) *Response {
+func (s *Server) handleTraced(ctx context.Context, req *Request) *Response {
 	tid, parent, _ := obs.ParseTraceParent(req.Trace)
 	tr := obs.NewTrace(tid)
 	root := tr.SpanUnder(parent, "server", req.Op)
-	resp := s.dispatch(req, s.eng.WithTrace(tr, root))
+	resp := s.dispatch(ctx, req, s.eng.WithTrace(tr, root))
 	root.End()
 	resp.TraceID = tr.ID().String()
 	s.eng.Opts.Obs.ObserveTrace(tr)
@@ -267,12 +399,22 @@ func (s *Server) handleTraced(req *Request) *Response {
 
 // dispatch routes one request to its handler, executing on eng (the
 // base engine, or a traced fork of it).
-func (s *Server) dispatch(req *Request, eng *exec.Engine) *Response {
+func (s *Server) dispatch(ctx context.Context, req *Request, eng *exec.Engine) *Response {
 	switch req.Op {
 	case "ping":
 		return &Response{OK: true}
-	case "exec":
-		return s.execScript(req, eng)
+	case "exec", "execir":
+		// Only the execution ops pass admission control: the metadata and
+		// observability reads are cheap and must stay responsive when the
+		// engine is saturated.
+		if err := s.Gate.Acquire(ctx); err != nil {
+			return admissionFailure(err)
+		}
+		defer s.Gate.Release()
+		if req.Op == "exec" {
+			return s.execScript(ctx, req, eng)
+		}
+		return s.execIR(ctx, req, eng)
 	case "check":
 		if err := s.checkScript(req.Script); err != nil {
 			return fail(CodeParse, "%v", err)
@@ -280,8 +422,6 @@ func (s *Server) dispatch(req *Request, eng *exec.Engine) *Response {
 		return &Response{OK: true, Results: []StmtResult{{Message: "script is statically valid"}}}
 	case "compile":
 		return s.compile(req)
-	case "execir":
-		return s.execIR(req, eng)
 	case "stats":
 		return s.stats()
 	case "metrics":
@@ -292,6 +432,20 @@ func (s *Server) dispatch(req *Request, eng *exec.Engine) *Response {
 	return fail(CodeBadRequest, "unknown op %q", req.Op)
 }
 
+// admissionFailure maps a Gate.Acquire error to its wire form: a full
+// queue is "overloaded"; a deadline that expired while queued reports
+// the same codes execution would.
+func admissionFailure(err error) *Response {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return fail(CodeOverloaded, "%v", err)
+	case errors.Is(err, context.DeadlineExceeded):
+		return fail(CodeDeadline, "query deadline exceeded while queued for admission")
+	default:
+		return fail(CodeCanceled, "query canceled while queued for admission")
+	}
+}
+
 // metrics renders the engine's observability registry in the Prometheus
 // text format; without a registry the exposition is empty but the call
 // still succeeds.
@@ -299,7 +453,7 @@ func (s *Server) metrics() *Response {
 	return &Response{OK: true, Metrics: s.eng.Opts.Obs.PrometheusText()}
 }
 
-func (s *Server) execScript(req *Request, eng *exec.Engine) *Response {
+func (s *Server) execScript(ctx context.Context, req *Request, eng *exec.Engine) *Response {
 	params, err := decodeParams(req.Params)
 	if err != nil {
 		return fail(CodeBadRequest, "%v", err)
@@ -319,7 +473,7 @@ func (s *Server) execScript(req *Request, eng *exec.Engine) *Response {
 	if err != nil {
 		return fail(CodeExec, "%v", err)
 	}
-	return run(eng, decoded, params)
+	return run(ctx, eng, decoded, params)
 }
 
 func (s *Server) checkScript(src string) error {
@@ -341,7 +495,7 @@ func (s *Server) compile(req *Request) *Response {
 	return &Response{OK: true, IR: base64.StdEncoding.EncodeToString(blob)}
 }
 
-func (s *Server) execIR(req *Request, eng *exec.Engine) *Response {
+func (s *Server) execIR(ctx context.Context, req *Request, eng *exec.Engine) *Response {
 	params, err := decodeParams(req.Params)
 	if err != nil {
 		return fail(CodeBadRequest, "%v", err)
@@ -354,15 +508,29 @@ func (s *Server) execIR(req *Request, eng *exec.Engine) *Response {
 	if err != nil {
 		return fail(CodeBadRequest, "%v", err)
 	}
-	return run(eng, script, params)
+	return run(ctx, eng, script, params)
 }
 
-func run(eng *exec.Engine, script *ast.Script, params map[string]value.Value) *Response {
+// ErrorCode classifies an execution error for the wire: context aborts
+// map to their structured codes, everything else is a plain exec
+// failure. Shared with the HTTP front-end.
+func ErrorCode(err error) string {
+	switch {
+	case errors.Is(err, exec.ErrDeadlineExceeded):
+		return CodeDeadline
+	case errors.Is(err, exec.ErrCanceled):
+		return CodeCanceled
+	default:
+		return CodeExec
+	}
+}
+
+func run(ctx context.Context, eng *exec.Engine, script *ast.Script, params map[string]value.Value) *Response {
 	resp := &Response{}
 	for i, st := range script.Stmts {
-		r, err := eng.ExecStmt(st, params)
+		r, err := eng.ExecStmtContext(ctx, st, params)
 		if err != nil {
-			resp.Code = CodeExec
+			resp.Code = ErrorCode(err)
 			resp.Error = fmt.Sprintf("statement %d: %v", i+1, err)
 			return resp
 		}

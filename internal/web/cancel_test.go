@@ -1,0 +1,145 @@
+package web_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"graql/internal/exec"
+	"graql/internal/server"
+	"graql/internal/web"
+)
+
+// denseWebServer serves the dense synthetic graph (slow unanchored
+// 3-hop enumerations) over HTTP with the given limits and gate.
+func denseWebServer(t *testing.T, limits server.Limits, gate *server.Gate) *httptest.Server {
+	t.Helper()
+	eng := exec.New(exec.DefaultOptions())
+	if _, err := eng.ExecScript(`
+create table Nodes(id varchar(8))
+create table Links(src varchar(8), dst varchar(8))
+create vertex N(id) from table Nodes
+create edge link with vertices (N as A, N as B)
+from table Links
+where Links.src = A.id and Links.dst = B.id
+`, nil); err != nil {
+		t.Fatal(err)
+	}
+	const n, fanout = 150, 15
+	var nodes, links strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&nodes, "v%d\n", i)
+		for j := 0; j < fanout; j++ {
+			fmt.Fprintf(&links, "v%d,v%d\n", i, (i*7+j*13+1)%n)
+		}
+	}
+	if err := eng.IngestReader("Nodes", strings.NewReader(nodes.String())); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.IngestReader("Links", strings.NewReader(links.String())); err != nil {
+		t.Fatal(err)
+	}
+	h := web.New(eng)
+	h.Limits = limits
+	h.Gate = gate
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+const webSlowQuery = `select a.id as src, d.id as dst from graph def a: N ( ) --link--> N ( ) --link--> N ( ) --link--> def d: N ( ) into table SlowT`
+
+func postRaw(t *testing.T, ts *httptest.Server, body string) (int, http.Header, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, out
+}
+
+// TestWebDeadline checks a per-request timeoutMs aborts an expensive
+// query with the structured "deadline" code over HTTP.
+func TestWebDeadline(t *testing.T) {
+	ts := denseWebServer(t, server.Limits{}, nil)
+
+	start := time.Now()
+	status, _, out := postRaw(t, ts,
+		`{"script": `+jsonQuote(webSlowQuery)+`, "timeoutMs": 50}`)
+	elapsed := time.Since(start)
+
+	if status != http.StatusOK {
+		t.Fatalf("status = %d, want 200 (structured error in body)", status)
+	}
+	if out["ok"] == true {
+		t.Fatal("want deadline error, got success")
+	}
+	if out["code"] != server.CodeDeadline {
+		t.Fatalf("code = %v, want %q (body: %v)", out["code"], server.CodeDeadline, out)
+	}
+	if elapsed > 500*time.Millisecond {
+		t.Errorf("deadline round trip took %v, want < 500ms", elapsed)
+	}
+}
+
+// TestWebDefaultDeadline checks the handler's default limit applies
+// when the request does not carry its own timeoutMs.
+func TestWebDefaultDeadline(t *testing.T) {
+	ts := denseWebServer(t, server.Limits{DefaultTimeout: 50 * time.Millisecond}, nil)
+
+	_, _, out := postRaw(t, ts, `{"script": `+jsonQuote(webSlowQuery)+`}`)
+	if out["code"] != server.CodeDeadline {
+		t.Fatalf("code = %v, want %q (body: %v)", out["code"], server.CodeDeadline, out)
+	}
+}
+
+// TestWebOverloaded saturates a 1-slot gate and checks the concurrent
+// HTTP query gets a 503 with the "overloaded" code and a Retry-After
+// hint, while the slow occupant still completes.
+func TestWebOverloaded(t *testing.T) {
+	gate := server.NewGate(1, 0, nil)
+	ts := denseWebServer(t, server.Limits{}, gate)
+
+	slowDone := make(chan map[string]any, 1)
+	go func() {
+		_, _, out := postRaw(t, ts, `{"script": `+jsonQuote(webSlowQuery)+`}`)
+		slowDone <- out
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for gate.InFlight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("slow query never acquired the gate")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	status, hdr, out := postRaw(t, ts, `{"script": `+jsonQuote(webSlowQuery)+`}`)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", status)
+	}
+	if out["code"] != server.CodeOverloaded {
+		t.Fatalf("code = %v, want %q", out["code"], server.CodeOverloaded)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("want a Retry-After header on overloaded responses")
+	}
+
+	if out := <-slowDone; out["ok"] != true {
+		t.Fatalf("slow occupant failed: %v", out)
+	}
+}
+
+// jsonQuote JSON-quotes a script for embedding in a request body.
+func jsonQuote(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}

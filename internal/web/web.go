@@ -5,7 +5,9 @@
 package web
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"html/template"
 	"log/slog"
@@ -27,6 +29,15 @@ type Handler struct {
 	// Log, when non-nil, receives one structured line per /query request
 	// (trace_id, op, code, elapsed_us). Set before serving.
 	Log *slog.Logger
+
+	// Limits configures per-query deadlines for /query (same semantics
+	// as the TCP front-end). Set before serving.
+	Limits server.Limits
+
+	// Gate, when non-nil, admission-controls /query; overflow requests
+	// get 503 with code "overloaded". Share one gate with the TCP
+	// front-end to bound the process globally. Set before serving.
+	Gate *server.Gate
 }
 
 // New returns the front-end handler.
@@ -126,11 +137,18 @@ type queryRequest struct {
 	Params map[string]server.Param `json:"params,omitempty"`
 	// Check runs static analysis only.
 	Check bool `json:"check,omitempty"`
+	// TimeoutMs optionally bounds this request's execution in
+	// milliseconds; it overrides the handler's default timeout and is
+	// clamped to the maximum (same semantics as the TCP protocol).
+	TimeoutMs int `json:"timeoutMs,omitempty"`
 }
 
 type queryResponse struct {
-	OK      bool                `json:"ok"`
-	Error   string              `json:"error,omitempty"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Code classifies a failure with the TCP protocol's vocabulary
+	// (parse | bad_request | exec | canceled | deadline | overloaded).
+	Code    string              `json:"code,omitempty"`
 	Results []server.StmtResult `json:"results,omitempty"`
 	// TraceID reports the request's trace id when the engine's registry
 	// retains traces (also sent as the X-Trace-Id response header).
@@ -141,12 +159,13 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, queryResponse{Error: "bad request: " + err.Error()})
+		writeJSON(w, http.StatusBadRequest,
+			queryResponse{Code: server.CodeBadRequest, Error: "bad request: " + err.Error()})
 		return
 	}
 	if req.Check {
 		if err := exec.CheckScript(req.Script); err != nil {
-			writeJSON(w, http.StatusOK, queryResponse{Error: err.Error()})
+			writeJSON(w, http.StatusOK, queryResponse{Code: server.CodeParse, Error: err.Error()})
 			return
 		}
 		writeJSON(w, http.StatusOK, queryResponse{OK: true,
@@ -155,9 +174,37 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 	}
 	params, err := decodeParams(req.Params)
 	if err != nil {
-		writeJSON(w, http.StatusOK, queryResponse{Error: err.Error()})
+		writeJSON(w, http.StatusOK, queryResponse{Code: server.CodeBadRequest, Error: err.Error()})
 		return
 	}
+
+	// The request context carries both the per-query deadline and the
+	// connection's lifetime: a client that disconnects mid-query cancels
+	// the execution through r.Context().
+	ctx := r.Context()
+	if d := h.Limits.TimeoutFor(req.TimeoutMs); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	if err := h.Gate.Acquire(ctx); err != nil {
+		resp := queryResponse{Error: err.Error()}
+		status := http.StatusOK
+		switch {
+		case errors.Is(err, server.ErrOverloaded):
+			resp.Code = server.CodeOverloaded
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "1")
+		case errors.Is(err, context.DeadlineExceeded):
+			resp.Code = server.CodeDeadline
+		default:
+			resp.Code = server.CodeCanceled
+		}
+		h.logQuery(resp, start)
+		writeJSON(w, status, resp)
+		return
+	}
+	defer h.Gate.Release()
 
 	// Request tracing: when the registry retains traces, the whole script
 	// runs under a "web" root span; an incoming W3C traceparent header
@@ -173,10 +220,11 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 		eng = h.eng.WithTrace(tr, root)
 	}
 
-	results, err := eng.ExecScript(req.Script, params)
+	results, err := eng.ExecScriptContext(ctx, req.Script, params)
 	resp := queryResponse{OK: err == nil}
 	if err != nil {
 		resp.Error = err.Error()
+		resp.Code = server.ErrorCode(err)
 	}
 	for _, res := range results {
 		resp.Results = append(resp.Results, server.EncodeResult(res))
@@ -187,18 +235,21 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Trace-Id", resp.TraceID)
 		reg.ObserveTrace(tr)
 	}
-	if h.Log != nil {
-		code := ""
-		if !resp.OK {
-			code = "exec"
-		}
-		h.Log.Info("request",
-			"trace_id", resp.TraceID,
-			"op", "/query",
-			"code", code,
-			"elapsed_us", time.Since(start).Microseconds())
-	}
+	h.logQuery(resp, start)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// logQuery emits the per-request structured line with the shared schema
+// fields (trace_id, op, code, elapsed_us).
+func (h *Handler) logQuery(resp queryResponse, start time.Time) {
+	if h.Log == nil {
+		return
+	}
+	h.Log.Info("request",
+		"trace_id", resp.TraceID,
+		"op", "/query",
+		"code", resp.Code,
+		"elapsed_us", time.Since(start).Microseconds())
 }
 
 func (h *Handler) catalog(w http.ResponseWriter, _ *http.Request) {
