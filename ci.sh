@@ -1,15 +1,22 @@
 #!/bin/sh
-# CI gate: formatting, vet, build, the full test suite under the race
-# detector, a coverage floor, fuzz smoke tests, an advisory benchmark
-# comparison, and an end-to-end server smoke test. Run from the
-# repository root; fails fast on the first problem (except the advisory
-# benchmark step).
+# CI gate: formatting, vet, static analysis, build, the full test suite
+# under the race detector with a coverage floor, fuzz smoke tests, an
+# advisory benchmark comparison, and an end-to-end server smoke test.
+# Run from the repository root; fails fast on the first problem (except
+# the advisory benchmark step).
+#
+# Optional environment:
+#   CI_ARTIFACTS=dir   copy the coverage profile and benchmark-comparison
+#                      output there (the GitHub workflow uploads the dir)
+#   GITHUB_STEP_SUMMARY=file  append the benchmark comparison table (set
+#                      automatically by GitHub Actions)
+#   FUZZTIME=60s       longer fuzz smoke budget
 set -eu
 
 # Fail the run when total statement coverage drops below this floor
 # (percent). Raise it as coverage grows; never lower it to make a PR
 # pass.
-COVERAGE_FLOOR=64.0
+COVERAGE_FLOOR=71.0
 
 # Per-target budget for the fuzz smoke (override for longer local runs:
 # FUZZTIME=60s ./ci.sh).
@@ -26,11 +33,26 @@ fi
 echo "== go vet =="
 go vet ./...
 
+# Static analysis and vulnerability scanning gate the build wherever the
+# pinned tools are on PATH (the GitHub workflow installs them; see
+# .github/workflows/ci.yml). Local environments without the binaries
+# skip with a notice rather than downloading anything mid-run.
+echo "== staticcheck =="
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+else
+    echo "staticcheck not installed; skipping (CI runs it)"
+fi
+
+echo "== govulncheck =="
+if command -v govulncheck >/dev/null 2>&1; then
+    govulncheck ./...
+else
+    echo "govulncheck not installed; skipping (CI runs it)"
+fi
+
 echo "== go build =="
 go build ./...
-
-echo "== go test -race =="
-go test -race ./...
 
 # Everything below needs scratch space, and the smoke test starts a
 # background server. Install the cleanup trap BEFORE anything that can
@@ -48,10 +70,17 @@ cleanup() {
 }
 trap cleanup EXIT INT TERM
 
-echo "== coverage gate (floor ${COVERAGE_FLOOR}%) =="
-go test -coverprofile="$tmpdir/cover.out" ./... >/dev/null
+# One invocation runs the whole suite under the race detector AND
+# collects the coverage profile, halving test wall time versus separate
+# -race and -coverprofile passes.
+echo "== go test -race + coverage gate (floor ${COVERAGE_FLOOR}%) =="
+go test -race -coverprofile="$tmpdir/cover.out" ./...
 total=$(go tool cover -func="$tmpdir/cover.out" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
 echo "total statement coverage: ${total}%"
+if [ -n "${CI_ARTIFACTS:-}" ]; then
+    mkdir -p "$CI_ARTIFACTS"
+    cp "$tmpdir/cover.out" "$CI_ARTIFACTS/cover.out"
+fi
 if awk "BEGIN {exit !($total < $COVERAGE_FLOOR)}"; then
     echo "coverage ${total}% is below the floor of ${COVERAGE_FLOOR}%" >&2
     exit 1
@@ -65,8 +94,28 @@ echo "== benchmark comparison (advisory) =="
 # Timing on shared CI runners is too noisy to gate merges on, so a
 # regression here warns but does not fail the build. Investigate any
 # REGRESSION rows locally with: go run ./cmd/benchrunner -compare ...
-if ! go run ./cmd/benchrunner -quick -compare BENCH_baseline.json; then
+bench_status=0
+go run ./cmd/benchrunner -quick -compare BENCH_baseline.json \
+    >"$tmpdir/bench-compare.md" 2>&1 || bench_status=$?
+cat "$tmpdir/bench-compare.md"
+if [ "$bench_status" -ne 0 ]; then
     echo "WARNING: benchmark regression vs BENCH_baseline.json (advisory only)" >&2
+fi
+if [ -n "${CI_ARTIFACTS:-}" ]; then
+    mkdir -p "$CI_ARTIFACTS"
+    cp "$tmpdir/bench-compare.md" "$CI_ARTIFACTS/bench-compare.md"
+fi
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+    {
+        echo "## Benchmark comparison (advisory)"
+        echo
+        echo "\`benchrunner -quick -compare BENCH_baseline.json\` — timing on"
+        echo "shared runners is noisy; regressions warn, they do not gate."
+        echo
+        echo '```'
+        cat "$tmpdir/bench-compare.md"
+        echo '```'
+    } >>"$GITHUB_STEP_SUMMARY"
 fi
 
 echo "== smoke: server + observability endpoints =="

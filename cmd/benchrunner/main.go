@@ -1,5 +1,5 @@
 // Command benchrunner regenerates every experiment table of
-// EXPERIMENTS.md (E1–E10, defined in DESIGN.md §3b): it builds Berlin
+// EXPERIMENTS.md (E1–E12, defined in DESIGN.md §3b): it builds Berlin
 // datasets, loads them, runs the query suite and the ablations, and
 // prints one markdown table per experiment.
 //
@@ -9,9 +9,10 @@
 //	benchrunner [-quick] -compare BENCH_baseline.json [-threshold 0.25]
 //
 // With -compare the runner re-times the comparable benchmark set (the
-// Berlin query suite at scale factor 1 plus the IR codec) and exits
-// nonzero when any benchmark regressed more than -threshold versus the
-// baseline snapshot's "benchmarks" section.
+// Berlin query suite at scale factor 1, the IR codec, and the
+// relational-operator kernels serial and parallel) and exits nonzero
+// when any benchmark regressed more than -threshold versus the baseline
+// snapshot's "benchmarks" section.
 package main
 
 import (
@@ -82,6 +83,7 @@ func main() {
 		{"E9", e9, "IR size and codec speed"},
 		{"E10", e10, "Many-to-one view build"},
 		{"E11", e11, "Concurrent query throughput"},
+		{"E12", e12, "Parallel relational operators"},
 	}
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -166,7 +168,74 @@ func benchSet() map[string]int64 {
 			}
 		}
 	}).Nanoseconds() / iters
+	tableopsBench(out)
 	return out
+}
+
+// synthTable builds the synthetic relational-operator benchmark input:
+// an integer key with the given number of distinct values, a float
+// measure and a low-cardinality string column (mirrors the table
+// package's own benchmarks so numbers are comparable).
+func synthTable(rows, distinct int) *table.Table {
+	tb := table.MustNew("B", table.Schema{
+		{Name: "k", Type: value.Int},
+		{Name: "v", Type: value.Float},
+		{Name: "s", Type: value.Text},
+	})
+	for i := 0; i < rows; i++ {
+		if err := tb.AppendRow([]value.Value{
+			value.NewInt(int64(i % distinct)),
+			value.NewFloat(float64(i) * 0.5),
+			value.NewString(fmt.Sprintf("s%d", i%97)),
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	return tb
+}
+
+// tableopsBench times the relational-operator kernels serial and at a
+// fixed 4-worker fan-out (threshold forced down so the parallel path
+// always engages). The pair tracks the morsel-parallel operators'
+// trajectory on any host — on single-core runners par4 measures the
+// parallel path's overhead rather than a speedup.
+func tableopsBench(out map[string]int64) {
+	const opRows = 50_000
+	big := synthTable(opRows, 1000)
+	l := synthTable(opRows, opRows)
+	r := synthTable(opRows, opRows)
+	sortKeys := []table.SortKey{{Col: 2}, {Col: 1, Desc: true}}
+	aggs := []table.AggSpec{{Func: table.AggSum, Col: 1, Name: "sv"}}
+	pred := func(row uint32) (bool, error) { return big.Value(row, 0).Int() < 100, nil }
+	for _, v := range []struct {
+		name string
+		p    table.Par
+	}{
+		{"serial", table.Par{}},
+		{"par4", table.Par{Workers: 4, Threshold: 1}},
+	} {
+		p := v.p
+		out["tableops/filter-"+v.name] = benchTime(func() {
+			if _, err := table.FilterIdxPar(big, pred, p); err != nil {
+				fatal(err)
+			}
+		}).Nanoseconds()
+		out["tableops/groupby-"+v.name] = benchTime(func() {
+			if _, err := table.GroupByPar(big, "G", []int{0}, aggs, p); err != nil {
+				fatal(err)
+			}
+		}).Nanoseconds()
+		out["tableops/hashjoin-"+v.name] = benchTime(func() {
+			if _, _, err := table.HashJoinIdxPar(l, r, []int{0}, []int{0}, p); err != nil {
+				fatal(err)
+			}
+		}).Nanoseconds()
+		out["tableops/orderby-"+v.name] = benchTime(func() {
+			if _, err := table.OrderByPar(big, sortKeys, p); err != nil {
+				fatal(err)
+			}
+		}).Nanoseconds()
+	}
 }
 
 // compareBaseline re-times the benchmark set and compares it to the
@@ -682,6 +751,67 @@ func e11() {
 			wg.Wait()
 		})
 		row(fmt.Sprint(clients), fmt.Sprintf("%.0f", queriesPerRun/med.Seconds()))
+	}
+}
+
+// e12 scales the morsel-parallel relational operators across worker
+// counts on one synthetic table (DESIGN.md §8). On a single-core host
+// the parallel columns measure fan-out overhead, not speedup.
+func e12() {
+	rows := 200_000
+	if *quick {
+		rows = 60_000
+	}
+	big := synthTable(rows, 1000)
+	l := synthTable(rows, rows)
+	r := synthTable(rows, rows)
+	sortKeys := []table.SortKey{{Col: 2}, {Col: 1, Desc: true}}
+	aggs := []table.AggSpec{{Func: table.AggSum, Col: 1, Name: "sv"}}
+	ops := []struct {
+		name string
+		fn   func(p table.Par)
+	}{
+		{"filter", func(p table.Par) {
+			if _, err := table.FilterIdxPar(big, func(row uint32) (bool, error) {
+				return big.Value(row, 0).Int() < 100, nil
+			}, p); err != nil {
+				fatal(err)
+			}
+		}},
+		{"group-by", func(p table.Par) {
+			if _, err := table.GroupByPar(big, "G", []int{0}, aggs, p); err != nil {
+				fatal(err)
+			}
+		}},
+		{"hash join", func(p table.Par) {
+			if _, _, err := table.HashJoinIdxPar(l, r, []int{0}, []int{0}, p); err != nil {
+				fatal(err)
+			}
+		}},
+		{"order-by", func(p table.Par) {
+			if _, err := table.OrderByPar(big, sortKeys, p); err != nil {
+				fatal(err)
+			}
+		}},
+	}
+	workerGrid := []int{1, 2, 4, 8}
+	header("operator", "serial", "2 workers", "4 workers", "8 workers", "speedup @4")
+	for _, o := range ops {
+		var cells []string
+		var serial, at4 time.Duration
+		for _, w := range workerGrid {
+			p := table.Par{Workers: w, Threshold: 1}
+			med := timeIt(func() { o.fn(p) })
+			switch w {
+			case 1:
+				serial = med
+			case 4:
+				at4 = med
+			}
+			cells = append(cells, dur(med))
+		}
+		cells = append(cells, fmt.Sprintf("%.2f×", float64(serial)/float64(at4)))
+		row(append([]string{o.name}, cells...)...)
 	}
 }
 

@@ -57,10 +57,20 @@ type DB struct {
 // Option configures a DB at Open time.
 type Option func(*exec.Options)
 
-// WithWorkers sets the parallelism degree for frontier expansion and
-// binding enumeration (default: GOMAXPROCS).
+// WithWorkers sets the parallelism degree for frontier expansion,
+// binding enumeration and the parallel relational operators (default:
+// GOMAXPROCS).
 func WithWorkers(n int) Option {
 	return func(o *exec.Options) { o.Workers = n }
+}
+
+// WithParallelThreshold sets the minimum input row count before the
+// relational operators (filter, hash join, group-by, order-by) run on
+// the morsel-parallel path; smaller inputs use the serial operators.
+// 0 restores the built-in default. Raise it when queries touch mostly
+// small tables; lower it to force parallelism in tests and benchmarks.
+func WithParallelThreshold(rows int) Option {
+	return func(o *exec.Options) { o.ParallelThreshold = rows }
 }
 
 // WithReverseIndexes controls building reverse edge indexes (default on).

@@ -33,9 +33,16 @@ import (
 
 // Options configure an Engine.
 type Options struct {
-	// Workers is the parallelism degree for frontier expansion and
-	// binding enumeration; 0 means GOMAXPROCS.
+	// Workers is the parallelism degree for frontier expansion, binding
+	// enumeration and the parallel relational operators; 0 means
+	// GOMAXPROCS.
 	Workers int
+	// ParallelThreshold is the minimum input row count before the
+	// relational operators (filter, join, group-by, order-by) take the
+	// morsel-parallel path; 0 means table.DefaultParThreshold. Inputs
+	// below it run the serial operators, whose results are byte-for-byte
+	// those of the pre-parallel engine.
+	ParallelThreshold int
 	// ReverseIndexes controls whether edge types build reverse CSR
 	// indexes (paper §III-B builds them "when memory space ... is
 	// available"; the E3 ablation turns them off).

@@ -30,6 +30,8 @@ type engineMetrics struct {
 	shardTasks    *obs.Counter // shards executed across all sweeps
 	activeWorkers *obs.Gauge   // goroutines currently inside a sweep
 
+	tableOpsParallel *obs.Counter // relational operators run on the morsel-parallel path
+
 	latency map[string]*obs.Histogram // per-statement-kind latency (seconds)
 }
 
@@ -50,6 +52,7 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 	m.shardRuns = reg.Counter("graql_parallel_sweeps_total", "data-parallel sweeps launched")
 	m.shardTasks = reg.Counter("graql_parallel_shards_total", "shards executed across all sweeps")
 	m.activeWorkers = reg.Gauge("graql_parallel_active_workers", "goroutines currently executing sweep shards")
+	m.tableOpsParallel = reg.Counter("graql_tableops_parallel_total", "relational operators (filter, join, group-by, order-by) executed on the morsel-parallel path")
 	m.latency = make(map[string]*obs.Histogram, 4)
 	for _, kind := range []string{"select", "create", "ingest", "output"} {
 		m.latency[kind] = reg.HistogramL("graql_statement_latency_seconds",
@@ -66,6 +69,17 @@ func (m *engineMetrics) noteSweep(shards int) {
 	}
 	m.shardRuns.Inc()
 	m.shardTasks.Add(int64(shards))
+}
+
+// noteTableParallel records one relational operator run taking the
+// morsel-parallel path; its shard fan-out counts as a sweep like the
+// matcher's.
+func (m *engineMetrics) noteTableParallel(shards int) {
+	if m == nil || m.reg == nil {
+		return
+	}
+	m.tableOpsParallel.Inc()
+	m.noteSweep(shards)
 }
 
 func stmtKind(st ast.Stmt) string {

@@ -69,6 +69,7 @@ func (e *Engine) runTableSelect(s *sema.Select, params map[string]value.Value) (
 	e.opSpan("scan", fmt.Sprintf("table %s", t.Name)).Record(int64(t.NumRows()), 0)
 
 	// Selection.
+	tp := e.tablePar()
 	rows := t
 	if s.Where != nil {
 		where, err := expr.BindParams(s.Where, params)
@@ -76,14 +77,15 @@ func (e *Engine) runTableSelect(s *sema.Select, params map[string]value.Value) (
 			return Result{}, err
 		}
 		t0 := time.Now()
-		filtered, err := table.Filter(t, t.Name, func(r uint32) (bool, error) {
+		filtered, err := table.FilterPar(t, t.Name, func(r uint32) (bool, error) {
 			return evalBool(where, singleTableEnv{t: t, row: r})
-		})
+		}, tp)
 		if err != nil {
 			return Result{}, err
 		}
 		rows = filtered
-		e.opSpan("filter", fmt.Sprintf("%s", s.Where)).Record(int64(rows.NumRows()), time.Since(t0))
+		e.opSpan("filter", parDetail(fmt.Sprintf("%s", s.Where), tp, t.NumRows())).
+			Record(int64(rows.NumRows()), time.Since(t0))
 	}
 	opStart := time.Now()
 
@@ -100,7 +102,7 @@ func (e *Engine) runTableSelect(s *sema.Select, params map[string]value.Value) (
 			}
 			aggs = append(aggs, table.AggSpec{Func: astAggToTable(it.Agg), Col: it.Col, Name: it.Name})
 		}
-		grouped, err := table.GroupBy(rows, outName, s.GroupBy, aggs)
+		grouped, err := table.GroupByPar(rows, outName, s.GroupBy, aggs, tp)
 		if err != nil {
 			return Result{}, err
 		}
@@ -125,7 +127,7 @@ func (e *Engine) runTableSelect(s *sema.Select, params map[string]value.Value) (
 			names = append(names, it.Name)
 		}
 		out = grouped.ProjectCols(outName, colIdx, names)
-		e.opSpan("group", fmt.Sprintf("group by %d key column(s), %d aggregate(s)", len(s.GroupBy), countAggs(s))).
+		e.opSpan("group", parDetail(fmt.Sprintf("group by %d key column(s), %d aggregate(s)", len(s.GroupBy), countAggs(s)), tp, rows.NumRows())).
 			Record(int64(out.NumRows()), time.Since(opStart))
 	} else {
 		fresh, err := table.New(outName, s.OutSchema)
@@ -184,13 +186,15 @@ func (e *Engine) finishTable(out *table.Table, s *sema.Select) (*table.Table, er
 		for i, k := range s.OrderBy {
 			keys[i] = table.SortKey{Col: k.Col, Desc: k.Desc}
 		}
+		tp := e.tablePar()
 		t0 := time.Now()
-		sorted, err := table.OrderBy(out, keys)
+		sorted, err := table.OrderByPar(out, keys, tp)
 		if err != nil {
 			return nil, err
 		}
+		e.opSpan("sort", parDetail(fmt.Sprintf("order by %d key(s)", len(keys)), tp, out.NumRows())).
+			Record(int64(sorted.NumRows()), time.Since(t0))
 		out = sorted
-		e.opSpan("sort", fmt.Sprintf("order by %d key(s)", len(keys))).Record(int64(out.NumRows()), time.Since(t0))
 	}
 	if s.Top > 0 {
 		t0 := time.Now()

@@ -1,0 +1,43 @@
+package exec
+
+import (
+	"fmt"
+
+	"graql/internal/table"
+)
+
+// tablePar bridges the engine into the table layer's parallel relational
+// operators: the engine's worker budget and parallelism threshold, its
+// context (mapped to the structured abort errors through the same
+// contextErr the sweeps use), and its metrics — the parallel-operator
+// counter, the sweep totals and the active-worker gauge. The table
+// package stays engine-free; everything crosses through table.Par's
+// nil-safe hooks.
+func (e *Engine) tablePar() table.Par {
+	p := table.Par{
+		Workers:   e.Opts.workers(),
+		Threshold: e.Opts.ParallelThreshold,
+		OnParallel: func(_ string, shards, _ int) {
+			e.met.noteTableParallel(shards)
+		},
+	}
+	if e.ctx != nil {
+		ctx := e.ctx
+		p.Poll = func() error { return contextErr(ctx) }
+	}
+	if e.met.reg != nil {
+		p.WorkerUp = e.met.workerUp
+		p.WorkerDown = e.met.workerDown
+	}
+	return p
+}
+
+// parDetail annotates an operator span's detail when the operator ran on
+// the parallel path, so EXPLAIN ANALYZE and request traces show which
+// steps fanned out and how wide.
+func parDetail(detail string, p table.Par, rows int) string {
+	if !p.Parallel(rows) {
+		return detail
+	}
+	return fmt.Sprintf("%s [parallel, %d workers]", detail, p.Workers)
+}

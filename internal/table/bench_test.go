@@ -2,6 +2,7 @@ package table
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -70,6 +71,91 @@ func BenchmarkOrderBy(b *testing.B) {
 		if _, err := OrderBy(tb, []SortKey{{Col: 2}, {Col: 1, Desc: true}}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchWorkerCounts is the worker grid for the parallel-operator
+// benchmarks: serial baseline, a fixed mid point, and the machine's
+// full width (deduplicated so single-core hosts run each count once).
+func benchWorkerCounts() []int {
+	counts := []int{1, 4, runtime.NumCPU()}
+	seen := make(map[int]bool, len(counts))
+	var out []int
+	for _, w := range counts {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// benchPar forces the threshold down so every benchmarked input takes
+// the parallel path whenever workers > 1; workers == 1 exercises the
+// serial fallback through the same entry points.
+func benchPar(workers int) Par {
+	return Par{Workers: workers, Threshold: 1}
+}
+
+func BenchmarkFilterPar(b *testing.B) {
+	tb := benchTable(b, 100_000, 1000)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			p := benchPar(w)
+			for i := 0; i < b.N; i++ {
+				idx, err := FilterIdxPar(tb, func(r uint32) (bool, error) {
+					return tb.Value(r, 0).Int() < 100, nil
+				}, p)
+				if err != nil || len(idx) == 0 {
+					b.Fatal("filter failed")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGroupByPar(b *testing.B) {
+	tb := benchTable(b, 100_000, 1000)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			p := benchPar(w)
+			for i := 0; i < b.N; i++ {
+				out, err := GroupByPar(tb, "G", []int{0}, []AggSpec{{Func: AggSum, Col: 1, Name: "s"}}, p)
+				if err != nil || out.NumRows() != 1000 {
+					b.Fatal("groupby failed")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHashJoinPar(b *testing.B) {
+	l := benchTable(b, 100_000, 5000)
+	r := benchTable(b, 100_000, 5000)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			p := benchPar(w)
+			for i := 0; i < b.N; i++ {
+				li, _, err := HashJoinIdxPar(l, r, []int{0}, []int{0}, p)
+				if err != nil || len(li) == 0 {
+					b.Fatal("join failed")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkOrderByPar(b *testing.B) {
+	tb := benchTable(b, 100_000, 100_000)
+	for _, w := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			p := benchPar(w)
+			for i := 0; i < b.N; i++ {
+				if _, err := OrderByPar(tb, []SortKey{{Col: 2}, {Col: 1, Desc: true}}, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -53,27 +53,50 @@ func OrderBy(t *Table, keys []SortKey) (*Table, error) {
 	for i := range idx {
 		idx[i] = uint32(i)
 	}
-	var sortErr error
-	sort.SliceStable(idx, func(a, b int) bool {
-		for _, k := range keys {
-			c, err := value.Compare(t.Value(idx[a], k.Col), t.Value(idx[b], k.Col))
-			if err != nil && sortErr == nil {
-				sortErr = err
-			}
-			if c == 0 {
-				continue
-			}
-			if k.Desc {
-				return c > 0
-			}
-			return c < 0
-		}
-		return false
-	})
-	if sortErr != nil {
-		return nil, sortErr
+	if err := sortIdxStable(t, keys, idx); err != nil {
+		return nil, err
 	}
 	return t.Gather(t.Name, idx), nil
+}
+
+// compareKeys orders rows ra and rb of t under the sort keys: the first
+// key with a non-zero comparison decides, with descending keys
+// sign-flipped, so "less" is compareKeys < 0.
+func compareKeys(t *Table, keys []SortKey, ra, rb uint32) (int, error) {
+	for _, k := range keys {
+		c, err := value.Compare(t.Value(ra, k.Col), t.Value(rb, k.Col))
+		if err != nil {
+			return 0, err
+		}
+		if c == 0 {
+			continue
+		}
+		if k.Desc {
+			return -c, nil
+		}
+		return c, nil
+	}
+	return 0, nil
+}
+
+// sortIdxStable stably sorts idx by the keys. The first comparison error
+// is returned; once one occurs, every later comparison short-circuits to
+// false so the sort terminates deterministically instead of continuing
+// on a corrupt ordering.
+func sortIdxStable(t *Table, keys []SortKey, idx []uint32) error {
+	var sortErr error
+	sort.SliceStable(idx, func(a, b int) bool {
+		if sortErr != nil {
+			return false
+		}
+		c, err := compareKeys(t, keys, idx[a], idx[b])
+		if err != nil {
+			sortErr = err
+			return false
+		}
+		return c < 0
+	})
+	return sortErr
 }
 
 // Distinct returns a new table with duplicate rows (over the given columns;
@@ -191,6 +214,36 @@ func (st *aggState) add(v value.Value) error {
 	return nil
 }
 
+// merge folds another partial state into st. Partial aggregation states
+// built over disjoint row subsets merge into exactly the state a single
+// sequential pass would have produced (floating-point sums may differ in
+// rounding because addition order changes); the parallel group-by relies
+// on this.
+func (st *aggState) merge(o *aggState) error {
+	if !o.seen {
+		return nil
+	}
+	if !st.seen {
+		*st = *o
+		return nil
+	}
+	st.count += o.count
+	st.sum += o.sum
+	st.sumI += o.sumI
+	st.isInt = st.isInt && o.isInt
+	if c, err := value.Compare(o.min, st.min); err != nil {
+		return err
+	} else if c < 0 {
+		st.min = o.min
+	}
+	if c, err := value.Compare(o.max, st.max); err != nil {
+		return err
+	} else if c > 0 {
+		st.max = o.max
+	}
+	return nil
+}
+
 func (st *aggState) result(f AggFunc, inKind value.Kind) (value.Value, error) {
 	switch f {
 	case AggCount:
@@ -198,6 +251,14 @@ func (st *aggState) result(f AggFunc, inKind value.Kind) (value.Value, error) {
 	case AggSum:
 		if !inKind.Numeric() {
 			return value.Value{}, fmt.Errorf("graql: sum over non-numeric column (%s)", inKind)
+		}
+		if !st.seen {
+			// SQL: sum over an empty (or all-NULL) group is NULL, typed
+			// to match the output column.
+			if inKind == value.KindFloat {
+				return value.NewNull(value.KindFloat), nil
+			}
+			return value.NewNull(value.KindInt), nil
 		}
 		if st.isInt {
 			return value.NewInt(st.sumI), nil
@@ -241,12 +302,36 @@ func aggOutType(f AggFunc, in value.Type) value.Type {
 	}
 }
 
-// GroupBy groups rows of t by the key columns and evaluates the given
-// aggregates per group. The output schema is the key columns (in order)
-// followed by one column per aggregate. Groups appear in order of first
-// occurrence, so output is deterministic. An empty keyCols computes global
-// aggregates over the whole table (one output row).
-func GroupBy(t *Table, name string, keyCols []int, aggs []AggSpec) (*Table, error) {
+// group is one group-by bucket: the first row that opened it (its key
+// values are read back from there) and one aggregation state per
+// aggregate.
+type group struct {
+	firstRow uint32
+	states   []aggState
+}
+
+// accum folds row r of t into the group's aggregation states.
+func (g *group) accum(t *Table, r uint32, aggs []AggSpec) error {
+	for i, a := range aggs {
+		var v value.Value
+		if a.Col < 0 {
+			v = value.NewInt(1) // count(*): count every row
+		} else {
+			v = t.Value(r, a.Col)
+			if a.Func == AggCount && v.IsNull() {
+				continue // count(col) skips NULLs
+			}
+		}
+		if err := g.states[i].add(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// groupOutSchema is the output schema of a group-by: the key columns (in
+// order) followed by one column per aggregate.
+func groupOutSchema(t *Table, keyCols []int, aggs []AggSpec) Schema {
 	var schema Schema
 	for _, c := range keyCols {
 		schema = append(schema, ColumnDef{Name: t.Schema()[c].Name, Type: value.Type{Kind: t.Col(c).Kind()}})
@@ -262,40 +347,17 @@ func GroupBy(t *Table, name string, keyCols []int, aggs []AggSpec) (*Table, erro
 		}
 		schema = append(schema, ColumnDef{Name: colName, Type: aggOutType(a.Func, in)})
 	}
+	return schema
+}
+
+// emitGroups materialises finished groups, in the given order, into the
+// group-by output table. Both the serial and the parallel group-by
+// finish here, so their outputs render identically.
+func emitGroups(t *Table, name string, keyCols []int, aggs []AggSpec, order []*group) (*Table, error) {
+	schema := groupOutSchema(t, keyCols, aggs)
 	out, err := New(name, schema)
 	if err != nil {
 		return nil, err
-	}
-
-	type group struct {
-		firstRow uint32
-		states   []aggState
-	}
-	groups := make(map[string]*group)
-	order := make([]*group, 0)
-	var key []byte
-	for r := uint32(0); r < uint32(t.NumRows()); r++ {
-		key = t.KeyOf(key[:0], r, keyCols)
-		g, ok := groups[string(key)]
-		if !ok {
-			g = &group{firstRow: r, states: make([]aggState, len(aggs))}
-			groups[string(key)] = g
-			order = append(order, g)
-		}
-		for i, a := range aggs {
-			var v value.Value
-			if a.Col < 0 {
-				v = value.NewInt(1) // count(*): count every row
-			} else {
-				v = t.Value(r, a.Col)
-				if a.Func == AggCount && v.IsNull() {
-					continue // count(col) skips NULLs
-				}
-			}
-			if err := g.states[i].add(v); err != nil {
-				return nil, err
-			}
-		}
 	}
 	if len(keyCols) == 0 && len(order) == 0 {
 		// Global aggregate over an empty table still yields one row.
@@ -322,6 +384,30 @@ func GroupBy(t *Table, name string, keyCols []int, aggs []AggSpec) (*Table, erro
 		}
 	}
 	return out, nil
+}
+
+// GroupBy groups rows of t by the key columns and evaluates the given
+// aggregates per group. The output schema is the key columns (in order)
+// followed by one column per aggregate. Groups appear in order of first
+// occurrence, so output is deterministic. An empty keyCols computes global
+// aggregates over the whole table (one output row).
+func GroupBy(t *Table, name string, keyCols []int, aggs []AggSpec) (*Table, error) {
+	groups := make(map[string]*group)
+	order := make([]*group, 0)
+	var key []byte
+	for r := uint32(0); r < uint32(t.NumRows()); r++ {
+		key = t.KeyOf(key[:0], r, keyCols)
+		g, ok := groups[string(key)]
+		if !ok {
+			g = &group{firstRow: r, states: make([]aggState, len(aggs))}
+			groups[string(key)] = g
+			order = append(order, g)
+		}
+		if err := g.accum(t, r, aggs); err != nil {
+			return nil, err
+		}
+	}
+	return emitGroups(t, name, keyCols, aggs, order)
 }
 
 // HashJoinIdx computes the inner equi-join of l and r on the given key
@@ -380,6 +466,12 @@ func anyNull(t *Table, row uint32, cols []int) bool {
 // name as a prefix.
 func HashJoin(name string, l, r *Table, lCols, rCols []int) *Table {
 	lIdx, rIdx := HashJoinIdx(l, r, lCols, rCols)
+	return joinTable(name, l, r, lIdx, rIdx)
+}
+
+// joinTable materialises matched row-id pairs of l and r into the join
+// output table (all of l's columns then all of r's, collisions prefixed).
+func joinTable(name string, l, r *Table, lIdx, rIdx []uint32) *Table {
 	lt := l.Gather("", lIdx)
 	rt := r.Gather("", rIdx)
 	out := &Table{Name: name, rows: len(lIdx)}
