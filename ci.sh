@@ -89,6 +89,21 @@ fi
 echo "== fuzz smoke (${FUZZTIME} per target) =="
 go test -run='^$' -fuzz='^FuzzParse$' -fuzztime="$FUZZTIME" ./internal/parser
 go test -run='^$' -fuzz='^FuzzDecode$' -fuzztime="$FUZZTIME" ./internal/ir
+go test -run='^$' -fuzz='^FuzzAnalyze$' -fuzztime="$FUZZTIME" ./internal/sema
+
+echo "== graql vet gate =="
+# The shipped example scripts must vet clean (exit 0), and the seeded
+# broken corpus must be rejected (exit 1) — both directions of the
+# static-analysis front-end are exercised on every run. The golden-file
+# tests cover the exact per-diagnostic output; this gates the CLI.
+go build -o "$tmpdir/graql" ./cmd/graql
+"$tmpdir/graql" -vet examples/*.graql
+for f in testdata/vet/*_errors.graql; do
+    if "$tmpdir/graql" -vet "$f" >/dev/null 2>&1; then
+        echo "vet accepted seeded-error corpus file $f" >&2
+        exit 1
+    fi
+done
 
 echo "== benchmark comparison (advisory) =="
 # Timing on shared CI runners is too noisy to gate merges on, so a

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	graql [-data dir] [-workers n] [-check] [-param name=value ...] script.graql
+//	graql -vet script.graql...   # static analysis: all errors and lint warnings
 //	graql                  # interactive shell; end a statement block with a blank line
 //
 // Parameters substitute the script's %name% placeholders; values are typed
@@ -18,6 +19,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log/slog"
 	"os"
 	"strings"
@@ -73,6 +75,7 @@ func main() {
 		dataDir   = flag.String("data", ".", "base directory for ingest file paths")
 		workers   = flag.Int("workers", 0, "parallelism degree (0 = GOMAXPROCS)")
 		checkOnly = flag.Bool("check", false, "statically check the script without executing it")
+		vetMode   = flag.Bool("vet", false, "report every static-analysis finding (errors and lint warnings) per file; exit 1 when any file has errors")
 		noReverse = flag.Bool("no-reverse-index", false, "disable reverse edge indexes")
 		outCSV    = flag.String("out", "", "write the last table result to this CSV file")
 		metrics   = flag.Bool("metrics", false, "print the metrics registry (Prometheus text) to stderr on exit")
@@ -88,6 +91,10 @@ func main() {
 	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *vetMode {
+		os.Exit(vetFiles(flag.Args()))
 	}
 
 	if *checkOnly {
@@ -135,6 +142,43 @@ func main() {
 		return
 	}
 	repl(db, params.params, *timeout)
+}
+
+// vetFiles statically analyses each script file independently, printing
+// one canonical `file:line:col: CODE: severity: message` line per
+// finding. The exit status is 1 when any file has error-severity
+// diagnostics; lint warnings alone leave it 0. With no arguments the
+// script is read from stdin and reported as "<stdin>".
+func vetFiles(args []string) int {
+	type script struct{ name, src string }
+	var scripts []script
+	if len(args) == 0 {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graql:", err)
+			return 2
+		}
+		scripts = append(scripts, script{"<stdin>", string(data)})
+	}
+	for _, path := range args {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "graql:", err)
+			return 2
+		}
+		scripts = append(scripts, script{path, string(data)})
+	}
+	status := 0
+	for _, s := range scripts {
+		diags := graql.Vet(s.src)
+		for _, d := range diags {
+			fmt.Println(d.Format(s.name))
+		}
+		if diags.HasErrors() {
+			status = 1
+		}
+	}
+	return status
 }
 
 func readScript(args []string) (string, error) {

@@ -33,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"graql/internal/diag"
 	"graql/internal/exec"
 	"graql/internal/obs"
 	"graql/internal/value"
@@ -222,8 +223,41 @@ func IngestCSV(db *DB, table, csv string) error {
 // Check statically analyses a script (paper §III-A) without executing
 // queries or reading data files: parse errors, unknown entities, type
 // errors (e.g. comparing a date with a float) and malformed path queries
-// are reported against catalog metadata only.
+// are reported against catalog metadata only. The returned error, when
+// non-nil, matches ErrStaticAnalysis and unwraps to the individual
+// Diagnostic values.
 func Check(script string) error { return exec.CheckScript(script) }
+
+// ErrStaticAnalysis is the sentinel all static-analysis errors match
+// with errors.Is — parse errors, semantic errors and vet failures alike.
+var ErrStaticAnalysis = diag.ErrStaticAnalysis
+
+// Diagnostic is one structured static-analysis finding: a severity, a
+// stable GQL#### code, a source span and a human-readable message.
+type Diagnostic = diag.Diagnostic
+
+// Severity classifies a Diagnostic as an error or a warning.
+type Severity = diag.Severity
+
+// Span locates a Diagnostic in the source text (byte offsets plus
+// 1-based line:column).
+type Span = diag.Span
+
+// Diagnostics is a position-sorted list of findings as returned by Vet.
+type Diagnostics = diag.List
+
+// Vet runs the full static-analysis front-end over a self-contained
+// script and returns every finding — errors and lint warnings — sorted
+// by source position, never stopping at the first problem. A clean
+// script returns an empty list. Unlike Check, Vet reports warnings
+// (always-false predicates, comparisons with null, unused labels,
+// duplicate projections) that do not block execution.
+func Vet(script string) Diagnostics { return exec.VetScript(script) }
+
+// Vet is the package-level Vet against this database's options (the
+// script is still analysed standalone: it must declare every table and
+// view it uses, and the database's own catalog and data are untouched).
+func (db *DB) Vet(script string) Diagnostics { return db.eng.VetScript(script) }
 
 // Stats describes one catalog object (table, vertex type or edge type).
 type Stats struct {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"strings"
 
+	"graql/internal/diag"
 	"graql/internal/expr"
 	"graql/internal/value"
 )
@@ -37,21 +38,30 @@ func (s *Script) String() string {
 type Stmt interface {
 	fmt.Stringer
 	stmt()
+	// Span locates the statement in the source script. Statements built
+	// programmatically (e.g. decoded from the binary IR) have a zero span.
+	Span() diag.Span
 }
 
 // ColDef is one typed column in a create table statement.
 type ColDef struct {
-	Name string
-	Type value.Type
+	Name    string
+	Type    value.Type
+	NamePos diag.Span
 }
 
 // CreateTable declares a strongly typed table (Appendix A style).
 type CreateTable struct {
-	Name string
-	Cols []ColDef
+	Name    string
+	Cols    []ColDef
+	Loc     diag.Span
+	NamePos diag.Span
 }
 
 func (*CreateTable) stmt() {}
+
+// Span implements Stmt.
+func (s *CreateTable) Span() diag.Span { return s.Loc }
 
 func (s *CreateTable) String() string {
 	var b strings.Builder
@@ -74,9 +84,17 @@ type CreateVertex struct {
 	KeyCols []string
 	From    string
 	Where   expr.Expr
+
+	Loc     diag.Span
+	NamePos diag.Span
+	KeyPos  []diag.Span // parallel to KeyCols
+	FromPos diag.Span
 }
 
 func (*CreateVertex) stmt() {}
+
+// Span implements Stmt.
+func (s *CreateVertex) Span() diag.Span { return s.Loc }
 
 func (s *CreateVertex) String() string {
 	var b strings.Builder
@@ -100,9 +118,18 @@ type CreateEdge struct {
 	DstAlias   string
 	FromTables []string
 	Where      expr.Expr
+
+	Loc     diag.Span
+	NamePos diag.Span
+	SrcPos  diag.Span
+	DstPos  diag.Span
+	FromPos []diag.Span // parallel to FromTables
 }
 
 func (*CreateEdge) stmt() {}
+
+// Span implements Stmt.
+func (s *CreateEdge) Span() diag.Span { return s.Loc }
 
 func (s *CreateEdge) String() string {
 	var b strings.Builder
@@ -129,9 +156,15 @@ func (s *CreateEdge) String() string {
 type Ingest struct {
 	Table string
 	File  string
+
+	Loc      diag.Span
+	TablePos diag.Span
 }
 
 func (*Ingest) stmt() {}
+
+// Span implements Stmt.
+func (s *Ingest) Span() diag.Span { return s.Loc }
 
 func (s *Ingest) String() string {
 	return fmt.Sprintf("ingest table %s '%s'", s.Table, s.File)
@@ -142,9 +175,15 @@ func (s *Ingest) String() string {
 type Output struct {
 	Table string
 	File  string
+
+	Loc      diag.Span
+	TablePos diag.Span
 }
 
 func (*Output) stmt() {}
+
+// Span implements Stmt.
+func (s *Output) Span() diag.Span { return s.Loc }
 
 func (s *Output) String() string {
 	return fmt.Sprintf("output table %s '%s'", s.Table, s.File)
@@ -186,6 +225,7 @@ type SelectItem struct {
 	AggStar bool // count(*)
 	Expr    expr.Expr
 	Alias   string
+	Loc     diag.Span
 }
 
 func (it SelectItem) String() string {
@@ -230,8 +270,9 @@ const (
 
 // Into is the "into table T" / "into subgraph G" result clause.
 type Into struct {
-	Kind IntoKind
-	Name string
+	Kind    IntoKind
+	Name    string
+	NamePos diag.Span
 }
 
 func (c Into) String() string {
@@ -267,9 +308,15 @@ type Select struct {
 	GroupBy []*expr.Ref
 	OrderBy []OrderKey
 	Into    Into
+
+	Loc          diag.Span
+	FromTablePos diag.Span
 }
 
 func (*Select) stmt() {}
+
+// Span implements Stmt.
+func (s *Select) Span() diag.Span { return s.Loc }
 
 func (s *Select) String() string {
 	var b strings.Builder

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"graql/internal/diag"
 	"graql/internal/expr"
 )
 
@@ -76,6 +77,7 @@ const (
 type LabelDef struct {
 	Kind LabelKind
 	Name string
+	Loc  diag.Span
 }
 
 func (l *LabelDef) String() string {
@@ -95,6 +97,7 @@ type VertexStep struct {
 	Variant   bool   // [ ]
 	SeedGraph string // subgraph name qualifying a seeded step
 	Cond      expr.Expr
+	Loc       diag.Span // span of the step name / [ ]
 }
 
 func (*VertexStep) pathElem() {}
@@ -126,6 +129,7 @@ type EdgeStep struct {
 	Variant bool
 	Out     bool // true: left-to-right along an out-edge
 	Cond    expr.Expr
+	Loc     diag.Span // span of the edge name / [ ]
 }
 
 func (*EdgeStep) pathElem() {}
@@ -158,6 +162,7 @@ type RegexGroup struct {
 	Elems []PathElem // alternating edge, vertex; starts with edge, ends with vertex
 	Min   int
 	Max   int
+	Loc   diag.Span
 }
 
 func (*RegexGroup) pathElem() {}

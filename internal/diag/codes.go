@@ -1,0 +1,120 @@
+package diag
+
+// Code is a stable diagnostic identifier of the form GQL####. Codes are
+// part of the tool-facing contract: messages may be reworded freely, but
+// a code never changes meaning. Numbering groups by analysis phase:
+//
+//	GQL00xx  lexing and parsing
+//	GQL01xx  name resolution (§III-A "correct entity" checks)
+//	GQL02xx  type checking (§III-A strong typing)
+//	GQL03xx  structural rules (paths, labels, projections, clauses)
+//	GQL10xx  lint warnings (never block execution)
+type Code string
+
+// Diagnostic codes.
+const (
+	// Lexing / parsing.
+	LexError    Code = "GQL0001" // invalid token
+	ParseError  Code = "GQL0002" // syntax error
+	BadLiteral  Code = "GQL0003" // malformed numeric literal or bound
+	UnknownStmt Code = "GQL0004" // unsupported statement form
+
+	// Name resolution.
+	UnknownTable    Code = "GQL0101" // table name does not resolve
+	UnknownVertex   Code = "GQL0102" // vertex type or label does not resolve
+	UnknownEdge     Code = "GQL0103" // edge type does not resolve
+	UnknownColumn   Code = "GQL0104" // column/attribute does not resolve
+	UnknownSource   Code = "GQL0105" // qualifier or output step does not resolve
+	AmbiguousName   Code = "GQL0106" // reference matches several sources
+	UnknownSubgraph Code = "GQL0107" // seeded step names no known subgraph
+	DuplicateName   Code = "GQL0108" // name already declared or in use
+	WrongEntityKind Code = "GQL0109" // e.g. a vertex type where a table is required
+	UnqualifiedRef  Code = "GQL0110" // edge declarations require qualified columns
+
+	// Type checking.
+	TypeMismatch   Code = "GQL0201" // incomparable operand types
+	BoolRequired   Code = "GQL0202" // condition or connective operand not boolean
+	NumberRequired Code = "GQL0203" // arithmetic/negation on non-numeric operand
+	BadAggregate   Code = "GQL0204" // aggregate misuse (non-numeric sum/avg, bad argument)
+
+	// Structural rules.
+	MalformedPath    Code = "GQL0301" // path shape violates Eq. 3
+	VariantRestrict  Code = "GQL0302" // [ ] variant step restriction (§II-B4)
+	LabelRule        Code = "GQL0303" // label scoping/composition rule (§II-B2/B3)
+	Disconnected     Code = "GQL0304" // pattern or edge-join graph not connected
+	EdgeDeclRule     Code = "GQL0305" // create-edge where-clause rules (Eq. 2)
+	GroupingRule     Code = "GQL0306" // group-by / aggregate placement rules
+	OrderByRule      Code = "GQL0307" // order-by must name an output column
+	ProjectionRule   Code = "GQL0308" // projection shape/duplicate-name rules
+	StatementMisuse  Code = "GQL0309" // clause not allowed on this statement form
+	RegexRestriction Code = "GQL0310" // path regular expression restriction (§II-B4)
+
+	// Lint warnings.
+	AlwaysFalse   Code = "GQL1001" // predicate cannot be satisfied
+	AlwaysTrue    Code = "GQL1002" // predicate always holds
+	NullCompare   Code = "GQL1003" // comparison with null literal is always null
+	UnusedLabel   Code = "GQL1004" // label defined but never referenced
+	DuplicateProj Code = "GQL1005" // same column projected more than once
+)
+
+// CodeInfo describes one registered code for reference tables and tests.
+type CodeInfo struct {
+	Code    Code
+	Meaning string
+	Paper   string // paper section the check implements
+}
+
+// registry holds every known code; Registered and Codes read it.
+var registry = []CodeInfo{
+	{LexError, "invalid token", "§II"},
+	{ParseError, "syntax error", "§II"},
+	{BadLiteral, "malformed literal or repetition bound", "§II"},
+	{UnknownStmt, "unsupported statement form", "§II"},
+	{UnknownTable, "unknown table", "§III-A"},
+	{UnknownVertex, "unknown vertex type or label", "§III-A"},
+	{UnknownEdge, "unknown edge type", "§III-A"},
+	{UnknownColumn, "unknown column or attribute", "§III-A"},
+	{UnknownSource, "unknown source, qualifier or output step", "§III-A"},
+	{AmbiguousName, "ambiguous reference", "§II-C"},
+	{UnknownSubgraph, "unknown subgraph in seeded step", "§II-C"},
+	{DuplicateName, "name already declared or in use", "§II-A"},
+	{WrongEntityKind, "entity of the wrong kind for this operation", "§III-A"},
+	{UnqualifiedRef, "edge declarations require qualified column references", "§II-A"},
+	{TypeMismatch, "operands have incomparable types", "§III-A"},
+	{BoolRequired, "boolean operand or condition required", "§III-A"},
+	{NumberRequired, "numeric operand required", "§III-A"},
+	{BadAggregate, "invalid aggregate use", "Table I"},
+	{MalformedPath, "malformed path query", "§II-B"},
+	{VariantRestrict, "variant-step restriction violated", "§II-B4"},
+	{LabelRule, "label rule violated", "§II-B2"},
+	{Disconnected, "pattern or join graph is disconnected", "§II-B3"},
+	{EdgeDeclRule, "invalid create-edge where clause", "§II-A"},
+	{GroupingRule, "invalid group-by or aggregate placement", "Table I"},
+	{OrderByRule, "order by must name an output column", "Table I"},
+	{ProjectionRule, "invalid projection", "§II-C"},
+	{StatementMisuse, "clause not allowed on this statement form", "§II-C"},
+	{RegexRestriction, "path regular expression restriction violated", "§II-B4"},
+	{AlwaysFalse, "predicate is always false", "lint"},
+	{AlwaysTrue, "predicate is always true", "lint"},
+	{NullCompare, "comparison with null is always null", "lint"},
+	{UnusedLabel, "label is defined but never used", "lint"},
+	{DuplicateProj, "column projected more than once", "lint"},
+}
+
+// Registered reports whether c is a known diagnostic code.
+func Registered(c Code) bool {
+	for _, info := range registry {
+		if info.Code == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Codes returns every registered code in declaration order (error codes
+// first, then lint warnings).
+func Codes() []CodeInfo {
+	out := make([]CodeInfo, len(registry))
+	copy(out, registry)
+	return out
+}

@@ -1,0 +1,206 @@
+// Package diag defines the structured diagnostics produced by GraQL's
+// static-analysis front-end (paper §III-A): positioned, coded errors and
+// lint warnings that tools can consume programmatically.
+//
+// Every diagnostic carries a severity, a stable GQL#### code (see
+// codes.go), a source span (byte offsets plus 1-based line:col), a
+// human-readable message and an optional hint. The analyzer collects
+// diagnostics into a List instead of failing fast, so one pass reports
+// every problem in a statement.
+package diag
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Span locates a diagnostic in the source text: [Start, End) byte
+// offsets and the 1-based line and column of Start. A zero Span means
+// "position unknown" (e.g. statements reconstructed from the binary IR,
+// which carries no source text).
+type Span struct {
+	Start int `json:"start"`
+	End   int `json:"end"`
+	Line  int `json:"line"`
+	Col   int `json:"col"`
+}
+
+// Known reports whether the span carries a real source position.
+func (s Span) Known() bool { return s.Line > 0 }
+
+// Cover returns the smallest span containing both s and o. A zero span
+// on either side yields the other.
+func (s Span) Cover(o Span) Span {
+	if !s.Known() {
+		return o
+	}
+	if !o.Known() {
+		return s
+	}
+	out := s
+	if o.Start < s.Start {
+		out.Start, out.Line, out.Col = o.Start, o.Line, o.Col
+	}
+	if o.End > out.End {
+		out.End = o.End
+	}
+	return out
+}
+
+// Severity classifies a diagnostic.
+type Severity uint8
+
+// Severities. Errors make a script statically invalid; warnings flag
+// suspicious-but-legal constructs (the lint tier).
+const (
+	SevWarning Severity = iota
+	SevError
+)
+
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warning"
+}
+
+// MarshalJSON renders the severity as its string form.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts the string form.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	switch strings.Trim(string(b), `"`) {
+	case "error":
+		*s = SevError
+	case "warning":
+		*s = SevWarning
+	default:
+		return fmt.Errorf("diag: bad severity %s", b)
+	}
+	return nil
+}
+
+// Diagnostic is one positioned static-analysis finding.
+type Diagnostic struct {
+	Severity Severity `json:"severity"`
+	Code     Code     `json:"code"`
+	Span     Span     `json:"span"`
+	Msg      string   `json:"message"`
+	Hint     string   `json:"hint,omitempty"`
+}
+
+// Error implements error. The rendering keeps the historical "graql:"
+// prefix and embeds the position when known, so existing callers that
+// substring-match messages keep working.
+func (d *Diagnostic) Error() string {
+	var b strings.Builder
+	b.WriteString("graql: ")
+	if d.Span.Known() {
+		fmt.Fprintf(&b, "%d:%d: ", d.Span.Line, d.Span.Col)
+	}
+	b.WriteString(d.Msg)
+	fmt.Fprintf(&b, " [%s]", d.Code)
+	return b.String()
+}
+
+// Unwrap makes every error-severity diagnostic errors.Is-match
+// ErrStaticAnalysis.
+func (d *Diagnostic) Unwrap() error {
+	if d.Severity == SevError {
+		return ErrStaticAnalysis
+	}
+	return nil
+}
+
+// Format renders the diagnostic in the canonical file:line:col form used
+// by `graql -vet` and the golden-file tests:
+//
+//	file:line:col: GQL0101: error: unknown table Foo
+func (d Diagnostic) Format(file string) string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s: %s",
+		file, d.Span.Line, d.Span.Col, d.Code, d.Severity, d.Msg)
+}
+
+// List is an ordered collection of diagnostics.
+type List []Diagnostic
+
+// Add appends a diagnostic.
+func (l *List) Add(d Diagnostic) { *l = append(*l, d) }
+
+// HasErrors reports whether any diagnostic has error severity.
+func (l List) HasErrors() bool {
+	for _, d := range l {
+		if d.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors returns only the error-severity diagnostics.
+func (l List) Errors() List {
+	var out List
+	for _, d := range l {
+		if d.Severity == SevError {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Sort orders the list by source position (then code), keeping the
+// relative order of diagnostics at the same position.
+func (l List) Sort() {
+	sort.SliceStable(l, func(i, j int) bool {
+		if l[i].Span.Start != l[j].Span.Start {
+			return l[i].Span.Start < l[j].Span.Start
+		}
+		return l[i].Code < l[j].Code
+	})
+}
+
+// ErrStaticAnalysis is the sentinel every static-analysis failure wraps;
+// errors.Is(err, ErrStaticAnalysis) distinguishes front-end rejections
+// from execution errors, mirroring the engine's ErrCanceled /
+// ErrDeadlineExceeded vocabulary.
+var ErrStaticAnalysis = errors.New("graql: static analysis failed")
+
+// Failure is the error form of a diagnostic list with at least one
+// error. Error() renders the first error plus a count, keeping wrapped
+// messages single-line; Diags retains the full list for callers that
+// want every finding.
+type Failure struct {
+	Diags List
+}
+
+// Err returns l as an error: nil when l has no error-severity
+// diagnostics, the single diagnostic when there is exactly one, and a
+// *Failure otherwise.
+func (l List) Err() error {
+	errs := l.Errors()
+	switch len(errs) {
+	case 0:
+		return nil
+	case 1:
+		d := errs[0]
+		return &d
+	}
+	return &Failure{Diags: l}
+}
+
+// Error implements error.
+func (f *Failure) Error() string {
+	errs := f.Diags.Errors()
+	first := errs[0]
+	if len(errs) == 1 {
+		return first.Error()
+	}
+	return fmt.Sprintf("%s (and %d more errors)", first.Error(), len(errs)-1)
+}
+
+// Unwrap marks the failure as a static-analysis rejection.
+func (f *Failure) Unwrap() error { return ErrStaticAnalysis }

@@ -1,0 +1,144 @@
+package diag
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestSpan(t *testing.T) {
+	if (Span{}).Known() {
+		t.Error("zero span must be unknown")
+	}
+	a := Span{Start: 10, End: 15, Line: 2, Col: 3}
+	b := Span{Start: 20, End: 28, Line: 3, Col: 1}
+	cov := a.Cover(b)
+	if cov.Start != 10 || cov.End != 28 || cov.Line != 2 || cov.Col != 3 {
+		t.Errorf("cover = %+v", cov)
+	}
+	if got := (Span{}).Cover(a); got != a {
+		t.Errorf("zero.Cover = %+v", got)
+	}
+	if got := a.Cover(Span{}); got != a {
+		t.Errorf("Cover(zero) = %+v", got)
+	}
+}
+
+func TestSeverityJSON(t *testing.T) {
+	for _, sev := range []Severity{SevError, SevWarning} {
+		b, err := json.Marshal(sev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Severity
+		if err := json.Unmarshal(b, &back); err != nil || back != sev {
+			t.Errorf("round-trip %v → %s → %v (%v)", sev, b, back, err)
+		}
+	}
+	var s Severity
+	if err := json.Unmarshal([]byte(`"fatal"`), &s); err == nil {
+		t.Error("bad severity must not unmarshal")
+	}
+}
+
+func TestDiagnosticError(t *testing.T) {
+	d := &Diagnostic{
+		Severity: SevError, Code: UnknownTable,
+		Span: Span{Start: 14, End: 21, Line: 2, Col: 8},
+		Msg:  "unknown table Foo",
+	}
+	want := "graql: 2:8: unknown table Foo [GQL0101]"
+	if d.Error() != want {
+		t.Errorf("Error() = %q, want %q", d.Error(), want)
+	}
+	if !errors.Is(d, ErrStaticAnalysis) {
+		t.Error("error diagnostic must match ErrStaticAnalysis")
+	}
+
+	w := &Diagnostic{Severity: SevWarning, Code: AlwaysTrue, Msg: "always true"}
+	if errors.Is(w, ErrStaticAnalysis) {
+		t.Error("warning must not match ErrStaticAnalysis")
+	}
+	if strings.Contains(w.Error(), "0:0") {
+		t.Errorf("unknown span must not render a position: %q", w.Error())
+	}
+}
+
+func TestFormat(t *testing.T) {
+	d := Diagnostic{
+		Severity: SevWarning, Code: AlwaysFalse,
+		Span: Span{Line: 4, Col: 9},
+		Msg:  "condition is always false",
+	}
+	want := "q.graql:4:9: GQL1001: warning: condition is always false"
+	if got := d.Format("q.graql"); got != want {
+		t.Errorf("Format = %q, want %q", got, want)
+	}
+}
+
+func TestListSortAndErr(t *testing.T) {
+	var l List
+	if l.Err() != nil || l.HasErrors() {
+		t.Error("empty list must be clean")
+	}
+
+	l.Add(Diagnostic{Severity: SevWarning, Code: AlwaysTrue, Span: Span{Start: 30, Line: 3, Col: 1}, Msg: "w"})
+	if l.Err() != nil {
+		t.Error("warnings alone must not produce an error")
+	}
+
+	l.Add(Diagnostic{Severity: SevError, Code: UnknownColumn, Span: Span{Start: 10, Line: 1, Col: 11}, Msg: "e2"})
+	l.Add(Diagnostic{Severity: SevError, Code: UnknownTable, Span: Span{Start: 10, Line: 1, Col: 11}, Msg: "e1"})
+	l.Sort()
+	if l[0].Code != UnknownTable || l[1].Code != UnknownColumn || l[2].Code != AlwaysTrue {
+		t.Errorf("sort order wrong: %v", l)
+	}
+
+	err := l.Err()
+	var f *Failure
+	if !errors.As(err, &f) {
+		t.Fatalf("want *Failure for multi-error list, got %T", err)
+	}
+	if !errors.Is(err, ErrStaticAnalysis) {
+		t.Error("failure must match ErrStaticAnalysis")
+	}
+	if !strings.Contains(err.Error(), "and 1 more error") {
+		t.Errorf("failure must count remaining errors: %q", err.Error())
+	}
+	if got := len(l.Errors()); got != 2 {
+		t.Errorf("Errors() = %d diagnostics, want 2", got)
+	}
+
+	single := List{l[0]}
+	var d *Diagnostic
+	if !errors.As(single.Err(), &d) || d.Code != UnknownTable {
+		t.Errorf("single-error list must return the diagnostic, got %v", single.Err())
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	infos := Codes()
+	if len(infos) == 0 {
+		t.Fatal("empty registry")
+	}
+	seen := map[Code]bool{}
+	for _, info := range infos {
+		if !Registered(info.Code) {
+			t.Errorf("code %s not registered", info.Code)
+		}
+		if seen[info.Code] {
+			t.Errorf("duplicate code %s", info.Code)
+		}
+		seen[info.Code] = true
+		if info.Meaning == "" || info.Paper == "" {
+			t.Errorf("code %s missing meaning or paper section", info.Code)
+		}
+		if !strings.HasPrefix(string(info.Code), "GQL") || len(info.Code) != 7 {
+			t.Errorf("malformed code %q", info.Code)
+		}
+	}
+	if Registered("GQL9999") {
+		t.Error("unknown code must not be registered")
+	}
+}

@@ -53,6 +53,10 @@ type Options struct {
 	// touching data files: ingest statements are validated but skipped.
 	// Used to statically check whole scripts (paper §III-A).
 	CheckOnly bool
+	// NoFold disables constant folding of resolved predicates. Folding is
+	// exact (it never changes results or hides runtime errors), so this
+	// exists for A/B property tests and plan inspection only.
+	NoFold bool
 	// FileOpener overrides how ingest resolves file paths (tests and the
 	// server use this to sandbox file access). nil uses the OS
 	// filesystem rooted at BaseDir.
@@ -210,7 +214,7 @@ func (e *Engine) execStmt(st ast.Stmt, params map[string]value.Value) (Result, e
 	if _, isSelect := st.(*ast.Select); !isSelect || e.Opts.CheckOnly {
 		e.Cat.Lock()
 		defer e.Cat.Unlock()
-		an := &sema.Analyzer{Cat: e.Cat}
+		an := &sema.Analyzer{Cat: e.Cat, NoFold: e.Opts.NoFold}
 		analyzed, err := an.Analyze(st)
 		if err != nil {
 			return Result{}, err
@@ -233,7 +237,7 @@ func (e *Engine) execStmt(st ast.Stmt, params map[string]value.Value) (Result, e
 	}
 
 	e.Cat.RLock()
-	an := &sema.Analyzer{Cat: e.Cat}
+	an := &sema.Analyzer{Cat: e.Cat, NoFold: e.Opts.NoFold}
 	analyzed, err := an.Analyze(st)
 	if err != nil {
 		e.Cat.RUnlock()
@@ -449,7 +453,7 @@ func (e *Engine) rebuildViews(swapped string) error {
 	g := graph.NewGraph()
 	e.Cat.SetGraph(g)
 	e.Cat.ClearSubgraphs()
-	an := &sema.Analyzer{Cat: e.Cat}
+	an := &sema.Analyzer{Cat: e.Cat, NoFold: e.Opts.NoFold}
 
 	dirtyVtx := map[string]bool{}
 	for _, d := range e.Cat.VertexDecls() {

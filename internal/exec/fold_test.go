@@ -1,0 +1,106 @@
+package exec
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randFoldableQuery builds a random query whose conditions contain
+// constant subexpressions the folder can collapse: arithmetic over
+// literals, always-true disjuncts, always-false conjuncts.
+func randFoldableQuery(r *rand.Rand) string {
+	cmp := []string{"<", "<=", ">", ">=", "=", "<>"}
+	conds := []func() string{
+		func() string { return fmt.Sprintf("n %s %d + %d", cmp[r.Intn(len(cmp))], r.Intn(5), r.Intn(5)) },
+		func() string { return fmt.Sprintf("n %s 2 * %d - 1", cmp[r.Intn(len(cmp))], 1+r.Intn(4)) },
+		func() string { return fmt.Sprintf("%d %s n", r.Intn(9), cmp[r.Intn(len(cmp))]) },
+		func() string { return fmt.Sprintf("n > %d and 1 < 2", r.Intn(6)) },
+		func() string { return fmt.Sprintf("n < %d or 2 < 1", 3+r.Intn(6)) },
+		func() string { return fmt.Sprintf("1 < 2 and n <> %d", r.Intn(9)) },
+		func() string { return fmt.Sprintf("2 < 1 or n >= %d", r.Intn(5)) },
+	}
+	cond := func() string { return conds[r.Intn(len(conds))]() }
+	if r.Intn(2) == 0 {
+		return fmt.Sprintf("select id, n from table TA where %s order by id asc", cond())
+	}
+	return fmt.Sprintf(
+		"select x.id, y.id as yid from graph def x: A (%s) --e--> def y: B (%s)",
+		cond(), cond())
+}
+
+// TestFoldEquivalence is the lint-tier safety property: constant folding
+// is exact, so running every query with folding disabled (NoFold) must
+// produce identical results.
+func TestFoldEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 60; trial++ {
+		files := randFixture(r)
+		query := randFoldableQuery(r)
+
+		run := func(noFold bool) map[string]int {
+			opts := DefaultOptions()
+			opts.Workers = 2
+			opts.NoFold = noFold
+			opts.FileOpener = memFS(files)
+			e := New(opts)
+			mustExec(t, e, semaSchema, nil)
+			return rowSet(tableRows(t, mustExec(t, e, query, nil)))
+		}
+		folded := run(false)
+		unfolded := run(true)
+		if len(folded) != len(unfolded) {
+			t.Fatalf("trial %d: folding changed results\nquery: %s\nfolded: %v\nunfolded: %v",
+				trial, query, folded, unfolded)
+		}
+		for k, n := range unfolded {
+			if folded[k] != n {
+				t.Fatalf("trial %d: folding changed row %q (%d vs %d)\nquery: %s",
+					trial, k, folded[k], n, query)
+			}
+		}
+	}
+}
+
+// TestFoldVisibleInExplain: the planner receives (and EXPLAIN therefore
+// shows) the folded predicate, not the source expression.
+func TestFoldEquivalenceExplain(t *testing.T) {
+	planText := func(e *Engine, query string) string {
+		var b strings.Builder
+		for _, row := range tableRows(t, mustExec(t, e, query, nil)) {
+			b.WriteString(strings.Join(row, " "))
+			b.WriteByte('\n')
+		}
+		return b.String()
+	}
+
+	e := newTestEngine(semaFiles)
+	mustExec(t, e, semaSchema, nil)
+
+	plan := planText(e, `explain select id from table TA where n > 2 + 3`)
+	if !strings.Contains(plan, "n > 5") {
+		t.Errorf("explain must show the folded predicate n > 5:\n%s", plan)
+	}
+	if strings.Contains(plan, "2 + 3") {
+		t.Errorf("explain still shows the unfolded source expression:\n%s", plan)
+	}
+
+	// An always-true conjunct folds away entirely: no filter at all.
+	plan = planText(e, `explain select id from table TA where 1 < 2`)
+	if strings.Contains(plan, "filter") {
+		t.Errorf("always-true predicate must fold the filter away:\n%s", plan)
+	}
+
+	// With NoFold the source expression survives to the plan.
+	opts := DefaultOptions()
+	opts.Workers = 2
+	opts.NoFold = true
+	opts.FileOpener = memFS(semaFiles)
+	nf := New(opts)
+	mustExec(t, nf, semaSchema, nil)
+	plan = planText(nf, `explain select id from table TA where n > 2 + 3`)
+	if !strings.Contains(plan, "2 + 3") {
+		t.Errorf("NoFold explain must keep the source expression:\n%s", plan)
+	}
+}

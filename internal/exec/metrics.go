@@ -20,6 +20,7 @@ type engineMetrics struct {
 	errors     *obs.Counter
 	canceled   *obs.Counter // statements aborted by context cancellation
 	timedOut   *obs.Counter // statements aborted by deadline expiry
+	vetErrors  *obs.Counter // error diagnostics reported by vet runs
 
 	rowsScanned    *obs.Counter // candidate-scan and table-scan rows visited
 	edgesTraversed *obs.Counter // edge-index entries walked
@@ -45,6 +46,7 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 	m.errors = reg.Counter("graql_statement_errors_total", "GraQL statements that returned an error")
 	m.canceled = reg.Counter("graql_queries_canceled_total", "GraQL statements aborted by context cancellation")
 	m.timedOut = reg.Counter("graql_queries_timeout_total", "GraQL statements aborted by deadline expiry")
+	m.vetErrors = reg.Counter("graql_vet_errors_total", "error diagnostics reported by static-analysis (vet) runs")
 	m.rowsScanned = reg.Counter("graql_rows_scanned_total", "table and vertex-candidate rows scanned")
 	m.edgesTraversed = reg.Counter("graql_edges_traversed_total", "edge-index entries traversed during matching")
 	m.indexHits = reg.Counter("graql_reverse_index_hits_total", "reverse traversals served by a reverse index")

@@ -1,0 +1,62 @@
+package exec
+
+import (
+	"errors"
+
+	"graql/internal/diag"
+	"graql/internal/parser"
+	"graql/internal/sema"
+)
+
+// VetScript runs the full static-analysis front-end over a script and
+// returns every diagnostic — parse errors, semantic errors and lint
+// warnings — sorted by source position. Unlike ExecScript it never
+// stops at the first problem: the recovering parser and the
+// diagnostics-collecting analyzer report all independent issues of
+// every statement.
+//
+// Analysis runs against a scratch copy of the catalog seeded from the
+// script itself: DDL statements that check out cleanly are applied (on
+// empty data, without file IO) so that later statements resolve their
+// tables, vertex types and result placeholders. The receiving engine's
+// own catalog and data are never touched; only its
+// graql_vet_errors_total counter observes the run.
+func (e *Engine) VetScript(src string) diag.List {
+	script, diags := parser.ParseScript(src)
+	scratch := New(Options{CheckOnly: true, ReverseIndexes: true, NoFold: e.Opts.NoFold})
+	if script != nil {
+		for _, st := range script.Stmts {
+			an := &sema.Analyzer{Cat: scratch.Cat, NoFold: scratch.Opts.NoFold}
+			_, ds := an.Vet(st)
+			diags = append(diags, ds...)
+			if ds.HasErrors() {
+				continue
+			}
+			// Apply the statement's scaffolding (tables, vertex and edge
+			// types, into-placeholders) so later statements resolve.
+			if _, err := scratch.ExecStmt(st, nil); err != nil {
+				var d *diag.Diagnostic
+				if errors.As(err, &d) {
+					diags.Add(*d)
+				} else {
+					diags.Add(diag.Diagnostic{
+						Severity: diag.SevError,
+						Code:     diag.StatementMisuse,
+						Span:     st.Span(),
+						Msg:      err.Error(),
+					})
+				}
+			}
+		}
+	}
+	diags.Sort()
+	e.met.vetErrors.Add(int64(len(diags.Errors())))
+	return diags
+}
+
+// VetScript statically analyses a script against an empty catalog,
+// reporting all diagnostics. Scripts must be self-contained (declare
+// what they use) to vet cleanly, exactly like CheckScript.
+func VetScript(src string) diag.List {
+	return New(Options{}).VetScript(src)
+}

@@ -1,0 +1,72 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"graql/internal/diag"
+	"graql/internal/obs"
+)
+
+// TestVetScriptScaffolding: vet applies clean DDL to a scratch catalog
+// so later statements resolve, while broken statements keep reporting.
+func TestVetScriptScaffolding(t *testing.T) {
+	diags := VetScript(`
+create table T(id varchar(8), n integer)
+create vertex V(id) from table T
+select id from table T where n > 2
+select id from table T where zap > 2
+select V2.id from graph def V2: V ( )
+`)
+	errs := diags.Errors()
+	if len(errs) != 1 || errs[0].Code != diag.UnknownColumn {
+		t.Fatalf("want exactly the unknown-column error, got %v", diags)
+	}
+}
+
+// TestVetScriptIsolation: vetting never mutates the engine's own catalog.
+func TestVetScriptIsolation(t *testing.T) {
+	e := New(DefaultOptions())
+	if diags := e.VetScript(`create table T(id varchar(8))`); diags.HasErrors() {
+		t.Fatalf("clean script: %v", diags)
+	}
+	if e.Cat.Table("T") != nil {
+		t.Error("vet leaked DDL into the live catalog")
+	}
+}
+
+// TestVetScriptMetric: error diagnostics bump graql_vet_errors_total on
+// the engine that served the vet.
+func TestVetScriptMetric(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Obs = obs.New()
+	e := New(opts)
+
+	e.VetScript(`select a, b from table Missing`)
+	text := opts.Obs.PrometheusText()
+	var line string
+	for _, l := range strings.Split(text, "\n") {
+		if strings.HasPrefix(l, "graql_vet_errors_total") {
+			line = l
+		}
+	}
+	if line == "" || strings.HasSuffix(line, " 0") {
+		t.Errorf("graql_vet_errors_total not bumped: %q", line)
+	}
+}
+
+// TestVetScriptMultiStatement: each statement reports independently —
+// errors in one do not stop analysis of the next.
+func TestVetScriptMultiStatement(t *testing.T) {
+	diags := VetScript(`
+select id from table Missing1
+select id from table Missing2
+`)
+	errs := diags.Errors()
+	if len(errs) != 2 {
+		t.Fatalf("want 2 errors, got %v", diags)
+	}
+	if errs[0].Span.Line >= errs[1].Span.Line {
+		t.Errorf("diagnostics not sorted by position: %v", errs)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"strings"
 
+	"graql/internal/diag"
 	"graql/internal/value"
 )
 
@@ -99,14 +100,44 @@ type Expr interface {
 	// Eval computes the expression's value in env.
 	Eval(env Env) (value.Value, error)
 	// Check type-checks the expression and returns its static type.
+	// Type errors are *diag.Diagnostic values carrying the node's span.
 	Check(env TypeEnv) (value.Type, error)
 	// String renders GraQL source for the expression.
 	String() string
 }
 
+// SpanOf returns the source span of a node. Nodes built without position
+// information (IR decoding, hand-built tests) yield the zero span.
+func SpanOf(e Expr) diag.Span {
+	switch n := e.(type) {
+	case *Const:
+		return n.Loc
+	case *Param:
+		return n.Loc
+	case *Ref:
+		return n.Loc
+	case *Unary:
+		return n.Loc
+	case *Binary:
+		return n.Loc
+	}
+	return diag.Span{}
+}
+
+// typeDiag builds a positioned static type error for node e.
+func typeDiag(e Expr, code diag.Code, format string, args ...any) error {
+	return &diag.Diagnostic{
+		Severity: diag.SevError,
+		Code:     code,
+		Span:     SpanOf(e),
+		Msg:      fmt.Sprintf(format, args...),
+	}
+}
+
 // Const is a literal value.
 type Const struct {
-	V value.Value
+	V   value.Value
+	Loc diag.Span
 }
 
 // NewConst returns a literal expression.
@@ -129,6 +160,7 @@ func (c *Const) String() string {
 // queries. Parameters must be substituted (see Bind) before evaluation.
 type Param struct {
 	Name string
+	Loc  diag.Span
 }
 
 // Eval implements Expr; an unbound parameter is an execution error.
@@ -151,6 +183,7 @@ type Ref struct {
 	Name      string
 	Source    int
 	Col       int
+	Loc       diag.Span
 }
 
 // NewRef returns an unresolved reference.
@@ -186,8 +219,9 @@ func (r *Ref) String() string {
 
 // Unary applies OpNot or OpNeg to one operand.
 type Unary struct {
-	Op Op
-	X  Expr
+	Op  Op
+	X   Expr
+	Loc diag.Span
 }
 
 // Eval implements Expr.
@@ -226,12 +260,14 @@ func (u *Unary) Check(env TypeEnv) (value.Type, error) {
 	switch u.Op {
 	case OpNot:
 		if xt.Kind != value.KindBool && xt.Kind != value.KindInvalid {
-			return value.Invalid, &value.TypeError{Op: "not", A: xt.Kind, B: value.KindBool}
+			return value.Invalid, typeDiag(u, diag.BoolRequired,
+				"operand of not must be boolean, got %s", xt.Kind)
 		}
 		return value.Bool, nil
 	case OpNeg:
 		if !xt.Kind.Numeric() && xt.Kind != value.KindInvalid {
-			return value.Invalid, &value.TypeError{Op: "negate", A: xt.Kind, B: value.KindFloat}
+			return value.Invalid, typeDiag(u, diag.NumberRequired,
+				"cannot negate %s", xt.Kind)
 		}
 		return xt, nil
 	}
@@ -249,6 +285,7 @@ func (u *Unary) String() string {
 type Binary struct {
 	Op   Op
 	L, R Expr
+	Loc  diag.Span
 }
 
 // NewBinary returns a binary expression node.
@@ -400,7 +437,8 @@ func (b *Binary) Check(env TypeEnv) (value.Type, error) {
 	switch {
 	case b.Op.Comparison():
 		if !wild && !lt.Comparable(rt) {
-			return value.Invalid, &value.TypeError{Op: "compare", A: lt.Kind, B: rt.Kind}
+			return value.Invalid, typeDiag(b, diag.TypeMismatch,
+				"cannot compare %s with %s", lt.Kind, rt.Kind)
 		}
 		return value.Bool, nil
 	case b.Op.Logical():
@@ -410,12 +448,14 @@ func (b *Binary) Check(env TypeEnv) (value.Type, error) {
 			if bad == value.KindBool {
 				bad = rt.Kind
 			}
-			return value.Invalid, &value.TypeError{Op: b.Op.String(), A: bad, B: value.KindBool}
+			return value.Invalid, typeDiag(b, diag.BoolRequired,
+				"operand of %s must be boolean, got %s", b.Op, bad)
 		}
 		return value.Bool, nil
 	case b.Op.Arith():
 		if !wild && (!lt.Kind.Numeric() || !rt.Kind.Numeric()) {
-			return value.Invalid, &value.TypeError{Op: b.Op.String(), A: lt.Kind, B: rt.Kind}
+			return value.Invalid, typeDiag(b, diag.NumberRequired,
+				"operator %s requires numeric operands, got %s and %s", b.Op, lt.Kind, rt.Kind)
 		}
 		if lt.Kind == value.KindFloat || rt.Kind == value.KindFloat || b.Op == OpDiv && wild {
 			return value.Float, nil

@@ -1,0 +1,96 @@
+package expr
+
+import "graql/internal/value"
+
+// Fold returns e with constant subtrees evaluated away. Folding is
+// semantics-preserving:
+//
+//   - a Unary/Binary node whose operands are all constants is replaced by
+//     its value only when evaluation succeeds — a constant `1/0` is left
+//     alone so it still raises its runtime error;
+//   - `false and X` / `true or X` collapse to their dominant constant even
+//     when X is non-constant (short-circuit evaluation would never look at
+//     X), and `true and X` / `false or X` collapse to X;
+//   - everything else (refs, params, non-constant operands) is preserved.
+//
+// Spans are preserved so diagnostics about folded predicates still point
+// at the original source. The planner runs Fold on resolved conditions so
+// that e.g. `price > 10*100` costs one comparison per row, and the lint
+// tier inspects the folded form to flag always-true/false predicates.
+func Fold(e Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	return Rewrite(e, foldNode)
+}
+
+// foldNode folds a single node whose children are already folded.
+func foldNode(e Expr) Expr {
+	switch n := e.(type) {
+	case *Unary:
+		if _, ok := constVal(n.X); !ok {
+			return nil
+		}
+		v, err := n.Eval(nil)
+		if err != nil {
+			return nil
+		}
+		return &Const{V: v, Loc: n.Loc}
+	case *Binary:
+		lc, lok := constVal(n.L)
+		rc, rok := constVal(n.R)
+		if lok && rok {
+			v, err := n.Eval(nil)
+			if err != nil {
+				// e.g. division by zero: keep the node so the error
+				// surfaces at execution time, as without folding.
+				return nil
+			}
+			return &Const{V: v, Loc: n.Loc}
+		}
+		// Short-circuit identities for connectives with one constant side.
+		// Only exact rewrites are applied: a dominant RIGHT constant
+		// (`x or true`) is left alone, because evaluation visits x first
+		// and folding would hide x's runtime errors.
+		if n.Op != OpAnd && n.Op != OpOr {
+			return nil
+		}
+		if lok {
+			return foldConnective(n, lc, n.R, true)
+		}
+		if rok {
+			return foldConnective(n, rc, n.L, false)
+		}
+	}
+	return nil
+}
+
+// foldConnective simplifies `c and x` / `c or x` given constant boolean
+// c; left reports whether c is the left operand.
+func foldConnective(b *Binary, c value.Value, x Expr, left bool) Expr {
+	if c.Kind() != value.KindBool || c.IsNull() {
+		// NULL is not dominant for either connective; `null and x` still
+		// depends on x, so leave the node alone.
+		return nil
+	}
+	dominant := c.Bool() == (b.Op == OpOr) // true or _, false and _
+	if dominant {
+		if !left {
+			return nil // would skip x's evaluation; not exact
+		}
+		return &Const{V: value.NewBool(b.Op == OpOr), Loc: b.Loc}
+	}
+	// true and x → x; false or x → x (and their mirrored forms): exact,
+	// since the connective's result always equals x's value here and x is
+	// still evaluated.
+	return x
+}
+
+// constVal returns the value of a constant node.
+func constVal(e Expr) (value.Value, bool) {
+	c, ok := e.(*Const)
+	if !ok {
+		return value.Value{}, false
+	}
+	return c.V, true
+}

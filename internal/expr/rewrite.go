@@ -14,9 +14,9 @@ func Rewrite(e Expr, f func(Expr) Expr) Expr {
 	}
 	switch n := e.(type) {
 	case *Unary:
-		e = &Unary{Op: n.Op, X: Rewrite(n.X, f)}
+		e = &Unary{Op: n.Op, X: Rewrite(n.X, f), Loc: n.Loc}
 	case *Binary:
-		e = &Binary{Op: n.Op, L: Rewrite(n.L, f), R: Rewrite(n.R, f)}
+		e = &Binary{Op: n.Op, L: Rewrite(n.L, f), R: Rewrite(n.R, f), Loc: n.Loc}
 	case *Ref:
 		cp := *n
 		e = &cp
@@ -62,7 +62,7 @@ func BindParams(e Expr, params map[string]value.Value) (Expr, error) {
 			}
 			return nil
 		}
-		return NewConst(v)
+		return &Const{V: v, Loc: p.Loc}
 	})
 	if missing != "" {
 		return nil, fmt.Errorf("graql: no binding for parameter %%%s%%", missing)

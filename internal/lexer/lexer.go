@@ -157,9 +157,11 @@ func (t Token) Lower() string { return strings.ToLower(t.Text) }
 // Is reports whether t is the given keyword (case-insensitive).
 func (t Token) Is(kw string) bool { return t.Kind == Keyword && t.Lower() == kw }
 
-// Error is a lexical error with position information.
+// Error is a lexical error with position information. Pos is the byte
+// offset of the offending character in the source.
 type Error struct {
 	Line, Col int
+	Pos       int
 	Msg       string
 }
 
@@ -192,7 +194,7 @@ type lexer struct {
 }
 
 func (l *lexer) errf(format string, args ...any) error {
-	return &Error{Line: l.line, Col: l.col, Msg: fmt.Sprintf(format, args...)}
+	return &Error{Line: l.line, Col: l.col, Pos: l.pos, Msg: fmt.Sprintf(format, args...)}
 }
 
 func (l *lexer) peekAt(off int) byte {

@@ -3,6 +3,7 @@ package parser
 import (
 	"strconv"
 
+	"graql/internal/diag"
 	"graql/internal/expr"
 	"graql/internal/lexer"
 	"graql/internal/value"
@@ -18,8 +19,17 @@ import (
 //	mul   := unary ((*|/|%) unary)*
 //	unary := [-] primary
 //	prim  := literal | %param% | ident[.ident] | ( expr ) | true | false | null
+//
+// Every node carries the span of the source text it was parsed from:
+// binary nodes cover both operands, so a diagnostic about `a and b`
+// underlines the whole connective.
 func (p *parser) parseExpr() (expr.Expr, error) {
 	return p.parseOrExpr()
+}
+
+// binSpan is the covering span of a binary node's operands.
+func binSpan(l, r expr.Expr) diag.Span {
+	return expr.SpanOf(l).Cover(expr.SpanOf(r))
 }
 
 func (p *parser) parseOrExpr() (expr.Expr, error) {
@@ -33,7 +43,7 @@ func (p *parser) parseOrExpr() (expr.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = expr.NewBinary(expr.OpOr, l, r)
+		l = &expr.Binary{Op: expr.OpOr, L: l, R: r, Loc: binSpan(l, r)}
 	}
 	return l, nil
 }
@@ -49,19 +59,19 @@ func (p *parser) parseAndExpr() (expr.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = expr.NewBinary(expr.OpAnd, l, r)
+		l = &expr.Binary{Op: expr.OpAnd, L: l, R: r, Loc: binSpan(l, r)}
 	}
 	return l, nil
 }
 
 func (p *parser) parseNotExpr() (expr.Expr, error) {
 	if p.atKw("not") {
-		p.next()
+		opTok := p.next()
 		x, err := p.parseNotExpr()
 		if err != nil {
 			return nil, err
 		}
-		return &expr.Unary{Op: expr.OpNot, X: x}, nil
+		return &expr.Unary{Op: expr.OpNot, X: x, Loc: tokSpan(opTok).Cover(expr.SpanOf(x))}, nil
 	}
 	return p.parseCmpExpr()
 }
@@ -86,7 +96,7 @@ func (p *parser) parseCmpExpr() (expr.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		return expr.NewBinary(op, l, r), nil
+		return &expr.Binary{Op: op, L: l, R: r, Loc: binSpan(l, r)}, nil
 	}
 	return l, nil
 }
@@ -106,7 +116,7 @@ func (p *parser) parseAddExpr() (expr.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = expr.NewBinary(op, l, r)
+		l = &expr.Binary{Op: op, L: l, R: r, Loc: binSpan(l, r)}
 	}
 	return l, nil
 }
@@ -131,19 +141,19 @@ func (p *parser) parseMulExpr() (expr.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
-		l = expr.NewBinary(op, l, r)
+		l = &expr.Binary{Op: op, L: l, R: r, Loc: binSpan(l, r)}
 	}
 	return l, nil
 }
 
 func (p *parser) parseUnaryExpr() (expr.Expr, error) {
 	if p.at(lexer.Minus) {
-		p.next()
+		opTok := p.next()
 		x, err := p.parseUnaryExpr()
 		if err != nil {
 			return nil, err
 		}
-		return &expr.Unary{Op: expr.OpNeg, X: x}, nil
+		return &expr.Unary{Op: expr.OpNeg, X: x, Loc: tokSpan(opTok).Cover(expr.SpanOf(x))}, nil
 	}
 	return p.parsePrimaryExpr()
 }
@@ -155,22 +165,22 @@ func (p *parser) parsePrimaryExpr() (expr.Expr, error) {
 		p.next()
 		i, err := strconv.ParseInt(t.Text, 10, 64)
 		if err != nil {
-			return nil, p.errf("bad integer literal %q", t.Text)
+			return nil, errAt(tokSpan(t), diag.BadLiteral, "bad integer literal %q", t.Text)
 		}
-		return expr.NewConst(value.NewInt(i)), nil
+		return &expr.Const{V: value.NewInt(i), Loc: tokSpan(t)}, nil
 	case lexer.Float:
 		p.next()
 		f, err := strconv.ParseFloat(t.Text, 64)
 		if err != nil {
-			return nil, p.errf("bad float literal %q", t.Text)
+			return nil, errAt(tokSpan(t), diag.BadLiteral, "bad float literal %q", t.Text)
 		}
-		return expr.NewConst(value.NewFloat(f)), nil
+		return &expr.Const{V: value.NewFloat(f), Loc: tokSpan(t)}, nil
 	case lexer.String:
 		p.next()
-		return expr.NewConst(value.NewString(t.Text)), nil
+		return &expr.Const{V: value.NewString(t.Text), Loc: tokSpan(t)}, nil
 	case lexer.Param:
 		p.next()
-		return &expr.Param{Name: t.Text}, nil
+		return &expr.Param{Name: t.Text, Loc: tokSpan(t)}, nil
 	case lexer.LParen:
 		p.next()
 		e, err := p.parseExpr()
@@ -185,13 +195,13 @@ func (p *parser) parsePrimaryExpr() (expr.Expr, error) {
 		switch t.Lower() {
 		case "true":
 			p.next()
-			return expr.NewConst(value.NewBool(true)), nil
+			return &expr.Const{V: value.NewBool(true), Loc: tokSpan(t)}, nil
 		case "false":
 			p.next()
-			return expr.NewConst(value.NewBool(false)), nil
+			return &expr.Const{V: value.NewBool(false), Loc: tokSpan(t)}, nil
 		case "null":
 			p.next()
-			return expr.NewConst(value.NewNull(value.KindInvalid)), nil
+			return &expr.Const{V: value.NewNull(value.KindInvalid), Loc: tokSpan(t)}, nil
 		}
 		return nil, p.errf("unexpected keyword %q in expression", t.Text)
 	case lexer.Ident:

@@ -6,22 +6,45 @@
 // path regular expressions, and/or composition, select-from-graph and
 // select-from-table with the relational operations of Table I, and
 // into table / into subgraph result capture).
+//
+// Errors are positioned *diag.Diagnostic values. ParseScript recovers at
+// statement boundaries so one pass reports every syntactically broken
+// statement; Parse keeps the historical fail-fast contract.
 package parser
 
 import (
+	"errors"
 	"fmt"
 
 	"graql/internal/ast"
+	"graql/internal/diag"
 	"graql/internal/expr"
 	"graql/internal/lexer"
 	"graql/internal/value"
 )
 
-// Parse parses a complete GraQL script.
+// Parse parses a complete GraQL script, stopping at the first error.
 func Parse(src string) (*ast.Script, error) {
+	script, diags := ParseScript(src)
+	if err := diags.Err(); err != nil {
+		return nil, err
+	}
+	return script, nil
+}
+
+// ParseScript parses a complete GraQL script, recovering at statement
+// boundaries: when a statement fails to parse, its diagnostic is recorded
+// and parsing resumes at the next semicolon or statement-start keyword,
+// so a single pass diagnoses every malformed statement. The returned
+// script holds the statements that did parse.
+func ParseScript(src string) (*ast.Script, diag.List) {
+	var diags diag.List
 	toks, err := lexer.Lex(src)
 	if err != nil {
-		return nil, err
+		// Lexing is fail-fast: one invalid token poisons the rest of the
+		// stream, so it yields a single diagnostic.
+		diags.Add(lexDiag(err))
+		return &ast.Script{}, diags
 	}
 	p := &parser{src: src, toks: toks}
 	script := &ast.Script{}
@@ -32,16 +55,79 @@ func Parse(src string) (*ast.Script, error) {
 		if p.at(lexer.EOF) {
 			break
 		}
+		start := p.peek()
 		st, err := p.parseStmt()
 		if err != nil {
-			return nil, err
+			diags.Add(asDiag(err))
+			p.sync()
+			continue
 		}
+		setStmtLoc(st, tokSpan(start).Cover(tokSpan(p.prev())))
 		script.Stmts = append(script.Stmts, st)
 		for p.at(lexer.Semicolon) {
 			p.next()
 		}
 	}
-	return script, nil
+	return script, diags
+}
+
+// lexDiag converts a lexer error into a diagnostic.
+func lexDiag(err error) diag.Diagnostic {
+	var le *lexer.Error
+	d := diag.Diagnostic{Severity: diag.SevError, Code: diag.LexError, Msg: err.Error()}
+	if errors.As(err, &le) {
+		d.Span = diag.Span{Start: le.Pos, End: le.Pos + 1, Line: le.Line, Col: le.Col}
+		d.Msg = le.Msg
+	}
+	return d
+}
+
+// asDiag converts a parser-internal error into a diagnostic.
+func asDiag(err error) diag.Diagnostic {
+	var d *diag.Diagnostic
+	if errors.As(err, &d) {
+		return *d
+	}
+	return diag.Diagnostic{Severity: diag.SevError, Code: diag.ParseError, Msg: err.Error()}
+}
+
+// sync skips ahead to a plausible statement boundary: past the next
+// semicolon, or to a statement-start keyword at the beginning of a line.
+// It always consumes at least one token, guaranteeing progress.
+func (p *parser) sync() {
+	p.next()
+	for !p.at(lexer.EOF) {
+		t := p.peek()
+		if t.Kind == lexer.Semicolon {
+			p.next()
+			return
+		}
+		if t.Kind == lexer.Keyword && t.AfterNewline {
+			switch t.Lower() {
+			case "create", "ingest", "output", "select", "explain":
+				return
+			}
+		}
+		p.next()
+	}
+}
+
+// setStmtLoc records the source span of a freshly parsed statement.
+func setStmtLoc(st ast.Stmt, loc diag.Span) {
+	switch n := st.(type) {
+	case *ast.CreateTable:
+		n.Loc = loc
+	case *ast.CreateVertex:
+		n.Loc = loc
+	case *ast.CreateEdge:
+		n.Loc = loc
+	case *ast.Ingest:
+		n.Loc = loc
+	case *ast.Output:
+		n.Loc = loc
+	case *ast.Select:
+		n.Loc = loc
+	}
 }
 
 // ParseExpr parses a standalone GraQL expression (used by tests and the
@@ -76,6 +162,14 @@ func (p *parser) peek2() lexer.Token { // token after next
 	return p.toks[len(p.toks)-1]
 }
 
+// prev returns the most recently consumed token.
+func (p *parser) prev() lexer.Token {
+	if p.pos == 0 {
+		return p.toks[0]
+	}
+	return p.toks[p.pos-1]
+}
+
 func (p *parser) next() lexer.Token {
 	t := p.toks[p.pos]
 	if t.Kind != lexer.EOF {
@@ -94,9 +188,24 @@ func (p *parser) eatKw(kw string) bool {
 	return false
 }
 
+// tokSpan converts a token's position into a diagnostic span.
+func tokSpan(t lexer.Token) diag.Span {
+	return diag.Span{Start: t.Start, End: t.End, Line: t.Line, Col: t.Col}
+}
+
+// errAt builds a positioned syntax diagnostic.
+func errAt(span diag.Span, code diag.Code, format string, args ...any) error {
+	return &diag.Diagnostic{
+		Severity: diag.SevError,
+		Code:     code,
+		Span:     span,
+		Msg:      fmt.Sprintf(format, args...),
+	}
+}
+
+// errf reports a syntax error at the current token.
 func (p *parser) errf(format string, args ...any) error {
-	t := p.peek()
-	return &lexer.Error{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+	return errAt(tokSpan(p.peek()), diag.ParseError, format, args...)
 }
 
 func (p *parser) expect(k lexer.Kind) (lexer.Token, error) {
@@ -114,11 +223,17 @@ func (p *parser) expectKw(kw string) error {
 	return nil
 }
 
-func (p *parser) ident() (string, error) {
+// identTok consumes an identifier token, keeping its position.
+func (p *parser) identTok() (lexer.Token, error) {
 	if !p.at(lexer.Ident) {
-		return "", p.errf("expected identifier, found %s %q", p.peek().Kind, p.peek().Text)
+		return lexer.Token{}, p.errf("expected identifier, found %s %q", p.peek().Kind, p.peek().Text)
 	}
-	return p.next().Text, nil
+	return p.next(), nil
+}
+
+func (p *parser) ident() (string, error) {
+	t, err := p.identTok()
+	return t.Text, err
 }
 
 func (p *parser) parseStmt() (ast.Stmt, error) {
@@ -151,7 +266,8 @@ func (p *parser) parseStmt() (ast.Stmt, error) {
 	case p.atKw("select"):
 		return p.parseSelect()
 	}
-	return nil, p.errf("expected a statement (create/ingest/output/explain/select), found %q", p.peek().Text)
+	return nil, errAt(tokSpan(p.peek()), diag.UnknownStmt,
+		"expected a statement (create/ingest/output/explain/select), found %q", p.peek().Text)
 }
 
 func (p *parser) parseCreate() (ast.Stmt, error) {
@@ -164,20 +280,21 @@ func (p *parser) parseCreate() (ast.Stmt, error) {
 	case p.eatKw("edge"):
 		return p.parseCreateEdge()
 	}
-	return nil, p.errf("expected table, vertex or edge after create, found %q", p.peek().Text)
+	return nil, errAt(tokSpan(p.peek()), diag.UnknownStmt,
+		"expected table, vertex or edge after create, found %q", p.peek().Text)
 }
 
 func (p *parser) parseCreateTable() (ast.Stmt, error) {
-	name, err := p.ident()
+	nameTok, err := p.identTok()
 	if err != nil {
 		return nil, err
 	}
 	if _, err := p.expect(lexer.LParen); err != nil {
 		return nil, err
 	}
-	st := &ast.CreateTable{Name: name}
+	st := &ast.CreateTable{Name: nameTok.Text, NamePos: tokSpan(nameTok)}
 	for {
-		colName, err := p.ident()
+		colTok, err := p.identTok()
 		if err != nil {
 			return nil, err
 		}
@@ -185,7 +302,7 @@ func (p *parser) parseCreateTable() (ast.Stmt, error) {
 		if err != nil {
 			return nil, err
 		}
-		st.Cols = append(st.Cols, ast.ColDef{Name: colName, Type: typ})
+		st.Cols = append(st.Cols, ast.ColDef{Name: colTok.Text, Type: typ, NamePos: tokSpan(colTok)})
 		if p.at(lexer.Comma) {
 			p.next()
 			continue
@@ -199,10 +316,11 @@ func (p *parser) parseCreateTable() (ast.Stmt, error) {
 }
 
 func (p *parser) parseType() (value.Type, error) {
-	tname, err := p.ident()
+	tnameTok, err := p.identTok()
 	if err != nil {
 		return value.Invalid, err
 	}
+	tname := tnameTok.Text
 	if p.at(lexer.LParen) {
 		p.next()
 		wtok, err := p.expect(lexer.Int)
@@ -212,26 +330,35 @@ func (p *parser) parseType() (value.Type, error) {
 		if _, err := p.expect(lexer.RParen); err != nil {
 			return value.Invalid, err
 		}
-		return value.ParseType(fmt.Sprintf("%s(%s)", tname, wtok.Text))
+		t, err := value.ParseType(fmt.Sprintf("%s(%s)", tname, wtok.Text))
+		if err != nil {
+			return value.Invalid, errAt(tokSpan(tnameTok), diag.BadLiteral, "%v", err)
+		}
+		return t, nil
 	}
-	return value.ParseType(tname)
+	t, err := value.ParseType(tname)
+	if err != nil {
+		return value.Invalid, errAt(tokSpan(tnameTok), diag.BadLiteral, "%v", err)
+	}
+	return t, nil
 }
 
 func (p *parser) parseCreateVertex() (ast.Stmt, error) {
-	name, err := p.ident()
+	nameTok, err := p.identTok()
 	if err != nil {
 		return nil, err
 	}
 	if _, err := p.expect(lexer.LParen); err != nil {
 		return nil, err
 	}
-	st := &ast.CreateVertex{Name: name}
+	st := &ast.CreateVertex{Name: nameTok.Text, NamePos: tokSpan(nameTok)}
 	for {
-		col, err := p.ident()
+		colTok, err := p.identTok()
 		if err != nil {
 			return nil, err
 		}
-		st.KeyCols = append(st.KeyCols, col)
+		st.KeyCols = append(st.KeyCols, colTok.Text)
+		st.KeyPos = append(st.KeyPos, tokSpan(colTok))
 		if p.at(lexer.Comma) {
 			p.next()
 			continue
@@ -247,9 +374,11 @@ func (p *parser) parseCreateVertex() (ast.Stmt, error) {
 	if err := p.expectKw("table"); err != nil {
 		return nil, err
 	}
-	if st.From, err = p.ident(); err != nil {
+	fromTok, err := p.identTok()
+	if err != nil {
 		return nil, err
 	}
+	st.From, st.FromPos = fromTok.Text, tokSpan(fromTok)
 	if p.eatKw("where") {
 		if st.Where, err = p.parseExpr(); err != nil {
 			return nil, err
@@ -259,11 +388,11 @@ func (p *parser) parseCreateVertex() (ast.Stmt, error) {
 }
 
 func (p *parser) parseCreateEdge() (ast.Stmt, error) {
-	name, err := p.ident()
+	nameTok, err := p.identTok()
 	if err != nil {
 		return nil, err
 	}
-	st := &ast.CreateEdge{Name: name}
+	st := &ast.CreateEdge{Name: nameTok.Text, NamePos: tokSpan(nameTok)}
 	if err := p.expectKw("with"); err != nil {
 		return nil, err
 	}
@@ -273,9 +402,11 @@ func (p *parser) parseCreateEdge() (ast.Stmt, error) {
 	if _, err := p.expect(lexer.LParen); err != nil {
 		return nil, err
 	}
-	if st.SrcType, err = p.ident(); err != nil {
+	srcTok, err := p.identTok()
+	if err != nil {
 		return nil, err
 	}
+	st.SrcType, st.SrcPos = srcTok.Text, tokSpan(srcTok)
 	if p.eatKw("as") {
 		if st.SrcAlias, err = p.ident(); err != nil {
 			return nil, err
@@ -284,9 +415,11 @@ func (p *parser) parseCreateEdge() (ast.Stmt, error) {
 	if _, err := p.expect(lexer.Comma); err != nil {
 		return nil, err
 	}
-	if st.DstType, err = p.ident(); err != nil {
+	dstTok, err := p.identTok()
+	if err != nil {
 		return nil, err
 	}
+	st.DstType, st.DstPos = dstTok.Text, tokSpan(dstTok)
 	if p.eatKw("as") {
 		if st.DstAlias, err = p.ident(); err != nil {
 			return nil, err
@@ -300,11 +433,12 @@ func (p *parser) parseCreateEdge() (ast.Stmt, error) {
 			return nil, err
 		}
 		for {
-			t, err := p.ident()
+			tTok, err := p.identTok()
 			if err != nil {
 				return nil, err
 			}
-			st.FromTables = append(st.FromTables, t)
+			st.FromTables = append(st.FromTables, tTok.Text)
+			st.FromPos = append(st.FromPos, tokSpan(tTok))
 			if p.at(lexer.Comma) {
 				p.next()
 				continue
@@ -322,37 +456,39 @@ func (p *parser) parseCreateEdge() (ast.Stmt, error) {
 
 func (p *parser) parseIngest() (ast.Stmt, error) {
 	p.next() // ingest
-	name, file, err := p.parseTableFile("ingest")
+	name, namePos, file, err := p.parseTableFile("ingest")
 	if err != nil {
 		return nil, err
 	}
-	return &ast.Ingest{Table: name, File: file}, nil
+	return &ast.Ingest{Table: name, File: file, TablePos: namePos}, nil
 }
 
 func (p *parser) parseOutput() (ast.Stmt, error) {
 	p.next() // output
-	name, file, err := p.parseTableFile("output")
+	name, namePos, file, err := p.parseTableFile("output")
 	if err != nil {
 		return nil, err
 	}
-	return &ast.Output{Table: name, File: file}, nil
+	return &ast.Output{Table: name, File: file, TablePos: namePos}, nil
 }
 
 // parseTableFile parses `table NAME <path>`, where the path is either a
 // quoted string or raw source text until the end of the line (the
 // paper's "ingest table Products products.csv" spelling).
-func (p *parser) parseTableFile(verb string) (name, file string, err error) {
+func (p *parser) parseTableFile(verb string) (name string, namePos diag.Span, file string, err error) {
 	if err := p.expectKw("table"); err != nil {
-		return "", "", err
+		return "", diag.Span{}, "", err
 	}
-	if name, err = p.ident(); err != nil {
-		return "", "", err
+	nameTok, err := p.identTok()
+	if err != nil {
+		return "", diag.Span{}, "", err
 	}
+	name, namePos = nameTok.Text, tokSpan(nameTok)
 	if p.at(lexer.String) {
-		return name, p.next().Text, nil
+		return name, namePos, p.next().Text, nil
 	}
 	if p.at(lexer.EOF) || p.peek().AfterNewline {
-		return "", "", p.errf("expected file path after %s table %s", verb, name)
+		return "", diag.Span{}, "", p.errf("expected file path after %s table %s", verb, name)
 	}
 	first := p.next()
 	start, end := first.Start, first.End
@@ -360,5 +496,5 @@ func (p *parser) parseTableFile(verb string) (name, file string, err error) {
 		t := p.next()
 		end = t.End
 	}
-	return name, p.src[start:end], nil
+	return name, namePos, p.src[start:end], nil
 }

@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"graql/internal/ast"
+	"graql/internal/diag"
 	"graql/internal/expr"
 	"graql/internal/lexer"
 )
@@ -115,14 +116,14 @@ func (p *parser) parseLabelDef() (*ast.LabelDef, error) {
 		return nil, nil
 	}
 	p.next()
-	name, err := p.ident()
+	nameTok, err := p.identTok()
 	if err != nil {
 		return nil, err
 	}
 	if _, err := p.expect(lexer.Colon); err != nil {
 		return nil, err
 	}
-	return &ast.LabelDef{Kind: kind, Name: name}, nil
+	return &ast.LabelDef{Kind: kind, Name: nameTok.Text, Loc: tokSpan(nameTok)}, nil
 }
 
 // parseOptCond parses an optional parenthesised condition; "( )" is an
@@ -154,26 +155,30 @@ func (p *parser) parseVertexStep() (*ast.VertexStep, error) {
 	}
 	v.Label = label
 	if p.at(lexer.LBracket) {
-		p.next()
-		if _, err := p.expect(lexer.RBracket); err != nil {
-			return nil, err
-		}
-		v.Variant = true
-	} else {
-		name, err := p.ident()
+		open := p.next()
+		closeTok, err := p.expect(lexer.RBracket)
 		if err != nil {
 			return nil, err
 		}
+		v.Variant = true
+		v.Loc = tokSpan(open).Cover(tokSpan(closeTok))
+	} else {
+		nameTok, err := p.identTok()
+		if err != nil {
+			return nil, err
+		}
+		v.Loc = tokSpan(nameTok)
 		if p.at(lexer.Dot) {
 			p.next()
-			inner, err := p.ident()
+			innerTok, err := p.identTok()
 			if err != nil {
 				return nil, err
 			}
-			v.SeedGraph = name
-			v.Name = inner
+			v.SeedGraph = nameTok.Text
+			v.Name = innerTok.Text
+			v.Loc = tokSpan(nameTok).Cover(tokSpan(innerTok))
 		} else {
-			v.Name = name
+			v.Name = nameTok.Text
 		}
 	}
 	// A '(' directly after a vertex name could open either a condition or
@@ -205,17 +210,20 @@ func (p *parser) parseEdgeStep() (*ast.EdgeStep, error) {
 	}
 	e.Label = label
 	if p.at(lexer.LBracket) {
-		p.next()
-		if _, err := p.expect(lexer.RBracket); err != nil {
-			return nil, err
-		}
-		e.Variant = true
-	} else {
-		name, err := p.ident()
+		open := p.next()
+		closeTok, err := p.expect(lexer.RBracket)
 		if err != nil {
 			return nil, err
 		}
-		e.Name = name
+		e.Variant = true
+		e.Loc = tokSpan(open).Cover(tokSpan(closeTok))
+	} else {
+		nameTok, err := p.identTok()
+		if err != nil {
+			return nil, err
+		}
+		e.Name = nameTok.Text
+		e.Loc = tokSpan(nameTok)
 	}
 	if p.at(lexer.LParen) {
 		cond, err := p.parseOptCond()
@@ -237,7 +245,8 @@ func (p *parser) parseEdgeStep() (*ast.EdgeStep, error) {
 }
 
 func (p *parser) parseRegexGroup() (*ast.RegexGroup, error) {
-	if _, err := p.expect(lexer.LParen); err != nil {
+	open, err := p.expect(lexer.LParen)
+	if err != nil {
 		return nil, err
 	}
 	g := &ast.RegexGroup{}
@@ -253,7 +262,7 @@ func (p *parser) parseRegexGroup() (*ast.RegexGroup, error) {
 		g.Elems = append(g.Elems, e, v)
 	}
 	if len(g.Elems) == 0 {
-		return nil, p.errf("empty path regular expression group")
+		return nil, errAt(tokSpan(open), diag.RegexRestriction, "empty path regular expression group")
 	}
 	if _, err := p.expect(lexer.RParen); err != nil {
 		return nil, err
@@ -273,7 +282,7 @@ func (p *parser) parseRegexGroup() (*ast.RegexGroup, error) {
 		}
 		n, err := strconv.Atoi(ntok.Text)
 		if err != nil || n < 0 {
-			return nil, p.errf("bad repetition count %q", ntok.Text)
+			return nil, errAt(tokSpan(ntok), diag.BadLiteral, "bad repetition count %q", ntok.Text)
 		}
 		g.Min, g.Max = n, n
 		if p.at(lexer.Comma) {
@@ -284,7 +293,7 @@ func (p *parser) parseRegexGroup() (*ast.RegexGroup, error) {
 			}
 			m, err := strconv.Atoi(mtok.Text)
 			if err != nil || m < n {
-				return nil, p.errf("bad repetition bound %q", mtok.Text)
+				return nil, errAt(tokSpan(mtok), diag.BadLiteral, "bad repetition bound %q", mtok.Text)
 			}
 			g.Max = m
 		}
@@ -294,5 +303,6 @@ func (p *parser) parseRegexGroup() (*ast.RegexGroup, error) {
 	default:
 		return nil, p.errf("expected *, + or {n} after path regular expression group, found %q", p.peek().Text)
 	}
+	g.Loc = tokSpan(open).Cover(tokSpan(p.prev()))
 	return g, nil
 }

@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"graql/internal/ast"
+	"graql/internal/diag"
 	"graql/internal/expr"
 	"graql/internal/lexer"
 )
@@ -18,7 +19,7 @@ func (p *parser) parseSelect() (ast.Stmt, error) {
 		}
 		n, err := strconv.Atoi(ntok.Text)
 		if err != nil || n <= 0 {
-			return nil, p.errf("bad top count %q", ntok.Text)
+			return nil, errAt(tokSpan(ntok), diag.BadLiteral, "bad top count %q", ntok.Text)
 		}
 		st.Top = n
 	}
@@ -53,11 +54,12 @@ func (p *parser) parseSelect() (ast.Stmt, error) {
 		}
 		st.Graph = g
 	case p.eatKw("table"):
-		name, err := p.ident()
+		nameTok, err := p.identTok()
 		if err != nil {
 			return nil, err
 		}
-		st.FromTable = name
+		st.FromTable = nameTok.Text
+		st.FromTablePos = tokSpan(nameTok)
 	default:
 		return nil, p.errf("expected graph or table after from, found %q", p.peek().Text)
 	}
@@ -119,30 +121,35 @@ func (p *parser) parseSelect() (ast.Stmt, error) {
 		default:
 			return nil, p.errf("expected table or subgraph after into, found %q", p.peek().Text)
 		}
-		name, err := p.ident()
+		nameTok, err := p.identTok()
 		if err != nil {
 			return nil, err
 		}
-		st.Into.Name = name
+		st.Into.Name = nameTok.Text
+		st.Into.NamePos = tokSpan(nameTok)
 	}
 	return st, nil
 }
 
 // parseRef parses a possibly qualified column reference (a.b or b).
 func (p *parser) parseRef() (*expr.Ref, error) {
-	first, err := p.ident()
+	firstTok, err := p.identTok()
 	if err != nil {
 		return nil, err
 	}
 	if p.at(lexer.Dot) {
 		p.next()
-		second, err := p.ident()
+		secondTok, err := p.identTok()
 		if err != nil {
 			return nil, err
 		}
-		return expr.NewRef(first, second), nil
+		r := expr.NewRef(firstTok.Text, secondTok.Text)
+		r.Loc = tokSpan(firstTok).Cover(tokSpan(secondTok))
+		return r, nil
 	}
-	return expr.NewRef("", first), nil
+	r := expr.NewRef("", firstTok.Text)
+	r.Loc = tokSpan(firstTok)
+	return r, nil
 }
 
 var aggKeywords = map[string]ast.AggFunc{
@@ -153,8 +160,9 @@ var aggKeywords = map[string]ast.AggFunc{
 	"max":   ast.AggMax,
 }
 
-func (p *parser) parseSelectItem() (ast.SelectItem, error) {
-	var it ast.SelectItem
+func (p *parser) parseSelectItem() (it ast.SelectItem, err error) {
+	start := p.peek()
+	defer func() { it.Loc = tokSpan(start).Cover(tokSpan(p.prev())) }()
 	if p.at(lexer.Keyword) {
 		if agg, ok := aggKeywords[p.peek().Lower()]; ok && p.peek2().Kind == lexer.LParen {
 			p.next()
@@ -162,7 +170,7 @@ func (p *parser) parseSelectItem() (ast.SelectItem, error) {
 			it.Agg = agg
 			if p.at(lexer.Star) {
 				if agg != ast.AggCount {
-					return it, p.errf("only count may take *")
+					return it, errAt(tokSpan(start), diag.BadAggregate, "only count may take *")
 				}
 				p.next()
 				it.AggStar = true

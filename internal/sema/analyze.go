@@ -1,11 +1,13 @@
 package sema
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
 	"graql/internal/ast"
 	"graql/internal/catalog"
+	"graql/internal/diag"
 	"graql/internal/expr"
 	"graql/internal/graph"
 	"graql/internal/table"
@@ -95,44 +97,126 @@ func (*Output) semaStmt() {}
 
 // Analyzer performs static analysis against a catalog snapshot. The caller
 // must hold the catalog lock across Analyze + execute.
+//
+// Analysis is error-recovering: within one statement every independent
+// problem is diagnosed (paper §III-A's "all checks", not just the first),
+// and the full set is available through Vet. Analyze keeps the
+// error-returning contract the engine uses.
 type Analyzer struct {
 	Cat *catalog.Catalog
+	// NoFold disables constant folding of resolved predicates (used by
+	// tests to compare folded against unfolded execution).
+	NoFold bool
+
+	diags    diag.List
+	stmtSpan diag.Span
 }
 
 // Analyze statically checks one statement and returns its resolved form.
+// The error is nil when the statement has no error-severity diagnostics
+// (lint warnings do not block execution); otherwise it is the first
+// diagnostic (with a count of the rest) and wraps diag.ErrStaticAnalysis.
 func (a *Analyzer) Analyze(st ast.Stmt) (Stmt, error) {
-	switch s := st.(type) {
-	case *ast.CreateTable:
-		return a.analyzeCreateTable(s)
-	case *ast.CreateVertex:
-		return a.analyzeCreateVertex(s)
-	case *ast.CreateEdge:
-		return a.analyzeCreateEdge(s)
-	case *ast.Ingest:
-		return a.analyzeIngest(s)
-	case *ast.Output:
-		return a.analyzeOutput(s)
-	case *ast.Select:
-		return a.analyzeSelect(s)
+	out, diags := a.Vet(st)
+	if err := diags.Err(); err != nil {
+		return nil, err
 	}
-	return nil, fmt.Errorf("graql: unsupported statement %T", st)
+	return out, nil
 }
 
-func (a *Analyzer) analyzeCreateTable(s *ast.CreateTable) (Stmt, error) {
-	if a.Cat.Table(s.Name) != nil {
-		return nil, fmt.Errorf("graql: table %s already exists", s.Name)
+// Vet statically checks one statement and returns every diagnostic found,
+// errors and lint warnings alike, sorted by source position. The resolved
+// statement is nil when there are error-severity diagnostics.
+func (a *Analyzer) Vet(st ast.Stmt) (Stmt, diag.List) {
+	a.diags = nil
+	a.stmtSpan = st.Span()
+	var out Stmt
+	switch s := st.(type) {
+	case *ast.CreateTable:
+		out = a.analyzeCreateTable(s)
+	case *ast.CreateVertex:
+		out = a.analyzeCreateVertex(s)
+	case *ast.CreateEdge:
+		out = a.analyzeCreateEdge(s)
+	case *ast.Ingest:
+		out = a.analyzeIngest(s)
+	case *ast.Output:
+		out = a.analyzeOutput(s)
+	case *ast.Select:
+		out = a.analyzeSelect(s)
+	default:
+		a.errorf(diag.Span{}, diag.UnknownStmt, "unsupported statement %T", st)
 	}
-	if a.nameTaken(s.Name) {
-		return nil, fmt.Errorf("graql: name %s already in use", s.Name)
+	diags := a.diags
+	a.diags = nil
+	diags.Sort()
+	if diags.HasErrors() {
+		return nil, diags
+	}
+	return out, diags
+}
+
+// spanOr substitutes the statement span for an unknown span, so every
+// diagnostic points somewhere useful even for hand-built ASTs.
+func (a *Analyzer) spanOr(s diag.Span) diag.Span {
+	if s.Known() {
+		return s
+	}
+	return a.stmtSpan
+}
+
+// errorf records an error diagnostic.
+func (a *Analyzer) errorf(span diag.Span, code diag.Code, format string, args ...any) {
+	a.diags.Add(diag.Diagnostic{
+		Severity: diag.SevError,
+		Code:     code,
+		Span:     a.spanOr(span),
+		Msg:      fmt.Sprintf(format, args...),
+	})
+}
+
+// warnf records a lint warning.
+func (a *Analyzer) warnf(span diag.Span, code diag.Code, format string, args ...any) {
+	a.diags.Add(diag.Diagnostic{
+		Severity: diag.SevWarning,
+		Code:     code,
+		Span:     a.spanOr(span),
+		Msg:      fmt.Sprintf(format, args...),
+	})
+}
+
+// addErr records an error produced by a subsystem: positioned diagnostics
+// (e.g. expression type errors) pass through; plain errors are wrapped
+// under the fallback code at the statement span.
+func (a *Analyzer) addErr(err error, fallback diag.Code) {
+	var d *diag.Diagnostic
+	if errors.As(err, &d) {
+		dd := *d
+		dd.Span = a.spanOr(dd.Span)
+		a.diags.Add(dd)
+		return
+	}
+	a.errorf(diag.Span{}, fallback, "%s", strings.TrimPrefix(err.Error(), "graql: "))
+}
+
+// hasErrors reports whether any error diagnostic has been recorded for the
+// current statement.
+func (a *Analyzer) hasErrors() bool { return a.diags.HasErrors() }
+
+func (a *Analyzer) analyzeCreateTable(s *ast.CreateTable) Stmt {
+	if a.Cat.Table(s.Name) != nil {
+		a.errorf(s.NamePos, diag.DuplicateName, "table %s already exists", s.Name)
+	} else if a.nameTaken(s.Name) {
+		a.errorf(s.NamePos, diag.DuplicateName, "name %s already in use", s.Name)
 	}
 	var schema table.Schema
 	for _, c := range s.Cols {
 		schema = append(schema, table.ColumnDef{Name: c.Name, Type: c.Type})
 	}
 	if err := schema.Validate(); err != nil {
-		return nil, err
+		a.addErr(err, diag.DuplicateName)
 	}
-	return &CreateTable{Name: s.Name, Schema: schema}, nil
+	return &CreateTable{Name: s.Name, Schema: schema}
 }
 
 func (a *Analyzer) nameTaken(name string) bool {
@@ -140,82 +224,108 @@ func (a *Analyzer) nameTaken(name string) bool {
 	return g.VertexType(name) != nil || g.EdgeType(name) != nil
 }
 
-func (a *Analyzer) analyzeCreateVertex(s *ast.CreateVertex) (Stmt, error) {
-	if a.Cat.Graph().VertexType(s.Name) != nil {
-		return nil, fmt.Errorf("graql: vertex type %s already exists", s.Name)
+// keySpan returns the source span of key column i (hand-built ASTs carry
+// no key positions).
+func keySpan(s *ast.CreateVertex, i int) diag.Span {
+	if i < len(s.KeyPos) {
+		return s.KeyPos[i]
 	}
-	if a.Cat.Table(s.Name) != nil || a.Cat.Graph().EdgeType(s.Name) != nil {
-		return nil, fmt.Errorf("graql: name %s already in use", s.Name)
+	return diag.Span{}
+}
+
+func (a *Analyzer) analyzeCreateVertex(s *ast.CreateVertex) Stmt {
+	if a.Cat.Graph().VertexType(s.Name) != nil {
+		a.errorf(s.NamePos, diag.DuplicateName, "vertex type %s already exists", s.Name)
+	} else if a.Cat.Table(s.Name) != nil || a.Cat.Graph().EdgeType(s.Name) != nil {
+		a.errorf(s.NamePos, diag.DuplicateName, "name %s already in use", s.Name)
 	}
 	base := a.Cat.Table(s.From)
 	if base == nil {
 		// The paper's example error class: using an entity of the wrong
 		// kind where a table is required.
 		if a.Cat.Graph().VertexType(s.From) != nil {
-			return nil, fmt.Errorf("graql: %s is a vertex type; create vertex requires a table", s.From)
+			a.errorf(s.FromPos, diag.WrongEntityKind, "%s is a vertex type; create vertex requires a table", s.From)
+		} else {
+			a.errorf(s.FromPos, diag.UnknownTable, "unknown table %s", s.From)
 		}
-		return nil, fmt.Errorf("graql: unknown table %s", s.From)
+		return nil
 	}
 	out := &CreateVertex{Decl: s, Base: base}
-	for _, k := range s.KeyCols {
-		i := base.Schema().Index(k)
-		if i < 0 {
-			return nil, fmt.Errorf("graql: table %s has no column %s", base.Name, k)
+	for i, k := range s.KeyCols {
+		idx := base.Schema().Index(k)
+		if idx < 0 {
+			a.errorf(keySpan(s, i), diag.UnknownColumn, "table %s has no column %s", base.Name, k)
+			continue
 		}
-		out.KeyCols = append(out.KeyCols, i)
+		out.KeyCols = append(out.KeyCols, idx)
 	}
 	if s.Where != nil {
-		resolved, err := resolveTableExpr(s.Where, []*EdgeSource{{Name: base.Name, Tbl: base}})
-		if err != nil {
-			return nil, err
+		src := []*EdgeSource{{Name: base.Name, Tbl: base}}
+		env := edgeSourceTypeEnv{sources: src}
+		if w, ok := a.resolveTableExpr(s.Where, src); ok {
+			w = coerceDates(w, env)
+			if a.checkBool(w, env) {
+				out.Where = dropAlwaysTrue(a.lintCond(w))
+			}
 		}
-		if err := checkBool(resolved, edgeSourceTypeEnv{sources: []*EdgeSource{{Name: base.Name, Tbl: base}}}); err != nil {
-			return nil, err
-		}
-		out.Where = resolved
 	}
-	return out, nil
+	if a.hasErrors() {
+		return nil
+	}
+	return out
 }
 
-func (a *Analyzer) analyzeIngest(s *ast.Ingest) (Stmt, error) {
+func (a *Analyzer) analyzeIngest(s *ast.Ingest) Stmt {
 	t := a.Cat.Table(s.Table)
 	if t == nil {
-		return nil, fmt.Errorf("graql: unknown table %s", s.Table)
+		a.errorf(s.TablePos, diag.UnknownTable, "unknown table %s", s.Table)
+		return nil
 	}
-	return &Ingest{Table: t, File: s.File}, nil
+	return &Ingest{Table: t, File: s.File}
 }
 
-func (a *Analyzer) analyzeOutput(s *ast.Output) (Stmt, error) {
+func (a *Analyzer) analyzeOutput(s *ast.Output) Stmt {
 	t := a.Cat.Table(s.Table)
 	if t == nil {
 		if a.Cat.Graph().VertexType(s.Table) != nil {
-			return nil, fmt.Errorf("graql: %s is a vertex type; output requires a table", s.Table)
+			a.errorf(s.TablePos, diag.WrongEntityKind, "%s is a vertex type; output requires a table", s.Table)
+		} else {
+			a.errorf(s.TablePos, diag.UnknownTable, "unknown table %s", s.Table)
 		}
-		return nil, fmt.Errorf("graql: unknown table %s", s.Table)
+		return nil
 	}
-	return &Output{Table: t, File: s.File}, nil
+	return &Output{Table: t, File: s.File}
+}
+
+// edgeFromSpan returns the source span of from-table i.
+func edgeFromSpan(s *ast.CreateEdge, i int) diag.Span {
+	if i < len(s.FromPos) {
+		return s.FromPos[i]
+	}
+	return diag.Span{}
 }
 
 // analyzeCreateEdge resolves an edge declaration into its join pipeline.
 // Source 0 is the source vertex view, source 1 the target vertex view,
 // then the explicit "from table" tables, then any tables referenced only
 // in the where clause (the paper's Fig. 3 "feature" edge references
-// ProductFeatures without a from clause).
-func (a *Analyzer) analyzeCreateEdge(s *ast.CreateEdge) (Stmt, error) {
+// ProductFeatures without a from clause). Endpoint, table and where-clause
+// problems are all diagnosed in one pass; conjunct classification runs
+// only once the source list resolved cleanly.
+func (a *Analyzer) analyzeCreateEdge(s *ast.CreateEdge) Stmt {
 	g := a.Cat.Graph()
 	if g.EdgeType(s.Name) != nil {
-		return nil, fmt.Errorf("graql: edge type %s already exists", s.Name)
-	}
-	if a.Cat.Table(s.Name) != nil || g.VertexType(s.Name) != nil {
-		return nil, fmt.Errorf("graql: name %s already in use", s.Name)
+		a.errorf(s.NamePos, diag.DuplicateName, "edge type %s already exists", s.Name)
+	} else if a.Cat.Table(s.Name) != nil || g.VertexType(s.Name) != nil {
+		a.errorf(s.NamePos, diag.DuplicateName, "name %s already in use", s.Name)
 	}
 	srcV := g.VertexType(s.SrcType)
 	if srcV == nil {
-		return nil, fmt.Errorf("graql: unknown vertex type %s in edge %s", s.SrcType, s.Name)
+		a.errorf(s.SrcPos, diag.UnknownVertex, "unknown vertex type %s in edge %s", s.SrcType, s.Name)
 	}
 	dstV := g.VertexType(s.DstType)
 	if dstV == nil {
-		return nil, fmt.Errorf("graql: unknown vertex type %s in edge %s", s.DstType, s.Name)
+		a.errorf(s.DstPos, diag.UnknownVertex, "unknown vertex type %s in edge %s", s.DstType, s.Name)
 	}
 	srcName := s.SrcAlias
 	if srcName == "" {
@@ -234,12 +344,13 @@ func (a *Analyzer) analyzeCreateEdge(s *ast.CreateEdge) (Stmt, error) {
 		AttrSource: -1,
 	}
 	if strings.EqualFold(srcName, dstName) {
-		return nil, fmt.Errorf("graql: edge %s: source and target need distinct aliases (use 'as')", s.Name)
+		a.errorf(s.NamePos, diag.EdgeDeclRule, "edge %s: source and target need distinct aliases (use 'as')", s.Name)
 	}
-	for _, tn := range s.FromTables {
+	for i, tn := range s.FromTables {
 		t := a.Cat.Table(tn)
 		if t == nil {
-			return nil, fmt.Errorf("graql: unknown table %s in edge %s", tn, s.Name)
+			a.errorf(edgeFromSpan(s, i), diag.UnknownTable, "unknown table %s in edge %s", tn, s.Name)
+			continue
 		}
 		out.Sources = append(out.Sources, &EdgeSource{Name: tn, Tbl: t})
 	}
@@ -256,14 +367,16 @@ func (a *Analyzer) analyzeCreateEdge(s *ast.CreateEdge) (Stmt, error) {
 	// Implicitly add tables referenced only in the where clause.
 	for _, r := range expr.Refs(s.Where) {
 		if r.Qualifier == "" {
-			return nil, fmt.Errorf("graql: edge %s: unqualified column %s in where clause", s.Name, r.Name)
+			a.errorf(r.Loc, diag.UnqualifiedRef, "edge %s: unqualified column %s in where clause", s.Name, r.Name)
+			continue
 		}
 		if findSource(r.Qualifier) >= 0 {
 			continue
 		}
 		t := a.Cat.Table(r.Qualifier)
 		if t == nil {
-			return nil, fmt.Errorf("graql: edge %s: unknown source %s in where clause", s.Name, r.Qualifier)
+			a.errorf(r.Loc, diag.UnknownSource, "edge %s: unknown source %s in where clause", s.Name, r.Qualifier)
+			continue
 		}
 		out.Sources = append(out.Sources, &EdgeSource{Name: t.Name, Tbl: t})
 	}
@@ -272,51 +385,63 @@ func (a *Analyzer) analyzeCreateEdge(s *ast.CreateEdge) (Stmt, error) {
 	}
 
 	if s.Where == nil {
-		return nil, fmt.Errorf("graql: edge %s: missing where clause", s.Name)
+		a.errorf(s.NamePos, diag.EdgeDeclRule, "edge %s: missing where clause", s.Name)
+	}
+	if a.hasErrors() {
+		// The source list (or the declaration itself) is broken; the
+		// conjunct classification below would only cascade.
+		return nil
 	}
 
 	// Resolve references and classify conjuncts into per-source filters
 	// and cross-source equality joins.
-	resolved, err := resolveTableExpr(s.Where, out.Sources)
-	if err != nil {
-		return nil, fmt.Errorf("graql: edge %s: %w", s.Name, err)
+	resolved, ok := a.resolveTableExpr(s.Where, out.Sources)
+	if !ok {
+		return nil
 	}
 	env := edgeSourceTypeEnv{sources: out.Sources}
 	resolved = coerceDates(resolved, env)
-	if err := checkBool(resolved, env); err != nil {
-		return nil, fmt.Errorf("graql: edge %s: %w", s.Name, err)
+	if !a.checkBool(resolved, env) {
+		return nil
 	}
+	a.lintNullCompare(resolved)
 	out.Filters = make([]expr.Expr, len(out.Sources))
 	for _, conj := range expr.Conjuncts(resolved) {
 		srcs := refSources(conj)
 		switch len(srcs) {
 		case 0:
-			return nil, fmt.Errorf("graql: edge %s: constant condition %s", s.Name, conj)
+			a.errorf(expr.SpanOf(conj), diag.EdgeDeclRule, "edge %s: constant condition %s", s.Name, conj)
 		case 1:
 			i := srcs[0]
 			out.Filters[i] = expr.AndAll([]expr.Expr{out.Filters[i], conj})
 		case 2:
 			l, r, ok := expr.EqualityPair(conj)
 			if !ok {
-				return nil, fmt.Errorf("graql: edge %s: cross-source condition %s must be an equality between columns", s.Name, conj)
+				a.errorf(expr.SpanOf(conj), diag.EdgeDeclRule, "edge %s: cross-source condition %s must be an equality between columns", s.Name, conj)
+				continue
 			}
 			out.Joins = append(out.Joins, EdgeJoin{
 				ASource: l.Source, ACol: l.Col,
 				BSource: r.Source, BCol: r.Col,
 			})
 		default:
-			return nil, fmt.Errorf("graql: edge %s: condition %s references more than two sources", s.Name, conj)
+			a.errorf(expr.SpanOf(conj), diag.EdgeDeclRule, "edge %s: condition %s references more than two sources", s.Name, conj)
 		}
 	}
+	if a.hasErrors() {
+		return nil
+	}
 	if len(out.Joins) == 0 {
-		return nil, fmt.Errorf("graql: edge %s: where clause must join the source and target vertex types", s.Name)
+		a.errorf(expr.SpanOf(s.Where), diag.EdgeDeclRule, "edge %s: where clause must join the source and target vertex types", s.Name)
+		return nil
 	}
 	// The join graph must connect source 0 (source vertex) with source 1
 	// (target vertex) so every edge has well-defined endpoints.
 	if !joinConnected(len(out.Sources), out.Joins) {
-		return nil, fmt.Errorf("graql: edge %s: join conditions do not connect all sources", s.Name)
+		a.errorf(expr.SpanOf(s.Where), diag.Disconnected, "edge %s: join conditions do not connect all sources", s.Name)
+		return nil
 	}
-	return out, nil
+	return out
 }
 
 // refSources returns the distinct source ids referenced by e, ascending.
@@ -366,50 +491,56 @@ func joinConnected(n int, joins []EdgeJoin) bool {
 
 // resolveTableExpr resolves references against a list of named sources.
 // Unqualified names resolve only when exactly one source defines them.
-func resolveTableExpr(e expr.Expr, sources []*EdgeSource) (expr.Expr, error) {
-	var resolveErr error
+// Every unresolvable reference is diagnosed (not just the first); ok
+// reports whether the whole expression resolved.
+func (a *Analyzer) resolveTableExpr(e expr.Expr, sources []*EdgeSource) (expr.Expr, bool) {
+	ok := true
 	out := expr.Rewrite(e, func(n expr.Expr) expr.Expr {
-		r, ok := n.(*Ref)
-		if !ok || resolveErr != nil {
+		r, isRef := n.(*Ref)
+		if !isRef {
 			return nil
 		}
 		if r.Qualifier == "" {
-			found := -1
-			col := -1
+			found, col := -1, -1
+			ambiguous := false
 			for i, src := range sources {
 				if c := src.Schema().Index(r.Name); c >= 0 {
 					if found >= 0 {
-						resolveErr = fmt.Errorf("graql: ambiguous column %s", r.Name)
-						return nil
+						ambiguous = true
+						break
 					}
 					found, col = i, c
 				}
 			}
-			if found < 0 {
-				resolveErr = fmt.Errorf("graql: unknown column %s", r.Name)
-				return nil
+			switch {
+			case ambiguous:
+				a.errorf(r.Loc, diag.AmbiguousName, "ambiguous column %s", r.Name)
+				ok = false
+			case found < 0:
+				a.errorf(r.Loc, diag.UnknownColumn, "unknown column %s", r.Name)
+				ok = false
+			default:
+				r.Source, r.Col = found, col
 			}
-			r.Source, r.Col = found, col
 			return r
 		}
 		for i, src := range sources {
 			if strings.EqualFold(src.Name, r.Qualifier) {
 				c := src.Schema().Index(r.Name)
 				if c < 0 {
-					resolveErr = fmt.Errorf("graql: %s has no column %s", src.Name, r.Name)
-					return nil
+					a.errorf(r.Loc, diag.UnknownColumn, "%s has no column %s", src.Name, r.Name)
+					ok = false
+					return r
 				}
 				r.Source, r.Col = i, c
 				return r
 			}
 		}
-		resolveErr = fmt.Errorf("graql: unknown source %s", r.Qualifier)
-		return nil
+		a.errorf(r.Loc, diag.UnknownSource, "unknown source %s", r.Qualifier)
+		ok = false
+		return r
 	})
-	if resolveErr != nil {
-		return nil, resolveErr
-	}
-	return out, nil
+	return out, ok
 }
 
 // Ref aliases expr.Ref for resolution rewrites.
@@ -421,16 +552,19 @@ func (e edgeSourceTypeEnv) TypeOf(source, col int) value.Type {
 	return e.sources[source].Schema()[col].Type
 }
 
-// checkBool type-checks e and requires a boolean result.
-func checkBool(e expr.Expr, env expr.TypeEnv) error {
+// checkBool type-checks e, requires a boolean result, and records any
+// failure as a diagnostic.
+func (a *Analyzer) checkBool(e expr.Expr, env expr.TypeEnv) bool {
 	t, err := e.Check(env)
 	if err != nil {
-		return err
+		a.addErr(err, diag.TypeMismatch)
+		return false
 	}
 	if t.Kind != value.KindBool && t.Kind != value.KindInvalid {
-		return fmt.Errorf("graql: condition must be boolean, got %s", t)
+		a.errorf(expr.SpanOf(e), diag.BoolRequired, "condition must be boolean, got %s", t)
+		return false
 	}
-	return nil
+	return true
 }
 
 // coerceDates rewrites string literals compared against date columns into
@@ -458,7 +592,7 @@ func coerceDateSide(lit, other expr.Expr, env expr.TypeEnv) expr.Expr {
 		return lit
 	}
 	if d, err := value.Parse(c.V.Str(), value.Date); err == nil {
-		return expr.NewConst(d)
+		return &expr.Const{V: d, Loc: c.Loc}
 	}
 	return lit
 }

@@ -1,0 +1,78 @@
+package sema_test
+
+import (
+	"testing"
+
+	"graql/internal/diag"
+	"graql/internal/exec"
+	"graql/internal/parser"
+	"graql/internal/sema"
+)
+
+// FuzzAnalyze drives the whole static-analysis front-end (parser with
+// error recovery, then the diagnostics-collecting analyzer) over
+// arbitrary inputs against the fixture catalog. The invariants: no
+// panics, every diagnostic carries a registered code and a well-formed
+// span, and an erroring Vet never returns a resolved statement.
+func FuzzAnalyze(f *testing.F) {
+	e := exec.New(exec.Options{CheckOnly: true, ReverseIndexes: true})
+	if _, err := e.ExecScript(fixtureDDL, nil); err != nil {
+		f.Fatal(err)
+	}
+	seeds := []string{
+		`select id from table Products where price > 5`,
+		`select id, label from table Products where added >= '2008-01-01' order by id`,
+		`select missing1, missing2, sum(label) from table Products where added > 3.5`,
+		`select * from graph ProductVtx ( ) --producer--> ProducerVtx ( ) into subgraph g`,
+		`select x.id from graph def x: ProductVtx (price > 10) --producer--> ProducerVtx ( )`,
+		`select * from graph ProductVtx ( ) (--reviewFor--> ReviewVtx ( )){1,3} ReviewVtx ( ) into subgraph g`,
+		`create table T(id integer, name varchar(10))`,
+		`create vertex V(id) from table Products where price > 0`,
+		`create edge ee with vertices (ProductVtx, ProducerVtx) where ProductVtx.producer = ProducerVtx.id`,
+		`select id from table Products where price > 5 and price < 3`,
+		`select id from table Products where id = null`,
+		"select id from\ntable Products where\n\tprice > %P%",
+		`select 1 + from table`,
+		`@#$%^&*`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		script, diags := parser.ParseScript(src)
+		checkDiags(t, diags)
+		if script == nil {
+			return
+		}
+		for _, st := range script.Stmts {
+			an := &sema.Analyzer{Cat: e.Cat}
+			out, ds := an.Vet(st)
+			checkDiags(t, ds)
+			if ds.HasErrors() && out != nil {
+				t.Errorf("Vet returned both a statement and errors: %v", ds)
+			}
+		}
+	})
+}
+
+// checkDiags asserts the structural invariants every diagnostic must
+// satisfy regardless of input.
+func checkDiags(t *testing.T, ds diag.List) {
+	t.Helper()
+	for _, d := range ds {
+		if !diag.Registered(d.Code) {
+			t.Errorf("unregistered code %s in %v", d.Code, d)
+		}
+		s := d.Span
+		if s.Start < 0 || s.End < s.Start || s.Line < 0 || s.Col < 0 {
+			t.Errorf("malformed span %+v in %v", s, d)
+		}
+		if s.Known() && s.Col < 1 {
+			t.Errorf("known span with bad column %+v in %v", s, d)
+		}
+		if d.Msg == "" {
+			t.Errorf("empty message in %v", d)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package sema
+
+import (
+	"graql/internal/ast"
+	"graql/internal/diag"
+	"graql/internal/expr"
+	"graql/internal/value"
+)
+
+// The lint tier (GQL10xx): warnings about suspicious-but-legal predicates
+// and projections. Warnings never block execution; they surface through
+// Vet, `graql -vet` and the diagnostics fields of the server responses.
+//
+// Linting runs over the constant-folded form of each condition, so
+// "x > 5 and 2 > 3" and "x > 5 and false" report the same way, and the
+// folded predicate (when folding is enabled) is what the planner executes
+// — visible in EXPLAIN as the simplified filter.
+
+// foldExpr constant-folds e unless folding is disabled for this analyzer.
+func (a *Analyzer) foldExpr(e expr.Expr) expr.Expr {
+	if a.NoFold {
+		return e
+	}
+	return expr.Fold(e)
+}
+
+// dropAlwaysTrue removes a predicate that folded to the constant true.
+// Fold only produces a constant true when evaluation is exact (no error
+// or NULL behaviour is hidden), so dropping the filter is sound.
+func dropAlwaysTrue(e expr.Expr) expr.Expr {
+	if c, ok := e.(*expr.Const); ok && c.V.Kind() == value.KindBool && !c.V.IsNull() && c.V.Bool() {
+		return nil
+	}
+	return e
+}
+
+// lintCond runs the lint tier over a resolved, boolean-checked condition
+// and returns the form the planner should execute: the folded predicate,
+// or the original when NoFold is set.
+func (a *Analyzer) lintCond(e expr.Expr) expr.Expr {
+	if e == nil {
+		return nil
+	}
+	a.lintNullCompare(e)
+	folded := expr.Fold(e)
+	if c, ok := folded.(*expr.Const); ok && (c.V.IsNull() || c.V.Kind() == value.KindBool) {
+		span := expr.SpanOf(e)
+		switch {
+		case c.V.IsNull():
+			a.warnf(span, diag.NullCompare, "condition is always null and never satisfied")
+		case c.V.Bool():
+			a.warnf(span, diag.AlwaysTrue, "condition is always true")
+		default:
+			a.warnf(span, diag.AlwaysFalse, "condition is always false")
+		}
+	} else {
+		a.lintUnsat(folded)
+	}
+	if a.NoFold {
+		return e
+	}
+	return folded
+}
+
+// lintNullCompare warns about comparisons against a literal null: under
+// three-valued logic they yield NULL, never true, so the enclosing
+// condition cannot be satisfied through them.
+func (a *Analyzer) lintNullCompare(e expr.Expr) {
+	expr.Walk(e, func(x expr.Expr) {
+		b, ok := x.(*expr.Binary)
+		if !ok || !b.Op.Comparison() {
+			return
+		}
+		if isNullConst(b.L) || isNullConst(b.R) {
+			a.warnf(expr.SpanOf(b), diag.NullCompare, "comparison with null is always null and never true (null = null included)")
+		}
+	})
+}
+
+func isNullConst(e expr.Expr) bool {
+	c, ok := e.(*expr.Const)
+	return ok && c.V.IsNull()
+}
+
+// interval tracks the constraints a conjunction places on one column:
+// an optional lower bound, upper bound and required value.
+type interval struct {
+	lo, hi       value.Value
+	loSet, hiSet bool
+	loStrict     bool
+	hiStrict     bool
+	eq           value.Value
+	eqSet        bool
+	name         string
+	span         diag.Span
+	reported     bool
+	invalid      bool // a comparison failed; stop tracking this column
+}
+
+// lintUnsat performs a simple interval analysis over the conjuncts of a
+// folded condition: constraints of the form <col> <cmp> <literal> are
+// intersected per column, and an empty intersection ("x > 5 and x < 3")
+// is reported as an always-false predicate.
+func (a *Analyzer) lintUnsat(folded expr.Expr) {
+	ivals := map[[2]int]*interval{}
+	var order [][2]int
+	for _, conj := range expr.Conjuncts(folded) {
+		b, ok := conj.(*expr.Binary)
+		if !ok || !b.Op.Comparison() {
+			continue
+		}
+		var r *expr.Ref
+		var c *expr.Const
+		op := b.Op
+		if rr, lok := b.L.(*expr.Ref); lok {
+			if cc, rok := b.R.(*expr.Const); rok {
+				r, c = rr, cc
+			}
+		} else if cc, lok := b.L.(*expr.Const); lok {
+			if rr, rok := b.R.(*expr.Ref); rok {
+				r, c = rr, cc
+				op = flipCmp(op)
+			}
+		}
+		if r == nil || c.V.IsNull() {
+			continue
+		}
+		key := [2]int{r.Source, r.Col}
+		iv := ivals[key]
+		if iv == nil {
+			iv = &interval{name: r.String()}
+			ivals[key] = iv
+			order = append(order, key)
+		}
+		iv.span = iv.span.Cover(expr.SpanOf(b))
+		iv.apply(op, c.V)
+	}
+	for _, key := range order {
+		iv := ivals[key]
+		if iv.reported && !iv.invalid {
+			a.warnf(iv.span, diag.AlwaysFalse, "conflicting constraints on %s make the condition always false", iv.name)
+		}
+	}
+}
+
+// flipCmp mirrors a comparison for "literal op col" normalisation.
+func flipCmp(op expr.Op) expr.Op {
+	switch op {
+	case expr.OpLt:
+		return expr.OpGt
+	case expr.OpLe:
+		return expr.OpGe
+	case expr.OpGt:
+		return expr.OpLt
+	case expr.OpGe:
+		return expr.OpLe
+	}
+	return op
+}
+
+// apply intersects one constraint into the interval, flagging an empty
+// result via reported.
+func (iv *interval) apply(op expr.Op, v value.Value) {
+	if iv.invalid {
+		return
+	}
+	cmp := func(x, y value.Value) int {
+		c, err := value.Compare(x, y)
+		if err != nil {
+			iv.invalid = true
+		}
+		return c
+	}
+	switch op {
+	case expr.OpEq:
+		if iv.eqSet && cmp(iv.eq, v) != 0 {
+			iv.reported = true
+			return
+		}
+		iv.eq, iv.eqSet = v, true
+	case expr.OpNe:
+		if iv.eqSet && cmp(iv.eq, v) == 0 {
+			iv.reported = true
+		}
+		return
+	case expr.OpLt, expr.OpLe:
+		strict := op == expr.OpLt
+		if !iv.hiSet || cmp(v, iv.hi) < 0 || (cmp(v, iv.hi) == 0 && strict) {
+			iv.hi, iv.hiSet, iv.hiStrict = v, true, strict
+		}
+	case expr.OpGt, expr.OpGe:
+		strict := op == expr.OpGt
+		if !iv.loSet || cmp(v, iv.lo) > 0 || (cmp(v, iv.lo) == 0 && strict) {
+			iv.lo, iv.loSet, iv.loStrict = v, true, strict
+		}
+	default:
+		return
+	}
+	if iv.invalid {
+		return
+	}
+	// Empty-intersection checks.
+	if iv.loSet && iv.hiSet {
+		if c := cmp(iv.lo, iv.hi); c > 0 || (c == 0 && (iv.loStrict || iv.hiStrict)) {
+			iv.reported = true
+		}
+	}
+	if iv.eqSet && iv.loSet {
+		if c := cmp(iv.eq, iv.lo); c < 0 || (c == 0 && iv.loStrict) {
+			iv.reported = true
+		}
+	}
+	if iv.eqSet && iv.hiSet {
+		if c := cmp(iv.eq, iv.hi); c > 0 || (c == 0 && iv.hiStrict) {
+			iv.reported = true
+		}
+	}
+}
+
+// lintDuplicateProj warns when a table select projects the same input
+// column twice (duplicate *names* stay an error via schema validation;
+// duplicating a column under two aliases is legal but usually a slip).
+func (a *Analyzer) lintDuplicateProj(s *ast.Select, out *Select) {
+	seen := map[int]string{}
+	for i, item := range out.Items {
+		if item.Agg != ast.AggNone || item.AggStar || item.Col < 0 {
+			continue
+		}
+		if first, dup := seen[item.Col]; dup {
+			span := diag.Span{}
+			if !s.Star && i < len(s.Items) {
+				span = s.Items[i].Loc
+			}
+			a.warnf(span, diag.DuplicateProj, "column %s is projected more than once (first as %s)", item.Name, first)
+		} else {
+			seen[item.Col] = item.Name
+		}
+	}
+}

@@ -52,6 +52,11 @@ type Node struct {
 	Labels []string
 	// Foreach reports whether the node carries an element-wise label.
 	Foreach bool
+	// Poisoned marks a node whose step failed to resolve (unknown type,
+	// bad label, ...). The analyzer keeps building the pattern around it
+	// to find further independent problems, but suppresses cascading
+	// diagnostics about the node itself. Poisoned patterns never execute.
+	Poisoned bool
 }
 
 // PEdge is one pattern edge (an edge step or regex fragment). Direction is
@@ -71,6 +76,9 @@ type PEdge struct {
 	Regex *Regex
 	// Labels are the label names bound to this edge.
 	Labels []string
+	// Poisoned marks an edge whose step failed to resolve; see
+	// Node.Poisoned.
+	Poisoned bool
 }
 
 // Regex is an analysed path regular expression (Fig. 10): a fragment of

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"graql/internal/ast"
+	"graql/internal/diag"
 	"graql/internal/expr"
 	"graql/internal/table"
 	"graql/internal/value"
@@ -24,55 +25,55 @@ func (e patternTypeEnv) TypeOf(source, col int) value.Type {
 // resolveConds resolves and type-checks every step condition once the
 // whole pattern is known, so conditions can reference attributes of other
 // labelled steps ("attributes from previous steps (if labeled)", §II-B).
-func (b *patternBuilder) resolveConds() error {
+// Each step's condition is checked independently; conditions on poisoned
+// steps are skipped (their step already failed).
+func (b *patternBuilder) resolveConds() {
 	env := patternTypeEnv{pat: b.pat}
 	for _, n := range b.pat.Nodes {
 		conds := b.nodeConds[n.ID]
-		if len(conds) == 0 {
+		if len(conds) == 0 || n.Poisoned {
 			continue
 		}
-		resolved, err := b.resolvePatternExpr(expr.AndAll(conds), n.ID, -1)
-		if err != nil {
-			return err
+		resolved, ok := b.resolvePatternExpr(expr.AndAll(conds), n.ID, -1)
+		if !ok {
+			continue
 		}
 		resolved = coerceDates(resolved, env)
-		if err := checkBool(resolved, env); err != nil {
-			return err
+		if !b.a.checkBool(resolved, env) {
+			continue
 		}
-		n.Cond = resolved
+		n.Cond = dropAlwaysTrue(b.a.lintCond(resolved))
 	}
 	for i, e := range b.pat.Edges {
 		cond := b.edgeConds[i]
-		if cond == nil {
+		if cond == nil || e.Poisoned {
 			continue
 		}
-		resolved, err := b.resolvePatternExpr(cond, -1, e.ID)
-		if err != nil {
-			return err
+		resolved, ok := b.resolvePatternExpr(cond, -1, e.ID)
+		if !ok {
+			continue
 		}
 		resolved = coerceDates(resolved, env)
-		if err := checkBool(resolved, env); err != nil {
-			return err
+		if !b.a.checkBool(resolved, env) {
+			continue
 		}
-		e.Cond = resolved
+		e.Cond = dropAlwaysTrue(b.a.lintCond(resolved))
 	}
-	return nil
 }
 
 // resolvePatternExpr resolves references in a step condition. Unqualified
 // names resolve against the owning step; qualified names resolve against a
-// label or an unambiguous vertex/edge type name.
-func (b *patternBuilder) resolvePatternExpr(e expr.Expr, selfNode, selfEdge int) (expr.Expr, error) {
-	var resolveErr error
-	fail := func(format string, args ...any) expr.Expr {
-		if resolveErr == nil {
-			resolveErr = fmt.Errorf(format, args...)
-		}
-		return nil
+// label or an unambiguous vertex/edge type name. Every bad reference is
+// diagnosed; ok reports whether the whole expression resolved.
+func (b *patternBuilder) resolvePatternExpr(e expr.Expr, selfNode, selfEdge int) (expr.Expr, bool) {
+	ok := true
+	fail := func(span diag.Span, code diag.Code, format string, args ...any) {
+		b.a.errorf(span, code, format, args...)
+		ok = false
 	}
 	out := expr.Rewrite(e, func(x expr.Expr) expr.Expr {
-		r, ok := x.(*expr.Ref)
-		if !ok || resolveErr != nil {
+		r, isRef := x.(*expr.Ref)
+		if !isRef {
 			return nil
 		}
 		if r.Qualifier == "" {
@@ -80,80 +81,95 @@ func (b *patternBuilder) resolvePatternExpr(e expr.Expr, selfNode, selfEdge int)
 			case selfNode >= 0:
 				n := b.pat.Nodes[selfNode]
 				if n.Type == nil {
-					return fail("graql: attributes of a [ ] variant step cannot be referenced")
+					fail(r.Loc, diag.VariantRestrict, "attributes of a [ ] variant step cannot be referenced")
+					return r
 				}
-				col, ok := n.Type.AttrIndex(r.Name)
-				if !ok {
-					return fail("graql: vertex type %s has no attribute %s", n.Type.Name, r.Name)
+				col, found := n.Type.AttrIndex(r.Name)
+				if !found {
+					fail(r.Loc, diag.UnknownColumn, "vertex type %s has no attribute %s", n.Type.Name, r.Name)
+					return r
 				}
 				r.Source, r.Col = selfNode, col
 			default:
 				pe := b.pat.Edges[selfEdge]
 				if pe.Type == nil {
-					return fail("graql: attributes of a [ ] variant step cannot be referenced")
+					fail(r.Loc, diag.VariantRestrict, "attributes of a [ ] variant step cannot be referenced")
+					return r
 				}
-				col, ok := pe.Type.AttrIndex(r.Name)
-				if !ok {
-					return fail("graql: edge type %s has no attribute %s", pe.Type.Name, r.Name)
+				col, found := pe.Type.AttrIndex(r.Name)
+				if !found {
+					fail(r.Loc, diag.UnknownColumn, "edge type %s has no attribute %s", pe.Type.Name, r.Name)
+					return r
 				}
 				r.Source, r.Col = len(b.pat.Nodes)+selfEdge, col
 			}
 			return r
 		}
-		src, schemaIdx, err := b.lookupQualifier(r.Qualifier)
-		if err != nil {
-			resolveErr = err
-			return nil
+		src, schema, found := b.lookupQualifier(r.Qualifier, r.Loc)
+		if !found {
+			ok = false
+			return r
 		}
-		col := schemaIdx.Index(r.Name)
+		col := schema.Index(r.Name)
 		if col < 0 {
-			return fail("graql: step %s has no attribute %s", r.Qualifier, r.Name)
+			fail(r.Loc, diag.UnknownColumn, "step %s has no attribute %s", r.Qualifier, r.Name)
+			return r
 		}
 		r.Source, r.Col = src, col
 		return r
 	})
-	if resolveErr != nil {
-		return nil, resolveErr
-	}
-	return out, nil
+	return out, ok
 }
 
 // lookupQualifier resolves a step qualifier (label or type name) to a
-// pattern source id and its attribute schema.
-func (b *patternBuilder) lookupQualifier(q string) (int, table.Schema, error) {
+// pattern source id and its attribute schema, diagnosing failures at the
+// given span. Qualifiers naming a poisoned step fail silently: the step
+// itself already carries a diagnostic.
+func (b *patternBuilder) lookupQualifier(q string, span diag.Span) (int, table.Schema, bool) {
 	if info, ok := b.labels[q]; ok {
+		info.used = true
 		if info.isEdge {
 			pe := info.edge
-			if pe.Type == nil {
-				return 0, nil, fmt.Errorf("graql: attributes of the [ ] variant step %s cannot be referenced", q)
+			if pe.Poisoned {
+				return 0, nil, false
 			}
-			return len(b.pat.Nodes) + pe.ID, pe.Type.AttrSchema(), nil
+			if pe.Type == nil {
+				b.a.errorf(span, diag.VariantRestrict, "attributes of the [ ] variant step %s cannot be referenced", q)
+				return 0, nil, false
+			}
+			return len(b.pat.Nodes) + pe.ID, pe.Type.AttrSchema(), true
 		}
 		n := info.node
-		if n.Type == nil {
-			return 0, nil, fmt.Errorf("graql: attributes of the [ ] variant step %s cannot be referenced", q)
+		if n.Poisoned {
+			return 0, nil, false
 		}
-		return n.ID, n.Type.AttrSchema(), nil
+		if n.Type == nil {
+			b.a.errorf(span, diag.VariantRestrict, "attributes of the [ ] variant step %s cannot be referenced", q)
+			return 0, nil, false
+		}
+		return n.ID, n.Type.AttrSchema(), true
 	}
 	// An unambiguous vertex type name.
 	found := -1
 	for _, n := range b.pat.Nodes {
 		if n.Type != nil && strings.EqualFold(n.Type.Name, q) {
 			if found >= 0 {
-				return 0, nil, fmt.Errorf("graql: step reference %s is ambiguous; disambiguate with a label", q)
+				b.a.errorf(span, diag.AmbiguousName, "step reference %s is ambiguous; disambiguate with a label", q)
+				return 0, nil, false
 			}
 			found = n.ID
 		}
 	}
 	if found >= 0 {
-		return found, b.pat.Nodes[found].Type.AttrSchema(), nil
+		return found, b.pat.Nodes[found].Type.AttrSchema(), true
 	}
 	// An unambiguous edge type name.
 	foundE := -1
 	for _, e := range b.pat.Edges {
 		if e.Type != nil && strings.EqualFold(e.Type.Name, q) {
 			if foundE >= 0 {
-				return 0, nil, fmt.Errorf("graql: step reference %s is ambiguous; disambiguate with a label", q)
+				b.a.errorf(span, diag.AmbiguousName, "step reference %s is ambiguous; disambiguate with a label", q)
+				return 0, nil, false
 			}
 			foundE = e.ID
 		}
@@ -161,51 +177,57 @@ func (b *patternBuilder) lookupQualifier(q string) (int, table.Schema, error) {
 	if foundE >= 0 {
 		e := b.pat.Edges[foundE]
 		if e.Type.Attrs == nil {
-			return 0, nil, fmt.Errorf("graql: edge type %s has no attributes", q)
+			b.a.errorf(span, diag.UnknownColumn, "edge type %s has no attributes", q)
+			return 0, nil, false
 		}
-		return len(b.pat.Nodes) + foundE, e.Type.AttrSchema(), nil
+		return len(b.pat.Nodes) + foundE, e.Type.AttrSchema(), true
 	}
-	return 0, nil, fmt.Errorf("graql: unknown step reference %s", q)
+	b.a.errorf(span, diag.UnknownSource, "unknown step reference %s", q)
+	return 0, nil, false
 }
 
 // patternStepResolver resolves projection qualifiers after the builder is
 // gone; it rebuilds the label map from the pattern.
 type patternStepResolver struct {
+	a   *Analyzer
 	pat *Pattern
 }
 
-func (r patternStepResolver) resolveStep(name string) (src int, isEdge bool, err error) {
+func (r patternStepResolver) resolveStep(name string, span diag.Span) (src int, isEdge bool, ok bool) {
 	if n := r.pat.NodeByLabel(name); n != nil {
-		return n.ID, false, nil
+		return n.ID, false, true
 	}
 	if e := r.pat.EdgeByLabel(name); e != nil {
-		return len(r.pat.Nodes) + e.ID, true, nil
+		return len(r.pat.Nodes) + e.ID, true, true
 	}
 	found := -1
 	for _, n := range r.pat.Nodes {
 		if n.Type != nil && strings.EqualFold(n.Type.Name, name) {
 			if found >= 0 {
-				return 0, false, fmt.Errorf("graql: output step %s is ambiguous; disambiguate with a label (paper §II-C)", name)
+				r.a.errorf(span, diag.AmbiguousName, "output step %s is ambiguous; disambiguate with a label (paper §II-C)", name)
+				return 0, false, false
 			}
 			found = n.ID
 		}
 	}
 	if found >= 0 {
-		return found, false, nil
+		return found, false, true
 	}
 	foundE := -1
 	for _, e := range r.pat.Edges {
 		if e.Type != nil && strings.EqualFold(e.Type.Name, name) {
 			if foundE >= 0 {
-				return 0, false, fmt.Errorf("graql: output step %s is ambiguous; disambiguate with a label (paper §II-C)", name)
+				r.a.errorf(span, diag.AmbiguousName, "output step %s is ambiguous; disambiguate with a label (paper §II-C)", name)
+				return 0, false, false
 			}
 			foundE = e.ID
 		}
 	}
 	if foundE >= 0 {
-		return len(r.pat.Nodes) + foundE, true, nil
+		return len(r.pat.Nodes) + foundE, true, true
 	}
-	return 0, false, fmt.Errorf("graql: unknown output step %s", name)
+	r.a.errorf(span, diag.UnknownSource, "unknown output step %s", name)
+	return 0, false, false
 }
 
 // displayNames assigns each step a unique display name (first label, else
@@ -247,31 +269,38 @@ func displayNames(pat *Pattern) map[StepRef]string {
 // resolveGraphProj resolves a graph select's projection against one
 // pattern, expanding whole-step items and "*" into concrete (source,
 // column) outputs for table-producing selects, and whole-step sets for
-// subgraph capture. It returns the output schema (nil for subgraphs).
-func (a *Analyzer) resolveGraphProj(s *ast.Select, pat *Pattern, alt *GraphAlt) (table.Schema, error) {
-	res := patternStepResolver{pat: pat}
+// subgraph capture. Each item is checked independently. It returns the
+// output schema (nil for subgraphs) and whether resolution succeeded.
+func (a *Analyzer) resolveGraphProj(s *ast.Select, pat *Pattern, alt *GraphAlt) (table.Schema, bool) {
+	res := patternStepResolver{a: a, pat: pat}
 	subgraph := s.Into.Kind == ast.IntoSubgraph
+	before := a.errorCount()
 
 	if subgraph {
 		if s.Star {
 			alt.Proj = nil // capture everything
-			return nil, nil
+			return nil, true
 		}
 		for _, it := range s.Items {
-			r, ok := it.Expr.(*expr.Ref)
-			if !ok || r.Qualifier != "" {
-				return nil, fmt.Errorf("graql: a subgraph select takes whole steps, not attribute expressions")
+			r, isRef := it.Expr.(*expr.Ref)
+			if !isRef || r.Qualifier != "" {
+				a.errorf(it.Loc, diag.ProjectionRule, "a subgraph select takes whole steps, not attribute expressions")
+				continue
 			}
-			src, _, err := res.resolveStep(r.Name)
-			if err != nil {
-				return nil, err
+			src, _, ok := res.resolveStep(r.Name, r.Loc)
+			if !ok {
+				continue
 			}
 			alt.Proj = append(alt.Proj, GraphProjItem{Source: src, Col: -1, Name: r.Name})
 		}
-		if len(alt.Proj) == 0 {
-			return nil, fmt.Errorf("graql: empty subgraph projection")
+		if a.errorCount() > before {
+			return nil, false
 		}
-		return nil, nil
+		if len(alt.Proj) == 0 {
+			a.errorf(diag.Span{}, diag.ProjectionRule, "empty subgraph projection")
+			return nil, false
+		}
+		return nil, true
 	}
 
 	// Table-producing select: expand to concrete columns.
@@ -294,7 +323,8 @@ func (a *Analyzer) resolveGraphProj(s *ast.Select, pat *Pattern, alt *GraphAlt) 
 					continue // a regex fragment carries no attributes
 				}
 				if e.Type == nil {
-					return nil, fmt.Errorf("graql: select * into table cannot include [ ] variant steps; project labelled steps instead")
+					a.errorf(diag.Span{}, diag.VariantRestrict, "select * into table cannot include [ ] variant steps; project labelled steps instead")
+					return nil, false
 				}
 				if e.Type.Attrs == nil {
 					continue
@@ -305,27 +335,29 @@ func (a *Analyzer) resolveGraphProj(s *ast.Select, pat *Pattern, alt *GraphAlt) 
 			} else {
 				n := pat.Nodes[ref.Index]
 				if n.Type == nil {
-					return nil, fmt.Errorf("graql: select * into table cannot include [ ] variant steps; project labelled steps instead")
+					a.errorf(diag.Span{}, diag.VariantRestrict, "select * into table cannot include [ ] variant steps; project labelled steps instead")
+					return nil, false
 				}
 				for c, cd := range n.Type.AttrSchema() {
 					addNodeCol(n, c, names[ref]+"."+cd.Name)
 				}
 			}
 		}
-		return schema, nil
+		return schema, true
 	}
 
 	for _, it := range s.Items {
-		r, ok := it.Expr.(*expr.Ref)
-		if !ok {
-			return nil, fmt.Errorf("graql: graph select items must be steps or step attributes, not computed expressions")
+		r, isRef := it.Expr.(*expr.Ref)
+		if !isRef {
+			a.errorf(it.Loc, diag.ProjectionRule, "graph select items must be steps or step attributes, not computed expressions")
+			continue
 		}
 		if r.Qualifier == "" {
 			// Whole step: expand to its key columns (vertex) or
 			// attribute columns (edge).
-			src, isEdge, err := res.resolveStep(r.Name)
-			if err != nil {
-				return nil, err
+			src, isEdge, ok := res.resolveStep(r.Name, r.Loc)
+			if !ok {
+				continue
 			}
 			display := it.Alias
 			if display == "" {
@@ -334,10 +366,12 @@ func (a *Analyzer) resolveGraphProj(s *ast.Select, pat *Pattern, alt *GraphAlt) 
 			if isEdge {
 				e := pat.Edges[src-len(pat.Nodes)]
 				if e.Type == nil || e.Regex != nil {
-					return nil, fmt.Errorf("graql: step %s has no attributes to project into a table", r.Name)
+					a.errorf(r.Loc, diag.ProjectionRule, "step %s has no attributes to project into a table", r.Name)
+					continue
 				}
 				if e.Type.Attrs == nil {
-					return nil, fmt.Errorf("graql: edge type %s has no attributes to project", e.Type.Name)
+					a.errorf(r.Loc, diag.ProjectionRule, "edge type %s has no attributes to project", e.Type.Name)
+					continue
 				}
 				for c, cd := range e.Type.AttrSchema() {
 					addEdgeCol(e, c, display+"."+cd.Name)
@@ -346,7 +380,8 @@ func (a *Analyzer) resolveGraphProj(s *ast.Select, pat *Pattern, alt *GraphAlt) 
 			}
 			n := pat.Nodes[src]
 			if n.Type == nil {
-				return nil, fmt.Errorf("graql: [ ] variant step %s cannot be projected into a table; use into subgraph", r.Name)
+				a.errorf(r.Loc, diag.VariantRestrict, "[ ] variant step %s cannot be projected into a table; use into subgraph", r.Name)
+				continue
 			}
 			if len(n.Type.KeyCols) == 1 {
 				keyName := n.Type.Keys.Schema()[0].Name
@@ -361,9 +396,9 @@ func (a *Analyzer) resolveGraphProj(s *ast.Select, pat *Pattern, alt *GraphAlt) 
 			continue
 		}
 		// Qualified attribute: label.attr or TypeName.attr.
-		src, isEdge, err := res.resolveStep(r.Qualifier)
-		if err != nil {
-			return nil, err
+		src, isEdge, ok := res.resolveStep(r.Qualifier, r.Loc)
+		if !ok {
+			continue
 		}
 		name := it.Alias
 		if name == "" {
@@ -372,27 +407,35 @@ func (a *Analyzer) resolveGraphProj(s *ast.Select, pat *Pattern, alt *GraphAlt) 
 		if isEdge {
 			e := pat.Edges[src-len(pat.Nodes)]
 			if e.Type == nil {
-				return nil, fmt.Errorf("graql: attributes of the [ ] variant step %s cannot be projected", r.Qualifier)
+				a.errorf(r.Loc, diag.VariantRestrict, "attributes of the [ ] variant step %s cannot be projected", r.Qualifier)
+				continue
 			}
-			col, ok := e.Type.AttrIndex(r.Name)
-			if !ok {
-				return nil, fmt.Errorf("graql: edge type %s has no attribute %s", e.Type.Name, r.Name)
+			col, found := e.Type.AttrIndex(r.Name)
+			if !found {
+				a.errorf(r.Loc, diag.UnknownColumn, "edge type %s has no attribute %s", e.Type.Name, r.Name)
+				continue
 			}
 			addEdgeCol(e, col, name)
 			continue
 		}
 		n := pat.Nodes[src]
 		if n.Type == nil {
-			return nil, fmt.Errorf("graql: attributes of the [ ] variant step %s cannot be projected", r.Qualifier)
+			a.errorf(r.Loc, diag.VariantRestrict, "attributes of the [ ] variant step %s cannot be projected", r.Qualifier)
+			continue
 		}
-		col, ok := n.Type.AttrIndex(r.Name)
-		if !ok {
-			return nil, fmt.Errorf("graql: vertex type %s has no attribute %s", n.Type.Name, r.Name)
+		col, found := n.Type.AttrIndex(r.Name)
+		if !found {
+			a.errorf(r.Loc, diag.UnknownColumn, "vertex type %s has no attribute %s", n.Type.Name, r.Name)
+			continue
 		}
 		addNodeCol(n, col, name)
 	}
-	if len(alt.Proj) == 0 {
-		return nil, fmt.Errorf("graql: empty projection")
+	if a.errorCount() > before {
+		return nil, false
 	}
-	return schema, nil
+	if len(alt.Proj) == 0 {
+		a.errorf(diag.Span{}, diag.ProjectionRule, "empty projection")
+		return nil, false
+	}
+	return schema, true
 }

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"graql/internal/ast"
+	"graql/internal/diag"
 	"graql/internal/expr"
 	"graql/internal/table"
 	"graql/internal/value"
@@ -72,50 +73,50 @@ type Select struct {
 
 func (*Select) semaStmt() {}
 
-func (a *Analyzer) analyzeSelect(s *ast.Select) (Stmt, error) {
+func (a *Analyzer) analyzeSelect(s *ast.Select) Stmt {
 	if s.Graph != nil {
 		return a.analyzeGraphSelect(s)
 	}
 	return a.analyzeTableSelect(s)
 }
 
-func (a *Analyzer) analyzeTableSelect(s *ast.Select) (Stmt, error) {
+func (a *Analyzer) analyzeTableSelect(s *ast.Select) Stmt {
 	t := a.Cat.Table(s.FromTable)
 	if t == nil {
 		// The paper's §III-A example: an entity of the wrong kind where
-		// a table is required.
+		// a table is required. Nothing else can be checked without the
+		// table schema, so this one is fatal.
 		if a.Cat.Graph().VertexType(s.FromTable) != nil {
-			return nil, fmt.Errorf("graql: %s is a vertex type; from table requires a table", s.FromTable)
+			a.errorf(s.FromTablePos, diag.WrongEntityKind, "%s is a vertex type; from table requires a table", s.FromTable)
+		} else if a.Cat.Graph().EdgeType(s.FromTable) != nil {
+			a.errorf(s.FromTablePos, diag.WrongEntityKind, "%s is an edge type; from table requires a table", s.FromTable)
+		} else {
+			a.errorf(s.FromTablePos, diag.UnknownTable, "unknown table %s", s.FromTable)
 		}
-		if a.Cat.Graph().EdgeType(s.FromTable) != nil {
-			return nil, fmt.Errorf("graql: %s is an edge type; from table requires a table", s.FromTable)
-		}
-		return nil, fmt.Errorf("graql: unknown table %s", s.FromTable)
+		return nil
 	}
 	out := &Select{Decl: s, Explain: s.Explain, Analyze: s.Analyze, Top: s.Top, Distinct: s.Distinct, Star: s.Star, Into: s.Into, Table: t}
 	if s.Into.Kind == ast.IntoSubgraph {
-		return nil, fmt.Errorf("graql: a table select cannot produce a subgraph")
+		a.errorf(s.Into.NamePos, diag.StatementMisuse, "a table select cannot produce a subgraph")
 	}
 	src := []*EdgeSource{{Name: t.Name, Tbl: t}}
 	env := edgeSourceTypeEnv{sources: src}
 
 	if s.Where != nil {
-		w, err := resolveTableExpr(s.Where, src)
-		if err != nil {
-			return nil, err
+		if w, ok := a.resolveTableExpr(s.Where, src); ok {
+			w = coerceDates(w, env)
+			if a.checkBool(w, env) {
+				out.Where = dropAlwaysTrue(a.lintCond(w))
+			}
 		}
-		w = coerceDates(w, env)
-		if err := checkBool(w, env); err != nil {
-			return nil, err
-		}
-		out.Where = w
 	}
 
 	// Group-by keys.
 	for _, g := range s.GroupBy {
 		col, err := resolveTableCol(g, t)
 		if err != nil {
-			return nil, err
+			a.addErr(err, diag.UnknownColumn)
+			continue
 		}
 		out.GroupBy = append(out.GroupBy, col)
 	}
@@ -127,41 +128,56 @@ func (a *Analyzer) analyzeTableSelect(s *ast.Select) (Stmt, error) {
 	}
 	out.Grouped = len(out.GroupBy) > 0 || anyAgg
 
-	// Projection items.
+	// Projection items. Each item is checked independently so a select
+	// with several bad columns reports all of them in one pass.
+	itemsOK := true
 	if s.Star {
 		if out.Grouped {
-			return nil, fmt.Errorf("graql: select * cannot be combined with group by or aggregates")
-		}
-		for i, cd := range t.Schema() {
-			out.Items = append(out.Items, Item{Agg: ast.AggNone, Col: i, Name: cd.Name})
-			out.OutSchema = append(out.OutSchema, cd)
+			a.errorf(diag.Span{}, diag.GroupingRule, "select * cannot be combined with group by or aggregates")
+			itemsOK = false
+		} else {
+			for i, cd := range t.Schema() {
+				out.Items = append(out.Items, Item{Agg: ast.AggNone, Col: i, Name: cd.Name})
+				out.OutSchema = append(out.OutSchema, cd)
+			}
 		}
 	} else {
 		for _, it := range s.Items {
-			item, cd, err := a.analyzeItem(it, t, out)
-			if err != nil {
-				return nil, err
+			item, cd, ok := a.analyzeItem(it, t, out)
+			if !ok {
+				itemsOK = false
+				continue
 			}
 			out.Items = append(out.Items, item)
 			out.OutSchema = append(out.OutSchema, cd)
 		}
 	}
-	if err := out.OutSchema.Validate(); err != nil {
-		return nil, fmt.Errorf("graql: select output: %w (use 'as' aliases)", err)
-	}
-
-	// Order-by keys resolve against the output schema.
-	for _, k := range s.OrderBy {
-		col := out.OutSchema.Index(k.Ref.Name)
-		if k.Ref.Qualifier != "" || col < 0 {
-			return nil, fmt.Errorf("graql: order by %s does not name an output column", k.Ref)
+	// The derived output schema only makes sense when every item
+	// resolved; skip the dependent checks otherwise to avoid cascades.
+	if itemsOK {
+		if err := out.OutSchema.Validate(); err != nil {
+			a.errorf(diag.Span{}, diag.ProjectionRule, "select output: %s (use 'as' aliases)", strings.TrimPrefix(err.Error(), "graql: "))
+		} else {
+			a.lintDuplicateProj(s, out)
 		}
-		out.OrderBy = append(out.OrderBy, OrderKey{Col: col, Desc: k.Desc})
+
+		// Order-by keys resolve against the output schema.
+		for _, k := range s.OrderBy {
+			col := out.OutSchema.Index(k.Ref.Name)
+			if k.Ref.Qualifier != "" || col < 0 {
+				a.errorf(k.Ref.Loc, diag.OrderByRule, "order by %s does not name an output column", k.Ref)
+				continue
+			}
+			out.OrderBy = append(out.OrderBy, OrderKey{Col: col, Desc: k.Desc})
+		}
 	}
-	return out, nil
+	if a.hasErrors() {
+		return nil
+	}
+	return out
 }
 
-func (a *Analyzer) analyzeItem(it ast.SelectItem, t *table.Table, sel *Select) (Item, table.ColumnDef, error) {
+func (a *Analyzer) analyzeItem(it ast.SelectItem, t *table.Table, sel *Select) (Item, table.ColumnDef, bool) {
 	src := []*EdgeSource{{Name: t.Name, Tbl: t}}
 	env := edgeSourceTypeEnv{sources: src}
 	name := it.Alias
@@ -171,20 +187,23 @@ func (a *Analyzer) analyzeItem(it ast.SelectItem, t *table.Table, sel *Select) (
 			name = "count"
 		}
 		return Item{Agg: ast.AggCount, AggStar: true, Col: -1, Name: name},
-			table.ColumnDef{Name: name, Type: value.Int}, nil
+			table.ColumnDef{Name: name, Type: value.Int}, true
 	}
 	if it.Agg != ast.AggNone {
 		r, ok := it.Expr.(*expr.Ref)
 		if !ok {
-			return Item{}, table.ColumnDef{}, fmt.Errorf("graql: aggregate %s requires a column argument", it.Agg)
+			a.errorf(it.Loc, diag.BadAggregate, "aggregate %s requires a column argument", it.Agg)
+			return Item{}, table.ColumnDef{}, false
 		}
 		col, err := resolveTableCol(r, t)
 		if err != nil {
-			return Item{}, table.ColumnDef{}, err
+			a.addErr(err, diag.UnknownColumn)
+			return Item{}, table.ColumnDef{}, false
 		}
 		inType := t.Schema()[col].Type
 		if (it.Agg == ast.AggSum || it.Agg == ast.AggAvg) && !inType.Kind.Numeric() {
-			return Item{}, table.ColumnDef{}, fmt.Errorf("graql: %s over non-numeric column %s (%s)", it.Agg, r.Name, inType)
+			a.errorf(r.Loc, diag.BadAggregate, "%s over non-numeric column %s (%s)", it.Agg, r.Name, inType)
+			return Item{}, table.ColumnDef{}, false
 		}
 		if name == "" {
 			name = fmt.Sprintf("%s_%s", it.Agg, r.Name)
@@ -196,49 +215,60 @@ func (a *Analyzer) analyzeItem(it ast.SelectItem, t *table.Table, sel *Select) (
 		case ast.AggAvg:
 			outType = value.Float
 		}
-		return Item{Agg: it.Agg, Col: col, Name: name}, table.ColumnDef{Name: name, Type: outType}, nil
+		return Item{Agg: it.Agg, Col: col, Name: name}, table.ColumnDef{Name: name, Type: outType}, true
 	}
 
 	// Plain reference or computed expression.
 	if r, ok := it.Expr.(*expr.Ref); ok {
 		col, err := resolveTableCol(r, t)
 		if err != nil {
-			return Item{}, table.ColumnDef{}, err
+			a.addErr(err, diag.UnknownColumn)
+			return Item{}, table.ColumnDef{}, false
 		}
 		if sel.Grouped && !containsInt(sel.GroupBy, col) {
-			return Item{}, table.ColumnDef{}, fmt.Errorf("graql: column %s must appear in group by", r.Name)
+			a.errorf(r.Loc, diag.GroupingRule, "column %s must appear in group by", r.Name)
+			return Item{}, table.ColumnDef{}, false
 		}
 		if name == "" {
 			name = t.Schema()[col].Name
 		}
 		return Item{Agg: ast.AggNone, Col: col, Name: name},
-			table.ColumnDef{Name: name, Type: t.Schema()[col].Type}, nil
+			table.ColumnDef{Name: name, Type: t.Schema()[col].Type}, true
 	}
 	if sel.Grouped {
-		return Item{}, table.ColumnDef{}, fmt.Errorf("graql: computed expressions are not allowed with group by")
+		a.errorf(it.Loc, diag.GroupingRule, "computed expressions are not allowed with group by")
+		return Item{}, table.ColumnDef{}, false
 	}
-	e, err := resolveTableExpr(it.Expr, src)
-	if err != nil {
-		return Item{}, table.ColumnDef{}, err
+	e, ok := a.resolveTableExpr(it.Expr, src)
+	if !ok {
+		return Item{}, table.ColumnDef{}, false
 	}
 	e = coerceDates(e, env)
 	typ, err := e.Check(env)
 	if err != nil {
-		return Item{}, table.ColumnDef{}, err
+		a.addErr(err, diag.TypeMismatch)
+		return Item{}, table.ColumnDef{}, false
 	}
 	if name == "" {
 		name = "expr"
 	}
-	return Item{Agg: ast.AggNone, Col: -1, Expr: e, Name: name}, table.ColumnDef{Name: name, Type: typ}, nil
+	e = a.foldExpr(e)
+	return Item{Agg: ast.AggNone, Col: -1, Expr: e, Name: name}, table.ColumnDef{Name: name, Type: typ}, true
 }
 
 func resolveTableCol(r *expr.Ref, t *table.Table) (int, error) {
 	if r.Qualifier != "" && !strings.EqualFold(r.Qualifier, t.Name) {
-		return -1, fmt.Errorf("graql: unknown source %s (selecting from table %s)", r.Qualifier, t.Name)
+		return -1, &diag.Diagnostic{
+			Severity: diag.SevError, Code: diag.UnknownSource, Span: r.Loc,
+			Msg: fmt.Sprintf("unknown source %s (selecting from table %s)", r.Qualifier, t.Name),
+		}
 	}
 	col := t.Schema().Index(r.Name)
 	if col < 0 {
-		return -1, fmt.Errorf("graql: table %s has no column %s", t.Name, r.Name)
+		return -1, &diag.Diagnostic{
+			Severity: diag.SevError, Code: diag.UnknownColumn, Span: r.Loc,
+			Msg: fmt.Sprintf("table %s has no column %s", t.Name, r.Name),
+		}
 	}
 	return col, nil
 }

@@ -1,23 +1,22 @@
 // Static analysis tests: the §III-A correctness checks. The catalog is
 // built through the engine (CheckOnly mode), then individual statements
-// are analysed and the reported errors inspected.
+// are analysed and the reported diagnostics inspected by their stable
+// GQL#### codes rather than by message substrings.
 package sema_test
 
 import (
-	"strings"
 	"testing"
 
+	"graql/internal/diag"
 	"graql/internal/exec"
+	"graql/internal/expr"
 	"graql/internal/parser"
 	"graql/internal/sema"
 )
 
-// fixture builds a catalog with a small typed schema (no data needed for
-// static analysis).
-func fixture(t *testing.T) *exec.Engine {
-	t.Helper()
-	e := exec.New(exec.Options{CheckOnly: true, ReverseIndexes: true})
-	_, err := e.ExecScript(`
+// fixtureDDL is the shared static-analysis schema: three tables, three
+// vertex types and two edges (also the FuzzAnalyze catalog).
+const fixtureDDL = `
 create table Products(
   id varchar(10),
   label varchar(20),
@@ -39,8 +38,14 @@ where ProductVtx.producer = ProducerVtx.id
 create edge reviewFor with
 vertices (ReviewVtx, ProductVtx)
 where ReviewVtx.reviewFor = ProductVtx.id
-`, nil)
-	if err != nil {
+`
+
+// fixture builds a catalog with a small typed schema (no data needed for
+// static analysis).
+func fixture(t *testing.T) *exec.Engine {
+	t.Helper()
+	e := exec.New(exec.Options{CheckOnly: true, ReverseIndexes: true})
+	if _, err := e.ExecScript(fixtureDDL, nil); err != nil {
 		t.Fatal(err)
 	}
 	return e
@@ -50,6 +55,13 @@ where ReviewVtx.reviewFor = ProductVtx.id
 // fixture catalog.
 func analyze(t *testing.T, e *exec.Engine, src string) (sema.Stmt, error) {
 	t.Helper()
+	st, diags := vet(t, e, src)
+	return st, diags.Err()
+}
+
+// vet parses one statement and returns the full diagnostic list.
+func vet(t *testing.T, e *exec.Engine, src string) (sema.Stmt, diag.List) {
+	t.Helper()
 	script, err := parser.Parse(src)
 	if err != nil {
 		t.Fatalf("parse: %v\n%s", err, src)
@@ -58,18 +70,41 @@ func analyze(t *testing.T, e *exec.Engine, src string) (sema.Stmt, error) {
 		t.Fatalf("want one statement, got %d", len(script.Stmts))
 	}
 	an := &sema.Analyzer{Cat: e.Cat}
-	return an.Analyze(script.Stmts[0])
+	return an.Vet(script.Stmts[0])
 }
 
-func wantErr(t *testing.T, e *exec.Engine, src, fragment string) {
+// wantCode asserts analysis fails with an error carrying the given code.
+func wantCode(t *testing.T, e *exec.Engine, src string, code diag.Code) {
 	t.Helper()
-	_, err := analyze(t, e, src)
-	if err == nil {
-		t.Fatalf("expected error containing %q for:\n%s", fragment, src)
+	st, diags := vet(t, e, src)
+	errs := diags.Errors()
+	if st != nil || len(errs) == 0 {
+		t.Fatalf("expected %s error for:\n%s", code, src)
 	}
-	if !strings.Contains(err.Error(), fragment) {
-		t.Errorf("error %q does not mention %q", err, fragment)
+	for _, d := range errs {
+		if d.Code == code {
+			if !diag.Registered(d.Code) {
+				t.Errorf("code %s is not registered", d.Code)
+			}
+			return
+		}
 	}
+	t.Errorf("no %s among %v for:\n%s", code, errs, src)
+}
+
+// wantWarn asserts analysis succeeds but reports a warning with the code.
+func wantWarn(t *testing.T, e *exec.Engine, src string, code diag.Code) {
+	t.Helper()
+	st, diags := vet(t, e, src)
+	if st == nil {
+		t.Fatalf("unexpected errors %v for:\n%s", diags, src)
+	}
+	for _, d := range diags {
+		if d.Severity == diag.SevWarning && d.Code == code {
+			return
+		}
+	}
+	t.Errorf("no %s warning among %v for:\n%s", code, diags, src)
 }
 
 func wantOK(t *testing.T, e *exec.Engine, src string) {
@@ -84,10 +119,10 @@ func wantOK(t *testing.T, e *exec.Engine, src string) {
 // the wrong type? (e.g. comparing a date to a floating-point number)".
 func TestTypeErrors(t *testing.T) {
 	e := fixture(t)
-	wantErr(t, e, `select id from table Products where added > 3.5`, "date")
-	wantErr(t, e, `select id from table Products where price = 'cheap'`, "compare")
-	wantErr(t, e, `select id from table Products where id + 1 > 2`, "+")
-	wantErr(t, e, `select * from graph ProductVtx (added > 3.5) into subgraph g`, "date")
+	wantCode(t, e, `select id from table Products where added > 3.5`, diag.TypeMismatch)
+	wantCode(t, e, `select id from table Products where price = 'cheap'`, diag.TypeMismatch)
+	wantCode(t, e, `select id from table Products where id + 1 > 2`, diag.NumberRequired)
+	wantCode(t, e, `select * from graph ProductVtx (added > 3.5) into subgraph g`, diag.TypeMismatch)
 	// Strings against dates coerce (natural literal spelling).
 	wantOK(t, e, `select id from table Products where added >= '2008-01-01'`)
 	// Parameters are statically wildcards.
@@ -99,37 +134,37 @@ func TestTypeErrors(t *testing.T) {
 // table is required, rather than a vertex type name)".
 func TestEntityKindErrors(t *testing.T) {
 	e := fixture(t)
-	wantErr(t, e, `select id from table ProductVtx`, "vertex type")
-	wantErr(t, e, `select id from table producer`, "edge type")
-	wantErr(t, e, `create vertex V2(id) from table ProductVtx`, "vertex type")
-	wantErr(t, e, `select * from graph Products ( ) into subgraph g`, "table")
-	wantErr(t, e, `select * from graph producer ( ) into subgraph g`, "edge type")
-	wantErr(t, e, `select * from graph ProductVtx ( ) --ProducerVtx--> ProducerVtx ( ) into subgraph g`, "vertex type")
+	wantCode(t, e, `select id from table ProductVtx`, diag.WrongEntityKind)
+	wantCode(t, e, `select id from table producer`, diag.WrongEntityKind)
+	wantCode(t, e, `create vertex V2(id) from table ProductVtx`, diag.WrongEntityKind)
+	wantCode(t, e, `select * from graph Products ( ) into subgraph g`, diag.WrongEntityKind)
+	wantCode(t, e, `select * from graph producer ( ) into subgraph g`, diag.WrongEntityKind)
+	wantCode(t, e, `select * from graph ProductVtx ( ) --ProducerVtx--> ProducerVtx ( ) into subgraph g`, diag.WrongEntityKind)
 }
 
 func TestUnknownNames(t *testing.T) {
 	e := fixture(t)
-	wantErr(t, e, `select id from table Missing`, "unknown table")
-	wantErr(t, e, `select missing from table Products`, "no column")
-	wantErr(t, e, `select * from graph Nope ( ) into subgraph g`, "unknown vertex type")
-	wantErr(t, e, `select * from graph ProductVtx ( ) --nope--> ProducerVtx ( ) into subgraph g`, "unknown edge type")
-	wantErr(t, e, `select * from graph ProductVtx (nope = 1) into subgraph g`, "no attribute")
-	wantErr(t, e, `select * from graph lost.ProductVtx ( ) into subgraph g`, "unknown subgraph")
+	wantCode(t, e, `select id from table Missing`, diag.UnknownTable)
+	wantCode(t, e, `select missing from table Products`, diag.UnknownColumn)
+	wantCode(t, e, `select * from graph Nope ( ) into subgraph g`, diag.UnknownVertex)
+	wantCode(t, e, `select * from graph ProductVtx ( ) --nope--> ProducerVtx ( ) into subgraph g`, diag.UnknownEdge)
+	wantCode(t, e, `select * from graph ProductVtx (nope = 1) into subgraph g`, diag.UnknownColumn)
+	wantCode(t, e, `select * from graph lost.ProductVtx ( ) into subgraph g`, diag.UnknownSubgraph)
 }
 
 // TestPathWellFormedness covers "is a path query correctly formulated?".
 func TestPathWellFormedness(t *testing.T) {
 	e := fixture(t)
 	// Edge endpoint types must match the declaration.
-	wantErr(t, e, `select * from graph ProducerVtx ( ) --producer--> ProductVtx ( ) into subgraph g`,
-		"requires a step of vertex type")
+	wantCode(t, e, `select * from graph ProducerVtx ( ) --producer--> ProductVtx ( ) into subgraph g`,
+		diag.MalformedPath)
 	// Direction matters: producer goes Product→Producer.
 	wantOK(t, e, `select * from graph ProducerVtx ( ) <--producer-- ProductVtx ( ) into subgraph g`)
 	// And-composition must share a label.
-	wantErr(t, e, `select * from graph
+	wantCode(t, e, `select * from graph
 ProductVtx ( ) --producer--> ProducerVtx ( )
 and (ReviewVtx ( ) --reviewFor--> ProductVtx ( ))
-into subgraph g`, "share a label")
+into subgraph g`, diag.LabelRule)
 	wantOK(t, e, `select * from graph
 foreach p: ProductVtx ( ) --producer--> ProducerVtx ( )
 and (ReviewVtx ( ) --reviewFor--> p)
@@ -139,80 +174,224 @@ into subgraph g`)
 func TestVariantStepRestrictions(t *testing.T) {
 	e := fixture(t)
 	// "Conditional expressions for variant query steps are not allowed".
-	wantErr(t, e, `select * from graph ProductVtx ( ) --[ ]--> [ ] (id = 'x') into subgraph g`,
-		"variant")
+	wantCode(t, e, `select * from graph ProductVtx ( ) --[ ]--> [ ] (id = 'x') into subgraph g`,
+		diag.VariantRestrict)
 	// Attributes of variant steps cannot be referenced or projected.
-	wantErr(t, e, `select x.id from graph ProductVtx ( ) <--[ ]-- def x: [ ]`, "variant")
+	wantCode(t, e, `select x.id from graph ProductVtx ( ) <--[ ]-- def x: [ ]`, diag.VariantRestrict)
 	// Variant steps cannot appear in star table output.
-	wantErr(t, e, `select * from graph ProductVtx ( ) <--[ ]-- [ ] into table T`, "variant")
+	wantCode(t, e, `select * from graph ProductVtx ( ) <--[ ]-- [ ] into table T`, diag.VariantRestrict)
 	// ... but are fine in subgraphs (Fig. 9).
 	wantOK(t, e, `select * from graph ProductVtx (id = 'p1') <--[ ]-- [ ] into subgraph g`)
 }
 
 func TestLabelRules(t *testing.T) {
 	e := fixture(t)
-	wantErr(t, e, `select * from graph
-def x: ProductVtx ( ) --producer--> def x: ProducerVtx ( ) into subgraph g`, "already defined")
+	wantCode(t, e, `select * from graph
+def x: ProductVtx ( ) --producer--> def x: ProducerVtx ( ) into subgraph g`, diag.DuplicateName)
 	// Unknown label reference reads as unknown vertex type.
-	wantErr(t, e, `select * from graph ProductVtx ( ) --producer--> y into subgraph g`, "unknown")
+	wantCode(t, e, `select * from graph ProductVtx ( ) --producer--> y into subgraph g`, diag.UnknownVertex)
 	// Edge labels cannot stand as vertex steps.
-	wantErr(t, e, `select * from graph
+	wantCode(t, e, `select * from graph
 ProductVtx ( ) --def f: producer--> ProducerVtx ( ) and (f --producer--> ProducerVtx ( ))
-into subgraph g`, "edge step")
+into subgraph g`, diag.LabelRule)
 }
 
 // TestOutputAmbiguity covers "the output steps must be unambiguous ...
 // if they are not then labels can be used to disambiguate them".
 func TestOutputAmbiguity(t *testing.T) {
 	e := fixture(t)
-	wantErr(t, e, `select ProductVtx from graph
+	wantCode(t, e, `select ProductVtx from graph
 ProductVtx ( ) --producer--> ProducerVtx ( ) <--producer-- ProductVtx ( )`,
-		"ambiguous")
+		diag.AmbiguousName)
 	wantOK(t, e, `select y from graph
 ProductVtx ( ) --producer--> ProducerVtx ( ) <--producer-- def y: ProductVtx ( )`)
 }
 
 func TestGraphSelectRestrictions(t *testing.T) {
 	e := fixture(t)
-	wantErr(t, e, `select count(*) from graph ProductVtx ( ) --producer--> ProducerVtx ( )`,
-		"table select")
-	wantErr(t, e, `select id from graph ProductVtx ( ) --producer--> ProducerVtx ( ) group by id`,
-		"table select")
-	wantErr(t, e, `select id from graph ProductVtx ( ) --producer--> ProducerVtx ( ) where id = 'x'`,
-		"conditions on query steps")
-	wantErr(t, e, `select ProductVtx.id from graph ProductVtx ( ) --producer--> ProducerVtx ( ) into subgraph g`,
-		"whole steps")
+	wantCode(t, e, `select count(*) from graph ProductVtx ( ) --producer--> ProducerVtx ( )`,
+		diag.GroupingRule)
+	wantCode(t, e, `select id from graph ProductVtx ( ) --producer--> ProducerVtx ( ) group by id`,
+		diag.GroupingRule)
+	wantCode(t, e, `select id from graph ProductVtx ( ) --producer--> ProducerVtx ( ) where id = 'x'`,
+		diag.StatementMisuse)
+	wantCode(t, e, `select ProductVtx.id from graph ProductVtx ( ) --producer--> ProducerVtx ( ) into subgraph g`,
+		diag.ProjectionRule)
 }
 
 func TestTableSelectRules(t *testing.T) {
 	e := fixture(t)
-	wantErr(t, e, `select label, count(*) from table Products group by id`, "group by")
-	wantErr(t, e, `select sum(label) from table Products`, "non-numeric")
-	wantErr(t, e, `select id from table Products order by label`, "output column")
-	wantErr(t, e, `select id, id from table Products`, "duplicate")
+	wantCode(t, e, `select label, count(*) from table Products group by id`, diag.GroupingRule)
+	wantCode(t, e, `select sum(label) from table Products`, diag.BadAggregate)
+	wantCode(t, e, `select id from table Products order by label`, diag.OrderByRule)
+	wantCode(t, e, `select id, id from table Products`, diag.ProjectionRule)
 	wantOK(t, e, `select id, id as id2 from table Products`)
 	wantOK(t, e, `select id, count(*) as n from table Products group by id order by n desc`)
 }
 
 func TestDuplicateDDLNames(t *testing.T) {
 	e := fixture(t)
-	wantErr(t, e, `create table Products(id integer)`, "already exists")
-	wantErr(t, e, `create vertex ProductVtx(id) from table Products`, "already exists")
-	wantErr(t, e, `create table ProductVtx(id integer)`, "already in use")
-	wantErr(t, e, `create edge producer with vertices (ProductVtx, ProducerVtx) where ProductVtx.producer = ProducerVtx.id`, "already exists")
+	wantCode(t, e, `create table Products(id integer)`, diag.DuplicateName)
+	wantCode(t, e, `create vertex ProductVtx(id) from table Products`, diag.DuplicateName)
+	wantCode(t, e, `create table ProductVtx(id integer)`, diag.DuplicateName)
+	wantCode(t, e, `create edge producer with vertices (ProductVtx, ProducerVtx) where ProductVtx.producer = ProducerVtx.id`, diag.DuplicateName)
 }
 
 func TestEdgeDeclarationAnalysis(t *testing.T) {
 	e := fixture(t)
 	// Self-edges need aliases.
-	wantErr(t, e, `create edge similar with vertices (ProductVtx, ProductVtx) where ProductVtx.id = ProductVtx.id`, "distinct aliases")
+	wantCode(t, e, `create edge similar with vertices (ProductVtx, ProductVtx) where ProductVtx.id = ProductVtx.id`, diag.EdgeDeclRule)
 	wantOK(t, e, `create edge similar with vertices (ProductVtx as A, ProductVtx as B) where A.producer = B.producer`)
 	// Where clause must join the endpoints.
-	wantErr(t, e, `create edge broken with vertices (ProductVtx, ProducerVtx) where ProductVtx.price > 3`, "join")
+	wantCode(t, e, `create edge broken with vertices (ProductVtx, ProducerVtx) where ProductVtx.price > 3`, diag.EdgeDeclRule)
 	// Cross-source non-equality conditions are not supported.
-	wantErr(t, e, `create edge broken with vertices (ProductVtx, ProducerVtx) where ProductVtx.producer > ProducerVtx.id`, "equality")
+	wantCode(t, e, `create edge broken with vertices (ProductVtx, ProducerVtx) where ProductVtx.producer > ProducerVtx.id`, diag.EdgeDeclRule)
 	// Unqualified columns in edge declarations are ambiguous by design.
-	wantErr(t, e, `create edge broken with vertices (ProductVtx, ProducerVtx) where producer = id`, "unqualified")
+	wantCode(t, e, `create edge broken with vertices (ProductVtx, ProducerVtx) where producer = id`, diag.UnqualifiedRef)
+}
+
+// TestMultiErrorRecovery is the acceptance criterion for error-recovering
+// analysis: a statement with several independent mistakes reports all of
+// them in one pass, each with a stable code and a real source position,
+// ordered by position.
+func TestMultiErrorRecovery(t *testing.T) {
+	e := fixture(t)
+	src := `select missing1, missing2, sum(label) from table Products where added > 3.5`
+	_, diags := vet(t, e, src)
+	errs := diags.Errors()
+	if len(errs) < 4 {
+		t.Fatalf("want >= 4 errors, got %d: %v", len(errs), errs)
+	}
+	wantCodes := map[diag.Code]int{
+		diag.UnknownColumn: 2, // missing1, missing2
+		diag.BadAggregate:  1, // sum over varchar
+		diag.TypeMismatch:  1, // date > float
+	}
+	got := map[diag.Code]int{}
+	for _, d := range errs {
+		got[d.Code]++
+		if !d.Span.Known() {
+			t.Errorf("diagnostic %v has no source position", d)
+		}
+		if !diag.Registered(d.Code) {
+			t.Errorf("code %s is not registered", d.Code)
+		}
+	}
+	for code, n := range wantCodes {
+		if got[code] != n {
+			t.Errorf("code %s: got %d, want %d (all: %v)", code, got[code], n, errs)
+		}
+	}
+	for i := 1; i < len(errs); i++ {
+		if errs[i].Span.Start < errs[i-1].Span.Start {
+			t.Errorf("diagnostics not sorted by position: %v", errs)
+		}
+	}
+}
+
+// TestErrStaticAnalysis checks the sentinel contract: every analysis
+// failure errors.Is-matches diag.ErrStaticAnalysis.
+func TestErrStaticAnalysis(t *testing.T) {
+	e := fixture(t)
+	for _, src := range []string{
+		`select id from table Missing`,
+		`select missing1, missing2 from table Products`,
+	} {
+		_, err := analyze(t, e, src)
+		if err == nil {
+			t.Fatalf("expected error for %s", src)
+		}
+		if !errorsIs(err, diag.ErrStaticAnalysis) {
+			t.Errorf("error %v does not wrap ErrStaticAnalysis", err)
+		}
+	}
+}
+
+func errorsIs(err, target error) bool {
+	for err != nil {
+		if err == target {
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}
+
+// TestLintWarnings covers the GQL10xx tier: suspicious-but-legal
+// predicates and projections warn without blocking execution.
+func TestLintWarnings(t *testing.T) {
+	e := fixture(t)
+	// Unsatisfiable interval: x > 5 and x < 3.
+	wantWarn(t, e, `select id from table Products where price > 5 and price < 3`, diag.AlwaysFalse)
+	wantWarn(t, e, `select id from table Products where price = 2 and price = 3`, diag.AlwaysFalse)
+	// Constant-folded outcomes.
+	wantWarn(t, e, `select id from table Products where 2 > 3`, diag.AlwaysFalse)
+	wantWarn(t, e, `select id from table Products where 1 < 2`, diag.AlwaysTrue)
+	// NULL-typed vacuous comparison.
+	wantWarn(t, e, `select id from table Products where id = null`, diag.NullCompare)
+	// Unused label.
+	wantWarn(t, e, `select ProducerVtx.country from graph
+def x: ProductVtx ( ) --producer--> ProducerVtx ( )`, diag.UnusedLabel)
+	// A referenced label must not warn.
+	st, diags := vet(t, e, `select x.id from graph
+def x: ProductVtx ( ) --producer--> ProducerVtx ( )`)
+	if st == nil {
+		t.Fatalf("unexpected errors %v", diags)
+	}
+	for _, d := range diags {
+		if d.Code == diag.UnusedLabel {
+			t.Errorf("label x is used; spurious warning %v", d)
+		}
+	}
+	// Duplicate projected column under two aliases.
+	wantWarn(t, e, `select id, id as id2 from table Products`, diag.DuplicateProj)
+}
+
+// TestConstantFolding checks that resolved predicates are simplified
+// before execution (and that NoFold preserves the original shape).
+func TestConstantFolding(t *testing.T) {
+	e := fixture(t)
+	src := `select id from table Products where price > 2 + 3`
+
+	st, err := analyze(t, e, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := st.(*sema.Select).Where
+	b, ok := w.(*expr.Binary)
+	if !ok {
+		t.Fatalf("where = %T (%s), want binary", w, w)
+	}
+	if _, ok := b.R.(*expr.Const); !ok {
+		t.Errorf("rhs not folded to a constant: %s", b.R)
+	}
+
+	script, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := &sema.Analyzer{Cat: e.Cat, NoFold: true}
+	st2, err := an.Analyze(script.Stmts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2 := st2.(*sema.Select).Where.(*expr.Binary)
+	if _, ok := b2.R.(*expr.Binary); !ok {
+		t.Errorf("NoFold must keep the original shape, got %s", b2.R)
+	}
+
+	// An always-true filter is dropped entirely (exact fold only).
+	st3, err := analyze(t, e, `select id from table Products where 1 < 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.(*sema.Select).Where != nil {
+		t.Errorf("always-true filter not dropped: %s", st3.(*sema.Select).Where)
+	}
 }
 
 func TestAnalyzedShapes(t *testing.T) {
@@ -220,7 +399,6 @@ func TestAnalyzedShapes(t *testing.T) {
 	st, err := analyze(t, e, `select TypeCount.id from graph
 ReviewVtx ( ) --reviewFor--> def TypeCount: ProductVtx (price > 10)`)
 	if err == nil {
-		_ = st
 		sel := st.(*sema.Select)
 		if len(sel.GraphAlts) != 1 {
 			t.Fatalf("alts = %d", len(sel.GraphAlts))

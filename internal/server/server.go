@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"graql/internal/ast"
+	"graql/internal/diag"
 	"graql/internal/exec"
 	"graql/internal/ir"
 	"graql/internal/obs"
@@ -111,6 +112,11 @@ type Response struct {
 	TraceID string `json:"traceId,omitempty"`
 	// Traces carries the retained trace trees for op "trace".
 	Traces []obs.TraceTree `json:"traces,omitempty"`
+	// Diagnostics carries every static-analysis finding for op "check":
+	// errors and lint warnings, sorted by source position. Present (with
+	// OK=false and a summary Error) when the script has errors, and with
+	// OK=true when only warnings remain.
+	Diagnostics diag.List `json:"diagnostics,omitempty"`
 }
 
 func fail(code, format string, args ...any) *Response {
@@ -416,10 +422,7 @@ func (s *Server) dispatch(ctx context.Context, req *Request, eng *exec.Engine) *
 		}
 		return s.execIR(ctx, req, eng)
 	case "check":
-		if err := s.checkScript(req.Script); err != nil {
-			return fail(CodeParse, "%v", err)
-		}
-		return &Response{OK: true, Results: []StmtResult{{Message: "script is statically valid"}}}
+		return s.checkScript(req.Script)
 	case "compile":
 		return s.compile(req)
 	case "stats":
@@ -476,11 +479,23 @@ func (s *Server) execScript(ctx context.Context, req *Request, eng *exec.Engine)
 	return run(ctx, eng, decoded, params)
 }
 
-func (s *Server) checkScript(src string) error {
+// checkScript statically vets a script, returning every diagnostic —
+// errors and lint warnings — so clients can render positioned findings.
+// Error keeps the summary form for older clients.
+func (s *Server) checkScript(src string) *Response {
 	if src == "" {
-		return errors.New("empty script")
+		return fail(CodeParse, "empty script")
 	}
-	return exec.CheckScript(src)
+	diags := s.eng.VetScript(src)
+	resp := &Response{Diagnostics: diags}
+	if err := diags.Err(); err != nil {
+		resp.Code = CodeParse
+		resp.Error = err.Error()
+		return resp
+	}
+	resp.OK = true
+	resp.Results = []StmtResult{{Message: "script is statically valid"}}
+	return resp
 }
 
 func (s *Server) compile(req *Request) *Response {

@@ -15,6 +15,7 @@ import (
 	"net/http/pprof"
 	"time"
 
+	"graql/internal/diag"
 	"graql/internal/exec"
 	"graql/internal/obs"
 	"graql/internal/server"
@@ -44,6 +45,7 @@ type Handler struct {
 //
 //	GET  /             the HTML console
 //	POST /query        {"script": "...", "params": {"P": {"type": "varchar", "value": "x"}}}
+//	POST /vet          {"script": "..."} → every static-analysis finding as JSON
 //	GET  /catalog      the catalog snapshot as JSON
 //	GET  /metrics      Prometheus text exposition of the engine registry
 //	GET  /debug/slow   retained slow queries as JSON
@@ -59,6 +61,7 @@ func New(eng *exec.Engine) *Handler {
 	h := &Handler{eng: eng, mux: http.NewServeMux()}
 	h.mux.HandleFunc("GET /{$}", h.console)
 	h.mux.HandleFunc("POST /query", h.query)
+	h.mux.HandleFunc("POST /vet", h.vet)
 	h.mux.HandleFunc("GET /catalog", h.catalog)
 	h.mux.HandleFunc("GET /metrics", h.metrics)
 	h.mux.HandleFunc("GET /debug/slow", h.slow)
@@ -250,6 +253,39 @@ func (h *Handler) logQuery(resp queryResponse, start time.Time) {
 		"op", "/query",
 		"code", resp.Code,
 		"elapsed_us", time.Since(start).Microseconds())
+}
+
+// vetResponse is the /vet body: every static-analysis finding, sorted
+// by source position, plus severity counts. ok means "no errors"
+// (warnings alone do not fail a vet).
+type vetResponse struct {
+	OK          bool      `json:"ok"`
+	Errors      int       `json:"errors"`
+	Warnings    int       `json:"warnings"`
+	Diagnostics diag.List `json:"diagnostics"`
+}
+
+// vet runs the full static-analysis front-end — multi-error recovery
+// and the lint tier — over a self-contained script and reports every
+// finding with its stable code and line:col position.
+func (h *Handler) vet(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest,
+			queryResponse{Code: server.CodeBadRequest, Error: "bad request: " + err.Error()})
+		return
+	}
+	diags := h.eng.VetScript(req.Script)
+	nerr := len(diags.Errors())
+	if diags == nil {
+		diags = diag.List{} // keep the field a JSON array
+	}
+	writeJSON(w, http.StatusOK, vetResponse{
+		OK:          nerr == 0,
+		Errors:      nerr,
+		Warnings:    len(diags) - nerr,
+		Diagnostics: diags,
+	})
 }
 
 func (h *Handler) catalog(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,101 @@
+package graql_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graql"
+)
+
+// TestVetGolden locks the canonical `file:line:col: CODE: severity:
+// message` rendering byte-for-byte against the corpus of broken scripts
+// in testdata/vet. Regenerate a golden with:
+//
+//	go run ./cmd/graql -vet testdata/vet/NAME.graql > testdata/vet/NAME.golden
+func TestVetGolden(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "vet", "*.graql"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no vet corpus: %v", err)
+	}
+	for _, path := range files {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b strings.Builder
+			name := filepath.ToSlash(path)
+			for _, d := range graql.Vet(string(src)) {
+				b.WriteString(d.Format(name))
+				b.WriteByte('\n')
+			}
+			goldenPath := strings.TrimSuffix(path, ".graql") + ".golden"
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := b.String(); got != string(want) {
+				t.Errorf("diagnostics mismatch for %s\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}
+
+// TestVetMultiError pins the tentpole acceptance criterion: one
+// statement with several independent problems reports all of them.
+func TestVetMultiError(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "vet", "multi_errors.graql"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := graql.Vet(string(src))
+	var nerr int
+	for _, d := range diags {
+		if d.Severity.String() == "error" {
+			nerr++
+		}
+	}
+	if nerr < 3 {
+		t.Errorf("want >= 3 errors from one statement, got %d: %v", nerr, diags)
+	}
+}
+
+// TestExamplesVetClean gates the shipped example scripts: they must
+// produce zero diagnostics (not even warnings).
+func TestExamplesVetClean(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("examples", "*.graql"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no example scripts: %v", err)
+	}
+	for _, path := range files {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diags := graql.Vet(string(src)); len(diags) != 0 {
+			t.Errorf("%s is not vet-clean: %v", path, diags)
+		}
+	}
+}
+
+// TestVetAPI covers the public surface: DB.Vet, the sentinel, and the
+// warning/error split.
+func TestVetAPI(t *testing.T) {
+	db := graql.Open()
+	diags := db.Vet(`create table T(id varchar(5))
+select id from table T where 1 < 2`)
+	if diags.HasErrors() {
+		t.Fatalf("warnings must not be errors: %v", diags)
+	}
+	if len(diags) != 1 || diags[0].Code != "GQL1002" {
+		t.Errorf("want one always-true warning, got %v", diags)
+	}
+
+	err := graql.Check(`select id from table Missing`)
+	if !errors.Is(err, graql.ErrStaticAnalysis) {
+		t.Errorf("Check error must match ErrStaticAnalysis, got %v", err)
+	}
+}
