@@ -34,6 +34,7 @@ import (
 	"graql/internal/ir"
 	"graql/internal/obs"
 	"graql/internal/parser"
+	"graql/internal/storage"
 	"graql/internal/table"
 	"graql/internal/value"
 )
@@ -84,6 +85,7 @@ func main() {
 		{"E10", e10, "Many-to-one view build"},
 		{"E11", e11, "Concurrent query throughput"},
 		{"E12", e12, "Parallel relational operators"},
+		{"E13", e13, "Durability cost (WAL / fsync ablation)"},
 	}
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -169,7 +171,30 @@ func benchSet() map[string]int64 {
 		}
 	}).Nanoseconds() / iters
 	tableopsBench(out)
+	dmlBench(out)
 	return out
+}
+
+// dmlBench times batched inserts (with incremental view maintenance)
+// across the WAL ablation grid for the comparable benchmark set.
+func dmlBench(out map[string]int64) {
+	const rows, batch = 2_000, 50
+	for _, mode := range durableModes {
+		// Fresh engine per run: copy-on-write cost scales with table
+		// size, so state must not accumulate across repetitions.
+		out["dml/insert-"+mode.name] = benchTime(func() {
+			dir, err := os.MkdirTemp("", "graql-bench-")
+			if err != nil {
+				fatal(err)
+			}
+			e := durableEngine(mode, dir)
+			insertBatches(e, rows, batch, 0)
+			if st := e.Store(); st != nil {
+				st.Close()
+			}
+			os.RemoveAll(dir)
+		}).Nanoseconds()
+	}
 }
 
 // synthTable builds the synthetic relational-operator benchmark input:
@@ -812,6 +837,114 @@ func e12() {
 		}
 		cells = append(cells, fmt.Sprintf("%.2f×", float64(serial)/float64(at4)))
 		row(append([]string{o.name}, cells...)...)
+	}
+}
+
+// durableModes is the WAL ablation grid shared by E13 and the
+// comparable benchmark set: no store, WAL without fsync (process-crash
+// durability), WAL with per-commit fsync (machine-crash durability).
+var durableModes = []struct {
+	name  string
+	store bool
+	fsync bool
+}{
+	{"in-memory", false, false},
+	{"wal", true, false},
+	{"wal+fsync", true, true},
+}
+
+// durableEngine builds an engine with the mode's storage configuration
+// and a table + derived vertex view, so every insert pays incremental
+// view maintenance on top of logging. The caller removes dir.
+func durableEngine(mode struct {
+	name  string
+	store bool
+	fsync bool
+}, dir string) *exec.Engine {
+	opts := exec.DefaultOptions()
+	e := exec.New(opts)
+	if mode.store {
+		st, err := storage.Open(dir, mode.fsync, nil)
+		if err != nil {
+			fatal(err)
+		}
+		if err := e.AttachStore(st); err != nil {
+			fatal(err)
+		}
+	}
+	if _, err := e.ExecScript(`create table W(id integer, v float)
+create vertex WV(id) from table W`, nil); err != nil {
+		fatal(err)
+	}
+	return e
+}
+
+// insertBatches runs rows/batch insert statements of batch tuples each
+// (one WAL record + fsync per statement in durable modes).
+func insertBatches(e *exec.Engine, rows, batch, base int) {
+	for off := 0; off < rows; off += batch {
+		var sb strings.Builder
+		sb.WriteString("insert into W values ")
+		for i := 0; i < batch; i++ {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			id := base + off + i
+			fmt.Fprintf(&sb, "(%d, %d.5)", id, id)
+		}
+		if _, err := e.ExecScript(sb.String(), nil); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// e13 measures what durability costs (DESIGN.md §10): row-insert and
+// bulk-ingest throughput across the WAL ablation grid. Inserts pay one
+// log record (and, in fsync mode, one fsync) per statement; ingest pays
+// one materialised-rows record for the whole load.
+func e13() {
+	rows := 10_000
+	if *quick {
+		rows = 2_500
+	}
+	const batch = 50
+	var csv strings.Builder
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&csv, "%d,%d.5\n", i, i)
+	}
+	header("mode", "insert (batches of "+fmt.Sprint(batch)+")", "insert rows/s", "ingest", "ingest rows/s")
+	for _, mode := range durableModes {
+		// Each timed run loads a fresh engine in a fresh store directory:
+		// table size (and therefore copy-on-write cost) must not grow
+		// across repetitions, or later reps dominate the median.
+		ins := timeIt(func() {
+			dir, err := os.MkdirTemp("", "graql-bench-")
+			if err != nil {
+				fatal(err)
+			}
+			e := durableEngine(mode, dir)
+			insertBatches(e, rows, batch, 0)
+			if st := e.Store(); st != nil {
+				st.Close()
+			}
+			os.RemoveAll(dir)
+		})
+		ing := timeIt(func() {
+			dir, err := os.MkdirTemp("", "graql-bench-")
+			if err != nil {
+				fatal(err)
+			}
+			e := durableEngine(mode, dir)
+			if err := e.IngestReader("W", strings.NewReader(csv.String())); err != nil {
+				fatal(err)
+			}
+			if st := e.Store(); st != nil {
+				st.Close()
+			}
+			os.RemoveAll(dir)
+		})
+		row(mode.name, dur(ins), fmt.Sprintf("%.0f", float64(rows)/ins.Seconds()),
+			dur(ing), fmt.Sprintf("%.0f", float64(rows)/ing.Seconds()))
 	}
 }
 

@@ -6,9 +6,13 @@
 // Usage:
 //
 //	gems-server -addr :7687 [-token secret] [-data dir] [-berlin 1]
+//	gems-server -store dir [-fsync=false] ...
 //
 // With -berlin N the server preloads a generated Berlin dataset at scale
-// factor N, ready for the query suite.
+// factor N, ready for the query suite. With -store the database is
+// durable: state is recovered from the directory's snapshot +
+// write-ahead log before listening, every committed mutation is logged
+// (fsynced per -fsync), and graceful shutdown writes a checkpoint.
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"graql/internal/exec"
 	"graql/internal/obs"
 	"graql/internal/server"
+	"graql/internal/storage"
 	"graql/internal/web"
 )
 
@@ -37,6 +42,8 @@ func main() {
 		httpAddr     = flag.String("http", "", "also serve the web console on this address (e.g. 127.0.0.1:8087)")
 		token        = flag.String("token", "", "require this auth token from clients")
 		dataDir      = flag.String("data", ".", "base directory for ingest file paths")
+		storeDir     = flag.String("store", "", "durable store directory: recover on start, write-ahead-log every mutation")
+		fsync        = flag.Bool("fsync", true, "fsync the write-ahead log on every commit (with -store)")
 		berlin       = flag.Int("berlin", 0, "preload a generated Berlin dataset at this scale factor")
 		workers      = flag.Int("workers", 0, "parallelism degree (0 = GOMAXPROCS)")
 		metrics      = flag.Bool("metrics", true, "enable the metrics registry (the \"metrics\" op and GET /metrics)")
@@ -77,6 +84,28 @@ func main() {
 		opts.Obs.EnableTracing(*traces)
 	}
 	eng := exec.New(opts)
+
+	var store *storage.Store
+	if *storeDir != "" {
+		st, err := storage.Open(*storeDir, *fsync, opts.Obs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gems-server:", err)
+			os.Exit(1)
+		}
+		if err := eng.AttachStore(st); err != nil {
+			fmt.Fprintln(os.Stderr, "gems-server: recovery:", err)
+			os.Exit(1)
+		}
+		store = st
+		eng.Cat.RLock()
+		recovered := len(eng.Cat.Tables())
+		eng.Cat.RUnlock()
+		fmt.Printf("durable store %s: recovered %d table(s), wal seq %d\n", *storeDir, recovered, st.LastSeq())
+		if recovered > 0 && *berlin > 0 {
+			fmt.Println("store already populated; skipping -berlin preload")
+			*berlin = 0
+		}
+	}
 
 	if *berlin > 0 {
 		ds := bsbm.Generate(bsbm.Config{ScaleFactor: *berlin, Seed: 42})
@@ -165,6 +194,14 @@ func main() {
 		}()
 		srv.Shutdown(*drain)
 		<-httpDone
+		if store != nil {
+			// In-flight queries have drained: compact the log so the next
+			// start recovers from a snapshot instead of replaying the WAL.
+			if err := eng.Checkpoint(); err != nil {
+				fmt.Fprintln(os.Stderr, "gems-server: checkpoint:", err)
+			}
+			store.Close()
+		}
 		close(done)
 	}()
 

@@ -7,6 +7,14 @@
 //	graql [-data dir] [-workers n] [-check] [-param name=value ...] script.graql
 //	graql -vet script.graql...   # static analysis: all errors and lint warnings
 //	graql                  # interactive shell; end a statement block with a blank line
+//	graql -store dir ...   # durable mode: recover from dir, log every mutation
+//	graql -store dir -restore   # recover, compact into a fresh snapshot, exit
+//
+// With -store the database is durable: state is recovered from the
+// directory's snapshot + write-ahead log before the script (or shell)
+// runs, every committed mutation is appended to the log, and a clean
+// exit checkpoints. -fsync=false trades machine-crash durability for
+// speed.
 //
 // Parameters substitute the script's %name% placeholders; values are typed
 // as name:type=value (type ∈ integer,float,varchar,date,boolean; default
@@ -73,6 +81,9 @@ func (p *paramList) Set(s string) error {
 func main() {
 	var (
 		dataDir   = flag.String("data", ".", "base directory for ingest file paths")
+		storeDir  = flag.String("store", "", "durable store directory: recover on start, write-ahead-log every mutation")
+		fsync     = flag.Bool("fsync", true, "fsync the write-ahead log on every commit (with -store)")
+		restore   = flag.Bool("restore", false, "recover from -store, compact into a fresh snapshot, print the catalog and exit")
 		workers   = flag.Int("workers", 0, "parallelism degree (0 = GOMAXPROCS)")
 		checkOnly = flag.Bool("check", false, "statically check the script without executing it")
 		vetMode   = flag.Bool("vet", false, "report every static-analysis finding (errors and lint warnings) per file; exit 1 when any file has errors")
@@ -123,9 +134,32 @@ func main() {
 	if logger != nil {
 		dbOpts = append(dbOpts, graql.WithLogger(logger))
 	}
-	db := graql.Open(dbOpts...)
+	var db *graql.DB
+	if *storeDir != "" {
+		var err error
+		db, err = graql.OpenDurable(*storeDir, *fsync, dbOpts...)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		if *restore {
+			fatal(errors.New("-restore needs -store"))
+		}
+		db = graql.Open(dbOpts...)
+	}
 	if *metrics {
 		defer func() { fmt.Fprint(os.Stderr, db.MetricsText()) }()
+	}
+
+	if *restore {
+		for _, s := range db.Stats() {
+			fmt.Printf("%s %s: %d\n", s.Kind, s.Name, s.Count)
+		}
+		if err := db.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("restored and checkpointed", *storeDir)
+		return
 	}
 
 	if flag.NArg() > 0 {
@@ -139,9 +173,15 @@ func main() {
 		if err := run(db, src, params.params, *outCSV, *timeout, logger); err != nil {
 			fatal(err)
 		}
+		if err := db.Close(); err != nil {
+			fatal(err)
+		}
 		return
 	}
 	repl(db, params.params, *timeout)
+	if err := db.Close(); err != nil {
+		fatal(err)
+	}
 }
 
 // vetFiles statically analyses each script file independently, printing

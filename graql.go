@@ -36,6 +36,7 @@ import (
 	"graql/internal/diag"
 	"graql/internal/exec"
 	"graql/internal/obs"
+	"graql/internal/storage"
 	"graql/internal/value"
 )
 
@@ -160,6 +161,51 @@ func Open(opts ...Option) *DB {
 		fn(&o)
 	}
 	return &DB{eng: exec.New(o)}
+}
+
+// OpenDurable opens a database backed by a durable store rooted at dir:
+// existing state is recovered (snapshot restore, then WAL tail replay)
+// and every subsequently committed mutation — DDL, insert/update/delete,
+// ingest, select-into — is appended to a CRC-checked write-ahead log.
+// fsync controls whether each commit syncs to stable storage before the
+// statement is acknowledged (true survives machine crashes; false
+// survives process crashes only). Call Close to checkpoint and release
+// the store.
+func OpenDurable(dir string, fsync bool, opts ...Option) (*DB, error) {
+	o := exec.DefaultOptions()
+	for _, fn := range opts {
+		fn(&o)
+	}
+	db := &DB{eng: exec.New(o)}
+	st, err := storage.Open(dir, fsync, o.Obs)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.eng.AttachStore(st); err != nil {
+		st.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+// Checkpoint writes a compact snapshot of the current state and
+// truncates the WAL; recovery cost is proportional to the WAL tail
+// written since the last checkpoint. A no-op for non-durable databases
+// (the engine also checkpoints automatically once the WAL grows large).
+func (db *DB) Checkpoint() error { return db.eng.Checkpoint() }
+
+// Close checkpoints (when durable) and releases the underlying store.
+// The DB must not be used afterwards. A no-op for non-durable databases.
+func (db *DB) Close() error {
+	st := db.eng.Store()
+	if st == nil {
+		return nil
+	}
+	err := db.eng.Checkpoint()
+	if cerr := st.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Exec runs a GraQL script (one or more statements) and returns one

@@ -1,0 +1,151 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"graql/internal/diag"
+	"graql/internal/expr"
+)
+
+// Insert appends rows to a base table:
+//
+//	insert into T [(c1, c2, ...)] values (e11, e12, ...), (e21, ...)
+//
+// Columns omitted from an explicit column list receive NULL. Vertex and
+// edge views over T are maintained incrementally by the engine.
+type Insert struct {
+	// Explain / Analyze mirror Select: report the mutation plan (and, with
+	// Analyze, execute and report rows affected plus maintenance timings).
+	Explain bool
+	Analyze bool
+
+	Table string
+	Cols  []string      // nil = positional, all columns
+	Rows  [][]expr.Expr // one slice per values tuple
+
+	Loc      diag.Span
+	TablePos diag.Span
+	ColPos   []diag.Span // parallel to Cols
+	RowPos   []diag.Span // parallel to Rows (span of each tuple)
+}
+
+func (*Insert) stmt() {}
+
+// Span implements Stmt.
+func (s *Insert) Span() diag.Span { return s.Loc }
+
+func (s *Insert) String() string {
+	var b strings.Builder
+	if s.Explain {
+		b.WriteString("explain ")
+		if s.Analyze {
+			b.WriteString("analyze ")
+		}
+	}
+	fmt.Fprintf(&b, "insert into %s", s.Table)
+	if len(s.Cols) > 0 {
+		fmt.Fprintf(&b, "(%s)", strings.Join(s.Cols, ", "))
+	}
+	b.WriteString(" values ")
+	for i, row := range s.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("(")
+		for j, e := range row {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.String())
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+// SetClause is one "col = expr" assignment in an update statement.
+type SetClause struct {
+	Col    string
+	E      expr.Expr
+	ColPos diag.Span
+}
+
+func (c SetClause) String() string { return fmt.Sprintf("%s = %s", c.Col, c.E) }
+
+// Update rewrites columns of the rows matching the where clause:
+//
+//	update T set c1 = e1, c2 = e2 [where φ]
+//
+// Set expressions may reference the row's current column values.
+type Update struct {
+	Explain bool
+	Analyze bool
+
+	Table string
+	Sets  []SetClause
+	Where expr.Expr // nil = all rows (lint GQL1006)
+
+	Loc      diag.Span
+	TablePos diag.Span
+}
+
+func (*Update) stmt() {}
+
+// Span implements Stmt.
+func (s *Update) Span() diag.Span { return s.Loc }
+
+func (s *Update) String() string {
+	var b strings.Builder
+	if s.Explain {
+		b.WriteString("explain ")
+		if s.Analyze {
+			b.WriteString("analyze ")
+		}
+	}
+	fmt.Fprintf(&b, "update %s set ", s.Table)
+	for i, c := range s.Sets {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.String())
+	}
+	if s.Where != nil {
+		fmt.Fprintf(&b, " where %s", s.Where)
+	}
+	return b.String()
+}
+
+// Delete removes the rows matching the where clause:
+//
+//	delete from T [where φ]
+type Delete struct {
+	Explain bool
+	Analyze bool
+
+	Table string
+	Where expr.Expr // nil = all rows (lint GQL1006)
+
+	Loc      diag.Span
+	TablePos diag.Span
+}
+
+func (*Delete) stmt() {}
+
+// Span implements Stmt.
+func (s *Delete) Span() diag.Span { return s.Loc }
+
+func (s *Delete) String() string {
+	var b strings.Builder
+	if s.Explain {
+		b.WriteString("explain ")
+		if s.Analyze {
+			b.WriteString("analyze ")
+		}
+	}
+	fmt.Fprintf(&b, "delete from %s", s.Table)
+	if s.Where != nil {
+		fmt.Fprintf(&b, " where %s", s.Where)
+	}
+	return b.String()
+}

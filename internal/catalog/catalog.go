@@ -28,6 +28,17 @@ import (
 type Catalog struct {
 	mu sync.RWMutex
 
+	// wmu serialises mutating statements (DDL, ingest, DML) against each
+	// other without blocking readers: a writer holds wmu across its whole
+	// build-aside phase (under mu.RLock or no lock) and only takes mu for
+	// the brief commit swap. Lock order is always wmu before mu.
+	wmu sync.Mutex
+
+	// epoch counts committed catalog mutations. Readers that capture it
+	// under RLock can detect whether any write committed in between; every
+	// commit happens atomically with the epoch bump under mu.
+	epoch uint64
+
 	tables      map[string]*table.Table
 	tableOrder  []string
 	graph       *graph.Graph
@@ -56,6 +67,21 @@ func (c *Catalog) RLock() { c.mu.RLock() }
 
 // RUnlock releases the read lock.
 func (c *Catalog) RUnlock() { c.mu.RUnlock() }
+
+// BeginWrite serialises this mutating statement against other writers.
+// It must be acquired before any mu lock (never while holding one).
+func (c *Catalog) BeginWrite() { c.wmu.Lock() }
+
+// EndWrite releases the writer mutex.
+func (c *Catalog) EndWrite() { c.wmu.Unlock() }
+
+// Epoch returns the number of committed catalog mutations. Callers must
+// hold at least the read lock.
+func (c *Catalog) Epoch() uint64 { return c.epoch }
+
+// BumpEpoch marks one committed mutation. Callers must hold the write
+// lock; the bump is therefore atomic with the mutation it records.
+func (c *Catalog) BumpEpoch() { c.epoch++ }
 
 // The methods below assume the caller holds the appropriate lock; the
 // engine (internal/exec) brackets statement execution with Lock/RLock.

@@ -48,6 +48,7 @@ const (
 	ProjectionRule   Code = "GQL0308" // projection shape/duplicate-name rules
 	StatementMisuse  Code = "GQL0309" // clause not allowed on this statement form
 	RegexRestriction Code = "GQL0310" // path regular expression restriction (§II-B4)
+	DMLShape         Code = "GQL0311" // malformed insert/update/delete shape (arity, duplicates)
 
 	// Lint warnings.
 	AlwaysFalse   Code = "GQL1001" // predicate cannot be satisfied
@@ -55,6 +56,7 @@ const (
 	NullCompare   Code = "GQL1003" // comparison with null literal is always null
 	UnusedLabel   Code = "GQL1004" // label defined but never referenced
 	DuplicateProj Code = "GQL1005" // same column projected more than once
+	NoWhereClause Code = "GQL1006" // update/delete without a where clause hits every row
 )
 
 // CodeInfo describes one registered code for reference tables and tests.
@@ -94,11 +96,13 @@ var registry = []CodeInfo{
 	{ProjectionRule, "invalid projection", "§II-C"},
 	{StatementMisuse, "clause not allowed on this statement form", "§II-C"},
 	{RegexRestriction, "path regular expression restriction violated", "§II-B4"},
+	{DMLShape, "malformed insert/update/delete shape", "§II-A"},
 	{AlwaysFalse, "predicate is always false", "lint"},
 	{AlwaysTrue, "predicate is always true", "lint"},
 	{NullCompare, "comparison with null is always null", "lint"},
 	{UnusedLabel, "label is defined but never used", "lint"},
 	{DuplicateProj, "column projected more than once", "lint"},
+	{NoWhereClause, "update/delete without where affects every row", "lint"},
 }
 
 // Registered reports whether c is a known diagnostic code.

@@ -1,0 +1,180 @@
+package exec
+
+import (
+	"fmt"
+
+	"graql/internal/ast"
+	"graql/internal/ir"
+	"graql/internal/storage"
+	"graql/internal/table"
+	"graql/internal/value"
+)
+
+// checkpointWALBytes is the WAL size past which a committed write
+// triggers an automatic snapshot (the writer mutex is already held, so
+// the checkpoint races with nothing).
+const checkpointWALBytes = 8 << 20
+
+// AttachStore wires a durability layer into the engine: the snapshot (if
+// any) is restored, the WAL tail is replayed on top of it, and every
+// subsequent committed mutation is logged. Call once, before serving.
+func (e *Engine) AttachStore(st *storage.Store) error {
+	e.replay = true
+	defer func() { e.replay = false }()
+
+	snap, err := st.LoadSnapshot()
+	if err != nil {
+		return err
+	}
+	if snap != nil {
+		e.Cat.Lock()
+		for _, t := range snap.Tables {
+			if err := e.Cat.RegisterTable(t, true); err != nil {
+				e.Cat.Unlock()
+				return err
+			}
+		}
+		e.Cat.Unlock()
+		if len(snap.DeclIR) > 0 {
+			script, err := ir.Decode(snap.DeclIR)
+			if err != nil {
+				return fmt.Errorf("graql: snapshot declarations: %w", err)
+			}
+			for _, decl := range script.Stmts {
+				if _, err := e.execStmt(decl, nil); err != nil {
+					return fmt.Errorf("graql: restoring %s: %w", stmtKind(decl), err)
+				}
+			}
+		}
+	}
+	if err := st.Replay(e.applyRecord); err != nil {
+		return err
+	}
+	e.store = st
+	return nil
+}
+
+// Store returns the attached durability layer, or nil.
+func (e *Engine) Store() *storage.Store { return e.store }
+
+// applyRecord re-executes one WAL record during recovery. Statement
+// records replay through the normal execution path (DML evaluation is
+// row-wise and serial, so results are deterministic); table-load records
+// install their materialised rows directly.
+func (e *Engine) applyRecord(rec *storage.Record) error {
+	switch rec.Kind {
+	case storage.KindStmt:
+		script, err := ir.Decode(rec.IR)
+		if err != nil {
+			return fmt.Errorf("graql: wal replay: %w", err)
+		}
+		for _, st := range script.Stmts {
+			if _, err := e.execStmt(st, rec.Params); err != nil {
+				return fmt.Errorf("graql: wal replay (seq %d): %w", rec.Seq, err)
+			}
+		}
+		return nil
+	case storage.KindTableLoad:
+		return e.applyTableLoad(rec.Load)
+	}
+	return fmt.Errorf("graql: wal replay: unknown record kind %d", rec.Kind)
+}
+
+func (e *Engine) applyTableLoad(l *storage.TableLoad) error {
+	e.Cat.BeginWrite()
+	defer e.Cat.EndWrite()
+	e.Cat.Lock()
+	defer e.Cat.Unlock()
+	if l.Register {
+		// A select-into result: register/replace, no derived views.
+		if err := e.Cat.RegisterTable(l.Table, true); err != nil {
+			return err
+		}
+		e.Cat.BumpEpoch()
+		return nil
+	}
+	// An ingest swap: replace the rows and re-derive the views.
+	if err := e.Cat.SwapTable(l.Table); err != nil {
+		return err
+	}
+	if err := e.rebuildViews(l.Table.Name); err != nil {
+		return err
+	}
+	e.Cat.BumpEpoch()
+	return nil
+}
+
+// logStmt appends a committed statement to the WAL as binary IR plus its
+// parameter bindings, fsyncing per the store's policy. A no-op without an
+// attached store or during recovery replay.
+func (e *Engine) logStmt(st ast.Stmt, params map[string]value.Value) error {
+	if e.store == nil || e.replay {
+		return nil
+	}
+	data, err := ir.Encode(&ast.Script{Stmts: []ast.Stmt{st}})
+	if err != nil {
+		return fmt.Errorf("graql: wal: %w", err)
+	}
+	return e.store.Append(&storage.Record{Kind: storage.KindStmt, IR: data, Params: params})
+}
+
+// logTableLoad appends a materialised table version to the WAL (register
+// = select-into result; otherwise an ingest swap).
+func (e *Engine) logTableLoad(t *table.Table, register bool) error {
+	if e.store == nil || e.replay {
+		return nil
+	}
+	return e.store.Append(&storage.Record{
+		Kind: storage.KindTableLoad,
+		Load: &storage.TableLoad{Register: register, Table: t},
+	})
+}
+
+// Checkpoint writes a snapshot of the current catalog state and truncates
+// the WAL. A no-op without an attached store.
+func (e *Engine) Checkpoint() error {
+	if e.store == nil {
+		return nil
+	}
+	e.Cat.BeginWrite()
+	defer e.Cat.EndWrite()
+	return e.checkpointLocked()
+}
+
+// checkpointLocked is Checkpoint with the writer mutex already held. The
+// state capture takes only the read lock — published tables are
+// immutable, so serialisation to disk happens outside any lock.
+func (e *Engine) checkpointLocked() error {
+	snap := &storage.Snapshot{}
+	e.Cat.RLock()
+	snap.Tables = e.Cat.Tables()
+	var decls []ast.Stmt
+	for _, d := range e.Cat.VertexDecls() {
+		decls = append(decls, d)
+	}
+	for _, d := range e.Cat.EdgeDecls() {
+		decls = append(decls, d)
+	}
+	e.Cat.RUnlock()
+	if len(decls) > 0 {
+		data, err := ir.Encode(&ast.Script{Stmts: decls})
+		if err != nil {
+			return fmt.Errorf("graql: snapshot: %w", err)
+		}
+		snap.DeclIR = data
+	}
+	return e.store.WriteSnapshot(snap)
+}
+
+// maybeCheckpoint snapshots after a committed write once the WAL has
+// grown past the threshold. The caller holds the writer mutex; failures
+// are logged and retried on a later write rather than failing the
+// already-committed statement.
+func (e *Engine) maybeCheckpoint() {
+	if e.store == nil || e.replay || e.store.WALSize() < checkpointWALBytes {
+		return
+	}
+	if err := e.checkpointLocked(); err != nil && e.Opts.Log != nil {
+		e.Opts.Log.Error("graql: auto checkpoint failed", "error", err)
+	}
+}

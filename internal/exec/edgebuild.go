@@ -18,26 +18,61 @@ import (
 func (e *Engine) buildEdgeType(s *sema.CreateEdge) (*graph.EdgeType, error) {
 	// 1. Per-source candidate rows after single-source filters.
 	cands := make([][]uint32, len(s.Sources))
-	for i, src := range s.Sources {
-		n := sourceRows(src)
-		var rows []uint32
-		filter := s.Filters[i]
-		for r := uint32(0); r < uint32(n); r++ {
-			if filter != nil {
-				ok, err := evalBool(filter, edgeSrcEnv{src: src, row: r, self: i})
-				if err != nil {
-					return nil, fmt.Errorf("graql: edge %s: %w", s.Decl.Name, err)
-				}
-				if !ok {
-					continue
-				}
-			}
-			rows = append(rows, r)
+	for i := range s.Sources {
+		rows, err := edgeCandidates(s, i, 0)
+		if err != nil {
+			return nil, err
 		}
 		cands[i] = rows
 	}
 
-	// 2. Join pipeline starting from the source vertex view.
+	// 2–3. Join pipeline and dedup into edge instances.
+	edges, err := joinEdgeTuples(s, cands, make(map[[3]uint32]bool))
+	if err != nil {
+		return nil, err
+	}
+
+	id := e.ids.edge
+	e.ids.edge++
+	var attrs *table.Table
+	if s.AttrSource >= 0 {
+		attrs = s.Sources[s.AttrSource].Tbl
+	}
+	et := graph.NewEdgeType(id, s.Decl.Name,
+		s.Sources[0].Vtx, s.Sources[1].Vtx,
+		edges, attrs, e.Opts.ReverseIndexes)
+	return et, nil
+}
+
+// edgeCandidates returns the rows of source i in [from, n) that pass its
+// single-source filter. Full builds pass from == 0; incremental edge
+// maintenance restricts the one changed source to its delta rows.
+func edgeCandidates(s *sema.CreateEdge, i int, from uint32) ([]uint32, error) {
+	src := s.Sources[i]
+	n := sourceRows(src)
+	var rows []uint32
+	filter := s.Filters[i]
+	for r := from; r < uint32(n); r++ {
+		if filter != nil {
+			ok, err := evalBool(filter, edgeSrcEnv{src: src, row: r, self: i})
+			if err != nil {
+				return nil, fmt.Errorf("graql: edge %s: %w", s.Decl.Name, err)
+			}
+			if !ok {
+				continue
+			}
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// joinEdgeTuples runs the Eq. 2 join pipeline over per-source candidate
+// rows and dedups the result tuples into edge instances. seen is the
+// dedup set keyed by (src, dst, attr-row); incremental maintenance seeds
+// it with the existing edges so only genuinely new instances come back.
+func joinEdgeTuples(s *sema.CreateEdge, cands [][]uint32, seen map[[3]uint32]bool) ([]graph.Edge, error) {
+	// Join pipeline starting from the source vertex view.
 	w := &workRel{sources: []int{0}}
 	for _, r := range cands[0] {
 		w.rows = append(w.rows, []uint32{r})
@@ -70,13 +105,12 @@ func (e *Engine) buildEdgeType(s *sema.CreateEdge) (*graph.EdgeType, error) {
 		return nil, fmt.Errorf("graql: edge %s: target vertex type is not connected by the join conditions", s.Decl.Name)
 	}
 
-	// 3. Tuples → deduplicated edge instances.
+	// Tuples → deduplicated edge instances.
 	srcPos, dstPos := w.pos(0), w.pos(1)
 	attrPos := -1
 	if s.AttrSource >= 0 {
 		attrPos = w.pos(s.AttrSource)
 	}
-	seen := make(map[[3]uint32]bool, len(w.rows))
 	var edges []graph.Edge
 	for _, tup := range w.rows {
 		ed := graph.Edge{Src: tup[srcPos], Dst: tup[dstPos]}
@@ -90,17 +124,7 @@ func (e *Engine) buildEdgeType(s *sema.CreateEdge) (*graph.EdgeType, error) {
 		seen[key] = true
 		edges = append(edges, ed)
 	}
-
-	id := e.ids.edge
-	e.ids.edge++
-	var attrs *table.Table
-	if s.AttrSource >= 0 {
-		attrs = s.Sources[s.AttrSource].Tbl
-	}
-	et := graph.NewEdgeType(id, s.Decl.Name,
-		s.Sources[0].Vtx, s.Sources[1].Vtx,
-		edges, attrs, e.Opts.ReverseIndexes)
-	return et, nil
+	return edges, nil
 }
 
 // sourceRows returns the row universe size of an edge source.

@@ -27,6 +27,7 @@ import (
 	"graql/internal/parser"
 	"graql/internal/plan"
 	"graql/internal/sema"
+	"graql/internal/storage"
 	"graql/internal/table"
 	"graql/internal/value"
 )
@@ -113,6 +114,12 @@ type Engine struct {
 
 	// ids is shared across traced forks so DDL advances one sequence.
 	ids *idAlloc
+
+	// store is the attached durability layer (nil runs in-memory only).
+	// replay is true while recovery replays the snapshot and WAL tail; it
+	// suppresses re-logging of replayed statements.
+	store  *storage.Store
+	replay bool
 }
 
 // New returns an engine over a fresh catalog.
@@ -204,36 +211,32 @@ func (e *Engine) ExecStmt(st ast.Stmt, params map[string]value.Value) (Result, e
 }
 
 // execStmt is ExecStmt without instrumentation. DDL and ingest take the
-// catalog write lock; selects analyse and execute under the read lock so
+// catalog write lock; DML builds its new versions aside under the read
+// lock (exec/dml.go); selects analyse and execute under the read lock so
 // that independent statements of a script can run concurrently (§III-B1),
-// re-acquiring the write lock only to register an "into" result.
+// re-acquiring the write lock only to register an "into" result. Every
+// mutating statement first takes the catalog's writer mutex, which
+// serialises writers against each other (and against checkpoints) without
+// blocking readers.
 func (e *Engine) execStmt(st ast.Stmt, params map[string]value.Value) (Result, error) {
 	if err := e.canceled(); err != nil {
 		return Result{}, err
 	}
+	switch st.(type) {
+	case *ast.Insert, *ast.Update, *ast.Delete:
+		if !e.Opts.CheckOnly {
+			return e.execDML(st, params)
+		}
+	}
 	if _, isSelect := st.(*ast.Select); !isSelect || e.Opts.CheckOnly {
-		e.Cat.Lock()
-		defer e.Cat.Unlock()
-		an := &sema.Analyzer{Cat: e.Cat, NoFold: e.Opts.NoFold}
-		analyzed, err := an.Analyze(st)
+		e.Cat.BeginWrite()
+		defer e.Cat.EndWrite()
+		res, err := e.execLocked(st, params)
 		if err != nil {
 			return Result{}, err
 		}
-		switch s := analyzed.(type) {
-		case *sema.CreateTable:
-			return e.runCreateTable(s)
-		case *sema.CreateVertex:
-			return e.runCreateVertex(s)
-		case *sema.CreateEdge:
-			return e.runCreateEdge(s)
-		case *sema.Ingest:
-			return e.runIngest(s)
-		case *sema.Output:
-			return e.runOutput(s)
-		case *sema.Select:
-			return e.runSelect(s, params)
-		}
-		return Result{}, fmt.Errorf("graql: unsupported statement %T", analyzed)
+		e.maybeCheckpoint()
+		return res, nil
 	}
 
 	e.Cat.RLock()
@@ -254,17 +257,84 @@ func (e *Engine) execStmt(st ast.Stmt, params map[string]value.Value) (Result, e
 	}
 	switch sel.Into.Kind {
 	case ast.IntoTable:
+		e.Cat.BeginWrite()
 		e.Cat.Lock()
 		err = e.Cat.RegisterTable(res.Table, true)
+		if err == nil {
+			e.Cat.BumpEpoch()
+		}
 		e.Cat.Unlock()
+		if err == nil {
+			// Result tables are durable as materialised rows: re-running
+			// the (possibly parallel, order-sensitive) query on replay
+			// could diverge, the rows themselves cannot.
+			err = e.logTableLoad(res.Table, true)
+		}
+		e.Cat.EndWrite()
 		if err != nil {
 			return Result{}, err
 		}
 	case ast.IntoSubgraph:
+		// Named subgraphs reference the live view graph and are
+		// invalidated by any mutation; they are deliberately not durable.
+		e.Cat.BeginWrite()
 		e.Cat.Lock()
 		e.Cat.RegisterSubgraph(res.Subgraph)
+		e.Cat.BumpEpoch()
 		e.Cat.Unlock()
+		e.Cat.EndWrite()
 	}
+	return res, nil
+}
+
+// execLocked runs the statements that hold the catalog write lock for
+// their whole execution: DDL, ingest, output, and everything under
+// CheckOnly. The caller holds the writer mutex.
+func (e *Engine) execLocked(st ast.Stmt, params map[string]value.Value) (Result, error) {
+	e.Cat.Lock()
+	defer e.Cat.Unlock()
+	an := &sema.Analyzer{Cat: e.Cat, NoFold: e.Opts.NoFold}
+	analyzed, err := an.Analyze(st)
+	if err != nil {
+		return Result{}, err
+	}
+	switch s := analyzed.(type) {
+	case *sema.CreateTable:
+		res, err := e.runCreateTable(s)
+		return e.commitDDL(st, params, res, err)
+	case *sema.CreateVertex:
+		res, err := e.runCreateVertex(s)
+		return e.commitDDL(st, params, res, err)
+	case *sema.CreateEdge:
+		res, err := e.runCreateEdge(s)
+		return e.commitDDL(st, params, res, err)
+	case *sema.Ingest:
+		return e.runIngest(s)
+	case *sema.Output:
+		return e.runOutput(s)
+	case *sema.Select:
+		return e.runSelect(s, params)
+	case *sema.Insert:
+		return Result{Message: fmt.Sprintf("checked insert into %s (skipped)", s.Table.Name)}, nil
+	case *sema.Update:
+		return Result{Message: fmt.Sprintf("checked update of %s (skipped)", s.Table.Name)}, nil
+	case *sema.Delete:
+		return Result{Message: fmt.Sprintf("checked delete from %s (skipped)", s.Table.Name)}, nil
+	}
+	return Result{}, fmt.Errorf("graql: unsupported statement %T", analyzed)
+}
+
+// commitDDL finishes a successful DDL statement: the statement is
+// appended to the WAL (replay re-derives the views deterministically) and
+// the catalog epoch bumps. The caller holds the write lock.
+func (e *Engine) commitDDL(st ast.Stmt, params map[string]value.Value, res Result, err error) (Result, error) {
+	if err != nil {
+		return Result{}, err
+	}
+	if lerr := e.logStmt(st, params); lerr != nil {
+		return Result{}, lerr
+	}
+	e.Cat.BumpEpoch()
 	return res, nil
 }
 
@@ -329,21 +399,27 @@ func (e *Engine) runCreateVertex(s *sema.CreateVertex) (Result, error) {
 }
 
 func (e *Engine) buildVertexType(s *sema.CreateVertex) (*graph.VertexType, error) {
-	var pred graph.RowPred
-	if s.Where != nil {
-		base := s.Base
-		where := s.Where
-		pred = func(row uint32) (bool, error) {
-			v, err := where.Eval(singleTableEnv{t: base, row: row})
-			if err != nil {
-				return false, err
-			}
-			return !v.IsNull() && v.Bool(), nil
-		}
-	}
 	id := e.ids.vertex
 	e.ids.vertex++
-	return graph.BuildVertexType(id, s.Decl.Name, s.Base, s.KeyCols, pred)
+	return graph.BuildVertexType(id, s.Decl.Name, s.Base, s.KeyCols, vertexPred(s))
+}
+
+// vertexPred returns the row predicate of a vertex declaration's where
+// clause (nil when unconditional), evaluated against the resolved base
+// table. Both full builds and incremental extension use it.
+func vertexPred(s *sema.CreateVertex) graph.RowPred {
+	if s.Where == nil {
+		return nil
+	}
+	base := s.Base
+	where := s.Where
+	return func(row uint32) (bool, error) {
+		v, err := where.Eval(singleTableEnv{t: base, row: row})
+		if err != nil {
+			return false, err
+		}
+		return !v.IsNull() && v.Bool(), nil
+	}
 }
 
 func (e *Engine) runCreateEdge(s *sema.CreateEdge) (Result, error) {
@@ -380,6 +456,12 @@ func (e *Engine) runIngest(s *sema.Ingest) (Result, error) {
 	if err := e.rebuildViews(s.Table.Name); err != nil {
 		return Result{}, err
 	}
+	// Ingests are durable as materialised rows, not as the statement: the
+	// source file may move or change between the ingest and a replay.
+	if err := e.logTableLoad(stage, false); err != nil {
+		return Result{}, err
+	}
+	e.Cat.BumpEpoch()
 	return Result{Message: fmt.Sprintf("ingested %d rows into %s", stage.NumRows(), s.Table.Name)}, nil
 }
 
@@ -387,6 +469,8 @@ func (e *Engine) runIngest(s *sema.Ingest) (Result, error) {
 // same atomic staged-swap path as the ingest statement, rebuilding derived
 // views. It lets embedders ingest in-memory data without a file.
 func (e *Engine) IngestReader(tableName string, r io.Reader) error {
+	e.Cat.BeginWrite()
+	defer e.Cat.EndWrite()
 	e.Cat.Lock()
 	defer e.Cat.Unlock()
 	t := e.Cat.Table(tableName)
@@ -400,7 +484,14 @@ func (e *Engine) IngestReader(tableName string, r io.Reader) error {
 	if err := e.Cat.SwapTable(stage); err != nil {
 		return err
 	}
-	return e.rebuildViews(tableName)
+	if err := e.rebuildViews(tableName); err != nil {
+		return err
+	}
+	if err := e.logTableLoad(stage, false); err != nil {
+		return err
+	}
+	e.Cat.BumpEpoch()
+	return nil
 }
 
 func (e *Engine) openFile(path string) (io.ReadCloser, error) {

@@ -33,6 +33,10 @@ type engineMetrics struct {
 
 	tableOpsParallel *obs.Counter // relational operators run on the morsel-parallel path
 
+	rowsInserted *obs.Counter // rows added by insert statements
+	rowsUpdated  *obs.Counter // rows rewritten by update statements
+	rowsDeleted  *obs.Counter // rows removed by delete statements
+
 	latency map[string]*obs.Histogram // per-statement-kind latency (seconds)
 }
 
@@ -55,8 +59,11 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 	m.shardTasks = reg.Counter("graql_parallel_shards_total", "shards executed across all sweeps")
 	m.activeWorkers = reg.Gauge("graql_parallel_active_workers", "goroutines currently executing sweep shards")
 	m.tableOpsParallel = reg.Counter("graql_tableops_parallel_total", "relational operators (filter, join, group-by, order-by) executed on the morsel-parallel path")
-	m.latency = make(map[string]*obs.Histogram, 4)
-	for _, kind := range []string{"select", "create", "ingest", "output"} {
+	m.rowsInserted = reg.Counter("graql_rows_inserted_total", "rows added by insert statements")
+	m.rowsUpdated = reg.Counter("graql_rows_updated_total", "rows rewritten by update statements")
+	m.rowsDeleted = reg.Counter("graql_rows_deleted_total", "rows removed by delete statements")
+	m.latency = make(map[string]*obs.Histogram, 8)
+	for _, kind := range []string{"select", "create", "ingest", "output", "insert", "update", "delete"} {
 		m.latency[kind] = reg.HistogramL("graql_statement_latency_seconds",
 			"statement execution latency by statement kind",
 			obs.LatencyBuckets(), map[string]string{"kind": kind})
@@ -94,8 +101,29 @@ func stmtKind(st ast.Stmt) string {
 		return "ingest"
 	case *ast.Output:
 		return "output"
+	case *ast.Insert:
+		return "insert"
+	case *ast.Update:
+		return "update"
+	case *ast.Delete:
+		return "delete"
 	}
 	return "other"
+}
+
+// noteMutation records the rows affected by a committed DML statement.
+func (m *engineMetrics) noteMutation(verb string, rows int) {
+	if m == nil || m.reg == nil {
+		return
+	}
+	switch verb {
+	case "insert":
+		m.rowsInserted.Add(int64(rows))
+	case "update":
+		m.rowsUpdated.Add(int64(rows))
+	case "delete":
+		m.rowsDeleted.Add(int64(rows))
+	}
 }
 
 // observeStmt records one executed statement: totals, per-kind latency,

@@ -39,6 +39,11 @@ type EdgeType struct {
 	fwd        CSR
 	rev        CSR
 	hasRev     bool
+	// origAttrRows maps each edge to the row of the associated source
+	// table it was derived from (Attrs itself is re-gathered so edge id ==
+	// attribute row). Incremental maintenance uses it to dedup delta edges
+	// against the existing edge set. nil when Attrs is nil.
+	origAttrRows []uint32
 }
 
 // NewEdgeType freezes the given edge list into an indexed edge type.
@@ -64,6 +69,7 @@ func NewEdgeType(id int, name string, src, dst *VertexType, edges []Edge, attrs 
 	if attrs != nil {
 		// Gather so edge id == attribute row id.
 		et.Attrs = attrs.Gather(name, attrIdx)
+		et.origAttrRows = attrIdx
 	}
 	et.fwd = buildCSR(src.Count(), et.srcs, et.dsts)
 	if buildReverse {
@@ -87,6 +93,11 @@ func (et *EdgeType) Reverse() (*CSR, bool) { return &et.rev, et.hasRev }
 
 // HasReverse reports whether the reverse index was built.
 func (et *EdgeType) HasReverse() bool { return et.hasRev }
+
+// OrigAttrRow returns the row of the associated source table that edge e
+// was derived from at build time (meaningful only when the edge type has
+// an attribute table).
+func (et *EdgeType) OrigAttrRow(e uint32) uint32 { return et.origAttrRows[e] }
 
 // AttrIndex resolves an edge attribute name, addressing the Attrs table.
 func (et *EdgeType) AttrIndex(name string) (int, bool) {

@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"fmt"
+
+	"graql/internal/table"
+	"graql/internal/value"
+)
+
+// ExtendVertexType builds a new vertex type over newBase, a version of
+// vt.Base whose existing rows are unchanged and whose new rows start at
+// index len(vt.rowToVID). Nothing mutable is shared with vt, so the old
+// type remains valid for concurrent readers while the new one is built.
+//
+// ok is false when the extension would flip a one-to-one type to
+// many-to-one (a new row mapped to an existing key): the flip changes the
+// visible attribute schema, so the caller must rebuild from scratch.
+func ExtendVertexType(vt *VertexType, newBase *table.Table, where RowPred) (_ *VertexType, ok bool, _ error) {
+	oldRows := len(vt.rowToVID)
+	out := &VertexType{
+		ID:       vt.ID,
+		Name:     vt.Name,
+		Base:     newBase,
+		KeyCols:  append([]int(nil), vt.KeyCols...),
+		OneToOne: vt.OneToOne,
+		Keys:     vt.Keys.Clone(),
+		baseRow:  append([]uint32(nil), vt.baseRow...),
+		rowToVID: make([]uint32, newBase.NumRows()),
+		keyIndex: make(map[string]uint32, len(vt.keyIndex)),
+	}
+	copy(out.rowToVID, vt.rowToVID)
+	for k, v := range vt.keyIndex {
+		out.keyIndex[k] = v
+	}
+	var keyBuf []byte
+	rowVals := make([]value.Value, len(vt.KeyCols))
+	for r := uint32(oldRows); r < uint32(newBase.NumRows()); r++ {
+		out.rowToVID[r] = NoVertex
+		if where != nil {
+			accept, err := where(r)
+			if err != nil {
+				return nil, false, fmt.Errorf("graql: extend vertex %s: %w", vt.Name, err)
+			}
+			if !accept {
+				continue
+			}
+		}
+		nullKey := false
+		for i, c := range vt.KeyCols {
+			rowVals[i] = newBase.Value(r, c)
+			if rowVals[i].IsNull() {
+				nullKey = true
+				break
+			}
+		}
+		if nullKey {
+			continue
+		}
+		keyBuf = newBase.KeyOf(keyBuf[:0], r, vt.KeyCols)
+		vid, exists := out.keyIndex[string(keyBuf)]
+		if !exists {
+			vid = uint32(out.Keys.NumRows())
+			out.keyIndex[string(keyBuf)] = vid
+			if err := out.Keys.AppendRow(rowVals); err != nil {
+				return nil, false, fmt.Errorf("graql: extend vertex %s: %w", vt.Name, err)
+			}
+			out.baseRow = append(out.baseRow, r)
+		} else if vt.OneToOne {
+			// A duplicate key demotes the type to many-to-one, hiding the
+			// non-key attributes; callers must rebuild.
+			return nil, false, nil
+		}
+		out.rowToVID[r] = vid
+	}
+	return out, true, nil
+}
+
+// ExtendEdgeType builds a new edge type from an existing one plus a delta
+// edge list, re-anchored on the (possibly extended) endpoint vertex types.
+// attrs is the current version of the associated source table that the
+// delta edges' AttrRow fields index into (nil when the edge type carries
+// no attributes). The combined edge list is re-frozen into fresh CSR
+// indexes by the usual counting sort; nothing mutable is shared with et.
+func ExtendEdgeType(et *EdgeType, src, dst *VertexType, delta []Edge, attrs *table.Table) (*EdgeType, error) {
+	out := &EdgeType{ID: et.ID, Name: et.Name, Src: src, Dst: dst}
+	n := len(et.srcs) + len(delta)
+	out.srcs = make([]uint32, 0, n)
+	out.dsts = make([]uint32, 0, n)
+	out.srcs = append(out.srcs, et.srcs...)
+	out.dsts = append(out.dsts, et.dsts...)
+	for _, e := range delta {
+		out.srcs = append(out.srcs, e.Src)
+		out.dsts = append(out.dsts, e.Dst)
+	}
+	if et.Attrs != nil {
+		if attrs == nil {
+			return nil, fmt.Errorf("graql: extend edge %s: missing attribute table", et.Name)
+		}
+		out.Attrs = et.Attrs.Clone()
+		out.origAttrRows = make([]uint32, 0, n)
+		out.origAttrRows = append(out.origAttrRows, et.origAttrRows...)
+		deltaIdx := make([]uint32, len(delta))
+		for i, e := range delta {
+			deltaIdx[i] = e.AttrRow
+			out.origAttrRows = append(out.origAttrRows, e.AttrRow)
+		}
+		if err := out.Attrs.AppendTable(attrs.Gather(et.Name, deltaIdx)); err != nil {
+			return nil, fmt.Errorf("graql: extend edge %s: %w", et.Name, err)
+		}
+	}
+	out.fwd = buildCSR(src.Count(), out.srcs, out.dsts)
+	if et.hasRev {
+		out.rev = buildCSR(dst.Count(), out.dsts, out.srcs)
+		out.hasRev = true
+	}
+	return out, nil
+}

@@ -24,10 +24,13 @@ import (
 )
 
 // Magic and Version identify the IR format. Version 2 added the select
-// "analyze" flag (EXPLAIN ANALYZE).
+// "analyze" flag (EXPLAIN ANALYZE); version 3 added the DML statements
+// (insert/update/delete). Version 3 is a pure superset, so the decoder
+// accepts both 2 and 3.
 const (
-	Magic   = "GRQL"
-	Version = 2
+	Magic      = "GRQL"
+	Version    = 3
+	minVersion = 2
 )
 
 // Statement tags.
@@ -38,6 +41,9 @@ const (
 	tagIngest
 	tagSelect
 	tagOutput
+	tagInsert
+	tagUpdate
+	tagDelete
 )
 
 // Expression tags.
@@ -78,7 +84,7 @@ func Decode(data []byte) (*ast.Script, error) {
 	if string(magic) != Magic {
 		return nil, errors.New("graql: not GraQL IR (bad magic)")
 	}
-	if v := r.u8(); v != Version {
+	if v := r.u8(); v < minVersion || v > Version {
 		return nil, fmt.Errorf("graql: unsupported IR version %d", v)
 	}
 	n := r.uvarint()

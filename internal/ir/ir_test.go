@@ -20,6 +20,10 @@ func corpus(t *testing.T) map[string]string {
 		"seeded":       `select * from graph res.V (a = 1) <--def f: e (w <> 2)-- foreach y: W ( ) into subgraph r2`,
 		"output":       "output table T1 'results.csv'\noutput table T2 raw/path.csv",
 		"explain":      `explain select y.id from graph A (x = 1) --e--> def y: B ( ) order by id desc`,
+		"insert":       `insert into T(id, label) values (1, 'a'), (%P%, %L% + 1)`,
+		"update":       `update T set price = price * 1.1, label = 'sale' where price < 100`,
+		"delete":       "delete from T where id = 3\ndelete from T",
+		"dml-explain":  `explain analyze update T set price = 0 where id = 1`,
 	}
 	for _, q := range bsbm.Suite {
 		out[q.ID] = q.Script

@@ -48,6 +48,12 @@ func (w *writer) stmt(st ast.Stmt) error {
 		w.str(s.File)
 	case *ast.Select:
 		return w.selectStmt(s)
+	case *ast.Insert:
+		return w.insertStmt(s)
+	case *ast.Update:
+		return w.updateStmt(s)
+	case *ast.Delete:
+		return w.deleteStmt(s)
 	default:
 		return fmt.Errorf("graql: IR cannot encode statement %T", st)
 	}
@@ -94,6 +100,12 @@ func (r *reader) stmt() (ast.Stmt, error) {
 		return &ast.Output{Table: r.str(), File: r.str()}, r.err
 	case tagSelect:
 		return r.selectStmt()
+	case tagInsert:
+		return r.insertStmt()
+	case tagUpdate:
+		return r.updateStmt()
+	case tagDelete:
+		return r.deleteStmt()
 	default:
 		r.fail("bad statement tag %d", tag)
 		return nil, r.err

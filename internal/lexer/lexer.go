@@ -133,6 +133,7 @@ var keywords = map[string]bool{
 	"asc": true, "desc": true, "into": true, "subgraph": true,
 	"graph": true, "def": true, "foreach": true, "explain": true,
 	"true": true, "false": true, "null": true,
+	"insert": true, "update": true, "delete": true, "values": true, "set": true,
 }
 
 // IsKeyword reports whether s is reserved.

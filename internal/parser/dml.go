@@ -1,0 +1,150 @@
+package parser
+
+import (
+	"graql/internal/ast"
+	"graql/internal/expr"
+	"graql/internal/lexer"
+)
+
+// parseInsert parses
+//
+//	insert into T [(c1, c2, ...)] values (e, ...), (e, ...)
+func (p *parser) parseInsert() (ast.Stmt, error) {
+	p.next() // insert
+	if err := p.expectKw("into"); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.identTok()
+	if err != nil {
+		return nil, err
+	}
+	st := &ast.Insert{Table: nameTok.Text, TablePos: tokSpan(nameTok)}
+	if p.at(lexer.LParen) {
+		p.next()
+		for {
+			colTok, err := p.identTok()
+			if err != nil {
+				return nil, err
+			}
+			st.Cols = append(st.Cols, colTok.Text)
+			st.ColPos = append(st.ColPos, tokSpan(colTok))
+			if p.at(lexer.Comma) {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(lexer.RParen); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKw("values"); err != nil {
+		return nil, err
+	}
+	for {
+		open, err := p.expect(lexer.LParen)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := p.parseExprTuple()
+		if err != nil {
+			return nil, err
+		}
+		st.Rows = append(st.Rows, vals)
+		st.RowPos = append(st.RowPos, tokSpan(open).Cover(tokSpan(p.prev())))
+		if p.at(lexer.Comma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	return st, nil
+}
+
+// parseExprTuple parses "e1, e2, ... )" (the opening paren is already
+// consumed) and returns the expressions. An empty tuple parses; sema
+// rejects it as a shape error with the tuple's span.
+func (p *parser) parseExprTuple() ([]expr.Expr, error) {
+	var vals []expr.Expr
+	if p.at(lexer.RParen) {
+		p.next()
+		return vals, nil
+	}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, e)
+		if p.at(lexer.Comma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(lexer.RParen); err != nil {
+		return nil, err
+	}
+	return vals, nil
+}
+
+// parseUpdate parses
+//
+//	update T set c1 = e1, c2 = e2 [where φ]
+func (p *parser) parseUpdate() (ast.Stmt, error) {
+	p.next() // update
+	nameTok, err := p.identTok()
+	if err != nil {
+		return nil, err
+	}
+	st := &ast.Update{Table: nameTok.Text, TablePos: tokSpan(nameTok)}
+	if err := p.expectKw("set"); err != nil {
+		return nil, err
+	}
+	for {
+		colTok, err := p.identTok()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(lexer.Eq); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Sets = append(st.Sets, ast.SetClause{Col: colTok.Text, E: e, ColPos: tokSpan(colTok)})
+		if p.at(lexer.Comma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.eatKw("where") {
+		if st.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// parseDelete parses
+//
+//	delete from T [where φ]
+func (p *parser) parseDelete() (ast.Stmt, error) {
+	p.next() // delete
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	nameTok, err := p.identTok()
+	if err != nil {
+		return nil, err
+	}
+	st := &ast.Delete{Table: nameTok.Text, TablePos: tokSpan(nameTok)}
+	if p.eatKw("where") {
+		if st.Where, err = p.parseExpr(); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}

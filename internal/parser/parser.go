@@ -104,7 +104,7 @@ func (p *parser) sync() {
 		}
 		if t.Kind == lexer.Keyword && t.AfterNewline {
 			switch t.Lower() {
-			case "create", "ingest", "output", "select", "explain":
+			case "create", "ingest", "output", "select", "explain", "insert", "update", "delete":
 				return
 			}
 		}
@@ -126,6 +126,12 @@ func setStmtLoc(st ast.Stmt, loc diag.Span) {
 	case *ast.Output:
 		n.Loc = loc
 	case *ast.Select:
+		n.Loc = loc
+	case *ast.Insert:
+		n.Loc = loc
+	case *ast.Update:
+		n.Loc = loc
+	case *ast.Delete:
 		n.Loc = loc
 	}
 }
@@ -253,21 +259,47 @@ func (p *parser) parseStmt() (ast.Stmt, error) {
 		if analyze {
 			p.next()
 		}
-		if !p.atKw("select") {
-			return nil, p.errf("expected select after explain, found %q", p.peek().Text)
+		var (
+			st  ast.Stmt
+			err error
+		)
+		switch {
+		case p.atKw("select"):
+			st, err = p.parseSelect()
+		case p.atKw("insert"):
+			st, err = p.parseInsert()
+		case p.atKw("update"):
+			st, err = p.parseUpdate()
+		case p.atKw("delete"):
+			st, err = p.parseDelete()
+		default:
+			return nil, p.errf("expected select, insert, update or delete after explain, found %q", p.peek().Text)
 		}
-		st, err := p.parseSelect()
 		if err != nil {
 			return nil, err
 		}
-		st.(*ast.Select).Explain = true
-		st.(*ast.Select).Analyze = analyze
+		switch n := st.(type) {
+		case *ast.Select:
+			n.Explain, n.Analyze = true, analyze
+		case *ast.Insert:
+			n.Explain, n.Analyze = true, analyze
+		case *ast.Update:
+			n.Explain, n.Analyze = true, analyze
+		case *ast.Delete:
+			n.Explain, n.Analyze = true, analyze
+		}
 		return st, nil
 	case p.atKw("select"):
 		return p.parseSelect()
+	case p.atKw("insert"):
+		return p.parseInsert()
+	case p.atKw("update"):
+		return p.parseUpdate()
+	case p.atKw("delete"):
+		return p.parseDelete()
 	}
 	return nil, errAt(tokSpan(p.peek()), diag.UnknownStmt,
-		"expected a statement (create/ingest/output/explain/select), found %q", p.peek().Text)
+		"expected a statement (create/ingest/output/explain/select/insert/update/delete), found %q", p.peek().Text)
 }
 
 func (p *parser) parseCreate() (ast.Stmt, error) {

@@ -74,6 +74,16 @@ into table T1`,
 	// Explain (§III-B planning made inspectable).
 	`explain select y.id from graph A (id = 'a') --e--> def y: B ( )`,
 	`explain select id, count(*) as n from table T group by id`,
+	// Row-level DML.
+	`insert into Products values (1, 'x', 'p1', 3, 9.5, '2008-01-01')`,
+	`insert into Products(id, label) values (1, 'a'), (2, 'b'), (%P%, %L%)`,
+	`update Products set price = price * 1.1, label = 'sale' where price < 100`,
+	`update Products set price = %NewPrice%`,
+	`delete from Products where price > 10 and label <> 'keep'`,
+	`delete from Products`,
+	`explain insert into Products(id) values (1)`,
+	`explain analyze update Products set price = 0 where id = 1`,
+	`explain analyze delete from Products where id = 2`,
 }
 
 func TestCorpusRoundTrip(t *testing.T) {

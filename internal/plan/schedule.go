@@ -49,6 +49,18 @@ func footprint(st ast.Stmt) rwSet {
 	case *ast.Output:
 		s.read(q.Table)
 		s.read("#catalog")
+	case *ast.Insert:
+		s.write(q.Table)
+		s.write("#graph") // mutations maintain derived views incrementally
+		s.read("#catalog")
+	case *ast.Update:
+		s.write(q.Table)
+		s.write("#graph")
+		s.read("#catalog")
+	case *ast.Delete:
+		s.write(q.Table)
+		s.write("#graph")
+		s.read("#catalog")
 	case *ast.Select:
 		if q.Graph != nil {
 			s.read("#graph")

@@ -144,6 +144,12 @@ func (a *Analyzer) Vet(st ast.Stmt) (Stmt, diag.List) {
 		out = a.analyzeOutput(s)
 	case *ast.Select:
 		out = a.analyzeSelect(s)
+	case *ast.Insert:
+		out = a.analyzeInsert(s)
+	case *ast.Update:
+		out = a.analyzeUpdate(s)
+	case *ast.Delete:
+		out = a.analyzeDelete(s)
 	default:
 		a.errorf(diag.Span{}, diag.UnknownStmt, "unsupported statement %T", st)
 	}

@@ -1,0 +1,275 @@
+package sema
+
+import (
+	"strings"
+
+	"graql/internal/ast"
+	"graql/internal/diag"
+	"graql/internal/expr"
+	"graql/internal/table"
+	"graql/internal/value"
+)
+
+// Insert is an analysed insert statement: the target table, the target
+// column index for each value position, and the checked value expressions
+// (one slice per tuple, parallel to Cols). Columns not named by the insert
+// receive NULL.
+type Insert struct {
+	Decl    *ast.Insert
+	Explain bool
+	Analyze bool
+	Table   *table.Table
+	Cols    []int
+	Rows    [][]expr.Expr
+}
+
+func (*Insert) semaStmt() {}
+
+// SetCol is one resolved "col = expr" assignment of an update.
+type SetCol struct {
+	Col int
+	E   expr.Expr
+}
+
+// Update is an analysed update statement. Set expressions reference the
+// row's current values (refs use Source 0 = the table).
+type Update struct {
+	Decl    *ast.Update
+	Explain bool
+	Analyze bool
+	Table   *table.Table
+	Sets    []SetCol
+	Where   expr.Expr // nil = all rows
+}
+
+func (*Update) semaStmt() {}
+
+// Delete is an analysed delete statement.
+type Delete struct {
+	Decl    *ast.Delete
+	Explain bool
+	Analyze bool
+	Table   *table.Table
+	Where   expr.Expr // nil = all rows
+}
+
+func (*Delete) semaStmt() {}
+
+// resolveDMLTable resolves the target table of a DML statement, mirroring
+// the wrong-entity-kind diagnostics of table selects.
+func (a *Analyzer) resolveDMLTable(verb, name string, pos diag.Span) *table.Table {
+	t := a.Cat.Table(name)
+	if t != nil {
+		return t
+	}
+	if a.Cat.Graph().VertexType(name) != nil {
+		a.errorf(pos, diag.WrongEntityKind, "%s is a vertex type; %s requires a table", name, verb)
+	} else if a.Cat.Graph().EdgeType(name) != nil {
+		a.errorf(pos, diag.WrongEntityKind, "%s is an edge type; %s requires a table", name, verb)
+	} else {
+		a.errorf(pos, diag.UnknownTable, "unknown table %s", name)
+	}
+	return nil
+}
+
+// insertColSpan returns the source span of insert column i.
+func insertColSpan(s *ast.Insert, i int) diag.Span {
+	if i < len(s.ColPos) {
+		return s.ColPos[i]
+	}
+	return diag.Span{}
+}
+
+// insertRowSpan returns the source span of values tuple i.
+func insertRowSpan(s *ast.Insert, i int) diag.Span {
+	if i < len(s.RowPos) {
+		return s.RowPos[i]
+	}
+	return diag.Span{}
+}
+
+// assignable reports whether a value of type src may be stored into a
+// column of type dst: same kind, int widening into float, or an unknown
+// type (query parameters check as invalid and convert at bind time).
+func assignable(dst, src value.Type) bool {
+	if src.Kind == value.KindInvalid || dst.Kind == src.Kind {
+		return true
+	}
+	return dst.Kind == value.KindFloat && src.Kind == value.KindInt
+}
+
+// coerceAssign rewrites a string literal assigned to a date column into a
+// date literal (the DML counterpart of coerceDates on comparisons).
+func coerceAssign(dst value.Type, e expr.Expr) expr.Expr {
+	if dst.Kind != value.KindDate {
+		return e
+	}
+	c, ok := e.(*expr.Const)
+	if !ok || c.V.Kind() != value.KindString {
+		return e
+	}
+	if d, err := value.Parse(c.V.Str(), value.Date); err == nil {
+		return &expr.Const{V: d, Loc: c.Loc}
+	}
+	return e
+}
+
+func (a *Analyzer) analyzeInsert(s *ast.Insert) Stmt {
+	t := a.resolveDMLTable("insert", s.Table, s.TablePos)
+	if t == nil {
+		return nil
+	}
+	out := &Insert{Decl: s, Explain: s.Explain, Analyze: s.Analyze, Table: t}
+	schema := t.Schema()
+
+	// Target columns: the explicit list, or every column positionally.
+	colsOK := true
+	if len(s.Cols) > 0 {
+		seen := map[string]bool{}
+		for i, name := range s.Cols {
+			lower := strings.ToLower(name)
+			if seen[lower] {
+				a.errorf(insertColSpan(s, i), diag.DMLShape, "column %s listed more than once", name)
+				colsOK = false
+				continue
+			}
+			seen[lower] = true
+			idx := schema.Index(name)
+			if idx < 0 {
+				a.errorf(insertColSpan(s, i), diag.UnknownColumn, "table %s has no column %s", t.Name, name)
+				colsOK = false
+				continue
+			}
+			out.Cols = append(out.Cols, idx)
+		}
+	} else {
+		for i := range schema {
+			out.Cols = append(out.Cols, i)
+		}
+	}
+
+	env := edgeSourceTypeEnv{sources: []*EdgeSource{{Name: t.Name, Tbl: t}}}
+	for ri, row := range s.Rows {
+		if colsOK && len(row) != len(out.Cols) {
+			a.errorf(insertRowSpan(s, ri), diag.DMLShape,
+				"values tuple has %d expressions, want %d", len(row), len(out.Cols))
+			continue
+		}
+		checked := make([]expr.Expr, len(row))
+		for vi, e := range row {
+			if refs := expr.Refs(e); len(refs) > 0 {
+				a.errorf(refs[0].Loc, diag.DMLShape, "insert values cannot reference columns")
+				continue
+			}
+			dst := value.Invalid
+			if colsOK && vi < len(out.Cols) {
+				dst = schema[out.Cols[vi]].Type
+			}
+			e = coerceAssign(dst, e)
+			typ, err := e.Check(env)
+			if err != nil {
+				a.addErr(err, diag.TypeMismatch)
+				continue
+			}
+			if colsOK && !assignable(dst, typ) {
+				a.errorf(expr.SpanOf(e), diag.TypeMismatch,
+					"cannot store %s into column %s (%s)", typ, schema[out.Cols[vi]].Name, dst)
+				continue
+			}
+			checked[vi] = a.foldExpr(e)
+		}
+		out.Rows = append(out.Rows, checked)
+	}
+	if a.hasErrors() {
+		return nil
+	}
+	return out
+}
+
+// setColSpan returns the source span of the i-th set clause column.
+func setColSpan(s *ast.Update, i int) diag.Span {
+	if i < len(s.Sets) {
+		return s.Sets[i].ColPos
+	}
+	return diag.Span{}
+}
+
+func (a *Analyzer) analyzeUpdate(s *ast.Update) Stmt {
+	t := a.resolveDMLTable("update", s.Table, s.TablePos)
+	if t == nil {
+		return nil
+	}
+	out := &Update{Decl: s, Explain: s.Explain, Analyze: s.Analyze, Table: t}
+	schema := t.Schema()
+	src := []*EdgeSource{{Name: t.Name, Tbl: t}}
+	env := edgeSourceTypeEnv{sources: src}
+
+	seen := map[int]bool{}
+	for i, c := range s.Sets {
+		idx := schema.Index(c.Col)
+		if idx < 0 {
+			a.errorf(setColSpan(s, i), diag.UnknownColumn, "table %s has no column %s", t.Name, c.Col)
+			continue
+		}
+		if seen[idx] {
+			a.errorf(setColSpan(s, i), diag.DMLShape, "column %s set more than once", c.Col)
+			continue
+		}
+		seen[idx] = true
+		e, ok := a.resolveTableExpr(c.E, src)
+		if !ok {
+			continue
+		}
+		e = coerceDates(coerceAssign(schema[idx].Type, e), env)
+		typ, err := e.Check(env)
+		if err != nil {
+			a.addErr(err, diag.TypeMismatch)
+			continue
+		}
+		if !assignable(schema[idx].Type, typ) {
+			a.errorf(expr.SpanOf(e), diag.TypeMismatch,
+				"cannot store %s into column %s (%s)", typ, schema[idx].Name, schema[idx].Type)
+			continue
+		}
+		out.Sets = append(out.Sets, SetCol{Col: idx, E: a.foldExpr(e)})
+	}
+
+	if s.Where != nil {
+		if w, ok := a.resolveTableExpr(s.Where, src); ok {
+			w = coerceDates(w, env)
+			if a.checkBool(w, env) {
+				out.Where = dropAlwaysTrue(a.lintCond(w))
+			}
+		}
+	} else {
+		a.warnf(s.TablePos, diag.NoWhereClause, "update without where rewrites every row of %s", s.Table)
+	}
+	if a.hasErrors() {
+		return nil
+	}
+	return out
+}
+
+func (a *Analyzer) analyzeDelete(s *ast.Delete) Stmt {
+	t := a.resolveDMLTable("delete", s.Table, s.TablePos)
+	if t == nil {
+		return nil
+	}
+	out := &Delete{Decl: s, Explain: s.Explain, Analyze: s.Analyze, Table: t}
+	src := []*EdgeSource{{Name: t.Name, Tbl: t}}
+	env := edgeSourceTypeEnv{sources: src}
+	if s.Where != nil {
+		if w, ok := a.resolveTableExpr(s.Where, src); ok {
+			w = coerceDates(w, env)
+			if a.checkBool(w, env) {
+				out.Where = dropAlwaysTrue(a.lintCond(w))
+			}
+		}
+	} else {
+		a.warnf(s.TablePos, diag.NoWhereClause, "delete without where removes every row of %s", s.Table)
+	}
+	if a.hasErrors() {
+		return nil
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package server_test
+
+import (
+	"reflect"
+	"testing"
+
+	"graql/internal/client"
+	"graql/internal/server"
+)
+
+// TestDMLOverWire drives insert/update/delete through the TCP protocol:
+// mutations run under the same gate/timeout machinery as queries, and
+// derived views stay maintained for subsequent graph queries.
+func TestDMLOverWire(t *testing.T) {
+	addr, _, shutdown := startServer(t, "")
+	defer shutdown()
+
+	cl, err := client.Dial(addr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, err := cl.Exec(setupScript, nil); err != nil {
+		t.Fatalf("DDL over wire: %v", err)
+	}
+	resp, err := cl.Exec(`
+insert into Cities values ('p', 'US'), ('q', 'US'), ('r', 'CA')
+insert into Roads values ('p', 'q'), ('q', 'r')`, nil)
+	if err != nil {
+		t.Fatalf("insert over wire: %v", err)
+	}
+	if msg := resp.Results[0].Message; msg != "inserted 3 row(s) into Cities" {
+		t.Errorf("insert message = %q", msg)
+	}
+
+	resp, err = cl.Exec(`update Cities set country = %cc% where id = 'r'`,
+		map[string]server.Param{"cc": {Type: "varchar", Value: "XX"}})
+	if err != nil {
+		t.Fatalf("update over wire: %v", err)
+	}
+	if msg := resp.Results[0].Message; msg != "updated 1 row(s) in Cities" {
+		t.Errorf("update message = %q", msg)
+	}
+
+	if _, err := cl.Exec(`delete from Roads where dst = 'r'`, nil); err != nil {
+		t.Fatalf("delete over wire: %v", err)
+	}
+
+	// The edge view reflects the delete: only p --road--> q remains.
+	resp, err = cl.Exec(`select B.id from graph City ( ) --road--> def B: City ( )`, nil)
+	if err != nil {
+		t.Fatalf("graph query after DML: %v", err)
+	}
+	if rows := resp.Results[0].Rows; !reflect.DeepEqual(rows, [][]string{{"q"}}) {
+		t.Errorf("rows = %v, want [[q]]", rows)
+	}
+}

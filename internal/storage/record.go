@@ -1,0 +1,404 @@
+// Package storage implements the durability layer: a length-prefixed,
+// CRC-checked append-only write-ahead log (one record per committed
+// statement batch), periodic compact snapshots of the catalog state, and
+// crash-recovery replay (snapshot restore followed by the WAL tail).
+//
+// The WAL frame layout is
+//
+//	[u32 payloadLen][u32 crc32(payload)][payload]
+//
+// with both integers little-endian. The payload is
+//
+//	uvarint seq | u8 kind | body
+//
+// where kind 1 carries a binary-IR-encoded statement plus its parameter
+// bindings (replayed through the engine) and kind 2 carries materialised
+// table rows (an ingest swap or a select-into result registration). A
+// torn final frame — short header, short payload, or CRC mismatch — marks
+// the end of the recoverable log; everything before it replays, everything
+// from it on is discarded.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"graql/internal/table"
+	"graql/internal/value"
+)
+
+// Record kinds.
+const (
+	// KindStmt is a binary-IR statement plus parameter bindings.
+	KindStmt byte = 1
+	// KindTableLoad is a materialised table (ingest swap or select-into
+	// result registration).
+	KindTableLoad byte = 2
+)
+
+// frameHeader is the fixed per-record prefix: payload length + CRC.
+const frameHeader = 8
+
+// Record is one WAL entry.
+type Record struct {
+	Seq  uint64
+	Kind byte
+
+	// KindStmt fields.
+	IR     []byte
+	Params map[string]value.Value
+
+	// KindTableLoad field.
+	Load *TableLoad
+}
+
+// TableLoad is the body of a KindTableLoad record: a complete new version
+// of a table.
+type TableLoad struct {
+	// Register is true for a select-into result (register/replace, no view
+	// rebuild) and false for an ingest-style swap (rebuild derived views).
+	Register bool
+	Table    *table.Table
+}
+
+// --- byte writer -----------------------------------------------------------
+
+type bwriter struct {
+	buf []byte
+	tmp [binary.MaxVarintLen64]byte
+}
+
+func (w *bwriter) u8(b byte)    { w.buf = append(w.buf, b) }
+func (w *bwriter) bool_(b bool) { w.u8(map[bool]byte{false: 0, true: 1}[b]) }
+func (w *bwriter) raw(p []byte) { w.buf = append(w.buf, p...) }
+func (w *bwriter) uvarint(v uint64) {
+	n := binary.PutUvarint(w.tmp[:], v)
+	w.buf = append(w.buf, w.tmp[:n]...)
+}
+func (w *bwriter) varint(v int64) {
+	n := binary.PutVarint(w.tmp[:], v)
+	w.buf = append(w.buf, w.tmp[:n]...)
+}
+
+func (w *bwriter) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+func (w *bwriter) bytes(p []byte) {
+	w.uvarint(uint64(len(p)))
+	w.raw(p)
+}
+
+func (w *bwriter) value(v value.Value) {
+	w.u8(byte(v.Kind()))
+	w.bool_(v.IsNull())
+	if v.IsNull() {
+		return
+	}
+	switch v.Kind() {
+	case value.KindBool:
+		w.bool_(v.Bool())
+	case value.KindInt, value.KindDate:
+		w.varint(v.Int())
+	case value.KindFloat:
+		w.uvarint(math.Float64bits(v.Float()))
+	case value.KindString:
+		w.str(v.Str())
+	}
+}
+
+// --- byte reader -----------------------------------------------------------
+
+// breader is an error-latching reader over a byte slice: the first decode
+// error sticks and every later read returns a zero value, so decoders can
+// run straight-line and check err once.
+type breader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *breader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("graql: wal: "+format, args...)
+	}
+}
+
+func (r *breader) u8() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.off >= len(r.buf) {
+		r.fail("truncated record")
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+func (r *breader) bool_() bool { return r.u8() != 0 }
+
+func (r *breader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("bad uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *breader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("bad varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *breader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.buf)-r.off) {
+		r.fail("string length %d exceeds record", n)
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+func (r *breader) bytes() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)-r.off) {
+		r.fail("byte-slice length %d exceeds record", n)
+		return nil
+	}
+	p := r.buf[r.off : r.off+int(n)]
+	r.off += int(n)
+	return p
+}
+
+func validKind(k value.Kind) bool {
+	switch k {
+	case value.KindBool, value.KindInt, value.KindDate, value.KindFloat, value.KindString:
+		return true
+	}
+	return false
+}
+
+func (r *breader) value() value.Value {
+	k := value.Kind(r.u8())
+	null := r.bool_()
+	if r.err != nil {
+		return value.Value{}
+	}
+	if !validKind(k) {
+		r.fail("unknown value kind %d", k)
+		return value.Value{}
+	}
+	if null {
+		return value.NewNull(k)
+	}
+	switch k {
+	case value.KindBool:
+		return value.NewBool(r.bool_())
+	case value.KindInt:
+		return value.NewInt(r.varint())
+	case value.KindDate:
+		return value.NewDate(r.varint())
+	case value.KindFloat:
+		return value.NewFloat(math.Float64frombits(r.uvarint()))
+	case value.KindString:
+		return value.NewString(r.str())
+	}
+	return value.Value{}
+}
+
+// --- record payload codec --------------------------------------------------
+
+func encodePayload(rec *Record) ([]byte, error) {
+	w := &bwriter{}
+	w.uvarint(rec.Seq)
+	w.u8(rec.Kind)
+	switch rec.Kind {
+	case KindStmt:
+		w.bytes(rec.IR)
+		w.uvarint(uint64(len(rec.Params)))
+		for k, v := range rec.Params {
+			w.str(k)
+			w.value(v)
+		}
+	case KindTableLoad:
+		w.bool_(rec.Load.Register)
+		if err := encodeTable(w, rec.Load.Table); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("graql: wal: unknown record kind %d", rec.Kind)
+	}
+	return w.buf, nil
+}
+
+// DecodePayload decodes one CRC-validated WAL payload. It never panics on
+// malformed input: any truncation or garbage yields an error.
+func DecodePayload(payload []byte) (*Record, error) {
+	r := &breader{buf: payload}
+	rec := &Record{Seq: r.uvarint(), Kind: r.u8()}
+	switch rec.Kind {
+	case KindStmt:
+		rec.IR = append([]byte(nil), r.bytes()...)
+		n := r.uvarint()
+		if r.err == nil && n > 0 {
+			rec.Params = make(map[string]value.Value)
+			for i := uint64(0); i < n && r.err == nil; i++ {
+				k := r.str()
+				rec.Params[k] = r.value()
+			}
+		}
+	case KindTableLoad:
+		reg := r.bool_()
+		t := decodeTable(r)
+		rec.Load = &TableLoad{Register: reg, Table: t}
+	default:
+		if r.err == nil {
+			r.fail("unknown record kind %d", rec.Kind)
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(payload) {
+		return nil, fmt.Errorf("graql: wal: %d trailing bytes in record", len(payload)-r.off)
+	}
+	return rec, nil
+}
+
+// --- table codec (shared by WAL records and snapshots) ---------------------
+
+func encodeTable(w *bwriter, t *table.Table) error {
+	if t == nil {
+		return fmt.Errorf("graql: wal: nil table in record")
+	}
+	w.str(t.Name)
+	schema := t.Schema()
+	w.uvarint(uint64(len(schema)))
+	for _, c := range schema {
+		w.str(c.Name)
+		w.u8(byte(c.Type.Kind))
+		w.uvarint(uint64(c.Type.Width))
+	}
+	w.uvarint(uint64(t.NumRows()))
+	for r := uint32(0); r < uint32(t.NumRows()); r++ {
+		for c := 0; c < t.NumCols(); c++ {
+			w.value(t.Value(r, c))
+		}
+	}
+	return nil
+}
+
+func decodeTable(r *breader) *table.Table {
+	name := r.str()
+	ncols := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	var schema table.Schema
+	for i := uint64(0); i < ncols && r.err == nil; i++ {
+		cn := r.str()
+		kind := value.Kind(r.u8())
+		width := r.uvarint()
+		if !validKind(kind) {
+			r.fail("bad column kind %d", kind)
+			return nil
+		}
+		schema = append(schema, table.ColumnDef{Name: cn, Type: value.Type{Kind: kind, Width: int(width)}})
+	}
+	if r.err != nil {
+		return nil
+	}
+	t, err := table.New(name, schema)
+	if err != nil {
+		r.fail("bad table schema: %v", err)
+		return nil
+	}
+	nrows := r.uvarint()
+	row := make([]value.Value, len(schema))
+	for i := uint64(0); i < nrows && r.err == nil; i++ {
+		for c := range row {
+			row[c] = r.value()
+		}
+		if r.err != nil {
+			return nil
+		}
+		if err := t.AppendRow(row); err != nil {
+			r.fail("bad table row: %v", err)
+			return nil
+		}
+	}
+	if r.err != nil {
+		return nil
+	}
+	return t
+}
+
+// --- frame codec -----------------------------------------------------------
+
+func encodeFrame(payload []byte) []byte {
+	out := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(payload))
+	copy(out[frameHeader:], payload)
+	return out
+}
+
+// ScanFrames walks the framed records in data, calling fn for each
+// CRC-valid, decodable record. It returns the byte offset of the first
+// frame that is torn or corrupt (== len(data) when the log is clean):
+// recovery truncates the log there and replays everything before it. A
+// decode error from a CRC-valid frame aborts the scan with that error
+// (the log is corrupt beyond a simple torn tail). fn errors abort too.
+func ScanFrames(data []byte, fn func(*Record) error) (validLen int, err error) {
+	off := 0
+	for {
+		if len(data)-off < frameHeader {
+			return off, nil // torn or clean tail
+		}
+		plen := binary.LittleEndian.Uint32(data[off : off+4])
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if uint64(plen) > uint64(len(data)-off-frameHeader) {
+			return off, nil // length field runs past the end: torn tail
+		}
+		payload := data[off+frameHeader : off+frameHeader+int(plen)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			return off, nil // bit flip or partial write: stop here
+		}
+		rec, derr := DecodePayload(payload)
+		if derr != nil {
+			return off, derr
+		}
+		if fn != nil {
+			if ferr := fn(rec); ferr != nil {
+				return off, ferr
+			}
+		}
+		off += frameHeader + int(plen)
+	}
+}

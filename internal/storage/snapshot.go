@@ -1,0 +1,152 @@
+package storage
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"graql/internal/table"
+)
+
+// Snapshot is a compact point-in-time image of the durable catalog state:
+// every table's rows plus the binary-IR script of all vertex and edge
+// declarations (replaying the script re-derives the views, so CSR indexes
+// never hit disk). Seq is the WAL sequence number the image covers.
+//
+// On-disk layout: magic "GQSN", u8 version, u32 crc32 of the body, then
+// the body — uvarint seq, uvarint table count, each table in the shared
+// table encoding, then the declaration IR as a length-prefixed byte slice.
+type Snapshot struct {
+	Seq    uint64
+	Tables []*table.Table
+	DeclIR []byte
+}
+
+var snapMagic = []byte("GQSN")
+
+const snapVersion = 1
+
+func encodeSnapshot(snap *Snapshot) ([]byte, error) {
+	body := &bwriter{}
+	body.uvarint(snap.Seq)
+	body.uvarint(uint64(len(snap.Tables)))
+	for _, t := range snap.Tables {
+		if err := encodeTable(body, t); err != nil {
+			return nil, err
+		}
+	}
+	body.bytes(snap.DeclIR)
+
+	w := &bwriter{}
+	w.raw(snapMagic)
+	w.u8(snapVersion)
+	w.uvarint(uint64(crc32.ChecksumIEEE(body.buf)))
+	w.raw(body.buf)
+	return w.buf, nil
+}
+
+func decodeSnapshot(data []byte) (*Snapshot, error) {
+	r := &breader{buf: data}
+	if len(data) < len(snapMagic) || string(data[:len(snapMagic)]) != string(snapMagic) {
+		return nil, fmt.Errorf("graql: snapshot: bad magic")
+	}
+	r.off = len(snapMagic)
+	if v := r.u8(); r.err == nil && v != snapVersion {
+		return nil, fmt.Errorf("graql: snapshot: unsupported version %d", v)
+	}
+	sum := r.uvarint()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if uint64(crc32.ChecksumIEEE(data[r.off:])) != sum {
+		return nil, fmt.Errorf("graql: snapshot: checksum mismatch")
+	}
+	snap := &Snapshot{Seq: r.uvarint()}
+	ntables := r.uvarint()
+	for i := uint64(0); i < ntables && r.err == nil; i++ {
+		t := decodeTable(r)
+		if t != nil {
+			snap.Tables = append(snap.Tables, t)
+		}
+	}
+	snap.DeclIR = append([]byte(nil), r.bytes()...)
+	if r.err != nil {
+		return nil, r.err
+	}
+	return snap, nil
+}
+
+// LoadSnapshot reads and validates the data directory's snapshot,
+// returning nil when none has been written yet.
+func (s *Store) LoadSnapshot() (*Snapshot, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, snapFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("graql: snapshot: %w", err)
+	}
+	return decodeSnapshot(data)
+}
+
+// readSnapshotHeader returns the covered sequence number of the on-disk
+// snapshot (0 when absent), validating the checksum so a corrupt snapshot
+// fails at open rather than at restore.
+func (s *Store) readSnapshotHeader() (uint64, error) {
+	snap, err := s.LoadSnapshot()
+	if err != nil {
+		return 0, err
+	}
+	if snap == nil {
+		return 0, nil
+	}
+	return snap.Seq, nil
+}
+
+// WriteSnapshot atomically installs a new snapshot (temp file, fsync,
+// rename) covering everything up to the last appended record, then
+// truncates the WAL: the snapshot plus an empty log is equivalent to the
+// old snapshot plus the full log. The caller must guarantee no concurrent
+// Append (the engine holds its writer mutex across checkpoints).
+func (s *Store) WriteSnapshot(snap *Snapshot) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap.Seq = s.lastSeq
+	data, err := encodeSnapshot(snap)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, "snapshot-*.tmp")
+	if err != nil {
+		return fmt.Errorf("graql: snapshot: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("graql: snapshot: %w", err)
+	}
+	if err := os.Rename(tmpName, filepath.Join(s.dir, snapFile)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("graql: snapshot: %w", err)
+	}
+	// The WAL is now redundant up to lastSeq == snap.Seq.
+	if err := s.f.Truncate(0); err != nil {
+		return fmt.Errorf("graql: snapshot: truncating wal: %w", err)
+	}
+	if _, err := s.f.Seek(0, 0); err != nil {
+		return fmt.Errorf("graql: snapshot: %w", err)
+	}
+	s.walBytes = 0
+	s.snapSeq = snap.Seq
+	if s.checkpoints != nil {
+		s.checkpoints.Inc()
+	}
+	return nil
+}

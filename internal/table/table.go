@@ -115,6 +115,17 @@ func (t *Table) Gather(name string, idx []uint32) *Table {
 	return out
 }
 
+// Clone returns a deep copy of the table: appending to or rewriting the
+// clone never disturbs the original, so mutations can build a new table
+// version aside while readers keep using the published one.
+func (t *Table) Clone() *Table {
+	idx := make([]uint32, t.rows)
+	for i := range idx {
+		idx[i] = uint32(i)
+	}
+	return t.Gather(t.Name, idx)
+}
+
 // ProjectCols returns a new table with only the named column indexes, in
 // the given order, preserving all rows.
 func (t *Table) ProjectCols(name string, colIdx []int, names []string) *Table {
