@@ -91,6 +91,7 @@ go test -run='^$' -fuzz='^FuzzParse$' -fuzztime="$FUZZTIME" ./internal/parser
 go test -run='^$' -fuzz='^FuzzDecode$' -fuzztime="$FUZZTIME" ./internal/ir
 go test -run='^$' -fuzz='^FuzzAnalyze$' -fuzztime="$FUZZTIME" ./internal/sema
 go test -run='^$' -fuzz='^FuzzWALDecode$' -fuzztime="$FUZZTIME" ./internal/storage
+go test -run='^$' -fuzz='^FuzzFingerprint$' -fuzztime="$FUZZTIME" ./internal/obs
 
 echo "== graql vet gate =="
 # The shipped example scripts must vet clean (exit 0), and the seeded
@@ -168,6 +169,50 @@ grep -q 'graql_queries_rejected_total' "$tmpdir/metrics.out"
 grep -q 'graql_queries_canceled_total' "$tmpdir/metrics.out"
 grep -q 'graql_queries_timeout_total' "$tmpdir/metrics.out"
 curl -fsS http://127.0.0.1:17688/debug/traces | grep -c '"spanCount"' >/dev/null
+# Per-statement observability: the exec above must have registered a
+# statement shape, and both debug tables must serve JSON.
+curl -fsS http://127.0.0.1:17688/debug/statements >"$tmpdir/statements.out"
+grep -q '"fingerprint"' "$tmpdir/statements.out"
+curl -fsS http://127.0.0.1:17688/debug/queries | grep -q '"queries"'
+
+echo "== smoke: live query table (ps -> cancelq round trip) =="
+# Build a complete digraph dense enough that a 4-hop pattern with a
+# contradictory final condition (id < A.id and id > A.id) runs for many
+# seconds while returning zero rows, fire it from a background client,
+# find it in the live query table, kill it by id, and assert the
+# original caller got the structured "canceled" code.
+awk 'BEGIN { for (i = 0; i < 120; i++) printf "n%03d\n", i }' >"$tmpdir/nodes.csv"
+awk 'BEGIN { for (i = 0; i < 120; i++) for (j = 0; j < 120; j++) printf "n%03d,n%03d\n", i, j }' >"$tmpdir/dense.csv"
+{
+    echo "create table Node(id varchar(8))"
+    echo "create table Dense(src varchar(8), dst varchar(8))"
+    echo "ingest table Node '$tmpdir/nodes.csv'"
+    echo "ingest table Dense '$tmpdir/dense.csv'"
+    echo "create vertex NV(id) from table Node"
+    echo "create edge e with vertices (NV as A, NV as B) from table Dense where Dense.src = A.id and Dense.dst = B.id"
+} | "$tmpdir/gems-client" -addr 127.0.0.1:17687 exec - >/dev/null
+echo 'select A.id from graph def A: NV ( ) --e--> def B: NV ( ) --e--> def C: NV ( ) --e--> def D: NV (id < A.id and id > A.id)' |
+    "$tmpdir/gems-client" -addr 127.0.0.1:17687 -timeout 60s exec - >"$tmpdir/runaway.out" 2>&1 &
+runaway_pid=$!
+qid=""
+for i in $(seq 1 100); do
+    qid=$("$tmpdir/gems-client" -addr 127.0.0.1:17687 ps |
+        awk '$3 == "running" && / --e--> / { print $1; exit }')
+    if [ -n "$qid" ]; then
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$qid" ]; then
+    echo "runaway query never appeared in ps" >&2
+    "$tmpdir/gems-client" -addr 127.0.0.1:17687 ps >&2 || true
+    exit 1
+fi
+"$tmpdir/gems-client" -addr 127.0.0.1:17687 cancelq "$qid"
+wait "$runaway_pid" 2>/dev/null || true
+grep -q 'canceled' "$tmpdir/runaway.out"
+# The canceled shape is aggregated in the statement statistics too.
+"$tmpdir/gems-client" -addr 127.0.0.1:17687 statements | grep -q ' --e--> '
 kill "$server_pid"
 wait "$server_pid" 2>/dev/null || true
 server_pid=""

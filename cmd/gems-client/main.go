@@ -8,6 +8,9 @@
 //	gems-client -addr host:7687 check script.graql
 //	gems-client -addr host:7687 stats
 //	gems-client -addr host:7687 trace
+//	gems-client -addr host:7687 statements
+//	gems-client -addr host:7687 ps
+//	gems-client -addr host:7687 cancelq 42
 //	gems-client -addr host:7687 ping
 //	echo 'select ...' | gems-client -addr host:7687 exec -
 package main
@@ -18,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -111,6 +115,40 @@ func main() {
 			}
 			fmt.Println()
 		}
+	case "statements":
+		stats, err := cl.Statements()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-16s %8s %6s %10s %10s %10s  %s\n",
+			"FINGERPRINT", "CALLS", "ERRS", "ROWS", "MEAN_US", "TOTAL_US", "QUERY")
+		for _, st := range stats {
+			fmt.Printf("%-16s %8d %6d %10d %10d %10d  %s\n",
+				st.Fingerprint, st.Calls, st.Errors, st.Rows, st.MeanUs, st.TotalUs, clip(st.Query, 60))
+		}
+	case "ps":
+		qs, err := cl.LiveQueries()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%-6s %-16s %-8s %12s %12s  %s\n",
+			"ID", "FINGERPRINT", "STATE", "ELAPSED_US", "ROWS", "QUERY")
+		for _, q := range qs {
+			fmt.Printf("%-6d %-16s %-8s %12d %12d  %s\n",
+				q.ID, q.Fingerprint, q.State, q.ElapsedUs, q.Rows, clip(q.Query, 60))
+		}
+	case "cancelq":
+		if flag.NArg() < 2 {
+			usage()
+		}
+		id, err := strconv.ParseUint(flag.Arg(1), 10, 64)
+		if err != nil {
+			fatal(fmt.Errorf("cancelq: bad query id %q", flag.Arg(1)))
+		}
+		if err := cl.CancelQuery(id); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("canceled query %d\n", id)
 	default:
 		usage()
 	}
@@ -187,8 +225,19 @@ func usage() {
   gems-client [-addr host:port] [-token t] check <script.graql|->
   gems-client [-addr host:port] [-token t] stats
   gems-client [-addr host:port] [-token t] trace
+  gems-client [-addr host:port] [-token t] statements
+  gems-client [-addr host:port] [-token t] ps
+  gems-client [-addr host:port] [-token t] cancelq <id>
   gems-client [-addr host:port] [-token t] ping`)
 	os.Exit(2)
+}
+
+// clip truncates a normalized query for one-line table output.
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-3] + "..."
 }
 
 func fatal(err error) {

@@ -48,6 +48,7 @@ func main() {
 		workers      = flag.Int("workers", 0, "parallelism degree (0 = GOMAXPROCS)")
 		metrics      = flag.Bool("metrics", true, "enable the metrics registry (the \"metrics\" op and GET /metrics)")
 		slowQuery    = flag.Duration("slow-query", 0, "log statements slower than this (e.g. 250ms; 0 disables)")
+		queryLog     = flag.Bool("query-log", false, "emit one structured wide-event log line per completed statement")
 		traces       = flag.Int("traces", 64, "retain this many complete request traces (0 disables tracing)")
 		partitions   = flag.Int("partitions", 0, "simulate a GEMS cluster with this many partitions for chain queries (0-1 = off)")
 		placement    = flag.String("placement", "hash", "cluster placement strategy: hash | block")
@@ -75,11 +76,14 @@ func main() {
 	opts.ClusterParts = *partitions
 	opts.ClusterBlock = *placement == "block"
 	opts.Log = logger
-	if *metrics || *slowQuery > 0 || *traces > 0 {
+	if *metrics || *slowQuery > 0 || *traces > 0 || *queryLog {
 		opts.Obs = obs.New()
 		opts.Obs.SetSlowQueryThreshold(*slowQuery)
 		if *slowQuery > 0 {
 			opts.Obs.SetSlowQueryWriter(os.Stderr)
+		}
+		if *queryLog {
+			opts.Obs.SetQueryLogWriter(os.Stderr)
 		}
 		opts.Obs.EnableTracing(*traces)
 	}

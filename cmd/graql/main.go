@@ -91,6 +91,7 @@ func main() {
 		outCSV    = flag.String("out", "", "write the last table result to this CSV file")
 		metrics   = flag.Bool("metrics", false, "print the metrics registry (Prometheus text) to stderr on exit")
 		slowQuery = flag.Duration("slow-query", 0, "log statements slower than this to stderr (e.g. 250ms; 0 disables)")
+		queryLog  = flag.Bool("query-log", false, "emit one structured wide-event log line per completed statement to stderr")
 		logLevel  = flag.String("log-level", "off", "structured log level: off | error | warn | info | debug")
 		logFormat = flag.String("log-format", "json", "structured log format: json | text")
 		timeout   = flag.Duration("timeout", 0, "abort script execution after this long (0 = no deadline)")
@@ -130,6 +131,9 @@ func main() {
 	}
 	if *slowQuery > 0 {
 		dbOpts = append(dbOpts, graql.WithSlowQueryLog(*slowQuery, os.Stderr))
+	}
+	if *queryLog {
+		dbOpts = append(dbOpts, graql.WithQueryLog(os.Stderr))
 	}
 	if logger != nil {
 		dbOpts = append(dbOpts, graql.WithLogger(logger))

@@ -118,6 +118,19 @@ func WithSlowQueryLog(threshold time.Duration, w io.Writer) Option {
 	}
 }
 
+// WithQueryLog enables metrics and the wide-event query log: one
+// structured JSON line per completed statement on w, carrying the
+// statement's fingerprint, trace id, result code, rows, scan work,
+// elapsed time, admission queue wait, WAL volume and parallel fan-out.
+func WithQueryLog(w io.Writer) Option {
+	return func(o *exec.Options) {
+		if o.Obs == nil {
+			o.Obs = obs.New()
+		}
+		o.Obs.SetQueryLogWriter(w)
+	}
+}
+
 // WithTracing enables metrics plus hierarchical request tracing: the
 // registry retains the last n complete trace trees (n <= 0 picks the
 // default of 64), readable through Traces (and, through the servers,
@@ -348,6 +361,27 @@ type TraceTree = obs.TraceTree
 // Traces returns the retained complete trace trees, oldest first (empty
 // without WithTracing).
 func (db *DB) Traces() []TraceTree { return db.eng.Opts.Obs.Traces() }
+
+// StmtStat is the aggregated statistics of one statement shape: calls,
+// failures, rows, scan work, WAL volume and latency, keyed on the
+// shape's fingerprint (literals normalized away).
+type StmtStat = obs.StmtStat
+
+// Statements returns per-statement-shape statistics, most expensive
+// shape (by total execution time) first (empty without WithMetrics).
+func (db *DB) Statements() []StmtStat { return db.eng.Opts.Obs.Statements() }
+
+// QueryInfo describes one in-flight statement in the live query table.
+type QueryInfo = obs.QueryInfo
+
+// LiveQueries returns the statements executing right now, oldest first
+// (empty without WithMetrics).
+func (db *DB) LiveQueries() []QueryInfo { return db.eng.Opts.Obs.LiveQueries() }
+
+// CancelQuery cooperatively cancels the in-flight statement with the
+// given id (from LiveQueries), reporting whether the id was found. The
+// statement's own caller receives ErrCanceled.
+func (db *DB) CancelQuery(id uint64) bool { return db.eng.Opts.Obs.CancelQuery(id) }
 
 // Engine exposes the underlying engine for in-module tooling (cmd/,
 // benchmarks). It is not part of the stable public API.

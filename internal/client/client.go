@@ -143,7 +143,7 @@ func (c *Client) Traces() ([]obs.TraceTree, error) {
 // after a network failure (it cannot have changed server state).
 func idempotentOp(op string) bool {
 	switch op {
-	case "ping", "stats", "metrics", "trace", "check", "compile":
+	case "ping", "stats", "metrics", "trace", "check", "compile", "statements", "ps":
 		return true
 	}
 	return false
@@ -269,4 +269,31 @@ func (c *Client) Metrics() (string, error) {
 		return "", err
 	}
 	return resp.Metrics, nil
+}
+
+// Statements fetches the per-statement-shape statistics, most expensive
+// shape first.
+func (c *Client) Statements() ([]obs.StmtStat, error) {
+	resp, err := c.roundTrip(&server.Request{Op: "statements"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Statements, nil
+}
+
+// LiveQueries fetches the server's in-flight query table.
+func (c *Client) LiveQueries() ([]obs.QueryInfo, error) {
+	resp, err := c.roundTrip(&server.Request{Op: "ps"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Queries, nil
+}
+
+// CancelQuery cooperatively cancels the in-flight query with the given
+// id (from LiveQueries). The canceled query's own caller receives the
+// structured "canceled" code.
+func (c *Client) CancelQuery(id uint64) error {
+	_, err := c.roundTrip(&server.Request{Op: "cancelq", QueryID: id})
+	return err
 }

@@ -95,5 +95,14 @@ func (w *wstate) poll() error {
 	if w.tick&pollMask != 0 {
 		return nil
 	}
+	// Piggyback live-progress reporting on the amortised poll: push the
+	// delta of scan work since the last report into the statement's live
+	// query table entry, so `ps` shows rows-so-far while the query runs.
+	if a := w.m.e.acct; a != nil && a.live != nil {
+		if cur := w.scanned + w.edges; cur > w.reported {
+			a.live.AddRows(cur - w.reported)
+			w.reported = cur
+		}
+	}
 	return contextErr(w.m.e.ctx)
 }

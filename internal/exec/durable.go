@@ -115,7 +115,11 @@ func (e *Engine) logStmt(st ast.Stmt, params map[string]value.Value) error {
 	if err != nil {
 		return fmt.Errorf("graql: wal: %w", err)
 	}
-	return e.store.Append(&storage.Record{Kind: storage.KindStmt, IR: data, Params: params})
+	n, err := e.store.Append(&storage.Record{Kind: storage.KindStmt, IR: data, Params: params})
+	if err == nil && e.acct != nil {
+		e.acct.walBytes.Add(int64(n))
+	}
+	return err
 }
 
 // logTableLoad appends a materialised table version to the WAL (register
@@ -124,10 +128,14 @@ func (e *Engine) logTableLoad(t *table.Table, register bool) error {
 	if e.store == nil || e.replay {
 		return nil
 	}
-	return e.store.Append(&storage.Record{
+	n, err := e.store.Append(&storage.Record{
 		Kind: storage.KindTableLoad,
 		Load: &storage.TableLoad{Register: register, Table: t},
 	})
+	if err == nil && e.acct != nil {
+		e.acct.walBytes.Add(int64(n))
+	}
+	return err
 }
 
 // Checkpoint writes a snapshot of the current catalog state and truncates

@@ -70,6 +70,11 @@ type Options struct {
 	// and the slow-query log. nil disables metrics (the hot-path cost is
 	// then a handful of nil checks).
 	Obs *obs.Registry
+	// DisableStmtObs turns off the per-statement observability layer
+	// (fingerprinting, statement stats, live query registration,
+	// cancel-by-id) while keeping the registry's aggregate metrics. It
+	// exists for the E14 ablation, which prices that layer in isolation.
+	DisableStmtObs bool
 	// ClusterParts >= 2 routes eligible linear-chain subgraph queries
 	// through the simulated GEMS backend cluster (internal/cluster): one
 	// BSP superstep per chain edge over that many partitions, with
@@ -111,6 +116,20 @@ type Engine struct {
 	trace  *obs.Trace
 	parent *obs.Span
 	ctx    context.Context
+
+	// acct is the per-statement accounting record (nil without a
+	// registry): ExecStmt installs one on the executing fork, the sweep
+	// and WAL paths feed it, observeStmt folds it into the statement's
+	// observability event.
+	acct *stmtAcct
+
+	// src is the source text of the script being executed, set on the
+	// per-run fork by ExecScript/ExecScriptStaged when statement
+	// observability is on. ExecStmt fingerprints each statement by
+	// slicing its span out of src — far cheaper than re-rendering the
+	// AST — falling back to st.String() for statements without source
+	// (decoded IR, programmatic ASTs).
+	src string
 
 	// ids is shared across traced forks so DDL advances one sequence.
 	ids *idAlloc
@@ -154,18 +173,31 @@ func (e *Engine) ExecScript(src string, params map[string]value.Value) ([]Result
 	if err != nil {
 		return nil, err
 	}
+	run := e.withSrc(src)
 	var out []Result
 	for i, st := range script.Stmts {
-		if err := e.canceled(); err != nil {
+		if err := run.canceled(); err != nil {
 			return out, fmt.Errorf("statement %d: %w", i+1, err)
 		}
-		r, err := e.ExecStmt(st, params)
+		r, err := run.ExecStmt(st, params)
 		if err != nil {
 			return out, fmt.Errorf("statement %d: %w", i+1, err)
 		}
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// withSrc returns an engine fork carrying the script's source text for
+// span-sliced statement fingerprinting; e itself when the statement
+// observability layer is off (the field would never be read).
+func (e *Engine) withSrc(src string) *Engine {
+	if e.met.reg == nil || e.Opts.DisableStmtObs {
+		return e
+	}
+	c := *e
+	c.src = src
+	return &c
 }
 
 // ExecStmt statically analyses and executes a single statement,
@@ -184,9 +216,44 @@ func (e *Engine) ExecStmt(st ast.Stmt, params map[string]value.Value) (Result, e
 		sp.SetAttr("kind", stmtKind(st))
 		run = e.fork(e.trace, sp)
 	}
+	// With a registry, the statement gets an accounting record and a live
+	// query table entry, and runs under its own cancelable context so
+	// CancelQuery(id) can kill exactly this statement.
+	var acct *stmtAcct
+	var cancel context.CancelFunc
+	if e.met.reg != nil && !e.Opts.DisableStmtObs {
+		script := e.stmtSrc(st)
+		fp, text := e.met.reg.FingerprintCached(script)
+		acct = &stmtAcct{fp: fp, text: text, script: script}
+		base := e.ctx
+		if base == nil {
+			base = context.Background()
+		}
+		acct.queueWait = queueWaitFrom(base)
+		var cctx context.Context
+		cctx, cancel = context.WithCancel(base)
+		if run == e {
+			c := *e
+			run = &c
+		}
+		run.ctx = cctx
+		run.acct = acct
+		acct.live = e.met.reg.StartQuery(fp, text, e.traceID(), cancel)
+	}
 	start := time.Now()
 	res, err := run.execStmt(st, params)
 	elapsed := time.Since(start)
+	if cancel != nil {
+		acct.live.Finish()
+		cancel()
+	}
+	var rows int64
+	switch {
+	case res.Kind == ResultTable && res.Table != nil:
+		rows = int64(res.Table.NumRows())
+	case res.Kind == ResultSubgraph && res.Subgraph != nil:
+		rows = int64(res.Subgraph.NumVertices())
+	}
 	if sp != nil {
 		if err != nil {
 			sp.SetAttr("error", err.Error())
@@ -198,16 +265,23 @@ func (e *Engine) ExecStmt(st ast.Stmt, params map[string]value.Value) (Result, e
 				sp.SetAttr("aborted", "canceled")
 			}
 		}
-		switch {
-		case res.Kind == ResultTable && res.Table != nil:
-			sp.AddRows(int64(res.Table.NumRows()))
-		case res.Kind == ResultSubgraph && res.Subgraph != nil:
-			sp.AddRows(int64(res.Subgraph.NumVertices()))
-		}
+		sp.AddRows(rows)
 		sp.End()
 	}
-	e.met.observeStmt(st, elapsed, err, e.traceID())
+	e.met.observeStmt(st, acct, elapsed, rows, err, e.traceID())
 	return res, err
+}
+
+// stmtSrc returns the statement's source text: its span sliced out of
+// the running script (set by withSrc) when available, else the
+// canonical AST rendering. Fingerprint normalization collapses the
+// formatting differences between the two forms.
+func (e *Engine) stmtSrc(st ast.Stmt) string {
+	if sp := st.Span(); e.src != "" && sp.Known() &&
+		sp.Start >= 0 && sp.Start < sp.End && sp.End <= len(e.src) {
+		return e.src[sp.Start:sp.End]
+	}
+	return st.String()
 }
 
 // execStmt is ExecStmt without instrumentation. DDL and ingest take the
@@ -347,13 +421,14 @@ func (e *Engine) ExecScriptStaged(src string, params map[string]value.Value) ([]
 	if err != nil {
 		return nil, err
 	}
+	run := e.withSrc(src)
 	results := make([]Result, len(script.Stmts))
 	errs := make([]error, len(script.Stmts))
 	for _, stage := range plan.Stages(script) {
 		stage := stage
 		_ = runShards(e.ctx, &e.met, len(stage), e.Opts.workers(), func(k int) error {
 			i := stage[k]
-			results[i], errs[i] = e.ExecStmt(script.Stmts[i], params)
+			results[i], errs[i] = run.ExecStmt(script.Stmts[i], params)
 			return nil
 		})
 		for _, i := range stage {

@@ -74,8 +74,11 @@ type wstate struct {
 	edges   int64 // edge-index entries walked
 	idxHit  int64 // reverse traversals served by a reverse index
 	idxMiss int64 // reverse traversals degraded to edge scans
-	// tick drives the amortised cooperative cancellation poll (cancel.go).
-	tick uint32
+	// tick drives the amortised cooperative cancellation poll (cancel.go);
+	// reported is the scanned+edges watermark already pushed to the live
+	// query table by that poll.
+	tick     uint32
+	reported int64
 }
 
 type regexKey struct {
@@ -231,7 +234,13 @@ func (m *matcher) flush(w *wstate) {
 	m.e.met.edgesTraversed.Add(w.edges)
 	m.e.met.indexHits.Add(w.idxHit)
 	m.e.met.indexMisses.Add(w.idxMiss)
-	w.scanned, w.edges, w.idxHit, w.idxMiss = 0, 0, 0, 0
+	if a := m.e.acct; a != nil {
+		a.rowsScanned.Add(w.scanned)
+		if a.live != nil {
+			a.live.AddRows(w.scanned + w.edges - w.reported)
+		}
+	}
+	w.scanned, w.edges, w.idxHit, w.idxMiss, w.reported = 0, 0, 0, 0, 0
 }
 
 func refSourcesOf(e expr.Expr) []int {

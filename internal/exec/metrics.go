@@ -127,20 +127,25 @@ func (m *engineMetrics) noteMutation(verb string, rows int) {
 }
 
 // observeStmt records one executed statement: totals, per-kind latency,
-// and the slow-query log (linked to the statement's trace when it ran
-// under one).
-func (m *engineMetrics) observeStmt(st ast.Stmt, elapsed time.Duration, err error, trace obs.TraceID) {
+// and the per-statement observability event that feeds the statement
+// statistics store, the slow-query log and the wide-event query log
+// (linked to the statement's trace when it ran under one).
+func (m *engineMetrics) observeStmt(st ast.Stmt, a *stmtAcct, elapsed time.Duration, rows int64, err error, trace obs.TraceID) {
 	if m.reg == nil {
 		return
 	}
 	m.statements.Inc()
+	code := ""
 	if err != nil {
 		m.errors.Inc()
+		code = "exec"
 		switch {
 		case errors.Is(err, ErrDeadlineExceeded):
 			m.timedOut.Inc()
+			code = "deadline"
 		case errors.Is(err, ErrCanceled):
 			m.canceled.Inc()
+			code = "canceled"
 		}
 	}
 	if _, ok := st.(*ast.Select); ok {
@@ -149,5 +154,25 @@ func (m *engineMetrics) observeStmt(st ast.Stmt, elapsed time.Duration, err erro
 	if h := m.latency[stmtKind(st)]; h != nil {
 		h.Observe(elapsed.Seconds())
 	}
-	m.reg.ObserveQueryTrace(st.String(), elapsed, trace)
+	// No accounting record means the statement layer is disabled
+	// (Options.DisableStmtObs): keep the aggregate counters above but
+	// skip statement stats, the wide event, and the slow-query record.
+	if a == nil {
+		return
+	}
+	ev := obs.StmtEvent{
+		Script:      a.script,
+		Kind:        stmtKind(st),
+		Code:        code,
+		Elapsed:     elapsed,
+		Rows:        rows,
+		Trace:       trace,
+		Fingerprint: a.fp,
+		Text:        a.text,
+		QueueWait:   a.queueWait,
+		RowsScanned: a.rowsScanned.Load(),
+		WALBytes:    a.walBytes.Load(),
+		Workers:     int(a.workers.Load()),
+	}
+	m.reg.ObserveStmtEvent(ev)
 }

@@ -17,8 +17,9 @@ func (e *Engine) tablePar() table.Par {
 	p := table.Par{
 		Workers:   e.Opts.workers(),
 		Threshold: e.Opts.ParallelThreshold,
-		OnParallel: func(_ string, shards, _ int) {
+		OnParallel: func(_ string, shards, workers int) {
 			e.met.noteTableParallel(shards)
+			e.acct.noteWorkers(workers)
 		},
 	}
 	if e.ctx != nil {

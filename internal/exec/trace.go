@@ -62,6 +62,7 @@ func (e *Engine) opSpan(action, detail string) *obs.Span {
 // under a statement span. EXPLAIN ANALYZE's flat trace intentionally
 // omits sweep spans so its plan table keeps one row per operator.
 func (e *Engine) runSweep(detail string, shards, workers int, fn func(shard int) error) error {
+	e.acct.noteWorkers(workers)
 	if e.parent == nil {
 		return runShards(e.ctx, &e.met, shards, workers, fn)
 	}

@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Process-identity metrics. process_start_time_seconds is the standard
+// series Prometheus uses to detect restarts and reset counter rates;
+// graql_build_info carries the build's identifying labels with a constant
+// value of 1 (the "info"-metric pattern), so dashboards can join version
+// onto any other series.
+
+// processStart is captured at package init — close enough to process
+// start for restart detection.
+var processStart = time.Now()
+
+// buildVersion resolves the module version baked into the binary by the
+// Go toolchain ("(devel)" for plain go-build trees).
+func buildVersion() string {
+	if info, ok := debug.ReadBuildInfo(); ok && info.Main.Version != "" {
+		return info.Main.Version
+	}
+	return "unknown"
+}
+
+func registerBuildMetrics(r *Registry) {
+	r.Gauge("process_start_time_seconds",
+		"unix time the process started").Set(processStart.Unix())
+	r.GaugeL("graql_build_info",
+		"build metadata; value is always 1",
+		map[string]string{
+			"version":   buildVersion(),
+			"goversion": runtime.Version(),
+		}).Set(1)
+}

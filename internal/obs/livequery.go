@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Live query table: every in-flight statement registers here so operators
+// can ask "what is running right now?" (GET /debug/queries, the TCP "ps"
+// op, gems-client ps) and kill a runaway by id (DELETE /debug/queries/{id},
+// the TCP "cancelq" op, DB.CancelQuery). Cancellation is cooperative: the
+// stored cancel func fires the statement's context, and the engine's
+// periodic poll (every 1024 units of work) surfaces the structured
+// "canceled" code to the original caller.
+
+// QueryInfo is the wire view of one in-flight statement.
+type QueryInfo struct {
+	ID          uint64    `json:"id"`
+	Fingerprint string    `json:"fingerprint"`
+	Query       string    `json:"query"` // normalized text
+	State       string    `json:"state"` // queued | running | draining
+	Start       time.Time `json:"start"`
+	ElapsedUs   int64     `json:"elapsedUs"`
+	// Rows is progress-so-far: rows/edges the statement has scanned or
+	// produced, refreshed from the engine's cooperative poll hook.
+	Rows    int64  `json:"rows"`
+	TraceID string `json:"traceId,omitempty"`
+}
+
+// LiveQuery is the registration handle of one in-flight statement. The
+// executing side updates Rows and calls Finish; the registry side renders
+// snapshots and may invoke cancel. All methods are nil-safe.
+type LiveQuery struct {
+	tab    *liveTable
+	id     uint64
+	fp     uint64
+	text   string
+	trace  TraceID
+	start  time.Time
+	queued bool
+	rows   atomic.Int64
+	cancel func()
+}
+
+// ID returns the statement's live query id (0 on a nil handle).
+func (q *LiveQuery) ID() uint64 {
+	if q == nil {
+		return 0
+	}
+	return q.id
+}
+
+// AddRows advances the statement's progress counter.
+func (q *LiveQuery) AddRows(n int64) {
+	if q == nil || n == 0 {
+		return
+	}
+	q.rows.Add(n)
+}
+
+// Finish deregisters the statement. Safe to call more than once.
+func (q *LiveQuery) Finish() {
+	if q == nil || q.tab == nil {
+		return
+	}
+	t := q.tab
+	t.mu.Lock()
+	delete(t.queries, q.id)
+	t.mu.Unlock()
+	q.tab = nil
+}
+
+// liveTable is the registry's in-flight statement table.
+type liveTable struct {
+	mu       sync.Mutex
+	nextID   uint64
+	queries  map[uint64]*LiveQuery
+	draining bool
+}
+
+func (t *liveTable) register(fp uint64, text string, trace TraceID, queued bool, cancel func()) *LiveQuery {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.queries == nil {
+		t.queries = make(map[uint64]*LiveQuery)
+	}
+	t.nextID++
+	q := &LiveQuery{
+		tab: t, id: t.nextID, fp: fp, text: text, trace: trace,
+		start: time.Now(), queued: queued, cancel: cancel,
+	}
+	t.queries[q.id] = q
+	return q
+}
+
+// StartQuery registers a running statement in the live query table and
+// returns its handle. cancel (may be nil) is invoked by CancelQuery to
+// kill the statement cooperatively.
+func (r *Registry) StartQuery(fp uint64, text string, trace TraceID, cancel func()) *LiveQuery {
+	if r == nil {
+		return nil
+	}
+	return r.live.register(fp, text, trace, false, cancel)
+}
+
+// StartQueuedQuery registers a statement still waiting in the admission
+// queue. The handle is Finished when the wait ends (the execution phase
+// registers its own running entry).
+func (r *Registry) StartQueuedQuery(fp uint64, text string, cancel func()) *LiveQuery {
+	if r == nil {
+		return nil
+	}
+	return r.live.register(fp, text, TraceID{}, true, cancel)
+}
+
+// LiveQueries snapshots the in-flight statement table, oldest id first.
+func (r *Registry) LiveQueries() []QueryInfo {
+	if r == nil {
+		return nil
+	}
+	t := &r.live
+	now := time.Now()
+	t.mu.Lock()
+	out := make([]QueryInfo, 0, len(t.queries))
+	for _, q := range t.queries {
+		state := "running"
+		switch {
+		case t.draining:
+			state = "draining"
+		case q.queued:
+			state = "queued"
+		}
+		info := QueryInfo{
+			ID:          q.id,
+			Fingerprint: FormatFingerprint(q.fp),
+			Query:       q.text,
+			State:       state,
+			Start:       q.start,
+			ElapsedUs:   now.Sub(q.start).Microseconds(),
+			Rows:        q.rows.Load(),
+		}
+		if !q.trace.IsZero() {
+			info.TraceID = q.trace.String()
+		}
+		out = append(out, info)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CancelQuery cancels the in-flight statement with the given id,
+// reporting whether the id was found. The statement itself observes the
+// cancellation at its next cooperative poll and returns the structured
+// "canceled" code to its caller.
+func (r *Registry) CancelQuery(id uint64) bool {
+	if r == nil {
+		return false
+	}
+	t := &r.live
+	t.mu.Lock()
+	q, ok := t.queries[id]
+	t.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if q.cancel != nil {
+		// Outside the table lock: cancel fans out through context
+		// machinery and must not hold up snapshots.
+		q.cancel()
+	}
+	return true
+}
+
+// MarkDraining flips every current and future live entry's state to
+// "draining" — set by the server once shutdown stops admitting work.
+func (r *Registry) MarkDraining() {
+	if r == nil {
+		return
+	}
+	r.live.mu.Lock()
+	r.live.draining = true
+	r.live.mu.Unlock()
+}

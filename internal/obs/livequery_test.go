@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLiveQueryLifecycle(t *testing.T) {
+	r := New()
+	fp, text := Fingerprint("select * from table T where id = 1")
+	q := r.StartQuery(fp, text, TraceID{}, nil)
+	if q.ID() == 0 {
+		t.Fatalf("live query got zero id")
+	}
+	q.AddRows(7)
+	q.AddRows(3)
+	live := r.LiveQueries()
+	if len(live) != 1 {
+		t.Fatalf("got %d live queries, want 1", len(live))
+	}
+	info := live[0]
+	if info.ID != q.ID() || info.Fingerprint != FormatFingerprint(fp) || info.Query != text {
+		t.Errorf("live info = %+v", info)
+	}
+	if info.State != "running" {
+		t.Errorf("state = %q, want running", info.State)
+	}
+	if info.Rows != 10 {
+		t.Errorf("rows = %d, want 10", info.Rows)
+	}
+	if info.ElapsedUs < 0 {
+		t.Errorf("elapsed = %d", info.ElapsedUs)
+	}
+	q.Finish()
+	if got := r.LiveQueries(); len(got) != 0 {
+		t.Fatalf("query still live after Finish: %+v", got)
+	}
+	// Finish and AddRows are idempotent / safe after removal.
+	q.Finish()
+	q.AddRows(1)
+}
+
+func TestLiveQueryStates(t *testing.T) {
+	r := New()
+	queued := r.StartQueuedQuery(1, "q1", nil)
+	running := r.StartQuery(2, "q2", TraceID{}, nil)
+	live := r.LiveQueries()
+	if len(live) != 2 {
+		t.Fatalf("got %d live queries, want 2", len(live))
+	}
+	states := map[uint64]string{queued.ID(): "queued", running.ID(): "running"}
+	for _, info := range live {
+		if info.State != states[info.ID] {
+			t.Errorf("query %d state = %q, want %q", info.ID, info.State, states[info.ID])
+		}
+	}
+	r.MarkDraining()
+	for _, info := range r.LiveQueries() {
+		if info.State != "draining" {
+			t.Errorf("after MarkDraining query %d state = %q", info.ID, info.State)
+		}
+	}
+	queued.Finish()
+	running.Finish()
+}
+
+func TestLiveQueryCancel(t *testing.T) {
+	r := New()
+	fired := make(chan struct{})
+	q := r.StartQuery(9, "q", TraceID{}, func() { close(fired) })
+	if !r.CancelQuery(q.ID()) {
+		t.Fatalf("CancelQuery returned false for a live id")
+	}
+	select {
+	case <-fired:
+	case <-time.After(time.Second):
+		t.Fatalf("cancel func never fired")
+	}
+	// Cancel is not Finish: the query stays visible until the executor
+	// observes the cancellation and finishes it.
+	if len(r.LiveQueries()) != 1 {
+		t.Errorf("canceled query vanished before Finish")
+	}
+	q.Finish()
+	if r.CancelQuery(q.ID()) {
+		t.Errorf("CancelQuery returned true after Finish")
+	}
+	if r.CancelQuery(999999) {
+		t.Errorf("CancelQuery returned true for an unknown id")
+	}
+	// A query registered with no cancel func is still found (the id
+	// exists); cancellation is simply a no-op for it.
+	q2 := r.StartQuery(10, "q2", TraceID{}, nil)
+	if !r.CancelQuery(q2.ID()) {
+		t.Errorf("CancelQuery returned false for a live id with no cancel func")
+	}
+	q2.Finish()
+}
+
+func TestLiveQueryOrdering(t *testing.T) {
+	r := New()
+	var ids []uint64
+	for i := 0; i < 5; i++ {
+		q := r.StartQuery(uint64(i), "q", TraceID{}, nil)
+		ids = append(ids, q.ID())
+		defer q.Finish()
+	}
+	live := r.LiveQueries()
+	for i, info := range live {
+		if info.ID != ids[i] {
+			t.Fatalf("live queries not sorted by id: %+v", live)
+		}
+	}
+}
+
+func TestLiveQueryNilSafety(t *testing.T) {
+	var r *Registry
+	q := r.StartQuery(1, "q", TraceID{}, nil)
+	if q.ID() != 0 {
+		t.Errorf("nil registry live query has id %d", q.ID())
+	}
+	q.AddRows(1)
+	q.Finish()
+	q2 := r.StartQueuedQuery(1, "q", nil)
+	q2.Finish()
+	if r.LiveQueries() != nil {
+		t.Errorf("nil registry returned live queries")
+	}
+	if r.CancelQuery(1) {
+		t.Errorf("nil registry canceled a query")
+	}
+	r.MarkDraining()
+
+	var nq *LiveQuery
+	nq.AddRows(1)
+	nq.Finish()
+	if nq.ID() != 0 {
+		t.Errorf("nil LiveQuery has id %d", nq.ID())
+	}
+}

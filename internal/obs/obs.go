@@ -189,13 +189,20 @@ type Registry struct {
 
 	slow  slowLog
 	trace traceRing
+	stmts stmtStats
+	live  liveTable
+	qlog  qlogHolder
+	fpc   fpCache
 }
 
 // New returns a registry pre-populated with the Go runtime gauges
-// (goroutines, heap in use, GC totals), refreshed at scrape time.
+// (goroutines, heap in use, GC totals), process/build identity metrics,
+// and the top-K per-statement series, all refreshed at scrape time.
 func New() *Registry {
 	r := &Registry{entries: make(map[string]*entry)}
 	registerRuntimeMetrics(r)
+	registerBuildMetrics(r)
+	registerStmtCollector(r)
 	return r
 }
 
@@ -241,7 +248,12 @@ func (r *Registry) CounterL(name, help string, labels map[string]string) *Counte
 
 // Gauge returns (creating on first use) the named gauge.
 func (r *Registry) Gauge(name, help string) *Gauge {
-	e := r.lookup(name, help, nil, kindGauge)
+	return r.GaugeL(name, help, nil)
+}
+
+// GaugeL returns the gauge series with the given constant labels.
+func (r *Registry) GaugeL(name, help string, labels map[string]string) *Gauge {
+	e := r.lookup(name, help, labels, kindGauge)
 	if e == nil {
 		return nil
 	}
@@ -339,9 +351,20 @@ func renderLabels(labels map[string]string, extraKey string, extraVal float64) s
 	return b.String()
 }
 
+// formatFloat renders a float the way the Prometheus text format
+// requires: the special values spell exactly "+Inf", "-Inf" and "NaN"
+// (capitalization matters to scrapers), finite values use the shortest
+// round-trip form.
 func formatFloat(v float64) string {
-	s := fmt.Sprintf("%g", v)
-	return s
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return fmt.Sprintf("%g", v)
 }
 
 // WritePrometheus renders every registered metric in the Prometheus text
@@ -357,7 +380,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		entries = append(entries, e)
 	}
 	r.mu.Unlock()
-	sort.Slice(entries, func(i, j int) bool { return entries[i].key() < entries[j].key() })
+	// Sort by family first, then full key: plain byte-order on keys would
+	// let family B's block interleave family A's when A is a prefix of B
+	// and A has labeled series ('{' sorts after upper-case letters).
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].family != entries[j].family {
+			return entries[i].family < entries[j].family
+		}
+		return entries[i].key() < entries[j].key()
+	})
 
 	seenFamily := map[string]bool{}
 	for _, e := range entries {

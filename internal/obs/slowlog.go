@@ -1,20 +1,25 @@
 package obs
 
 import (
-	"fmt"
 	"io"
+	"log/slog"
 	"sync"
 	"time"
 )
 
 // SlowQuery is one slow-log entry. TraceID links the entry to its trace
 // tree in /debug/traces when the statement ran under tracing (empty
-// otherwise).
+// otherwise). Fingerprint, Rows and Code are present for statements
+// observed through the per-statement event path (ObserveStmtEvent);
+// direct ObserveQuery callers leave them zero.
 type SlowQuery struct {
-	Script  string        `json:"script"`
-	Elapsed time.Duration `json:"elapsedNs"`
-	When    time.Time     `json:"when"`
-	TraceID string        `json:"traceId,omitempty"`
+	Script      string        `json:"script"`
+	Elapsed     time.Duration `json:"elapsedNs"`
+	When        time.Time     `json:"when"`
+	TraceID     string        `json:"traceId,omitempty"`
+	Fingerprint string        `json:"fingerprint,omitempty"`
+	Rows        int64         `json:"rows,omitempty"`
+	Code        string        `json:"code,omitempty"`
 }
 
 // slowLogCap bounds the in-memory ring of retained slow queries.
@@ -27,7 +32,7 @@ type slowLog struct {
 	entries   []SlowQuery // ring, next points at the oldest slot
 	next      int
 	total     int64
-	w         io.Writer
+	logger    *slog.Logger
 }
 
 // SetSlowQueryThreshold enables the slow-query log for statements taking
@@ -41,14 +46,19 @@ func (r *Registry) SetSlowQueryThreshold(d time.Duration) {
 	r.slow.mu.Unlock()
 }
 
-// SetSlowQueryWriter additionally streams each slow query as a log line
-// to w (nil disables streaming; retention in the ring is unaffected).
+// SetSlowQueryWriter additionally streams each slow query to w as one
+// structured JSON log line (nil disables streaming; retention in the
+// ring is unaffected).
 func (r *Registry) SetSlowQueryWriter(w io.Writer) {
 	if r == nil {
 		return
 	}
+	var l *slog.Logger
+	if w != nil {
+		l = slog.New(slog.NewJSONHandler(w, nil))
+	}
 	r.slow.mu.Lock()
-	r.slow.w = w
+	r.slow.logger = l
 	r.slow.mu.Unlock()
 }
 
@@ -64,16 +74,39 @@ func (r *Registry) ObserveQueryTrace(script string, elapsed time.Duration, trace
 	if r == nil {
 		return
 	}
-	s := &r.slow
-	s.mu.Lock()
-	if s.threshold <= 0 || elapsed < s.threshold {
-		s.mu.Unlock()
-		return
-	}
-	q := SlowQuery{Script: script, Elapsed: elapsed, When: time.Now()}
+	q := SlowQuery{Script: script, Elapsed: elapsed}
 	if !trace.IsZero() {
 		q.TraceID = trace.String()
 	}
+	r.slow.record(q)
+}
+
+// observeSlow feeds the slow-query log from a per-statement event,
+// carrying the fingerprint, row count and error code alongside the
+// legacy fields.
+func (r *Registry) observeSlow(ev *StmtEvent) {
+	q := SlowQuery{
+		Script:      ev.Script,
+		Elapsed:     ev.Elapsed,
+		Fingerprint: FormatFingerprint(ev.Fingerprint),
+		Rows:        ev.Rows,
+		Code:        ev.Code,
+	}
+	if !ev.Trace.IsZero() {
+		q.TraceID = ev.Trace.String()
+	}
+	r.slow.record(q)
+}
+
+// record applies the threshold, retains the entry in the ring, and
+// streams it to the configured writer.
+func (s *slowLog) record(q SlowQuery) {
+	s.mu.Lock()
+	if s.threshold <= 0 || q.Elapsed < s.threshold {
+		s.mu.Unlock()
+		return
+	}
+	q.When = time.Now()
 	if len(s.entries) < slowLogCap {
 		s.entries = append(s.entries, q)
 	} else {
@@ -81,10 +114,18 @@ func (r *Registry) ObserveQueryTrace(script string, elapsed time.Duration, trace
 		s.next = (s.next + 1) % slowLogCap
 	}
 	s.total++
-	w := s.w
+	l := s.logger
 	s.mu.Unlock()
-	if w != nil {
-		fmt.Fprintf(w, "slow query (%s): %s\n", elapsed, script)
+	if l != nil {
+		l.Warn("slow query",
+			"elapsed", q.Elapsed.String(),
+			"elapsed_us", q.Elapsed.Microseconds(),
+			"fingerprint", q.Fingerprint,
+			"trace_id", q.TraceID,
+			"rows", q.Rows,
+			"code", q.Code,
+			"query", q.Script,
+		)
 	}
 }
 

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Two literal variants of the same query must aggregate under one
+// fingerprint with correct totals.
+func TestStmtStatsAggregation(t *testing.T) {
+	r := New()
+	fp1, text := Fingerprint("select * from table P where price < 100")
+	fp2, _ := Fingerprint("select * from table P where price < 2500")
+	if fp1 != fp2 {
+		t.Fatalf("literal variants got distinct fingerprints")
+	}
+	r.ObserveStmtEvent(StmtEvent{
+		Fingerprint: fp1, Text: text, Kind: "select",
+		Elapsed: 2 * time.Millisecond, Rows: 10, RowsScanned: 100,
+	})
+	r.ObserveStmtEvent(StmtEvent{
+		Fingerprint: fp2, Text: text, Kind: "select",
+		Elapsed: 4 * time.Millisecond, Rows: 30, RowsScanned: 300,
+		Code: "exec",
+	})
+	stats := r.Statements()
+	if len(stats) != 1 {
+		t.Fatalf("got %d shapes, want 1: %+v", len(stats), stats)
+	}
+	st := stats[0]
+	if st.Fingerprint != FormatFingerprint(fp1) {
+		t.Errorf("fingerprint = %s", st.Fingerprint)
+	}
+	if st.Calls != 2 || st.Errors != 1 || st.Rows != 40 || st.RowsScanned != 400 {
+		t.Errorf("calls/errors/rows/scanned = %d/%d/%d/%d", st.Calls, st.Errors, st.Rows, st.RowsScanned)
+	}
+	if st.TotalUs != 6000 || st.MinUs != 2000 || st.MaxUs != 4000 || st.MeanUs != 3000 {
+		t.Errorf("total/min/max/mean us = %d/%d/%d/%d", st.TotalUs, st.MinUs, st.MaxUs, st.MeanUs)
+	}
+	if st.Query != text {
+		t.Errorf("query = %q, want %q", st.Query, text)
+	}
+	if st.LatencyBuckets["+Inf"] != 2 {
+		t.Errorf("latency +Inf bucket = %d, want 2", st.LatencyBuckets["+Inf"])
+	}
+}
+
+func TestStmtStatsErrorCodes(t *testing.T) {
+	r := New()
+	for _, code := range []string{"", "canceled", "deadline", "exec"} {
+		r.ObserveStmtEvent(StmtEvent{Fingerprint: 7, Text: "q", Code: code, Elapsed: time.Millisecond})
+	}
+	st := r.Statements()[0]
+	if st.Calls != 4 || st.Errors != 3 || st.Canceled != 1 || st.TimedOut != 1 {
+		t.Errorf("calls/errors/canceled/timedOut = %d/%d/%d/%d", st.Calls, st.Errors, st.Canceled, st.TimedOut)
+	}
+}
+
+// The store is bounded: past the cap the least-recently-executed shape is
+// evicted.
+func TestStmtStatsLRUEviction(t *testing.T) {
+	r := New()
+	for i := 0; i < stmtStatsCap+10; i++ {
+		r.ObserveStmtEvent(StmtEvent{Fingerprint: uint64(i + 1), Text: "q", Elapsed: time.Microsecond})
+	}
+	// Shape 1..10 were the oldest; re-observe shape 42 to prove recency
+	// still tracks.
+	stats := r.Statements()
+	if len(stats) != stmtStatsCap {
+		t.Fatalf("retained %d shapes, want %d", len(stats), stmtStatsCap)
+	}
+	if got := r.StatementsEvicted(); got != 10 {
+		t.Errorf("evicted = %d, want 10", got)
+	}
+	seen := map[string]bool{}
+	for _, st := range stats {
+		seen[st.Fingerprint] = true
+	}
+	if seen[FormatFingerprint(1)] {
+		t.Errorf("oldest shape survived past the cap")
+	}
+	if !seen[FormatFingerprint(stmtStatsCap+10)] {
+		t.Errorf("newest shape missing")
+	}
+}
+
+// The top-K shapes surface as labeled Prometheus series, rebuilt per
+// scrape so stale shapes drop out.
+func TestStmtStatsPrometheusTopK(t *testing.T) {
+	r := New()
+	for i := 0; i < stmtTopK+5; i++ {
+		r.ObserveStmtEvent(StmtEvent{
+			Fingerprint: uint64(i + 1), Text: "q",
+			Elapsed: time.Duration(i+1) * time.Millisecond, Rows: int64(i),
+		})
+	}
+	text := r.PrometheusText()
+	if n := strings.Count(text, "graql_stmt_calls_total{"); n != stmtTopK {
+		t.Errorf("exported %d stmt call series, want %d", n, stmtTopK)
+	}
+	// The most expensive shape must be present with its labels.
+	want := fmt.Sprintf(`graql_stmt_time_us_total{fingerprint="%s"}`, FormatFingerprint(uint64(stmtTopK+5)))
+	if !strings.Contains(text, want) {
+		t.Errorf("missing top shape series %s in:\n%s", want, text)
+	}
+	// The cheapest shapes must NOT be exported.
+	unwanted := fmt.Sprintf(`fingerprint="%s"`, FormatFingerprint(1))
+	if strings.Contains(text, unwanted) {
+		t.Errorf("cheapest shape leaked into top-K export")
+	}
+	// A second scrape must not duplicate series.
+	text2 := r.PrometheusText()
+	if n := strings.Count(text2, "graql_stmt_calls_total{"); n != stmtTopK {
+		t.Errorf("second scrape exported %d series, want %d", n, stmtTopK)
+	}
+}
+
+// The wide-event query log emits one JSON line per observed statement.
+func TestQueryLogWideEvent(t *testing.T) {
+	r := New()
+	var sb strings.Builder
+	r.SetQueryLogWriter(&sb)
+	fp, text := Fingerprint("select * from table T where id = 7")
+	r.ObserveStmtEvent(StmtEvent{
+		Fingerprint: fp, Text: text, Script: "select * from table T where id = 7",
+		Kind: "select", Code: "canceled",
+		Elapsed: 1500 * time.Microsecond, QueueWait: 250 * time.Microsecond,
+		Rows: 3, RowsScanned: 88, WALBytes: 0, Workers: 4,
+	})
+	line := sb.String()
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(line), &ev); err != nil {
+		t.Fatalf("query log line is not JSON: %v\n%s", err, line)
+	}
+	checks := map[string]any{
+		"fingerprint":   FormatFingerprint(fp),
+		"kind":          "select",
+		"code":          "canceled",
+		"rows":          float64(3),
+		"rows_scanned":  float64(88),
+		"elapsed_us":    float64(1500),
+		"queue_wait_us": float64(250),
+		"workers":       float64(4),
+		"query":         text,
+	}
+	for k, want := range checks {
+		if got := ev[k]; got != want {
+			t.Errorf("query log %s = %v, want %v", k, got, want)
+		}
+	}
+	// Detach: no further lines.
+	r.SetQueryLogWriter(nil)
+	r.ObserveStmtEvent(StmtEvent{Fingerprint: fp, Text: text, Elapsed: time.Millisecond})
+	if sb.String() != line {
+		t.Errorf("query log kept writing after detach")
+	}
+}
+
+// The slow log carries fingerprint, rows and code for events and stays
+// nil-safe and JSON on the writer path.
+func TestSlowLogStructuredFields(t *testing.T) {
+	r := New()
+	r.SetSlowQueryThreshold(time.Microsecond)
+	var sb strings.Builder
+	r.SetSlowQueryWriter(&sb)
+	fp, text := Fingerprint("select * from table T where id = 9")
+	r.ObserveStmtEvent(StmtEvent{
+		Fingerprint: fp, Text: text, Script: "select * from table T where id = 9",
+		Kind: "select", Elapsed: 5 * time.Millisecond, Rows: 12, Code: "exec",
+	})
+	qs := r.SlowQueries()
+	if len(qs) != 1 {
+		t.Fatalf("got %d slow entries, want 1", len(qs))
+	}
+	q := qs[0]
+	if q.Fingerprint != FormatFingerprint(fp) || q.Rows != 12 || q.Code != "exec" {
+		t.Errorf("slow entry fingerprint/rows/code = %q/%d/%q", q.Fingerprint, q.Rows, q.Code)
+	}
+	var ev map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &ev); err != nil {
+		t.Fatalf("slow log line is not JSON: %v\n%s", err, sb.String())
+	}
+	if ev["fingerprint"] != FormatFingerprint(fp) || ev["rows"] != float64(12) || ev["code"] != "exec" {
+		t.Errorf("slow log JSON fields wrong: %v", ev)
+	}
+}
+
+func TestStmtStatsNilRegistry(t *testing.T) {
+	var r *Registry
+	r.ObserveStmtEvent(StmtEvent{Fingerprint: 1})
+	if r.Statements() != nil || r.StatementsEvicted() != 0 {
+		t.Error("nil registry should return empty statement stats")
+	}
+	r.SetQueryLogger(nil)
+	r.SetQueryLogWriter(nil)
+}
+
+var sinkStats int64
+
+func BenchmarkStmtStatsObserve(b *testing.B) {
+	r := New()
+	ev := StmtEvent{Text: "select * from table t where id = ?", Kind: "select",
+		Elapsed: time.Millisecond, Rows: 10, RowsScanned: 100}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev.Fingerprint = uint64(i % 512)
+		r.ObserveStmtEvent(ev)
+	}
+	sinkStats = r.Statements()[0].Calls
+}

@@ -1,0 +1,225 @@
+package server_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"graql/internal/client"
+	"graql/internal/exec"
+	"graql/internal/obs"
+	"graql/internal/server"
+)
+
+// denseGraphSetup builds a complete digraph over n vertices: every 4-hop
+// traversal explores n^4 paths, so a query whose final step carries a
+// contradictory deferred condition (id < A.id and id > A.id) runs for a
+// long time and returns zero rows — the ideal runaway statement.
+const denseSetup = `
+create table Node(id varchar(8))
+create table Dense(src varchar(8), dst varchar(8))
+create vertex NV(id) from table Node
+create edge e with vertices (NV as A, NV as B)
+from table Dense
+where Dense.src = A.id and Dense.dst = B.id
+`
+
+const runawayQuery = `select A.id from graph def A: NV ( ) --e--> def B: NV ( ) --e--> def C: NV ( ) --e--> def D: NV (id < A.id and id > A.id)`
+
+func loadDenseGraph(t *testing.T, eng *exec.Engine, n int) {
+	t.Helper()
+	var nodes, edges strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&nodes, "n%03d\n", i)
+		for j := 0; j < n; j++ {
+			fmt.Fprintf(&edges, "n%03d,n%03d\n", i, j)
+		}
+	}
+	if err := eng.IngestReader("Node", strings.NewReader(nodes.String())); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.IngestReader("Dense", strings.NewReader(edges.String())); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLiveQueryCancelOverWire is the full ps → cancelq round trip: a
+// long-running statement is visible in the live query table with a
+// ticking elapsed time and rows-so-far, a second session kills it by id,
+// and the original caller gets the structured "canceled" code.
+func TestLiveQueryCancelOverWire(t *testing.T) {
+	addr, eng, shutdown := startObsServer(t, "")
+	defer shutdown()
+	if _, err := eng.ExecScript(denseSetup, nil); err != nil {
+		t.Fatal(err)
+	}
+	loadDenseGraph(t, eng, 60)
+
+	// Session 1 fires the runaway query; its response arrives after the
+	// cancel lands.
+	type execResult struct {
+		resp *server.Response
+		err  error
+	}
+	done := make(chan execResult, 1)
+	go func() {
+		cl, err := client.Dial(addr, "")
+		if err != nil {
+			done <- execResult{nil, err}
+			return
+		}
+		defer cl.Close()
+		resp, err := cl.Exec(runawayQuery, nil)
+		done <- execResult{resp, err}
+	}()
+
+	// Session 2 watches ps until the statement is visible and has made
+	// observable progress, then cancels it by id.
+	cl, err := client.Dial(addr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// The engine fingerprints the statement's canonical AST rendering, so
+	// match the live entry on its normalized text rather than recomputing
+	// the hash from the raw wire script.
+	deadline := time.Now().Add(30 * time.Second)
+	var target obs.QueryInfo
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("runaway query never showed progress in ps")
+		}
+		select {
+		case r := <-done:
+			t.Fatalf("query finished before it could be canceled: resp=%+v err=%v", r.resp, r.err)
+		default:
+		}
+		qs, err := cl.LiveQueries()
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, q := range qs {
+			if q.State == "running" && strings.HasPrefix(q.Query, "select a.id from graph") {
+				target, found = q, true
+			}
+		}
+		// Require live progress: elapsed ticking and rows-so-far counted
+		// via the engine's cooperative poll hook.
+		if found && target.ElapsedUs > 0 && target.Rows > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := cl.CancelQuery(target.ID); err != nil {
+		t.Fatalf("cancelq %d: %v", target.ID, err)
+	}
+
+	select {
+	case r := <-done:
+		if r.err == nil {
+			t.Fatalf("canceled query returned success: %+v", r.resp)
+		}
+		if r.resp == nil || r.resp.Code != server.CodeCanceled {
+			t.Fatalf("caller got code %q (err %v), want %q", respCode(r.resp), r.err, server.CodeCanceled)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("query did not abort after cancelq")
+	}
+
+	// The canceled statement must be gone from ps and accounted in the
+	// statement stats with its cancellation.
+	qs, err := cl.LiveQueries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range qs {
+		if q.ID == target.ID {
+			t.Fatalf("canceled query still in ps: %+v", q)
+		}
+	}
+	stats, err := cl.Statements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hit bool
+	for _, st := range stats {
+		if st.Fingerprint == target.Fingerprint {
+			hit = true
+			if st.Canceled < 1 || st.Errors < 1 {
+				t.Errorf("stmt stats did not count the cancellation: %+v", st)
+			}
+		}
+	}
+	if !hit {
+		t.Error("canceled statement shape missing from statements")
+	}
+
+	// Canceling the now-dead id must surface a structured bad_request.
+	if err := cl.CancelQuery(target.ID); err == nil {
+		t.Error("cancelq of a finished id should fail")
+	}
+}
+
+func respCode(r *server.Response) string {
+	if r == nil {
+		return ""
+	}
+	return r.Code
+}
+
+// TestStatementsAggregationOverWire checks that literal variants of one
+// statement shape land on a single fingerprint row with summed totals.
+func TestStatementsAggregationOverWire(t *testing.T) {
+	addr, eng, shutdown := startObsServer(t, "")
+	defer shutdown()
+	if _, err := eng.ExecScript(setupScript, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.IngestReader("Cities", strings.NewReader("p,US\nq,US\nr,CA\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.IngestReader("Roads", strings.NewReader("p,q\nq,r\n")); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := client.Dial(addr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	variants := []string{
+		`select B.id from graph City (id = 'p') --road--> def B: City ( )`,
+		`select B.id from graph City (id = 'q') --road--> def B: City ( )`,
+		`select B.id from graph City (id = 'r') --road--> def B: City ( )`,
+	}
+	for _, q := range variants {
+		if _, err := cl.Exec(q, nil); err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+	}
+	stats, err := cl.Statements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st *obs.StmtStat
+	for i := range stats {
+		if strings.HasPrefix(stats[i].Query, "select b.id from graph") {
+			st = &stats[i]
+		}
+	}
+	if st == nil {
+		t.Fatalf("shape not in statements: %+v", stats)
+	}
+	if st.Calls != 3 {
+		t.Errorf("calls = %d, want 3 (variants must aggregate)", st.Calls)
+	}
+	if st.Rows != 2 { // 'p' and 'q' each match one row, 'r' none
+		t.Errorf("rows = %d, want 2", st.Rows)
+	}
+	if !strings.Contains(st.Query, "?") {
+		t.Errorf("normalized query kept its literal: %q", st.Query)
+	}
+}

@@ -42,7 +42,9 @@ type Request struct {
 	// analysis only), "compile" (script → IR), "execir" (run IR bytes),
 	// "stats" (catalog snapshot), "metrics" (Prometheus text exposition
 	// of the engine's observability registry), "trace" (retained trace
-	// trees), "ping".
+	// trees), "statements" (per-statement-shape statistics), "ps"
+	// (in-flight query table), "cancelq" (cancel the in-flight query with
+	// id QueryID), "ping".
 	Op string `json:"op"`
 	// Auth must match the server token when one is configured.
 	Auth   string           `json:"auth,omitempty"`
@@ -59,6 +61,8 @@ type Request struct {
 	// milliseconds. It overrides the server's default query timeout and
 	// is clamped to the server's maximum; zero means "use the default".
 	TimeoutMs int `json:"timeoutMs,omitempty"`
+	// QueryID targets an in-flight query (op "cancelq").
+	QueryID uint64 `json:"queryId,omitempty"`
 }
 
 // StmtResult is one statement's outcome on the wire.
@@ -112,6 +116,11 @@ type Response struct {
 	TraceID string `json:"traceId,omitempty"`
 	// Traces carries the retained trace trees for op "trace".
 	Traces []obs.TraceTree `json:"traces,omitempty"`
+	// Statements carries the per-statement-shape statistics for op
+	// "statements".
+	Statements []obs.StmtStat `json:"statements,omitempty"`
+	// Queries carries the in-flight query table for op "ps".
+	Queries []obs.QueryInfo `json:"queries,omitempty"`
 	// Diagnostics carries every static-analysis finding for op "check":
 	// errors and lint warnings, sorted by source position. Present (with
 	// OK=false and a summary Error) when the script has errors, and with
@@ -269,6 +278,9 @@ func (s *Server) Shutdown(drain time.Duration) bool {
 		ln.Close()
 	}
 	s.mu.Unlock()
+	// Queries still running during the drain window show as "draining" in
+	// the live query table.
+	s.eng.Opts.Obs.MarkDraining()
 
 	drained := s.awaitIdle(drain)
 	s.cancelAll()
@@ -412,11 +424,24 @@ func (s *Server) dispatch(ctx context.Context, req *Request, eng *exec.Engine) *
 	case "exec", "execir":
 		// Only the execution ops pass admission control: the metadata and
 		// observability reads are cheap and must stay responsive when the
-		// engine is saturated.
-		if err := s.Gate.Acquire(ctx); err != nil {
+		// engine is saturated. While queued the request is visible in the
+		// live query table (state "queued") and cancelable by id; the wait
+		// rides the context into per-statement accounting.
+		qctx, qcancel := context.WithCancel(ctx)
+		defer qcancel()
+		fp, text := s.eng.Opts.Obs.FingerprintCached(req.Script)
+		if req.Op == "execir" {
+			fp, text = obs.Fingerprint("(compiled ir)")
+		}
+		lq := s.eng.Opts.Obs.StartQueuedQuery(fp, text, qcancel)
+		waitStart := time.Now()
+		err := s.Gate.Acquire(qctx)
+		lq.Finish()
+		if err != nil {
 			return admissionFailure(err)
 		}
 		defer s.Gate.Release()
+		ctx = exec.WithQueueWait(qctx, time.Since(waitStart))
 		if req.Op == "exec" {
 			return s.execScript(ctx, req, eng)
 		}
@@ -431,6 +456,18 @@ func (s *Server) dispatch(ctx context.Context, req *Request, eng *exec.Engine) *
 		return s.metrics()
 	case "trace":
 		return &Response{OK: true, Traces: s.eng.Opts.Obs.Traces()}
+	case "statements":
+		return &Response{OK: true, Statements: s.eng.Opts.Obs.Statements()}
+	case "ps":
+		return &Response{OK: true, Queries: s.eng.Opts.Obs.LiveQueries()}
+	case "cancelq":
+		if req.QueryID == 0 {
+			return fail(CodeBadRequest, "cancelq requires queryId")
+		}
+		if !s.eng.Opts.Obs.CancelQuery(req.QueryID) {
+			return fail(CodeBadRequest, "no such query id %d", req.QueryID)
+		}
+		return &Response{OK: true, Results: []StmtResult{{Message: fmt.Sprintf("canceled query %d", req.QueryID)}}}
 	}
 	return fail(CodeBadRequest, "unknown op %q", req.Op)
 }

@@ -74,7 +74,7 @@ func TestWALAppendReplay(t *testing.T) {
 		{Kind: KindStmt, IR: []byte{9}},
 	}
 	for _, r := range recs {
-		if err := st.Append(r); err != nil {
+		if _, err := st.Append(r); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -113,7 +113,7 @@ func TestWALTornTailTruncated(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if err := st.Append(&Record{Kind: KindStmt, IR: []byte{byte(i)}}); err != nil {
+		if _, err := st.Append(&Record{Kind: KindStmt, IR: []byte{byte(i)}}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -140,7 +140,7 @@ func TestWALTornTailTruncated(t *testing.T) {
 		t.Errorf("replayed %d records after torn tail, want 3", n)
 	}
 	// The torn bytes are gone: the next append lands on a clean boundary.
-	if err := st2.Append(&Record{Kind: KindStmt, IR: []byte{42}}); err != nil {
+	if _, err := st2.Append(&Record{Kind: KindStmt, IR: []byte{42}}); err != nil {
 		t.Fatal(err)
 	}
 	if st2.LastSeq() != 4 {
@@ -169,7 +169,7 @@ func TestWALBitFlipStopsReplay(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		if err := st.Append(&Record{Kind: KindStmt, IR: []byte{byte(i), byte(i), byte(i)}}); err != nil {
+		if _, err := st.Append(&Record{Kind: KindStmt, IR: []byte{byte(i), byte(i), byte(i)}}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -202,7 +202,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		if err := st.Append(&Record{Kind: KindStmt, IR: []byte{byte(i)}}); err != nil {
+		if _, err := st.Append(&Record{Kind: KindStmt, IR: []byte{byte(i)}}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -217,7 +217,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		t.Errorf("WAL not truncated after snapshot: %d bytes", st.WALSize())
 	}
 	// Sequence numbers keep rising across the truncation.
-	if err := st.Append(&Record{Kind: KindStmt, IR: []byte{99}}); err != nil {
+	if _, err := st.Append(&Record{Kind: KindStmt, IR: []byte{99}}); err != nil {
 		t.Fatal(err)
 	}
 	st.Close()

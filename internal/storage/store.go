@@ -121,23 +121,25 @@ func (s *Store) WALSize() int64 {
 
 // Append assigns the next sequence number to rec, frames it, appends it to
 // the WAL and (per the fsync policy) flushes it to stable storage. The
-// record is durable when Append returns without error.
-func (s *Store) Append(rec *Record) error {
+// record is durable when Append returns without error; the returned count
+// is the framed size in bytes (callers attribute WAL volume to the
+// statement that produced it).
+func (s *Store) Append(rec *Record) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	rec.Seq = s.lastSeq + 1
 	payload, err := encodePayload(rec)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	frame := encodeFrame(payload)
 	if _, err := s.f.Write(frame); err != nil {
-		return fmt.Errorf("graql: wal append: %w", err)
+		return 0, fmt.Errorf("graql: wal append: %w", err)
 	}
 	if s.fsync {
 		start := time.Now()
 		if err := s.f.Sync(); err != nil {
-			return fmt.Errorf("graql: wal fsync: %w", err)
+			return 0, fmt.Errorf("graql: wal fsync: %w", err)
 		}
 		if s.fsyncHist != nil {
 			s.fsyncHist.Observe(time.Since(start).Seconds())
@@ -149,7 +151,7 @@ func (s *Store) Append(rec *Record) error {
 		s.walBytesCtr.Add(int64(len(frame)))
 		s.walRecords.Inc()
 	}
-	return nil
+	return len(frame), nil
 }
 
 // Replay invokes fn for every WAL record newer than the snapshot, in log

@@ -1,0 +1,90 @@
+package web_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"graql/internal/obs"
+)
+
+// TestDebugStatementsEndpoint checks GET /debug/statements: literal
+// variants of one shape aggregate under a single fingerprint row.
+func TestDebugStatementsEndpoint(t *testing.T) {
+	ts, _ := obsServer(t)
+	for _, id := range []string{"p", "q", "r"} {
+		out := postQuery(t, ts, fmt.Sprintf(`{"script": "select B.id from graph City (id = '%s') --road--> def B: City ( )"}`, id))
+		if out["ok"] != true {
+			t.Fatalf("query response: %v", out)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/debug/statements")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/statements status = %d", resp.StatusCode)
+	}
+	var body struct {
+		Evicted    int64          `json:"evicted"`
+		Statements []obs.StmtStat `json:"statements"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	var calls int64
+	for _, st := range body.Statements {
+		if st.Calls >= 3 && st.Fingerprint != "" {
+			calls = st.Calls
+		}
+	}
+	if calls != 3 {
+		t.Fatalf("no shape aggregated 3 literal variants: %+v", body.Statements)
+	}
+}
+
+// TestDebugQueriesEndpoint checks the live table endpoint and the cancel
+// routes' error handling (the happy cancel path is covered end-to-end at
+// the TCP server layer).
+func TestDebugQueriesEndpoint(t *testing.T) {
+	ts, _ := obsServer(t)
+	resp, err := http.Get(ts.URL + "/debug/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/queries status = %d", resp.StatusCode)
+	}
+	var body struct {
+		Queries []obs.QueryInfo `json:"queries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Queries) != 0 {
+		t.Fatalf("idle server reports live queries: %+v", body.Queries)
+	}
+
+	for path, want := range map[string]int{
+		"/debug/queries/notanumber": http.StatusBadRequest,
+		"/debug/queries/99999":      http.StatusNotFound,
+	} {
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dresp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(dresp.Body)
+		dresp.Body.Close()
+		if dresp.StatusCode != want {
+			t.Errorf("DELETE %s status = %d (%s), want %d", path, dresp.StatusCode, b, want)
+		}
+	}
+}

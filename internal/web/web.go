@@ -13,6 +13,7 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
 	"graql/internal/diag"
@@ -50,6 +51,9 @@ type Handler struct {
 //	GET  /metrics      Prometheus text exposition of the engine registry
 //	GET  /debug/slow   retained slow queries as JSON
 //	GET  /debug/traces retained trace trees as JSON (oldest first)
+//	GET  /debug/statements  per-statement-shape statistics as JSON
+//	GET  /debug/queries     in-flight query table as JSON
+//	DELETE /debug/queries/{id}  cancel the in-flight query with that id
 //	GET  /healthz      liveness probe (200 once serving)
 //	GET  /readyz       readiness probe (catalog reachable + worker pool responsive)
 //	GET  /debug/pprof/ the standard Go profiling endpoints
@@ -66,6 +70,9 @@ func New(eng *exec.Engine) *Handler {
 	h.mux.HandleFunc("GET /metrics", h.metrics)
 	h.mux.HandleFunc("GET /debug/slow", h.slow)
 	h.mux.HandleFunc("GET /debug/traces", h.traces)
+	h.mux.HandleFunc("GET /debug/statements", h.statements)
+	h.mux.HandleFunc("GET /debug/queries", h.liveQueries)
+	h.mux.HandleFunc("DELETE /debug/queries/{id}", h.cancelQuery)
 	h.mux.HandleFunc("GET /healthz", h.healthz)
 	h.mux.HandleFunc("GET /readyz", h.readyz)
 	h.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -100,6 +107,46 @@ func (h *Handler) traces(w http.ResponseWriter, _ *http.Request) {
 		"total":   reg.TraceCount(),
 		"traces":  emptyNotNull(reg.Traces()),
 	})
+}
+
+// statements dumps the per-statement-shape statistics as JSON, most
+// expensive shape first.
+func (h *Handler) statements(w http.ResponseWriter, _ *http.Request) {
+	reg := h.eng.Opts.Obs
+	stats := reg.Statements()
+	if stats == nil {
+		stats = []obs.StmtStat{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"evicted":    reg.StatementsEvicted(),
+		"statements": stats,
+	})
+}
+
+// liveQueries dumps the in-flight query table as JSON, oldest query
+// first.
+func (h *Handler) liveQueries(w http.ResponseWriter, _ *http.Request) {
+	qs := h.eng.Opts.Obs.LiveQueries()
+	if qs == nil {
+		qs = []obs.QueryInfo{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"queries": qs})
+}
+
+// cancelQuery cooperatively cancels one in-flight query by id.
+func (h *Handler) cancelQuery(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil || id == 0 {
+		writeJSON(w, http.StatusBadRequest,
+			map[string]any{"ok": false, "error": "bad query id"})
+		return
+	}
+	if !h.eng.Opts.Obs.CancelQuery(id) {
+		writeJSON(w, http.StatusNotFound,
+			map[string]any{"ok": false, "error": fmt.Sprintf("no such query id %d", id)})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "canceled": id})
 }
 
 // emptyNotNull keeps the traces field a JSON array even when empty.
@@ -190,15 +237,25 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
 	}
-	if err := h.Gate.Acquire(ctx); err != nil {
-		resp := queryResponse{Error: err.Error()}
+	// While queued for admission the request is visible in the live query
+	// table (state "queued") and cancelable by id; the measured wait rides
+	// the context into per-statement accounting.
+	qctx, qcancel := context.WithCancel(ctx)
+	defer qcancel()
+	fp, text := h.eng.Opts.Obs.FingerprintCached(req.Script)
+	lq := h.eng.Opts.Obs.StartQueuedQuery(fp, text, qcancel)
+	waitStart := time.Now()
+	gateErr := h.Gate.Acquire(qctx)
+	lq.Finish()
+	if gateErr != nil {
+		resp := queryResponse{Error: gateErr.Error()}
 		status := http.StatusOK
 		switch {
-		case errors.Is(err, server.ErrOverloaded):
+		case errors.Is(gateErr, server.ErrOverloaded):
 			resp.Code = server.CodeOverloaded
 			status = http.StatusServiceUnavailable
 			w.Header().Set("Retry-After", "1")
-		case errors.Is(err, context.DeadlineExceeded):
+		case errors.Is(gateErr, context.DeadlineExceeded):
 			resp.Code = server.CodeDeadline
 		default:
 			resp.Code = server.CodeCanceled
@@ -208,6 +265,7 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer h.Gate.Release()
+	ctx = exec.WithQueueWait(qctx, time.Since(waitStart))
 
 	// Request tracing: when the registry retains traces, the whole script
 	// runs under a "web" root span; an incoming W3C traceparent header

@@ -1,0 +1,299 @@
+package graql_test
+
+import (
+	"context"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"graql"
+)
+
+// TestPrometheusExpositionConformance populates a registry with every
+// class of engine metric (counters, gauges, histograms, labeled
+// per-statement series, build info, WAL counters) and then walks the
+// rendered text exposition line by line, checking the structural rules
+// of the Prometheus text format 0.0.4: well-formed names and labels,
+// one TYPE per family, contiguous family blocks, no duplicate series,
+// and internally consistent histograms (ascending le, non-decreasing
+// cumulative buckets, +Inf bucket equal to _count).
+func TestPrometheusExpositionConformance(t *testing.T) {
+	db, err := graql.OpenDurable(t.TempDir(), false,
+		graql.WithMetrics(), graql.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Exec(`
+create table Cities(id varchar(10), country varchar(2), population integer)
+create table Roads(src varchar(10), dst varchar(10), km integer)
+create vertex City(id) from table Cities
+create edge road with vertices (City as A, City as B)
+from table Roads
+where Roads.src = A.id and Roads.dst = B.id
+`); err != nil {
+		t.Fatal(err)
+	}
+	if err := graql.IngestCSV(db, "Cities", "PDX,US,650000\nSEA,US,750000\nYVR,CA,680000\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := graql.IngestCSV(db, "Roads", "PDX,SEA,280\nSEA,YVR,230\n"); err != nil {
+		t.Fatal(err)
+	}
+	// A few statement shapes: success, literal variants, an execution
+	// error, and a canceled context — exercises stmt counters and codes.
+	db.MustExec(`select * from graph City (country = 'US') --road--> City ( )`)
+	db.MustExec(`select B.id from graph City (id = 'PDX') --road--> def B: City ( )`)
+	db.MustExec(`select B.id from graph City (id = 'SEA') --road--> def B: City ( )`)
+	if _, err := db.Exec(`select * from table NoSuchTable`); err == nil {
+		t.Fatal("expected an execution error")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := db.ExecContext(ctx, `select * from graph City ( ) --road--> City ( )`); err == nil {
+		t.Fatal("expected a canceled query")
+	}
+
+	text := db.MetricsText()
+	if text == "" {
+		t.Fatal("empty exposition")
+	}
+	checkExposition(t, text)
+
+	// Spot-check the satellite families are actually present.
+	for _, family := range []string{"process_start_time_seconds", "graql_build_info", "graql_stmt_calls_total"} {
+		if !strings.Contains(text, "# TYPE "+family+" ") {
+			t.Errorf("exposition is missing family %s", family)
+		}
+	}
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// checkExposition is a small strict parser for the Prometheus text
+// format, asserting the structural invariants scrapers rely on.
+func checkExposition(t *testing.T, text string) {
+	t.Helper()
+	type histKey struct{ family, labels string }
+	type histState struct {
+		les        []float64
+		cums       []float64
+		count, sum float64
+		hasCount   bool
+		hasSum     bool
+	}
+	var (
+		families   = map[string]string{} // family -> type
+		closed     = map[string]bool{}   // families whose block has ended
+		curFamily  string
+		seenSeries = map[string]bool{}
+		hists      = map[histKey]*histState{}
+	)
+	endFamily := func() {
+		if curFamily != "" {
+			closed[curFamily] = true
+		}
+	}
+	for ln, line := range strings.Split(text, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, found := strings.Cut(rest, " ")
+			if !found || !metricNameRe.MatchString(name) {
+				t.Fatalf("line %d: malformed HELP: %q", lineNo, line)
+			}
+			if name != curFamily {
+				endFamily()
+			}
+			if closed[name] {
+				t.Fatalf("line %d: family %s re-opened after its block ended", lineNo, name)
+			}
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, found := strings.Cut(rest, " ")
+			if !found || !metricNameRe.MatchString(name) {
+				t.Fatalf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			if typ != "counter" && typ != "gauge" && typ != "histogram" && typ != "summary" && typ != "untyped" {
+				t.Fatalf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			if _, dup := families[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for family %s", lineNo, name)
+			}
+			if name != curFamily {
+				endFamily()
+			}
+			if closed[name] {
+				t.Fatalf("line %d: family %s re-opened after its block ended", lineNo, name)
+			}
+			families[name] = typ
+			curFamily = name
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+
+		// Series line: name[{labels}] value
+		name := line
+		labels := ""
+		rest := ""
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			name = line[:i]
+			j := strings.IndexByte(line[i:], '}')
+			if j < 0 {
+				t.Fatalf("line %d: unterminated label set: %q", lineNo, line)
+			}
+			labels = line[i+1 : i+j]
+			rest = strings.TrimPrefix(line[i+j+1:], " ")
+		} else {
+			var found bool
+			name, rest, found = strings.Cut(line, " ")
+			if !found {
+				t.Fatalf("line %d: no value: %q", lineNo, line)
+			}
+		}
+		if !metricNameRe.MatchString(name) {
+			t.Fatalf("line %d: bad metric name %q", lineNo, name)
+		}
+		value, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", lineNo, rest, err)
+		}
+
+		// Validate labels and extract le for histogram buckets.
+		le := math.NaN()
+		var otherLabels []string
+		if labels != "" {
+			for _, pair := range splitLabelPairs(labels) {
+				k, v, found := strings.Cut(pair, "=")
+				if !found || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+					t.Fatalf("line %d: malformed label pair %q", lineNo, pair)
+				}
+				if !labelNameRe.MatchString(k) {
+					t.Fatalf("line %d: bad label name %q", lineNo, k)
+				}
+				unq, err := strconv.Unquote(v)
+				if err != nil {
+					t.Fatalf("line %d: bad label value %s: %v", lineNo, v, err)
+				}
+				if k == "le" {
+					le, err = strconv.ParseFloat(unq, 64)
+					if err != nil {
+						t.Fatalf("line %d: bad le %q: %v", lineNo, unq, err)
+					}
+				} else {
+					otherLabels = append(otherLabels, pair)
+				}
+			}
+		}
+
+		// Resolve the series back to its family (histogram series add a
+		// _bucket/_sum/_count suffix to the family name).
+		family := name
+		suffix := ""
+		if _, ok := families[family]; !ok {
+			for _, s := range []string{"_bucket", "_sum", "_count"} {
+				if base, ok := strings.CutSuffix(name, s); ok {
+					if families[base] == "histogram" {
+						family, suffix = base, s
+						break
+					}
+				}
+			}
+		}
+		typ, declared := families[family]
+		if !declared {
+			t.Fatalf("line %d: series %s has no TYPE declaration", lineNo, name)
+		}
+		if family != curFamily {
+			if closed[family] {
+				t.Fatalf("line %d: series %s outside its family's contiguous block", lineNo, name)
+			}
+			t.Fatalf("line %d: series %s appears under family %s's block", lineNo, name, curFamily)
+		}
+		seriesKey := name + "{" + labels + "}"
+		if seenSeries[seriesKey] {
+			t.Fatalf("line %d: duplicate series %s", lineNo, seriesKey)
+		}
+		seenSeries[seriesKey] = true
+
+		if typ == "histogram" {
+			hk := histKey{family, strings.Join(otherLabels, ",")}
+			h := hists[hk]
+			if h == nil {
+				h = &histState{}
+				hists[hk] = h
+			}
+			switch suffix {
+			case "_bucket":
+				if math.IsNaN(le) {
+					t.Fatalf("line %d: histogram bucket without le: %q", lineNo, line)
+				}
+				h.les = append(h.les, le)
+				h.cums = append(h.cums, value)
+			case "_count":
+				h.count, h.hasCount = value, true
+			case "_sum":
+				h.sum, h.hasSum = value, true
+			default:
+				t.Fatalf("line %d: bare series %s in histogram family", lineNo, name)
+			}
+		}
+	}
+
+	if len(seenSeries) == 0 {
+		t.Fatal("exposition contained no series")
+	}
+	for hk, h := range hists {
+		if !h.hasCount || !h.hasSum {
+			t.Errorf("histogram %s{%s}: missing _count or _sum", hk.family, hk.labels)
+			continue
+		}
+		if len(h.les) == 0 || !math.IsInf(h.les[len(h.les)-1], +1) {
+			t.Errorf("histogram %s{%s}: last bucket le = %v, want +Inf", hk.family, hk.labels, h.les)
+			continue
+		}
+		for i := 1; i < len(h.les); i++ {
+			if h.les[i] <= h.les[i-1] {
+				t.Errorf("histogram %s{%s}: le not ascending: %v", hk.family, hk.labels, h.les)
+			}
+			if h.cums[i] < h.cums[i-1] {
+				t.Errorf("histogram %s{%s}: cumulative buckets decrease: %v", hk.family, hk.labels, h.cums)
+			}
+		}
+		if inf := h.cums[len(h.cums)-1]; inf != h.count {
+			t.Errorf("histogram %s{%s}: +Inf bucket %v != _count %v", hk.family, hk.labels, inf, h.count)
+		}
+	}
+}
+
+// splitLabelPairs splits `k1="v1",k2="v2"` on commas outside quotes.
+func splitLabelPairs(s string) []string {
+	var out []string
+	start, inQuote := 0, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++
+			}
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}

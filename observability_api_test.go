@@ -1,0 +1,131 @@
+package graql_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"graql"
+)
+
+// TestStatementsAPI checks the embedded-API view of the statement stats
+// store: literal variants of one shape aggregate under one fingerprint.
+func TestStatementsAPI(t *testing.T) {
+	db := graql.Open(graql.WithMetrics(), graql.WithWorkers(2))
+	if _, err := db.Exec(`
+create table Cities(id varchar(10), country varchar(2), population integer, founded date)
+create table Roads(src varchar(10), dst varchar(10), km integer)
+create vertex City(id) from table Cities
+create edge road with vertices (City as A, City as B)
+from table Roads
+where Roads.src = A.id and Roads.dst = B.id
+`); err != nil {
+		t.Fatal(err)
+	}
+	if err := graql.IngestCSV(db, "Cities", "PDX,US,650000,1851-02-08\nSEA,US,750000,1851-11-13\nYVR,CA,680000,1886-04-06\n"); err != nil {
+		t.Fatal(err)
+	}
+	if err := graql.IngestCSV(db, "Roads", "PDX,SEA,280\nSEA,YVR,230\n"); err != nil {
+		t.Fatal(err)
+	}
+	db.MustExec(`select B.id from graph City (id = 'PDX') --road--> def B: City ( )`)
+	db.MustExec(`select B.id from graph City (id = 'SEA') --road--> def B: City ( )`)
+
+	var shape *graql.StmtStat
+	for _, st := range db.Statements() {
+		if strings.HasPrefix(st.Query, "select b.id from graph") {
+			s := st
+			shape = &s
+		}
+	}
+	if shape == nil {
+		t.Fatalf("query shape missing from Statements: %+v", db.Statements())
+	}
+	if shape.Calls != 2 {
+		t.Errorf("calls = %d, want 2 (literal variants must share a fingerprint)", shape.Calls)
+	}
+	if shape.Rows != 2 || shape.MeanUs <= 0 {
+		t.Errorf("rows/mean = %d/%d", shape.Rows, shape.MeanUs)
+	}
+	if !strings.Contains(shape.Query, "id = ?") {
+		t.Errorf("normalized text kept a literal: %q", shape.Query)
+	}
+}
+
+// TestCancelQueryAPI kills a long-running statement by live-query id and
+// checks the caller gets ErrCanceled while the stats record the kill.
+func TestCancelQueryAPI(t *testing.T) {
+	db := graql.Open(graql.WithMetrics(), graql.WithWorkers(2))
+	if _, err := db.Exec(`
+create table Node(id varchar(8))
+create table Dense(src varchar(8), dst varchar(8))
+create vertex NV(id) from table Node
+create edge e with vertices (NV as A, NV as B)
+from table Dense
+where Dense.src = A.id and Dense.dst = B.id
+`); err != nil {
+		t.Fatal(err)
+	}
+	const n = 60
+	var nodes, edges strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&nodes, "n%03d\n", i)
+		for j := 0; j < n; j++ {
+			fmt.Fprintf(&edges, "n%03d,n%03d\n", i, j)
+		}
+	}
+	if err := graql.IngestCSV(db, "Node", nodes.String()); err != nil {
+		t.Fatal(err)
+	}
+	if err := graql.IngestCSV(db, "Dense", edges.String()); err != nil {
+		t.Fatal(err)
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := db.Exec(`select A.id from graph def A: NV ( ) --e--> def B: NV ( ) --e--> def C: NV ( ) --e--> def D: NV (id < A.id and id > A.id)`)
+		errc <- err
+	}()
+
+	deadline := time.Now().Add(30 * time.Second)
+	var id uint64
+	for id == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("runaway query never appeared in LiveQueries")
+		}
+		select {
+		case err := <-errc:
+			t.Fatalf("query finished before cancel: %v", err)
+		default:
+		}
+		for _, q := range db.LiveQueries() {
+			if q.State == "running" && q.Rows > 0 {
+				id = q.ID
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !db.CancelQuery(id) {
+		t.Fatalf("CancelQuery(%d) found nothing", id)
+	}
+	select {
+	case err := <-errc:
+		if !errors.Is(err, graql.ErrCanceled) {
+			t.Fatalf("caller error = %v, want ErrCanceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("query did not abort after CancelQuery")
+	}
+	if db.CancelQuery(id) {
+		t.Error("CancelQuery succeeded on a finished id")
+	}
+	var canceled int64
+	for _, st := range db.Statements() {
+		canceled += st.Canceled
+	}
+	if canceled != 1 {
+		t.Errorf("stats recorded %d cancellations, want 1", canceled)
+	}
+}
