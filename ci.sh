@@ -1,7 +1,8 @@
 #!/bin/sh
 # CI gate: formatting, vet, static analysis, build, the full test suite
 # under the race detector with a coverage floor, fuzz smoke tests, an
-# advisory benchmark comparison, and an end-to-end server smoke test.
+# advisory benchmark comparison, an end-to-end server smoke test, and an
+# open-loop load/latency smoke against the running server.
 # Run from the repository root; fails fast on the first problem (except
 # the advisory benchmark step).
 #
@@ -16,7 +17,7 @@ set -eu
 # Fail the run when total statement coverage drops below this floor
 # (percent). Raise it as coverage grows; never lower it to make a PR
 # pass.
-COVERAGE_FLOOR=71.0
+COVERAGE_FLOOR=73.0
 
 # Per-target budget for the fuzz smoke (override for longer local runs:
 # FUZZTIME=60s ./ci.sh).
@@ -174,6 +175,66 @@ curl -fsS http://127.0.0.1:17688/debug/traces | grep -c '"spanCount"' >/dev/null
 curl -fsS http://127.0.0.1:17688/debug/statements >"$tmpdir/statements.out"
 grep -q '"fingerprint"' "$tmpdir/statements.out"
 curl -fsS http://127.0.0.1:17688/debug/queries | grep -q '"queries"'
+
+echo "== smoke: prepared statements over both wires =="
+# Prepare over TCP, execute the same handle over HTTP (the registry is
+# shared between front-ends), then execute and deallocate over TCP.
+echo 'select top 3 id from table Types order by id asc' >"$tmpdir/prep.graql"
+stmt=$("$tmpdir/gems-client" -addr 127.0.0.1:17687 prepare "$tmpdir/prep.graql")
+curl -fsS -X POST http://127.0.0.1:17688/execute \
+    -d "{\"stmt\": \"$stmt\"}" | grep -q '"ok":true'
+"$tmpdir/gems-client" -addr 127.0.0.1:17687 execute "$stmt" | grep -q 't1'
+"$tmpdir/gems-client" -addr 127.0.0.1:17687 deallocate "$stmt" >/dev/null
+if "$tmpdir/gems-client" -addr 127.0.0.1:17687 execute "$stmt" >/dev/null 2>&1; then
+    echo "execute of a deallocated handle must fail" >&2
+    exit 1
+fi
+
+echo "== load smoke: open-loop serving-path gate (100 QPS x 5s) =="
+# Drive the running smoke server through the admission gate with the
+# open-loop generator: prepared Berlin executes at a fixed rate across
+# pipelined connections. Any non-overloaded error fails the build;
+# "overloaded" rejections are deliberate admission control, not errors.
+go build -o "$tmpdir/benchrunner" ./cmd/benchrunner
+"$tmpdir/benchrunner" -loadgen -addr 127.0.0.1:17687 \
+    -qps 100 -duration 5s -conns 4 -pipeline 8 \
+    -report "$tmpdir/loadgen-report.json" >"$tmpdir/loadgen.out" 2>&1 || {
+    echo "load generator failed:" >&2
+    cat "$tmpdir/loadgen.out" >&2
+    exit 1
+}
+cat "$tmpdir/loadgen.out"
+loadline=$(grep '^LOADGEN ' "$tmpdir/loadgen.out")
+lg_errors=$(echo "$loadline" | sed -n 's/.* errors=\([0-9]*\).*/\1/p')
+lg_p99=$(echo "$loadline" | sed -n 's/.*p99_us=\([0-9]*\).*/\1/p')
+if [ -z "$lg_errors" ] || [ -z "$lg_p99" ]; then
+    echo "load smoke: could not parse the LOADGEN summary line" >&2
+    exit 1
+fi
+if [ "$lg_errors" -ne 0 ]; then
+    echo "load smoke: $lg_errors unexpected errors (see report above)" >&2
+    exit 1
+fi
+# Generous sanity bound only — shared runners are too noisy for a tight
+# latency gate. A p99 beyond 2 s on this tiny workload means the serving
+# path itself is broken, not the runner.
+if [ "$lg_p99" -gt 2000000 ]; then
+    echo "load smoke: p99 ${lg_p99}us exceeds the 2s sanity bound" >&2
+    exit 1
+fi
+if [ -n "${CI_ARTIFACTS:-}" ]; then
+    mkdir -p "$CI_ARTIFACTS"
+    cp "$tmpdir/loadgen-report.json" "$CI_ARTIFACTS/loadgen-report.json"
+fi
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+    {
+        echo "## Load smoke (open loop, 100 QPS x 5s, prepared executes)"
+        echo
+        sed -n '/^| metric/,/^$/p' "$tmpdir/loadgen.out"
+        echo
+        echo "\`$loadline\`"
+    } >>"$GITHUB_STEP_SUMMARY"
+fi
 
 echo "== smoke: live query table (ps -> cancelq round trip) =="
 # Build a complete digraph dense enough that a 4-hop pattern with a

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// The comparable plancache/* and serve/* benchmark keys must produce
+// positive per-call timings (BENCH_baseline.json embeds them and ci.sh
+// compares against it on every run).
+func TestServingBenchKeys(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench set timing loop")
+	}
+	*quick = true
+	out := make(map[string]int64)
+	plancacheBench(out)
+	serveBench(out)
+	for _, key := range []string{
+		"plancache/warm", "plancache/cold",
+		"serve/exec-text", "serve/prepare", "serve/execute-prepared",
+	} {
+		if out[key] <= 0 {
+			t.Errorf("%s = %d, want > 0", key, out[key])
+		}
+	}
+	// The whole point of the serving split: prepared execute must beat
+	// full text execution (generous 1x bound — timing noise must not
+	// flake CI; E15 asserts the real ratio).
+	if out["serve/execute-prepared"] > out["serve/exec-text"] {
+		t.Logf("prepared execute (%dns) did not beat exec-text (%dns) on this run",
+			out["serve/execute-prepared"], out["serve/exec-text"])
+	}
+}
+
+// E15 in quick mode must run end to end: its markdown table is pasted
+// into EXPERIMENTS.md and the ≥5× acceptance ratio is checked there.
+func TestE15RunsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation timing loop")
+	}
+	*quick = true
+	e15()
+}
+
+// traceSummary is embedded into every -json snapshot: it must produce a
+// non-empty span tree with per-layer timings.
+func TestTraceSummaryShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a traced Berlin query")
+	}
+	*quick = true
+	s := traceSummary()
+	if fmt.Sprint(s["spanCount"]) == "0" {
+		t.Errorf("spanCount = %v", s["spanCount"])
+	}
+	if depth, _ := s["depth"].(int); depth < 2 {
+		t.Errorf("depth = %v, want a nested span tree", s["depth"])
+	}
+	layers, _ := s["layerTimeUs"].(map[string]int64)
+	if layers["statement"] <= 0 {
+		t.Errorf("layerTimeUs = %v, want statement-layer time", layers)
+	}
+}
+
+func TestSynthTableAndLayerBuckets(t *testing.T) {
+	tb := synthTable(100, 10)
+	if tb.NumRows() != 100 || tb.NumCols() != 3 {
+		t.Errorf("synthTable: %dx%d", tb.NumRows(), tb.NumCols())
+	}
+	for action, want := range map[string]string{
+		"statement": "statement", "server": "statement", "web": "statement",
+		"sweep": "sweep", "cluster": "cluster", "superstep": "cluster",
+		"node": "cluster", "match": "operator",
+	} {
+		if got := layerOf(action); got != want {
+			t.Errorf("layerOf(%s) = %s, want %s", action, got, want)
+		}
+	}
+	*quick = true
+	if got := scales(); len(got) != 2 {
+		t.Errorf("quick scales = %v", got)
+	}
+}
+
+func TestTimingAndTableHelpers(t *testing.T) {
+	*quick = true
+	if d := benchTime(func() { time.Sleep(50 * time.Microsecond) }); d < 50*time.Microsecond {
+		t.Errorf("benchTime = %v, want >= 50µs", d)
+	}
+	if d := timeIt(func() { time.Sleep(50 * time.Microsecond) }); d < 50*time.Microsecond {
+		t.Errorf("timeIt = %v, want >= 50µs", d)
+	}
+	header("metric", "value")
+	row("x", "1")
+	if got := dur(1500 * time.Nanosecond); got != "1.5 µs" {
+		t.Errorf("dur(1.5µs) = %q", got)
+	}
+	if got := dur(2500 * time.Microsecond); got != "2.50 ms" {
+		t.Errorf("dur(2.5ms) = %q", got)
+	}
+	if got := dur(3 * time.Second); got != "3.00 s" {
+		t.Errorf("dur(3s) = %q", got)
+	}
+}

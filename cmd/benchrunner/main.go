@@ -45,7 +45,20 @@ var (
 	jsonPath  = flag.String("json", "", "write a JSON snapshot of the run's metrics registry to this file")
 	compare   = flag.String("compare", "", "compare the benchmark set against this baseline snapshot and exit nonzero on regression")
 	threshold = flag.Float64("threshold", 0.25, "fractional slowdown tolerated by -compare (0.25 = 25%)")
-	paramC    map[string]value.Value
+
+	// Load-generator mode (-loadgen): open-loop fixed-rate driving of a
+	// running gems-server over TCP, reporting sustained QPS and latency
+	// percentiles measured from each request's intended send time.
+	loadgen    = flag.Bool("loadgen", false, "run the open-loop load generator against -addr instead of experiments")
+	lgAddr     = flag.String("addr", "127.0.0.1:7687", "server address for -loadgen")
+	lgToken    = flag.String("token", "", "auth token for -loadgen")
+	lgQPS      = flag.Float64("qps", 200, "target request rate for -loadgen")
+	lgDuration = flag.Duration("duration", 5*time.Second, "how long -loadgen drives the server")
+	lgConns    = flag.Int("conns", 4, "TCP connections for -loadgen")
+	lgPipeline = flag.Int("pipeline", 0, "pipeline window per -loadgen connection (0 = synchronous)")
+	lgReport   = flag.String("report", "", "write the -loadgen result as JSON to this file")
+
+	paramC map[string]value.Value
 
 	// reg accumulates engine and cluster metrics across every experiment
 	// of the run; -json snapshots it.
@@ -58,6 +71,10 @@ func main() {
 	paramC, err = bsbm.TypedParams(bsbm.DefaultParams())
 	if err != nil {
 		fatal(err)
+	}
+	if *loadgen {
+		runLoadgen(*lgAddr, *lgToken, *lgQPS, *lgDuration, *lgConns, *lgPipeline, *lgReport)
+		return
 	}
 	fmt.Printf("benchrunner: GOMAXPROCS=%d, quick=%v\n", runtime.GOMAXPROCS(0), *quick)
 
@@ -87,6 +104,7 @@ func main() {
 		{"E12", e12, "Parallel relational operators"},
 		{"E13", e13, "Durability cost (WAL / fsync ablation)"},
 		{"E14", e14, "Per-statement observability overhead"},
+		{"E15", e15, "Prepared statements & plan-cache ablation"},
 	}
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -174,7 +192,87 @@ func benchSet() map[string]int64 {
 	tableopsBench(out)
 	dmlBench(out)
 	obsBench(out)
+	plancacheBench(out)
+	serveBench(out)
 	return out
+}
+
+// e15Query is the serving-path workload for the plan-cache and
+// prepared-statement benchmarks: a point probe over the small Berlin
+// Types table guarded by a long conjunction of constant predicates
+// (generated rule guards, the shape template-driven dashboards emit).
+// The front-end pays for every guard — lexing, parsing, type-checking,
+// lint — while the planner's constant folding (expr.Fold) collapses
+// them out of the executed plan, so per-call cost is dominated by
+// exactly the work prepare/execute and the plan cache amortize away.
+// It is side-effect-free (no into), so its plan is cacheable and
+// repeated execution never moves the catalog epoch.
+var e15Query = func() string {
+	var sb strings.Builder
+	sb.WriteString("select top 5 id, subclassOf, publisher, date from table Types\nwhere id = 't1'")
+	for i := 0; i < 32; i++ {
+		fmt.Fprintf(&sb, "\n  and 'region%d' <> 'blocked%d' and %d * 10 + 7 > %d", i, i, i, i)
+	}
+	sb.WriteString("\norder by id asc, subclassOf desc, publisher asc")
+	return sb.String()
+}()
+
+// plancacheBench times one serving call of the point query with the
+// fingerprint-keyed plan cache warm versus disabled: the pair isolates
+// what re-running semantic analysis costs per call.
+func plancacheBench(out map[string]int64) {
+	const iters = 200
+	warm := loadBerlin(1, 0, true)
+	cold := loadBerlinPlanCache(1, -1)
+	if _, err := warm.ExecScript(e15Query, nil); err != nil { // populate the cache
+		fatal(err)
+	}
+	out["plancache/warm"] = benchTime(func() {
+		for i := 0; i < iters; i++ {
+			if _, err := warm.ExecScript(e15Query, nil); err != nil {
+				fatal(err)
+			}
+		}
+	}).Nanoseconds() / iters
+	out["plancache/cold"] = benchTime(func() {
+		for i := 0; i < iters; i++ {
+			if _, err := cold.ExecScript(e15Query, nil); err != nil {
+				fatal(err)
+			}
+		}
+	}).Nanoseconds() / iters
+}
+
+// serveBench times the three per-request serving paths on one warm
+// engine: full text execution, one-time prepare, and prepared execute.
+func serveBench(out map[string]int64) {
+	const iters = 200
+	e := loadBerlin(1, 0, true)
+	p, err := e.Prepare(e15Query)
+	if err != nil {
+		fatal(err)
+	}
+	out["serve/exec-text"] = benchTime(func() {
+		for i := 0; i < iters; i++ {
+			if _, err := e.ExecScript(e15Query, nil); err != nil {
+				fatal(err)
+			}
+		}
+	}).Nanoseconds() / iters
+	out["serve/prepare"] = benchTime(func() {
+		for i := 0; i < iters; i++ {
+			if _, err := e.Prepare(e15Query); err != nil {
+				fatal(err)
+			}
+		}
+	}).Nanoseconds() / iters
+	out["serve/execute-prepared"] = benchTime(func() {
+		for i := 0; i < iters; i++ {
+			if _, err := e.ExecPrepared(p, nil); err != nil {
+				fatal(err)
+			}
+		}
+	}).Nanoseconds() / iters
 }
 
 var sinkFP uint64
@@ -446,6 +544,21 @@ func loadBerlin(sf, workers int, reverse bool) *exec.Engine {
 	opts := exec.DefaultOptions()
 	opts.Workers = workers
 	opts.ReverseIndexes = reverse
+	opts.Obs = reg
+	opts.FileOpener = opener(bsbm.Generate(bsbm.Config{ScaleFactor: sf, Seed: 42}))
+	e := exec.New(opts)
+	if _, err := e.ExecScript(bsbm.FullDDL, nil); err != nil {
+		fatal(err)
+	}
+	return e
+}
+
+// loadBerlinPlanCache is loadBerlin with an explicit plan-cache
+// configuration (-1 disables the cache entirely).
+func loadBerlinPlanCache(sf, planCache int) *exec.Engine {
+	opts := exec.DefaultOptions()
+	opts.ReverseIndexes = true
+	opts.PlanCache = planCache
 	opts.Obs = reg
 	opts.FileOpener = opener(bsbm.Generate(bsbm.Config{ScaleFactor: sf, Seed: 42}))
 	e := exec.New(opts)
@@ -1085,4 +1198,72 @@ func e14() {
 		pct(agg, none), dur((agg-none)/time.Duration(queries)))
 	fmt.Printf("stmt layer over aggregate:     %+.2f%% (%s per query)\n",
 		pct(full, agg), dur((full-agg)/time.Duration(queries)))
+}
+
+// e15 ablates the serving path of the prepared-statement tentpole on
+// the point-anchored similarity query: cold text execution (plan cache
+// disabled: lex + parse + analyze + run, the pre-PR behavior), warm
+// text execution (lex + parse, plan from the fingerprint-keyed cache),
+// and prepared execute (run only — the front-end ran once at prepare).
+// The interleaved-minimum discipline of e14 applies: the deltas are
+// microseconds, so each configuration keeps its best round.
+func e15() {
+	const batch = 50
+	cold := loadBerlinPlanCache(1, -1)
+	warm := loadBerlinPlanCache(1, 0)
+	prep := loadBerlinPlanCache(1, 0)
+	p, err := prep.Prepare(e15Query)
+	if err != nil {
+		fatal(err)
+	}
+	runs := []struct {
+		name string
+		fn   func()
+	}{
+		{"cold exec (no plan cache)", func() {
+			for i := 0; i < batch; i++ {
+				if _, err := cold.ExecScript(e15Query, nil); err != nil {
+					fatal(err)
+				}
+			}
+		}},
+		{"exec + plan cache (warm)", func() {
+			for i := 0; i < batch; i++ {
+				if _, err := warm.ExecScript(e15Query, nil); err != nil {
+					fatal(err)
+				}
+			}
+		}},
+		{"prepared execute", func() {
+			for i := 0; i < batch; i++ {
+				if _, err := prep.ExecPrepared(p, nil); err != nil {
+					fatal(err)
+				}
+			}
+		}},
+	}
+	best := make([]time.Duration, len(runs))
+	for i, r := range runs {
+		r.fn() // warmup (and plan-cache population for the warm config)
+		best[i] = time.Duration(1<<63 - 1)
+	}
+	for round := 0; round < reps()*4+4; round++ {
+		for k := range runs {
+			i := (round + k) % len(runs)
+			start := time.Now()
+			runs[i].fn()
+			if d := time.Since(start); d < best[i] {
+				best[i] = d
+			}
+		}
+	}
+	header("serving path", "batch of "+fmt.Sprint(batch), "per call", "speedup vs cold")
+	for i, r := range runs {
+		row(r.name, dur(best[i]), dur(best[i]/batch),
+			fmt.Sprintf("%.1f×", float64(best[0])/float64(best[i])))
+	}
+	fmt.Printf("\nprepared execute vs cold exec: %.1f× lower server-side cost per call\n",
+		float64(best[0])/float64(best[2]))
+	hits, misses, _, size := warm.PlanCacheStats()
+	fmt.Printf("warm engine plan cache: %d hits, %d misses, %d entries\n", hits, misses, size)
 }

@@ -40,6 +40,8 @@ func main() {
 		dialTimeout = flag.Duration("dial-timeout", 5*time.Second, "TCP connect timeout")
 		timeout     = flag.Duration("timeout", 0, "per-query deadline, propagated to the server as timeoutMs (0 = server default)")
 		retries     = flag.Int("retries", 2, "retries for idempotent requests and overloaded rejections (capped exponential backoff)")
+		pipeline    = flag.Int("pipeline", 0, "pipeline exec/execute requests with this in-flight window (0 = synchronous)")
+		repeat      = flag.Int("repeat", 1, "send the exec/execute request this many times (with -pipeline: overlapped)")
 	)
 	flag.Parse()
 	logger, err := obs.NewLogger(os.Stderr, *logLevel, *logFormat)
@@ -71,6 +73,12 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *pipeline > 0 || *repeat > 1 {
+			runRepeated(cl, *pipeline, *repeat, func() *server.Request {
+				return &server.Request{Op: "exec", Script: script, Params: params}
+			})
+			break
+		}
 		resp, err := cl.Exec(script, params)
 		printResults(resp)
 		if logger != nil && resp != nil {
@@ -79,6 +87,43 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	case "prepare":
+		if flag.NArg() < 2 {
+			usage()
+		}
+		stmt, err := cl.Prepare(readScript(flag.Arg(1)))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(stmt)
+	case "execute":
+		if flag.NArg() < 2 {
+			usage()
+		}
+		stmt := flag.Arg(1)
+		params, err := parseParams(flag.Args()[2:])
+		if err != nil {
+			fatal(err)
+		}
+		if *pipeline > 0 || *repeat > 1 {
+			runRepeated(cl, *pipeline, *repeat, func() *server.Request {
+				return &server.Request{Op: "execute", Stmt: stmt, Params: params}
+			})
+			break
+		}
+		resp, err := cl.Execute(stmt, params)
+		printResults(resp)
+		if err != nil {
+			fatal(err)
+		}
+	case "deallocate":
+		if flag.NArg() < 2 {
+			usage()
+		}
+		if err := cl.Deallocate(flag.Arg(1)); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("deallocated %s\n", flag.Arg(1))
 	case "check":
 		if flag.NArg() < 2 {
 			usage()
@@ -154,6 +199,64 @@ func main() {
 	}
 }
 
+// runRepeated sends the same request repeat times — pipelined with the
+// given in-flight window when window > 0, else synchronously — and
+// prints the last response plus a throughput summary.
+func runRepeated(cl *client.Client, window, repeat int, mk func() *server.Request) {
+	if repeat < 1 {
+		repeat = 1
+	}
+	var (
+		last   *server.Response
+		errs   int
+		lastEE error
+		start  = time.Now()
+	)
+	if window > 0 {
+		p := cl.Pipeline(window)
+		futs := make([]*client.Future, 0, repeat)
+		for i := 0; i < repeat; i++ {
+			fut, err := p.Send(mk())
+			if err != nil {
+				fatal(err)
+			}
+			futs = append(futs, fut)
+		}
+		for _, fut := range futs {
+			resp, err := fut.Wait()
+			if err != nil {
+				errs++
+				lastEE = err
+			}
+			if resp != nil {
+				last = resp
+			}
+		}
+		if err := p.Close(); err != nil {
+			fatal(err)
+		}
+	} else {
+		for i := 0; i < repeat; i++ {
+			resp, err := cl.RoundTrip(mk())
+			if err != nil {
+				errs++
+				lastEE = err
+			}
+			if resp != nil {
+				last = resp
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	printResults(last)
+	fmt.Printf("%d request(s), %d error(s) in %v (%.0f req/s, pipeline window %d)\n",
+		repeat, errs, elapsed.Round(time.Microsecond),
+		float64(repeat)/elapsed.Seconds(), window)
+	if errs > 0 {
+		fatal(lastEE)
+	}
+}
+
 func readScript(arg string) string {
 	if arg == "-" {
 		data, err := io.ReadAll(os.Stdin)
@@ -221,7 +324,10 @@ func printResults(resp *server.Response) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  gems-client [-addr host:port] [-token t] exec <script.graql|-> [name[:type]=value ...]
+  gems-client [-addr host:port] [-token t] [-pipeline N] [-repeat N] exec <script.graql|-> [name[:type]=value ...]
+  gems-client [-addr host:port] [-token t] prepare <script.graql|->
+  gems-client [-addr host:port] [-token t] [-pipeline N] [-repeat N] execute <stmt-id> [name[:type]=value ...]
+  gems-client [-addr host:port] [-token t] deallocate <stmt-id>
   gems-client [-addr host:port] [-token t] check <script.graql|->
   gems-client [-addr host:port] [-token t] stats
   gems-client [-addr host:port] [-token t] trace

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"graql/internal/client"
+	"graql/internal/exec"
+	"graql/internal/server"
+)
+
+func TestParseParams(t *testing.T) {
+	got, err := parseParams([]string{"Start=p", "N:integer=7", "When:date=2020-01-02"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]server.Param{
+		"Start": {Type: "varchar", Value: "p"},
+		"N":     {Type: "integer", Value: "7"},
+		"When":  {Type: "date", Value: "2020-01-02"},
+	}
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("%s = %+v, want %+v", name, got[name], w)
+		}
+	}
+
+	if p, err := parseParams(nil); err != nil || p != nil {
+		t.Errorf("empty args: %v, %v", p, err)
+	}
+	if _, err := parseParams([]string{"no-equals"}); err == nil {
+		t.Error("malformed parameter accepted")
+	}
+}
+
+func TestReadScriptFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.graql")
+	if err := os.WriteFile(path, []byte("select 1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := readScript(path); got != "select 1" {
+		t.Errorf("readScript = %q", got)
+	}
+}
+
+func TestClip(t *testing.T) {
+	if got := clip("short", 60); got != "short" {
+		t.Errorf("clip(short) = %q", got)
+	}
+	long := strings.Repeat("a", 80)
+	got := clip(long, 60)
+	if len(got) != 60 || !strings.HasSuffix(got, "...") {
+		t.Errorf("clip(long) = %q (len %d)", got, len(got))
+	}
+}
+
+// runRepeated drives both its pipelined and synchronous paths against a
+// real in-process server.
+func TestRunRepeated(t *testing.T) {
+	eng := exec.New(exec.DefaultOptions())
+	if _, err := eng.ExecScript(`create table T(a integer)
+insert into T values (1)`, nil); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(eng, "")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
+	defer func() {
+		srv.Close()
+		ln.Close()
+		<-done
+	}()
+
+	cl, err := client.Dial(ln.Addr().String(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	mk := func() *server.Request {
+		return &server.Request{Op: "exec", Script: `select a from table T`}
+	}
+	runRepeated(cl, 4, 10, mk) // pipelined
+	runRepeated(cl, 0, 3, mk)  // synchronous
+}
+
+func TestPrintResults(t *testing.T) {
+	// Covers each result shape; output goes to stdout, correctness here
+	// is "does not panic on any variant".
+	printResults(nil)
+	printResults(&server.Response{
+		Results: []server.StmtResult{
+			{Columns: []string{"id"}, Rows: [][]string{{"p"}, {"q"}}},
+			{SubgraphName: "sg", SubgraphVertices: 3, SubgraphEdges: 2},
+			{Message: "ok"},
+		},
+	})
+	printResults(&server.Response{Error: "boom", Code: "internal", TraceID: "t1"})
+}

@@ -58,6 +58,7 @@ func main() {
 		writeTimeout = flag.Duration("write-timeout", 30*time.Second, "per-response TCP write deadline (0 = no limit)")
 		queryTimeout = flag.Duration("default-timeout", 0, "default per-query execution deadline when the client sends no timeoutMs (0 = none)")
 		maxTimeout   = flag.Duration("max-timeout", 5*time.Minute, "cap on the per-query deadline; client timeoutMs values are clamped to it (0 = no cap)")
+		planCache    = flag.Int("plan-cache", 0, "plan-cache capacity in cached shapes (0 = default 256, negative disables)")
 		maxInFlight  = flag.Int("max-inflight", 0, "admission control: max queries executing concurrently (0 = unlimited)")
 		maxQueue     = flag.Int("max-queue", 16, "admission control: queries waiting for a slot beyond -max-inflight before rejection")
 		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown window for in-flight queries on SIGINT/SIGTERM")
@@ -75,6 +76,7 @@ func main() {
 	opts.Workers = *workers
 	opts.ClusterParts = *partitions
 	opts.ClusterBlock = *placement == "block"
+	opts.PlanCache = *planCache
 	opts.Log = logger
 	if *metrics || *slowQuery > 0 || *traces > 0 || *queryLog {
 		opts.Obs = obs.New()
@@ -138,6 +140,9 @@ func main() {
 	// one Limits value gives them identical deadline semantics.
 	limits := server.Limits{DefaultTimeout: *queryTimeout, MaxTimeout: *maxTimeout}
 	gate := server.NewGate(*maxInFlight, *maxQueue, opts.Obs)
+	// One registry of prepared-statement handles spans both front-ends: a
+	// statement prepared over TCP is executable over HTTP and vice versa.
+	prepared := server.NewPreparedSet(0)
 
 	var hs *http.Server
 	if *httpAddr != "" {
@@ -146,6 +151,7 @@ func main() {
 		wh.Log = logger
 		wh.Limits = limits
 		wh.Gate = gate
+		wh.Prepared = prepared
 		hs = &http.Server{
 			Addr:              *httpAddr,
 			Handler:           wh,
@@ -165,6 +171,7 @@ func main() {
 	srv.WriteTimeout = *writeTimeout
 	srv.Limits = limits
 	srv.Gate = gate
+	srv.Prepared = prepared
 	srv.Log = logger
 	if logger != nil {
 		logger.Info("listening", "addr", ln.Addr().String(), "traces", *traces, "partitions", *partitions,

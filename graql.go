@@ -148,6 +148,21 @@ func WithTracing(n int) Option {
 	}
 }
 
+// WithPlanCache sets the capacity of the fingerprint-keyed plan cache:
+// read-only select shapes skip re-analysis and re-planning after their
+// first execution, re-planning only when a committed mutation moves the
+// catalog epoch. The cache is on by default with a capacity of 256
+// plans; n <= 0 disables it.
+func WithPlanCache(n int) Option {
+	return func(o *exec.Options) {
+		if n <= 0 {
+			o.PlanCache = -1
+		} else {
+			o.PlanCache = n
+		}
+	}
+}
+
 // WithClusterSim routes eligible linear-chain subgraph queries through
 // the simulated GEMS backend cluster: parts partitions, one BSP
 // superstep per chain edge, with frontier-exchange statistics (and trace
@@ -270,6 +285,56 @@ func (db *DB) MustExecParams(script string, params map[string]any) []Result {
 		panic(err)
 	}
 	return res
+}
+
+// Stmt is a prepared statement handle: the script was parsed, compiled
+// to the binary IR and (for read-only scripts) semantically analyzed
+// once at Prepare; each Exec binds %name% parameters and runs the cached
+// artifact. A Stmt is immutable and safe for concurrent use.
+type Stmt struct {
+	db *DB
+	p  *exec.Prepared
+}
+
+// Prepare compiles a script into a reusable handle. Parse errors — and,
+// for read-only scripts, semantic errors — surface here rather than at
+// the first Exec. Statements whose plans are cacheable are planned
+// eagerly, so the first Exec already hits the plan cache.
+func (db *DB) Prepare(script string) (*Stmt, error) {
+	p, err := db.eng.Prepare(script)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{db: db, p: p}, nil
+}
+
+// Exec runs the prepared script, binding its %name% parameters.
+func (s *Stmt) Exec(params map[string]any) ([]Result, error) {
+	return s.ExecContext(context.Background(), params)
+}
+
+// ExecContext is Exec under a context.
+func (s *Stmt) ExecContext(ctx context.Context, params map[string]any) ([]Result, error) {
+	vp, err := convertParams(params)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := s.db.eng.ExecPreparedContext(ctx, s.p, vp)
+	out := make([]Result, len(raw))
+	for i, r := range raw {
+		out[i] = Result{r: r}
+	}
+	return out, err
+}
+
+// Text returns the canonical rendering of the prepared script.
+func (s *Stmt) Text() string { return s.p.Text() }
+
+// PlanCacheStats reports the database's plan cache counters: hits,
+// misses, evictions (capacity plus stale-epoch invalidations) and the
+// current number of cached plans. All zeros when the cache is disabled.
+func (db *DB) PlanCacheStats() (hits, misses, evictions, size int64) {
+	return db.eng.PlanCacheStats()
 }
 
 // IngestCSV loads literal CSV text into the named table through the same

@@ -139,6 +139,12 @@ func (c *Client) Traces() ([]obs.TraceTree, error) {
 	return resp.Traces, nil
 }
 
+// executionOp reports whether an operation runs statements (and so
+// should carry the session's default per-query deadline).
+func executionOp(op string) bool {
+	return op == "exec" || op == "execir" || op == "execute"
+}
+
 // idempotentOp reports whether an operation may be blindly re-sent
 // after a network failure (it cannot have changed server state).
 func idempotentOp(op string) bool {
@@ -190,7 +196,7 @@ func (c *Client) once(req *server.Request) (*server.Response, error) {
 	}
 	// Propagate the default deadline to the server on execution ops, so
 	// the query is aborted there rather than only abandoned here.
-	if req.TimeoutMs == 0 && c.opts.RequestTimeout > 0 && (req.Op == "exec" || req.Op == "execir") {
+	if req.TimeoutMs == 0 && c.opts.RequestTimeout > 0 && executionOp(req.Op) {
 		req.TimeoutMs = int(c.opts.RequestTimeout / time.Millisecond)
 	}
 	if d := c.readBudget(req); d > 0 {
@@ -221,6 +227,13 @@ func (c *Client) readBudget(req *server.Request) time.Duration {
 		return c.opts.RequestTimeout + readGrace
 	}
 	return 0
+}
+
+// RoundTrip sends one arbitrary request frame synchronously, applying
+// the session's retry policy (for callers assembling raw requests, e.g.
+// load generators).
+func (c *Client) RoundTrip(req *server.Request) (*server.Response, error) {
+	return c.roundTrip(req)
 }
 
 // Exec runs a GraQL script with optional typed parameters.
@@ -255,6 +268,28 @@ func (c *Client) Compile(script string) (string, error) {
 // ExecIR executes previously compiled IR.
 func (c *Client) ExecIR(irB64 string, params map[string]server.Param) (*server.Response, error) {
 	return c.roundTrip(&server.Request{Op: "execir", IR: irB64, Params: params})
+}
+
+// Prepare compiles a script into a server-side prepared statement and
+// returns its handle id. The server parses and compiles to binary IR
+// once; Execute then binds parameters and runs the cached artifact.
+func (c *Client) Prepare(script string) (string, error) {
+	resp, err := c.roundTrip(&server.Request{Op: "prepare", Script: script})
+	if err != nil {
+		return "", err
+	}
+	return resp.Stmt, nil
+}
+
+// Execute runs a prepared statement handle with bound parameters.
+func (c *Client) Execute(stmt string, params map[string]server.Param) (*server.Response, error) {
+	return c.roundTrip(&server.Request{Op: "execute", Stmt: stmt, Params: params})
+}
+
+// Deallocate releases a prepared statement handle on the server.
+func (c *Client) Deallocate(stmt string) error {
+	_, err := c.roundTrip(&server.Request{Op: "deallocate", Stmt: stmt})
+	return err
 }
 
 // Stats fetches the catalog snapshot.

@@ -1,0 +1,118 @@
+package client_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"graql/internal/client"
+	"graql/internal/obs"
+	"graql/internal/server"
+)
+
+// One scriptable stub exercises every typed client method: the stub
+// answers each op with the fields that method reads back.
+func TestClientMethodSurface(t *testing.T) {
+	st := startStub(t, func(req server.Request, n int64) (server.Response, bool) {
+		switch req.Op {
+		case "ping":
+			return server.Response{OK: true}, false
+		case "compile":
+			return server.Response{OK: true, IR: "aXI="}, false
+		case "execir":
+			if req.IR != "aXI=" {
+				return server.Response{OK: false, Code: server.CodeBadRequest, Error: "wrong ir"}, false
+			}
+			return server.Response{OK: true, Results: []server.StmtResult{{Message: "ran ir"}}}, false
+		case "check":
+			return server.Response{OK: true, Results: []server.StmtResult{{Message: "check ok"}}}, false
+		case "prepare":
+			return server.Response{OK: true, Stmt: "s7"}, false
+		case "execute":
+			if req.Stmt != "s7" {
+				return server.Response{OK: false, Code: server.CodeBadRequest, Error: "unknown prepared statement"}, false
+			}
+			return server.Response{OK: true, Results: []server.StmtResult{{Message: req.Params["k"].Value}}}, false
+		case "deallocate":
+			return server.Response{OK: true, Results: []server.StmtResult{{Message: "deallocated"}}}, false
+		case "stats":
+			return server.Response{OK: true, Catalog: []server.CatalogEntry{{Kind: "table", Name: "T", Count: 3}}}, false
+		case "metrics":
+			return server.Response{OK: true, Metrics: "graql_up 1\n"}, false
+		case "statements":
+			return server.Response{OK: true, Statements: []obs.StmtStat{{Query: "select ?", Calls: 2}}}, false
+		case "ps":
+			return server.Response{OK: true, Queries: []obs.QueryInfo{{ID: 9, State: "running"}}}, false
+		case "cancelq":
+			if req.QueryID != 9 {
+				return server.Response{OK: false, Code: server.CodeBadRequest, Error: "no such query"}, false
+			}
+			return server.Response{OK: true}, false
+		case "trace":
+			return server.Response{OK: true, Traces: []obs.TraceTree{{TraceID: "abc"}}}, false
+		case "exec":
+			return server.Response{OK: true, Results: []server.StmtResult{{Message: "exec"}}}, false
+		}
+		return server.Response{OK: false, Code: server.CodeBadRequest, Error: "unexpected op " + req.Op}, false
+	})
+
+	cl, err := client.Dial(st.ln.Addr().String(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.SetRequestTimeout(2 * time.Second)
+	cl.EnableTracing(true)
+
+	ir, err := cl.Compile("select 1")
+	if err != nil || ir != "aXI=" {
+		t.Errorf("Compile = %q, %v", ir, err)
+	}
+	if resp, err := cl.ExecIR(ir, nil); err != nil || resp.Results[0].Message != "ran ir" {
+		t.Errorf("ExecIR: %v, %v", resp, err)
+	}
+	if _, err := cl.Check("select 1"); err != nil {
+		t.Errorf("Check: %v", err)
+	}
+
+	stmt, err := cl.Prepare("select 1")
+	if err != nil || stmt != "s7" {
+		t.Fatalf("Prepare = %q, %v", stmt, err)
+	}
+	resp, err := cl.Execute(stmt, map[string]server.Param{"k": {Type: "varchar", Value: "bound"}})
+	if err != nil || resp.Results[0].Message != "bound" {
+		t.Errorf("Execute: %v, %v", resp, err)
+	}
+	if _, err := cl.Execute("nope", nil); err == nil || !strings.Contains(err.Error(), "unknown prepared") {
+		t.Errorf("Execute unknown handle: %v", err)
+	}
+	if err := cl.Deallocate(stmt); err != nil {
+		t.Errorf("Deallocate: %v", err)
+	}
+
+	if resp, err := cl.ExecTimeout("select 1", nil, time.Second); err != nil || resp.Results[0].Message != "exec" {
+		t.Errorf("ExecTimeout: %v, %v", resp, err)
+	}
+	if resp, err := cl.Stats(); err != nil || resp.Catalog[0].Name != "T" {
+		t.Errorf("Stats: %v, %v", resp, err)
+	}
+	if m, err := cl.Metrics(); err != nil || !strings.Contains(m, "graql_up") {
+		t.Errorf("Metrics: %q, %v", m, err)
+	}
+	if ss, err := cl.Statements(); err != nil || len(ss) != 1 || ss[0].Calls != 2 {
+		t.Errorf("Statements: %v, %v", ss, err)
+	}
+	qs, err := cl.LiveQueries()
+	if err != nil || len(qs) != 1 || qs[0].ID != 9 {
+		t.Fatalf("LiveQueries: %v, %v", qs, err)
+	}
+	if err := cl.CancelQuery(qs[0].ID); err != nil {
+		t.Errorf("CancelQuery: %v", err)
+	}
+	if trs, err := cl.Traces(); err != nil || len(trs) != 1 || trs[0].TraceID != "abc" {
+		t.Errorf("Traces: %v, %v", trs, err)
+	}
+	if err := cl.Ping(); err != nil {
+		t.Errorf("Ping: %v", err)
+	}
+}

@@ -1,0 +1,216 @@
+package client_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"graql/internal/client"
+	"graql/internal/server"
+)
+
+// echoStub answers every exec with its own script text, so ordering is
+// observable end to end.
+func echoStub(t *testing.T) *stubServer {
+	return startStub(t, func(req server.Request, n int64) (server.Response, bool) {
+		if req.Op == "ping" {
+			return server.Response{OK: true}, false
+		}
+		return server.Response{OK: true, Results: []server.StmtResult{{Message: req.Script}}}, false
+	})
+}
+
+func TestPipelineOrdering(t *testing.T) {
+	st := echoStub(t)
+	cl, err := client.Dial(st.ln.Addr().String(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const n = 100
+	p := cl.Pipeline(8)
+	futs := make([]*client.Future, n)
+	for i := range futs {
+		fut, err := p.Exec(fmt.Sprintf("req-%03d", i), nil)
+		if err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		futs[i] = fut
+	}
+	for i, fut := range futs {
+		resp, err := fut.Wait()
+		if err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+		if got, want := resp.Results[0].Message, fmt.Sprintf("req-%03d", i); got != want {
+			t.Fatalf("response %d = %q, want %q (out of order)", i, got, want)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// The session is synchronous again after Close.
+	if err := cl.Ping(); err != nil {
+		t.Errorf("ping after pipeline close: %v", err)
+	}
+}
+
+// Structured per-request failures resolve only their own future; later
+// requests on the same pipeline still succeed.
+func TestPipelineStructuredErrorDoesNotPoison(t *testing.T) {
+	st := startStub(t, func(req server.Request, n int64) (server.Response, bool) {
+		if req.Op == "ping" {
+			return server.Response{OK: true}, false
+		}
+		if strings.Contains(req.Script, "bad") {
+			return server.Response{OK: false, Code: server.CodeParse, Error: "syntax error"}, false
+		}
+		return server.Response{OK: true, Results: []server.StmtResult{{Message: req.Script}}}, false
+	})
+	cl, err := client.Dial(st.ln.Addr().String(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	p := cl.Pipeline(4)
+	f1, _ := p.Exec("good-1", nil)
+	f2, _ := p.Exec("bad-2", nil)
+	f3, _ := p.Exec("good-3", nil)
+
+	if _, err := f1.Wait(); err != nil {
+		t.Errorf("f1: %v", err)
+	}
+	resp, err := f2.Wait()
+	if err == nil || resp == nil || resp.Code != server.CodeParse {
+		t.Errorf("f2: resp=%v err=%v, want structured parse failure", resp, err)
+	}
+	if _, err := f3.Wait(); err != nil {
+		t.Errorf("f3 failed after a structured error: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}
+
+// A dropped connection poisons the pipeline: the in-flight and all later
+// futures fail, and Close reports the transport error.
+func TestPipelinePoisonOnConnectionDrop(t *testing.T) {
+	st := startStub(t, func(req server.Request, n int64) (server.Response, bool) {
+		if req.Op == "ping" {
+			return server.Response{OK: true}, false
+		}
+		if strings.Contains(req.Script, "drop") {
+			return server.Response{}, true // close the conn mid-stream
+		}
+		return server.Response{OK: true, Results: []server.StmtResult{{Message: req.Script}}}, false
+	})
+	cl, err := client.DialOptions(st.ln.Addr().String(), "", client.Options{MaxRetries: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	p := cl.Pipeline(4)
+	f1, _ := p.Exec("ok-1", nil)
+	f2, _ := p.Exec("drop-2", nil)
+	f3, _ := p.Exec("ok-3", nil)
+
+	if _, err := f1.Wait(); err != nil {
+		t.Errorf("f1 (answered before the drop): %v", err)
+	}
+	if _, err := f2.Wait(); err == nil {
+		t.Error("f2 resolved despite the dropped connection")
+	}
+	if _, err := f3.Wait(); err == nil {
+		t.Error("f3 resolved after the pipeline was poisoned")
+	}
+	if err := p.Close(); err == nil {
+		t.Error("Close returned nil on a poisoned pipeline")
+	}
+	// New submissions are refused outright.
+	if _, err := p.Exec("late", nil); err == nil {
+		t.Error("Send on a closed, poisoned pipeline succeeded")
+	}
+}
+
+// A window of 1 with more requests than the window forces the
+// flush-before-block path; everything must still complete in order.
+func TestPipelineTinyWindow(t *testing.T) {
+	st := echoStub(t)
+	cl, err := client.Dial(st.ln.Addr().String(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	p := cl.Pipeline(1)
+	futs := make([]*client.Future, 20)
+	for i := range futs {
+		fut, err := p.Exec(fmt.Sprintf("w1-%02d", i), nil)
+		if err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		futs[i] = fut
+	}
+	for i, fut := range futs {
+		resp, err := fut.Wait()
+		if err != nil {
+			t.Fatalf("wait %d: %v", i, err)
+		}
+		if got, want := resp.Results[0].Message, fmt.Sprintf("w1-%02d", i); got != want {
+			t.Fatalf("response %d = %q, want %q", i, got, want)
+		}
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Submissions from many goroutines interleave arbitrarily but each
+// future must resolve to its own request's response (run under -race).
+func TestPipelineConcurrentSenders(t *testing.T) {
+	st := echoStub(t)
+	cl, err := client.Dial(st.ln.Addr().String(), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	p := cl.Pipeline(8)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				script := fmt.Sprintf("g%d-%d", g, i)
+				fut, err := p.Exec(script, nil)
+				if err != nil {
+					errs <- fmt.Errorf("send %s: %w", script, err)
+					return
+				}
+				resp, err := fut.Wait()
+				if err != nil {
+					errs <- fmt.Errorf("wait %s: %w", script, err)
+					return
+				}
+				if resp.Results[0].Message != script {
+					errs <- fmt.Errorf("future for %s got %q", script, resp.Results[0].Message)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -20,6 +20,7 @@ type stmtAcct struct {
 	text      string // fingerprint-normalized statement text
 	script    string // canonical statement rendering (st.String(), computed once)
 	queueWait time.Duration
+	planHit   bool // the statement's plan came from the plan cache
 
 	rowsScanned atomic.Int64
 	walBytes    atomic.Int64
@@ -28,6 +29,13 @@ type stmtAcct struct {
 	// live is the statement's registration in the live query table;
 	// matcher polls push rows-so-far into it.
 	live *obs.LiveQuery
+}
+
+// notePlanHit marks the statement as served from the plan cache.
+func (a *stmtAcct) notePlanHit() {
+	if a != nil {
+		a.planHit = true
+	}
 }
 
 // noteWorkers records a sweep's fan-out, keeping the statement's maximum.

@@ -24,6 +24,23 @@ func (e *Engine) runExplainAnalyze(s *sema.Select, params map[string]value.Value
 	tr := &obs.Trace{}
 	shadow := e.fork(tr, nil)
 
+	// Report whether the plain query's shape is warm in the plan cache.
+	// EXPLAIN ANALYZE itself always re-instruments (its plan rows need a
+	// private trace), so the row describes what a plain execution of this
+	// statement would do right now. Matching is by fingerprint: the
+	// normalized text of the explain-stripped statement is what plain
+	// executions of any formatting of this shape key on.
+	if e.plans != nil && s.Decl != nil {
+		plain := *s.Decl
+		plain.Explain, plain.Analyze = false, false
+		fp, _ := e.met.reg.FingerprintCached(plain.String())
+		detail := "miss — shape not cached at current catalog epoch"
+		if e.plans.peekFP(fp, e.Cat.Epoch()) {
+			detail = "hit — shape cached at current catalog epoch"
+		}
+		tr.Span("plan cache", detail).Record(0, 0)
+	}
+
 	start := time.Now()
 	var (
 		res Result

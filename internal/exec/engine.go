@@ -70,6 +70,12 @@ type Options struct {
 	// and the slow-query log. nil disables metrics (the hot-path cost is
 	// then a handful of nil checks).
 	Obs *obs.Registry
+	// PlanCache sets the capacity of the fingerprint-keyed plan cache
+	// for read-only selects: repeated statement shapes skip
+	// lexer→parser→sema→plan after their first execution, re-planning
+	// only when the catalog epoch moves. 0 means the default capacity
+	// (256 plans); negative disables caching.
+	PlanCache int
 	// DisableStmtObs turns off the per-statement observability layer
 	// (fingerprinting, statement stats, live query registration,
 	// cancel-by-id) while keeping the registry's aggregate metrics. It
@@ -134,6 +140,10 @@ type Engine struct {
 	// ids is shared across traced forks so DDL advances one sequence.
 	ids *idAlloc
 
+	// plans is the fingerprint-keyed LRU of analyzed read-only selects,
+	// shared across every fork (nil when Options.PlanCache < 0).
+	plans *planCache
+
 	// store is the attached durability layer (nil runs in-memory only).
 	// replay is true while recovery replays the snapshot and WAL tail; it
 	// suppresses re-logging of replayed statements.
@@ -143,7 +153,10 @@ type Engine struct {
 
 // New returns an engine over a fresh catalog.
 func New(opts Options) *Engine {
-	return &Engine{Cat: catalog.New(), Opts: opts, met: newEngineMetrics(opts.Obs), ids: &idAlloc{}}
+	return &Engine{
+		Cat: catalog.New(), Opts: opts, met: newEngineMetrics(opts.Obs),
+		ids: &idAlloc{}, plans: newPlanCache(opts.PlanCache, opts.Obs),
+	}
 }
 
 // ResultKind classifies a statement result.
@@ -189,10 +202,10 @@ func (e *Engine) ExecScript(src string, params map[string]value.Value) ([]Result
 }
 
 // withSrc returns an engine fork carrying the script's source text for
-// span-sliced statement fingerprinting; e itself when the statement
-// observability layer is off (the field would never be read).
+// span-sliced statement fingerprinting; e itself when neither the
+// statement observability layer nor the plan cache would read the field.
 func (e *Engine) withSrc(src string) *Engine {
-	if e.met.reg == nil || e.Opts.DisableStmtObs {
+	if (e.met.reg == nil || e.Opts.DisableStmtObs) && e.plans == nil {
 		return e
 	}
 	c := *e
@@ -206,8 +219,31 @@ func (e *Engine) withSrc(src string) *Engine {
 // statement gets a "statement" span and all operator, sweep and cluster
 // spans of its execution nest beneath it.
 func (e *Engine) ExecStmt(st ast.Stmt, params map[string]value.Value) (Result, error) {
+	return e.execStmtID(st, params, nil)
+}
+
+// stmtIdent is a statement's precomputed observability identity:
+// prepared statements carry fingerprints and renderings resolved once at
+// Prepare, so the execute path pays no per-call re-render.
+type stmtIdent struct {
+	fp     uint64
+	norm   string // fingerprint-normalized text
+	script string // canonical statement rendering
+}
+
+// execStmtID is ExecStmt with an optional precomputed identity.
+func (e *Engine) execStmtID(st ast.Stmt, params map[string]value.Value, id *stmtIdent) (Result, error) {
 	if e.met.reg == nil && e.trace == nil {
-		return e.execStmt(st, params)
+		run := e
+		if id != nil && e.plans != nil {
+			// No observability, but the plan cache still wants the
+			// precomputed identity: carry it on an accounting record of a
+			// private fork (nothing else reads it without a registry).
+			c := *e
+			c.acct = &stmtAcct{fp: id.fp, text: id.norm, script: id.script}
+			run = &c
+		}
+		return run.execStmt(st, params)
 	}
 	run := e
 	var sp *obs.Span
@@ -222,8 +258,14 @@ func (e *Engine) ExecStmt(st ast.Stmt, params map[string]value.Value) (Result, e
 	var acct *stmtAcct
 	var cancel context.CancelFunc
 	if e.met.reg != nil && !e.Opts.DisableStmtObs {
-		script := e.stmtSrc(st)
-		fp, text := e.met.reg.FingerprintCached(script)
+		var fp uint64
+		var text, script string
+		if id != nil {
+			fp, text, script = id.fp, id.norm, id.script
+		} else {
+			script = e.stmtSrc(st)
+			fp, text = e.met.reg.FingerprintCached(script)
+		}
 		acct = &stmtAcct{fp: fp, text: text, script: script}
 		base := e.ctx
 		if base == nil {
@@ -239,6 +281,14 @@ func (e *Engine) ExecStmt(st ast.Stmt, params map[string]value.Value) (Result, e
 		run.ctx = cctx
 		run.acct = acct
 		acct.live = e.met.reg.StartQuery(fp, text, e.traceID(), cancel)
+	} else if id != nil && e.plans != nil {
+		// Statement observability is disabled but the plan cache still
+		// keys on the prepared identity.
+		if run == e {
+			c := *e
+			run = &c
+		}
+		run.acct = &stmtAcct{fp: id.fp, text: id.norm, script: id.script}
 	}
 	start := time.Now()
 	res, err := run.execStmt(st, params)
@@ -314,13 +364,11 @@ func (e *Engine) execStmt(st ast.Stmt, params map[string]value.Value) (Result, e
 	}
 
 	e.Cat.RLock()
-	an := &sema.Analyzer{Cat: e.Cat, NoFold: e.Opts.NoFold}
-	analyzed, err := an.Analyze(st)
+	sel, err := e.planSelect(st.(*ast.Select))
 	if err != nil {
 		e.Cat.RUnlock()
 		return Result{}, err
 	}
-	sel := analyzed.(*sema.Select)
 	res, err := e.runSelect(sel, params)
 	e.Cat.RUnlock()
 	if err != nil {

@@ -170,6 +170,7 @@ func (m *engineMetrics) observeStmt(st ast.Stmt, a *stmtAcct, elapsed time.Durat
 		Fingerprint: a.fp,
 		Text:        a.text,
 		QueueWait:   a.queueWait,
+		PlanHit:     a.planHit,
 		RowsScanned: a.rowsScanned.Load(),
 		WALBytes:    a.walBytes.Load(),
 		Workers:     int(a.workers.Load()),

@@ -1,0 +1,153 @@
+package exec
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"graql/internal/value"
+)
+
+func TestPrepareCompileErrors(t *testing.T) {
+	e := planCacheEngine(t, 0)
+	if _, err := e.Prepare(""); err == nil {
+		t.Error("empty script must not prepare")
+	}
+	if _, err := e.Prepare("select from where"); err == nil {
+		t.Error("parse error must fail the prepare")
+	}
+	// Read-only scripts are analyzed eagerly: semantic errors surface at
+	// prepare time, not at the first execute.
+	if _, err := e.Prepare("select x from table Missing"); err == nil {
+		t.Error("unknown table must fail the prepare of a read-only script")
+	} else if !strings.Contains(err.Error(), "statement 1") {
+		t.Errorf("error should name the statement: %v", err)
+	}
+}
+
+func TestPreparedParamRebinding(t *testing.T) {
+	e := planCacheEngine(t, 0)
+	p, err := e.Prepare(`select name from table Items where id = %ID%`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.ReadOnly() || p.NumStmts() != 1 {
+		t.Fatalf("handle: readOnly=%v numStmts=%d", p.ReadOnly(), p.NumStmts())
+	}
+	for id, want := range map[int64]string{1: "one", 2: "two", 3: "three"} {
+		res, err := e.ExecPrepared(p, map[string]value.Value{"ID": value.NewInt(id)})
+		if err != nil {
+			t.Fatalf("execute ID=%d: %v", id, err)
+		}
+		if got := cellStr(t, res, 0, 0, 0); got != want {
+			t.Errorf("ID=%d returned %q, want %q", id, got, want)
+		}
+	}
+}
+
+// PrepareIR builds the same handle from compiled IR bytes that Prepare
+// builds from text: the wire's "compile then prepare" path.
+func TestPrepareIRRoundTrip(t *testing.T) {
+	e := planCacheEngine(t, 0)
+	src := `select name from table Items where id = %ID%`
+	p1, err := e.Prepare(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := e.PrepareIR(p1.IR())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Text() != p2.Text() {
+		t.Errorf("text mismatch:\n%q\n%q", p1.Text(), p2.Text())
+	}
+	res, err := e.ExecPrepared(p2, map[string]value.Value{"ID": value.NewInt(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cellStr(t, res, 0, 0, 0); got != "two" {
+		t.Errorf("IR-prepared execute returned %q, want two", got)
+	}
+	if _, err := e.PrepareIR([]byte("not ir")); err == nil {
+		t.Error("garbage IR must not prepare")
+	}
+}
+
+// Scripts with writes defer analysis to execute: later statements may
+// depend on catalog objects the earlier ones create.
+func TestPreparedScriptWithWrites(t *testing.T) {
+	e := planCacheEngine(t, 0)
+	p, err := e.Prepare(`
+create table Audit(id integer)
+insert into Audit values (1)
+select count(*) as c from table Audit
+`)
+	if err != nil {
+		t.Fatalf("prepare of DDL+DML script: %v", err)
+	}
+	if p.ReadOnly() {
+		t.Error("script with writes reported read-only")
+	}
+	res, err := e.ExecPrepared(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("results = %d, want 3", len(res))
+	}
+	if got := cellStr(t, res, 2, 0, 0); got != "1" {
+		t.Errorf("count = %s, want 1", got)
+	}
+}
+
+// Into-selects register their result in the catalog: they count as
+// writes (no eager analysis, no plan caching — each run moves the
+// epoch).
+func TestPreparedIntoSelectIsAWrite(t *testing.T) {
+	e := planCacheEngine(t, 0)
+	p, err := e.Prepare(`select id, name from table Items into table Snapshot`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ReadOnly() {
+		t.Error("into-select handle reported read-only")
+	}
+	_, _, _, size := e.PlanCacheStats()
+	if size != 0 {
+		t.Errorf("into-select was planned into the cache (size=%d)", size)
+	}
+}
+
+func TestExecPreparedCanceledContext(t *testing.T) {
+	e := planCacheEngine(t, 0)
+	p, err := e.Prepare(`select name from table Items`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.ExecPreparedContext(ctx, p, nil); err == nil {
+		t.Error("execute under a canceled context succeeded")
+	}
+}
+
+// Prepare warms the plan cache, so the very first execute is already a
+// hit — the per-call front-end cost the prepare/execute split removes.
+func TestPrepareWarmsPlanCache(t *testing.T) {
+	e := planCacheEngine(t, 0)
+	p, err := e.Prepare(`select name from table Items where id = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, missesBefore, _, _ := e.PlanCacheStats()
+	if _, err := e.ExecPrepared(p, nil); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, _, _ := e.PlanCacheStats()
+	if misses != missesBefore {
+		t.Errorf("first execute missed the cache (misses %d -> %d)", missesBefore, misses)
+	}
+	if hits < 1 {
+		t.Errorf("first execute after prepare: hits=%d, want >=1", hits)
+	}
+}

@@ -54,6 +54,9 @@ type StmtEvent struct {
 	QueueWait time.Duration
 	// Workers is the widest parallel fan-out the statement used.
 	Workers int
+	// PlanHit reports that the statement's plan was served from the
+	// engine's plan cache (analysis skipped).
+	PlanHit bool
 	// Trace links the event to its trace tree, when the statement ran
 	// under one.
 	Trace TraceID
@@ -71,10 +74,12 @@ type StmtStat struct {
 	Rows        int64  `json:"rows"`
 	RowsScanned int64  `json:"rowsScanned"`
 	WALBytes    int64  `json:"walBytes"`
-	TotalUs     int64  `json:"totalUs"`
-	MinUs       int64  `json:"minUs"`
-	MaxUs       int64  `json:"maxUs"`
-	MeanUs      int64  `json:"meanUs"`
+	// PlanHits counts executions whose plan came from the plan cache.
+	PlanHits int64 `json:"planHits"`
+	TotalUs  int64 `json:"totalUs"`
+	MinUs    int64 `json:"minUs"`
+	MaxUs    int64 `json:"maxUs"`
+	MeanUs   int64 `json:"meanUs"`
 	// LatencyBuckets is the shape's cumulative latency histogram
 	// (upper-bound seconds → count; "+Inf" is the total).
 	LatencyBuckets map[string]int64 `json:"latencyBuckets,omitempty"`
@@ -89,6 +94,7 @@ type stmtEntry struct {
 
 	calls, errs, canceled, timedOut int64
 	rows, rowsScanned, walBytes     int64
+	planHits                        int64
 	totalNs, minNs, maxNs           int64
 
 	hist *Histogram
@@ -145,6 +151,9 @@ func (s *stmtStats) observe(ev *StmtEvent) {
 	e.rows += ev.Rows
 	e.rowsScanned += ev.RowsScanned
 	e.walBytes += ev.WALBytes
+	if ev.PlanHit {
+		e.planHits++
+	}
 	e.totalNs += ns
 	if e.calls == 1 || ns < e.minNs {
 		e.minNs = ns
@@ -176,6 +185,7 @@ func (s *stmtStats) snapshot(withBuckets bool) []StmtStat {
 			Rows:        e.rows,
 			RowsScanned: e.rowsScanned,
 			WALBytes:    e.walBytes,
+			PlanHits:    e.planHits,
 			TotalUs:     e.totalNs / 1e3,
 			MinUs:       e.minNs / 1e3,
 			MaxUs:       e.maxNs / 1e3,
@@ -223,6 +233,7 @@ func (r *Registry) ObserveStmtEvent(ev StmtEvent) {
 			"rows_scanned", ev.RowsScanned,
 			"elapsed_us", ev.Elapsed.Microseconds(),
 			"queue_wait_us", ev.QueueWait.Microseconds(),
+			"plan_hit", ev.PlanHit,
 			"wal_bytes", ev.WALBytes,
 			"workers", ev.Workers,
 			"query", ev.Text,

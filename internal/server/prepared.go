@@ -1,0 +1,92 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"graql/internal/exec"
+)
+
+// PreparedSet is the server-side registry of prepared statement
+// handles, shared between the TCP and HTTP front-ends so a statement
+// prepared over one wire is executable over the other. Handles are
+// identified by server-assigned ids ("s1", "s2", ...) and bounded by an
+// LRU: preparing past the capacity evicts the least-recently-executed
+// handle (a later execute of an evicted id fails with a structured
+// bad_request, and the client re-prepares).
+type PreparedSet struct {
+	mu  sync.Mutex
+	cap int
+	m   map[string]*preparedEntry
+	lru *list.List
+	seq uint64
+}
+
+type preparedEntry struct {
+	id   string
+	p    *exec.Prepared
+	elem *list.Element
+}
+
+// DefaultPreparedCap bounds a PreparedSet constructed with cap <= 0.
+const DefaultPreparedCap = 1024
+
+// NewPreparedSet returns a registry bounded to cap handles (cap <= 0
+// uses DefaultPreparedCap).
+func NewPreparedSet(cap int) *PreparedSet {
+	if cap <= 0 {
+		cap = DefaultPreparedCap
+	}
+	return &PreparedSet{cap: cap, m: make(map[string]*preparedEntry), lru: list.New()}
+}
+
+// Add registers a handle and returns its assigned id.
+func (s *PreparedSet) Add(p *exec.Prepared) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	id := fmt.Sprintf("s%d", s.seq)
+	e := &preparedEntry{id: id, p: p}
+	e.elem = s.lru.PushFront(e)
+	s.m[id] = e
+	for len(s.m) > s.cap {
+		victim := s.lru.Back().Value.(*preparedEntry)
+		s.lru.Remove(victim.elem)
+		delete(s.m, victim.id)
+	}
+	return id
+}
+
+// Get resolves an id to its handle (nil when unknown or evicted),
+// marking it most recently used.
+func (s *PreparedSet) Get(id string) *exec.Prepared {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[id]
+	if !ok {
+		return nil
+	}
+	s.lru.MoveToFront(e.elem)
+	return e.p
+}
+
+// Remove deallocates a handle, reporting whether the id was known.
+func (s *PreparedSet) Remove(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[id]
+	if !ok {
+		return false
+	}
+	s.lru.Remove(e.elem)
+	delete(s.m, id)
+	return true
+}
+
+// Len reports how many handles are registered.
+func (s *PreparedSet) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}

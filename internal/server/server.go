@@ -40,6 +40,10 @@ type Param struct {
 type Request struct {
 	// Op selects the operation: "exec" (run script), "check" (static
 	// analysis only), "compile" (script → IR), "execir" (run IR bytes),
+	// "prepare" (compile Script — or IR — into a reusable server-side
+	// statement handle; the assigned id comes back in Response.Stmt),
+	// "execute" (run the prepared handle named by Stmt, binding Params),
+	// "deallocate" (drop the prepared handle named by Stmt),
 	// "stats" (catalog snapshot), "metrics" (Prometheus text exposition
 	// of the engine's observability registry), "trace" (retained trace
 	// trees), "statements" (per-statement-shape statistics), "ps"
@@ -63,6 +67,9 @@ type Request struct {
 	TimeoutMs int `json:"timeoutMs,omitempty"`
 	// QueryID targets an in-flight query (op "cancelq").
 	QueryID uint64 `json:"queryId,omitempty"`
+	// Stmt names a prepared statement handle (ops "execute" and
+	// "deallocate"); ids are assigned by "prepare".
+	Stmt string `json:"stmt,omitempty"`
 }
 
 // StmtResult is one statement's outcome on the wire.
@@ -114,6 +121,9 @@ type Response struct {
 	ElapsedUs int64 `json:"elapsedUs"`
 	// TraceID echoes the request's trace id when the request was traced.
 	TraceID string `json:"traceId,omitempty"`
+	// Stmt is the id assigned to a prepared statement handle (op
+	// "prepare"); pass it back as Request.Stmt to execute or deallocate.
+	Stmt string `json:"stmt,omitempty"`
 	// Traces carries the retained trace trees for op "trace".
 	Traces []obs.TraceTree `json:"traces,omitempty"`
 	// Statements carries the per-statement-shape statistics for op
@@ -172,10 +182,16 @@ type Server struct {
 	Limits Limits
 
 	// Gate, when non-nil, admission-controls the execution ops ("exec",
-	// "execir"); overflow requests fail with CodeOverloaded. Share one
-	// gate between the TCP and HTTP front-ends to bound the process
-	// globally. Set before Serve.
+	// "execir", "execute"); overflow requests fail with CodeOverloaded.
+	// Share one gate between the TCP and HTTP front-ends to bound the
+	// process globally. Set before Serve.
 	Gate *Gate
+
+	// Prepared is the registry of prepared statement handles. New
+	// installs a default-capacity registry; replace it (before Serve)
+	// with a shared instance so the TCP and HTTP front-ends resolve the
+	// same handle ids.
+	Prepared *PreparedSet
 
 	// Log, when non-nil, receives one structured line per request
 	// (trace_id, op, code, elapsed_us) plus connection lifecycle events
@@ -203,6 +219,7 @@ func New(eng *exec.Engine, token string) *Server {
 		conns:     make(map[net.Conn]bool),
 		listeners: make(map[net.Listener]bool),
 		baseCtx:   ctx, cancelAll: cancel,
+		Prepared: NewPreparedSet(0),
 	}
 }
 
@@ -392,7 +409,7 @@ func (s *Server) handle(ctx context.Context, req *Request) *Response {
 // not churn the trace ring.
 func traceableOp(op string) bool {
 	switch op {
-	case "exec", "execir", "check", "compile", "stats":
+	case "exec", "execir", "execute", "check", "compile", "stats":
 		return true
 	}
 	return false
@@ -421,7 +438,7 @@ func (s *Server) dispatch(ctx context.Context, req *Request, eng *exec.Engine) *
 	switch req.Op {
 	case "ping":
 		return &Response{OK: true}
-	case "exec", "execir":
+	case "exec", "execir", "execute":
 		// Only the execution ops pass admission control: the metadata and
 		// observability reads are cheap and must stay responsive when the
 		// engine is saturated. While queued the request is visible in the
@@ -430,8 +447,15 @@ func (s *Server) dispatch(ctx context.Context, req *Request, eng *exec.Engine) *
 		qctx, qcancel := context.WithCancel(ctx)
 		defer qcancel()
 		fp, text := s.eng.Opts.Obs.FingerprintCached(req.Script)
-		if req.Op == "execir" {
+		switch {
+		case req.Op == "execir":
 			fp, text = obs.Fingerprint("(compiled ir)")
+		case req.Op == "execute":
+			if p := s.Prepared.Get(req.Stmt); p != nil {
+				fp, text = s.eng.Opts.Obs.FingerprintCached(p.Text())
+			} else {
+				fp, text = obs.Fingerprint("(unknown prepared statement)")
+			}
 		}
 		lq := s.eng.Opts.Obs.StartQueuedQuery(fp, text, qcancel)
 		waitStart := time.Now()
@@ -442,10 +466,23 @@ func (s *Server) dispatch(ctx context.Context, req *Request, eng *exec.Engine) *
 		}
 		defer s.Gate.Release()
 		ctx = exec.WithQueueWait(qctx, time.Since(waitStart))
-		if req.Op == "exec" {
+		switch req.Op {
+		case "exec":
 			return s.execScript(ctx, req, eng)
+		case "execute":
+			return s.execPrepared(ctx, req, eng)
 		}
 		return s.execIR(ctx, req, eng)
+	case "prepare":
+		return s.prepare(req)
+	case "deallocate":
+		if req.Stmt == "" {
+			return fail(CodeBadRequest, "deallocate requires stmt")
+		}
+		if !s.Prepared.Remove(req.Stmt) {
+			return fail(CodeBadRequest, "unknown prepared statement %q", req.Stmt)
+		}
+		return &Response{OK: true, Results: []StmtResult{{Message: fmt.Sprintf("deallocated %s", req.Stmt)}}}
 	case "check":
 		return s.checkScript(req.Script)
 	case "compile":
@@ -514,6 +551,58 @@ func (s *Server) execScript(ctx context.Context, req *Request, eng *exec.Engine)
 		return fail(CodeExec, "%v", err)
 	}
 	return run(ctx, eng, decoded, params)
+}
+
+// prepare compiles a script (or already-compiled IR) into a server-side
+// prepared statement handle: parse → binary IR → fingerprints, plus
+// eager semantic analysis and plan-cache warming for read-only scripts.
+// The assigned handle id comes back in Response.Stmt.
+func (s *Server) prepare(req *Request) *Response {
+	var (
+		p   *exec.Prepared
+		err error
+	)
+	switch {
+	case req.Script != "":
+		p, err = s.eng.Prepare(req.Script)
+	case req.IR != "":
+		var blob []byte
+		if blob, err = base64.StdEncoding.DecodeString(req.IR); err != nil {
+			return fail(CodeBadRequest, "bad IR base64: %v", err)
+		}
+		p, err = s.eng.PrepareIR(blob)
+	default:
+		return fail(CodeBadRequest, "prepare requires script or ir")
+	}
+	if err != nil {
+		return fail(CodeParse, "%v", err)
+	}
+	id := s.Prepared.Add(p)
+	return &Response{
+		OK: true, Stmt: id,
+		Results: []StmtResult{{Message: fmt.Sprintf("prepared %d statement(s) as %s", p.NumStmts(), id)}},
+	}
+}
+
+// execPrepared runs a prepared handle, binding the request's parameters.
+func (s *Server) execPrepared(ctx context.Context, req *Request, eng *exec.Engine) *Response {
+	p := s.Prepared.Get(req.Stmt)
+	if p == nil {
+		return fail(CodeBadRequest, "unknown prepared statement %q", req.Stmt)
+	}
+	params, err := decodeParams(req.Params)
+	if err != nil {
+		return fail(CodeBadRequest, "%v", err)
+	}
+	results, err := eng.ExecPreparedContext(ctx, p, params)
+	if err != nil {
+		return fail(ErrorCode(err), "%v", err)
+	}
+	resp := &Response{OK: true}
+	for _, r := range results {
+		resp.Results = append(resp.Results, EncodeResult(r))
+	}
+	return resp
 }
 
 // checkScript statically vets a script, returning every diagnostic —

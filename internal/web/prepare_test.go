@@ -1,0 +1,98 @@
+package web_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func postJSON(t *testing.T, ts string, path, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(ts+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func TestWebPrepareExecute(t *testing.T) {
+	ts, _ := testServer(t)
+
+	status, out := postJSON(t, ts.URL, "/prepare",
+		`{"script": "select B.id from graph City (id = %Start%) --road--> def B: City ( )"}`)
+	if status != http.StatusOK || out["ok"] != true {
+		t.Fatalf("prepare: status=%d response=%v", status, out)
+	}
+	stmt, _ := out["stmt"].(string)
+	if stmt == "" {
+		t.Fatalf("prepare returned no handle id: %v", out)
+	}
+
+	// Rebinding: the same handle with different parameters returns each
+	// binding's own rows.
+	for start, want := range map[string]string{"p": "q", "q": "r"} {
+		_, out := postJSON(t, ts.URL, "/execute",
+			`{"stmt": "`+stmt+`", "params": {"Start": {"type": "varchar", "value": "`+start+`"}}}`)
+		if out["ok"] != true {
+			t.Fatalf("execute Start=%s: %v", start, out)
+		}
+		rows := out["results"].([]any)[0].(map[string]any)["rows"].([]any)
+		if len(rows) != 1 || rows[0].([]any)[0] != want {
+			t.Errorf("Start=%s rows = %v, want [[%s]]", start, rows, want)
+		}
+	}
+}
+
+func TestWebPrepareExecuteErrors(t *testing.T) {
+	ts, _ := testServer(t)
+
+	// Unknown handle → structured bad_request (the web layer reports
+	// request-level failures in the body, like /query does).
+	_, out := postJSON(t, ts.URL, "/execute", `{"stmt": "s999"}`)
+	if out["ok"] == true || out["code"] != "bad_request" {
+		t.Errorf("unknown handle accepted: %v", out)
+	}
+	if msg, _ := out["error"].(string); !strings.Contains(msg, "unknown prepared statement") {
+		t.Errorf("error = %v", out)
+	}
+
+	// Prepare of a broken script → parse error, no handle.
+	_, out = postJSON(t, ts.URL, "/prepare", `{"script": "select from where"}`)
+	if out["ok"] == true || out["stmt"] != nil {
+		t.Errorf("broken script prepared: %v", out)
+	}
+
+	// Prepare without a script → bad request.
+	_, out = postJSON(t, ts.URL, "/prepare", `{}`)
+	if out["ok"] == true || out["code"] != "bad_request" {
+		t.Errorf("empty prepare accepted: %v", out)
+	}
+
+	// Execute with an explicit timeout: the optional timeoutMs field of
+	// the /query contract applies to /execute too (clamped server-side).
+	_, out = postJSON(t, ts.URL, "/prepare", `{"script": "select B.id from graph City (id = 'p') --road--> def B: City ( )"}`)
+	stmt, _ := out["stmt"].(string)
+	if stmt == "" {
+		t.Fatalf("prepare: %v", out)
+	}
+	_, out = postJSON(t, ts.URL, "/execute", `{"stmt": "`+stmt+`", "timeoutMs": 5000}`)
+	if out["ok"] != true {
+		t.Fatalf("execute with timeout: %v", out)
+	}
+
+	// GET on the POST-only endpoints → method not allowed.
+	resp, err := http.Get(ts.URL + "/prepare")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /prepare status = %d", resp.StatusCode)
+	}
+}

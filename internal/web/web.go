@@ -36,16 +36,24 @@ type Handler struct {
 	// as the TCP front-end). Set before serving.
 	Limits server.Limits
 
-	// Gate, when non-nil, admission-controls /query; overflow requests
-	// get 503 with code "overloaded". Share one gate with the TCP
-	// front-end to bound the process globally. Set before serving.
+	// Gate, when non-nil, admission-controls /query and /execute;
+	// overflow requests get 503 with code "overloaded". Share one gate
+	// with the TCP front-end to bound the process globally. Set before
+	// serving.
 	Gate *server.Gate
+
+	// Prepared is the prepared-statement registry backing /prepare and
+	// /execute. New installs a private set; replace it before serving to
+	// share handles with the TCP front-end (gems-server does).
+	Prepared *server.PreparedSet
 }
 
 // New returns the front-end handler.
 //
 //	GET  /             the HTML console
 //	POST /query        {"script": "...", "params": {"P": {"type": "varchar", "value": "x"}}}
+//	POST /prepare      {"script": "..."} → {"stmt": "s1"} (compile once, keep the handle)
+//	POST /execute      {"stmt": "s1", "params": {...}} → results (run the compiled handle)
 //	POST /vet          {"script": "..."} → every static-analysis finding as JSON
 //	GET  /catalog      the catalog snapshot as JSON
 //	GET  /metrics      Prometheus text exposition of the engine registry
@@ -62,9 +70,11 @@ type Handler struct {
 // restricts the route). /metrics and the debug endpoints work — with an
 // empty exposition — when the engine has no observability registry.
 func New(eng *exec.Engine) *Handler {
-	h := &Handler{eng: eng, mux: http.NewServeMux()}
+	h := &Handler{eng: eng, mux: http.NewServeMux(), Prepared: server.NewPreparedSet(0)}
 	h.mux.HandleFunc("GET /{$}", h.console)
 	h.mux.HandleFunc("POST /query", h.query)
+	h.mux.HandleFunc("POST /prepare", h.prepare)
+	h.mux.HandleFunc("POST /execute", h.execute)
 	h.mux.HandleFunc("POST /vet", h.vet)
 	h.mux.HandleFunc("GET /catalog", h.catalog)
 	h.mux.HandleFunc("GET /metrics", h.metrics)
@@ -185,6 +195,8 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) { h.mux.Serv
 type queryRequest struct {
 	Script string                  `json:"script"`
 	Params map[string]server.Param `json:"params,omitempty"`
+	// Stmt names a prepared-statement handle (for /execute).
+	Stmt string `json:"stmt,omitempty"`
 	// Check runs static analysis only.
 	Check bool `json:"check,omitempty"`
 	// TimeoutMs optionally bounds this request's execution in
@@ -200,6 +212,8 @@ type queryResponse struct {
 	// (parse | bad_request | exec | canceled | deadline | overloaded).
 	Code    string              `json:"code,omitempty"`
 	Results []server.StmtResult `json:"results,omitempty"`
+	// Stmt is the prepared-statement handle assigned by /prepare.
+	Stmt string `json:"stmt,omitempty"`
 	// TraceID reports the request's trace id when the engine's registry
 	// retains traces (also sent as the X-Trace-Id response header).
 	TraceID string `json:"traceId,omitempty"`
@@ -303,14 +317,130 @@ func (h *Handler) query(w http.ResponseWriter, r *http.Request) {
 // logQuery emits the per-request structured line with the shared schema
 // fields (trace_id, op, code, elapsed_us).
 func (h *Handler) logQuery(resp queryResponse, start time.Time) {
+	h.logOp(resp, "/query", start)
+}
+
+func (h *Handler) logOp(resp queryResponse, op string, start time.Time) {
 	if h.Log == nil {
 		return
 	}
 	h.Log.Info("request",
 		"trace_id", resp.TraceID,
-		"op", "/query",
+		"op", op,
 		"code", resp.Code,
 		"elapsed_us", time.Since(start).Microseconds())
+}
+
+// prepare compiles a script into a server-side prepared statement
+// (parse → binary IR → fingerprints, plus eager analysis for read-only
+// scripts) and returns the assigned handle id in the stmt field.
+func (h *Handler) prepare(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest,
+			queryResponse{Code: server.CodeBadRequest, Error: "bad request: " + err.Error()})
+		return
+	}
+	if req.Script == "" {
+		writeJSON(w, http.StatusOK,
+			queryResponse{Code: server.CodeBadRequest, Error: "prepare requires script"})
+		return
+	}
+	p, err := h.eng.Prepare(req.Script)
+	if err != nil {
+		writeJSON(w, http.StatusOK, queryResponse{Code: server.CodeParse, Error: err.Error()})
+		return
+	}
+	id := h.Prepared.Add(p)
+	writeJSON(w, http.StatusOK, queryResponse{
+		OK: true, Stmt: id,
+		Results: []server.StmtResult{{Message: fmt.Sprintf("prepared %d statement(s) as %s", p.NumStmts(), id)}},
+	})
+}
+
+// execute runs a prepared handle, binding the request's parameters. It
+// passes the same admission gate and deadline clamp as /query.
+func (h *Handler) execute(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest,
+			queryResponse{Code: server.CodeBadRequest, Error: "bad request: " + err.Error()})
+		return
+	}
+	p := h.Prepared.Get(req.Stmt)
+	if p == nil {
+		writeJSON(w, http.StatusOK, queryResponse{Code: server.CodeBadRequest,
+			Error: fmt.Sprintf("unknown prepared statement %q", req.Stmt)})
+		return
+	}
+	params, err := decodeParams(req.Params)
+	if err != nil {
+		writeJSON(w, http.StatusOK, queryResponse{Code: server.CodeBadRequest, Error: err.Error()})
+		return
+	}
+
+	ctx := r.Context()
+	if d := h.Limits.TimeoutFor(req.TimeoutMs); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	qctx, qcancel := context.WithCancel(ctx)
+	defer qcancel()
+	fp, text := h.eng.Opts.Obs.FingerprintCached(p.Text())
+	lq := h.eng.Opts.Obs.StartQueuedQuery(fp, text, qcancel)
+	waitStart := time.Now()
+	gateErr := h.Gate.Acquire(qctx)
+	lq.Finish()
+	if gateErr != nil {
+		resp := queryResponse{Error: gateErr.Error()}
+		status := http.StatusOK
+		switch {
+		case errors.Is(gateErr, server.ErrOverloaded):
+			resp.Code = server.CodeOverloaded
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "1")
+		case errors.Is(gateErr, context.DeadlineExceeded):
+			resp.Code = server.CodeDeadline
+		default:
+			resp.Code = server.CodeCanceled
+		}
+		h.logOp(resp, "/execute", start)
+		writeJSON(w, status, resp)
+		return
+	}
+	defer h.Gate.Release()
+	ctx = exec.WithQueueWait(qctx, time.Since(waitStart))
+
+	eng := h.eng
+	reg := h.eng.Opts.Obs
+	var tr *obs.Trace
+	var root *obs.Span
+	if reg.TracingEnabled() {
+		tid, parent, _ := obs.ParseTraceParent(r.Header.Get("traceparent"))
+		tr = obs.NewTrace(tid)
+		root = tr.SpanUnder(parent, "web", "/execute")
+		eng = h.eng.WithTrace(tr, root)
+	}
+
+	results, err := eng.ExecPreparedContext(ctx, p, params)
+	resp := queryResponse{OK: err == nil}
+	if err != nil {
+		resp.Error = err.Error()
+		resp.Code = server.ErrorCode(err)
+	}
+	for _, res := range results {
+		resp.Results = append(resp.Results, server.EncodeResult(res))
+	}
+	if tr != nil {
+		root.End()
+		resp.TraceID = tr.ID().String()
+		w.Header().Set("X-Trace-Id", resp.TraceID)
+		reg.ObserveTrace(tr)
+	}
+	h.logOp(resp, "/execute", start)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // vetResponse is the /vet body: every static-analysis finding, sorted
