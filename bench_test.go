@@ -76,11 +76,11 @@ func berlinEngine(b *testing.B, sf, workers int, reverse bool) *exec.Engine {
 	return e
 }
 
-func suiteParams(b *testing.B) map[string]value.Value {
-	b.Helper()
+func suiteParams(tb testing.TB) map[string]value.Value {
+	tb.Helper()
 	params, err := bsbm.TypedParams(bsbm.DefaultParams())
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	return params
 }

@@ -1,5 +1,5 @@
 // Command benchrunner regenerates every experiment table of
-// EXPERIMENTS.md (E1–E12, defined in DESIGN.md §3b): it builds Berlin
+// EXPERIMENTS.md (E1–E16, defined in DESIGN.md §3b): it builds Berlin
 // datasets, loads them, runs the query suite and the ablations, and
 // prints one markdown table per experiment.
 //
@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"runtime"
 	"sort"
@@ -105,6 +106,7 @@ func main() {
 		{"E13", e13, "Durability cost (WAL / fsync ablation)"},
 		{"E14", e14, "Per-statement observability overhead"},
 		{"E15", e15, "Prepared statements & plan-cache ablation"},
+		{"E16", e16, "Distributed transport: networked vs simulated"},
 	}
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -194,6 +196,7 @@ func benchSet() map[string]int64 {
 	obsBench(out)
 	plancacheBench(out)
 	serveBench(out)
+	distBench(out)
 	return out
 }
 
@@ -803,6 +806,137 @@ func e6() {
 			row(fmt.Sprint(parts), strat.String(), dur(med), fmt.Sprint(stats.Messages),
 				fmt.Sprint(stats.VerticesSent), fmt.Sprint(stats.VerticesLocal))
 		}
+	}
+}
+
+// bootDistWorkers starts n in-process worker shards over g on loopback
+// listeners and dials a TCP transport to them. The returned stop func
+// tears down transport, workers, and listeners.
+func bootDistWorkers(g *graph.Graph, n int) (*cluster.TCPTransport, func()) {
+	addrs := make([]string, n)
+	workers := make([]*cluster.Worker, n)
+	listeners := make([]net.Listener, n)
+	for p := 0; p < n; p++ {
+		wk, err := cluster.NewWorker(g, p, n, cluster.Hash)
+		if err != nil {
+			fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		addrs[p] = ln.Addr().String()
+		workers[p] = wk
+		listeners[p] = ln
+		go wk.Serve(ln) //nolint:errcheck
+	}
+	tp, err := cluster.DialTCP(addrs, cluster.DialOptions{
+		Strategy:    cluster.Hash,
+		Fingerprint: cluster.GraphFingerprint(g),
+		Obs:         reg,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	return tp, func() {
+		tp.Close()
+		for i := range workers {
+			workers[i].Close()
+			listeners[i].Close()
+		}
+	}
+}
+
+// distChainSteps is the E6 review chain used to compare transports.
+func distChainSteps(g *graph.Graph) []cluster.Step {
+	return []cluster.Step{
+		{Edge: g.EdgeType("reviewFor"), Forward: false},
+		{Edge: g.EdgeType("reviewer"), Forward: true},
+	}
+}
+
+// distBench adds the distributed-transport keys to the comparable
+// benchmark set: the E6 review chain over 1/2/4 worker shards, once
+// through the in-process channel transport (simulated) and once through
+// real TCP worker servers on loopback (networked). The pair bounds the
+// wire overhead of real distribution.
+func distBench(out map[string]int64) {
+	e := loadBerlin(1, 0, true)
+	g := e.Cat.Graph()
+	for _, parts := range []int{1, 2, 4} {
+		sim, err := cluster.NewWithStrategy(g, parts, cluster.Hash)
+		if err != nil {
+			fatal(err)
+		}
+		out[fmt.Sprintf("dist/sim/w%d", parts)] = benchTime(func() {
+			if _, _, err := sim.Traverse(g.VertexType("ProductVtx"), nil, distChainSteps(g)); err != nil {
+				fatal(err)
+			}
+		}).Nanoseconds()
+
+		tp, stop := bootDistWorkers(g, parts)
+		netted, err := cluster.NewWithTransport(g, tp)
+		if err != nil {
+			fatal(err)
+		}
+		out[fmt.Sprintf("dist/net/w%d", parts)] = benchTime(func() {
+			if _, _, err := netted.Traverse(g.VertexType("ProductVtx"), nil, distChainSteps(g)); err != nil {
+				fatal(err)
+			}
+		}).Nanoseconds()
+		stop()
+	}
+}
+
+// e16 compares the two transports behind the BSP coordinator on the E6
+// review chain: identical supersteps and exchange stats by
+// construction, so the latency delta is pure wire cost (framing, JSON,
+// socket round-trips per superstep).
+func e16() {
+	sf := 5
+	if *quick {
+		sf = 2
+	}
+	e := loadBerlin(sf, 0, true)
+	g := e.Cat.Graph()
+	header("workers", "transport", "median latency", "messages", "vertices sent", "net / sim")
+	for _, parts := range []int{1, 2, 4} {
+		sim, err := cluster.NewWithStrategy(g, parts, cluster.Hash)
+		if err != nil {
+			fatal(err)
+		}
+		sim.SetObs(reg)
+		var simStats cluster.Stats
+		simMed := timeIt(func() {
+			_, s, err := sim.Traverse(g.VertexType("ProductVtx"), nil, distChainSteps(g))
+			if err != nil {
+				fatal(err)
+			}
+			simStats = s
+		})
+		row(fmt.Sprint(parts), "simulated", dur(simMed), fmt.Sprint(simStats.Messages),
+			fmt.Sprint(simStats.VerticesSent), "1.00×")
+
+		tp, stop := bootDistWorkers(g, parts)
+		netted, err := cluster.NewWithTransport(g, tp)
+		if err != nil {
+			fatal(err)
+		}
+		netted.SetObs(reg)
+		var netStats cluster.Stats
+		netMed := timeIt(func() {
+			_, s, err := netted.Traverse(g.VertexType("ProductVtx"), nil, distChainSteps(g))
+			if err != nil {
+				fatal(err)
+			}
+			netStats = s
+		})
+		stop()
+		if netStats.Messages != simStats.Messages || netStats.VerticesSent != simStats.VerticesSent {
+			fatal(fmt.Errorf("transport divergence at w%d: sim %+v vs net %+v", parts, simStats, netStats))
+		}
+		row(fmt.Sprint(parts), "networked", dur(netMed), fmt.Sprint(netStats.Messages),
+			fmt.Sprint(netStats.VerticesSent), fmt.Sprintf("%.2f×", float64(netMed)/float64(simMed)))
 	}
 }
 

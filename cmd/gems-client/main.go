@@ -182,6 +182,23 @@ func main() {
 			fmt.Printf("%-6d %-16s %-8s %12d %12d  %s\n",
 				q.ID, q.Fingerprint, q.State, q.ElapsedUs, q.Rows, clip(q.Query, 60))
 		}
+	case "workers":
+		ws, err := cl.Workers()
+		if err != nil {
+			fatal(err)
+		}
+		if len(ws) == 0 {
+			fmt.Println("not running distributed")
+			break
+		}
+		fmt.Printf("%-6s %-22s %-9s  %s\n", "PART", "ADDR", "STATE", "ERROR")
+		for _, w := range ws {
+			state := "healthy"
+			if !w.Healthy {
+				state = "down"
+			}
+			fmt.Printf("p%-5d %-22s %-9s  %s\n", w.Part, w.Addr, state, w.Err)
+		}
 	case "cancelq":
 		if flag.NArg() < 2 {
 			usage()
@@ -333,6 +350,7 @@ func usage() {
   gems-client [-addr host:port] [-token t] trace
   gems-client [-addr host:port] [-token t] statements
   gems-client [-addr host:port] [-token t] ps
+  gems-client [-addr host:port] [-token t] workers
   gems-client [-addr host:port] [-token t] cancelq <id>
   gems-client [-addr host:port] [-token t] ping`)
 	os.Exit(2)

@@ -7,12 +7,23 @@
 //
 //	gems-server -addr :7687 [-token secret] [-data dir] [-berlin 1]
 //	gems-server -store dir [-fsync=false] ...
+//	gems-server -worker -partition 0 -partitions 3 -berlin 1 -addr :7700
+//	gems-server -dist :7700,:7701,:7702 -berlin 1 ...
 //
 // With -berlin N the server preloads a generated Berlin dataset at scale
 // factor N, ready for the query suite. With -store the database is
 // durable: state is recovered from the directory's snapshot +
 // write-ahead log before listening, every committed mutation is logged
 // (fsynced per -fsync), and graceful shutdown writes a checkpoint.
+//
+// With -worker the process is one shard of a distributed cluster: it
+// owns partition -partition of -partitions and serves BSP supersteps on
+// -addr over the length-prefixed frame protocol. With -dist the server
+// is the cluster's coordinator: it scatters eligible chain queries to
+// the listed worker processes (address order = partition order) instead
+// of simulating partitions in-process; a worker that fails a superstep
+// after -dist-timeout and -dist-retries yields the structured "partial"
+// error code.
 package main
 
 import (
@@ -29,6 +40,7 @@ import (
 	"time"
 
 	"graql/internal/bsbm"
+	"graql/internal/cluster"
 	"graql/internal/exec"
 	"graql/internal/obs"
 	"graql/internal/server"
@@ -50,8 +62,13 @@ func main() {
 		slowQuery    = flag.Duration("slow-query", 0, "log statements slower than this (e.g. 250ms; 0 disables)")
 		queryLog     = flag.Bool("query-log", false, "emit one structured wide-event log line per completed statement")
 		traces       = flag.Int("traces", 64, "retain this many complete request traces (0 disables tracing)")
-		partitions   = flag.Int("partitions", 0, "simulate a GEMS cluster with this many partitions for chain queries (0-1 = off)")
+		partitions   = flag.Int("partitions", 0, "simulate a GEMS cluster with this many partitions for chain queries (0-1 = off); with -worker, the cluster's total partition count")
 		placement    = flag.String("placement", "hash", "cluster placement strategy: hash | block")
+		workerMode   = flag.Bool("worker", false, "run as a distributed worker shard: own one partition, serve supersteps on -addr over the framed protocol")
+		partition    = flag.Int("partition", 0, "partition index this worker owns (with -worker; 0-based, < -partitions)")
+		distWorkers  = flag.String("dist", "", "comma-separated worker addresses: scatter chain-query supersteps to these worker processes (address order = partition order)")
+		distTimeout  = flag.Duration("dist-timeout", 5*time.Second, "per-superstep per-worker RPC deadline (with -dist)")
+		distRetries  = flag.Int("dist-retries", 1, "retries per failed superstep RPC before reporting the worker failed (with -dist)")
 		logLevel     = flag.String("log-level", "info", "structured log level: off | error | warn | info | debug")
 		logFormat    = flag.String("log-format", "json", "structured log format: json | text")
 		idleTimeout  = flag.Duration("idle-timeout", 5*time.Minute, "drop TCP sessions idle longer than this (0 = no limit)")
@@ -129,6 +146,75 @@ func main() {
 		fmt.Printf("preloaded Berlin dataset (sf=%d)\n", *berlin)
 	}
 
+	// Worker mode: this process is one shard of a distributed cluster. It
+	// holds the full graph (partitioning divides the vertex id spaces, not
+	// the storage), owns partition -partition of -partitions, and serves
+	// supersteps over the framed protocol until signaled.
+	if *workerMode {
+		strategy, err := cluster.ParseStrategy(*placement)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gems-server:", err)
+			os.Exit(1)
+		}
+		wk, err := cluster.NewWorker(eng.Cat.Graph(), *partition, *partitions, strategy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gems-server:", err)
+			os.Exit(1)
+		}
+		wk.SetLogger(logger)
+		wk.SetObs(opts.Obs)
+		wln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gems-server:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("gems-worker p%d/%d (%s placement) listening on %s\n",
+			*partition, *partitions, strategy, wln.Addr())
+		sigs := make(chan os.Signal, 1)
+		signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+		go func() {
+			<-sigs
+			wk.Close()
+			wln.Close()
+		}()
+		if err := wk.Serve(wln); err != nil {
+			fmt.Fprintln(os.Stderr, "gems-server: worker:", err)
+			os.Exit(1)
+		}
+		if logger != nil {
+			logger.Info("worker stopped", "partition", *partition)
+		}
+		return
+	}
+
+	// Coordinator mode: connect to the worker shards before listening —
+	// the handshake verifies partition layout, placement, and graph
+	// fingerprint, so a coordinator never serves queries it would scatter
+	// to workers holding a different dataset.
+	var dist *cluster.TCPTransport
+	if *distWorkers != "" {
+		addrs := strings.Split(*distWorkers, ",")
+		strategy, err := cluster.ParseStrategy(*placement)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gems-server:", err)
+			os.Exit(1)
+		}
+		dist, err = cluster.DialTCP(addrs, cluster.DialOptions{
+			Strategy:    strategy,
+			Fingerprint: cluster.GraphFingerprint(eng.Cat.Graph()),
+			Timeout:     *distTimeout,
+			Retries:     *distRetries,
+			Obs:         opts.Obs,
+			Log:         logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gems-server: dist:", err)
+			os.Exit(1)
+		}
+		eng.Opts.Dist = dist
+		fmt.Printf("distributed: %d worker shard(s), %s placement\n", len(addrs), strategy)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gems-server:", err)
@@ -152,6 +238,7 @@ func main() {
 		wh.Limits = limits
 		wh.Gate = gate
 		wh.Prepared = prepared
+		wh.Dist = dist
 		hs = &http.Server{
 			Addr:              *httpAddr,
 			Handler:           wh,
@@ -173,6 +260,7 @@ func main() {
 	srv.Gate = gate
 	srv.Prepared = prepared
 	srv.Log = logger
+	srv.Dist = dist
 	if logger != nil {
 		logger.Info("listening", "addr", ln.Addr().String(), "traces", *traces, "partitions", *partitions,
 			"default_timeout", queryTimeout.String(), "max_inflight", *maxInFlight)
@@ -205,6 +293,9 @@ func main() {
 		}()
 		srv.Shutdown(*drain)
 		<-httpDone
+		if dist != nil {
+			dist.Close()
+		}
 		if store != nil {
 			// In-flight queries have drained: compact the log so the next
 			// start recovers from a snapshot instead of replaying the WAL.

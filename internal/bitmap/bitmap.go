@@ -195,3 +195,18 @@ func FromSlice(n int, idx []uint32) *Bitmap {
 	}
 	return b
 }
+
+// Words exposes the backing word slice (64 bits per word, bit i of word
+// w is id w*64+i). Callers must treat it as read-only; it is the wire
+// form of a frontier in the distributed exchange protocol.
+func (b *Bitmap) Words() []uint64 { return b.words }
+
+// NewFromWords builds a bitmap of capacity n from a copy of the given
+// word slice (the inverse of Words). Extra bits beyond n are cleared;
+// a short slice leaves the tail empty.
+func NewFromWords(n int, words []uint64) *Bitmap {
+	b := New(n)
+	copy(b.words, words)
+	b.trim()
+	return b
+}

@@ -16,6 +16,7 @@ import (
 	"net"
 	"time"
 
+	"graql/internal/cluster"
 	"graql/internal/obs"
 	"graql/internal/server"
 )
@@ -149,7 +150,7 @@ func executionOp(op string) bool {
 // after a network failure (it cannot have changed server state).
 func idempotentOp(op string) bool {
 	switch op {
-	case "ping", "stats", "metrics", "trace", "check", "compile", "statements", "ps":
+	case "ping", "stats", "metrics", "trace", "check", "compile", "statements", "ps", "workers":
 		return true
 	}
 	return false
@@ -314,6 +315,16 @@ func (c *Client) Statements() ([]obs.StmtStat, error) {
 		return nil, err
 	}
 	return resp.Statements, nil
+}
+
+// Workers fetches the distributed cluster's per-worker health (actively
+// probed by the server). Empty when the server runs single-process.
+func (c *Client) Workers() ([]cluster.WorkerStatus, error) {
+	resp, err := c.roundTrip(&server.Request{Op: "workers"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Workers, nil
 }
 
 // LiveQueries fetches the server's in-flight query table.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"graql/internal/client"
+	"graql/internal/cluster"
 	"graql/internal/obs"
 	"graql/internal/server"
 )
@@ -50,6 +51,8 @@ func TestClientMethodSurface(t *testing.T) {
 			return server.Response{OK: true}, false
 		case "trace":
 			return server.Response{OK: true, Traces: []obs.TraceTree{{TraceID: "abc"}}}, false
+		case "workers":
+			return server.Response{OK: true, Workers: []cluster.WorkerStatus{{Part: 0, Addr: "w0", Healthy: true}}}, false
 		case "exec":
 			return server.Response{OK: true, Results: []server.StmtResult{{Message: "exec"}}}, false
 		}
@@ -111,6 +114,9 @@ func TestClientMethodSurface(t *testing.T) {
 	}
 	if trs, err := cl.Traces(); err != nil || len(trs) != 1 || trs[0].TraceID != "abc" {
 		t.Errorf("Traces: %v, %v", trs, err)
+	}
+	if ws, err := cl.Workers(); err != nil || len(ws) != 1 || !ws[0].Healthy || ws[0].Addr != "w0" {
+		t.Errorf("Workers: %v, %v", ws, err)
 	}
 	if err := cl.Ping(); err != nil {
 		t.Errorf("Ping: %v", err)

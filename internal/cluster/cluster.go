@@ -1,17 +1,17 @@
-// Package cluster simulates the GEMS backend cluster (paper §III): the
+// Package cluster implements the GEMS backend cluster (paper §III): the
 // database graph partitioned across the aggregated memory of N compute
 // nodes, with path queries executed as bulk-synchronous rounds of local
 // edge-index expansion followed by frontier exchange between partitions.
 //
-// The paper's evaluation platform — a high-memory InfiniBand cluster — is
-// not available here, so this package substitutes a faithful
-// shared-nothing simulation: each simulated node owns a hash partition of
-// every vertex type, expands only edges whose source it owns, and
-// vertices discovered for remote partitions are "sent" through per-round
-// exchange buffers. The simulation counts exchanged messages and vertex
-// ids, the quantities that dominate distributed graph-query cost, so the
-// partition-scaling experiments (E6) measure the communication behaviour
-// the real system would exhibit.
+// Partition execution sits behind the Transport interface. The
+// ChannelTransport runs every partition as a goroutine over one shared
+// in-memory graph — a faithful shared-nothing simulation that counts
+// exchanged messages and vertex ids, the quantities that dominate
+// distributed graph-query cost. The TCPTransport scatters each superstep
+// to real worker processes over sockets (cmd/gems-server -worker) and
+// gathers their partition results. Both transports run the identical
+// expansion kernel, so the simulation doubles as the correctness oracle
+// for the networked path: same frontier sets, same message counts.
 package cluster
 
 import (
@@ -28,8 +28,8 @@ import (
 
 // Strategy selects how vertex ids map to partitions — the paper singles
 // out "the difficulty of partitioning graphs across nodes on a cluster";
-// the simulation offers the two standard baselines so their communication
-// behaviour can be compared (experiment E6).
+// the two standard baselines are offered so their communication behaviour
+// can be compared (experiment E6).
 type Strategy uint8
 
 // Partitioning strategies.
@@ -49,15 +49,29 @@ func (s Strategy) String() string {
 	return "hash"
 }
 
-// Cluster is a simulated GEMS backend over one database graph.
+// ParseStrategy maps a placement name ("hash" | "block") to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	switch name {
+	case "hash", "":
+		return Hash, nil
+	case "block":
+		return Block, nil
+	}
+	return Hash, fmt.Errorf("cluster: unknown placement strategy %q (want hash or block)", name)
+}
+
+// Cluster drives BSP path traversals over one database graph through a
+// Transport (simulated nodes or networked workers).
 type Cluster struct {
-	g        *graph.Graph
-	parts    int
-	strategy Strategy
-	obs      *obs.Registry
-	span     *obs.Span
-	log      *slog.Logger
-	ctx      context.Context
+	g         *graph.Graph
+	transport Transport
+	parts     int
+	strategy  Strategy
+	obs       *obs.Registry
+	span      *obs.Span
+	log       *slog.Logger
+	ctx       context.Context
+	traceID   string
 }
 
 // SetContext attaches a cancellation context; Traverse then aborts
@@ -84,7 +98,8 @@ func (c *Cluster) SetObs(reg *obs.Registry) { c.obs = reg }
 
 // SetTraceSpan attaches a parent trace span; every Traverse then records
 // one child span per BSP superstep, each with one grandchild span per
-// simulated node carrying that node's exchange counts. nil (the default)
+// node carrying that node's exchange counts (and, on the networked
+// transport, real RPC latency and wire bytes). nil (the default)
 // disables span recording.
 func (c *Cluster) SetTraceSpan(sp *obs.Span) { c.span = sp }
 
@@ -92,6 +107,10 @@ func (c *Cluster) SetTraceSpan(sp *obs.Span) { c.span = sp }
 // lines with frontier and exchange counts. nil (the default) disables
 // logging.
 func (c *Cluster) SetLogger(l *slog.Logger) { c.log = l }
+
+// SetTraceID attaches the query's trace id; the networked transport
+// forwards it to workers so their logs correlate with the coordinator's.
+func (c *Cluster) SetTraceID(id string) { c.traceID = id }
 
 // New partitions the graph's vertex id spaces across `parts` simulated
 // nodes with hash placement (GEMS's baseline).
@@ -101,45 +120,47 @@ func New(g *graph.Graph, parts int) (*Cluster, error) {
 
 // NewWithStrategy selects the placement strategy explicitly.
 func NewWithStrategy(g *graph.Graph, parts int, strategy Strategy) (*Cluster, error) {
-	if parts < 1 {
-		return nil, fmt.Errorf("cluster: need at least 1 partition, got %d", parts)
+	t, err := NewChannelTransport(g, parts, strategy)
+	if err != nil {
+		return nil, err
 	}
-	return &Cluster{g: g, parts: parts, strategy: strategy}, nil
+	return NewWithTransport(g, t)
 }
 
-// Parts returns the number of simulated nodes.
+// NewWithTransport drives traversals over g through an explicit
+// transport (the seam the networked path plugs into). g is the
+// coordinator's local copy of the graph: start sets and step validation
+// evaluate locally, only superstep expansion runs on the transport.
+func NewWithTransport(g *graph.Graph, t Transport) (*Cluster, error) {
+	if t.Parts() < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 partition, got %d", t.Parts())
+	}
+	return &Cluster{g: g, transport: t, parts: t.Parts(), strategy: t.Strategy()}, nil
+}
+
+// Parts returns the number of cluster nodes.
 func (c *Cluster) Parts() int { return c.parts }
 
 // Strategy returns the placement strategy.
 func (c *Cluster) Strategy() Strategy { return c.strategy }
-
-// owner maps vertex v of a type with n instances to its partition.
-func (c *Cluster) owner(v uint32, n int) int {
-	if c.strategy == Block {
-		if n == 0 {
-			return 0
-		}
-		p := int(uint64(v) * uint64(c.parts) / uint64(n))
-		if p >= c.parts {
-			p = c.parts - 1
-		}
-		return p
-	}
-	return int(v) % c.parts
-}
 
 // Step is one edge traversal of a distributed path query.
 type Step struct {
 	Edge *graph.EdgeType
 	// Forward traverses source→target; otherwise the reverse index.
 	Forward bool
-	// Filter optionally restricts accepted target vertices.
-	Filter func(v uint32) bool
+	// FilterSet optionally restricts accepted target vertices to a
+	// precomputed candidate set. A bitmap rather than a predicate
+	// function: the networked transport ships it to workers as part of
+	// the superstep frame.
+	FilterSet *bitmap.Bitmap
 }
 
-// Wire-size model for the simulated exchange: a fixed per-message header
-// plus one 32-bit id per vertex (paper §III: frontier exchange dominates
-// distributed query cost).
+// Wire-size model for the exchange accounting: a fixed per-message
+// header plus one 32-bit id per vertex (paper §III: frontier exchange
+// dominates distributed query cost). Both transports count with this
+// model so their statistics are comparable; the networked transport
+// additionally reports real frame bytes through graql_dist_* metrics.
 const (
 	msgHeaderBytes = 16
 	vertexIDBytes  = 4
@@ -166,7 +187,8 @@ type Stats struct {
 // Traverse runs a linear path query: a start set on startType filtered by
 // startFilter, then one BSP round per step (paper Eq. 5 forward pass),
 // followed by a backward culling pass. It returns the culled per-step
-// vertex sets (index 0 = start set) and exchange statistics.
+// vertex sets (index 0 = start set) and exchange statistics. On the
+// networked transport a failed worker surfaces as a *PartialError.
 func (c *Cluster) Traverse(startType *graph.VertexType, startFilter func(uint32) bool, steps []Step) ([]*bitmap.Bitmap, Stats, error) {
 	if err := c.validate(startType, steps); err != nil {
 		return nil, Stats{}, err
@@ -185,7 +207,11 @@ func (c *Cluster) Traverse(startType *graph.VertexType, startFilter func(uint32)
 		if !st.Forward {
 			next = st.Edge.Src
 		}
-		sets[i+1] = c.superstep("forward", i+1, sets[i], st, next.Count(), &stats)
+		out, err := c.superstep("forward", i+1, sets[i], st, next.Count(), &stats)
+		if err != nil {
+			return nil, stats, err
+		}
+		sets[i+1] = out
 	}
 
 	// Backward culling pass: the reverse traversal uses the opposite
@@ -201,7 +227,10 @@ func (c *Cluster) Traverse(startType *graph.VertexType, startFilter func(uint32)
 		if !st.Forward {
 			prevType = st.Edge.Dst
 		}
-		reached := c.superstep("backward", i+1, sets[i+1], back, prevType.Count(), &stats)
+		reached, err := c.superstep("backward", i+1, sets[i+1], back, prevType.Count(), &stats)
+		if err != nil {
+			return nil, stats, err
+		}
 		sets[i].And(reached)
 	}
 	if err := c.ctxErr(); err != nil {
@@ -211,28 +240,40 @@ func (c *Cluster) Traverse(startType *graph.VertexType, startFilter func(uint32)
 	return sets, stats, nil
 }
 
-// superstep runs one BSP exchange round through exchangeExpand and, when
+// superstep runs one BSP exchange round through the transport and, when
 // a trace span or logger is attached, records the round's frontier size
 // and exchange deltas: a "superstep" child span plus one "node" span per
-// simulated node with its sent-vertex count.
-func (c *Cluster) superstep(pass string, round int, frontier *bitmap.Bitmap, st Step, outSize int, stats *Stats) *bitmap.Bitmap {
+// cluster node with its sent-vertex count (and RPC latency/wire bytes
+// when the node is a networked worker).
+func (c *Cluster) superstep(pass string, round int, frontier *bitmap.Bitmap, st Step, outSize int, stats *Stats) (*bitmap.Bitmap, error) {
 	sp := c.span.Child("superstep", fmt.Sprintf("%s round %d over %s", pass, round, st.Edge.Name))
 	prevMsgs, prevBytes, prevSent := stats.Messages, stats.BytesSent, stats.VerticesSent
-	var perPart []int
-	if sp != nil {
-		perPart = append([]int(nil), stats.PerPartSent...)
+	out, results, err := c.exchangeExpand(pass, round, frontier, st, outSize, stats)
+	if err != nil {
+		if sp != nil {
+			sp.SetAttr("error", err.Error())
+			sp.End()
+		}
+		return nil, err
 	}
-	out := c.exchangeExpand(frontier, st, outSize, stats)
 	if sp != nil {
 		sp.AddRows(int64(out.Count()))
 		sp.SetAttr("messages", strconv.Itoa(stats.Messages-prevMsgs))
 		sp.SetAttr("vertices_sent", strconv.Itoa(stats.VerticesSent-prevSent))
 		sp.SetAttr("bytes_sent", strconv.Itoa(stats.BytesSent-prevBytes))
-		for p := 0; p < c.parts; p++ {
-			nsp := sp.Child("node", fmt.Sprintf("p%d", p))
-			sent := stats.PerPartSent[p] - perPart[p]
+		for _, r := range results {
+			nsp := sp.Child("node", fmt.Sprintf("p%d", r.Part))
+			sent := r.Sent()
 			nsp.AddRows(int64(sent))
 			nsp.SetAttr("vertices_sent", strconv.Itoa(sent))
+			if r.Addr != "" {
+				nsp.SetAttr("addr", r.Addr)
+				nsp.SetAttr("rpc_us", strconv.FormatInt(r.RPCMicros, 10))
+				nsp.SetAttr("wire_bytes", strconv.FormatInt(r.WireBytes, 10))
+				if r.Retries > 0 {
+					nsp.SetAttr("retries", strconv.Itoa(r.Retries))
+				}
+			}
 			nsp.End()
 		}
 		sp.End()
@@ -245,7 +286,7 @@ func (c *Cluster) superstep(pass string, round int, frontier *bitmap.Bitmap, st 
 			"vertices_sent", stats.VerticesSent-prevSent,
 			"bytes_sent", stats.BytesSent-prevBytes)
 	}
-	return out
+	return out, nil
 }
 
 // recordStats folds one traversal's exchange statistics into the
@@ -290,7 +331,9 @@ func (c *Cluster) validate(startType *graph.VertexType, steps []Step) error {
 }
 
 // localFilterSet builds the start set, evaluating the filter in parallel
-// per partition (each simulated node scans only the vertices it owns).
+// per partition. The start predicate is a coordinator-local function (it
+// closes over the candidate machinery), so this phase always runs
+// in-process; only superstep expansion crosses the transport.
 func (c *Cluster) localFilterSet(n int, filter func(uint32) bool) *bitmap.Bitmap {
 	out := bitmap.New(n)
 	var wg sync.WaitGroup
@@ -302,7 +345,7 @@ func (c *Cluster) localFilterSet(n int, filter func(uint32) bool) *bitmap.Bitmap
 				if v&1023 == 0 && c.ctx != nil && c.ctx.Err() != nil {
 					return
 				}
-				if c.owner(v, n) != p {
+				if owner(c.strategy, c.parts, v, n) != p {
 					continue
 				}
 				if filter == nil || filter(v) {
@@ -315,72 +358,49 @@ func (c *Cluster) localFilterSet(n int, filter func(uint32) bool) *bitmap.Bitmap
 	return out
 }
 
-// exchangeExpand runs one BSP round: every partition expands its owned
-// frontier vertices through the edge index, buffering discovered targets
-// by owner; buffers are then delivered and merged. Message and vertex
-// counts accumulate into stats.
-func (c *Cluster) exchangeExpand(frontier *bitmap.Bitmap, st Step, outSize int, stats *Stats) *bitmap.Bitmap {
+// exchangeExpand runs one BSP round through the transport: every
+// partition expands its owned frontier vertices through the edge index
+// and returns discovered targets bucketed by owner; the coordinator
+// merges the buckets and counts messages. Accounting is independent of
+// the transport — src≠dst buckets count as exchange traffic whether they
+// crossed a channel or a socket — which is what makes the simulated and
+// networked statistics directly comparable.
+func (c *Cluster) exchangeExpand(pass string, round int, frontier *bitmap.Bitmap, st Step, outSize int, stats *Stats) (*bitmap.Bitmap, []PartResult, error) {
 	stats.Rounds++
-	// Phase 1: local expansion into per-destination buffers.
-	inSize := frontier.Len()
-	sendBufs := make([][][]uint32, c.parts) // [src][dst][]vertex
-	var wg sync.WaitGroup
-	for p := 0; p < c.parts; p++ {
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			bufs := make([][]uint32, c.parts)
-			seen := bitmap.New(outSize) // local dedup before sending
-			// Amortised cancellation poll: a dead context drains this
-			// node's expansion early; Traverse surfaces the abort after
-			// the round's barrier.
-			var tick uint32
-			dead := false
-			expand := func(v uint32) {
-				targets := c.neighbors(st, v)
-				for _, t := range targets {
-					if st.Filter != nil && !st.Filter(t) {
-						continue
-					}
-					if seen.Get(t) {
-						continue
-					}
-					seen.Set(t)
-					d := c.owner(t, outSize)
-					bufs[d] = append(bufs[d], t)
-				}
-			}
-			frontier.ForEach(func(v uint32) {
-				if dead || c.owner(v, inSize) != p {
-					return
-				}
-				tick++
-				if tick&1023 == 0 && c.ctx != nil && c.ctx.Err() != nil {
-					dead = true
-					return
-				}
-				expand(v)
-			})
-			sendBufs[p] = bufs
-		}(p)
+	req := &SuperstepReq{
+		Edge:     st.Edge.Name,
+		Forward:  st.Forward,
+		Pass:     pass,
+		Round:    round,
+		Frontier: frontier,
+		Filter:   st.FilterSet,
+		InSize:   frontier.Len(),
+		OutSize:  outSize,
+		TraceID:  c.traceID,
 	}
-	wg.Wait()
+	ctx := c.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results, err := c.transport.Superstep(ctx, req)
+	if err != nil {
+		return nil, nil, err
+	}
 
-	// Phase 2: delivery. Each destination merges everything addressed to
-	// it; traffic is counted once per non-empty (src,dst) buffer.
+	// Delivery: each destination merges everything addressed to it;
+	// traffic is counted once per non-empty (src,dst) bucket.
 	out := bitmap.New(outSize)
-	for src := 0; src < c.parts; src++ {
-		for dst := 0; dst < c.parts; dst++ {
-			buf := sendBufs[src][dst]
+	for _, r := range results {
+		for dst, buf := range r.Dst {
 			if len(buf) == 0 {
 				continue
 			}
-			if src != dst {
+			if r.Part != dst {
 				stats.Messages++
 				stats.VerticesSent += len(buf)
 				stats.BytesSent += msgHeaderBytes + len(buf)*vertexIDBytes
 				if stats.PerPartSent != nil {
-					stats.PerPartSent[src] += len(buf)
+					stats.PerPartSent[r.Part] += len(buf)
 				}
 			} else {
 				stats.VerticesLocal += len(buf)
@@ -390,26 +410,5 @@ func (c *Cluster) exchangeExpand(frontier *bitmap.Bitmap, st Step, outSize int, 
 			}
 		}
 	}
-	return out
-}
-
-// neighbors returns the step's targets of one vertex, using the forward
-// or reverse index (or an edge scan when the reverse index is absent).
-func (c *Cluster) neighbors(st Step, v uint32) []uint32 {
-	if st.Forward {
-		nbr, _ := st.Edge.Forward().Neighbors(v)
-		return nbr
-	}
-	if rev, ok := st.Edge.Reverse(); ok {
-		nbr, _ := rev.Neighbors(v)
-		return nbr
-	}
-	var out []uint32
-	for e := uint32(0); e < uint32(st.Edge.Count()); e++ {
-		s, d := st.Edge.EdgeAt(e)
-		if d == v {
-			out = append(out, s)
-		}
-	}
-	return out
+	return out, results, nil
 }

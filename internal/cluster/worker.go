@@ -1,0 +1,243 @@
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+
+	"graql/internal/graph"
+	"graql/internal/obs"
+)
+
+// Worker serves one partition of the graph over the length-prefixed
+// frame protocol (cmd/gems-server -worker runs exactly one of these).
+// The worker holds a full local copy of the graph — GEMS partitions the
+// *vertex id spaces*, not the storage: ownership (which frontier slice a
+// node expands) is what the partition index decides, and the handshake
+// fingerprint guarantees every worker expands over the same graph the
+// coordinator plans against.
+type Worker struct {
+	g           *graph.Graph
+	part        int
+	parts       int
+	strategy    Strategy
+	fingerprint string
+	log         *slog.Logger
+	obs         *obs.Registry
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// NewWorker builds a worker owning partition part of parts over g.
+func NewWorker(g *graph.Graph, part, parts int, strategy Strategy) (*Worker, error) {
+	if parts < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 partition, got %d", parts)
+	}
+	if part < 0 || part >= parts {
+		return nil, fmt.Errorf("cluster: partition index %d out of range [0,%d)", part, parts)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Worker{
+		g:           g,
+		part:        part,
+		parts:       parts,
+		strategy:    strategy,
+		fingerprint: fingerprintString(GraphFingerprint(g)),
+		ctx:         ctx,
+		cancel:      cancel,
+		conns:       make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// SetLogger attaches a structured logger for connection and superstep
+// debug lines. nil (the default) disables logging.
+func (w *Worker) SetLogger(l *slog.Logger) { w.log = l }
+
+// SetObs attaches an observability registry; the worker then counts
+// served supersteps and wire traffic under graql_worker_* metrics.
+func (w *Worker) SetObs(reg *obs.Registry) { w.obs = reg }
+
+// Part returns the partition index this worker owns.
+func (w *Worker) Part() int { return w.part }
+
+// Serve accepts coordinator connections on ln until Close. Each
+// connection is served by its own goroutine; frames within a connection
+// are processed strictly in order (the protocol is request/response).
+func (w *Worker) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			w.mu.Lock()
+			closed := w.closed
+			w.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		w.mu.Lock()
+		if w.closed {
+			w.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		w.conns[conn] = struct{}{}
+		w.mu.Unlock()
+		go w.handle(conn)
+	}
+}
+
+// Close stops the worker: in-flight expansions drain, and every open
+// connection is torn down.
+func (w *Worker) Close() {
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return
+	}
+	w.closed = true
+	conns := make([]net.Conn, 0, len(w.conns))
+	for c := range w.conns {
+		conns = append(conns, c)
+	}
+	w.mu.Unlock()
+	w.cancel()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+func (w *Worker) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		w.mu.Lock()
+		delete(w.conns, conn)
+		w.mu.Unlock()
+	}()
+	if w.log != nil {
+		w.log.Debug("worker connection open", "part", w.part, "remote", conn.RemoteAddr().String())
+	}
+	r := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		var req workerReq
+		inBytes, err := readFrame(r, &req)
+		if err != nil {
+			if w.log != nil && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				w.log.Debug("worker connection closed", "part", w.part, "err", err.Error())
+			}
+			return
+		}
+		resp := w.dispatch(&req)
+		outBytes, err := writeFrame(bw, resp)
+		if err == nil {
+			err = bw.Flush()
+		}
+		if err != nil {
+			return
+		}
+		if w.obs != nil {
+			w.obs.Counter("graql_worker_frames_total", "frames served by this worker").Inc()
+			w.obs.Counter("graql_worker_bytes_in_total", "frame bytes received by this worker").Add(int64(inBytes))
+			w.obs.Counter("graql_worker_bytes_out_total", "frame bytes sent by this worker").Add(int64(outBytes))
+		}
+	}
+}
+
+func (w *Worker) dispatch(req *workerReq) *workerResp {
+	switch req.Op {
+	case "ping":
+		return &workerResp{OK: true, Part: w.part}
+	case "hello":
+		return w.hello(req)
+	case "step":
+		return w.step(req)
+	}
+	return &workerResp{Err: fmt.Sprintf("worker: unknown op %q", req.Op)}
+}
+
+// hello verifies the coordinator and worker agree on partition layout,
+// placement, and graph content before any superstep runs.
+func (w *Worker) hello(req *workerReq) *workerResp {
+	echo := &workerResp{
+		Part:        w.part,
+		Parts:       w.parts,
+		Strategy:    w.strategy.String(),
+		Fingerprint: w.fingerprint,
+	}
+	switch {
+	case req.Part != w.part:
+		echo.Err = fmt.Sprintf("worker owns partition %d, coordinator expects %d", w.part, req.Part)
+	case req.Parts != w.parts:
+		echo.Err = fmt.Sprintf("worker configured for %d partitions, coordinator has %d", w.parts, req.Parts)
+	case req.Strategy != w.strategy.String():
+		echo.Err = fmt.Sprintf("worker placement is %s, coordinator uses %s", w.strategy, req.Strategy)
+	case req.Fingerprint != w.fingerprint:
+		echo.Err = fmt.Sprintf("graph fingerprint mismatch: worker %s, coordinator %s (different datasets)", w.fingerprint, req.Fingerprint)
+	default:
+		echo.OK = true
+		if w.log != nil {
+			w.log.Info("worker handshake ok", "part", w.part, "parts", w.parts,
+				"strategy", w.strategy.String(), "fingerprint", w.fingerprint)
+		}
+	}
+	return echo
+}
+
+// step runs one superstep over this worker's owned slice of the frontier.
+func (w *Worker) step(req *workerReq) *workerResp {
+	frontier, err := decodeBitmap(req.InSize, req.Frontier)
+	if err != nil {
+		return &workerResp{Err: err.Error()}
+	}
+	if frontier == nil {
+		return &workerResp{Err: "worker: step frame has no frontier"}
+	}
+	filter, err := decodeBitmap(req.OutSize, req.Filter)
+	if err != nil {
+		return &workerResp{Err: err.Error()}
+	}
+	sreq := &SuperstepReq{
+		Edge:     req.Edge,
+		Forward:  req.Forward,
+		Pass:     req.Pass,
+		Round:    req.Round,
+		Frontier: frontier,
+		Filter:   filter,
+		InSize:   req.InSize,
+		OutSize:  req.OutSize,
+		TraceID:  req.TraceID,
+	}
+	bufs, err := expandOwned(w.ctx, w.g, w.part, w.parts, w.strategy, sreq)
+	if err != nil {
+		return &workerResp{Err: err.Error()}
+	}
+	dst := make([]string, len(bufs))
+	sent := 0
+	for d, buf := range bufs {
+		dst[d] = encodeIDs(buf)
+		if d != w.part {
+			sent += len(buf)
+		}
+	}
+	if w.obs != nil {
+		w.obs.Counter("graql_worker_steps_total", "supersteps served by this worker").Inc()
+		w.obs.Counter("graql_worker_vertices_sent_total", "vertex ids this worker sent to remote partitions").Add(int64(sent))
+	}
+	if w.log != nil {
+		w.log.Debug("worker superstep",
+			"part", w.part, "pass", req.Pass, "round", req.Round, "edge", req.Edge,
+			"trace_id", req.TraceID, "sent", sent)
+	}
+	return &workerResp{OK: true, Part: w.part, Dst: dst}
+}

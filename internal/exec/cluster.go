@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 
@@ -9,23 +10,32 @@ import (
 )
 
 // This file routes eligible linear-chain subgraph queries through the
-// simulated GEMS backend cluster (internal/cluster) when
-// Options.ClusterParts >= 2: one BSP superstep per chain edge across the
-// configured partitions, with frontier-exchange statistics and — under
-// tracing — one "cluster" span whose children are the supersteps and
-// per-node exchange spans. The produced per-node sets are identical to
-// cullChainSets: Traverse applies each node's candidate set as its
-// per-step filter during forward expansion and the backward pass culls
-// vertices with no complete path, exactly the Eq. 5 semantics.
+// GEMS backend cluster (internal/cluster): one BSP superstep per chain
+// edge across the configured partitions, with frontier-exchange
+// statistics and — under tracing — one "cluster" span whose children are
+// the supersteps and per-node exchange spans. With Options.ClusterParts
+// the partitions are simulated in-process; with Options.Dist they are
+// real worker processes reached over sockets. The produced per-node sets
+// are identical to cullChainSets either way: Traverse applies each
+// node's candidate set as its per-step filter during forward expansion
+// and the backward pass culls vertices with no complete path, exactly
+// the Eq. 5 semantics.
+
+// ErrPartial reports that a distributed query could not complete because
+// one or more cluster workers failed (crash, timeout, network). It wraps
+// the *cluster.PartialError carrying the per-worker detail; the server
+// maps it to the wire code "partial".
+var ErrPartial = errors.New("graql: partial result: cluster worker failure")
 
 // clusterChainEligible reports whether this chain can run on the
-// simulated cluster: the engine must be configured for it, every chain
-// edge must be a concrete edge type (regex steps expand through the
-// product BFS, which is not distributed), and no edge may carry a self
-// condition (the simulated exchange ships vertex ids only, so edge
-// predicates cannot be evaluated during expansion).
+// cluster: the engine must be configured for it (simulated partitions or
+// a distributed transport), every chain edge must be a concrete edge
+// type (regex steps expand through the product BFS, which is not
+// distributed), and no edge may carry a self condition (the exchange
+// ships vertex ids only, so edge predicates cannot be evaluated during
+// expansion).
 func (m *matcher) clusterChainEligible(chain []int) bool {
-	if m.e.Opts.ClusterParts < 2 {
+	if m.e.Opts.Dist == nil && m.e.Opts.ClusterParts < 2 {
 		return false
 	}
 	for k := 0; k+1 < len(chain); k++ {
@@ -37,50 +47,68 @@ func (m *matcher) clusterChainEligible(chain []int) bool {
 	return true
 }
 
-// cullChainSetsCluster is cullChainSets on the simulated cluster.
+// cullChainSetsCluster is cullChainSets on the cluster.
 func (m *matcher) cullChainSetsCluster(chain []int) ([]*bitmap.Bitmap, error) {
 	// Pre-build every chain node's candidate set up front: the lazy cache
-	// is not goroutine-safe and Traverse's filters run on the simulated
-	// nodes' workers, which afterwards only call the read-only Get.
+	// is not goroutine-safe, and the candidate bitmaps become the
+	// supersteps' filter sets (on the distributed path they ship to the
+	// workers inside the step frames).
 	for _, id := range chain {
 		if _, err := m.candidates(id); err != nil {
 			return nil, err
 		}
 	}
 
-	strategy := cluster.Hash
-	if m.e.Opts.ClusterBlock {
-		strategy = cluster.Block
+	var cl *cluster.Cluster
+	var err error
+	if t := m.e.Opts.Dist; t != nil {
+		cl, err = cluster.NewWithTransport(m.g, t)
+	} else {
+		strategy := cluster.Hash
+		if m.e.Opts.ClusterBlock {
+			strategy = cluster.Block
+		}
+		cl, err = cluster.NewWithStrategy(m.g, m.e.Opts.ClusterParts, strategy)
 	}
-	cl, err := cluster.NewWithStrategy(m.g, m.e.Opts.ClusterParts, strategy)
 	if err != nil {
 		return nil, err
 	}
 	cl.SetObs(m.e.Opts.Obs)
 	cl.SetLogger(m.e.Opts.Log)
 	cl.SetContext(m.e.ctx)
+	if m.e.tracing() {
+		cl.SetTraceID(m.e.traceID().String())
+	}
 
 	steps := make([]cluster.Step, 0, len(chain)-1)
 	for k := 0; k+1 < len(chain); k++ {
 		a, b := chain[k], chain[k+1]
 		pe := chainEdge(m.pat, a, b)
-		cand := m.cands[b]
 		steps = append(steps, cluster.Step{
-			Edge:    m.edgeType[pe.ID],
-			Forward: pe.Src == a,
-			Filter:  cand.Get,
+			Edge:      m.edgeType[pe.ID],
+			Forward:   pe.Src == a,
+			FilterSet: m.cands[b],
 		})
 	}
 
-	sp := m.e.opSpan("cluster", fmt.Sprintf("BSP traverse over %d partitions (%s placement), %d step(s)",
-		cl.Parts(), cl.Strategy(), len(steps)))
+	mode := "simulated"
+	if m.e.Opts.Dist != nil {
+		mode = "networked"
+	}
+	sp := m.e.opSpan("cluster", fmt.Sprintf("BSP traverse over %d %s partitions (%s placement), %d step(s)",
+		cl.Parts(), mode, cl.Strategy(), len(steps)))
 	cl.SetTraceSpan(sp)
 	sets, stats, err := cl.Traverse(m.nodeType[chain[0]], m.cands[chain[0]].Get, steps)
 	if err != nil {
 		// Map context aborts to the engine's structured sentinels so the
-		// cluster path reports the same error codes as the local sweeps.
+		// cluster path reports the same error codes as the local sweeps;
+		// worker failures map to the partial-result sentinel.
 		if cerr := m.e.canceled(); cerr != nil {
 			err = cerr
+		} else if perr := (*cluster.PartialError)(nil); errors.As(err, &perr) {
+			// Double-wrap so callers can match the sentinel with
+			// errors.Is AND recover the per-worker detail with errors.As.
+			err = fmt.Errorf("%w: %w", ErrPartial, perr)
 		}
 		sp.End()
 		return nil, err

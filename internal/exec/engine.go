@@ -21,6 +21,7 @@ import (
 
 	"graql/internal/ast"
 	"graql/internal/catalog"
+	"graql/internal/cluster"
 	"graql/internal/expr"
 	"graql/internal/graph"
 	"graql/internal/obs"
@@ -89,6 +90,12 @@ type Options struct {
 	// ClusterBlock selects block placement for the simulated cluster
 	// (default is hash placement).
 	ClusterBlock bool
+	// Dist, when non-nil, routes eligible cluster chain queries through
+	// this transport — real worker processes over sockets — instead of
+	// the in-process simulation. The transport's partition count and
+	// placement strategy govern; ClusterParts/ClusterBlock are ignored.
+	// A worker failure surfaces as ErrPartial.
+	Dist cluster.Transport
 	// Log, when non-nil, receives the engine's structured debug lines
 	// (currently one line per simulated-cluster BSP superstep). nil
 	// disables engine logging.

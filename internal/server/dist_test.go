@@ -1,0 +1,133 @@
+package server_test
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"graql/internal/client"
+	"graql/internal/cluster"
+	"graql/internal/exec"
+	"graql/internal/server"
+)
+
+// startDistServer boots a TCP server whose Dist transport is wired to a
+// real 2-worker loopback cluster over the engine's graph.
+func startDistServer(t *testing.T) (addr string, workers []*cluster.Worker, listeners []net.Listener, shutdown func()) {
+	t.Helper()
+	eng := exec.New(exec.DefaultOptions())
+	if _, err := eng.ExecScript(setupScript, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.IngestReader("Cities", strings.NewReader("p,US\nq,US\nr,CA\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.IngestReader("Roads", strings.NewReader("p,q\nq,r\n")); err != nil {
+		t.Fatal(err)
+	}
+
+	g := eng.Cat.Graph()
+	const parts = 2
+	addrs := make([]string, parts)
+	workers = make([]*cluster.Worker, parts)
+	listeners = make([]net.Listener, parts)
+	for p := 0; p < parts; p++ {
+		wk, err := cluster.NewWorker(g, p, parts, cluster.Hash)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go wk.Serve(wln) //nolint:errcheck // torn down by Close below
+		t.Cleanup(func() { wk.Close(); wln.Close() })
+		addrs[p], workers[p], listeners[p] = wln.Addr().String(), wk, wln
+	}
+	tp, err := cluster.DialTCP(addrs, cluster.DialOptions{
+		Strategy:    cluster.Hash,
+		Fingerprint: cluster.GraphFingerprint(g),
+		Timeout:     time.Second,
+		DialWindow:  5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tp.Close)
+
+	srv := server.New(eng, "")
+	srv.Dist = tp
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), workers, listeners, func() {
+		srv.Close()
+		ln.Close()
+		<-done
+	}
+}
+
+// TestWorkersOpNotDistributed: the "workers" op on a single-node server
+// answers cleanly with an empty status set rather than erroring.
+func TestWorkersOpNotDistributed(t *testing.T) {
+	addr, _, shutdown := startServer(t, "")
+	defer shutdown()
+	cl, err := client.Dial(addr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ws, err := cl.Workers()
+	if err != nil {
+		t.Fatalf("workers op on a non-distributed server must succeed: %v", err)
+	}
+	if len(ws) != 0 {
+		t.Fatalf("non-distributed server must report no workers, got %+v", ws)
+	}
+}
+
+// TestWorkersOpProbesCluster: the "workers" op round-trips per-worker
+// health over the wire, and reflects a killed worker as unhealthy.
+func TestWorkersOpProbesCluster(t *testing.T) {
+	addr, workers, listeners, shutdown := startDistServer(t)
+	defer shutdown()
+	cl, err := client.Dial(addr, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ws, err := cl.Workers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 {
+		t.Fatalf("want 2 worker statuses, got %+v", ws)
+	}
+	for _, w := range ws {
+		if !w.Healthy || w.Addr == "" {
+			t.Fatalf("all workers must probe healthy with addresses: %+v", ws)
+		}
+	}
+
+	workers[0].Close()
+	listeners[0].Close()
+
+	ws, err = cl.Workers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 || ws[0].Healthy || ws[0].Err == "" {
+		t.Fatalf("killed worker 0 must probe unhealthy with an error, got %+v", ws)
+	}
+	if !ws[1].Healthy {
+		t.Fatalf("surviving worker must stay healthy, got %+v", ws)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"graql/internal/ast"
+	"graql/internal/cluster"
 	"graql/internal/diag"
 	"graql/internal/exec"
 	"graql/internal/ir"
@@ -48,7 +49,7 @@ type Request struct {
 	// of the engine's observability registry), "trace" (retained trace
 	// trees), "statements" (per-statement-shape statistics), "ps"
 	// (in-flight query table), "cancelq" (cancel the in-flight query with
-	// id QueryID), "ping".
+	// id QueryID), "workers" (distributed worker health), "ping".
 	Op string `json:"op"`
 	// Auth must match the server token when one is configured.
 	Auth   string           `json:"auth,omitempty"`
@@ -101,6 +102,7 @@ const (
 	CodeCanceled   = "canceled"    // execution aborted by cancellation (e.g. shutdown)
 	CodeDeadline   = "deadline"    // execution aborted by the query deadline
 	CodeOverloaded = "overloaded"  // rejected by admission control; retry after backoff
+	CodePartial    = "partial"     // distributed execution failed on one or more workers
 )
 
 // Response is one server frame.
@@ -131,6 +133,9 @@ type Response struct {
 	Statements []obs.StmtStat `json:"statements,omitempty"`
 	// Queries carries the in-flight query table for op "ps".
 	Queries []obs.QueryInfo `json:"queries,omitempty"`
+	// Workers carries the per-worker health of the distributed cluster
+	// for op "workers" (empty when the server runs without one).
+	Workers []cluster.WorkerStatus `json:"workers,omitempty"`
 	// Diagnostics carries every static-analysis finding for op "check":
 	// errors and lint warnings, sorted by source position. Present (with
 	// OK=false and a summary Error) when the script has errors, and with
@@ -197,6 +202,12 @@ type Server struct {
 	// (trace_id, op, code, elapsed_us) plus connection lifecycle events
 	// at debug level. Set before Serve.
 	Log *slog.Logger
+
+	// Dist, when non-nil, is the coordinator's transport to the
+	// distributed worker processes; op "workers" probes it for per-worker
+	// health. Set before Serve (the engine routes queries through it via
+	// Options.Dist).
+	Dist *cluster.TCPTransport
 
 	// baseCtx parents every request context; Shutdown cancels it to
 	// abort in-flight queries after the drain window.
@@ -497,6 +508,11 @@ func (s *Server) dispatch(ctx context.Context, req *Request, eng *exec.Engine) *
 		return &Response{OK: true, Statements: s.eng.Opts.Obs.Statements()}
 	case "ps":
 		return &Response{OK: true, Queries: s.eng.Opts.Obs.LiveQueries()}
+	case "workers":
+		if s.Dist == nil {
+			return &Response{OK: true, Results: []StmtResult{{Message: "not running distributed"}}}
+		}
+		return &Response{OK: true, Workers: s.Dist.Probe(2 * time.Second)}
 	case "cancelq":
 		if req.QueryID == 0 {
 			return fail(CodeBadRequest, "cancelq requires queryId")
@@ -653,14 +669,17 @@ func (s *Server) execIR(ctx context.Context, req *Request, eng *exec.Engine) *Re
 }
 
 // ErrorCode classifies an execution error for the wire: context aborts
-// map to their structured codes, everything else is a plain exec
-// failure. Shared with the HTTP front-end.
+// map to their structured codes, worker failures on the distributed
+// path map to "partial", everything else is a plain exec failure.
+// Shared with the HTTP front-end.
 func ErrorCode(err error) string {
 	switch {
 	case errors.Is(err, exec.ErrDeadlineExceeded):
 		return CodeDeadline
 	case errors.Is(err, exec.ErrCanceled):
 		return CodeCanceled
+	case errors.Is(err, exec.ErrPartial):
+		return CodePartial
 	default:
 		return CodeExec
 	}

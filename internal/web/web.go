@@ -16,6 +16,7 @@ import (
 	"strconv"
 	"time"
 
+	"graql/internal/cluster"
 	"graql/internal/diag"
 	"graql/internal/exec"
 	"graql/internal/obs"
@@ -46,6 +47,12 @@ type Handler struct {
 	// /execute. New installs a private set; replace it before serving to
 	// share handles with the TCP front-end (gems-server does).
 	Prepared *server.PreparedSet
+
+	// Dist, when non-nil, is the coordinator's transport to the
+	// distributed worker processes: /readyz probes it and reports 503
+	// with the degraded worker set while any worker is down, and
+	// /workers exposes the per-worker health view. Set before serving.
+	Dist *cluster.TCPTransport
 }
 
 // New returns the front-end handler.
@@ -63,7 +70,9 @@ type Handler struct {
 //	GET  /debug/queries     in-flight query table as JSON
 //	DELETE /debug/queries/{id}  cancel the in-flight query with that id
 //	GET  /healthz      liveness probe (200 once serving)
-//	GET  /readyz       readiness probe (catalog reachable + worker pool responsive)
+//	GET  /readyz       readiness probe (catalog reachable + worker pool responsive
+//	                   + every distributed worker answering, when running distributed)
+//	GET  /workers      distributed worker health as JSON (actively probed)
 //	GET  /debug/pprof/ the standard Go profiling endpoints
 //
 // Non-POST methods on /query are rejected with 405 (the method pattern
@@ -85,6 +94,7 @@ func New(eng *exec.Engine) *Handler {
 	h.mux.HandleFunc("DELETE /debug/queries/{id}", h.cancelQuery)
 	h.mux.HandleFunc("GET /healthz", h.healthz)
 	h.mux.HandleFunc("GET /readyz", h.readyz)
+	h.mux.HandleFunc("GET /workers", h.workers)
 	h.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	h.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	h.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -173,8 +183,10 @@ func (h *Handler) healthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 // readyz is the readiness probe: the catalog answers a read-locked
-// snapshot and the engine's worker pool completes a trivial sweep within
-// the probe budget.
+// snapshot, the engine's worker pool completes a trivial sweep within
+// the probe budget, and — when running distributed — every cluster
+// worker answers a ping. A degraded worker set reports 503 with the
+// failing partitions so orchestrators stop routing to this coordinator.
 func (h *Handler) readyz(w http.ResponseWriter, _ *http.Request) {
 	h.eng.Cat.RLock()
 	objects := len(h.eng.Cat.Stats())
@@ -184,7 +196,37 @@ func (h *Handler) readyz(w http.ResponseWriter, _ *http.Request) {
 			map[string]any{"ok": false, "reason": "worker pool unresponsive"})
 		return
 	}
+	if h.Dist != nil {
+		status := h.Dist.Probe(2 * time.Second)
+		var degraded []cluster.WorkerStatus
+		for _, ws := range status {
+			if !ws.Healthy {
+				degraded = append(degraded, ws)
+			}
+		}
+		if len(degraded) > 0 {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"ok": false, "reason": "degraded distributed workers",
+				"degradedWorkers": degraded,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok": true, "catalogObjects": objects, "workers": len(status),
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "catalogObjects": objects})
+}
+
+// workers exposes the distributed cluster's per-worker health (actively
+// probed). Without a distributed transport the list is empty.
+func (h *Handler) workers(w http.ResponseWriter, _ *http.Request) {
+	if h.Dist == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"distributed": false, "workers": []cluster.WorkerStatus{}})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"distributed": true, "workers": h.Dist.Probe(2 * time.Second)})
 }
 
 // ServeHTTP implements http.Handler.
