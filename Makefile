@@ -15,6 +15,7 @@ race:
 
 vet:
 	go vet ./...
+	go run ./cmd/repolint
 	go run ./cmd/graql -vet examples/*.graql
 
 fmt:

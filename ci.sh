@@ -34,6 +34,12 @@ fi
 echo "== go vet =="
 go vet ./...
 
+echo "== repolint =="
+# Stdlib-only repository conventions: every GQL#### diagnostic code is
+# registered exactly once and documented in README.md, and all metric
+# names follow the graql_* naming convention.
+go run ./cmd/repolint
+
 # Static analysis and vulnerability scanning gate the build wherever the
 # pinned tools are on PATH (the GitHub workflow installs them; see
 # .github/workflows/ci.yml). Local environments without the binaries
@@ -90,7 +96,9 @@ trap cleanup EXIT INT TERM
 # collects the coverage profile, halving test wall time versus separate
 # -race and -coverprofile passes.
 echo "== go test -race + coverage gate (floor ${COVERAGE_FLOOR}%) =="
-go test -race -coverprofile="$tmpdir/cover.out" ./...
+# GRAQL_IR_VERIFY=always: every plan built, cached, or wire-decoded by
+# the suite passes the structural verifier (production samples instead).
+GRAQL_IR_VERIFY=always go test -race -coverprofile="$tmpdir/cover.out" ./...
 total=$(go tool cover -func="$tmpdir/cover.out" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
 echo "total statement coverage: ${total}%"
 if [ -n "${CI_ARTIFACTS:-}" ]; then
@@ -105,6 +113,7 @@ fi
 echo "== fuzz smoke (${FUZZTIME} per target) =="
 go test -run='^$' -fuzz='^FuzzParse$' -fuzztime="$FUZZTIME" ./internal/parser
 go test -run='^$' -fuzz='^FuzzDecode$' -fuzztime="$FUZZTIME" ./internal/ir
+go test -run='^$' -fuzz='^FuzzIRVerify$' -fuzztime="$FUZZTIME" ./internal/ir
 go test -run='^$' -fuzz='^FuzzAnalyze$' -fuzztime="$FUZZTIME" ./internal/sema
 go test -run='^$' -fuzz='^FuzzWALDecode$' -fuzztime="$FUZZTIME" ./internal/storage
 go test -run='^$' -fuzz='^FuzzFingerprint$' -fuzztime="$FUZZTIME" ./internal/obs
@@ -148,6 +157,20 @@ if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
         echo '```'
         cat "$tmpdir/bench-compare.md"
         echo '```'
+    } >>"$GITHUB_STEP_SUMMARY"
+fi
+
+echo "== plan estimate accuracy (Berlin suite) =="
+# Static cardinality bounds are sound or the build fails: the -estimates
+# mode runs all 8 Berlin queries and exits nonzero when any actual row
+# count falls outside its est_rows interval.
+go run ./cmd/benchrunner -estimates >"$tmpdir/estimates.md"
+cat "$tmpdir/estimates.md"
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+    {
+        echo "## Plan estimate accuracy (est_rows vs actual, Berlin sf=1)"
+        echo
+        cat "$tmpdir/estimates.md"
     } >>"$GITHUB_STEP_SUMMARY"
 fi
 

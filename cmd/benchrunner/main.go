@@ -1,5 +1,5 @@
 // Command benchrunner regenerates every experiment table of
-// EXPERIMENTS.md (E1–E16, defined in DESIGN.md §3b): it builds Berlin
+// EXPERIMENTS.md (E1–E17, defined in DESIGN.md §3b): it builds Berlin
 // datasets, loads them, runs the query suite and the ablations, and
 // prints one markdown table per experiment.
 //
@@ -20,10 +20,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -42,6 +44,7 @@ import (
 
 var (
 	quick     = flag.Bool("quick", false, "fewer repetitions and smaller scales")
+	estimates = flag.Bool("estimates", false, "print static est_rows vs actual rows for the Berlin suite; exit nonzero if any actual falls outside its bound")
 	only      = flag.String("exp", "", "comma-separated experiment ids to run (default all)")
 	jsonPath  = flag.String("json", "", "write a JSON snapshot of the run's metrics registry to this file")
 	compare   = flag.String("compare", "", "compare the benchmark set against this baseline snapshot and exit nonzero on regression")
@@ -77,6 +80,12 @@ func main() {
 		runLoadgen(*lgAddr, *lgToken, *lgQPS, *lgDuration, *lgConns, *lgPipeline, *lgReport)
 		return
 	}
+	if *estimates {
+		if !runEstimates() {
+			os.Exit(1)
+		}
+		return
+	}
 	fmt.Printf("benchrunner: GOMAXPROCS=%d, quick=%v\n", runtime.GOMAXPROCS(0), *quick)
 
 	if *compare != "" {
@@ -107,6 +116,7 @@ func main() {
 		{"E14", e14, "Per-statement observability overhead"},
 		{"E15", e15, "Prepared statements & plan-cache ablation"},
 		{"E16", e16, "Distributed transport: networked vs simulated"},
+		{"E17", e17, "IR/plan verifier overhead"},
 	}
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -1341,6 +1351,72 @@ func e14() {
 // and prepared execute (run only — the front-end ran once at prepare).
 // The interleaved-minimum discipline of e14 applies: the deltas are
 // microseconds, so each configuration keeps its best round.
+// runEstimates (-estimates) checks the static cardinality bounds against
+// reality: each Berlin query runs once for real (registering its
+// intermediate into-tables), then the final statement runs under EXPLAIN
+// ANALYZE and the result span's est_rows interval must contain the
+// actual row count. This is the soundness contract of the estimator —
+// the same containment the bsbm test suite asserts, reproduced against
+// the live dataset for the CI step summary.
+func runEstimates() bool {
+	e := loadBerlin(1, 0, true)
+	ok := true
+	within := 0
+	header("query", "est_rows", "actual rows", "within bounds")
+	for _, q := range bsbm.Suite {
+		if _, err := e.ExecScript(q.Script, paramC); err != nil {
+			fatal(fmt.Errorf("%s: %w", q.ID, err))
+		}
+		script, err := parser.Parse(q.Script)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", q.ID, err))
+		}
+		last := script.Stmts[len(script.Stmts)-1]
+		res, err := e.ExecScript("explain analyze "+last.String(), paramC)
+		if err != nil {
+			fatal(fmt.Errorf("%s: explain analyze: %w", q.ID, err))
+		}
+		tb := res[len(res)-1].Table
+		est, actual := "", int64(-1)
+		for r := uint32(0); r < uint32(tb.NumRows()); r++ {
+			if tb.Value(r, 1).Str() == "result" {
+				est = tb.Value(r, 3).Str()
+				actual = tb.Value(r, 4).Int()
+			}
+		}
+		lo, hi := parseEstInterval(est)
+		contained := actual >= 0 && float64(actual) >= lo && float64(actual) <= hi
+		verdict := "yes"
+		if contained {
+			within++
+		} else {
+			verdict = "NO"
+			ok = false
+		}
+		row(q.ID, est, fmt.Sprint(actual), verdict)
+	}
+	fmt.Printf("\nESTIMATES %d/%d Berlin queries within their static bounds\n", within, len(bsbm.Suite))
+	return ok
+}
+
+// parseEstInterval parses the est_rows rendering: "42", "0..1800" or
+// "0..inf".
+func parseEstInterval(s string) (float64, float64) {
+	if lo, hi, found := strings.Cut(s, ".."); found {
+		l, _ := strconv.ParseFloat(lo, 64)
+		if hi == "inf" {
+			return l, math.Inf(1)
+		}
+		h, _ := strconv.ParseFloat(hi, 64)
+		return l, h
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return math.Inf(1), math.Inf(-1) // unparseable: contained by nothing
+	}
+	return v, v
+}
+
 func e15() {
 	const batch = 50
 	cold := loadBerlinPlanCache(1, -1)
@@ -1400,4 +1476,65 @@ func e15() {
 		float64(best[0])/float64(best[2]))
 	hits, misses, _, size := warm.PlanCacheStats()
 	fmt.Printf("warm engine plan cache: %d hits, %d misses, %d entries\n", hits, misses, size)
+}
+
+// e17 measures the IR/plan verifier on the serving path: the same
+// prepared statement executed under the three Options.IRVerify modes.
+// Per execute, the verifier's only cost is the structural walk on each
+// plan-cache hit — always-on pays it every call, sampled every 64th,
+// off never. The production default (gems-server -ir-verify) is sample;
+// the claim EXPERIMENTS.md E17 records is sampled overhead < 1%.
+func e17() {
+	const batch = 50
+	modes := []string{exec.IRVerifyOff, exec.IRVerifySample, exec.IRVerifyAlways}
+	engines := make([]*exec.Engine, len(modes))
+	preps := make([]*exec.Prepared, len(modes))
+	for i, mode := range modes {
+		opts := exec.DefaultOptions()
+		opts.ReverseIndexes = true
+		opts.Obs = reg
+		opts.IRVerify = mode
+		opts.FileOpener = opener(bsbm.Generate(bsbm.Config{ScaleFactor: 1, Seed: 42}))
+		e := exec.New(opts)
+		if _, err := e.ExecScript(bsbm.FullDDL, nil); err != nil {
+			fatal(err)
+		}
+		engines[i] = e
+		p, err := e.Prepare(e15Query)
+		if err != nil {
+			fatal(err)
+		}
+		preps[i] = p
+	}
+	run := func(i int) {
+		for k := 0; k < batch; k++ {
+			if _, err := engines[i].ExecPrepared(preps[i], nil); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	best := make([]time.Duration, len(modes))
+	for i := range modes {
+		run(i) // warmup: plan cache warm, verifier sampling counter moving
+		best[i] = time.Duration(1<<63 - 1)
+	}
+	// Interleave the modes round-robin so scheduling drift hits all three
+	// equally; keep the per-mode minimum as the stable estimator.
+	for round := 0; round < reps()*4+4; round++ {
+		for k := range modes {
+			i := (round + k) % len(modes)
+			start := time.Now()
+			run(i)
+			if d := time.Since(start); d < best[i] {
+				best[i] = d
+			}
+		}
+	}
+	header("ir-verify mode", "batch of "+fmt.Sprint(batch), "per call", "overhead vs off")
+	for i, mode := range modes {
+		over := (float64(best[i]) - float64(best[0])) / float64(best[0]) * 100
+		row(mode, dur(best[i]), dur(best[i]/batch), fmt.Sprintf("%+.2f%%", over))
+	}
+	sampled := (float64(best[1]) - float64(best[0])) / float64(best[0]) * 100
+	fmt.Printf("\nsampled-mode overhead vs off: %+.2f%% (one structural verification per 64 executes)\n", sampled)
 }

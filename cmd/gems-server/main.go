@@ -76,6 +76,7 @@ func main() {
 		queryTimeout = flag.Duration("default-timeout", 0, "default per-query execution deadline when the client sends no timeoutMs (0 = none)")
 		maxTimeout   = flag.Duration("max-timeout", 5*time.Minute, "cap on the per-query deadline; client timeoutMs values are clamped to it (0 = no cap)")
 		planCache    = flag.Int("plan-cache", 0, "plan-cache capacity in cached shapes (0 = default 256, negative disables)")
+		irVerify     = flag.String("ir-verify", exec.IRVerifySample, "IR/plan verifier mode: always | sample | off (serving default samples every 64th)")
 		maxInFlight  = flag.Int("max-inflight", 0, "admission control: max queries executing concurrently (0 = unlimited)")
 		maxQueue     = flag.Int("max-queue", 16, "admission control: queries waiting for a slot beyond -max-inflight before rejection")
 		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown window for in-flight queries on SIGINT/SIGTERM")
@@ -94,6 +95,7 @@ func main() {
 	opts.ClusterParts = *partitions
 	opts.ClusterBlock = *placement == "block"
 	opts.PlanCache = *planCache
+	opts.IRVerify = *irVerify
 	opts.Log = logger
 	if *metrics || *slowQuery > 0 || *traces > 0 || *queryLog {
 		opts.Obs = obs.New()

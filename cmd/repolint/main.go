@@ -1,0 +1,237 @@
+// Command repolint enforces repository conventions that ordinary Go
+// tooling cannot see, using only the standard library's go/ast:
+//
+//   - every GQL#### diagnostic code declared in internal/diag/codes.go
+//     is registered in the code registry exactly once, every registry
+//     entry refers to a declared code, code strings are unique and
+//     well-formed, and every code has a row in README.md's reference
+//     table (the tool-facing contract: codes are documented or they
+//     don't exist);
+//   - every metric name registered through the internal/obs API in
+//     non-test code follows the graql_[a-z_]+(_total|_seconds|_bytes)?
+//     naming convention (standard go_* / process_* runtime names are
+//     exempt, per Prometheus convention).
+//
+// Run from the repository root (or point -root at it); exits non-zero
+// with one line per violation. Wired into `make vet` and ci.sh.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root to lint")
+	flag.Parse()
+
+	var violations []string
+	violations = append(violations, lintCodes(*root)...)
+	violations = append(violations, lintMetrics(*root)...)
+
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "repolint: "+v)
+		}
+		fmt.Fprintf(os.Stderr, "repolint: %d violation(s)\n", len(violations))
+		os.Exit(1)
+	}
+	fmt.Println("repolint: ok")
+}
+
+var codeRe = regexp.MustCompile(`^GQL\d{4}$`)
+
+// lintCodes cross-checks the diagnostic code declarations, the registry
+// literal, and the README reference table.
+func lintCodes(root string) []string {
+	var out []string
+	path := filepath.Join(root, "internal", "diag", "codes.go")
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return []string{err.Error()}
+	}
+
+	// Const declarations of type Code: identifier -> "GQL####" string.
+	consts := map[string]string{}
+	order := []string{}
+	// Registry entries: identifier -> number of rows naming it.
+	registered := map[string]int{}
+
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok {
+			continue
+		}
+		switch gd.Tok {
+		case token.CONST:
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || !isCodeType(vs.Type) {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i >= len(vs.Values) {
+						continue
+					}
+					lit, ok := vs.Values[i].(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						continue
+					}
+					s, _ := strconv.Unquote(lit.Value)
+					consts[name.Name] = s
+					order = append(order, name.Name)
+				}
+			}
+		case token.VAR:
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "registry" || len(vs.Values) != 1 {
+					continue
+				}
+				cl, ok := vs.Values[0].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				for _, elt := range cl.Elts {
+					row, ok := elt.(*ast.CompositeLit)
+					if !ok || len(row.Elts) == 0 {
+						continue
+					}
+					if id, ok := row.Elts[0].(*ast.Ident); ok {
+						registered[id.Name]++
+					} else {
+						out = append(out, fmt.Sprintf("%s: registry row %s does not start with a code identifier",
+							path, fset.Position(row.Pos())))
+					}
+				}
+			}
+		}
+	}
+
+	if len(consts) == 0 {
+		out = append(out, path+": found no Code constants — linter and source have diverged")
+		return out
+	}
+
+	seen := map[string]string{}
+	for _, name := range order {
+		code := consts[name]
+		if !codeRe.MatchString(code) {
+			out = append(out, fmt.Sprintf("%s: %s = %q does not match GQL####", path, name, code))
+		}
+		if prev, dup := seen[code]; dup {
+			out = append(out, fmt.Sprintf("%s: %s and %s share the code %s", path, prev, name, code))
+		}
+		seen[code] = name
+		switch n := registered[name]; n {
+		case 1: // exactly once: the contract
+		case 0:
+			out = append(out, fmt.Sprintf("%s: %s (%s) is declared but missing from the registry", path, name, code))
+		default:
+			out = append(out, fmt.Sprintf("%s: %s (%s) appears %d times in the registry", path, name, code, n))
+		}
+	}
+	for name := range registered {
+		if _, ok := consts[name]; !ok {
+			out = append(out, fmt.Sprintf("%s: registry entry %s is not a declared Code constant", path, name))
+		}
+	}
+
+	// Every code must have a `GQL####` row in the README reference table.
+	readmePath := filepath.Join(root, "README.md")
+	readme, err := os.ReadFile(readmePath)
+	if err != nil {
+		out = append(out, err.Error())
+		return out
+	}
+	for _, name := range order {
+		code := consts[name]
+		if !strings.Contains(string(readme), "`"+code+"`") {
+			out = append(out, fmt.Sprintf("%s: %s (%s) has no `%s` row in the reference table",
+				readmePath, name, code, code))
+		}
+	}
+	return out
+}
+
+func isCodeType(t ast.Expr) bool {
+	id, ok := t.(*ast.Ident)
+	return ok && id.Name == "Code"
+}
+
+var metricRe = regexp.MustCompile(`^graql_[a-z]+(_[a-z]+)*(_total|_seconds|_bytes)?$`)
+
+// metricMethods are the obs.Registry registration entry points; the
+// first argument of each is the metric name.
+var metricMethods = map[string]bool{
+	"Counter": true, "CounterL": true,
+	"Gauge": true, "GaugeL": true,
+	"Histogram": true, "HistogramL": true,
+}
+
+// lintMetrics walks every non-test Go file and checks that string-literal
+// metric names passed to the obs registration methods follow the naming
+// convention. Dynamically built names are out of scope (none exist
+// today); go_* and process_* names are standard runtime exposition.
+func lintMetrics(root string) []string {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata", "node_modules":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, perr := parser.ParseFile(fset, path, nil, 0)
+		if perr != nil {
+			out = append(out, perr.Error())
+			return nil
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !metricMethods[sel.Sel.Name] {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			name, _ := strconv.Unquote(lit.Value)
+			if strings.HasPrefix(name, "go_") || strings.HasPrefix(name, "process_") {
+				return true
+			}
+			if !metricRe.MatchString(name) {
+				out = append(out, fmt.Sprintf("%s: metric %q does not match graql_[a-z_]+(_total|_seconds|_bytes)?",
+					fset.Position(lit.Pos()), name))
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		out = append(out, err.Error())
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMetricNameConvention(t *testing.T) {
+	good := []string{
+		"graql_statements_total", "graql_statement_latency_seconds",
+		"graql_wal_appended_bytes_total", "graql_queries_in_flight",
+		"graql_build_info", "graql_ir_verify_failures_total",
+	}
+	for _, n := range good {
+		if !metricRe.MatchString(n) {
+			t.Errorf("%q should match the metric naming convention", n)
+		}
+	}
+	bad := []string{
+		"graql_Statements_total", "statements_total", "graql__double",
+		"graql_stmt-latency", "graql_", "graql_rows2_total",
+	}
+	for _, n := range bad {
+		if metricRe.MatchString(n) {
+			t.Errorf("%q should violate the metric naming convention", n)
+		}
+	}
+}
+
+// writeTree lays out a fake repository root for lint fixtures.
+func writeTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, body := range files {
+		p := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+const fixtureCodes = `package diag
+
+type Code string
+
+const (
+	AlphaErr Code = "GQL0001"
+	BetaErr  Code = "GQL0002"
+	GammaErr Code = "GQL0003"
+)
+
+type CodeInfo struct {
+	Code    Code
+	Meaning string
+	Paper   string
+}
+
+var registry = []CodeInfo{
+	{AlphaErr, "alpha", "§I"},
+	{BetaErr, "beta", "§I"},
+	{BetaErr, "beta again", "§I"},
+}
+`
+
+func TestLintCodesCatchesDrift(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"internal/diag/codes.go": fixtureCodes,
+		"README.md":              "| `GQL0001` | alpha | §I |\n| `GQL0002` | beta | §I |\n",
+	})
+	got := strings.Join(lintCodes(root), "\n")
+	for _, want := range []string{
+		"GammaErr (GQL0003) is declared but missing from the registry",
+		"BetaErr (GQL0002) appears 2 times in the registry",
+		"GammaErr (GQL0003) has no `GQL0003` row",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("lintCodes output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestLintMetricsCatchesBadName(t *testing.T) {
+	root := writeTree(t, map[string]string{
+		"pkg/m.go": `package pkg
+
+func register(r interface{ Counter(n, h string) int }) {
+	r.Counter("graql_Bad-Name", "x")
+	r.Counter("go_goroutines", "runtime names are exempt")
+	r.Counter("graql_fine_total", "ok")
+}
+`,
+		"pkg/m_test.go": `package pkg
+// Counter("totally_wrong") — never parsed: test files are out of scope.
+`,
+	})
+	got := strings.Join(lintMetrics(root), "\n")
+	if !strings.Contains(got, "graql_Bad-Name") {
+		t.Errorf("lintMetrics should flag graql_Bad-Name:\n%s", got)
+	}
+	if strings.Contains(got, "go_goroutines") || strings.Contains(got, "graql_fine_total") {
+		t.Errorf("lintMetrics flagged a conforming name:\n%s", got)
+	}
+}
+
+// The real repository must be clean: this is the same invariant ci.sh
+// gates on, kept close to the linter so `go test ./...` catches drift
+// without the shell harness.
+func TestRepositoryIsClean(t *testing.T) {
+	root := filepath.Join("..", "..")
+	if _, err := os.Stat(filepath.Join(root, "internal", "diag", "codes.go")); err != nil {
+		t.Skip("not running from the repository tree")
+	}
+	if vs := lintCodes(root); len(vs) > 0 {
+		t.Errorf("diagnostic code conventions violated:\n%s", strings.Join(vs, "\n"))
+	}
+	if vs := lintMetrics(root); len(vs) > 0 {
+		t.Errorf("metric naming conventions violated:\n%s", strings.Join(vs, "\n"))
+	}
+}

@@ -3,10 +3,13 @@ package bsbm
 import (
 	"fmt"
 	"io"
+	"math"
+	"strconv"
 	"strings"
 	"testing"
 
 	"graql/internal/exec"
+	"graql/internal/parser"
 )
 
 // engineFor loads a generated dataset into a fresh engine.
@@ -233,5 +236,77 @@ func TestQ8AncestorClosure(t *testing.T) {
 		if !got[ty] {
 			t.Errorf("missing ancestor %s", ty)
 		}
+	}
+}
+
+// parseInterval parses an est_rows rendering ("42", "0..1800", "0..inf")
+// into numeric bounds.
+func parseInterval(t *testing.T, s string) (lo, hi float64) {
+	t.Helper()
+	parse := func(p string) float64 {
+		if p == "inf" {
+			return math.Inf(1)
+		}
+		f, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			t.Fatalf("bad est_rows %q: %v", s, err)
+		}
+		return f
+	}
+	if i := strings.Index(s, ".."); i >= 0 {
+		return parse(s[:i]), parse(s[i+2:])
+	}
+	f := parse(s)
+	return f, f
+}
+
+// TestEstimateBoundsContainActuals: the static cardinality bound EXPLAIN
+// ANALYZE reports on the result row must contain the actual row count for
+// every statement of every Berlin query — the bounds are conservative by
+// construction, and this is the suite-wide soundness check.
+func TestEstimateBoundsContainActuals(t *testing.T) {
+	e := engineFor(t, Config{ScaleFactor: 1, Seed: 42})
+	params, err := TypedParams(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range Suite {
+		q := q
+		t.Run(q.ID, func(t *testing.T) {
+			// Plain run first: it registers the intermediate into-tables
+			// that later statements of the script read.
+			if _, err := e.ExecScript(q.Script, params); err != nil {
+				t.Fatalf("%s: %v", q.ID, err)
+			}
+			script, err := parser.Parse(q.Script)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for si, st := range script.Stmts {
+				res, err := e.ExecScript("explain analyze "+st.String(), params)
+				if err != nil {
+					t.Fatalf("statement %d: %v", si+1, err)
+				}
+				tb := res[0].Table
+				if tb == nil {
+					t.Fatalf("statement %d: explain analyze returned no table", si+1)
+				}
+				found := false
+				for r := uint32(0); r < uint32(tb.NumRows()); r++ {
+					if tb.Value(r, 1).Str() != "result" {
+						continue
+					}
+					found = true
+					lo, hi := parseInterval(t, tb.Value(r, 3).Str())
+					rows := float64(tb.Value(r, 4).Int())
+					if rows < lo || rows > hi {
+						t.Errorf("statement %d: actual rows %v outside est_rows [%v, %v]", si+1, rows, lo, hi)
+					}
+				}
+				if !found {
+					t.Errorf("statement %d: no result row in the plan", si+1)
+				}
+			}
+		})
 	}
 }

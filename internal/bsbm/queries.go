@@ -80,7 +80,7 @@ var Q4 = Query{
 	Script: `
 select o.id, o.price, o.deliveryDays from graph
 ProductVtx (id = %Product1%)
-<--product-- def o: OfferVtx (price < %MaxPrice% and validTo >= '2009-01-01')
+<--product-- def o: OfferVtx (price < %MaxPrice% and validTo >= date '2009-01-01')
 --vendor--> VendorVtx (country = %Country1%)
 into table T4
 

@@ -50,13 +50,22 @@ const (
 	RegexRestriction Code = "GQL0310" // path regular expression restriction (§II-B4)
 	DMLShape         Code = "GQL0311" // malformed insert/update/delete shape (arity, duplicates)
 
+	// Expression typing. The GQL04xx group covers mismatches that the
+	// bottom-up expression typer proves statically but that previously
+	// surfaced only as runtime eval errors (or silent coercions).
+	FloatModulo Code = "GQL0401" // modulo requires integer operands
+	ConstEval   Code = "GQL0402" // constant subexpression always fails at runtime
+
 	// Lint warnings.
-	AlwaysFalse   Code = "GQL1001" // predicate cannot be satisfied
-	AlwaysTrue    Code = "GQL1002" // predicate always holds
-	NullCompare   Code = "GQL1003" // comparison with null literal is always null
-	UnusedLabel   Code = "GQL1004" // label defined but never referenced
-	DuplicateProj Code = "GQL1005" // same column projected more than once
-	NoWhereClause Code = "GQL1006" // update/delete without a where clause hits every row
+	AlwaysFalse        Code = "GQL1001" // predicate cannot be satisfied
+	AlwaysTrue         Code = "GQL1002" // predicate always holds
+	NullCompare        Code = "GQL1003" // comparison with null literal is always null
+	UnusedLabel        Code = "GQL1004" // label defined but never referenced
+	DuplicateProj      Code = "GQL1005" // same column projected more than once
+	NoWhereClause      Code = "GQL1006" // update/delete without a where clause hits every row
+	ImplicitCoercion   Code = "GQL1007" // string literal silently coerced to date
+	ExplodingExpansion Code = "GQL1008" // unbounded repetition with no condition anywhere
+	CrossProduct       Code = "GQL1009" // unconstrained variant step scans every vertex
 )
 
 // CodeInfo describes one registered code for reference tables and tests.
@@ -97,12 +106,17 @@ var registry = []CodeInfo{
 	{StatementMisuse, "clause not allowed on this statement form", "§II-C"},
 	{RegexRestriction, "path regular expression restriction violated", "§II-B4"},
 	{DMLShape, "malformed insert/update/delete shape", "§II-A"},
+	{FloatModulo, "modulo requires integer operands", "§III-A"},
+	{ConstEval, "constant subexpression always fails at runtime", "§III-A"},
 	{AlwaysFalse, "predicate is always false", "lint"},
 	{AlwaysTrue, "predicate is always true", "lint"},
 	{NullCompare, "comparison with null is always null", "lint"},
 	{UnusedLabel, "label is defined but never used", "lint"},
 	{DuplicateProj, "column projected more than once", "lint"},
 	{NoWhereClause, "update/delete without where affects every row", "lint"},
+	{ImplicitCoercion, "string literal implicitly coerced to date", "lint"},
+	{ExplodingExpansion, "unbounded expansion with no constraining condition", "lint"},
+	{CrossProduct, "unconstrained variant step scans every vertex type", "lint"},
 }
 
 // Registered reports whether c is a known diagnostic code.

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"graql/internal/obs"
@@ -9,6 +10,25 @@ import (
 	"graql/internal/table"
 	"graql/internal/value"
 )
+
+// stripExplainPrefix removes the leading explain [analyze] keywords from
+// a statement's source text, yielding the text a plain execution of the
+// same shape fingerprints. This reuses the span-sliced source (or, for
+// prepared statements, the canonical rendering the prepare fingerprinted)
+// instead of re-rendering a mutated AST copy, so the plan-cache probe
+// keys exactly like normal execution.
+func stripExplainPrefix(src string) string {
+	s := strings.TrimSpace(src)
+	for _, kw := range []string{"explain", "analyze"} {
+		if len(s) > len(kw) && strings.EqualFold(s[:len(kw)], kw) {
+			switch s[len(kw)] {
+			case ' ', '\t', '\r', '\n':
+				s = strings.TrimLeft(s[len(kw):], " \t\r\n")
+			}
+		}
+	}
+	return s
+}
 
 // runExplainAnalyze executes the query for real with per-operator
 // instrumentation and renders one row per operator span: the EXPLAIN
@@ -31,9 +51,7 @@ func (e *Engine) runExplainAnalyze(s *sema.Select, params map[string]value.Value
 	// normalized text of the explain-stripped statement is what plain
 	// executions of any formatting of this shape key on.
 	if e.plans != nil && s.Decl != nil {
-		plain := *s.Decl
-		plain.Explain, plain.Analyze = false, false
-		fp, _ := e.met.reg.FingerprintCached(plain.String())
+		fp, _ := e.met.reg.FingerprintCached(stripExplainPrefix(e.stmtSrc(s.Decl)))
 		detail := "miss — shape not cached at current catalog epoch"
 		if e.plans.peekFP(fp, e.Cat.Epoch()) {
 			detail = "hit — shape cached at current catalog epoch"
@@ -68,18 +86,29 @@ func (e *Engine) runExplainAnalyze(s *sema.Select, params map[string]value.Value
 			Record(int64(res.Table.NumRows()), elapsed)
 	}
 
+	// The static cardinality bound sits next to the actual row count on
+	// the result row, so estimate accuracy (est_rows ∋ rows) is
+	// observable per query without a separate EXPLAIN.
+	est := e.estimateSelect(s, params).String()
+
 	out := table.MustNew("plan", table.Schema{
 		{Name: "step", Type: value.Int},
 		{Name: "action", Type: value.Varchar(32)},
 		{Name: "detail", Type: value.Varchar(255)},
+		{Name: "est_rows", Type: value.Varchar(32)},
 		{Name: "rows", Type: value.Int},
 		{Name: "time_us", Type: value.Int},
 	})
 	for i, sp := range tr.Spans() {
+		rowEst := "-"
+		if sp.Action == "result" {
+			rowEst = est
+		}
 		if err := out.AppendRow([]value.Value{
 			value.NewInt(int64(i + 1)),
 			value.NewString(sp.Action),
 			value.NewString(sp.Detail),
+			value.NewString(rowEst),
 			value.NewInt(sp.Rows()),
 			value.NewInt(sp.Duration().Microseconds()),
 		}); err != nil {

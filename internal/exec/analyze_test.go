@@ -9,7 +9,9 @@ import (
 )
 
 // analyzeRows runs an explain-analyze statement and returns the plan rows
-// as [action, detail, rows, time_us] string tuples.
+// as [action, detail, rows, time_us] string tuples (est_rows, between
+// detail and rows in the table, is dropped here; estimate tests read it
+// via analyzeEstRows).
 func analyzeRows(t *testing.T, e *Engine, q string) [][]string {
 	t.Helper()
 	res := mustExec(t, e, q, nil)
@@ -17,7 +19,7 @@ func analyzeRows(t *testing.T, e *Engine, q string) [][]string {
 	if tb == nil {
 		t.Fatal("explain analyze must return a table")
 	}
-	want := []string{"step", "action", "detail", "rows", "time_us"}
+	want := []string{"step", "action", "detail", "est_rows", "rows", "time_us"}
 	got := tb.Schema().Names()
 	if strings.Join(got, ",") != strings.Join(want, ",") {
 		t.Fatalf("plan columns = %v, want %v", got, want)
@@ -26,7 +28,7 @@ func analyzeRows(t *testing.T, e *Engine, q string) [][]string {
 	for r := uint32(0); r < uint32(tb.NumRows()); r++ {
 		out = append(out, []string{
 			tb.Value(r, 1).String(), tb.Value(r, 2).String(),
-			tb.Value(r, 3).String(), tb.Value(r, 4).String(),
+			tb.Value(r, 4).String(), tb.Value(r, 5).String(),
 		})
 	}
 	return out
@@ -123,6 +125,54 @@ func TestExplainAnalyzeDistinctSort(t *testing.T) {
 }
 
 func itoa(n int) string { return strconv.Itoa(n) }
+
+func TestStripExplainPrefix(t *testing.T) {
+	cases := map[string]string{
+		"explain analyze select 1 from table t":   "select 1 from table t",
+		"EXPLAIN ANALYZE select 1 from table t":   "select 1 from table t",
+		"explain\n\tanalyze\nselect 1":            "select 1",
+		"  explain select 1 from table t":         "select 1 from table t",
+		"select 1 from table t":                   "select 1 from table t",
+		"select explained from table analyze_log": "select explained from table analyze_log",
+	}
+	for in, want := range cases {
+		if got := stripExplainPrefix(in); got != want {
+			t.Errorf("stripExplainPrefix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestExplainAnalyzePreparedCacheProbe: the plan-cache row of a prepared
+// EXPLAIN ANALYZE keys on the same fingerprint as plain execution (the
+// explain-stripped statement source), so a warm plain shape reports a
+// hit even though the prepared statement was never executed from text.
+func TestExplainAnalyzePreparedCacheProbe(t *testing.T) {
+	e := planCacheEngine(t, 0)
+	const plain = `select name from table Items where id = 1`
+	mustExec(t, e, plain, nil) // warm the plain shape
+	p, err := e.Prepare("explain analyze " + plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.ExecPrepared(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := res[len(res)-1].Table
+	found := false
+	for r := uint32(0); r < uint32(tb.NumRows()); r++ {
+		if tb.Value(r, 1).Str() != "plan cache" {
+			continue
+		}
+		found = true
+		if detail := tb.Value(r, 2).Str(); !strings.HasPrefix(detail, "hit") {
+			t.Errorf("prepared explain analyze should probe the plain shape's cache entry, got %q", detail)
+		}
+	}
+	if !found {
+		t.Fatalf("no plan cache row in prepared explain analyze output")
+	}
+}
 
 // TestEngineMetricsCounters: a query run under a registry moves the
 // statement, scan and traversal counters and the latency histogram.

@@ -90,6 +90,14 @@ type Options struct {
 	// ClusterBlock selects block placement for the simulated cluster
 	// (default is hash placement).
 	ClusterBlock bool
+	// IRVerify selects the IR/plan verifier mode: IRVerifyAlways checks
+	// every decoded IR script and every analyzed select plan (fresh and
+	// cache-hit), IRVerifySample checks every 64th opportunity, and
+	// IRVerifyOff disables the verifier. Empty defers to the
+	// GRAQL_IR_VERIFY environment variable, defaulting to always-on —
+	// tests and CI get full verification with no setup; latency-critical
+	// deployments opt into sampling (the server default) or off.
+	IRVerify string
 	// Dist, when non-nil, routes eligible cluster chain queries through
 	// this transport — real worker processes over sockets — instead of
 	// the in-process simulation. The transport's partition count and

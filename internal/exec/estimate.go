@@ -1,0 +1,229 @@
+package exec
+
+import (
+	"math"
+
+	"graql/internal/ast"
+	"graql/internal/expr"
+	"graql/internal/graph"
+	"graql/internal/plan"
+	"graql/internal/sema"
+	"graql/internal/value"
+)
+
+// Static cardinality bounds (plan.Interval) computed from the catalog
+// statistics the planner already consumes: vertex counts, degree
+// distribution maxima, seed sizes. EXPLAIN renders the running bound
+// after every plan step as est_rows; EXPLAIN ANALYZE reports the
+// query-level bound next to the actual row count so estimate accuracy is
+// observable per query (the Berlin suite asserts containment).
+
+// estimateSelect bounds the output cardinality of an analyzed select.
+func (e *Engine) estimateSelect(s *sema.Select, params map[string]value.Value) plan.Interval {
+	var iv plan.Interval
+	if s.Table != nil {
+		iv = estimateTableSelect(s)
+	} else {
+		for i, alt := range s.GraphAlts {
+			a := e.estimateGraphAlt(alt, params)
+			if i == 0 {
+				iv = a
+			} else {
+				iv = iv.Alt(a)
+			}
+		}
+	}
+	if s.Distinct {
+		iv = iv.Distinct()
+	}
+	if s.Top > 0 {
+		iv = iv.Top(s.Top)
+	}
+	if s.Into.Kind == ast.IntoSubgraph {
+		// A subgraph result counts vertices, not bindings: every binding
+		// contributes at most one vertex per pattern node.
+		iv = iv.Expand(float64(maxPatternNodes(s)))
+	}
+	return iv
+}
+
+func maxPatternNodes(s *sema.Select) int {
+	n := 0
+	for _, alt := range s.GraphAlts {
+		if alt.Pattern != nil && len(alt.Pattern.Nodes) > n {
+			n = len(alt.Pattern.Nodes)
+		}
+	}
+	return n
+}
+
+// estimateTableSelect bounds a relational select: an exact scan count,
+// loosened by the where clause, collapsed by grouping.
+func estimateTableSelect(s *sema.Select) plan.Interval {
+	iv := plan.Exact(float64(s.Table.NumRows()))
+	if s.Where != nil {
+		iv = iv.Filter()
+	}
+	if s.Grouped {
+		if len(s.GroupBy) == 0 {
+			// A global aggregate emits one row; zero stays possible for an
+			// empty (or fully filtered) input.
+			iv = plan.Interval{Min: math.Min(iv.Min, 1), Max: 1}
+		} else {
+			iv = iv.Group()
+		}
+	}
+	return iv
+}
+
+// estimateGraphAlt bounds one or-composition alternative: the concrete
+// typings a variant pattern expands into produce disjoint binding sets,
+// so their bounds sum.
+func (e *Engine) estimateGraphAlt(alt *sema.GraphAlt, params map[string]value.Value) plan.Interval {
+	prep := e.prepAltForEstimate(alt, params)
+	var total plan.Interval
+	typings := 0
+	err := e.forEachTyping(alt.Pattern, func(nt []*graph.VertexType, et []*graph.EdgeType) error {
+		m, err := e.newMatcher(alt.Pattern, cloneTypes(nt), cloneEdgeTypes(et),
+			prep.nodeCond, prep.edgeCond, mustSeeds(e, alt.Pattern, nt))
+		if err != nil {
+			return err
+		}
+		_, fin := typingIntervals(m, prep.nodeCond)
+		if typings == 0 {
+			total = fin
+		} else {
+			total = total.Add(fin)
+		}
+		typings++
+		return nil
+	})
+	if err != nil || typings == 0 {
+		return plan.Unbounded()
+	}
+	return total
+}
+
+// prepAltForEstimate binds an alternative's conditions for estimation.
+// Unbound parameters are fine here: the raw conditions estimate as
+// generic filters.
+func (e *Engine) prepAltForEstimate(alt *sema.GraphAlt, params map[string]value.Value) *preparedAlt {
+	prep, err := e.prepareAlt(alt, params)
+	if err == nil {
+		return prep
+	}
+	prep = &preparedAlt{alt: alt,
+		nodeCond: make([]expr.Expr, len(alt.Pattern.Nodes)),
+		edgeCond: make([]expr.Expr, len(alt.Pattern.Edges))}
+	for i, n := range alt.Pattern.Nodes {
+		prep.nodeCond[i] = n.Cond
+	}
+	for i, pe := range alt.Pattern.Edges {
+		prep.edgeCond[i] = pe.Cond
+	}
+	return prep
+}
+
+// typingIntervals computes the running cardinality bound after each
+// visit of one concrete typing's traversal order, plus the final bound
+// after cross-step (deferred) conditions and verification edges.
+func typingIntervals(m *matcher, nodeCond []expr.Expr) ([]plan.Interval, plan.Interval) {
+	ivs := make([]plan.Interval, len(m.order))
+	var iv plan.Interval
+	for i, v := range m.order {
+		if v.Via < 0 {
+			n := nodeInterval(m, nodeCond, v.Node)
+			if i == 0 {
+				iv = n
+			} else {
+				// A disconnected component binds independently: the
+				// cartesian combination the GQL1009 lint warns about.
+				iv = iv.Cross(n)
+			}
+		} else {
+			iv = iv.Expand(edgeMaxFanout(m, v.Via, v.Forward))
+			if nodeCond[v.Node] != nil || m.seeds[v.Node] != nil {
+				iv = iv.Filter()
+			}
+		}
+		ivs[i] = iv
+	}
+	final := iv
+	if len(m.deferred) > 0 {
+		final = final.Filter()
+	}
+	for _, list := range m.verifyAt {
+		if len(list) > 0 {
+			final = final.Filter()
+			break
+		}
+	}
+	return ivs, final
+}
+
+// nodeInterval bounds the candidate set of a scan-start node: exactly
+// the type's instance count, narrowed by a seed subgraph, loosened down
+// to zero by a step condition.
+func nodeInterval(m *matcher, nodeCond []expr.Expr, node int) plan.Interval {
+	count := float64(m.nodeType[node].Count())
+	iv := plan.Exact(count)
+	if s := m.seeds[node]; s != nil {
+		iv = plan.UpTo(math.Min(count, float64(s.Count())))
+	}
+	if nodeCond[node] != nil {
+		iv = iv.Filter()
+	}
+	return iv
+}
+
+// edgeMaxFanout bounds the per-row fan-out of traversing pattern edge
+// `edge`: the observed maximum degree in the traversal direction, or the
+// regex fragment's closure bound.
+func edgeMaxFanout(m *matcher, edge int, forward bool) float64 {
+	pe := m.pat.Edges[edge]
+	if pe.Regex != nil {
+		return regexMaxFanout(pe.Regex, forward)
+	}
+	et := m.edgeType[edge]
+	if et == nil {
+		return math.Inf(1)
+	}
+	if forward {
+		return float64(et.OutDegreeStats().Max)
+	}
+	return float64(et.InDegreeStats().Max)
+}
+
+// regexMaxFanout bounds the landing set of a path-regular-expression
+// fragment per bound start vertex: the per-repetition fan-out is the
+// product of the fragment's step degree maxima, summed over every
+// admitted repetition count. Unbounded repetition and variant step
+// specs have no static bound — exactly the shapes the GQL1008 lint
+// flags when the pattern carries no anchoring condition.
+func regexMaxFanout(r *sema.Regex, forward bool) float64 {
+	if r.Max < 0 {
+		return math.Inf(1)
+	}
+	per := 1.0
+	for _, st := range r.Steps {
+		if st.Edge == nil {
+			return math.Inf(1)
+		}
+		out := st.Out
+		if !forward {
+			out = !out // travelling the fragment in reverse flips each step
+		}
+		if out {
+			per *= float64(st.Edge.OutDegreeStats().Max)
+		} else {
+			per *= float64(st.Edge.InDegreeStats().Max)
+		}
+	}
+	total := 0.0
+	f := math.Pow(per, float64(r.Min))
+	for k := r.Min; k <= r.Max; k++ {
+		total += f
+		f *= per
+	}
+	return total
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"graql/internal/ast"
-	"graql/internal/expr"
 	"graql/internal/graph"
 	"graql/internal/plan"
 	"graql/internal/sema"
@@ -15,33 +14,42 @@ import (
 // runExplain renders the execution plan of a select statement instead of
 // running it — the planning decisions of §III-B (start step, traversal
 // order and direction, index use, fast-path selection) made inspectable.
-// The result is a table (step integer, action varchar, detail varchar).
+// The result is a table (step integer, action varchar, detail varchar,
+// est_rows varchar); est_rows is the static cardinality bound after the
+// step, rendered as "lo..hi" ("inf" for unbounded), from the same
+// catalog statistics the planner consumes.
 func (e *Engine) runExplain(s *sema.Select, params map[string]value.Value) (Result, error) {
 	out := table.MustNew("plan", table.Schema{
 		{Name: "step", Type: value.Int},
 		{Name: "action", Type: value.Varchar(32)},
 		{Name: "detail", Type: value.Varchar(255)},
+		{Name: "est_rows", Type: value.Varchar(32)},
 	})
 	step := 0
-	add := func(action, format string, args ...any) error {
+	add := func(est, action, format string, args ...any) error {
 		step++
 		return out.AppendRow([]value.Value{
 			value.NewInt(int64(step)),
 			value.NewString(action),
 			value.NewString(fmt.Sprintf(format, args...)),
+			value.NewString(est),
 		})
 	}
 
+	var iv plan.Interval
+	var err error
 	if s.Table != nil {
-		if err := e.explainTableSelect(s, add); err != nil {
-			return Result{}, err
-		}
-	} else if err := e.explainGraphSelect(s, params, add); err != nil {
+		iv, err = e.explainTableSelect(s, add)
+	} else {
+		iv, err = e.explainGraphSelect(s, params, add)
+	}
+	if err != nil {
 		return Result{}, err
 	}
 
 	if s.Distinct {
-		if err := add("distinct", "eliminate duplicate rows"); err != nil {
+		iv = iv.Distinct()
+		if err := add(iv.String(), "distinct", "eliminate duplicate rows"); err != nil {
 			return Result{}, err
 		}
 	}
@@ -51,46 +59,52 @@ func (e *Engine) runExplain(s *sema.Select, params map[string]value.Value) (Resu
 			if k.Desc {
 				dir = "desc"
 			}
-			if err := add("sort", "order by output column %d %s", k.Col+1, dir); err != nil {
+			if err := add(iv.String(), "sort", "order by output column %d %s", k.Col+1, dir); err != nil {
 				return Result{}, err
 			}
 		}
 	}
 	if s.Top > 0 {
-		if err := add("top", "keep first %d rows", s.Top); err != nil {
+		iv = iv.Top(s.Top)
+		if err := add(iv.String(), "top", "keep first %d rows", s.Top); err != nil {
 			return Result{}, err
 		}
 	}
 	switch s.Into.Kind {
 	case ast.IntoTable:
-		if err := add("materialise", "register result as table %s", s.Into.Name); err != nil {
+		if err := add(iv.String(), "materialise", "register result as table %s", s.Into.Name); err != nil {
 			return Result{}, err
 		}
 	case ast.IntoSubgraph:
-		if err := add("materialise", "register result as subgraph %s", s.Into.Name); err != nil {
+		iv = iv.Expand(float64(maxPatternNodes(s)))
+		if err := add(iv.String(), "materialise", "register result as subgraph %s", s.Into.Name); err != nil {
 			return Result{}, err
 		}
 	}
 	return Result{Kind: ResultTable, Table: out}, nil
 }
 
-func (e *Engine) explainTableSelect(s *sema.Select, add func(string, string, ...any) error) error {
-	if err := add("scan", "table %s (%d rows)", s.Table.Name, s.Table.NumRows()); err != nil {
-		return err
+func (e *Engine) explainTableSelect(s *sema.Select, add func(string, string, string, ...any) error) (plan.Interval, error) {
+	iv := plan.Exact(float64(s.Table.NumRows()))
+	if err := add(iv.String(), "scan", "table %s (%d rows)", s.Table.Name, s.Table.NumRows()); err != nil {
+		return iv, err
 	}
 	if s.Where != nil {
-		if err := add("filter", "%s", s.Where); err != nil {
-			return err
+		iv = iv.Filter()
+		if err := add(iv.String(), "filter", "%s", s.Where); err != nil {
+			return iv, err
 		}
 	}
 	if s.Grouped {
-		if err := add("group", "group by %d key column(s), %d aggregate(s)", len(s.GroupBy), countAggs(s)); err != nil {
-			return err
+		full := estimateTableSelect(s)
+		iv = full
+		if err := add(iv.String(), "group", "group by %d key column(s), %d aggregate(s)", len(s.GroupBy), countAggs(s)); err != nil {
+			return iv, err
 		}
-	} else if err := add("project", "%d output column(s)", len(s.Items)); err != nil {
-		return err
+	} else if err := add(iv.String(), "project", "%d output column(s)", len(s.Items)); err != nil {
+		return iv, err
 	}
-	return nil
+	return iv, nil
 }
 
 func countAggs(s *sema.Select) int {
@@ -103,46 +117,39 @@ func countAggs(s *sema.Select) int {
 	return n
 }
 
-func (e *Engine) explainGraphSelect(s *sema.Select, params map[string]value.Value, add func(string, string, ...any) error) error {
+func (e *Engine) explainGraphSelect(s *sema.Select, params map[string]value.Value, add func(string, string, string, ...any) error) (plan.Interval, error) {
+	var total plan.Interval
 	for ai, alt := range s.GraphAlts {
-		prep, err := e.prepareAlt(alt, params)
-		if err != nil {
-			// Unbound parameters are fine for explain: estimate with the
-			// raw conditions instead.
-			prep = &preparedAlt{alt: alt,
-				nodeCond: make([]expr.Expr, len(alt.Pattern.Nodes)),
-				edgeCond: make([]expr.Expr, len(alt.Pattern.Edges))}
-			for i, n := range alt.Pattern.Nodes {
-				prep.nodeCond[i] = n.Cond
-			}
-			for i, pe := range alt.Pattern.Edges {
-				prep.edgeCond[i] = pe.Cond
-			}
-		}
+		prep := e.prepAltForEstimate(alt, params)
 		if len(s.GraphAlts) > 1 {
-			if err := add("alternative", "or-composition term %d", ai+1); err != nil {
-				return err
+			if err := add("-", "alternative", "or-composition term %d", ai+1); err != nil {
+				return total, err
 			}
 		}
 		pat := alt.Pattern
 		typings := 0
-		err = e.forEachTyping(pat, func(nt []*graph.VertexType, et []*graph.EdgeType) error {
-			typings++
-			if typings > 1 {
-				return nil // report the plan for the first typing only
-			}
+		var altIv plan.Interval
+		err := e.forEachTyping(pat, func(nt []*graph.VertexType, et []*graph.EdgeType) error {
 			m, err := e.newMatcher(pat, cloneTypes(nt), cloneEdgeTypes(et), prep.nodeCond, prep.edgeCond, mustSeeds(e, pat, nt))
 			if err != nil {
 				return err
 			}
+			ivs, fin := typingIntervals(m, prep.nodeCond)
+			typings++
+			if typings == 1 {
+				altIv = fin
+			} else {
+				altIv = altIv.Add(fin)
+				return nil // report the plan rows for the first typing only
+			}
 			if chain, ok := plan.LinearChain(pat); ok && len(m.deferred) == 0 && s.Into.Kind == ast.IntoSubgraph {
-				return add("strategy", "linear chain of %d steps: bitmap forward-expansion + backward-culling (Eq. 5)", len(chain))
+				return add(fin.String(), "strategy", "linear chain of %d steps: bitmap forward-expansion + backward-culling (Eq. 5)", len(chain))
 			}
 			est := &catalogEstimator{m: m, nodeCond: prep.nodeCond}
 			for i, v := range m.order {
 				name := stepName(pat, nt, v.Node)
 				if v.Via < 0 {
-					if err := add("scan", "start at %s (est. %.0f candidates)", name, est.NodeCount(v.Node)); err != nil {
+					if err := add(ivs[i].String(), "scan", "start at %s (est. %.0f candidates)", name, est.NodeCount(v.Node)); err != nil {
 						return err
 					}
 					continue
@@ -161,10 +168,9 @@ func (e *Engine) explainGraphSelect(s *sema.Select, params map[string]value.Valu
 				} else if m.edgeType[v.Via] != nil {
 					edgeName = m.edgeType[v.Via].Name
 				}
-				if err := add("expand", "bind %s via %s, %s (fan-out %.2f)", name, edgeName, dir, est.EdgeFanout(v.Via, v.Forward)); err != nil {
+				if err := add(ivs[i].String(), "expand", "bind %s via %s, %s (fan-out %.2f)", name, edgeName, dir, est.EdgeFanout(v.Via, v.Forward)); err != nil {
 					return err
 				}
-				_ = i
 			}
 			for d, list := range m.verifyAt {
 				for _, pe := range list {
@@ -172,7 +178,7 @@ func (e *Engine) explainGraphSelect(s *sema.Select, params map[string]value.Valu
 					if pe.Regex != nil {
 						kind = "regex reachability"
 					}
-					if err := add("verify", "check %s between steps after position %d", kind, d+1); err != nil {
+					if err := add(fin.String(), "verify", "check %s between steps after position %d", kind, d+1); err != nil {
 						return err
 					}
 				}
@@ -180,15 +186,20 @@ func (e *Engine) explainGraphSelect(s *sema.Select, params map[string]value.Valu
 			return nil
 		})
 		if err != nil {
-			return err
+			return total, err
 		}
 		if typings > 1 {
-			if err := add("typings", "variant steps expand to %d concrete typings (Eq. 11)", typings); err != nil {
-				return err
+			if err := add(altIv.String(), "typings", "variant steps expand to %d concrete typings (Eq. 11)", typings); err != nil {
+				return total, err
 			}
 		}
+		if ai == 0 {
+			total = altIv
+		} else {
+			total = total.Alt(altIv)
+		}
 	}
-	return nil
+	return total, nil
 }
 
 func stepName(pat *sema.Pattern, nt []*graph.VertexType, node int) string {

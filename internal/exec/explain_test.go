@@ -77,3 +77,55 @@ func TestExplainUnboundParamsOK(t *testing.T) {
 		t.Errorf("explain with params failed:\n%s", text)
 	}
 }
+
+// explainEstRows returns action → est_rows for the first row of each
+// action kind of an EXPLAIN plan.
+func explainEstRows(t *testing.T, e *Engine, q string) map[string]string {
+	t.Helper()
+	res := mustExec(t, e, q, nil)
+	tb := res[len(res)-1].Table
+	if tb == nil {
+		t.Fatal("explain must return a table")
+	}
+	if got := tb.Schema().Names()[3]; got != "est_rows" {
+		t.Fatalf("column 4 = %s, want est_rows", got)
+	}
+	out := map[string]string{}
+	for r := uint32(0); r < uint32(tb.NumRows()); r++ {
+		action := tb.Value(r, 1).Str()
+		if _, ok := out[action]; !ok {
+			out[action] = tb.Value(r, 3).Str()
+		}
+	}
+	return out
+}
+
+// TestExplainEstRows: the est_rows column carries the static cardinality
+// bounds — exact for an unconditional scan, loosened to a 0-based range
+// by filters, clamped by top, unbounded through an unbounded regex.
+func TestExplainEstRows(t *testing.T) {
+	e := semaEngine(t)
+
+	est := explainEstRows(t, e, `explain select id from table TA where n > 1`)
+	if est["scan"] != "4" {
+		t.Errorf("scan est_rows = %q, want exact table count 4", est["scan"])
+	}
+	if est["filter"] != "0..4" {
+		t.Errorf("filter est_rows = %q, want 0..4", est["filter"])
+	}
+
+	est = explainEstRows(t, e, `explain select top 2 id from table TA`)
+	if est["top"] != "2" {
+		t.Errorf("top est_rows = %q, want 2", est["top"])
+	}
+
+	est = explainEstRows(t, e, `explain select B.id from graph A ( ) --e--> B ( )`)
+	if !strings.HasPrefix(est["expand"], "0..") || strings.Contains(est["expand"], "inf") {
+		t.Errorf("expand est_rows = %q, want a finite 0-based bound", est["expand"])
+	}
+
+	est = explainEstRows(t, e, `explain select B.id from graph A (id = 'a1') ( --e--> [ ] )* def B: B ( )`)
+	if !strings.Contains(est["expand"], "inf") {
+		t.Errorf("unbounded regex expand est_rows = %q, want an inf bound", est["expand"])
+	}
+}

@@ -33,6 +33,8 @@ type engineMetrics struct {
 
 	tableOpsParallel *obs.Counter // relational operators run on the morsel-parallel path
 
+	irVerifyFailures *obs.Counter // IR/plan verifier rejections (should stay 0)
+
 	rowsInserted *obs.Counter // rows added by insert statements
 	rowsUpdated  *obs.Counter // rows rewritten by update statements
 	rowsDeleted  *obs.Counter // rows removed by delete statements
@@ -59,6 +61,7 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 	m.shardTasks = reg.Counter("graql_parallel_shards_total", "shards executed across all sweeps")
 	m.activeWorkers = reg.Gauge("graql_parallel_active_workers", "goroutines currently executing sweep shards")
 	m.tableOpsParallel = reg.Counter("graql_tableops_parallel_total", "relational operators (filter, join, group-by, order-by) executed on the morsel-parallel path")
+	m.irVerifyFailures = reg.Counter("graql_ir_verify_failures_total", "decoded IR scripts or analyzed plans rejected by the structural verifier")
 	m.rowsInserted = reg.Counter("graql_rows_inserted_total", "rows added by insert statements")
 	m.rowsUpdated = reg.Counter("graql_rows_updated_total", "rows rewritten by update statements")
 	m.rowsDeleted = reg.Counter("graql_rows_deleted_total", "rows removed by delete statements")
@@ -69,6 +72,14 @@ func newEngineMetrics(reg *obs.Registry) engineMetrics {
 			obs.LatencyBuckets(), map[string]string{"kind": kind})
 	}
 	return m
+}
+
+// noteIRVerifyFailure records one IR/plan verifier rejection.
+func (m *engineMetrics) noteIRVerifyFailure() {
+	if m == nil || m.reg == nil {
+		return
+	}
+	m.irVerifyFailures.Inc()
 }
 
 // noteSweep records the launch of one data-parallel sweep.

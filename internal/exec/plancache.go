@@ -201,11 +201,21 @@ func (e *Engine) planSelect(sel *ast.Select) (*sema.Select, error) {
 		if err != nil {
 			return nil, err
 		}
-		return analyzed.(*sema.Select), nil
+		plan := analyzed.(*sema.Select)
+		if err := e.verifyPlanDue(plan, "plan"); err != nil {
+			return nil, err
+		}
+		return plan, nil
 	}
 	fp, raw := e.planIdentity(sel)
 	epoch := e.Cat.Epoch()
 	if cached := e.plans.get(fp, raw, epoch); cached != nil {
+		// A cached plan outlives the statement that built it, so verify on
+		// the hit path too: a corruption bug anywhere in cache invalidation
+		// surfaces here as a loud error instead of a wrong answer.
+		if err := e.verifyPlanDue(cached, "plan-cache"); err != nil {
+			return nil, err
+		}
 		e.acct.notePlanHit()
 		return cached, nil
 	}
@@ -214,6 +224,9 @@ func (e *Engine) planSelect(sel *ast.Select) (*sema.Select, error) {
 		return nil, err
 	}
 	plan := analyzed.(*sema.Select)
+	if err := e.verifyPlanDue(plan, "plan"); err != nil {
+		return nil, err
+	}
 	if !sel.Span().Known() {
 		// The statement was materialized from IR (the server's front-end
 		// path) or built programmatically: its strings are fresh

@@ -80,6 +80,16 @@ func (e *Engine) prepareIR(blob []byte) (*Prepared, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The decoder only rejects malformed framing; Verify closes the gap
+	// between "decoded" and "meaningful" before the statements reach sema
+	// and the executor. This matters most on PrepareIR, whose blob crossed
+	// the wire from an untrusted client.
+	if e.irVerifyDue() {
+		if err := ir.Verify(decoded); err != nil {
+			e.met.noteIRVerifyFailure()
+			return nil, err
+		}
+	}
 	if len(decoded.Stmts) == 0 {
 		return nil, fmt.Errorf("graql: cannot prepare an empty script")
 	}

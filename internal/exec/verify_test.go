@@ -1,0 +1,119 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"graql/internal/ast"
+	"graql/internal/ir"
+	"graql/internal/obs"
+	"graql/internal/sema"
+	"graql/internal/table"
+	"graql/internal/value"
+)
+
+// A zero-set update is legal IR framing (the count field is just 0) but
+// structurally meaningless; the parser can never produce it, so it only
+// arrives via a corrupted or hand-built blob.
+func malformedBlob(t *testing.T) []byte {
+	t.Helper()
+	blob, err := ir.Encode(&ast.Script{Stmts: []ast.Stmt{&ast.Update{Table: "t"}}})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	return blob
+}
+
+func TestPrepareIRRejectsMalformedBlob(t *testing.T) {
+	reg := obs.New()
+	opts := DefaultOptions()
+	opts.IRVerify = IRVerifyAlways
+	opts.Obs = reg
+	e := New(opts)
+	_, err := e.PrepareIR(malformedBlob(t))
+	if err == nil || !strings.Contains(err.Error(), "verify") {
+		t.Fatalf("PrepareIR on malformed blob = %v, want verify error", err)
+	}
+	if got := e.met.irVerifyFailures.Value(); got != 1 {
+		t.Fatalf("graql_ir_verify_failures_total = %d, want 1", got)
+	}
+}
+
+func TestPrepareIRVerifyOff(t *testing.T) {
+	opts := DefaultOptions()
+	opts.IRVerify = IRVerifyOff
+	e := New(opts)
+	// With the verifier off the blob prepares (the script mutates the
+	// catalog, so analysis is deferred to execute); the malformed shape
+	// would only surface later as an executor error.
+	if _, err := e.PrepareIR(malformedBlob(t)); err != nil {
+		t.Fatalf("PrepareIR with verifier off = %v, want success", err)
+	}
+}
+
+func TestVerifyPlanInvariants(t *testing.T) {
+	tbl, err := table.New("t", table.Schema{{Name: "id", Type: value.Type{Kind: value.KindInt}}})
+	if err != nil {
+		t.Fatalf("table.New: %v", err)
+	}
+	cases := []struct {
+		name string
+		plan *sema.Select
+		want string
+	}{
+		{"nil plan", nil, "nil plan"},
+		{"no input", &sema.Select{}, "exactly one"},
+		{"negative top", &sema.Select{Table: tbl, Star: true, Top: -2}, "negative top"},
+		{"order key out of range", &sema.Select{Table: tbl, Star: true,
+			OrderBy: []sema.OrderKey{{Col: 3}}}, "order-by key"},
+		{"item column out of range", &sema.Select{Table: tbl,
+			Items:     []sema.Item{{Col: 7, Name: "x"}},
+			OutSchema: table.Schema{{Name: "x"}}}, "reads column 7"},
+		{"group-by out of range", &sema.Select{Table: tbl, Star: true,
+			GroupBy: []int{5}}, "group-by key"},
+		{"empty pattern", &sema.Select{Star: true,
+			GraphAlts: []*sema.GraphAlt{{Pattern: &sema.Pattern{}}}}, "no nodes"},
+		{"edge endpoint out of range", &sema.Select{Star: true,
+			GraphAlts: []*sema.GraphAlt{{Pattern: &sema.Pattern{
+				Nodes: []*sema.Node{{ID: 0, SameTypeAs: -1}},
+				Edges: []*sema.PEdge{{ID: 0, Src: 0, Dst: 4}},
+			}}}}, "endpoints"},
+		{"empty regex bound", &sema.Select{Star: true,
+			GraphAlts: []*sema.GraphAlt{{Pattern: &sema.Pattern{
+				Nodes: []*sema.Node{{ID: 0, SameTypeAs: -1}},
+				Edges: []*sema.PEdge{{ID: 0, Src: 0, Dst: 0,
+					Regex: &sema.Regex{Min: 3, Max: 1, Steps: make([]sema.RegexStep, 1)}}},
+			}}}}, "regex bound"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := verifyPlan(tc.plan)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("verifyPlan = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+
+	ok := &sema.Select{Table: tbl, Star: true, OutSchema: tbl.Schema()}
+	if err := verifyPlan(ok); err != nil {
+		t.Fatalf("verifyPlan on a valid plan = %v", err)
+	}
+}
+
+// TestIRVerifySampling checks the stride: in sample mode only one in
+// every irVerifySampleEvery opportunities runs the verifier, so a
+// malformed blob passes until the sampled tick lands on it.
+func TestIRVerifySampling(t *testing.T) {
+	opts := DefaultOptions()
+	opts.IRVerify = IRVerifySample
+	e := New(opts)
+	rejected := 0
+	for i := 0; i < 2*irVerifySampleEvery; i++ {
+		if _, err := e.PrepareIR(malformedBlob(t)); err != nil {
+			rejected++
+		}
+	}
+	if rejected == 0 || rejected > 3 {
+		t.Fatalf("sampled verifier rejected %d of %d preparations, want ~2", rejected, 2*irVerifySampleEvery)
+	}
+}

@@ -106,6 +106,28 @@ type Expr interface {
 	String() string
 }
 
+// StaticType returns the inferred type annotation recorded on e by the
+// most recent successful Check call. Nodes that have never been checked
+// (or whose type cannot be proven statically, e.g. unbound parameters)
+// report value.Invalid. The annotation is what downstream consumers —
+// EXPLAIN, the IR verifier, the cardinality estimator — read instead of
+// re-running inference.
+func StaticType(e Expr) value.Type {
+	switch n := e.(type) {
+	case *Const:
+		return value.Type{Kind: n.V.Kind()}
+	case *Param:
+		return value.Invalid
+	case *Ref:
+		return n.Typ
+	case *Unary:
+		return n.Typ
+	case *Binary:
+		return n.Typ
+	}
+	return value.Invalid
+}
+
 // SpanOf returns the source span of a node. Nodes built without position
 // information (IR decoding, hand-built tests) yield the zero span.
 func SpanOf(e Expr) diag.Span {
@@ -150,8 +172,16 @@ func (c *Const) Eval(Env) (value.Value, error) { return c.V, nil }
 func (c *Const) Check(TypeEnv) (value.Type, error) { return value.Type{Kind: c.V.Kind()}, nil }
 
 func (c *Const) String() string {
-	if c.V.Kind() == value.KindString && !c.V.IsNull() {
+	if c.V.IsNull() {
+		return c.V.String()
+	}
+	switch c.V.Kind() {
+	case value.KindString:
 		return "'" + strings.ReplaceAll(c.V.Str(), "'", "''") + "'"
+	case value.KindDate:
+		// Render the explicit date-literal form so the output re-parses
+		// as a date (a bare quoted string would round-trip as varchar).
+		return "date '" + c.V.String() + "'"
 	}
 	return c.V.String()
 }
@@ -183,6 +213,7 @@ type Ref struct {
 	Name      string
 	Source    int
 	Col       int
+	Typ       value.Type // inferred type annotation, set by Check
 	Loc       diag.Span
 }
 
@@ -207,7 +238,8 @@ func (r *Ref) Check(env TypeEnv) (value.Type, error) {
 	if !r.Resolved() {
 		return value.Invalid, fmt.Errorf("graql: unresolved reference %s", r.String())
 	}
-	return env.TypeOf(r.Source, r.Col), nil
+	r.Typ = env.TypeOf(r.Source, r.Col)
+	return r.Typ, nil
 }
 
 func (r *Ref) String() string {
@@ -221,6 +253,7 @@ func (r *Ref) String() string {
 type Unary struct {
 	Op  Op
 	X   Expr
+	Typ value.Type // inferred type annotation, set by Check
 	Loc diag.Span
 }
 
@@ -242,8 +275,14 @@ func (u *Unary) Eval(env Env) (value.Value, error) {
 	case OpNeg:
 		switch x.Kind() {
 		case value.KindInt:
+			if x.IsNull() {
+				return value.NewNull(value.KindInt), nil
+			}
 			return value.NewInt(-x.Int()), nil
 		case value.KindFloat:
+			if x.IsNull() {
+				return value.NewNull(value.KindFloat), nil
+			}
 			return value.NewFloat(-x.Float()), nil
 		}
 		return value.Value{}, &value.TypeError{Op: "negate", A: x.Kind(), B: value.KindFloat}
@@ -263,12 +302,14 @@ func (u *Unary) Check(env TypeEnv) (value.Type, error) {
 			return value.Invalid, typeDiag(u, diag.BoolRequired,
 				"operand of not must be boolean, got %s", xt.Kind)
 		}
+		u.Typ = value.Bool
 		return value.Bool, nil
 	case OpNeg:
 		if !xt.Kind.Numeric() && xt.Kind != value.KindInvalid {
 			return value.Invalid, typeDiag(u, diag.NumberRequired,
 				"cannot negate %s", xt.Kind)
 		}
+		u.Typ = xt
 		return xt, nil
 	}
 	return value.Invalid, fmt.Errorf("graql: bad unary operator %v", u.Op)
@@ -285,6 +326,7 @@ func (u *Unary) String() string {
 type Binary struct {
 	Op   Op
 	L, R Expr
+	Typ  value.Type // inferred type annotation, set by Check
 	Loc  diag.Span
 }
 
@@ -440,6 +482,7 @@ func (b *Binary) Check(env TypeEnv) (value.Type, error) {
 			return value.Invalid, typeDiag(b, diag.TypeMismatch,
 				"cannot compare %s with %s", lt.Kind, rt.Kind)
 		}
+		b.Typ = value.Bool
 		return value.Bool, nil
 	case b.Op.Logical():
 		if (lt.Kind != value.KindBool && lt.Kind != value.KindInvalid) ||
@@ -451,19 +494,32 @@ func (b *Binary) Check(env TypeEnv) (value.Type, error) {
 			return value.Invalid, typeDiag(b, diag.BoolRequired,
 				"operand of %s must be boolean, got %s", b.Op, bad)
 		}
+		b.Typ = value.Bool
 		return value.Bool, nil
 	case b.Op.Arith():
 		if !wild && (!lt.Kind.Numeric() || !rt.Kind.Numeric()) {
 			return value.Invalid, typeDiag(b, diag.NumberRequired,
 				"operator %s requires numeric operands, got %s and %s", b.Op, lt.Kind, rt.Kind)
 		}
-		if lt.Kind == value.KindFloat || rt.Kind == value.KindFloat || b.Op == OpDiv && wild {
-			return value.Float, nil
+		float := lt.Kind == value.KindFloat || rt.Kind == value.KindFloat
+		if b.Op == OpMod && float {
+			// Modulo is integer-only at runtime; a float operand is a
+			// guaranteed eval error regardless of what a wildcard binds.
+			return value.Invalid, typeDiag(b, diag.FloatModulo,
+				"operator %% requires integer operands, got %s and %s", lt.Kind, rt.Kind)
 		}
-		if wild {
-			return value.Invalid, nil
+		switch {
+		case float:
+			b.Typ = value.Float
+		case wild:
+			// int OP wildcard yields int or float depending on what the
+			// parameter binds — unknown statically, so stay wildcard
+			// rather than guess (inference must never be wrong).
+			b.Typ = value.Invalid
+		default:
+			b.Typ = value.Int
 		}
-		return value.Int, nil
+		return b.Typ, nil
 	}
 	return value.Invalid, fmt.Errorf("graql: bad binary operator %v", b.Op)
 }

@@ -42,3 +42,45 @@ func FuzzDecode(f *testing.F) {
 		}
 	})
 }
+
+// FuzzIRVerify: Verify must never panic on any blob the decoder accepts,
+// and must accept every script the parser itself produces (the verifier
+// flags corruption, not valid programs).
+func FuzzIRVerify(f *testing.F) {
+	for _, src := range []string{bsbm.FullDDL, bsbm.Q1.Script, bsbm.Q4.Script, bsbm.Q8.Script} {
+		script, err := parser.Parse(src)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if err := Verify(script); err != nil {
+			f.Fatalf("parser output must verify clean: %v", err)
+		}
+		blob, err := Encode(script)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(blob)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		script, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if Verify(script) != nil {
+			return // structurally bogus blobs are exactly what Verify is for
+		}
+		// A verified script must survive the same round trip FuzzDecode
+		// checks, and the round-tripped form must verify again.
+		blob, err := Encode(script)
+		if err != nil {
+			t.Fatalf("verified script fails to re-encode: %v", err)
+		}
+		back, err := Decode(blob)
+		if err != nil {
+			t.Fatalf("re-encoded blob fails to decode: %v", err)
+		}
+		if err := Verify(back); err != nil {
+			t.Fatalf("round-tripped script fails verify: %v", err)
+		}
+	})
+}

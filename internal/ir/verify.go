@@ -1,0 +1,371 @@
+package ir
+
+import (
+	"fmt"
+
+	"graql/internal/ast"
+	"graql/internal/expr"
+	"graql/internal/value"
+)
+
+// Verify structurally checks a decoded script for well-formedness: every
+// operator and value kind in range, expression trees complete (no nil
+// operands), path queries alternating vertex/edge steps with sane
+// repetition bounds, and statement shapes the analyzer and engine assume
+// (a select reads a graph or a table, an update sets at least one
+// column, ...).
+//
+// The decoder already rejects malformed framing; Verify closes the gap
+// between "decoded" and "meaningful": a corrupted or adversarial blob
+// whose bytes happen to frame correctly still produces statements, and
+// without this check those flow into sema and the planner where the
+// failure mode is a panic or a wrong answer instead of a loud error.
+// The engine runs Verify after wire decode in prepared execute and
+// (always-on in tests, sampled in production) on freshly built and
+// cache-hit plans; see exec.Options.IRVerify.
+func Verify(s *ast.Script) error {
+	if s == nil {
+		return fmt.Errorf("ir: verify: nil script")
+	}
+	for i, st := range s.Stmts {
+		if err := verifyStmt(st); err != nil {
+			return fmt.Errorf("ir: verify: statement %d (%T): %w", i+1, st, err)
+		}
+	}
+	return nil
+}
+
+func verifyStmt(st ast.Stmt) error {
+	switch s := st.(type) {
+	case nil:
+		return fmt.Errorf("nil statement")
+	case *ast.CreateTable:
+		if s.Name == "" {
+			return fmt.Errorf("empty table name")
+		}
+		if len(s.Cols) == 0 {
+			return fmt.Errorf("create table %s has no columns", s.Name)
+		}
+		for _, c := range s.Cols {
+			if c.Name == "" {
+				return fmt.Errorf("create table %s: empty column name", s.Name)
+			}
+			if err := verifyType(c.Type); err != nil {
+				return fmt.Errorf("create table %s, column %s: %w", s.Name, c.Name, err)
+			}
+		}
+	case *ast.CreateVertex:
+		if s.Name == "" || s.From == "" {
+			return fmt.Errorf("create vertex needs a name and a base table")
+		}
+		if len(s.KeyCols) == 0 {
+			return fmt.Errorf("create vertex %s has no key columns", s.Name)
+		}
+		for _, k := range s.KeyCols {
+			if k == "" {
+				return fmt.Errorf("create vertex %s: empty key column", s.Name)
+			}
+		}
+		return verifyOptExpr(s.Where)
+	case *ast.CreateEdge:
+		if s.Name == "" || s.SrcType == "" || s.DstType == "" {
+			return fmt.Errorf("create edge needs a name and two endpoint vertex types")
+		}
+		for _, t := range s.FromTables {
+			if t == "" {
+				return fmt.Errorf("create edge %s: empty from-table name", s.Name)
+			}
+		}
+		return verifyOptExpr(s.Where)
+	case *ast.Ingest:
+		if s.Table == "" || s.File == "" {
+			return fmt.Errorf("ingest needs a table and a file")
+		}
+	case *ast.Output:
+		if s.Table == "" || s.File == "" {
+			return fmt.Errorf("output needs a table and a file")
+		}
+	case *ast.Select:
+		return verifySelect(s)
+	case *ast.Insert:
+		if s.Table == "" {
+			return fmt.Errorf("insert has no target table")
+		}
+		for _, c := range s.Cols {
+			if c == "" {
+				return fmt.Errorf("insert into %s: empty column name", s.Table)
+			}
+		}
+		if len(s.Rows) == 0 {
+			return fmt.Errorf("insert into %s has no values tuples", s.Table)
+		}
+		for _, row := range s.Rows {
+			if len(row) == 0 {
+				return fmt.Errorf("insert into %s: empty values tuple", s.Table)
+			}
+			for _, e := range row {
+				if err := verifyExpr(e); err != nil {
+					return err
+				}
+			}
+		}
+	case *ast.Update:
+		if s.Table == "" {
+			return fmt.Errorf("update has no target table")
+		}
+		if len(s.Sets) == 0 {
+			return fmt.Errorf("update %s has no set clauses", s.Table)
+		}
+		for _, c := range s.Sets {
+			if c.Col == "" {
+				return fmt.Errorf("update %s: empty set column", s.Table)
+			}
+			if err := verifyExpr(c.E); err != nil {
+				return err
+			}
+		}
+		return verifyOptExpr(s.Where)
+	case *ast.Delete:
+		if s.Table == "" {
+			return fmt.Errorf("delete has no target table")
+		}
+		return verifyOptExpr(s.Where)
+	default:
+		return fmt.Errorf("unknown statement kind")
+	}
+	return nil
+}
+
+func verifySelect(s *ast.Select) error {
+	if (s.Graph == nil) == (s.FromTable == "") {
+		return fmt.Errorf("select must read exactly one of a graph pattern or a table")
+	}
+	if s.Analyze && !s.Explain {
+		return fmt.Errorf("analyze without explain")
+	}
+	if s.Top < 0 {
+		return fmt.Errorf("negative top %d", s.Top)
+	}
+	if !s.Star && len(s.Items) == 0 {
+		return fmt.Errorf("select has neither * nor projection items")
+	}
+	if s.Star && len(s.Items) > 0 {
+		return fmt.Errorf("select mixes * with projection items")
+	}
+	for _, it := range s.Items {
+		if it.Agg > ast.AggMax {
+			return fmt.Errorf("projection item has unknown aggregate %d", it.Agg)
+		}
+		if it.AggStar {
+			if it.Expr != nil {
+				return fmt.Errorf("count(*) item carries an argument expression")
+			}
+			continue
+		}
+		if err := verifyExpr(it.Expr); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.GroupBy {
+		if err := verifyExpr(g); err != nil {
+			return err
+		}
+	}
+	for _, k := range s.OrderBy {
+		if err := verifyExpr(k.Ref); err != nil {
+			return err
+		}
+	}
+	switch s.Into.Kind {
+	case ast.IntoNone:
+		if s.Into.Name != "" {
+			return fmt.Errorf("into clause has a name but no destination kind")
+		}
+	case ast.IntoTable, ast.IntoSubgraph:
+		if s.Into.Name == "" {
+			return fmt.Errorf("into clause has no destination name")
+		}
+	default:
+		return fmt.Errorf("unknown into kind %d", s.Into.Kind)
+	}
+	if s.Graph != nil {
+		return verifyPathOr(s.Graph)
+	}
+	return verifyOptExpr(s.Where)
+}
+
+func verifyPathOr(p *ast.PathOr) error {
+	if len(p.Terms) == 0 {
+		return fmt.Errorf("graph pattern has no alternatives")
+	}
+	for _, term := range p.Terms {
+		if term == nil || len(term.Paths) == 0 {
+			return fmt.Errorf("and-composition has no paths")
+		}
+		for _, path := range term.Paths {
+			if err := verifyPath(path); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// verifyPath checks the paper's Eq. 3 shape: an odd-length alternation of
+// vertex and edge-or-regex steps, starting and ending with a vertex step.
+func verifyPath(p *ast.Path) error {
+	if p == nil || len(p.Elems) == 0 || len(p.Elems)%2 == 0 {
+		return fmt.Errorf("path must be a vertex-step-delimited alternation")
+	}
+	for i, el := range p.Elems {
+		if i%2 == 0 {
+			v, ok := el.(*ast.VertexStep)
+			if !ok {
+				return fmt.Errorf("path element %d: expected a vertex step, got %T", i, el)
+			}
+			if err := verifyVertexStep(v); err != nil {
+				return err
+			}
+			continue
+		}
+		switch e := el.(type) {
+		case *ast.EdgeStep:
+			if err := verifyEdgeStep(e); err != nil {
+				return err
+			}
+		case *ast.RegexGroup:
+			if err := verifyRegexGroup(e); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("path element %d: expected an edge step or regex group, got %T", i, el)
+		}
+	}
+	return nil
+}
+
+func verifyVertexStep(v *ast.VertexStep) error {
+	if v.Variant && (v.Name != "" || v.SeedGraph != "") {
+		return fmt.Errorf("[ ] variant vertex step carries a name")
+	}
+	if !v.Variant && v.Name == "" {
+		return fmt.Errorf("vertex step has no type name")
+	}
+	if err := verifyLabel(v.Label); err != nil {
+		return err
+	}
+	return verifyOptExpr(v.Cond)
+}
+
+func verifyEdgeStep(e *ast.EdgeStep) error {
+	if e.Variant && e.Name != "" {
+		return fmt.Errorf("[ ] variant edge step carries a name")
+	}
+	if !e.Variant && e.Name == "" {
+		return fmt.Errorf("edge step has no type name")
+	}
+	if err := verifyLabel(e.Label); err != nil {
+		return err
+	}
+	return verifyOptExpr(e.Cond)
+}
+
+func verifyRegexGroup(g *ast.RegexGroup) error {
+	if g.Min < 0 {
+		return fmt.Errorf("regex group has negative minimum %d", g.Min)
+	}
+	if g.Max >= 0 && g.Max < g.Min {
+		return fmt.Errorf("regex group bound {%d,%d} is empty", g.Min, g.Max)
+	}
+	if len(g.Elems) == 0 || len(g.Elems)%2 != 0 {
+		return fmt.Errorf("regex group must repeat (edge, vertex) pairs")
+	}
+	for i := 0; i < len(g.Elems); i += 2 {
+		e, ok := g.Elems[i].(*ast.EdgeStep)
+		if !ok {
+			return fmt.Errorf("regex element %d: expected an edge step, got %T", i, g.Elems[i])
+		}
+		if err := verifyEdgeStep(e); err != nil {
+			return err
+		}
+		v, ok := g.Elems[i+1].(*ast.VertexStep)
+		if !ok {
+			return fmt.Errorf("regex element %d: expected a vertex step, got %T", i+1, g.Elems[i+1])
+		}
+		if err := verifyVertexStep(v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func verifyType(t value.Type) error {
+	if t.Kind == value.KindInvalid || t.Kind > value.KindDate {
+		return fmt.Errorf("invalid column type kind %d", t.Kind)
+	}
+	if t.Width < 0 {
+		return fmt.Errorf("negative varchar width %d", t.Width)
+	}
+	return nil
+}
+
+func verifyLabel(l *ast.LabelDef) error {
+	if l == nil {
+		return nil
+	}
+	if l.Name == "" {
+		return fmt.Errorf("label definition has no name")
+	}
+	if l.Kind != ast.LabelSet && l.Kind != ast.LabelForeach {
+		return fmt.Errorf("label %s has unknown kind %d", l.Name, l.Kind)
+	}
+	return nil
+}
+
+func verifyOptExpr(e expr.Expr) error {
+	if e == nil {
+		return nil
+	}
+	return verifyExpr(e)
+}
+
+// verifyExpr checks an expression tree bottom-up: complete (no nil
+// operands), operators in range for their arity, literal kinds valid, and
+// resolved column references pointing at non-negative slots.
+func verifyExpr(e expr.Expr) error {
+	switch n := e.(type) {
+	case nil:
+		return fmt.Errorf("nil expression")
+	case *expr.Const:
+		if k := n.V.Kind(); k > value.KindDate {
+			return fmt.Errorf("literal has unknown value kind %d", k)
+		}
+	case *expr.Param:
+		if n.Name == "" {
+			return fmt.Errorf("parameter has no name")
+		}
+	case *expr.Ref:
+		if n.Name == "" {
+			return fmt.Errorf("column reference has no name")
+		}
+		if n.Source >= 0 && n.Col < 0 {
+			return fmt.Errorf("reference %s resolved to source %d but column %d", n, n.Source, n.Col)
+		}
+	case *expr.Unary:
+		if n.Op != expr.OpNot && n.Op != expr.OpNeg {
+			return fmt.Errorf("unary node has non-unary operator %q", n.Op)
+		}
+		return verifyExpr(n.X)
+	case *expr.Binary:
+		if !n.Op.Comparison() && !n.Op.Arith() && n.Op != expr.OpAnd && n.Op != expr.OpOr {
+			return fmt.Errorf("binary node has non-binary operator %q", n.Op)
+		}
+		if err := verifyExpr(n.L); err != nil {
+			return err
+		}
+		return verifyExpr(n.R)
+	default:
+		return fmt.Errorf("unknown expression node %T", e)
+	}
+	return nil
+}

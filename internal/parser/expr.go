@@ -205,6 +205,20 @@ func (p *parser) parsePrimaryExpr() (expr.Expr, error) {
 		}
 		return nil, p.errf("unexpected keyword %q in expression", t.Text)
 	case lexer.Ident:
+		// date '2009-01-01' is an explicit date literal: the typed form
+		// of the string-against-date-column coercion GQL1007 lints.
+		// "date" is not a reserved word, so only the ident+string shape
+		// takes this path; a bare `date` still parses as a reference.
+		if t.Lower() == "date" && p.peek2().Kind == lexer.String {
+			p.next()
+			s := p.next()
+			span := tokSpan(t).Cover(tokSpan(s))
+			v, err := value.Parse(s.Text, value.Date)
+			if err != nil {
+				return nil, errAt(span, diag.BadLiteral, "bad date literal %q", s.Text)
+			}
+			return &expr.Const{V: v, Loc: span}, nil
+		}
 		return p.parseRef()
 	}
 	return nil, p.errf("unexpected %s %q in expression", t.Kind, t.Text)

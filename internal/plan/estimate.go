@@ -1,0 +1,116 @@
+package plan
+
+import (
+	"math"
+	"strconv"
+)
+
+// Interval is a static cardinality bound: the row count of a plan step
+// provably lies in [Min, Max] given the catalog statistics the bound was
+// computed from. Max = +Inf marks a step whose output the analysis
+// cannot bound (an unbounded path-regular expression, a variant
+// expansion over unknown types). The arithmetic below is deliberately
+// conservative — a filter may drop everything, an expansion multiplies
+// by the observed maximum degree — so the bounds are sound: the actual
+// row count of an execution over the same catalog snapshot always falls
+// inside the interval (EXPLAIN renders them as est_rows, and the Berlin
+// suite asserts containment for every query).
+type Interval struct {
+	Min, Max float64
+}
+
+// Exact returns the degenerate interval [n, n].
+func Exact(n float64) Interval { return Interval{Min: n, Max: n} }
+
+// UpTo returns [0, n]: a step that can drop any subset of n rows.
+func UpTo(n float64) Interval { return Interval{Min: 0, Max: n} }
+
+// Unbounded returns [0, +Inf): no static bound exists.
+func Unbounded() Interval { return Interval{Min: 0, Max: math.Inf(1)} }
+
+// mul multiplies bounds, treating 0 × Inf as 0 (zero rows expanded by an
+// unbounded fan-out are still zero rows).
+func mul(a, b float64) float64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return a * b
+}
+
+// Filter bounds the output of a predicate: it can drop any subset of its
+// input and never adds rows.
+func (iv Interval) Filter() Interval { return Interval{Min: 0, Max: iv.Max} }
+
+// Expand bounds one traversal step: every input row fans out into at
+// most maxFan successors (and possibly none, so the lower bound drops
+// to zero).
+func (iv Interval) Expand(maxFan float64) Interval {
+	return Interval{Min: 0, Max: mul(iv.Max, maxFan)}
+}
+
+// Cross bounds the cartesian combination of two independent inputs
+// (disconnected pattern components bind independently).
+func (iv Interval) Cross(o Interval) Interval {
+	return Interval{Min: mul(iv.Min, o.Min), Max: mul(iv.Max, o.Max)}
+}
+
+// Add sums two disjoint inputs (the concrete typings a variant pattern
+// expands into produce disjoint binding sets).
+func (iv Interval) Add(o Interval) Interval {
+	return Interval{Min: iv.Min + o.Min, Max: iv.Max + o.Max}
+}
+
+// Alt bounds an or-composition alternative joined to this one: the union
+// may deduplicate rows the alternatives share, so only the upper bounds
+// accumulate.
+func (iv Interval) Alt(o Interval) Interval {
+	return Interval{Min: 0, Max: iv.Max + o.Max}
+}
+
+// Group bounds a group-by: at most one output row per input row, at
+// least one whenever any input row exists.
+func (iv Interval) Group() Interval {
+	if iv.Min > 1 {
+		iv.Min = 1
+	}
+	return iv
+}
+
+// Distinct bounds duplicate elimination — the same shape as Group.
+func (iv Interval) Distinct() Interval { return iv.Group() }
+
+// Top clamps both bounds to the first-k limit.
+func (iv Interval) Top(k int) Interval {
+	if f := float64(k); k >= 0 {
+		iv.Min = math.Min(iv.Min, f)
+		iv.Max = math.Min(iv.Max, f)
+	}
+	return iv
+}
+
+// Contains reports whether an observed row count falls inside the bound.
+func (iv Interval) Contains(rows float64) bool {
+	return rows >= iv.Min && rows <= iv.Max
+}
+
+// String renders the bound for EXPLAIN's est_rows column: "42" for an
+// exact bound, "0..1800" for a range, "0..inf" for an unbounded step.
+func (iv Interval) String() string {
+	if iv.Min == iv.Max {
+		return formatBound(iv.Min)
+	}
+	return formatBound(iv.Min) + ".." + formatBound(iv.Max)
+}
+
+func formatBound(f float64) string {
+	if math.IsInf(f, 1) {
+		return "inf"
+	}
+	// Bounds are products of counts and degrees: integral by
+	// construction, but huge products lose integer precision, so render
+	// compactly instead of forcing %d.
+	if f == math.Trunc(f) && math.Abs(f) < 1e15 {
+		return strconv.FormatFloat(f, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(f, 'g', 3, 64)
+}

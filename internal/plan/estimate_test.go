@@ -1,0 +1,73 @@
+package plan
+
+import (
+	"math"
+	"testing"
+)
+
+func TestIntervalArithmetic(t *testing.T) {
+	iv := Exact(100)
+	if got := iv.Filter(); got.Min != 0 || got.Max != 100 {
+		t.Errorf("Filter = %+v, want [0,100]", got)
+	}
+	if got := iv.Expand(3); got.Min != 0 || got.Max != 300 {
+		t.Errorf("Expand(3) = %+v, want [0,300]", got)
+	}
+	if got := Exact(0).Expand(math.Inf(1)); got.Max != 0 {
+		t.Errorf("zero rows with unbounded fan-out = %+v, want [0,0]", got)
+	}
+	if got := Exact(4).Cross(Exact(5)); got.Min != 20 || got.Max != 20 {
+		t.Errorf("Cross = %+v, want [20,20]", got)
+	}
+	if got := Exact(4).Add(UpTo(5)); got.Min != 4 || got.Max != 9 {
+		t.Errorf("Add = %+v, want [4,9]", got)
+	}
+	if got := Exact(4).Alt(Exact(5)); got.Min != 0 || got.Max != 9 {
+		t.Errorf("Alt = %+v, want [0,9]", got)
+	}
+	if got := Exact(40).Group(); got.Min != 1 || got.Max != 40 {
+		t.Errorf("Group = %+v, want [1,40]", got)
+	}
+	if got := UpTo(40).Distinct(); got.Min != 0 || got.Max != 40 {
+		t.Errorf("Distinct of [0,40] = %+v, want [0,40]", got)
+	}
+	if got := Exact(100).Top(10); got.Min != 10 || got.Max != 10 {
+		t.Errorf("Top(10) = %+v, want [10,10]", got)
+	}
+	if got := UpTo(3).Top(10); got.Min != 0 || got.Max != 3 {
+		t.Errorf("Top(10) of [0,3] = %+v, want [0,3]", got)
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	iv := UpTo(10)
+	for _, n := range []float64{0, 5, 10} {
+		if !iv.Contains(n) {
+			t.Errorf("[0,10] should contain %v", n)
+		}
+	}
+	if iv.Contains(11) {
+		t.Error("[0,10] should not contain 11")
+	}
+	if !Unbounded().Contains(1e18) {
+		t.Error("unbounded interval should contain any count")
+	}
+}
+
+func TestIntervalString(t *testing.T) {
+	cases := []struct {
+		iv   Interval
+		want string
+	}{
+		{Exact(42), "42"},
+		{UpTo(1800), "0..1800"},
+		{Unbounded(), "0..inf"},
+		{Interval{Min: 1, Max: math.Inf(1)}, "1..inf"},
+		{Exact(0), "0"},
+	}
+	for _, c := range cases {
+		if got := c.iv.String(); got != c.want {
+			t.Errorf("%+v.String() = %q, want %q", c.iv, got, c.want)
+		}
+	}
+}

@@ -269,7 +269,7 @@ func (a *Analyzer) analyzeCreateVertex(s *ast.CreateVertex) Stmt {
 		src := []*EdgeSource{{Name: base.Name, Tbl: base}}
 		env := edgeSourceTypeEnv{sources: src}
 		if w, ok := a.resolveTableExpr(s.Where, src); ok {
-			w = coerceDates(w, env)
+			w = a.coerceDates(w, env)
 			if a.checkBool(w, env) {
 				out.Where = dropAlwaysTrue(a.lintCond(w))
 			}
@@ -406,7 +406,7 @@ func (a *Analyzer) analyzeCreateEdge(s *ast.CreateEdge) Stmt {
 		return nil
 	}
 	env := edgeSourceTypeEnv{sources: out.Sources}
-	resolved = coerceDates(resolved, env)
+	resolved = a.coerceDates(resolved, env)
 	if !a.checkBool(resolved, env) {
 		return nil
 	}
@@ -570,25 +570,54 @@ func (a *Analyzer) checkBool(e expr.Expr, env expr.TypeEnv) bool {
 		a.errorf(expr.SpanOf(e), diag.BoolRequired, "condition must be boolean, got %s", t)
 		return false
 	}
-	return true
+	return a.checkConstEval(e)
+}
+
+// checkConstEval diagnoses constant subexpressions that are guaranteed to
+// fail at runtime, such as division or modulo by a constant zero
+// (GQL0402). Fold deliberately leaves such nodes in place so the runtime
+// error is preserved; this check runs only on well-typed expressions, so
+// any evaluation failure over constant operands is an unconditional one.
+func (a *Analyzer) checkConstEval(e expr.Expr) bool {
+	ok := true
+	expr.Walk(e, func(x expr.Expr) {
+		b, isBin := x.(*expr.Binary)
+		if !isBin || !b.Op.Arith() {
+			return
+		}
+		if _, lc := b.L.(*expr.Const); !lc {
+			return
+		}
+		if _, rc := b.R.(*expr.Const); !rc {
+			return
+		}
+		if _, err := b.Eval(nil); err != nil {
+			a.errorf(expr.SpanOf(b), diag.ConstEval, "constant expression %s always fails: %s",
+				b, strings.TrimPrefix(err.Error(), "graql: "))
+			ok = false
+		}
+	})
+	return ok
 }
 
 // coerceDates rewrites string literals compared against date columns into
-// date literals, so that the natural spelling validFrom >= '2008-01-01'
-// type-checks under strong typing.
-func coerceDates(e expr.Expr, env expr.TypeEnv) expr.Expr {
+// date literals, so that the legacy spelling validFrom >= '2008-01-01'
+// still type-checks under strong typing. Each rewrite is reported as an
+// implicit-coercion lint (GQL1007): the typed spelling is the explicit
+// date '...' literal, which skips this path entirely.
+func (a *Analyzer) coerceDates(e expr.Expr, env expr.TypeEnv) expr.Expr {
 	return expr.Rewrite(e, func(n expr.Expr) expr.Expr {
 		b, ok := n.(*expr.Binary)
 		if !ok || !b.Op.Comparison() {
 			return nil
 		}
-		b.L = coerceDateSide(b.L, b.R, env)
-		b.R = coerceDateSide(b.R, b.L, env)
+		b.L = a.coerceDateSide(b.L, b.R, env)
+		b.R = a.coerceDateSide(b.R, b.L, env)
 		return b
 	})
 }
 
-func coerceDateSide(lit, other expr.Expr, env expr.TypeEnv) expr.Expr {
+func (a *Analyzer) coerceDateSide(lit, other expr.Expr, env expr.TypeEnv) expr.Expr {
 	c, ok := lit.(*expr.Const)
 	if !ok || c.V.Kind() != value.KindString {
 		return lit
@@ -598,6 +627,8 @@ func coerceDateSide(lit, other expr.Expr, env expr.TypeEnv) expr.Expr {
 		return lit
 	}
 	if d, err := value.Parse(c.V.Str(), value.Date); err == nil {
+		a.warnf(c.Loc, diag.ImplicitCoercion,
+			"string literal '%s' implicitly coerced to date; write date '%s'", c.V.Str(), c.V.Str())
 		return &expr.Const{V: d, Loc: c.Loc}
 	}
 	return lit

@@ -99,8 +99,9 @@ func assignable(dst, src value.Type) bool {
 }
 
 // coerceAssign rewrites a string literal assigned to a date column into a
-// date literal (the DML counterpart of coerceDates on comparisons).
-func coerceAssign(dst value.Type, e expr.Expr) expr.Expr {
+// date literal (the DML counterpart of coerceDates on comparisons), with
+// the same implicit-coercion lint (GQL1007).
+func (a *Analyzer) coerceAssign(dst value.Type, e expr.Expr) expr.Expr {
 	if dst.Kind != value.KindDate {
 		return e
 	}
@@ -109,6 +110,8 @@ func coerceAssign(dst value.Type, e expr.Expr) expr.Expr {
 		return e
 	}
 	if d, err := value.Parse(c.V.Str(), value.Date); err == nil {
+		a.warnf(c.Loc, diag.ImplicitCoercion,
+			"string literal '%s' implicitly coerced to date; write date '%s'", c.V.Str(), c.V.Str())
 		return &expr.Const{V: d, Loc: c.Loc}
 	}
 	return e
@@ -165,7 +168,7 @@ func (a *Analyzer) analyzeInsert(s *ast.Insert) Stmt {
 			if colsOK && vi < len(out.Cols) {
 				dst = schema[out.Cols[vi]].Type
 			}
-			e = coerceAssign(dst, e)
+			e = a.coerceAssign(dst, e)
 			typ, err := e.Check(env)
 			if err != nil {
 				a.addErr(err, diag.TypeMismatch)
@@ -174,6 +177,9 @@ func (a *Analyzer) analyzeInsert(s *ast.Insert) Stmt {
 			if colsOK && !assignable(dst, typ) {
 				a.errorf(expr.SpanOf(e), diag.TypeMismatch,
 					"cannot store %s into column %s (%s)", typ, schema[out.Cols[vi]].Name, dst)
+				continue
+			}
+			if !a.checkConstEval(e) {
 				continue
 			}
 			checked[vi] = a.foldExpr(e)
@@ -220,7 +226,7 @@ func (a *Analyzer) analyzeUpdate(s *ast.Update) Stmt {
 		if !ok {
 			continue
 		}
-		e = coerceDates(coerceAssign(schema[idx].Type, e), env)
+		e = a.coerceDates(a.coerceAssign(schema[idx].Type, e), env)
 		typ, err := e.Check(env)
 		if err != nil {
 			a.addErr(err, diag.TypeMismatch)
@@ -231,12 +237,15 @@ func (a *Analyzer) analyzeUpdate(s *ast.Update) Stmt {
 				"cannot store %s into column %s (%s)", typ, schema[idx].Name, schema[idx].Type)
 			continue
 		}
+		if !a.checkConstEval(e) {
+			continue
+		}
 		out.Sets = append(out.Sets, SetCol{Col: idx, E: a.foldExpr(e)})
 	}
 
 	if s.Where != nil {
 		if w, ok := a.resolveTableExpr(s.Where, src); ok {
-			w = coerceDates(w, env)
+			w = a.coerceDates(w, env)
 			if a.checkBool(w, env) {
 				out.Where = dropAlwaysTrue(a.lintCond(w))
 			}
@@ -260,7 +269,7 @@ func (a *Analyzer) analyzeDelete(s *ast.Delete) Stmt {
 	env := edgeSourceTypeEnv{sources: src}
 	if s.Where != nil {
 		if w, ok := a.resolveTableExpr(s.Where, src); ok {
-			w = coerceDates(w, env)
+			w = a.coerceDates(w, env)
 			if a.checkBool(w, env) {
 				out.Where = dropAlwaysTrue(a.lintCond(w))
 			}

@@ -44,6 +44,7 @@ func (a *Analyzer) analyzeGraphSelect(s *ast.Select) Stmt {
 			// against it would only cascade.
 			continue
 		}
+		a.lintPattern(term)
 		alt := &GraphAlt{Pattern: pat}
 		schema, ok := a.resolveGraphProj(s, pat, alt)
 		if !ok {
@@ -84,6 +85,52 @@ func (a *Analyzer) analyzeGraphSelect(s *ast.Select) Stmt {
 // errorCount returns the number of error diagnostics recorded so far for
 // the current statement.
 func (a *Analyzer) errorCount() int { return len(a.diags.Errors()) }
+
+// lintPattern warns when an and-composition has no selective anchor at
+// all: no step condition anywhere and no seeded step. With an anchor,
+// unbounded repetition and [ ] variant steps are the normal exploration
+// idioms; without one, an unbounded regex can expand to the whole graph
+// (GQL1008) and a variant vertex step multiplies the match set across
+// every vertex type (GQL1009). These feed the same cardinality story as
+// EXPLAIN's est_rows: both warnings mark patterns whose static upper
+// bound is unbounded.
+func (a *Analyzer) lintPattern(term *ast.PathAnd) {
+	anchored := false
+	var unbounded []*ast.RegexGroup
+	var variants []*ast.VertexStep
+	for _, path := range term.Paths {
+		for _, el := range path.Elems {
+			switch e := el.(type) {
+			case *ast.VertexStep:
+				if e.Cond != nil || e.SeedGraph != "" {
+					anchored = true
+				}
+				if e.Variant {
+					variants = append(variants, e)
+				}
+			case *ast.EdgeStep:
+				if e.Cond != nil {
+					anchored = true
+				}
+			case *ast.RegexGroup:
+				if e.Max < 0 {
+					unbounded = append(unbounded, e)
+				}
+			}
+		}
+	}
+	if anchored {
+		return
+	}
+	for _, g := range unbounded {
+		a.warnf(g.Loc, diag.ExplodingExpansion,
+			"unbounded repetition in a pattern with no condition or seed can expand to the whole graph; add a step condition or a {n,m} bound")
+	}
+	for _, v := range variants {
+		a.warnf(v.Loc, diag.CrossProduct,
+			"[ ] variant step in a pattern with no condition or seed matches every vertex of every type; add a condition or a concrete type")
+	}
+}
 
 // lintUnusedLabels warns about labels that neither a condition nor the
 // projection ever references. A "select *" uses every label for display

@@ -38,7 +38,7 @@ func (b *patternBuilder) resolveConds() {
 		if !ok {
 			continue
 		}
-		resolved = coerceDates(resolved, env)
+		resolved = b.a.coerceDates(resolved, env)
 		if !b.a.checkBool(resolved, env) {
 			continue
 		}
@@ -53,7 +53,7 @@ func (b *patternBuilder) resolveConds() {
 		if !ok {
 			continue
 		}
-		resolved = coerceDates(resolved, env)
+		resolved = b.a.coerceDates(resolved, env)
 		if !b.a.checkBool(resolved, env) {
 			continue
 		}

@@ -104,7 +104,7 @@ func (a *Analyzer) analyzeTableSelect(s *ast.Select) Stmt {
 
 	if s.Where != nil {
 		if w, ok := a.resolveTableExpr(s.Where, src); ok {
-			w = coerceDates(w, env)
+			w = a.coerceDates(w, env)
 			if a.checkBool(w, env) {
 				out.Where = dropAlwaysTrue(a.lintCond(w))
 			}
@@ -243,10 +243,13 @@ func (a *Analyzer) analyzeItem(it ast.SelectItem, t *table.Table, sel *Select) (
 	if !ok {
 		return Item{}, table.ColumnDef{}, false
 	}
-	e = coerceDates(e, env)
+	e = a.coerceDates(e, env)
 	typ, err := e.Check(env)
 	if err != nil {
 		a.addErr(err, diag.TypeMismatch)
+		return Item{}, table.ColumnDef{}, false
+	}
+	if !a.checkConstEval(e) {
 		return Item{}, table.ColumnDef{}, false
 	}
 	if name == "" {
